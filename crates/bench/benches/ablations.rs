@@ -1,0 +1,101 @@
+//! Ablations of the design choices DESIGN.md calls out, at Axom scale
+//! (>200-dependency application from §I).
+//!
+//! * store path style: Spack-like RUNPATH+transitive lists vs Nix-like
+//!   RPATH+direct lists;
+//! * dependency views (§III-D1) vs Shrinkwrap (§IV) vs plain store;
+//! * the §III-C future loader on the same stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_core::{wrap, ShrinkwrapOptions};
+use depchaos_elf::ElfEditor;
+use depchaos_loader::{Environment, FutureLoader, GlibcLoader};
+use depchaos_store::{build_view, views::view_lib_dir, StoreInstaller};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::axom;
+
+fn syscalls(fs: &Vfs, bin: &str) -> (u64, u64) {
+    let r = GlibcLoader::new(fs).with_env(Environment::bare()).load(bin).unwrap();
+    assert!(r.success(), "{:?}", r.failures.first());
+    (r.stat_openat(), r.syscalls.misses)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Ablations: store style, views, shrinkwrap (Axom-scale stack)");
+    let repo = axom::repo(7);
+
+    // --- Spack-like vs Nix-like path policy.
+    let fs_spack = Vfs::local();
+    let app_spack = StoreInstaller::spack_like().install(&fs_spack, &repo, axom::APP).unwrap();
+    let bin_spack = format!("{}/{}", app_spack.bin_dir, axom::APP);
+    let (calls_spack, misses_spack) = syscalls(&fs_spack, &bin_spack);
+
+    let fs_nix = Vfs::local();
+    let app_nix = StoreInstaller::nix_like().install(&fs_nix, &repo, axom::APP).unwrap();
+    let bin_nix = format!("{}/{}", app_nix.bin_dir, axom::APP);
+    let (calls_nix, misses_nix) = syscalls(&fs_nix, &bin_nix);
+
+    println!("store policy       stat/openat  misses");
+    println!("spack-like (RUNPATH, transitive) {calls_spack:>8}  {misses_spack:>6}");
+    println!("nix-like   (RPATH, direct)       {calls_nix:>8}  {misses_nix:>6}");
+
+    // --- Dependency view: one search directory for the whole closure.
+    let fs_view = Vfs::local();
+    let mut st = StoreInstaller::spack_like();
+    let app_view = st.install(&fs_view, &repo, axom::APP).unwrap();
+    let bin_view = format!("{}/{}", app_view.bin_dir, axom::APP);
+    let closure: Vec<_> = std::iter::once(app_view.clone())
+        .chain(repo.closure(axom::APP).iter().filter_map(|n| st.get(n).cloned()))
+        .collect();
+    let refs: Vec<&_> = closure.iter().collect();
+    let links = build_view(&fs_view, "/views/app", &refs).unwrap();
+    ElfEditor::open(&fs_view, &bin_view)
+        .unwrap()
+        .set_rpath(vec![view_lib_dir("/views/app")])
+        .unwrap();
+    for pkg in &closure {
+        for name in fs_view.list_dir(&pkg.lib_dir).unwrap() {
+            ElfEditor::open(&fs_view, format!("{}/{}", pkg.lib_dir, name))
+                .unwrap()
+                .remove_rpath()
+                .unwrap();
+        }
+    }
+    let (calls_view, misses_view) = syscalls(&fs_view, &bin_view);
+    println!("dependency view (one dir, {links} symlinks) {calls_view:>8}  {misses_view:>6}");
+
+    // --- Shrinkwrap.
+    let fs_wrap = Vfs::local();
+    let app_wrap = StoreInstaller::spack_like().install(&fs_wrap, &repo, axom::APP).unwrap();
+    let bin_wrap = format!("{}/{}", app_wrap.bin_dir, axom::APP);
+    wrap(&fs_wrap, &bin_wrap, &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+    let (calls_wrap, misses_wrap) = syscalls(&fs_wrap, &bin_wrap);
+    println!("shrinkwrapped                    {calls_wrap:>8}  {misses_wrap:>6}");
+
+    // --- future loader on the shrinkwrapped binary (sanity: same result).
+    let fut = FutureLoader::new(&fs_wrap).with_env(Environment::bare()).load(&bin_wrap).unwrap();
+    println!("future loader on wrapped binary: success={}", fut.success());
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("load_spack_like", |b| {
+        b.iter(|| GlibcLoader::new(&fs_spack).with_env(Environment::bare()).load(&bin_spack))
+    });
+    group.bench_function("load_nix_like", |b| {
+        b.iter(|| GlibcLoader::new(&fs_nix).with_env(Environment::bare()).load(&bin_nix))
+    });
+    group.bench_function("load_view", |b| {
+        b.iter(|| GlibcLoader::new(&fs_view).with_env(Environment::bare()).load(&bin_view))
+    });
+    group.bench_function("load_shrinkwrapped", |b| {
+        b.iter(|| GlibcLoader::new(&fs_wrap).with_env(Environment::bare()).load(&bin_wrap))
+    });
+    group.bench_function("load_future_loader", |b| {
+        b.iter(|| FutureLoader::new(&fs_wrap).with_env(Environment::bare()).load(&bin_wrap))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig 1: Debian package dependencies by type (~209k declarations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_graph::ConstraintTally;
+use depchaos_workloads::debian;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig 1: Debian package dependencies by type");
+    let tally = debian::fig1_tally(2021, 209_000);
+    print!("{}", tally.render_table());
+    println!("unversioned: {:.1}% (paper: 'nearly 3/4')", 100.0 * tally.unversioned_fraction());
+
+    let decls = debian::repo(2021, 209_000);
+    c.bench_function("fig1/tally_209k_declarations", |b| {
+        b.iter(|| ConstraintTally::tally(std::hint::black_box(&decls)))
+    });
+    c.bench_function("fig1/generate_209k_declarations", |b| {
+        b.iter(|| debian::repo(std::hint::black_box(2021), 209_000))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

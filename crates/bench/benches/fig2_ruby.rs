@@ -1,0 +1,34 @@
+//! Fig 2: the Nix Ruby closure snarl (453 derivations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_graph::dot::to_dot;
+use depchaos_workloads::nix_ruby;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig 2: Nix Ruby closure");
+    let g = nix_ruby::closure(2022);
+    let ruby = g.lookup("ruby-2.7.5.drv").unwrap();
+    println!(
+        "nodes: {} (paper: 453)   edges: {}   reachable from ruby: {}",
+        g.node_count(),
+        g.edge_count(),
+        g.closure_bfs(ruby).len()
+    );
+    // Write the figure artifact next to the bench results.
+    let dot = to_dot(&g, "ruby-2.7.5");
+    let path = std::path::Path::new("target/fig2_ruby.dot");
+    if std::fs::write(path, &dot).is_ok() {
+        println!("figure artifact: {} ({} bytes; render with `dot -Tsvg`)", path.display(), dot.len());
+    }
+
+    c.bench_function("fig2/generate_closure", |b| {
+        b.iter(|| nix_ruby::closure(std::hint::black_box(2022)))
+    });
+    c.bench_function("fig2/bfs_closure", |b| b.iter(|| g.closure_bfs(std::hint::black_box(ruby))));
+    c.bench_function("fig2/topo_sort", |b| b.iter(|| g.topo_sort()));
+    c.bench_function("fig2/dot_export", |b| b.iter(|| to_dot(&g, "ruby-2.7.5")));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

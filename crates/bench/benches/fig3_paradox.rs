@@ -1,0 +1,43 @@
+//! Fig 3: exhaustive proof that no search-path ordering resolves the
+//! two-directory paradox, vs the O(1) shrinkwrapped resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_elf::ElfEditor;
+use depchaos_loader::{Environment, GlibcLoader};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::paradox;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig 3: the RUNPATH paradox");
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    println!("any ordering of any mechanism correct? {}", paradox::any_ordering_correct(&fs));
+
+    c.bench_function("fig3/exhaustive_ordering_search", |b| {
+        b.iter(|| {
+            let fs = Vfs::local();
+            paradox::install(&fs).unwrap();
+            std::hint::black_box(paradox::any_ordering_correct(&fs))
+        })
+    });
+
+    c.bench_function("fig3/shrinkwrapped_resolution", |b| {
+        let fs = Vfs::local();
+        paradox::install(&fs).unwrap();
+        ElfEditor::open(&fs, paradox::EXE)
+            .unwrap()
+            .set_needed(vec![
+                format!("{}/liba.so", paradox::DIR_A),
+                format!("{}/libb.so", paradox::DIR_B),
+            ])
+            .unwrap();
+        b.iter(|| {
+            let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
+            assert!(paradox::is_correct(&r));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

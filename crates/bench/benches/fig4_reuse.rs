@@ -1,0 +1,32 @@
+//! Fig 4: shared-object reuse on a 3287-binary installed system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_graph::reuse_counts;
+use depchaos_workloads::debian;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig 4: shared object reuse (3287 binaries)");
+    let usages = debian::installed_system(2021, 3287, 1400);
+    let hist = reuse_counts(
+        usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))),
+    );
+    print!("{}", hist.render_summary(5));
+    println!(
+        "paper: 'only 4% of shared object files are used by more than 5% of the binaries'; \
+         measured: {:.1}%",
+        100.0 * hist.fraction_above(0.05)
+    );
+
+    c.bench_function("fig4/generate_installed_system", |b| {
+        b.iter(|| debian::installed_system(std::hint::black_box(2021), 3287, 1400))
+    });
+    c.bench_function("fig4/reuse_histogram", |b| {
+        b.iter(|| {
+            reuse_counts(usages.iter().map(|(bn, sos)| (bn.as_str(), sos.iter().map(String::as_str))))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

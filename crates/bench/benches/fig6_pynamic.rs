@@ -1,0 +1,56 @@
+//! Fig 6: Pynamic time-to-launch at 512/1024/2048 ranks, normal vs wrapped,
+//! plus the Spindle-style broadcast-cache ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depchaos_bench::banner;
+use depchaos_core::{wrap, ShrinkwrapOptions};
+use depchaos_launch::{profile_load, render_fig6, simulate_launch, sweep_ranks, LaunchConfig};
+use depchaos_loader::Environment;
+use depchaos_vfs::{StraceLog, Vfs};
+use depchaos_workloads::pynamic;
+
+fn profiles() -> (StraceLog, StraceLog) {
+    let fs = Vfs::nfs();
+    let w = pynamic::install_paper(&fs, "/apps/pynamic").unwrap();
+    let env = Environment::bare();
+    let normal = profile_load(&fs, &w.exe_path, &env).unwrap();
+    wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let wrapped = profile_load(&fs, &w.exe_path, &env).unwrap();
+    (normal, wrapped)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Fig 6: Pynamic time-to-launch (900 libs, cold NFS)");
+    let (normal, wrapped) = profiles();
+    println!(
+        "per-rank op streams: normal {} stat/openat, wrapped {}",
+        normal.stat_openat(),
+        wrapped.stat_openat()
+    );
+    let cfg = LaunchConfig::default();
+    let points = [512usize, 1024, 2048];
+    let n = sweep_ranks(&normal, &cfg, &points);
+    let w = sweep_ranks(&wrapped, &cfg, &points);
+    print!("{}", render_fig6(&points, &n, &w));
+    println!("paper: 169s->30.5s (5.5x) at 512; 344.6s normal at 2048 (7.2x)");
+
+    let spindle = LaunchConfig { broadcast_cache: true, ..LaunchConfig::default() };
+    let s = sweep_ranks(&normal, &spindle, &points);
+    println!("\nablation: normal + Spindle-style broadcast cache");
+    print!("{}", render_fig6(&points, &n, &s));
+
+    let mut group = c.benchmark_group("fig6/des");
+    group.sample_size(10);
+    for &ranks in &points {
+        group.bench_with_input(BenchmarkId::new("normal", ranks), &ranks, |b, &r| {
+            b.iter(|| simulate_launch(&normal, &cfg.clone().with_ranks(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("wrapped", ranks), &ranks, |b, &r| {
+            b.iter(|| simulate_launch(&wrapped, &cfg.clone().with_ranks(r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

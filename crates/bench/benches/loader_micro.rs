@@ -1,0 +1,72 @@
+//! Supporting microbenchmarks: the loader engines themselves.
+//!
+//! Not a paper artifact, but the substrate all the figures run on: how fast
+//! the glibc/musl interpreters and the libtree analysis are, and what one
+//! directory probe costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_loader::{analyze_tree, Environment, GlibcLoader, LdCache, MuslLoader};
+use depchaos_store::{BinDef, LibDef, PackageDef, Repo, StoreInstaller};
+use depchaos_vfs::Vfs;
+
+/// A 50-package chain-and-fan stack in a Spack-like store.
+fn world() -> (Vfs, String) {
+    let mut repo = Repo::new();
+    for i in 0..50usize {
+        let mut pkg = PackageDef::new(format!("pkg{i}"), "1.0");
+        let mut lib = LibDef::new(format!("lib{i}.so"));
+        for d in [i * 2 + 1, i * 2 + 2] {
+            if d < 50 {
+                pkg = pkg.dep(format!("pkg{d}"));
+                lib = lib.needs(format!("lib{d}.so"));
+            }
+        }
+        pkg = pkg.lib(lib);
+        if i == 0 {
+            pkg = pkg.bin(BinDef::new("main").needs("lib0.so"));
+        }
+        repo.add(pkg);
+    }
+    let fs = Vfs::local();
+    let mut store = StoreInstaller::spack_like();
+    let p = store.install(&fs, &repo, "pkg0").unwrap();
+    let bin = format!("{}/main", p.bin_dir);
+    (fs, bin)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Loader microbenchmarks (50-object closure)");
+    let (fs, bin) = world();
+    let env = Environment::bare();
+
+    let g = GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap();
+    println!(
+        "glibc: {} objects, {} stat/openat; musl success: {}",
+        g.objects.len(),
+        g.stat_openat(),
+        MuslLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap().success()
+    );
+
+    c.bench_function("loader/glibc_load_50", |b| {
+        b.iter(|| GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap())
+    });
+    c.bench_function("loader/musl_load_50", |b| {
+        b.iter(|| MuslLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap())
+    });
+    c.bench_function("loader/libtree_analyze_50", |b| {
+        b.iter(|| analyze_tree(&fs, &bin, &env, &LdCache::empty()).unwrap())
+    });
+    c.bench_function("loader/ldconfig_scan", |b| {
+        let dirs: Vec<String> = fs
+            .list_dir("/store")
+            .unwrap()
+            .into_iter()
+            .map(|d| format!("/store/{d}/lib"))
+            .collect();
+        b.iter(|| LdCache::ldconfig(&fs, &dirs))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

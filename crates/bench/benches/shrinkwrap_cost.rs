@@ -1,0 +1,51 @@
+//! §V intro: the cost of running Shrinkwrap itself.
+//!
+//! Paper: wrapping a binary with 900 needed entries and a 900-entry RPATH
+//! (213 MiB executable) took ~4 s warm / over a minute on cold NFS with the
+//! real (python + lief) implementation. Here we measure our wrap() on the
+//! same logical workload — absolute numbers differ (no real ELF rewriting),
+//! the scaling with closure size is the point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depchaos_bench::banner;
+use depchaos_core::{wrap, ShrinkwrapOptions, Strategy};
+use depchaos_loader::Environment;
+use depchaos_vfs::Vfs;
+use depchaos_workloads::{emacs, pynamic};
+
+fn bench(c: &mut Criterion) {
+    banner("Shrinkwrap tool cost (paper: ~4s warm for 900 entries)");
+
+    let mut group = c.benchmark_group("shrinkwrap_cost");
+    group.sample_size(10);
+
+    for n_libs in [100usize, 300, 900] {
+        // wrap() mutates the binary; since it is idempotent, re-wrapping is
+        // representative of the warm-cache case the paper times.
+        let fs = Vfs::local();
+        let w = pynamic::install(&fs, "/apps/pynamic", n_libs).unwrap();
+        let opts = ShrinkwrapOptions::new().env(Environment::bare());
+        let report = wrap(&fs, &w.exe_path, &opts).unwrap();
+        println!("pynamic-{n_libs}: froze {} entries", report.frozen_count());
+        group.bench_with_input(BenchmarkId::new("ldd_strategy", n_libs), &n_libs, |b, _| {
+            b.iter(|| wrap(&fs, &w.exe_path, &opts).unwrap())
+        });
+        let native = ShrinkwrapOptions::new().env(Environment::bare()).strategy(Strategy::Native);
+        group.bench_with_input(BenchmarkId::new("native_strategy", n_libs), &n_libs, |b, _| {
+            b.iter(|| wrap(&fs, &w.exe_path, &native).unwrap())
+        });
+    }
+
+    // The emacs-scale case for contrast.
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    let opts = ShrinkwrapOptions::new().env(Environment::bare());
+    wrap(&fs, emacs::EXE_PATH, &opts).unwrap();
+    group.bench_function("emacs_103_deps", |b| {
+        b.iter(|| wrap(&fs, emacs::EXE_PATH, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

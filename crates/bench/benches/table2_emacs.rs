@@ -1,0 +1,47 @@
+//! Table II: emacs process-startup syscalls, normal vs shrinkwrapped.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_core::{wrap, ShrinkwrapOptions};
+use depchaos_loader::{Environment, GlibcLoader};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::emacs;
+
+fn bench(c: &mut Criterion) {
+    banner("Table II: emacs stat/openat syscalls");
+    let env = Environment::bare();
+
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    let before = GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();
+
+    let fs_w = Vfs::local();
+    emacs::install(&fs_w).unwrap();
+    wrap(&fs_w, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let after = GlibcLoader::new(&fs_w).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();
+
+    println!("{:<16} {:>20} {:>16}", "", "Calls (stat/openat)", "SimTime (s)");
+    println!("{:<16} {:>20} {:>16.6}", "emacs", before.stat_openat(), before.time_ns as f64 / 1e9);
+    println!(
+        "{:<16} {:>20} {:>16.6}",
+        "emacs-wrapped",
+        after.stat_openat(),
+        after.time_ns as f64 / 1e9
+    );
+    println!(
+        "paper: 1823 -> 104 calls; measured: {} -> {}",
+        before.stat_openat(),
+        after.stat_openat()
+    );
+
+    // Measure the actual (host) time of the load interpretation itself.
+    c.bench_function("table2/load_emacs_normal", |b| {
+        b.iter(|| GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap())
+    });
+    c.bench_function("table2/load_emacs_wrapped", |b| {
+        b.iter(|| GlibcLoader::new(&fs_w).with_env(env.clone()).load(emacs::EXE_PATH).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! # depchaos-bench — the paper's evaluation, regenerated
+//!
+//! One Criterion bench per table/figure. Each bench prints the
+//! paper-equivalent rows once (so `cargo bench` output doubles as the
+//! experiment record) and then measures the underlying computation.
+//!
+//! | bench | artifact |
+//! |---|---|
+//! | `fig1_debian` | Fig 1 — dependency declarations by constraint type |
+//! | `fig2_ruby` | Fig 2 — the 453-node Nix Ruby closure |
+//! | `fig3_paradox` | Fig 3 — exhaustive ordering search |
+//! | `fig4_reuse` | Fig 4 — shared-object reuse histogram |
+//! | `table2_emacs` | Table II — emacs syscalls, normal vs wrapped |
+//! | `fig6_pynamic` | Fig 6 — Pynamic time-to-launch sweep |
+//! | `shrinkwrap_cost` | §V intro — cost of running Shrinkwrap itself |
+//! | `loader_micro` | supporting microbenchmarks (glibc vs musl, probe cost) |
+
+/// Print a banner once per bench so the harness output is self-describing.
+pub fn banner(title: &str) {
+    println!("\n================ {title} ================");
+}

@@ -1,0 +1,227 @@
+//! `depchaos-report` — regenerate every paper table and figure as text.
+//!
+//! Usage: `depchaos-report [fig1|fig2|fig3|fig4|table1|table2|fig6|all]`
+//! (default `all`). Fig 6 at full scale takes a few seconds in release mode;
+//! pass `fig6-small` for a reduced run.
+
+use depchaos_core::{wrap, ShrinkwrapOptions};
+use depchaos_graph::reuse_counts;
+use depchaos_launch::{profile_load, render_fig6, sweep_ranks, LaunchConfig};
+use depchaos_loader::{Environment, GlibcLoader};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::{debian, emacs, nix_ruby, paradox, pynamic};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = arg == "all";
+    if all || arg == "fig1" {
+        fig1();
+    }
+    if all || arg == "fig2" {
+        fig2();
+    }
+    if all || arg == "fig3" {
+        fig3();
+    }
+    if all || arg == "fig4" {
+        fig4();
+    }
+    if all || arg == "table1" {
+        table1();
+    }
+    if all || arg == "table2" {
+        table2();
+    }
+    if all || arg == "fig6" {
+        fig6(pynamic::N_LIBS_PAPER);
+    }
+    if arg == "fig6-small" {
+        fig6(200);
+    }
+    if all || arg == "listing1" {
+        listing1();
+    }
+    if all || arg == "usecases" {
+        usecases();
+    }
+}
+
+fn banner(s: &str) {
+    println!("\n===== {s} =====");
+}
+
+fn fig1() {
+    banner("Fig 1: Debian package dependencies by type");
+    let t = debian::fig1_tally(2021, 209_000);
+    print!("{}", t.render_table());
+    println!("unversioned fraction: {:.1}%", 100.0 * t.unversioned_fraction());
+}
+
+fn fig2() {
+    banner("Fig 2: Nix Ruby closure (the snarl)");
+    let g = nix_ruby::closure(2022);
+    println!("nodes: {}   edges: {}", g.node_count(), g.edge_count());
+    let ruby = g.lookup("ruby-2.7.5.drv").unwrap();
+    println!("transitive closure of ruby: {} derivations", g.closure_bfs(ruby).len());
+    let dot = depchaos_graph::dot::to_dot(&g, "ruby-2.7.5");
+    println!("DOT export: {} lines (pipe to `dot -Tsvg` to render the snarl)", dot.lines().count());
+}
+
+fn fig3() {
+    banner("Fig 3: the RUNPATH paradox");
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    println!("any search-path ordering correct? {}", paradox::any_ordering_correct(&fs));
+    println!("(Shrinkwrap-style absolute paths resolve it — see tests/fig3_paradox.rs)");
+}
+
+fn fig4() {
+    banner("Fig 4: shared object reuse (3287 binaries)");
+    let usages = debian::installed_system(2021, 3287, 1400);
+    let h = reuse_counts(usages.iter().map(|(b, s)| (b.as_str(), s.iter().map(String::as_str))));
+    print!("{}", h.render_summary(10));
+}
+
+fn table1() {
+    banner("Table I: properties of RPATH and RUNPATH");
+    use depchaos_elf::{io::install, ElfObject};
+
+    // Experiment 1: which copy wins against LD_LIBRARY_PATH?
+    let beats_env = |use_rpath: bool| -> bool {
+        let fs = Vfs::local();
+        install(&fs, "/emb/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        install(&fs, "/env/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        let exe = if use_rpath {
+            ElfObject::exe("a").needs("libx.so").rpath("/emb").build()
+        } else {
+            ElfObject::exe("a").needs("libx.so").runpath("/emb").build()
+        };
+        install(&fs, "/bin/a", &exe).unwrap();
+        let env = Environment::bare().with_ld_library_path("/env");
+        let r = GlibcLoader::new(&fs).with_env(env).load("/bin/a").unwrap();
+        r.objects[1].path == "/emb/libx.so"
+    };
+    // Experiment 2: does the attribute serve a *transitive* lookup?
+    let propagates = |use_rpath: bool| -> bool {
+        let fs = Vfs::local();
+        install(&fs, "/l/libmid.so", &ElfObject::dso("libmid.so").needs("libleaf.so").build())
+            .unwrap();
+        install(&fs, "/d/libleaf.so", &ElfObject::dso("libleaf.so").build()).unwrap();
+        let exe = if use_rpath {
+            ElfObject::exe("a").needs("libmid.so").rpath("/l").rpath("/d").build()
+        } else {
+            ElfObject::exe("a").needs("libmid.so").runpath("/l").runpath("/d").build()
+        };
+        install(&fs, "/bin/a", &exe).unwrap();
+        GlibcLoader::new(&fs).with_env(Environment::bare()).load("/bin/a").unwrap().success()
+    };
+    let yn = |b: bool| if b { "Yes" } else { "No" };
+    println!("{:<32} {:>6} {:>8}", "Property", "RPATH", "RUNPATH");
+    println!(
+        "{:<32} {:>6} {:>8}",
+        "Before LD_LIBRARY_PATH",
+        yn(beats_env(true)),
+        yn(beats_env(false))
+    );
+    println!(
+        "{:<32} {:>6} {:>8}",
+        "After LD_LIBRARY_PATH",
+        yn(!beats_env(true)),
+        yn(!beats_env(false))
+    );
+    println!("{:<32} {:>6} {:>8}", "Propagates", yn(propagates(true)), yn(propagates(false)));
+    println!("(computed live against the glibc loader model)");
+}
+
+fn table2() {
+    banner("Table II: emacs stat/openat syscalls");
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    let env = Environment::bare();
+    let before = GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();
+    wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let after = GlibcLoader::new(&fs).with_env(env).load(emacs::EXE_PATH).unwrap();
+    println!("{:<16} {:>16} {:>14}", "", "Calls (stat/openat)", "Time (seconds)");
+    println!(
+        "{:<16} {:>16} {:>14.6}",
+        "emacs",
+        before.stat_openat(),
+        before.time_ns as f64 / 1e9
+    );
+    println!(
+        "{:<16} {:>16} {:>14.6}",
+        "emacs-wrapped",
+        after.stat_openat(),
+        after.time_ns as f64 / 1e9
+    );
+    println!("reduction: {:.1}x", before.stat_openat() as f64 / after.stat_openat() as f64);
+}
+
+fn listing1() {
+    banner("Listing 1: libtree dbwrap_tool");
+    use depchaos_loader::{analyze_tree, LdCache};
+    use depchaos_workloads::samba;
+    let fs = Vfs::local();
+    samba::install(&fs).unwrap();
+    let tree =
+        analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
+    print!("{}", tree.render());
+    let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
+    println!("(dynamic load nonetheless succeeds: {} objects, dedup hides the hole)", r.objects.len());
+}
+
+fn usecases() {
+    banner("§V-B use cases");
+    use depchaos_workloads::{openmp, rocm};
+
+    // ROCm.
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.3.0").unwrap();
+    let env = ms.environment(Environment::default());
+    let r = GlibcLoader::new(&fs).with_env(env.clone()).load(rocm::APP).unwrap();
+    println!("ROCm 4.5 app + rocm/4.3.0 module: versions loaded {:?} (the segfault)", rocm::versions_loaded(&r));
+    let mut ms2 = rocm::module_system();
+    ms2.load("rocm/4.5.0").unwrap();
+    wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(ms2.environment(Environment::default())))
+        .unwrap();
+    let r2 = GlibcLoader::new(&fs).with_env(env).load(rocm::APP).unwrap();
+    println!("after shrinkwrap:                 versions loaded {:?} (fixed)", rocm::versions_loaded(&r2));
+
+    // OpenMP stubs.
+    let fs = Vfs::local();
+    openmp::install_scenario(&fs, false).unwrap();
+    let rep = wrap(&fs, openmp::APP, &ShrinkwrapOptions::new().env(Environment::default())).unwrap();
+    let dups = rep
+        .warnings
+        .iter()
+        .filter(|w| matches!(w, depchaos_core::WrapWarning::DuplicateStrongSymbol { .. }))
+        .count();
+    let r = GlibcLoader::new(&fs).load(openmp::APP).unwrap();
+    println!(
+        "libomp/libompstubs: wrap succeeded with {} duplicate-symbol warnings; \
+         omp_get_num_threads bound to {}",
+        dups,
+        openmp::winning_runtime(&r).unwrap()
+    );
+}
+
+fn fig6(n_libs: usize) {
+    banner("Fig 6: Pynamic time-to-launch (normal vs shrinkwrapped)");
+    let points = [512usize, 1024, 2048];
+    let cfg = LaunchConfig::default();
+
+    let fs = Vfs::nfs();
+    let w = pynamic::install(&fs, "/apps/pynamic", n_libs).unwrap();
+    let env = Environment::bare();
+    let normal_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
+    let normal = sweep_ranks(&normal_ops, &cfg, &points);
+
+    wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let wrapped_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
+    let wrapped = sweep_ranks(&wrapped_ops, &cfg, &points);
+
+    println!("({n_libs} shared libraries, cold NFS, negative caching off)");
+    print!("{}", render_fig6(&points, &normal, &wrapped));
+}

@@ -1,0 +1,29 @@
+//! `libtree` — Listing 1, live.
+//!
+//! Builds the samba `dbwrap_tool` world and prints the static dependency
+//! tree, exposing the `not found` entry the dynamic loader's dedup cache
+//! papers over. Then runs the dynamic loader to show the binary "works".
+
+use depchaos_loader::{analyze_tree, Environment, GlibcLoader, LdCache};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::samba;
+
+fn main() {
+    let fs = Vfs::local();
+    samba::install(&fs).expect("install samba world");
+
+    println!("$ libtree {}", samba::TOOL_PATH);
+    let tree = analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty())
+        .expect("analyze");
+    print!("{}", tree.render());
+
+    println!();
+    println!("...yet the dynamic loader succeeds (soname-cache dedup):");
+    let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).expect("load");
+    println!(
+        "  loaded {} objects, success = {}, misses hidden by dedup = {}",
+        r.objects.len(),
+        r.success(),
+        tree.missing().len()
+    );
+}

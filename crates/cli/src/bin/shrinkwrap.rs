@@ -1,0 +1,39 @@
+//! `shrinkwrap` — wrap the Table II emacs workload and show the effect.
+
+use depchaos_core::{audit, wrap, ShrinkwrapOptions};
+use depchaos_loader::{Environment, GlibcLoader};
+use depchaos_vfs::Vfs;
+use depchaos_workloads::emacs;
+
+fn main() {
+    let fs = Vfs::local();
+    emacs::install(&fs).expect("install emacs world");
+    let env = Environment::bare();
+
+    let before = GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();
+    println!(
+        "before: {} libraries, {} stat/openat calls",
+        before.library_count(),
+        before.stat_openat()
+    );
+
+    let report = wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone()))
+        .expect("wrap");
+    print!("{}", report.render());
+
+    let after = GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();
+    println!(
+        "after:  {} libraries, {} stat/openat calls ({}x fewer)",
+        after.library_count(),
+        after.stat_openat(),
+        before.stat_openat() / after.stat_openat().max(1)
+    );
+
+    let a = audit(&fs, emacs::EXE_PATH, &env).expect("audit");
+    println!(
+        "audit: {} absolute entries, fully frozen = {}, musl-compatible = {}",
+        a.absolute_entries,
+        a.fully_frozen(),
+        a.musl_ok
+    );
+}

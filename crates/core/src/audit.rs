@@ -1,0 +1,151 @@
+//! Post-wrap auditing: is the frozen binary complete, and does it survive a
+//! different loader?
+
+use depchaos_elf::io;
+use depchaos_loader::{Environment, GlibcLoader, MuslLoader};
+use depchaos_vfs::Vfs;
+
+/// Outcome of auditing a (presumably wrapped) binary.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    pub binary: String,
+    /// Needed entries that are absolute paths.
+    pub absolute_entries: usize,
+    /// Needed entries that are still bare sonames (searched at runtime).
+    pub searched_entries: usize,
+    /// Absolute entries whose target is missing or unparseable.
+    pub dangling: Vec<String>,
+    /// Whether a glibc-semantics load succeeds.
+    pub glibc_ok: bool,
+    /// Whether a musl-semantics load succeeds — the §IV incompatibility.
+    pub musl_ok: bool,
+    /// Objects musl loaded twice (inode-distinct duplicates) or failed on.
+    pub musl_issues: Vec<String>,
+}
+
+impl AuditReport {
+    /// Fully frozen: every entry absolute and resolvable under glibc.
+    pub fn fully_frozen(&self) -> bool {
+        self.searched_entries == 0 && self.dangling.is_empty() && self.glibc_ok
+    }
+}
+
+/// Audit a binary's frozen-ness and cross-loader behaviour.
+pub fn audit(fs: &Vfs, binary: &str, env: &Environment) -> Result<AuditReport, String> {
+    let obj = io::peek_object(fs, binary).map_err(|e| e.to_string())?;
+    let absolute: Vec<&String> = obj.needed.iter().filter(|n| n.contains('/')).collect();
+    let searched = obj.needed.len() - absolute.len();
+    let mut dangling = Vec::new();
+    for p in &absolute {
+        if io::peek_object(fs, p).is_err() {
+            dangling.push((*p).clone());
+        }
+    }
+    let glibc_ok = GlibcLoader::new(fs)
+        .with_env(env.clone())
+        .load(binary)
+        .map(|r| r.success())
+        .unwrap_or(false);
+    let (musl_ok, musl_issues) = cross_loader_check(fs, binary, env);
+    Ok(AuditReport {
+        binary: binary.to_string(),
+        absolute_entries: absolute.len(),
+        searched_entries: searched,
+        dangling,
+        glibc_ok,
+        musl_ok,
+        musl_issues,
+    })
+}
+
+/// Load under musl semantics and report failures plus duplicate loads —
+/// the behaviours that make Shrinkwrap "not compatible across other
+/// environments" (§IV).
+pub fn cross_loader_check(fs: &Vfs, binary: &str, env: &Environment) -> (bool, Vec<String>) {
+    match MuslLoader::new(fs).with_env(env.clone()).load(binary) {
+        Ok(r) => {
+            let mut issues: Vec<String> =
+                r.failures.iter().map(|f| format!("unresolved: {}", f.name)).collect();
+            // Duplicate detection: two loaded objects with the same soname.
+            let mut seen = std::collections::HashMap::new();
+            for o in &r.objects {
+                let so = o.object.effective_soname().to_string();
+                if let Some(first) = seen.get(&so) {
+                    issues.push(format!("duplicate load of {so}: {first} and {}", o.path));
+                } else {
+                    seen.insert(so, o.path.clone());
+                }
+            }
+            (r.success() && issues.is_empty(), issues)
+        }
+        Err(e) => (false, vec![e.to_string()]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ShrinkwrapOptions;
+    use crate::wrap::wrap;
+    use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
+
+    fn wrapped_world() -> Vfs {
+        let fs = Vfs::local();
+        // Store-like: the executable's propagating RPATH serves the whole
+        // closure; the libraries carry no search paths of their own.
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libx.so").needs("liby.so").rpath("/l").build(),
+        )
+        .unwrap();
+        install(&fs, "/l/libx.so", &ElfObject::dso("libx.so").needs("libz.so").build()).unwrap();
+        install(&fs, "/l/liby.so", &ElfObject::dso("liby.so").needs("libz.so").build()).unwrap();
+        install(&fs, "/l/libz.so", &ElfObject::dso("libz.so").build()).unwrap();
+        wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        fs
+    }
+
+    #[test]
+    fn wrapped_binary_audits_fully_frozen() {
+        let fs = wrapped_world();
+        let rep = audit(&fs, "/bin/app", &Environment::bare()).unwrap();
+        assert!(rep.fully_frozen(), "{rep:?}");
+        assert_eq!(rep.absolute_entries, 3);
+        assert_eq!(rep.searched_entries, 0);
+        assert!(rep.glibc_ok);
+    }
+
+    #[test]
+    fn musl_divergence_detected() {
+        // Under musl, transitive bare requests (libz.so from libx/liby) are
+        // rescued by inode dedup only if a search can find the same file —
+        // here there is no search path left after wrapping, so musl fails.
+        let fs = wrapped_world();
+        let rep = audit(&fs, "/bin/app", &Environment::bare()).unwrap();
+        assert!(rep.glibc_ok);
+        assert!(!rep.musl_ok, "the documented musl incompatibility");
+        assert!(rep.musl_issues.iter().any(|i| i.contains("libz.so")));
+    }
+
+    #[test]
+    fn dangling_absolute_entry_reported() {
+        let fs = wrapped_world();
+        fs.remove("/l/libz.so").unwrap();
+        let rep = audit(&fs, "/bin/app", &Environment::bare()).unwrap();
+        assert_eq!(rep.dangling, vec!["/l/libz.so"]);
+        assert!(!rep.fully_frozen());
+    }
+
+    #[test]
+    fn unwrapped_binary_reports_searched_entries() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/plain", &ElfObject::exe("plain").needs("libm.so.6").build()).unwrap();
+        install(&fs, "/usr/lib/libm.so.6", &ElfObject::dso("libm.so.6").build()).unwrap();
+        let rep = audit(&fs, "/bin/plain", &Environment::default()).unwrap();
+        assert_eq!(rep.searched_entries, 1);
+        assert!(!rep.fully_frozen());
+        assert!(rep.glibc_ok);
+    }
+}

@@ -1,0 +1,134 @@
+//! Bulk wrapping: apply Shrinkwrap to every executable under a prefix.
+//!
+//! Real deployments wrap whole install trees (a Spack view, a module's
+//! `bin/`), not single files. [`wrap_tree`] walks a directory, wraps every
+//! dynamic executable it finds, and aggregates the outcome; objects that
+//! are not executables (libraries, data files) are left untouched.
+
+use depchaos_elf::{io, ObjectKind};
+use depchaos_vfs::{path as vpath, Vfs};
+
+use crate::options::ShrinkwrapOptions;
+use crate::report::{WrapError, WrapReport};
+use crate::wrap::wrap;
+
+/// Result of a tree wrap.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    /// Per-binary reports, in path order.
+    pub wrapped: Vec<WrapReport>,
+    /// Binaries that failed to wrap, with the error.
+    pub failed: Vec<(String, WrapError)>,
+    /// Files inspected and skipped (libraries, non-ELF).
+    pub skipped: usize,
+}
+
+impl TreeReport {
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Walk `prefix` recursively and wrap every dynamic executable.
+pub fn wrap_tree(fs: &Vfs, prefix: &str, opts: &ShrinkwrapOptions) -> TreeReport {
+    let mut report = TreeReport::default();
+    let mut stack = vec![prefix.to_string()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs.list_dir(&dir) else { continue };
+        for name in entries {
+            let path = vpath::join(&dir, &name);
+            match fs.peek(&path) {
+                Ok(meta) if meta.kind == depchaos_vfs::FileKind::Dir => stack.push(path),
+                Ok(_) => match io::peek_object(fs, &path) {
+                    Ok(obj)
+                        if obj.kind == ObjectKind::Executable && !obj.needed.is_empty() =>
+                    {
+                        match wrap(fs, &path, opts) {
+                            Ok(r) => report.wrapped.push(r),
+                            Err(e) => report.failed.push((path, e)),
+                        }
+                    }
+                    _ => report.skipped += 1,
+                },
+                Err(_) => report.skipped += 1,
+            }
+        }
+    }
+    report.wrapped.sort_by(|a, b| a.binary.cmp(&b.binary));
+    report.failed.sort_by(|a, b| a.0.cmp(&b.0));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    fn world() -> Vfs {
+        let fs = Vfs::local();
+        install(&fs, "/opt/pkg/lib/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        install(
+            &fs,
+            "/opt/pkg/bin/tool1",
+            &ElfObject::exe("tool1").needs("liba.so").runpath("/opt/pkg/lib").build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/opt/pkg/bin/nested/tool2",
+            &ElfObject::exe("tool2").needs("liba.so").runpath("/opt/pkg/lib").build(),
+        )
+        .unwrap();
+        install(&fs, "/opt/pkg/bin/static_tool", &{
+            let mut o = ElfObject::exe("static_tool").build();
+            o.interp = None;
+            o
+        })
+        .unwrap();
+        fs.write_file_p("/opt/pkg/share/readme.txt", b"docs".to_vec()).unwrap();
+        fs
+    }
+
+    #[test]
+    fn wraps_every_dynamic_executable() {
+        let fs = world();
+        let opts = ShrinkwrapOptions::new().env(Environment::bare());
+        let rep = wrap_tree(&fs, "/opt/pkg", &opts);
+        assert!(rep.all_ok(), "{:?}", rep.failed);
+        let names: Vec<&str> = rep.wrapped.iter().map(|w| w.binary.as_str()).collect();
+        assert_eq!(names, vec!["/opt/pkg/bin/nested/tool2", "/opt/pkg/bin/tool1"]);
+        // Libraries, static binaries, and data files skipped.
+        assert_eq!(rep.skipped, 3);
+        // And the wrapped binaries load search-free.
+        for bin in ["/opt/pkg/bin/tool1", "/opt/pkg/bin/nested/tool2"] {
+            let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(bin).unwrap();
+            assert!(r.success());
+            assert_eq!(r.syscalls.misses, 0);
+        }
+    }
+
+    #[test]
+    fn failures_collected_not_fatal() {
+        let fs = world();
+        install(
+            &fs,
+            "/opt/pkg/bin/broken",
+            &ElfObject::exe("broken").needs("libmissing.so").build(),
+        )
+        .unwrap();
+        let rep = wrap_tree(&fs, "/opt/pkg", &ShrinkwrapOptions::new().env(Environment::bare()));
+        assert_eq!(rep.failed.len(), 1);
+        assert_eq!(rep.failed[0].0, "/opt/pkg/bin/broken");
+        assert_eq!(rep.wrapped.len(), 2, "others still wrapped");
+    }
+
+    #[test]
+    fn empty_or_missing_prefix_is_harmless() {
+        let fs = Vfs::local();
+        let rep = wrap_tree(&fs, "/nowhere", &ShrinkwrapOptions::new());
+        assert!(rep.all_ok());
+        assert!(rep.wrapped.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # depchaos-core — Shrinkwrap
+//!
+//! The paper's contribution: *"freezing the required dependencies directly
+//! into the `DT_NEEDED` section of the binary. Rather than listing the
+//! soname each entry is an absolute path. Furthermore, the transitive
+//! dependency list is lifted to the top-level binary."*
+//!
+//! After [`fn@wrap`], the executable:
+//!
+//! * opens every dependency directly (no directory search — Table II's 36×
+//!   syscall reduction and Fig 6's launch speedups follow);
+//! * loads the whole closure in a frozen, auditable order before any
+//!   transitive request happens, so bare sonames inside libraries are
+//!   satisfied from the loader's dedup cache (Fig 5) and
+//!   `RPATH`/`RUNPATH` interference in transitive objects is moot
+//!   (the ROCm fix, §V-B.1);
+//! * never touches a link line, so duplicate-symbol pairs like
+//!   `libomp`/`libompstubs` wrap fine and keep the user's order (§V-B.2).
+//!
+//! Two resolution strategies, as in the paper:
+//!
+//! * [`Strategy::Ldd`] — ask the actual loader (our glibc model) what it
+//!   would do under current conditions; exact, including dedup effects.
+//! * [`Strategy::Native`] — re-walk the search rules by hand for binaries
+//!   that can't execute here; stricter (a dependency hidden behind the
+//!   dedup cache is reported missing, not silently inherited).
+//!
+//! Limits faithfully reproduced: `LD_PRELOAD` still interposes (the PMPI
+//! escape hatch keeps working), `LD_LIBRARY_PATH` no longer does, and musl
+//! loads shrinkwrapped output incorrectly ([`audit::cross_loader_check`]).
+
+pub mod audit;
+pub mod batch;
+pub mod native;
+pub mod options;
+pub mod report;
+pub mod wrap;
+
+pub use audit::{audit, cross_loader_check, AuditReport};
+pub use batch::{wrap_tree, TreeReport};
+pub use options::{OnMissing, ShrinkwrapOptions, Strategy};
+pub use report::{WrapError, WrapReport, WrapWarning};
+pub use wrap::wrap;

@@ -1,0 +1,242 @@
+//! The *native* resolution strategy (§IV).
+//!
+//! For binaries that cannot execute on the wrapping host (cross-platform
+//! images, foreign loaders), Shrinkwrap "traverses the filesystem the way
+//! that the loader would". This module re-implements the glibc search rules
+//! against the VFS directly — independently of [`depchaos_loader`] — with
+//! the corner cases the paper calls out: wrong-architecture candidates are
+//! detected and skipped, and hwcaps subdirectories are probed first.
+//!
+//! The semantic difference from the `Ldd` strategy: resolution is
+//! *per-object*, with no soname dedup cache, so a dependency that only
+//! works because something else loads it earlier is reported missing here
+//! rather than silently inherited.
+
+use std::collections::HashMap;
+
+use depchaos_elf::{io, ElfObject, Machine};
+use depchaos_loader::{Environment, LdCache};
+use depchaos_vfs::{path as vpath, Vfs};
+
+/// A per-request resolution outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeResolution {
+    pub requester: String,
+    pub name: String,
+    /// Resolved absolute path, or `None`.
+    pub path: Option<String>,
+}
+
+/// Resolve the full closure of `exe_path` natively, breadth-first.
+/// Returns resolutions in BFS request order (first occurrence only).
+pub fn resolve_closure(
+    fs: &Vfs,
+    exe_path: &str,
+    env: &Environment,
+    cache: &LdCache,
+) -> Result<Vec<NativeResolution>, String> {
+    let exe = io::peek_object(fs, exe_path).map_err(|e| e.to_string())?;
+    let want_arch = exe.machine;
+    let mut out = Vec::new();
+    // path → object for chain reconstruction; resolution_seen dedups output.
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    // BFS queue of (ancestor chain as (object, path) indices, name).
+    let mut loaded: Vec<(ElfObject, String)> = vec![(exe.clone(), exe_path.to_string())];
+    let mut queue: Vec<(usize, String)> =
+        exe.needed.iter().map(|n| (0usize, n.clone())).collect();
+    let mut qi = 0usize;
+    while qi < queue.len() {
+        let (req_idx, name) = queue[qi].clone();
+        qi += 1;
+        let key = name.clone();
+        if seen.contains_key(&key) {
+            continue;
+        }
+        seen.insert(key, ());
+        let chain = ancestor_chain(&loaded, req_idx);
+        let requester = loaded[req_idx].1.clone();
+        match resolve_one(fs, env, cache, want_arch, &chain, &name) {
+            Some((path, obj)) => {
+                out.push(NativeResolution {
+                    requester: requester.clone(),
+                    name,
+                    path: Some(path.clone()),
+                });
+                if !loaded.iter().any(|(_, p)| p == &path) {
+                    loaded.push((obj.clone(), path));
+                    let new_idx = loaded.len() - 1;
+                    for n in &obj.needed {
+                        queue.push((new_idx, n.clone()));
+                    }
+                }
+            }
+            None => out.push(NativeResolution { requester, name, path: None }),
+        }
+    }
+    Ok(out)
+}
+
+/// Reconstruct the requester-to-executable chain for RPATH walking.
+/// In this static traversal the chain is simply requester → executable,
+/// because per-object resolution does not track who loaded whom beyond the
+/// direct parent (loaded[0] is always the executable).
+fn ancestor_chain(loaded: &[(ElfObject, String)], req_idx: usize) -> Vec<(ElfObject, String)> {
+    if req_idx == 0 {
+        vec![loaded[0].clone()]
+    } else {
+        vec![loaded[req_idx].clone(), loaded[0].clone()]
+    }
+}
+
+fn resolve_one(
+    fs: &Vfs,
+    env: &Environment,
+    cache: &LdCache,
+    want_arch: Machine,
+    chain: &[(ElfObject, String)],
+    name: &str,
+) -> Option<(String, ElfObject)> {
+    if name.contains('/') {
+        return open_checked(fs, name, want_arch);
+    }
+    let requester = &chain[0].0;
+
+    // RPATH chain (suppressed by requester RUNPATH), then LD_LIBRARY_PATH,
+    // then requester RUNPATH, then cache, then defaults.
+    if requester.runpath.is_empty() {
+        for (obj, opath) in chain {
+            if !obj.runpath.is_empty() {
+                continue;
+            }
+            for entry in &obj.rpath {
+                let dir = vpath::expand_origin(entry, &vpath::parent(opath));
+                if let Some(hit) = probe(fs, &dir, name, want_arch, &env.hwcaps) {
+                    return Some(hit);
+                }
+            }
+        }
+    }
+    for dir in &env.ld_library_path {
+        if let Some(hit) = probe(fs, dir, name, want_arch, &env.hwcaps) {
+            return Some(hit);
+        }
+    }
+    let (requester, rpath_owner) = (&chain[0].0, &chain[0].1);
+    for entry in &requester.runpath {
+        let dir = vpath::expand_origin(entry, &vpath::parent(rpath_owner));
+        if let Some(hit) = probe(fs, &dir, name, want_arch, &env.hwcaps) {
+            return Some(hit);
+        }
+    }
+    if let Some(path) = cache.lookup(name, want_arch) {
+        if let Some(hit) = open_checked(fs, path, want_arch) {
+            return Some(hit);
+        }
+    }
+    for dir in &env.default_paths {
+        if let Some(hit) = probe(fs, dir, name, want_arch, &env.hwcaps) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Probe one directory: hwcaps first, then plain — unaccounted (the wrap
+/// tool's own traversal is not process startup; its cost is measured by the
+/// shrinkwrap_cost bench at the wall-clock level instead).
+fn probe(
+    fs: &Vfs,
+    dir: &str,
+    name: &str,
+    want_arch: Machine,
+    hwcaps: &[String],
+) -> Option<(String, ElfObject)> {
+    for sub in hwcaps.iter().map(String::as_str).chain(std::iter::once("")) {
+        let full = if sub.is_empty() {
+            vpath::join(dir, name)
+        } else {
+            vpath::join(&vpath::join(dir, sub), name)
+        };
+        if let Some(hit) = open_checked(fs, &full, want_arch) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+fn open_checked(fs: &Vfs, path: &str, want_arch: Machine) -> Option<(String, ElfObject)> {
+    let bytes = fs.peek_file(path).ok()?;
+    let obj = ElfObject::parse(&bytes).ok()?;
+    // The System V rule Shrinkwrap must replicate: silently ignore
+    // wrong-architecture candidates (ubiquitous on multi-ABI systems).
+    if obj.machine != want_arch {
+        return None;
+    }
+    Some((path.to_string(), obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+
+    #[test]
+    fn resolves_simple_closure() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("liba.so").runpath("/l").build())
+            .unwrap();
+        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").needs("libb.so").runpath("/l").build())
+            .unwrap();
+        install(&fs, "/l/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        let rs = resolve_closure(&fs, "/bin/app", &Environment::bare(), &LdCache::empty()).unwrap();
+        let paths: Vec<_> = rs.iter().filter_map(|r| r.path.as_deref()).collect();
+        assert_eq!(paths, vec!["/l/liba.so", "/l/libb.so"]);
+    }
+
+    #[test]
+    fn skips_wrong_arch() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libm.so").runpath("/x").runpath("/y").build()).unwrap();
+        install(&fs, "/x/libm.so", &ElfObject::dso("libm.so").machine(Machine::Aarch64).build())
+            .unwrap();
+        install(&fs, "/y/libm.so", &ElfObject::dso("libm.so").build()).unwrap();
+        let rs = resolve_closure(&fs, "/bin/app", &Environment::bare(), &LdCache::empty()).unwrap();
+        assert_eq!(rs[0].path.as_deref(), Some("/y/libm.so"));
+    }
+
+    #[test]
+    fn stricter_than_ldd_about_hidden_deps() {
+        // A dep reachable only because a sibling loads it first: the ldd
+        // strategy inherits it via dedup; native reports it missing for the
+        // object that cannot find it... unless the first resolution already
+        // covered the same soname (BFS first-occurrence rule). Requesting
+        // under a *different* soname shows the strictness.
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libok.so").needs("libnopath.so").runpath("/l").build(),
+        )
+        .unwrap();
+        install(&fs, "/l/libok.so", &ElfObject::dso("libok.so").build()).unwrap();
+        install(&fs, "/l/libnopath.so", &ElfObject::dso("libnopath.so").needs("libhidden.so").build())
+            .unwrap();
+        install(&fs, "/hidden/libhidden.so", &ElfObject::dso("libhidden.so").build()).unwrap();
+        let rs = resolve_closure(&fs, "/bin/app", &Environment::bare(), &LdCache::empty()).unwrap();
+        let hidden = rs.iter().find(|r| r.name == "libhidden.so").unwrap();
+        assert!(hidden.path.is_none(), "native strategy surfaces the gap");
+    }
+
+    #[test]
+    fn hwcaps_respected() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libv.so").runpath("/l").build())
+            .unwrap();
+        install(&fs, "/l/glibc-hwcaps/x86-64-v3/libv.so", &ElfObject::dso("libv.so").build())
+            .unwrap();
+        install(&fs, "/l/libv.so", &ElfObject::dso("libv.so").build()).unwrap();
+        let env = Environment::bare().with_hwcaps(["glibc-hwcaps/x86-64-v3"]);
+        let rs = resolve_closure(&fs, "/bin/app", &env, &LdCache::empty()).unwrap();
+        assert_eq!(rs[0].path.as_deref(), Some("/l/glibc-hwcaps/x86-64-v3/libv.so"));
+    }
+}

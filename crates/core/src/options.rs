@@ -1,0 +1,116 @@
+//! Shrinkwrap configuration.
+
+use depchaos_loader::{Environment, LdCache};
+
+/// How dependencies are resolved to absolute paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Run the loader (like `ld.so --list`) and freeze what it reports.
+    /// Exact for the current system, including soname-dedup effects.
+    #[default]
+    Ldd,
+    /// Walk the filesystem the way the loader would, without executing it.
+    /// Works for foreign binaries; stricter about hidden-missing paths.
+    Native,
+}
+
+/// What to do when a dependency cannot be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnMissing {
+    /// Fail the wrap (default — a wrapped binary must be complete).
+    #[default]
+    Error,
+    /// Keep the unresolved soname as-is and record a warning.
+    Keep,
+}
+
+/// Options for [`crate::wrap()`].
+#[derive(Debug, Clone, Default)]
+pub struct ShrinkwrapOptions {
+    pub strategy: Strategy,
+    pub on_missing: OnMissing,
+    /// Environment the resolution runs under (the build environment the
+    /// paper says you inspect and then rely on).
+    pub env: Environment,
+    /// ld.so.cache of the resolution system.
+    pub cache: LdCache,
+    /// Promote each object's `dlopen` hints into the needed list before
+    /// resolving, so runtime-loaded modules are frozen too (the python-
+    /// modules pattern from §IV).
+    pub declare_dlopens: bool,
+    /// Clear `RPATH`/`RUNPATH` on the wrapped binary (they are dead weight
+    /// once every entry is absolute).
+    pub strip_search_paths: bool,
+    /// Emit warnings for duplicate strong symbols across the closure
+    /// (Shrinkwrap "does not explicitly check symbol shadowing ... it
+    /// preserves the order the user set"; the check is advisory).
+    pub warn_duplicate_symbols: bool,
+}
+
+impl ShrinkwrapOptions {
+    pub fn new() -> Self {
+        ShrinkwrapOptions {
+            strip_search_paths: true,
+            warn_duplicate_symbols: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    pub fn on_missing(mut self, m: OnMissing) -> Self {
+        self.on_missing = m;
+        self
+    }
+
+    pub fn env(mut self, env: Environment) -> Self {
+        self.env = env;
+        self
+    }
+
+    pub fn cache(mut self, cache: LdCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    pub fn declare_dlopens(mut self, yes: bool) -> Self {
+        self.declare_dlopens = yes;
+        self
+    }
+
+    pub fn strip_search_paths(mut self, yes: bool) -> Self {
+        self.strip_search_paths = yes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let o = ShrinkwrapOptions::new();
+        assert_eq!(o.strategy, Strategy::Ldd);
+        assert_eq!(o.on_missing, OnMissing::Error);
+        assert!(o.strip_search_paths);
+        assert!(o.warn_duplicate_symbols);
+        assert!(!o.declare_dlopens);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = ShrinkwrapOptions::new()
+            .strategy(Strategy::Native)
+            .on_missing(OnMissing::Keep)
+            .declare_dlopens(true)
+            .strip_search_paths(false);
+        assert_eq!(o.strategy, Strategy::Native);
+        assert_eq!(o.on_missing, OnMissing::Keep);
+        assert!(o.declare_dlopens);
+        assert!(!o.strip_search_paths);
+    }
+}

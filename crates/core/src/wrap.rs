@@ -1,0 +1,360 @@
+//! The wrap operation itself.
+
+use std::collections::HashMap;
+
+use depchaos_elf::{io, ElfEditor, SymbolBinding};
+use depchaos_loader::GlibcLoader;
+use depchaos_vfs::Vfs;
+
+use crate::native::resolve_closure;
+use crate::options::{OnMissing, ShrinkwrapOptions, Strategy};
+use crate::report::{WrapError, WrapReport, WrapWarning};
+
+/// Shrinkwrap `binary_path` in place: resolve its full transitive closure,
+/// lift it to the top level, and freeze every entry as an absolute path.
+pub fn wrap(
+    fs: &Vfs,
+    binary_path: &str,
+    opts: &ShrinkwrapOptions,
+) -> Result<WrapReport, WrapError> {
+    let original = io::peek_object(fs, binary_path)
+        .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
+    let original_needed = original.needed.clone();
+
+    // Optionally promote dlopen hints into the needed list first, so the
+    // resolution pass below sees and freezes them (§IV: "adding the names of
+    // these libraries to the needed section before using Shrinkwrap allows
+    // Shrinkwrap to resolve them as well").
+    let mut warnings = Vec::new();
+    if opts.declare_dlopens {
+        let mut extended = original_needed.clone();
+        for d in &original.dlopens {
+            if !extended.contains(d) {
+                extended.push(d.clone());
+            }
+        }
+        ElfEditor::open(fs, binary_path)
+            .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?
+            .set_needed(extended)
+            .map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+    } else {
+        for d in &original.dlopens {
+            warnings.push(WrapWarning::UndeclaredDlopen {
+                object: binary_path.to_string(),
+                name: d.clone(),
+            });
+        }
+    }
+
+    // Resolve the closure under the chosen strategy. Each entry becomes
+    // (requested-name, Option<absolute path>), in load order.
+    let resolutions: Vec<(String, String, Option<String>)> = match opts.strategy {
+        Strategy::Ldd => {
+            let loader =
+                GlibcLoader::new(fs).with_env(opts.env.clone()).with_cache(opts.cache.clone());
+            let r = loader
+                .load(binary_path)
+                .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
+            let mut out: Vec<(String, String, Option<String>)> = r
+                .objects
+                .iter()
+                .skip(1) // the executable itself
+                .map(|o| {
+                    let requester = o
+                        .parent
+                        .map(|p| r.objects[p].path.clone())
+                        .unwrap_or_else(|| binary_path.to_string());
+                    (requester, o.requested_as[0].clone(), Some(o.path.clone()))
+                })
+                .collect();
+            for f in &r.failures {
+                out.push((f.requester.clone(), f.name.clone(), None));
+            }
+            out
+        }
+        Strategy::Native => resolve_closure(fs, binary_path, &opts.env, &opts.cache)
+            .map_err(WrapError::BadBinary)?
+            .into_iter()
+            .map(|nr| (nr.requester, nr.name, nr.path))
+            .collect(),
+    };
+
+    // Build the frozen list; handle the unresolved per policy.
+    let mut new_needed: Vec<String> = Vec::with_capacity(resolutions.len());
+    let mut resolved_pairs: Vec<(String, String)> = Vec::new();
+    for (requester, name, path) in &resolutions {
+        match path {
+            Some(p) => {
+                if !new_needed.contains(p) {
+                    new_needed.push(p.clone());
+                }
+                resolved_pairs.push((name.clone(), p.clone()));
+            }
+            None => match opts.on_missing {
+                OnMissing::Error => {
+                    return Err(WrapError::Unresolved {
+                        requester: requester.clone(),
+                        name: name.clone(),
+                    })
+                }
+                OnMissing::Keep => {
+                    if !new_needed.contains(name) {
+                        new_needed.push(name.clone());
+                    }
+                    warnings.push(WrapWarning::LeftUnresolved {
+                        requester: requester.clone(),
+                        name: name.clone(),
+                    });
+                }
+            },
+        }
+    }
+
+    // Advisory duplicate-strong-symbol scan over the frozen closure.
+    if opts.warn_duplicate_symbols {
+        let mut owner: HashMap<String, String> = HashMap::new();
+        for path in new_needed.iter().filter(|p| p.contains('/')) {
+            if let Ok(obj) = io::peek_object(fs, path) {
+                for sym in &obj.symbols {
+                    if sym.binding == SymbolBinding::Strong {
+                        if let Some(first) = owner.get(&sym.name) {
+                            warnings.push(WrapWarning::DuplicateStrongSymbol {
+                                symbol: sym.name.clone(),
+                                first: first.clone(),
+                                second: path.clone(),
+                            });
+                        } else {
+                            owner.insert(sym.name.clone(), path.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite the binary.
+    let editor = ElfEditor::open(fs, binary_path)
+        .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
+    editor
+        .set_needed(new_needed.clone())
+        .map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+    if opts.strip_search_paths {
+        editor.remove_rpath().map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+    }
+
+    Ok(WrapReport {
+        binary: binary_path.to_string(),
+        original_needed,
+        new_needed,
+        resolved: resolved_pairs,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+    use depchaos_elf::{ElfObject, Symbol};
+    use depchaos_loader::{Environment, GlibcLoader, Resolution};
+
+    fn world() -> Vfs {
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("liba.so").needs("libb.so").runpath("/l1").runpath("/l2").build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/l1/liba.so",
+            &ElfObject::dso("liba.so").needs("libc6.so").runpath("/l1").runpath("/l2").build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/l2/libb.so",
+            &ElfObject::dso("libb.so").needs("libc6.so").runpath("/l2").build(),
+        )
+        .unwrap();
+        install(&fs, "/l2/libc6.so", &ElfObject::dso("libc6.so").build()).unwrap();
+        fs
+    }
+
+    #[test]
+    fn wrap_freezes_absolute_paths_in_load_order() {
+        let fs = world();
+        let opts = ShrinkwrapOptions::new().env(Environment::bare());
+        let rep = wrap(&fs, "/bin/app", &opts).unwrap();
+        assert_eq!(rep.new_needed, vec!["/l1/liba.so", "/l2/libb.so", "/l2/libc6.so"]);
+        assert_eq!(rep.lifted(), vec!["/l2/libc6.so"]);
+        let obj = io::peek_object(&fs, "/bin/app").unwrap();
+        assert_eq!(obj.needed, rep.new_needed);
+        assert!(obj.runpath.is_empty(), "search paths stripped");
+    }
+
+    #[test]
+    fn wrapped_binary_loads_without_searching() {
+        let fs = world();
+        wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+        assert!(r.success());
+        // Every load was direct or a dedup — zero search misses.
+        assert_eq!(r.syscalls.misses, 0);
+        // Transitive bare requests were satisfied from the soname cache.
+        assert!(r
+            .events
+            .iter()
+            .filter(|e| !e.name.contains('/'))
+            .all(|e| matches!(e.resolution, Resolution::Deduped { .. })));
+    }
+
+    #[test]
+    fn wrap_is_idempotent() {
+        let fs = world();
+        let opts = ShrinkwrapOptions::new().env(Environment::bare());
+        let first = wrap(&fs, "/bin/app", &opts).unwrap();
+        let second = wrap(&fs, "/bin/app", &opts).unwrap();
+        assert_eq!(first.new_needed, second.new_needed);
+        let obj = io::peek_object(&fs, "/bin/app").unwrap();
+        assert_eq!(obj.needed, first.new_needed);
+    }
+
+    #[test]
+    fn missing_dep_errors_by_default_keep_on_request() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libghost.so").build()).unwrap();
+        let err = wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare()))
+            .unwrap_err();
+        assert!(matches!(err, WrapError::Unresolved { .. }));
+
+        let rep = wrap(
+            &fs,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).on_missing(OnMissing::Keep),
+        )
+        .unwrap();
+        assert_eq!(rep.new_needed, vec!["libghost.so"]);
+        assert!(matches!(rep.warnings[0], WrapWarning::LeftUnresolved { .. }));
+    }
+
+    #[test]
+    fn native_strategy_matches_ldd_on_clean_closures() {
+        let fs = world();
+        let ldd =
+            wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+
+        let fs2 = world();
+        let native = wrap(
+            &fs2,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).strategy(Strategy::Native),
+        )
+        .unwrap();
+        assert_eq!(ldd.new_needed, native.new_needed);
+    }
+
+    #[test]
+    fn duplicate_symbols_warned_not_fatal() {
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/v/libomp.so",
+            &ElfObject::dso("libomp.so").defines(Symbol::strong("omp_go")).build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/v/libompstubs.so",
+            &ElfObject::dso("libompstubs.so").defines(Symbol::strong("omp_go")).build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libompstubs.so").needs("libomp.so").runpath("/v").build(),
+        )
+        .unwrap();
+        let rep =
+            wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        assert!(rep
+            .warnings
+            .iter()
+            .any(|w| matches!(w, WrapWarning::DuplicateStrongSymbol { .. })));
+        // Order preserved: stubs stay first, exactly as the user linked it.
+        assert_eq!(rep.new_needed, vec!["/v/libompstubs.so", "/v/libomp.so"]);
+    }
+
+    #[test]
+    fn declare_dlopens_freezes_runtime_loads() {
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").runpath("/l").dlopens("libplugin.so").build(),
+        )
+        .unwrap();
+        install(&fs, "/l/libplugin.so", &ElfObject::dso("libplugin.so").build()).unwrap();
+
+        // Without the option: warning only.
+        let rep = wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        assert!(rep.warnings.iter().any(|w| matches!(w, WrapWarning::UndeclaredDlopen { .. })));
+        assert!(rep.new_needed.is_empty());
+
+        // With it: the plugin is frozen like any needed entry.
+        let fs2 = Vfs::local();
+        install(
+            &fs2,
+            "/bin/app",
+            &ElfObject::exe("app").runpath("/l").dlopens("libplugin.so").build(),
+        )
+        .unwrap();
+        install(&fs2, "/l/libplugin.so", &ElfObject::dso("libplugin.so").build()).unwrap();
+        let rep2 = wrap(
+            &fs2,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).declare_dlopens(true),
+        )
+        .unwrap();
+        assert_eq!(rep2.new_needed, vec!["/l/libplugin.so"]);
+    }
+
+    #[test]
+    fn ld_preload_still_interposes_after_wrap() {
+        // The paper: "The use of LD_PRELOAD remains viable ... traditional
+        // preloaded tools continue to work as normal."
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/l/libreal.so",
+            &ElfObject::dso("libreal.so").defines(Symbol::strong("MPI_Send")).build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/tools/libpmpi.so",
+            &ElfObject::dso("libpmpi.so").defines(Symbol::strong("MPI_Send")).build(),
+        )
+        .unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libreal.so").runpath("/l").build())
+            .unwrap();
+        wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        let env = Environment::bare().with_preload("/tools/libpmpi.so");
+        let r = GlibcLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.bindings()["MPI_Send"], "/tools/libpmpi.so");
+    }
+
+    #[test]
+    fn ld_library_path_no_longer_overrides() {
+        // "Referencing dependencies by their absolute path makes it
+        // impossible to swap out dependencies ... using LD_LIBRARY_PATH."
+        let fs = world();
+        install(&fs, "/override/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        let env = Environment::bare().with_ld_library_path("/override");
+        let r = GlibcLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+        assert_eq!(r.find("liba.so").unwrap().path, "/l1/liba.so", "override ignored");
+    }
+}

@@ -1,0 +1,192 @@
+//! A patchelf-equivalent: in-place dynamic-section rewriting.
+//!
+//! Store-model package managers (§II-D) fix up binaries post-build with
+//! `patchelf`; Shrinkwrap itself "freezes the required dependencies directly
+//! into the `DT_NEEDED` section". [`ElfEditor`] is that capability over the
+//! simulated filesystem: read-modify-write of one object's dynamic section.
+
+use depchaos_vfs::Vfs;
+
+use crate::io::{peek_object, ReadError};
+use crate::object::ElfObject;
+
+/// Editor handle bound to one file in one VFS.
+pub struct ElfEditor<'fs> {
+    fs: &'fs Vfs,
+    path: String,
+}
+
+impl<'fs> ElfEditor<'fs> {
+    /// Open `path` for editing. Fails if the file is missing or not an
+    /// object.
+    pub fn open(fs: &'fs Vfs, path: impl Into<String>) -> Result<Self, ReadError> {
+        let path = path.into();
+        peek_object(fs, &path)?;
+        Ok(ElfEditor { fs, path })
+    }
+
+    /// Read the current object.
+    pub fn object(&self) -> Result<ElfObject, ReadError> {
+        peek_object(self.fs, &self.path)
+    }
+
+    /// Apply `f` to the object and write it back. Returns the new object.
+    ///
+    /// The write is atomic at the VFS level (single `write_file`), matching
+    /// patchelf's rewrite-then-rename discipline.
+    pub fn patch<F>(&self, f: F) -> Result<ElfObject, ReadError>
+    where
+        F: FnOnce(&mut ElfObject),
+    {
+        let mut obj = self.object()?;
+        f(&mut obj);
+        self.fs
+            .write_file(&self.path, obj.to_bytes())
+            .map_err(ReadError::Fs)?;
+        Ok(obj)
+    }
+
+    // Convenience wrappers mirroring patchelf's CLI.
+
+    /// `patchelf --set-soname`
+    pub fn set_soname(&self, soname: &str) -> Result<ElfObject, ReadError> {
+        self.patch(|o| o.soname = Some(soname.to_string()))
+    }
+
+    /// `patchelf --add-needed` (prepends, like patchelf does)
+    pub fn add_needed(&self, needed: &str) -> Result<ElfObject, ReadError> {
+        self.patch(|o| o.needed.insert(0, needed.to_string()))
+    }
+
+    /// `patchelf --remove-needed`
+    pub fn remove_needed(&self, needed: &str) -> Result<ElfObject, ReadError> {
+        self.patch(|o| o.needed.retain(|n| n != needed))
+    }
+
+    /// `patchelf --replace-needed`
+    pub fn replace_needed(&self, from: &str, to: &str) -> Result<ElfObject, ReadError> {
+        self.patch(|o| {
+            for n in &mut o.needed {
+                if n == from {
+                    *n = to.to_string();
+                }
+            }
+        })
+    }
+
+    /// Replace the entire needed list (Shrinkwrap's main operation).
+    pub fn set_needed(&self, needed: Vec<String>) -> Result<ElfObject, ReadError> {
+        self.patch(|o| o.needed = needed)
+    }
+
+    /// `patchelf --set-rpath` in RUNPATH mode (the patchelf default).
+    pub fn set_runpath(&self, paths: Vec<String>) -> Result<ElfObject, ReadError> {
+        self.patch(|o| {
+            o.runpath = paths;
+            o.rpath.clear();
+        })
+    }
+
+    /// `patchelf --set-rpath --force-rpath`.
+    pub fn set_rpath(&self, paths: Vec<String>) -> Result<ElfObject, ReadError> {
+        self.patch(|o| {
+            o.rpath = paths;
+            o.runpath.clear();
+        })
+    }
+
+    /// `patchelf --remove-rpath` (clears both flavours).
+    pub fn remove_rpath(&self) -> Result<ElfObject, ReadError> {
+        self.patch(|o| {
+            o.rpath.clear();
+            o.runpath.clear();
+        })
+    }
+
+    /// `patchelf --set-interpreter`.
+    pub fn set_interp(&self, interp: &str) -> Result<ElfObject, ReadError> {
+        self.patch(|o| o.interp = Some(interp.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::install;
+
+    fn setup() -> Vfs {
+        let fs = Vfs::local();
+        let obj = ElfObject::exe("app")
+            .needs("liba.so")
+            .needs("libb.so")
+            .rpath("/old/lib")
+            .build();
+        install(&fs, "/bin/app", &obj).unwrap();
+        fs
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let fs = Vfs::local();
+        assert!(ElfEditor::open(&fs, "/bin/ghost").is_err());
+    }
+
+    #[test]
+    fn add_remove_replace_needed() {
+        let fs = setup();
+        let ed = ElfEditor::open(&fs, "/bin/app").unwrap();
+        ed.add_needed("libnew.so").unwrap();
+        assert_eq!(ed.object().unwrap().needed, vec!["libnew.so", "liba.so", "libb.so"]);
+        ed.remove_needed("liba.so").unwrap();
+        assert_eq!(ed.object().unwrap().needed, vec!["libnew.so", "libb.so"]);
+        ed.replace_needed("libb.so", "/abs/libb.so").unwrap();
+        assert_eq!(ed.object().unwrap().needed, vec!["libnew.so", "/abs/libb.so"]);
+    }
+
+    #[test]
+    fn runpath_and_rpath_are_mutually_exclusive_when_set() {
+        let fs = setup();
+        let ed = ElfEditor::open(&fs, "/bin/app").unwrap();
+        ed.set_runpath(vec!["/new/lib".into()]).unwrap();
+        let o = ed.object().unwrap();
+        assert!(o.rpath.is_empty());
+        assert_eq!(o.runpath, vec!["/new/lib"]);
+        ed.set_rpath(vec!["/forced".into()]).unwrap();
+        let o = ed.object().unwrap();
+        assert_eq!(o.rpath, vec!["/forced"]);
+        assert!(o.runpath.is_empty());
+        ed.remove_rpath().unwrap();
+        let o = ed.object().unwrap();
+        assert!(o.rpath.is_empty() && o.runpath.is_empty());
+    }
+
+    #[test]
+    fn patch_persists_to_vfs() {
+        let fs = setup();
+        {
+            let ed = ElfEditor::open(&fs, "/bin/app").unwrap();
+            ed.set_needed(vec!["/only/one.so".into()]).unwrap();
+        }
+        let back = peek_object(&fs, "/bin/app").unwrap();
+        assert_eq!(back.needed, vec!["/only/one.so"]);
+    }
+
+    #[test]
+    fn set_interp_rewrites_program_interpreter() {
+        let fs = setup();
+        let ed = ElfEditor::open(&fs, "/bin/app").unwrap();
+        ed.set_interp("/nix/store/x-glibc/lib/ld-linux.so.2").unwrap();
+        assert_eq!(
+            ed.object().unwrap().interp.as_deref(),
+            Some("/nix/store/x-glibc/lib/ld-linux.so.2")
+        );
+    }
+
+    #[test]
+    fn edits_are_unaccounted() {
+        let fs = setup();
+        let ed = ElfEditor::open(&fs, "/bin/app").unwrap();
+        ed.set_soname("app.so.1").unwrap();
+        assert_eq!(fs.snapshot().total(), 0);
+    }
+}

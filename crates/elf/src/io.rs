@@ -1,0 +1,97 @@
+//! Reading and installing ELF objects in a [`Vfs`].
+
+use depchaos_vfs::{Vfs, VfsError};
+
+use crate::format::ParseError;
+use crate::object::ElfObject;
+
+/// Errors when loading an object from the filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadError {
+    Fs(VfsError),
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Fs(e) => write!(f, "{e}"),
+            ReadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<VfsError> for ReadError {
+    fn from(e: VfsError) -> Self {
+        ReadError::Fs(e)
+    }
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        ReadError::Parse(e)
+    }
+}
+
+/// Write `obj` at `path`, creating parent directories. Unaccounted (package
+/// installation is not part of process startup).
+pub fn install(fs: &Vfs, path: &str, obj: &ElfObject) -> Result<(), VfsError> {
+    fs.write_file_p(path, obj.to_bytes())?;
+    Ok(())
+}
+
+/// Read and parse an object, **accounted** as the loader mapping it
+/// (an `openat` + `read` against the VFS cost model).
+pub fn read_object(fs: &Vfs, path: &str) -> Result<ElfObject, ReadError> {
+    fs.open(path)?;
+    let bytes = fs.read_file(path)?;
+    Ok(ElfObject::parse(&bytes)?)
+}
+
+/// Read and parse an object without accounting (tooling, assertions).
+pub fn peek_object(fs: &Vfs, path: &str) -> Result<ElfObject, ReadError> {
+    let bytes = fs.peek_file(path)?;
+    Ok(ElfObject::parse(&bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_read_roundtrip_counts() {
+        let fs = Vfs::local();
+        let obj = ElfObject::dso("libz.so.1").needs("libc.so.6").build();
+        install(&fs, "/usr/lib/libz.so.1", &obj).unwrap();
+        assert_eq!(fs.snapshot().total(), 0, "install is unaccounted");
+        let got = read_object(&fs, "/usr/lib/libz.so.1").unwrap();
+        assert_eq!(got, obj);
+        let s = fs.snapshot();
+        assert_eq!(s.openat, 1);
+        assert_eq!(s.read, 1);
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let fs = Vfs::local();
+        let obj = ElfObject::dso("liba.so").build();
+        install(&fs, "/lib/liba.so", &obj).unwrap();
+        assert_eq!(peek_object(&fs, "/lib/liba.so").unwrap(), obj);
+        assert_eq!(fs.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn read_missing_is_fs_error() {
+        let fs = Vfs::local();
+        assert!(matches!(read_object(&fs, "/nope"), Err(ReadError::Fs(_))));
+    }
+
+    #[test]
+    fn read_garbage_is_parse_error() {
+        let fs = Vfs::local();
+        fs.write_file_p("/lib/garbage.so", b"not an object".to_vec()).unwrap();
+        assert!(matches!(read_object(&fs, "/lib/garbage.so"), Err(ReadError::Parse(_))));
+    }
+}

@@ -1,0 +1,43 @@
+//! # depchaos-elf — the dynamic-linking view of an ELF object
+//!
+//! The paper's subject matter lives entirely in a handful of ELF structures:
+//! the `DT_NEEDED` list, `DT_SONAME`, `DT_RPATH` / `DT_RUNPATH`, the program
+//! interpreter, the machine architecture (the System V ABI says candidates of
+//! the wrong architecture are *silently skipped* during search), and the
+//! dynamic symbol table (duplicate strong symbols are what break the
+//! "needy executables" link-line workaround in §V-B.2).
+//!
+//! This crate models exactly those structures — nothing else of ELF matters
+//! to loader behaviour — plus:
+//!
+//! * a [`builder`](ElfObject::exe) API for constructing objects in tests and
+//!   workload generators,
+//! * a compact, deterministic serialisation ([`mod@format`]) so objects are real
+//!   files inside a [`depchaos_vfs::Vfs`],
+//! * a patchelf-equivalent [`editor::ElfEditor`] that rewrites dynamic
+//!   sections in place (what Shrinkwrap uses),
+//! * duplicate-strong-symbol link checking ([`symbols::check_link`]).
+//!
+//! ```
+//! use depchaos_elf::{ElfObject, Machine};
+//! let exe = ElfObject::exe("app")
+//!     .machine(Machine::X86_64)
+//!     .needs("liba.so.1")
+//!     .runpath("/opt/app/lib")
+//!     .build();
+//! let bytes = exe.to_bytes();
+//! assert_eq!(ElfObject::parse(&bytes).unwrap(), exe);
+//! ```
+
+pub mod editor;
+pub mod format;
+pub mod io;
+pub mod machine;
+pub mod object;
+pub mod symbols;
+
+pub use editor::ElfEditor;
+pub use format::ParseError;
+pub use machine::Machine;
+pub use object::{DepPin, ElfObject, ObjectBuilder, ObjectKind, SearchDir, SearchPosition};
+pub use symbols::{check_link, LinkError, Symbol, SymbolBinding};

@@ -1,0 +1,68 @@
+//! Property tests: serialisation roundtrip over arbitrary objects.
+
+use depchaos_elf::{ElfObject, Machine, Symbol};
+use proptest::prelude::*;
+
+fn name_strat() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._-]{0,12}(\\.so)?(\\.[0-9]{1,2})?".prop_map(|s| s)
+}
+
+fn path_strat() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9._-]{1,8}", 1..4).prop_map(|v| format!("/{}", v.join("/")))
+}
+
+fn machine_strat() -> impl Strategy<Value = Machine> {
+    prop::sample::select(Machine::all().to_vec())
+}
+
+prop_compose! {
+    fn object_strat()(
+        name in name_strat(),
+        is_exe in any::<bool>(),
+        machine in machine_strat(),
+        soname in prop::option::of(name_strat()),
+        needed in prop::collection::vec(name_strat(), 0..8),
+        rpath in prop::collection::vec(path_strat(), 0..4),
+        runpath in prop::collection::vec(path_strat(), 0..4),
+        strongs in prop::collection::vec("[a-z_][a-z0-9_]{0,10}", 0..5),
+        weaks in prop::collection::vec("[a-z_][a-z0-9_]{0,10}", 0..3),
+        undefined in prop::collection::vec("[a-z_][a-z0-9_]{0,10}", 0..3),
+        dlopens in prop::collection::vec(name_strat(), 0..3),
+        size in 0u64..1_000_000_000,
+    ) -> ElfObject {
+        let mut b = if is_exe { ElfObject::exe(name) } else { ElfObject::dso(name) };
+        b = b.machine(machine);
+        if let Some(s) = soname { b = b.soname(s); }
+        b = b.needs_all(needed).rpath_all(rpath).runpath_all(runpath);
+        for s in strongs { b = b.defines(Symbol::strong(s)); }
+        for w in weaks { b = b.defines(Symbol::weak(w)); }
+        for u in undefined { b = b.imports(u); }
+        for d in dlopens { b = b.dlopens(d); }
+        b.virtual_size(size).build()
+    }
+}
+
+proptest! {
+    /// parse(to_bytes(o)) == o for every constructible object.
+    #[test]
+    fn roundtrip(obj in object_strat()) {
+        let parsed = ElfObject::parse(&obj.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, obj);
+    }
+
+    /// Serialisation is deterministic: same object, same bytes.
+    #[test]
+    fn deterministic(obj in object_strat()) {
+        prop_assert_eq!(obj.to_bytes(), obj.to_bytes());
+    }
+
+    /// sniff accepts every real object and rejects prefix-mangled blobs.
+    #[test]
+    fn sniffing(obj in object_strat(), junk in any::<u8>()) {
+        let bytes = obj.to_bytes();
+        prop_assert!(ElfObject::sniff(&bytes));
+        let mut mangled = bytes.clone();
+        mangled[0] = mangled[0].wrapping_add(junk.max(1));
+        prop_assert!(!ElfObject::sniff(&mangled));
+    }
+}

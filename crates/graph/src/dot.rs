@@ -1,0 +1,49 @@
+//! Graphviz DOT export (Fig 2's "snarl" rendering).
+
+use crate::graph::DepGraph;
+
+/// Render the graph in DOT. Node labels are the interned names; edges point
+/// from dependent to dependency, like the paper's Fig 2.
+pub fn to_dot(g: &DepGraph, graph_name: &str) -> String {
+    let mut s = String::with_capacity(64 * g.node_count());
+    s.push_str(&format!("digraph \"{}\" {{\n", escape(graph_name)));
+    s.push_str("  rankdir=TB;\n  node [shape=box, fontsize=8];\n");
+    for n in g.nodes() {
+        s.push_str(&format!("  n{} [label=\"{}\"];\n", n.0, escape(g.name(n))));
+    }
+    for n in g.nodes() {
+        for &d in g.deps(n) {
+            s.push_str(&format!("  n{} -> n{};\n", n.0, d.0));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = DepGraph::new();
+        g.depend("ruby-2.7.5.drv", "gcc-10.3.0.drv");
+        let dot = to_dot(&g, "ruby");
+        assert!(dot.starts_with("digraph \"ruby\""));
+        assert!(dot.contains("label=\"ruby-2.7.5.drv\""));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g = DepGraph::new();
+        g.add_node("weird\"name");
+        let dot = to_dot(&g, "g");
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,286 @@
+//! A compact directed dependency graph over interned names.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Index of a node in a [`DepGraph`]. Small and `Copy`; graphs in the
+/// workloads reach a few hundred thousand nodes, comfortably within `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Directed graph where an edge `a → b` means "a depends on b".
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    names: Vec<String>,
+    index: HashMap<String, NodeId>,
+    /// Forward adjacency: dependencies of each node, in insertion order
+    /// (order matters: it is the `DT_NEEDED` order for loader replays).
+    deps: Vec<Vec<NodeId>>,
+    /// Reverse adjacency: dependents of each node.
+    rdeps: Vec<Vec<NodeId>>,
+}
+
+impl DepGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or new).
+    pub fn add_node(&mut self, name: impl AsRef<str>) -> NodeId {
+        let name = name.as_ref();
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        self.deps.push(Vec::new());
+        self.rdeps.push(Vec::new());
+        id
+    }
+
+    /// Add `from → to` (idempotent for exact duplicates).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.deps[from.0 as usize].contains(&to) {
+            self.deps[from.0 as usize].push(to);
+            self.rdeps[to.0 as usize].push(from);
+        }
+    }
+
+    /// Convenience: intern both names and add the edge.
+    pub fn depend(&mut self, from: impl AsRef<str>, to: impl AsRef<str>) -> (NodeId, NodeId) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        self.add_edge(f, t);
+        (f, t)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).copied()
+    }
+
+    /// Direct dependencies in insertion order.
+    pub fn deps(&self, id: NodeId) -> &[NodeId] {
+        &self.deps[id.0 as usize]
+    }
+
+    /// Direct dependents.
+    pub fn dependents(&self, id: NodeId) -> &[NodeId] {
+        &self.rdeps[id.0 as usize]
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Transitive closure of `root` in **BFS order, excluding the root** —
+    /// exactly the order in which the glibc loader visits needed entries.
+    pub fn closure_bfs(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.names.len()];
+        seen[root.0 as usize] = true;
+        let mut out = Vec::new();
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(n) = q.pop_front() {
+            for &d in self.deps(n) {
+                if !seen[d.0 as usize] {
+                    seen[d.0 as usize] = true;
+                    out.push(d);
+                    q.push_back(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reverse transitive closure: everything that (transitively) depends on
+    /// `root`, excluding the root. The store model's "domino rebuild" set.
+    pub fn dependents_closure(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.names.len()];
+        seen[root.0 as usize] = true;
+        let mut out = Vec::new();
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(n) = q.pop_front() {
+            for &d in self.dependents(n) {
+                if !seen[d.0 as usize] {
+                    seen[d.0 as usize] = true;
+                    out.push(d);
+                    q.push_back(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Kahn topological sort: dependencies before dependents. `None` if the
+    /// graph has a cycle.
+    pub fn topo_sort(&self) -> Option<Vec<NodeId>> {
+        let n = self.names.len();
+        // out-degree in the "deps" direction: a node is ready when all its
+        // dependencies are emitted.
+        let mut pending: Vec<usize> = self.deps.iter().map(Vec::len).collect();
+        let mut q: VecDeque<NodeId> =
+            (0..n).filter(|&i| pending[i] == 0).map(|i| NodeId(i as u32)).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(id) = q.pop_front() {
+            out.push(id);
+            for &r in self.dependents(id) {
+                pending[r.0 as usize] -= 1;
+                if pending[r.0 as usize] == 0 {
+                    q.push_back(r);
+                }
+            }
+        }
+        if out.len() == n {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// True if the dependency relation contains a cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// BFS depth of every node reachable from `root` (root = 0); unreachable
+    /// nodes absent.
+    pub fn bfs_levels(&self, root: NodeId) -> HashMap<NodeId, usize> {
+        let mut lv = HashMap::new();
+        lv.insert(root, 0usize);
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(n) = q.pop_front() {
+            let next = lv[&n] + 1;
+            for &d in self.deps(n) {
+                lv.entry(d).or_insert_with(|| {
+                    q.push_back(d);
+                    next
+                });
+            }
+        }
+        lv
+    }
+
+    /// Out-degree histogram: `result[k]` = number of nodes with exactly `k`
+    /// direct dependencies (vector sized to max degree + 1).
+    pub fn out_degree_histogram(&self) -> Vec<usize> {
+        let mut h = Vec::new();
+        for d in &self.deps {
+            let k = d.len();
+            if h.len() <= k {
+                h.resize(k + 1, 0);
+            }
+            h[k] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DepGraph, NodeId, NodeId, NodeId, NodeId) {
+        // app -> liba, libb; liba -> libc; libb -> libc
+        let mut g = DepGraph::new();
+        let app = g.add_node("app");
+        let a = g.add_node("liba");
+        let b = g.add_node("libb");
+        let c = g.add_node("libc");
+        g.add_edge(app, a);
+        g.add_edge(app, b);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        (g, app, a, b, c)
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut g = DepGraph::new();
+        let x1 = g.add_node("x");
+        let x2 = g.add_node("x");
+        assert_eq!(x1, x2);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.lookup("x"), Some(x1));
+        assert_eq!(g.lookup("y"), None);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = DepGraph::new();
+        g.depend("a", "b");
+        g.depend("a", "b");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn bfs_closure_order_and_dedup() {
+        let (g, app, a, b, c) = diamond();
+        let cl = g.closure_bfs(app);
+        assert_eq!(cl, vec![a, b, c], "BFS order, c visited once");
+    }
+
+    #[test]
+    fn dependents_closure_is_reverse() {
+        let (g, app, a, b, c) = diamond();
+        let mut dc = g.dependents_closure(c);
+        dc.sort();
+        let mut expect = vec![app, a, b];
+        expect.sort();
+        assert_eq!(dc, expect);
+    }
+
+    #[test]
+    fn topo_sort_deps_first() {
+        let (g, app, _, _, c) = diamond();
+        let order = g.topo_sort().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(c) < pos(app));
+        for n in g.nodes() {
+            for &d in g.deps(n) {
+                assert!(pos(d) < pos(n), "dep {d:?} must precede {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DepGraph::new();
+        g.depend("a", "b");
+        g.depend("b", "a");
+        assert!(g.has_cycle());
+        assert!(g.topo_sort().is_none());
+    }
+
+    #[test]
+    fn bfs_levels_depths() {
+        let (g, app, a, b, c) = diamond();
+        let lv = g.bfs_levels(app);
+        assert_eq!(lv[&app], 0);
+        assert_eq!(lv[&a], 1);
+        assert_eq!(lv[&b], 1);
+        assert_eq!(lv[&c], 2);
+    }
+
+    #[test]
+    fn degree_histogram() {
+        let (g, ..) = diamond();
+        let h = g.out_degree_histogram();
+        // libc has 0 deps; liba/libb 1 each; app 2.
+        assert_eq!(h, vec![1, 2, 1]);
+    }
+}

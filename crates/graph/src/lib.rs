@@ -1,0 +1,26 @@
+//! # depchaos-graph — dependency-graph analytics
+//!
+//! The ecosystem half of the paper is graph measurement:
+//!
+//! * **Fig 1** tallies Debian dependency declarations by *version-constraint
+//!   class* (unversioned / range / exact) — [`constraints`].
+//! * **Fig 2** renders the 453-node Nix Ruby build closure — [`DepGraph`]
+//!   plus [`dot`].
+//! * **Fig 4** is a *reuse histogram*: how many binaries link each shared
+//!   object on a typical system — [`reuse`].
+//!
+//! [`DepGraph`] is a compact directed graph over interned string names with
+//! the traversals every other crate needs: BFS transitive closure (the
+//! loader's load order), topological sort (build order / store-hash domino
+//! propagation), cycle detection, and degree statistics.
+
+pub mod constraints;
+pub mod dot;
+pub mod graph;
+pub mod reuse;
+pub mod scc;
+
+pub use constraints::{ConstraintTally, DependencyDecl, VersionConstraint};
+pub use graph::{DepGraph, NodeId};
+pub use reuse::{reuse_counts, ReuseHistogram};
+pub use scc::{condensation, cycles, tarjan_scc};

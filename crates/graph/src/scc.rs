@@ -1,0 +1,205 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Real package archives are not DAGs: Debian's `Depends` graph contains
+//! mutual-dependency knots that maintainers handle specially. An ecosystem
+//! analyzer therefore needs SCCs both to report those knots (the condensed
+//! graph is what install order is computed over) and to keep the rest of
+//! the tooling honest about where topological order exists.
+
+use crate::graph::{DepGraph, NodeId};
+
+/// Compute SCCs. Returns components in reverse topological order of the
+/// condensation (dependencies-last), each as a sorted list of nodes.
+pub fn tarjan_scc(g: &DepGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    for start in 0..n as u32 {
+        if index[start as usize] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(u32, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            let vi = v as usize;
+            if *ci == 0 {
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let deps = g.deps(NodeId(v));
+            if *ci < deps.len() {
+                let w = deps[*ci].0;
+                *ci += 1;
+                let wi = w as usize;
+                if index[wi] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                if lowlink[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    let pi = parent as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Components with more than one member — the dependency knots.
+pub fn cycles(g: &DepGraph) -> Vec<Vec<NodeId>> {
+    tarjan_scc(g).into_iter().filter(|c| c.len() > 1).collect()
+}
+
+/// The condensation: one node per SCC (named after its lexicographically
+/// first member, with a `+N` suffix for knots), edges between distinct
+/// components. Always a DAG — the graph install order is computed over.
+pub fn condensation(g: &DepGraph) -> DepGraph {
+    let sccs = tarjan_scc(g);
+    let mut comp_of = vec![usize::MAX; g.node_count()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &n in comp {
+            comp_of[n.0 as usize] = ci;
+        }
+    }
+    let mut out = DepGraph::new();
+    let names: Vec<String> = sccs
+        .iter()
+        .map(|comp| {
+            let first = comp.iter().map(|&n| g.name(n)).min().unwrap();
+            if comp.len() == 1 {
+                first.to_string()
+            } else {
+                format!("{first}+{}", comp.len() - 1)
+            }
+        })
+        .collect();
+    let ids: Vec<NodeId> = names.iter().map(|n| out.add_node(n)).collect();
+    for n in g.nodes() {
+        for &d in g.deps(n) {
+            let (cf, ct) = (comp_of[n.0 as usize], comp_of[d.0 as usize]);
+            if cf != ct {
+                out.add_edge(ids[cf], ids[ct]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DepGraph::new();
+        g.depend("a", "b");
+        g.depend("b", "c");
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn mutual_depends_grouped() {
+        // The classic Debian knot: libc6 <-> libgcc-ish mutualism, plus a
+        // leaf hanging off it.
+        let mut g = DepGraph::new();
+        g.depend("libfoo", "libbar");
+        g.depend("libbar", "libfoo");
+        g.depend("app", "libfoo");
+        let knots = cycles(&g);
+        assert_eq!(knots.len(), 1);
+        assert_eq!(knots[0].len(), 2);
+        let names: Vec<&str> = knots[0].iter().map(|&n| g.name(n)).collect();
+        assert!(names.contains(&"libfoo") && names.contains(&"libbar"));
+    }
+
+    #[test]
+    fn components_in_dependency_first_order() {
+        // Tarjan emits components with dependencies before dependents.
+        let mut g = DepGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b); // a depends on b
+        let sccs = tarjan_scc(&g);
+        let pos_a = sccs.iter().position(|c| c.contains(&a)).unwrap();
+        let pos_b = sccs.iter().position(|c| c.contains(&b)).unwrap();
+        assert!(pos_b < pos_a, "b (dependency) emitted first");
+    }
+
+    #[test]
+    fn big_cycle_single_component() {
+        let mut g = DepGraph::new();
+        let ids: Vec<_> = (0..50).map(|i| g.add_node(format!("n{i}"))).collect();
+        for i in 0..50 {
+            g.add_edge(ids[i], ids[(i + 1) % 50]);
+        }
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 50);
+    }
+
+    #[test]
+    fn condensation_is_a_dag_with_knots_collapsed() {
+        let mut g = DepGraph::new();
+        g.depend("a", "b");
+        g.depend("b", "a"); // knot {a,b}
+        g.depend("app", "a");
+        g.depend("b", "libc");
+        let c = condensation(&g);
+        assert_eq!(c.node_count(), 3, "app, a+1, libc");
+        assert!(!c.has_cycle());
+        let knot = c.lookup("a+1").expect("collapsed knot named after first member");
+        assert_eq!(c.dependents(knot).len(), 1);
+        assert_eq!(c.deps(knot).len(), 1);
+    }
+
+    #[test]
+    fn condensation_of_dag_is_isomorphic() {
+        let mut g = DepGraph::new();
+        g.depend("x", "y");
+        g.depend("y", "z");
+        let c = condensation(&g);
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert!(c.lookup("x").is_some());
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // Iterative Tarjan must survive recursion-killer depths.
+        let mut g = DepGraph::new();
+        let mut prev = g.add_node("n0");
+        for i in 1..100_000 {
+            let cur = g.add_node(format!("n{i}"));
+            g.add_edge(prev, cur);
+            prev = cur;
+        }
+        assert_eq!(tarjan_scc(&g).len(), 100_000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests over random DAGs.
+
+use depchaos_graph::{DepGraph, NodeId};
+use proptest::prelude::*;
+
+/// Random DAG: edges only from lower to higher index, so acyclic by
+/// construction.
+fn dag_strat() -> impl Strategy<Value = DepGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |pairs| {
+            let mut g = DepGraph::new();
+            for i in 0..n {
+                g.add_node(format!("n{i}"));
+            }
+            for (a, b) in pairs {
+                if a < b {
+                    g.add_edge(NodeId(a as u32), NodeId(b as u32));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// Topo sort exists for DAGs and respects every edge.
+    #[test]
+    fn topo_valid_on_dags(g in dag_strat()) {
+        let order = g.topo_sort().expect("acyclic by construction");
+        prop_assert_eq!(order.len(), g.node_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in g.nodes() {
+            for &d in g.deps(n) {
+                prop_assert!(pos[&d] < pos[&n]);
+            }
+        }
+    }
+
+    /// BFS closure contains exactly the reachable set, no duplicates.
+    #[test]
+    fn closure_is_reachable_set(g in dag_strat()) {
+        let root = NodeId(0);
+        let cl = g.closure_bfs(root);
+        let set: std::collections::HashSet<_> = cl.iter().copied().collect();
+        prop_assert_eq!(set.len(), cl.len(), "no duplicates");
+        prop_assert!(!set.contains(&root), "root excluded");
+        // every direct dep of every closure member (and of root) is in the closure
+        for &n in cl.iter().chain(std::iter::once(&root)) {
+            for &d in g.deps(n) {
+                prop_assert!(set.contains(&d));
+            }
+        }
+    }
+
+    /// x in closure(root) iff root in dependents_closure(x).
+    #[test]
+    fn closure_duality(g in dag_strat()) {
+        let root = NodeId(0);
+        let fwd: std::collections::HashSet<_> = g.closure_bfs(root).into_iter().collect();
+        for x in g.nodes() {
+            if x == root { continue; }
+            let back: std::collections::HashSet<_> =
+                g.dependents_closure(x).into_iter().collect();
+            prop_assert_eq!(fwd.contains(&x), back.contains(&root));
+        }
+    }
+
+    /// Degree histogram sums to node count; weighted sum to edge count.
+    #[test]
+    fn histogram_conservation(g in dag_strat()) {
+        let h = g.out_degree_histogram();
+        prop_assert_eq!(h.iter().sum::<usize>(), g.node_count());
+        prop_assert_eq!(h.iter().enumerate().map(|(k, c)| k * c).sum::<usize>(), g.edge_count());
+    }
+}

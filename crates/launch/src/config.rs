@@ -1,0 +1,94 @@
+//! Launch-simulation parameters and results.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster and filesystem parameters for one launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Total MPI ranks.
+    pub ranks: usize,
+    /// Ranks per node (the paper's smallest point is 512 ranks on 4 nodes).
+    pub ranks_per_node: usize,
+    /// Client↔server round-trip time for one metadata op.
+    pub rtt_ns: u64,
+    /// Server-side service time per metadata op (1/throughput).
+    pub meta_service_ns: u64,
+    /// Client-local cost of a warm (cached) op.
+    pub warm_ns: u64,
+    /// Fixed application startup cost outside the loader (MPI init, python
+    /// imports) — paid by wrapped and unwrapped runs alike.
+    pub base_overhead_ns: u64,
+    /// Per-rank serialized startup cost within a node (process spawn).
+    pub per_rank_overhead_ns: u64,
+    /// Spindle-style broadcast cache: only one node pays the cold stream,
+    /// the rest replay warm (ablation of the paper's "combining Shrinkwrap
+    /// with an approach like Spindle" remark).
+    pub broadcast_cache: bool,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            ranks: 512,
+            ranks_per_node: 128,
+            rtt_ns: 200_000,        // 200 µs NFS round trip
+            meta_service_ns: 50_000, // 20k metadata ops/s server
+            warm_ns: 1_000,
+            base_overhead_ns: 25_000_000_000, // 25 s of MPI/python startup
+            per_rank_overhead_ns: 10_000_000, // 10 ms per rank, serial per node
+            broadcast_cache: false,
+        }
+    }
+}
+
+impl LaunchConfig {
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Number of nodes (ceil division).
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node).max(1)
+    }
+}
+
+/// Outcome of one simulated launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchResult {
+    /// Wall time until every rank finished loading.
+    pub time_to_launch_ns: u64,
+    pub nodes: usize,
+    /// Cold metadata/data ops that reached the server, totalled over nodes.
+    pub server_ops: u64,
+    /// Ops absorbed by client caches.
+    pub local_ops: u64,
+    /// Peak simulated server queue depth (contention indicator).
+    pub peak_queue_depth: usize,
+}
+
+impl LaunchResult {
+    pub fn seconds(&self) -> f64 {
+        self.time_to_launch_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_rounding() {
+        assert_eq!(LaunchConfig::default().with_ranks(512).nodes(), 4);
+        assert_eq!(LaunchConfig::default().with_ranks(513).nodes(), 5);
+        assert_eq!(LaunchConfig::default().with_ranks(1).nodes(), 1);
+    }
+
+    #[test]
+    fn defaults_match_paper_testbed_scale() {
+        let c = LaunchConfig::default();
+        assert_eq!(c.ranks, 512);
+        assert_eq!(c.nodes(), 4);
+        assert!(!c.broadcast_cache);
+    }
+}

@@ -1,0 +1,280 @@
+//! The discrete-event launch simulation.
+//!
+//! One shared metadata server (FIFO, deterministic service time), N node
+//! clients each replaying the captured op stream *sequentially* — the
+//! dynamic loader issues one syscall at a time, so a node cannot pipeline
+//! its own lookups. Contention emerges naturally: every node's cold op
+//! must pass through the single server queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use depchaos_vfs::{Op, StraceLog};
+
+use crate::config::{LaunchConfig, LaunchResult};
+
+/// Classification of one op for the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpClass {
+    /// Round-trips to the server (cold metadata, or data reads).
+    /// `client_extra_ns` is time the client spends consuming the response
+    /// after the server frees up (stream transfer of read data).
+    Server { service_ns: u64, client_extra_ns: u64 },
+    /// Satisfied from the client cache.
+    Local { cost_ns: u64 },
+}
+
+/// Classify the profiled ops. Anything the VFS charged at least an RTT for
+/// was a server round trip; reads ship their (size-derived) cost as the
+/// service time; the rest is client-local.
+fn classify(ops: &StraceLog, cfg: &LaunchConfig) -> Vec<OpClass> {
+    ops.entries
+        .iter()
+        .map(|e| {
+            if e.op == Op::Read {
+                // Data reads are bandwidth-bound, not IOPS-bound: the server
+                // streams to several clients at once, so its per-read
+                // occupancy is a fraction of the client-perceived transfer
+                // time; the client still spends the full cost receiving.
+                let service = (e.cost_ns / 8).max(cfg.meta_service_ns);
+                OpClass::Server {
+                    service_ns: service,
+                    client_extra_ns: e.cost_ns.saturating_sub(service),
+                }
+            } else if e.cost_ns >= cfg.rtt_ns {
+                OpClass::Server { service_ns: cfg.meta_service_ns, client_extra_ns: 0 }
+            } else {
+                OpClass::Local { cost_ns: e.cost_ns.max(cfg.warm_ns) }
+            }
+        })
+        .collect()
+}
+
+/// Simulate launching `cfg.ranks` ranks whose per-rank startup op stream is
+/// `ops` (captured by [`crate::profile::profile_load`] on a cold mount).
+pub fn simulate_launch(ops: &StraceLog, cfg: &LaunchConfig) -> LaunchResult {
+    let classes = classify(ops, cfg);
+    let nodes = cfg.nodes();
+    // With a broadcast cache only node 0 pays the cold stream; the others
+    // see every op warm.
+    let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
+
+    let mut server_ops = 0u64;
+    let mut local_ops = 0u64;
+
+    // Per-node cursor into the op stream and local clock.
+    #[derive(Debug)]
+    struct Node {
+        next_op: usize,
+        clock_ns: u64,
+        done_ns: u64,
+    }
+    let mut node_state: Vec<Node> = (0..nodes)
+        .map(|_| Node { next_op: 0, clock_ns: 0, done_ns: 0 })
+        .collect();
+
+    // Advance a node through local ops until its next server op (or the
+    // end); returns Some((issue time, service time)) or None when done.
+    fn advance(
+        n: &mut Node,
+        classes: &[OpClass],
+        is_cold: bool,
+        warm_ns: u64,
+        local_ops: &mut u64,
+    ) -> Option<(u64, u64, u64)> {
+        while n.next_op < classes.len() {
+            match classes[n.next_op] {
+                OpClass::Local { cost_ns } => {
+                    n.clock_ns += cost_ns;
+                    n.next_op += 1;
+                    *local_ops += 1;
+                }
+                OpClass::Server { service_ns, client_extra_ns } => {
+                    if !is_cold {
+                        // Warm replay: even "server" ops hit the node cache.
+                        n.clock_ns += warm_ns;
+                        n.next_op += 1;
+                        *local_ops += 1;
+                        continue;
+                    }
+                    n.next_op += 1;
+                    return Some((n.clock_ns, service_ns, client_extra_ns));
+                }
+            }
+        }
+        n.done_ns = n.clock_ns;
+        None
+    }
+
+    // Event queue of (arrival at server, node, service time, client extra).
+    let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+    for (i, n) in node_state.iter_mut().enumerate() {
+        let cold = i < cold_nodes;
+        if let Some((t, svc, extra)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
+            heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc, extra)));
+        }
+    }
+
+    let mut server_busy_ns = 0u64;
+    let mut peak_queue_depth = 0usize;
+    while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
+        peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
+        let start = server_busy_ns.max(arrival);
+        let done = start + svc;
+        server_busy_ns = done;
+        server_ops += 1;
+        // Client resumes after the response returns and it has consumed the
+        // payload (reads stream for client_extra after the server moves on).
+        let n = &mut node_state[i];
+        n.clock_ns = done + cfg.rtt_ns / 2 + extra;
+        let cold = i < cold_nodes;
+        if let Some((t, s, e)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
+            heap.push(Reverse((t + cfg.rtt_ns / 2, i, s, e)));
+        }
+    }
+
+    // Per-node completion plus serialized per-rank spawn overhead.
+    let spawn_ns = cfg.per_rank_overhead_ns * cfg.ranks_per_node.min(cfg.ranks) as u64;
+    let slowest = node_state.iter().map(|n| n.done_ns).max().unwrap_or(0);
+    LaunchResult {
+        time_to_launch_ns: cfg.base_overhead_ns + spawn_ns + slowest,
+        nodes,
+        server_ops,
+        local_ops,
+        peak_queue_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_vfs::{Outcome, Syscall};
+
+    fn stream(n_cold: usize, n_warm: usize) -> StraceLog {
+        let mut log = StraceLog::new();
+        for i in 0..n_cold {
+            log.push(Syscall {
+                op: Op::Openat,
+                path: format!("/lib/cold{i}"),
+                outcome: Outcome::Enoent,
+                cost_ns: 200_000,
+            });
+        }
+        for i in 0..n_warm {
+            log.push(Syscall {
+                op: Op::Stat,
+                path: format!("/lib/warm{i}"),
+                outcome: Outcome::Ok,
+                cost_ns: 1_000,
+            });
+        }
+        log
+    }
+
+    fn fast_cfg() -> LaunchConfig {
+        LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_node_is_rtt_bound() {
+        let cfg = fast_cfg().with_ranks(128); // one node
+        let r = simulate_launch(&stream(100, 0), &cfg);
+        // 100 sequential round trips: ≥ 100 × (rtt + service)
+        let min = 100 * (cfg.rtt_ns + cfg.meta_service_ns);
+        assert!(r.time_to_launch_ns >= min - cfg.rtt_ns, "{} vs {}", r.time_to_launch_ns, min);
+        assert_eq!(r.server_ops, 100);
+        assert_eq!(r.nodes, 1);
+    }
+
+    #[test]
+    fn contention_grows_with_nodes() {
+        let ops = stream(500, 0);
+        let t4 = simulate_launch(&ops, &fast_cfg().with_ranks(512)).time_to_launch_ns;
+        let t16 = simulate_launch(&ops, &fast_cfg().with_ranks(2048)).time_to_launch_ns;
+        assert!(t16 > t4, "more nodes, more server queueing: {t4} vs {t16}");
+    }
+
+    #[test]
+    fn local_ops_do_not_hit_server() {
+        let r = simulate_launch(&stream(0, 1000), &fast_cfg().with_ranks(256));
+        assert_eq!(r.server_ops, 0);
+        assert_eq!(r.local_ops, 2000, "two nodes × 1000 warm ops");
+    }
+
+    #[test]
+    fn broadcast_cache_collapses_server_load() {
+        let ops = stream(400, 0);
+        let normal = simulate_launch(&ops, &fast_cfg().with_ranks(2048));
+        let mut cfg = fast_cfg().with_ranks(2048);
+        cfg.broadcast_cache = true;
+        let spindle = simulate_launch(&ops, &cfg);
+        assert_eq!(normal.server_ops, 16 * 400);
+        assert_eq!(spindle.server_ops, 400, "only one node pays cold");
+        assert!(spindle.time_to_launch_ns < normal.time_to_launch_ns);
+    }
+
+    #[test]
+    fn node_granularity_matters_not_rank_count() {
+        // NFS load is per *node* (shared page cache): the same 1024 ranks
+        // on fewer, fatter nodes hit the server less.
+        let ops = stream(300, 0);
+        let fat = LaunchConfig {
+            ranks: 1024,
+            ranks_per_node: 256, // 4 nodes
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        };
+        let thin = LaunchConfig { ranks_per_node: 64, ..fat.clone() }; // 16 nodes
+        let rf = simulate_launch(&ops, &fat);
+        let rt = simulate_launch(&ops, &thin);
+        assert_eq!(rf.server_ops, 4 * 300);
+        assert_eq!(rt.server_ops, 16 * 300);
+        assert!(rt.time_to_launch_ns >= rf.time_to_launch_ns);
+    }
+
+    #[test]
+    fn read_heavy_stream_slower_than_meta_only() {
+        // Same op count, but reads carry payload time the client must absorb.
+        let mut meta = StraceLog::new();
+        let mut reads = StraceLog::new();
+        for i in 0..100 {
+            meta.push(Syscall {
+                op: Op::Openat,
+                path: format!("/l/{i}"),
+                outcome: Outcome::Ok,
+                cost_ns: 200_000,
+            });
+            reads.push(Syscall {
+                op: Op::Read,
+                path: format!("/l/{i}"),
+                outcome: Outcome::Ok,
+                cost_ns: 4_000_000, // 1 MiB over the wire
+            });
+        }
+        let cfg = fast_cfg().with_ranks(128);
+        let tm = simulate_launch(&meta, &cfg).time_to_launch_ns;
+        let tr = simulate_launch(&reads, &cfg).time_to_launch_ns;
+        assert!(tr > tm * 5, "payload dominates: {tm} vs {tr}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ops = stream(200, 50);
+        let a = simulate_launch(&ops, &fast_cfg());
+        let b = simulate_launch(&ops, &fast_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_overheads_added_once() {
+        let cfg = LaunchConfig { ranks: 128, ..LaunchConfig::default() };
+        let r = simulate_launch(&stream(0, 0), &cfg);
+        let expect = cfg.base_overhead_ns + cfg.per_rank_overhead_ns * 128;
+        assert_eq!(r.time_to_launch_ns, expect);
+    }
+}

@@ -1,0 +1,34 @@
+//! # depchaos-launch — parallel launch over a shared filesystem (Fig 6)
+//!
+//! Frings et al. (cited by the paper) showed that loading a large dynamic
+//! application at scale can "flood the filesystem with requests" and push
+//! startup into hours. Fig 6 measures exactly this: Pynamic (≈900 shared
+//! libraries) launched on 512–2048 ranks with libraries on NFS, cold
+//! caches, negative caching disabled.
+//!
+//! The model, in three layers:
+//!
+//! 1. [`profile`] replays our glibc loader against a cold NFS
+//!    [`depchaos_vfs::Vfs`] and captures the strace-style op stream one rank
+//!    issues at startup.
+//! 2. [`des`] is a discrete-event simulation: one metadata server with a
+//!    fixed per-op service time and FIFO queue; each *node* replays the op
+//!    stream sequentially (the loader is serial), round-tripping every cold
+//!    op. Ranks beyond the first on a node hit the node's page cache —
+//!    which is why the unit of NFS load is the node, not the rank.
+//! 3. [`sweep`] runs rank scalings in parallel (rayon) for the figure.
+//!
+//! The simulated server and RTT constants are calibrated so the paper's
+//! qualitative shape emerges (normal launch grows with scale; shrinkwrapped
+//! stays near-flat; crossover factor in the 5–8× band at 2048 ranks) — see
+//! EXPERIMENTS.md for paper-vs-measured values.
+
+pub mod config;
+pub mod des;
+pub mod profile;
+pub mod sweep;
+
+pub use config::{LaunchConfig, LaunchResult};
+pub use des::simulate_launch;
+pub use profile::profile_load;
+pub use sweep::{render_fig6, render_tsv, sweep_ranks};

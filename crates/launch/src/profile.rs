@@ -1,0 +1,47 @@
+//! Capturing one rank's startup op stream.
+
+use depchaos_loader::{Environment, GlibcLoader, LoadError};
+use depchaos_vfs::{StraceLog, Vfs};
+
+/// Replay a cold-cache load of `exe` and return its op stream — the input
+/// to [`crate::simulate_launch`]. The filesystem's backend (local vs NFS,
+/// negative caching) determines the per-op costs recorded in the stream.
+///
+/// Drops caches first, so back-to-back profiles are independent.
+pub fn profile_load(fs: &Vfs, exe: &str, env: &Environment) -> Result<StraceLog, LoadError> {
+    fs.drop_caches();
+    fs.start_trace();
+    let result = GlibcLoader::new(fs).with_env(env.clone()).load(exe);
+    let log = fs.stop_trace();
+    result.map(|_| log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
+
+    #[test]
+    fn profile_captures_cold_stream() {
+        let fs = Vfs::nfs();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("liba.so").runpath("/l").build())
+            .unwrap();
+        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        let log = profile_load(&fs, "/bin/app", &Environment::bare()).unwrap();
+        assert!(log.stat_openat() >= 2, "exe open + liba probe");
+        // Cold NFS: the probes cost a full round trip each.
+        assert!(log.entries.iter().any(|e| e.cost_ns >= 200_000));
+
+        // Second profile is identical (drop_caches resets state).
+        let log2 = profile_load(&fs, "/bin/app", &Environment::bare()).unwrap();
+        assert_eq!(log.stat_openat(), log2.stat_openat());
+        assert_eq!(log.total_ns(), log2.total_ns());
+    }
+
+    #[test]
+    fn missing_exe_propagates() {
+        let fs = Vfs::nfs();
+        assert!(profile_load(&fs, "/bin/ghost", &Environment::bare()).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Rank sweeps for the Fig 6 series.
+
+use rayon::prelude::*;
+
+use depchaos_vfs::StraceLog;
+
+use crate::config::{LaunchConfig, LaunchResult};
+use crate::des::simulate_launch;
+
+/// Simulate the same workload at several scales, in parallel (the
+/// simulations are independent — rayon's bread and butter).
+pub fn sweep_ranks(
+    ops: &StraceLog,
+    base: &LaunchConfig,
+    rank_points: &[usize],
+) -> Vec<(usize, LaunchResult)> {
+    rank_points
+        .par_iter()
+        .map(|&ranks| (ranks, simulate_launch(ops, &base.clone().with_ranks(ranks))))
+        .collect()
+}
+
+/// Render the Fig 6 series as an aligned table: one row per scale, normal
+/// vs wrapped, with the speedup factor.
+pub fn render_fig6(
+    points: &[usize],
+    normal: &[(usize, LaunchResult)],
+    wrapped: &[(usize, LaunchResult)],
+) -> String {
+    let mut s = String::from("ranks  normal(s)  wrapped(s)  speedup\n");
+    for &p in points {
+        let n = normal.iter().find(|(r, _)| *r == p).map(|(_, l)| l.seconds()).unwrap_or(f64::NAN);
+        let w = wrapped.iter().find(|(r, _)| *r == p).map(|(_, l)| l.seconds()).unwrap_or(f64::NAN);
+        s.push_str(&format!("{p:>5}  {n:>9.1}  {w:>10.1}  {:>6.1}x\n", n / w));
+    }
+    s
+}
+
+/// Render the sweep as TSV (`ranks<TAB>seconds`), one series — the raw data
+/// behind Fig 6 for external plotting.
+pub fn render_tsv(series: &[(usize, LaunchResult)]) -> String {
+    let mut s = String::from("ranks\tseconds\tserver_ops\tpeak_queue\n");
+    for (ranks, r) in series {
+        s.push_str(&format!(
+            "{ranks}\t{:.3}\t{}\t{}\n",
+            r.seconds(),
+            r.server_ops,
+            r.peak_queue_depth
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_vfs::{Op, Outcome, Syscall};
+
+    fn cold_stream(n: usize) -> StraceLog {
+        let mut log = StraceLog::new();
+        for i in 0..n {
+            log.push(Syscall {
+                op: Op::Openat,
+                path: format!("/l/{i}"),
+                outcome: Outcome::Ok,
+                cost_ns: 200_000,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_ranks() {
+        let cfg = LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..Default::default() };
+        let pts = [512usize, 1024, 2048];
+        let res = sweep_ranks(&cold_stream(1000), &cfg, &pts);
+        assert_eq!(res.len(), 3);
+        let times: Vec<u64> = pts
+            .iter()
+            .map(|p| res.iter().find(|(r, _)| r == p).unwrap().1.time_to_launch_ns)
+            .collect();
+        assert!(times[0] <= times[1] && times[1] <= times[2], "{times:?}");
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let cfg = LaunchConfig::default();
+        let series = sweep_ranks(&cold_stream(50), &cfg, &[512, 1024]);
+        let tsv = render_tsv(&series);
+        assert!(tsv.starts_with("ranks\t"));
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.contains("512\t"));
+    }
+
+    #[test]
+    fn render_contains_speedup_column() {
+        let cfg = LaunchConfig::default();
+        let pts = [512usize];
+        let normal = sweep_ranks(&cold_stream(100), &cfg, &pts);
+        let wrapped = sweep_ranks(&cold_stream(10), &cfg, &pts);
+        let table = render_fig6(&pts, &normal, &wrapped);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("512"));
+    }
+}

@@ -1,0 +1,386 @@
+//! The §III-C *future loader* — the paper's proposal, implemented.
+//!
+//! > "The constraints we want to express are a combination of options to
+//! > inject new paths into the library search path: prepend, append, and
+//! > whether to inherit. All but one of the problems listed in Section
+//! > III-A can be solved by offering prepend/append and a boolean
+//! > propagation flag on each path added to the search space. ... Allowing
+//! > the ability to dictate the search space per shared object would give
+//! > fine-grained control over the search semantics. This would also solve
+//! > the final issue: the ability to load libraries with conflicting
+//! > filenames from paths deterministically."
+//!
+//! Semantics implemented here:
+//!
+//! * Each object carries [`depchaos_elf::SearchDir`] entries —
+//!   `(dir, Prepend|Append, inherit)` — and [`depchaos_elf::DepPin`]s
+//!   mapping a soname to an exact path.
+//! * Resolution for a request by object `O`:
+//!   1. pins of `O`, then inherited pins of ancestors (nearest first);
+//!   2. prepend dirs of `O`, then inherited prepends of ancestors;
+//!   3. `LD_LIBRARY_PATH`;
+//!   4. append dirs of `O`, then inherited appends of ancestors;
+//!   5. default directories.
+//! * Dedup identical to glibc (soname cache), so Shrinkwrap-style output
+//!   still works.
+//!
+//! The problems this dissolves, each proven in the tests below:
+//! the Qt plugin problem (propagation on demand, not all-or-nothing), the
+//! ROCm interference (a library's own paths need not suppress its parent's),
+//! the admin-override tension (append = user-overridable, prepend = pinned),
+//! and Fig 3 (per-dependency pins).
+
+use std::collections::{HashMap, VecDeque};
+
+use depchaos_elf::{ElfObject, SearchPosition};
+use depchaos_vfs::{Inode, Vfs};
+
+use crate::env::Environment;
+use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance, Resolution};
+use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+
+/// The proposed loader, bound to one filesystem.
+pub struct FutureLoader<'fs> {
+    fs: &'fs Vfs,
+    env: Environment,
+}
+
+struct State {
+    objects: Vec<LoadedObject>,
+    by_name: HashMap<String, usize>,
+    by_inode: HashMap<Inode, usize>,
+    events: Vec<LoadEvent>,
+    failures: Vec<Failure>,
+}
+
+impl<'fs> FutureLoader<'fs> {
+    pub fn new(fs: &'fs Vfs) -> Self {
+        FutureLoader { fs, env: Environment::default() }
+    }
+
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Simulate process startup under the proposed semantics.
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        let before = self.fs.snapshot();
+        let t0 = self.fs.elapsed_ns();
+        let mut st = State {
+            objects: Vec::new(),
+            by_name: HashMap::new(),
+            by_inode: HashMap::new(),
+            events: Vec::new(),
+            failures: Vec::new(),
+        };
+
+        if self.fs.try_open(exe_path).is_none() {
+            return Err(LoadError::ExeNotFound(exe_path.to_string()));
+        }
+        let bytes = self
+            .fs
+            .read_file(exe_path)
+            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
+        let exe = ElfObject::parse(&bytes)
+            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
+        self.register(&mut st, exe_path, Candidate { path: exe_path.to_string(), object: exe }, None, Provenance::Executable);
+
+        let mut queue: VecDeque<(usize, String)> =
+            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
+        let mut next_obj = st.objects.len();
+        while let Some((req, name)) = queue.pop_front() {
+            let resolution = self.resolve(&mut st, req, &name);
+            if let Resolution::NotFound = resolution {
+                st.failures.push(Failure {
+                    requester: st.objects[req].object.name.clone(),
+                    name: name.clone(),
+                });
+            }
+            st.events.push(LoadEvent { requester: req, name, resolution });
+            while next_obj < st.objects.len() {
+                for n in &st.objects[next_obj].object.needed {
+                    queue.push_back((next_obj, n.clone()));
+                }
+                next_obj += 1;
+            }
+        }
+
+        Ok(LoadResult {
+            syscalls: self.fs.snapshot().since(&before),
+            time_ns: self.fs.elapsed_ns() - t0,
+            objects: st.objects,
+            events: st.events,
+            failures: st.failures,
+        })
+    }
+
+    fn register(
+        &self,
+        st: &mut State,
+        requested: &str,
+        cand: Candidate,
+        parent: Option<usize>,
+        provenance: Provenance,
+    ) -> usize {
+        let idx = st.objects.len();
+        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
+        let inode = self.fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
+        st.by_name.entry(requested.to_string()).or_insert(idx);
+        st.by_name.entry(cand.object.effective_soname().to_string()).or_insert(idx);
+        st.by_name.entry(cand.path.clone()).or_insert(idx);
+        st.by_inode.entry(inode).or_insert(idx);
+        st.objects.push(LoadedObject {
+            idx,
+            path: cand.path,
+            canonical,
+            inode,
+            object: cand.object,
+            parent,
+            requested_as: vec![requested.to_string()],
+            provenance,
+        });
+        idx
+    }
+
+    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
+        let want_arch = st.objects[0].object.machine;
+
+        // Pins first: the requester's own, then inherited ones. A pinned
+        // path participates in dedup like any other request.
+        // Pins are inheritable by default (the proposal leaves this open;
+        // inheritance is the useful choice) with the nearest object winning.
+        let mut pinned: Option<String> = None;
+        let mut idx = Some(requester);
+        while let Some(i) = idx {
+            for p in &st.objects[i].object.pins {
+                if p.soname == name && pinned.is_none() {
+                    pinned = Some(expand_entry(&p.path, &st.objects[i].path));
+                }
+            }
+            idx = st.objects[i].parent;
+        }
+        if let Some(path) = pinned {
+            if let Some(&i) = st.by_name.get(&path) {
+                return Resolution::Deduped { path: st.objects[i].path.clone() };
+            }
+            return match probe_exact(self.fs, &path, want_arch) {
+                Some(cand) => self.commit(st, requester, name, cand, Provenance::DirectPath),
+                None => Resolution::NotFound,
+            };
+        }
+
+        if name.contains('/') {
+            if let Some(&i) = st.by_name.get(name) {
+                return Resolution::Deduped { path: st.objects[i].path.clone() };
+            }
+            return match probe_exact(self.fs, name, want_arch) {
+                Some(cand) => self.commit(st, requester, name, cand, Provenance::DirectPath),
+                None => Resolution::NotFound,
+            };
+        }
+
+        if let Some(&i) = st.by_name.get(name) {
+            return Resolution::Deduped { path: st.objects[i].path.clone() };
+        }
+
+        // Assemble the search list: prepends (own, then inherited), the
+        // environment, appends (own, then inherited), defaults.
+        let mut dirs: Vec<(String, Provenance)> = Vec::new();
+        let collect = |st: &State, pos: SearchPosition, out: &mut Vec<(String, Provenance)>| {
+            let mut idx = Some(requester);
+            let mut own = true;
+            while let Some(i) = idx {
+                let obj = &st.objects[i];
+                for sd in &obj.object.search_dirs {
+                    if sd.position == pos && (own || sd.inherit) {
+                        out.push((
+                            expand_entry(&sd.dir, &obj.path),
+                            Provenance::Rpath { owner: obj.object.name.clone() },
+                        ));
+                    }
+                }
+                idx = obj.parent;
+                own = false;
+            }
+        };
+        collect(st, SearchPosition::Prepend, &mut dirs);
+        for d in &self.env.ld_library_path {
+            dirs.push((d.clone(), Provenance::LdLibraryPath));
+        }
+        collect(st, SearchPosition::Append, &mut dirs);
+        for d in &self.env.default_paths {
+            dirs.push((d.clone(), Provenance::DefaultPath));
+        }
+
+        for (dir, prov) in dirs {
+            if let Some(cand) = probe_dir(self.fs, &dir, name, want_arch, &self.env.hwcaps) {
+                return self.commit(st, requester, name, cand, prov);
+            }
+        }
+        Resolution::NotFound
+    }
+
+    fn commit(
+        &self,
+        st: &mut State,
+        requester: usize,
+        name: &str,
+        cand: Candidate,
+        provenance: Provenance,
+    ) -> Resolution {
+        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
+        if let Ok(meta) = self.fs.peek(&canonical) {
+            if let Some(&i) = st.by_inode.get(&meta.inode) {
+                return Resolution::Deduped { path: st.objects[i].path.clone() };
+            }
+        }
+        let path = cand.path.clone();
+        self.register(st, name, cand, Some(requester), provenance.clone());
+        Resolution::Loaded { path, provenance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+    use depchaos_elf::SearchPosition::{Append, Prepend};
+
+    #[test]
+    fn fig3_paradox_solved_by_pins() {
+        let fs = Vfs::local();
+        depchaos_workload_paradox(&fs);
+        let exe = ElfObject::exe("app")
+            .needs("liba.so")
+            .needs("libb.so")
+            .pin("liba.so", "/opt/dirA/liba.so")
+            .pin("libb.so", "/opt/dirB/libb.so")
+            .build();
+        install(&fs, "/opt/bin/app", &exe).unwrap();
+        let r = FutureLoader::new(&fs).with_env(Environment::bare()).load("/opt/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.find("liba.so").unwrap().path, "/opt/dirA/liba.so");
+        assert_eq!(r.find("libb.so").unwrap().path, "/opt/dirB/libb.so");
+    }
+
+    fn depchaos_workload_paradox(fs: &Vfs) {
+        for (dir, name) in
+            [("/opt/dirA", "liba.so"), ("/opt/dirA", "libb.so"), ("/opt/dirB", "liba.so"), ("/opt/dirB", "libb.so")]
+        {
+            install(fs, &format!("{dir}/{name}"), &ElfObject::dso(name).build()).unwrap();
+        }
+    }
+
+    #[test]
+    fn qt_problem_solved_by_inheritable_prepend() {
+        // RUNPATH's flaw: an app cannot hand search paths to a library's
+        // internal loads. An inheritable prepend can.
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/qt/libqtgui.so",
+            &ElfObject::dso("libqtgui.so").needs("libqtplugin.so").build(),
+        )
+        .unwrap();
+        install(&fs, "/app/plugins/libqtplugin.so", &ElfObject::dso("libqtplugin.so").build())
+            .unwrap();
+        let exe = ElfObject::exe("app")
+            .needs("libqtgui.so")
+            .search_dir("/qt", Prepend, false) // for the direct dep only
+            .search_dir("/app/plugins", Prepend, true) // inherited by QtGui
+            .build();
+        install(&fs, "/app/bin/app", &exe).unwrap();
+        let r = FutureLoader::new(&fs).with_env(Environment::bare()).load("/app/bin/app").unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        assert_eq!(r.find("libqtplugin.so").unwrap().path, "/app/plugins/libqtplugin.so");
+    }
+
+    #[test]
+    fn non_inherited_entry_stays_private() {
+        // The flip side: a non-inherited prepend does NOT leak into
+        // dependencies' searches (RUNPATH's one good property, kept).
+        let fs = Vfs::local();
+        install(&fs, "/priv/libleak.so", &ElfObject::dso("libleak.so").build()).unwrap();
+        install(&fs, "/libs/libmid.so", &ElfObject::dso("libmid.so").needs("libleak.so").build())
+            .unwrap();
+        let exe = ElfObject::exe("app")
+            .needs("libmid.so")
+            .search_dir("/libs", Prepend, false)
+            .search_dir("/priv", Prepend, false)
+            .build();
+        install(&fs, "/bin/app", &exe).unwrap();
+        let r = FutureLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+        assert!(!r.success(), "libleak must not be visible to libmid");
+    }
+
+    #[test]
+    fn append_is_user_overridable_prepend_is_not() {
+        // The admin-vs-packager tension from §III-A, resolved by choosing
+        // the right position per entry.
+        let fs = Vfs::local();
+        install(&fs, "/pkg/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        install(&fs, "/override/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        let env = Environment::bare().with_ld_library_path("/override");
+
+        let pinned = ElfObject::exe("pinned").needs("libx.so").search_dir("/pkg", Prepend, false).build();
+        install(&fs, "/bin/pinned", &pinned).unwrap();
+        let r = FutureLoader::new(&fs).with_env(env.clone()).load("/bin/pinned").unwrap();
+        assert_eq!(r.objects[1].path, "/pkg/libx.so", "prepend beats the environment");
+
+        let open = ElfObject::exe("open").needs("libx.so").search_dir("/pkg", Append, false).build();
+        install(&fs, "/bin/open", &open).unwrap();
+        let r = FutureLoader::new(&fs).with_env(env).load("/bin/open").unwrap();
+        assert_eq!(r.objects[1].path, "/override/libx.so", "append lets the user override");
+    }
+
+    #[test]
+    fn rocm_scenario_has_no_interference() {
+        // Under glibc, the library's RUNPATH suppressed the app's RPATH and
+        // let LD_LIBRARY_PATH hijack transitive loads. Here the library's
+        // own (non-inherited) entry and the app's inheritable entry compose:
+        // the app's prepend stays in force for the library's dependencies.
+        let fs = Vfs::local();
+        for v in ["4.3.0", "4.5.0"] {
+            let dir = format!("/opt/rocm-{v}/lib");
+            install(
+                &fs,
+                &format!("{dir}/libamdhip64.so"),
+                &ElfObject::dso("libamdhip64.so")
+                    .needs("libroctracer64.so")
+                    .search_dir("$ORIGIN", Append, false)
+                    .build(),
+            )
+            .unwrap();
+            install(&fs, &format!("{dir}/libroctracer64.so"), &ElfObject::dso("libroctracer64.so").build())
+                .unwrap();
+        }
+        let exe = ElfObject::exe("gpu_sim")
+            .needs("libamdhip64.so")
+            .search_dir("/opt/rocm-4.5.0/lib", Prepend, true)
+            .build();
+        install(&fs, "/bin/gpu_sim", &exe).unwrap();
+        // Hostile module environment pointing at 4.3:
+        let env = Environment::bare().with_ld_library_path("/opt/rocm-4.3.0/lib");
+        let r = FutureLoader::new(&fs).with_env(env).load("/bin/gpu_sim").unwrap();
+        assert!(r.success());
+        assert!(
+            r.objects.iter().skip(1).all(|o| o.path.starts_with("/opt/rocm-4.5.0")),
+            "no mixed versions: {:?}",
+            r.paths()
+        );
+    }
+
+    #[test]
+    fn soname_dedup_preserved() {
+        // Shrinkwrap-style output still works under the future loader.
+        let fs = Vfs::local();
+        install(&fs, "/s/liba.so", &ElfObject::dso("liba.so").needs("libb.so").build()).unwrap();
+        install(&fs, "/s/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        let exe = ElfObject::exe("app").needs("/s/liba.so").needs("/s/libb.so").build();
+        install(&fs, "/bin/app", &exe).unwrap();
+        let r = FutureLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.objects.len(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! The ld.so.cache: soname → path mapping built by `ldconfig`.
+//!
+//! The Debian RPATH debate (§III-A) argues the *distribution* should resolve
+//! libraries via `ld.so.conf` + the cache rather than per-binary paths. We
+//! model the cache as a snapshot built offline by [`LdCache::ldconfig`]
+//! (unaccounted — it runs at package-install time), consulted in O(1) at
+//! load time, with the winning path then opened (accounted).
+
+use std::collections::HashMap;
+
+use depchaos_elf::{ElfObject, Machine};
+use depchaos_vfs::{path as vpath, Vfs};
+
+/// An immutable soname → path cache per (machine) ABI.
+#[derive(Debug, Clone, Default)]
+pub struct LdCache {
+    entries: HashMap<(String, Machine), String>,
+}
+
+impl LdCache {
+    /// Empty cache (no ld.so.conf).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Scan `dirs` (the ld.so.conf list) and record, for each soname and
+    /// ABI, the **first** directory's file — matching ldconfig's
+    /// first-match-wins ordering. Unaccounted: ldconfig runs offline.
+    pub fn ldconfig(fs: &Vfs, dirs: &[String]) -> Self {
+        let mut entries: HashMap<(String, Machine), String> = HashMap::new();
+        for dir in dirs {
+            let Ok(names) = fs.list_dir(dir) else { continue };
+            for name in names {
+                let full = vpath::join(dir, &name);
+                let Ok(bytes) = fs.peek_file(&full) else { continue };
+                let Ok(obj) = ElfObject::parse(&bytes) else { continue };
+                let soname = obj.soname.clone().unwrap_or(name);
+                entries.entry((soname, obj.machine)).or_insert(full);
+            }
+        }
+        LdCache { entries }
+    }
+
+    /// Look up a soname for an ABI. O(1), free: the cache is mapped memory
+    /// in the real loader.
+    pub fn lookup(&self, soname: &str, machine: Machine) -> Option<&str> {
+        self.entries.get(&(soname.to_string(), machine)).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+
+    #[test]
+    fn ldconfig_scans_and_first_dir_wins() {
+        let fs = Vfs::local();
+        install(&fs, "/lib/libc.so.6", &ElfObject::dso("libc.so.6").build()).unwrap();
+        install(&fs, "/extra/libc.so.6", &ElfObject::dso("libc.so.6").build()).unwrap();
+        install(&fs, "/extra/libx.so.1", &ElfObject::dso("libx.so.1").build()).unwrap();
+        let cache = LdCache::ldconfig(&fs, &["/lib".to_string(), "/extra".to_string()]);
+        assert_eq!(cache.lookup("libc.so.6", Machine::X86_64), Some("/lib/libc.so.6"));
+        assert_eq!(cache.lookup("libx.so.1", Machine::X86_64), Some("/extra/libx.so.1"));
+        assert_eq!(cache.lookup("libc.so.6", Machine::X86), None, "per-ABI entries");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn soname_key_not_filename() {
+        let fs = Vfs::local();
+        // File named libfoo.so but soname libfoo.so.2 — cache indexes soname.
+        install(&fs, "/lib/libfoo.so", &ElfObject::dso("libfoo.so").soname("libfoo.so.2").build())
+            .unwrap();
+        let cache = LdCache::ldconfig(&fs, &["/lib".to_string()]);
+        assert!(cache.lookup("libfoo.so.2", Machine::X86_64).is_some());
+        assert!(cache.lookup("libfoo.so", Machine::X86_64).is_none());
+    }
+
+    #[test]
+    fn ldconfig_is_unaccounted() {
+        let fs = Vfs::local();
+        install(&fs, "/lib/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        LdCache::ldconfig(&fs, &["/lib".to_string()]);
+        assert_eq!(fs.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn missing_dirs_skipped() {
+        let fs = Vfs::local();
+        let cache = LdCache::ldconfig(&fs, &["/no/such/dir".to_string()]);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # depchaos-loader — executable models of `ld.so`
+//!
+//! Everything the paper says about loader behaviour is encoded here as a
+//! deterministic interpreter over a [`depchaos_vfs::Vfs`] full of
+//! [`depchaos_elf::ElfObject`]s:
+//!
+//! * **glibc semantics** ([`GlibcLoader`]): breadth-first loading from the
+//!   executable's `DT_NEEDED` list; per-request search order `DT_RPATH`
+//!   (of the requester and its loader-chain ancestors, suppressed by a
+//!   `DT_RUNPATH` on the requester) → `LD_LIBRARY_PATH` → `DT_RUNPATH`
+//!   (requester only, never inherited) → ld.so.cache → default dirs;
+//!   dedup by requested name, soname, path, and inode — which is how a
+//!   missing search path can hide inside a working binary (Listing 1);
+//!   hwcaps subdirectories; silent skipping of wrong-architecture
+//!   candidates; `LD_PRELOAD`; `dlopen`.
+//! * **musl semantics** ([`MuslLoader`]): dedup by pathname and inode only
+//!   (no soname cache — the documented reason Shrinkwrap does not support
+//!   musl), and RPATH/RUNPATH treated identically: inherited like RPATH but
+//!   searched *after* `LD_LIBRARY_PATH`.
+//! * **libtree-style analysis** ([`tree`]): per-object static resolution
+//!   that ignores the dedup cache, revealing the `not found` entries that
+//!   dynamic loading papers over (Listing 1's `libsamba-debug-samba4.so`).
+//!
+//! The loaders charge every probe to the VFS cost model, so Table II
+//! (syscall counts) and Fig 6 (NFS launch storms) fall out of the same code
+//! path that answers the correctness questions.
+
+pub mod env;
+pub mod future;
+pub mod glibc;
+pub mod ldcache;
+pub mod musl;
+pub mod resolve;
+pub mod service;
+pub mod result;
+pub mod tree;
+
+pub use env::Environment;
+pub use future::FutureLoader;
+pub use glibc::GlibcLoader;
+pub use ldcache::LdCache;
+pub use musl::MuslLoader;
+pub use resolve::{Provenance, Resolution};
+pub use result::{LoadError, LoadResult, LoadedObject};
+pub use service::{HashStoreService, LoaderService, ServiceLoader};
+pub use tree::{analyze_tree, DepTree, TreeNode};

@@ -1,0 +1,375 @@
+//! The musl `ld.so` model — the divergent semantics that make Shrinkwrap
+//! glibc-only (§IV).
+//!
+//! Differences from glibc, all load-bearing for the paper:
+//!
+//! * **No soname cache.** Dedup happens by requested-name string (for bare
+//!   names, against the *shortname* of libraries that were themselves loaded
+//!   by bare name) and by `(dev,inode)` after opening a candidate. An object
+//!   loaded via an absolute path does **not** satisfy a later bare-soname
+//!   request unless the search happens to find the same file — so a
+//!   shrinkwrapped binary may load duplicates or fail outright.
+//! * **RPATH ≡ RUNPATH**, both inherited through the `needed_by` chain but
+//!   searched **after** `LD_LIBRARY_PATH` (musl `dynlink.c`: `env_path`
+//!   first, then the requester chain's rpath, then the system path). The
+//!   paper notes this meld "would actually solve a number of problems with
+//!   RUNPATH, but ... is non-standard".
+//! * No hwcaps subdirectories, no ld.so.cache.
+
+use std::collections::{HashMap, VecDeque};
+
+use depchaos_elf::ElfObject;
+use depchaos_vfs::{Inode, Vfs};
+
+use crate::env::Environment;
+use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance, Resolution};
+use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+
+/// A musl-semantics loader bound to one filesystem.
+pub struct MuslLoader<'fs> {
+    fs: &'fs Vfs,
+    env: Environment,
+}
+
+struct State {
+    objects: Vec<LoadedObject>,
+    /// Bare-name dedup: shortnames of objects loaded by search.
+    by_shortname: HashMap<String, usize>,
+    by_inode: HashMap<Inode, usize>,
+    events: Vec<LoadEvent>,
+    failures: Vec<Failure>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            objects: Vec::new(),
+            by_shortname: HashMap::new(),
+            by_inode: HashMap::new(),
+            events: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    fn register(
+        &mut self,
+        fs: &Vfs,
+        requested: &str,
+        cand: Candidate,
+        parent: Option<usize>,
+        provenance: Provenance,
+        loaded_by_search: bool,
+    ) -> usize {
+        let idx = self.objects.len();
+        let canonical = fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
+        let inode = fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
+        if loaded_by_search {
+            // musl sets shortname only for libraries found by name search.
+            self.by_shortname.entry(requested.to_string()).or_insert(idx);
+        }
+        self.by_inode.entry(inode).or_insert(idx);
+        self.objects.push(LoadedObject {
+            idx,
+            path: cand.path,
+            canonical,
+            inode,
+            object: cand.object,
+            parent,
+            requested_as: vec![requested.to_string()],
+            provenance,
+        });
+        idx
+    }
+}
+
+impl<'fs> MuslLoader<'fs> {
+    pub fn new(fs: &'fs Vfs) -> Self {
+        MuslLoader { fs, env: Environment::default() }
+    }
+
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Simulate process startup under musl semantics.
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        let before = self.fs.snapshot();
+        let t0 = self.fs.elapsed_ns();
+        let mut st = State::new();
+
+        if self.fs.try_open(exe_path).is_none() {
+            return Err(LoadError::ExeNotFound(exe_path.to_string()));
+        }
+        let bytes = self
+            .fs
+            .read_file(exe_path)
+            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
+        let exe = ElfObject::parse(&bytes)
+            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
+        if exe.virtual_size > 0 {
+            self.fs.charge_read(exe_path, exe.virtual_size);
+        }
+        st.register(
+            self.fs,
+            exe_path,
+            Candidate { path: exe_path.to_string(), object: exe },
+            None,
+            Provenance::Executable,
+            false,
+        );
+
+        for entry in self.env.ld_preload.clone() {
+            self.request(&mut st, 0, &entry);
+        }
+
+        let mut queue: VecDeque<(usize, String)> =
+            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
+        let mut next_obj = st.objects.len();
+        while let Some((req, name)) = queue.pop_front() {
+            self.request(&mut st, req, &name);
+            while next_obj < st.objects.len() {
+                for n in &st.objects[next_obj].object.needed {
+                    queue.push_back((next_obj, n.clone()));
+                }
+                next_obj += 1;
+            }
+        }
+
+        Ok(LoadResult {
+            syscalls: self.fs.snapshot().since(&before),
+            time_ns: self.fs.elapsed_ns() - t0,
+            objects: st.objects,
+            events: st.events,
+            failures: st.failures,
+        })
+    }
+
+    fn request(&self, st: &mut State, requester: usize, name: &str) {
+        let resolution = self.resolve(st, requester, name);
+        if let Resolution::NotFound = resolution {
+            st.failures.push(Failure {
+                requester: st.objects[requester].object.name.clone(),
+                name: name.to_string(),
+            });
+        }
+        st.events.push(LoadEvent { requester, name: name.to_string(), resolution });
+    }
+
+    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
+        let want_arch = st.objects[0].object.machine;
+
+        if name.contains('/') {
+            // Direct path: open, then (dev,ino) dedup only.
+            let Some(cand) = probe_exact(self.fs, name, want_arch) else {
+                return Resolution::NotFound;
+            };
+            return self.commit(st, requester, name, cand, Provenance::DirectPath, false);
+        }
+
+        // Bare name: shortname dedup (absolute-loaded objects not indexed).
+        if let Some(&idx) = st.by_shortname.get(name) {
+            let path = st.objects[idx].path.clone();
+            if !st.objects[idx].requested_as.iter().any(|r| r == name) {
+                st.objects[idx].requested_as.push(name.to_string());
+            }
+            return Resolution::Deduped { path };
+        }
+
+        // musl search order: env_path FIRST...
+        for dir in &self.env.ld_library_path {
+            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
+                return self.commit(st, requester, name, cand, Provenance::LdLibraryPath, true);
+            }
+        }
+
+        // ...then the requester chain's rpath (RPATH and RUNPATH melded,
+        // both inherited)...
+        let mut chain = Some(requester);
+        while let Some(idx) = chain {
+            let owner = st.objects[idx].object.name.clone();
+            let owner_path = st.objects[idx].path.clone();
+            let mut dirs: Vec<String> = Vec::new();
+            dirs.extend(st.objects[idx].object.rpath.iter().map(|e| expand_entry(e, &owner_path)));
+            dirs.extend(
+                st.objects[idx].object.runpath.iter().map(|e| expand_entry(e, &owner_path)),
+            );
+            for dir in &dirs {
+                if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
+                    return self.commit(
+                        st,
+                        requester,
+                        name,
+                        cand,
+                        Provenance::Rpath { owner: owner.clone() },
+                        true,
+                    );
+                }
+            }
+            chain = st.objects[idx].parent;
+        }
+
+        // ...then the system path.
+        for dir in &self.env.default_paths {
+            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
+                return self.commit(st, requester, name, cand, Provenance::DefaultPath, true);
+            }
+        }
+
+        Resolution::NotFound
+    }
+
+    fn commit(
+        &self,
+        st: &mut State,
+        requester: usize,
+        name: &str,
+        cand: Candidate,
+        provenance: Provenance,
+        by_search: bool,
+    ) -> Resolution {
+        // (dev,ino) dedup after open — musl's only cross-name dedup.
+        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
+        if let Ok(meta) = self.fs.peek(&canonical) {
+            if let Some(&idx) = st.by_inode.get(&meta.inode) {
+                let path = st.objects[idx].path.clone();
+                if by_search {
+                    st.by_shortname.entry(name.to_string()).or_insert(idx);
+                }
+                if !st.objects[idx].requested_as.iter().any(|r| r == name) {
+                    st.objects[idx].requested_as.push(name.to_string());
+                }
+                return Resolution::Deduped { path };
+            }
+        }
+        let path = cand.path.clone();
+        st.register(self.fs, name, cand, Some(requester), provenance.clone(), by_search);
+        Resolution::Loaded { path, provenance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+
+    #[test]
+    fn env_path_beats_rpath_under_musl() {
+        // Opposite priority from glibc's RPATH: Table I does not hold here.
+        let fs = Vfs::local();
+        install(&fs, "/rp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        install(&fs, "/llp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libx.so").rpath("/rp").build())
+            .unwrap();
+        let env = Environment::bare().with_ld_library_path("/llp");
+        let r = MuslLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+        assert_eq!(r.objects[1].path, "/llp/libx.so");
+    }
+
+    #[test]
+    fn runpath_propagates_under_musl() {
+        // glibc would fail this (RUNPATH does not propagate); musl inherits.
+        let fs = Vfs::local();
+        install(&fs, "/usr/lib/liba.so", &ElfObject::dso("liba.so").needs("libdeep.so").build())
+            .unwrap();
+        install(&fs, "/deep/libdeep.so", &ElfObject::dso("libdeep.so").build()).unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("liba.so").runpath("/deep").build(),
+        )
+        .unwrap();
+        let r = MuslLoader::new(&fs).load("/bin/app").unwrap();
+        assert!(r.success(), "musl inherits runpath through the chain");
+    }
+
+    #[test]
+    fn absolute_needed_does_not_satisfy_bare_request() {
+        // The Shrinkwrap-on-musl incompatibility: /store/a/libac.so is
+        // loaded by path; libxyz's bare request for libac.so is NOT deduped
+        // by soname. With no search path to find it, the load fails.
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("/store/x/libxyz.so").needs("/store/a/libac.so").build(),
+        )
+        .unwrap();
+        install(&fs, "/store/x/libxyz.so", &ElfObject::dso("libxyz.so").needs("libac.so").build())
+            .unwrap();
+        install(&fs, "/store/a/libac.so", &ElfObject::dso("libac.so").build()).unwrap();
+        let r = MuslLoader::new(&fs).load("/bin/app").unwrap();
+        assert!(!r.success(), "musl cannot resolve the bare libac.so");
+        assert_eq!(r.failures[0].name, "libac.so");
+    }
+
+    #[test]
+    fn inode_dedup_rescues_same_file() {
+        // If the bare search finds the *same file* the absolute entry
+        // loaded, musl dedups by inode and the program works.
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app")
+                .needs("/store/x/libxyz.so")
+                .needs("/store/a/libac.so")
+                .rpath("/store/a")
+                .build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/store/x/libxyz.so",
+            &ElfObject::dso("libxyz.so").needs("libac.so").rpath("/store/a").build(),
+        )
+        .unwrap();
+        install(&fs, "/store/a/libac.so", &ElfObject::dso("libac.so").build()).unwrap();
+        let r = MuslLoader::new(&fs).load("/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.objects.len(), 3, "no duplicate copy of libac.so");
+        let e = r.events.iter().find(|e| e.name == "libac.so" && e.requester == 1).unwrap();
+        assert!(matches!(e.resolution, Resolution::Deduped { .. }));
+    }
+
+    #[test]
+    fn musl_preload_interposes_too() {
+        use depchaos_elf::Symbol;
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/usr/lib/libreal.so",
+            &ElfObject::dso("libreal.so").defines(Symbol::strong("write")).build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/tools/libshim.so",
+            &ElfObject::dso("libshim.so").defines(Symbol::strong("write")).build(),
+        )
+        .unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libreal.so").build()).unwrap();
+        let env = Environment::default().with_preload("/tools/libshim.so");
+        let r = MuslLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.bindings()["write"], "/tools/libshim.so");
+    }
+
+    #[test]
+    fn divergence_from_glibc_on_same_image() {
+        // One filesystem, two loaders, different outcomes — the §IV claim.
+        use crate::glibc::GlibcLoader;
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("/store/x/libxyz.so").needs("/store/a/libac.so").build(),
+        )
+        .unwrap();
+        install(&fs, "/store/x/libxyz.so", &ElfObject::dso("libxyz.so").needs("libac.so").build())
+            .unwrap();
+        install(&fs, "/store/a/libac.so", &ElfObject::dso("libac.so").build()).unwrap();
+        assert!(GlibcLoader::new(&fs).load("/bin/app").unwrap().success());
+        assert!(!MuslLoader::new(&fs).load("/bin/app").unwrap().success());
+    }
+}

@@ -1,0 +1,248 @@
+//! Load results: the set of mapped objects plus a full resolution record.
+
+use std::collections::HashMap;
+
+use depchaos_elf::{symbols, ElfObject};
+use depchaos_vfs::{CounterSnapshot, Inode};
+
+use crate::resolve::{Provenance, Resolution};
+
+/// Failure to even begin loading (the executable itself).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    ExeNotFound(String),
+    ExeUnparseable(String),
+    /// The `PT_INTERP` program interpreter does not exist — the exact
+    /// failure a foreign dynamic binary hits on NixOS, where even ld.so
+    /// lives under the store ("not where an FHS system would expect").
+    /// The kernel reports it as a baffling `ENOENT` on the *binary*.
+    InterpreterNotFound { exe: String, interp: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::ExeNotFound(p) => write!(f, "cannot execute {p}: not found"),
+            LoadError::ExeUnparseable(p) => write!(f, "cannot execute {p}: not an ELF object"),
+            LoadError::InterpreterNotFound { exe, interp } => {
+                // The infamous misleading kernel message.
+                write!(f, "{exe}: no such file or directory (missing interpreter {interp})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// One object mapped into the (simulated) address space.
+#[derive(Debug, Clone)]
+pub struct LoadedObject {
+    /// Position in load order; 0 is the executable.
+    pub idx: usize,
+    /// Path the loader opened.
+    pub path: String,
+    /// Physical path after symlink resolution.
+    pub canonical: String,
+    /// File identity, for (dev,ino)-style dedup.
+    pub inode: Inode,
+    /// The parsed object.
+    pub object: ElfObject,
+    /// Index of the object whose needed entry caused this load (`None` for
+    /// the executable and preloads) — the "loader chain" RPATH walks.
+    pub parent: Option<usize>,
+    /// Every name this object was requested under (dedup aliases).
+    pub requested_as: Vec<String>,
+    /// How the loader found it.
+    pub provenance: Provenance,
+}
+
+/// One needed-entry request and how it resolved, in processing order.
+#[derive(Debug, Clone)]
+pub struct LoadEvent {
+    /// Index of the requesting object.
+    pub requester: usize,
+    /// The `DT_NEEDED` (or dlopen/preload) string requested.
+    pub name: String,
+    pub resolution: Resolution,
+}
+
+/// An unresolvable needed entry (a real loader aborts; we collect them all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    pub requester: String,
+    pub name: String,
+}
+
+/// The complete result of a simulated `execve` + relocation.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Objects in load order (executable first, then preloads, then BFS).
+    pub objects: Vec<LoadedObject>,
+    /// Every resolution decision made.
+    pub events: Vec<LoadEvent>,
+    /// Needed entries that resolved nowhere.
+    pub failures: Vec<Failure>,
+    /// Syscalls charged while loading (delta over the run).
+    pub syscalls: CounterSnapshot,
+    /// Simulated wall time spent in loader filesystem activity.
+    pub time_ns: u64,
+}
+
+impl LoadResult {
+    /// True when every needed entry resolved — the process would start.
+    pub fn success(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Paths in load order.
+    pub fn paths(&self) -> Vec<&str> {
+        self.objects.iter().map(|o| o.path.as_str()).collect()
+    }
+
+    /// Find a loaded object by soname, any requested alias, or path.
+    pub fn find(&self, name: &str) -> Option<&LoadedObject> {
+        self.objects.iter().find(|o| {
+            o.path == name
+                || o.canonical == name
+                || o.object.effective_soname() == name
+                || o.requested_as.iter().any(|r| r == name)
+        })
+    }
+
+    /// Runtime symbol bindings: for each symbol, the path of the object that
+    /// provides it under ELF lookup order (load order, first wins).
+    pub fn bindings(&self) -> HashMap<String, String> {
+        symbols::runtime_bindings(
+            self.objects.iter().map(|o| (o.path.as_str(), o.object.symbols.as_slice())),
+        )
+    }
+
+    /// The stat+openat count — Table II's metric.
+    pub fn stat_openat(&self) -> u64 {
+        self.syscalls.stat_openat()
+    }
+
+    /// Number of distinct objects mapped (excluding the executable).
+    pub fn library_count(&self) -> usize {
+        self.objects.len().saturating_sub(1)
+    }
+
+    /// Render in `ldd` style: one `soname => path` line per loaded object
+    /// (the executable omitted, as ldd does).
+    pub fn render_ldd(&self) -> String {
+        let mut s = String::new();
+        for o in self.objects.iter().skip(1) {
+            s.push_str(&format!(
+                "\t{} => {} [{}]\n",
+                o.object.effective_soname(),
+                o.path,
+                o.provenance.tag()
+            ));
+        }
+        for f in &self.failures {
+            s.push_str(&format!("\t{} => not found\n", f.name));
+        }
+        s
+    }
+
+    /// Render a compact report for humans.
+    pub fn render_summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "loaded {} objects, {} stat/openat, {} misses, {:.3} ms simulated\n",
+            self.objects.len(),
+            self.syscalls.stat_openat(),
+            self.syscalls.misses,
+            self.time_ns as f64 / 1e6,
+        ));
+        for f in &self.failures {
+            s.push_str(&format!("  ERROR: {}: cannot open shared object file: {}\n", f.requester, f.name));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::Symbol;
+
+    fn obj(idx: usize, path: &str, object: ElfObject) -> LoadedObject {
+        LoadedObject {
+            idx,
+            path: path.to_string(),
+            canonical: path.to_string(),
+            inode: Inode(idx as u64 + 10),
+            object,
+            parent: None,
+            requested_as: vec![],
+            provenance: Provenance::Executable,
+        }
+    }
+
+    #[test]
+    fn bindings_follow_load_order() {
+        let r = LoadResult {
+            objects: vec![
+                obj(0, "/bin/app", ElfObject::exe("app").build()),
+                obj(1, "/lib/first.so", ElfObject::dso("first.so").defines(Symbol::strong("f")).build()),
+                obj(2, "/lib/second.so", ElfObject::dso("second.so").defines(Symbol::strong("f")).build()),
+            ],
+            events: vec![],
+            failures: vec![],
+            syscalls: CounterSnapshot::default(),
+            time_ns: 0,
+        };
+        assert_eq!(r.bindings()["f"], "/lib/first.so");
+        assert!(r.success());
+        assert_eq!(r.library_count(), 2);
+    }
+
+    #[test]
+    fn find_by_alias() {
+        let mut o = obj(1, "/lib/libx.so.1", ElfObject::dso("libx.so.1").build());
+        o.requested_as.push("libx.so".to_string());
+        let r = LoadResult {
+            objects: vec![o],
+            events: vec![],
+            failures: vec![],
+            syscalls: CounterSnapshot::default(),
+            time_ns: 0,
+        };
+        assert!(r.find("libx.so").is_some());
+        assert!(r.find("libx.so.1").is_some());
+        assert!(r.find("/lib/libx.so.1").is_some());
+        assert!(r.find("nope").is_none());
+    }
+
+    #[test]
+    fn ldd_render_lists_and_marks_missing() {
+        let r = LoadResult {
+            objects: vec![
+                obj(0, "/bin/app", ElfObject::exe("app").build()),
+                obj(1, "/lib/libx.so.1", ElfObject::dso("libx.so.1").build()),
+            ],
+            events: vec![],
+            failures: vec![Failure { requester: "app".into(), name: "libgone.so".into() }],
+            syscalls: CounterSnapshot::default(),
+            time_ns: 0,
+        };
+        let text = r.render_ldd();
+        assert!(text.contains("libx.so.1 => /lib/libx.so.1"));
+        assert!(text.contains("libgone.so => not found"));
+        assert!(!text.contains("/bin/app =>"), "executable omitted, like ldd");
+    }
+
+    #[test]
+    fn failure_summary_rendered() {
+        let r = LoadResult {
+            objects: vec![],
+            events: vec![],
+            failures: vec![Failure { requester: "app".into(), name: "libgone.so".into() }],
+            syscalls: CounterSnapshot::default(),
+            time_ns: 0,
+        };
+        assert!(!r.success());
+        assert!(r.render_summary().contains("libgone.so"));
+    }
+}

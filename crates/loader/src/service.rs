@@ -1,0 +1,283 @@
+//! A Zircon-style loader service (§III-C).
+//!
+//! > "The Fuchsia kernel and Zircon system loader implement a service to
+//! > request dynamic libraries at load time, allowing load configurations
+//! > to be changed between libraries during loading. ... Given the option
+//! > to change the way dependencies are encoded in binaries could allow a
+//! > system like Nix or Spack to store the hash of the library being
+//! > requested ... One can envision a system that would allow a user to
+//! > take a binary set up that way and ask a tool to provide all of the
+//! > dependencies it needs in place of distributing a static binary or a
+//! > container."
+//!
+//! [`ServiceLoader`] delegates every needed-entry resolution to a
+//! [`LoaderService`] policy object. [`HashStoreService`] implements the
+//! paper's envisioned scheme: needed entries are `sha:<digest>` strings
+//! resolved against a content-addressed index, and
+//! [`HashStoreService::manifest`] answers the "provide all of the
+//! dependencies it needs" question without running the binary.
+
+use std::collections::{HashMap, VecDeque};
+
+use depchaos_elf::ElfObject;
+use depchaos_vfs::{Inode, Vfs};
+
+use crate::resolve::{probe_exact, Provenance, Resolution};
+use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+
+/// A resolution policy consulted once per needed entry.
+pub trait LoaderService {
+    /// Map `(requester path, needed string)` to an absolute path, or `None`
+    /// for "cannot supply".
+    fn resolve(&self, requester: &str, name: &str) -> Option<String>;
+}
+
+/// The loader half: BFS + dedup identical to glibc, resolution fully
+/// delegated to the service.
+pub struct ServiceLoader<'fs, S: LoaderService> {
+    fs: &'fs Vfs,
+    service: S,
+}
+
+impl<'fs, S: LoaderService> ServiceLoader<'fs, S> {
+    pub fn new(fs: &'fs Vfs, service: S) -> Self {
+        ServiceLoader { fs, service }
+    }
+
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Simulate process startup with service-side resolution.
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        let before = self.fs.snapshot();
+        let t0 = self.fs.elapsed_ns();
+        let mut objects: Vec<LoadedObject> = Vec::new();
+        let mut by_name: HashMap<String, usize> = HashMap::new();
+        let mut events = Vec::new();
+        let mut failures = Vec::new();
+
+        if self.fs.try_open(exe_path).is_none() {
+            return Err(LoadError::ExeNotFound(exe_path.to_string()));
+        }
+        let bytes = self
+            .fs
+            .read_file(exe_path)
+            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
+        let exe = ElfObject::parse(&bytes)
+            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
+        let want_arch = exe.machine;
+        objects.push(LoadedObject {
+            idx: 0,
+            path: exe_path.to_string(),
+            canonical: self.fs.canonicalize(exe_path).unwrap_or_else(|_| exe_path.to_string()),
+            inode: self.fs.peek(exe_path).map(|m| m.inode).unwrap_or(Inode(0)),
+            object: exe,
+            parent: None,
+            requested_as: vec![exe_path.to_string()],
+            provenance: Provenance::Executable,
+        });
+        by_name.insert(exe_path.to_string(), 0);
+
+        let mut queue: VecDeque<(usize, String)> =
+            objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
+        let mut next_obj = objects.len();
+        while let Some((req, name)) = queue.pop_front() {
+            let resolution = if let Some(&i) = by_name.get(&name) {
+                Resolution::Deduped { path: objects[i].path.clone() }
+            } else {
+                match self
+                    .service
+                    .resolve(&objects[req].path, &name)
+                    .and_then(|p| probe_exact(self.fs, &p, want_arch))
+                {
+                    Some(cand) => {
+                        let idx = objects.len();
+                        let canonical = self
+                            .fs
+                            .canonicalize(&cand.path)
+                            .unwrap_or_else(|_| cand.path.clone());
+                        let inode =
+                            self.fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
+                        by_name.insert(name.clone(), idx);
+                        by_name.insert(cand.object.effective_soname().to_string(), idx);
+                        let path = cand.path.clone();
+                        objects.push(LoadedObject {
+                            idx,
+                            path: cand.path,
+                            canonical,
+                            inode,
+                            object: cand.object,
+                            parent: Some(req),
+                            requested_as: vec![name.clone()],
+                            provenance: Provenance::LdSoCache,
+                        });
+                        Resolution::Loaded { path, provenance: Provenance::LdSoCache }
+                    }
+                    None => Resolution::NotFound,
+                }
+            };
+            if let Resolution::NotFound = resolution {
+                failures.push(Failure {
+                    requester: objects[req].object.name.clone(),
+                    name: name.clone(),
+                });
+            }
+            events.push(LoadEvent { requester: req, name, resolution });
+            while next_obj < objects.len() {
+                for n in &objects[next_obj].object.needed {
+                    queue.push_back((next_obj, n.clone()));
+                }
+                next_obj += 1;
+            }
+        }
+
+        Ok(LoadResult {
+            syscalls: self.fs.snapshot().since(&before),
+            time_ns: self.fs.elapsed_ns() - t0,
+            objects,
+            events,
+            failures,
+        })
+    }
+}
+
+/// The paper's envisioned content-addressed scheme: needed entries are
+/// `sha:<digest>`; the service owns the digest → store-path index.
+#[derive(Debug, Default)]
+pub struct HashStoreService {
+    index: HashMap<String, String>,
+}
+
+impl HashStoreService {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A deterministic stand-in digest for `bytes` (FNV-1a hex).
+    pub fn digest(bytes: &[u8]) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Register a store file under its content digest; returns the
+    /// `sha:<digest>` needed-string to embed in dependents.
+    pub fn register(&mut self, fs: &Vfs, path: &str) -> Result<String, String> {
+        let bytes = fs.peek_file(path).map_err(|e| e.to_string())?;
+        let d = Self::digest(&bytes);
+        self.index.insert(d.clone(), path.to_string());
+        Ok(format!("sha:{d}"))
+    }
+
+    /// "Ask a tool to provide all of the dependencies it needs": resolve the
+    /// full transitive manifest of a binary without loading it.
+    pub fn manifest(&self, fs: &Vfs, exe_path: &str) -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![exe_path.to_string()];
+        while let Some(p) = queue.pop() {
+            let obj = depchaos_elf::io::peek_object(fs, &p).map_err(|e| e.to_string())?;
+            for n in &obj.needed {
+                if !seen.insert(n.clone()) {
+                    continue;
+                }
+                match self.lookup(n) {
+                    Some(path) => {
+                        out.push((n.clone(), path.to_string()));
+                        queue.push(path.to_string());
+                    }
+                    None => return Err(format!("unprovidable dependency: {n}")),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn lookup(&self, name: &str) -> Option<&str> {
+        name.strip_prefix("sha:").and_then(|d| self.index.get(d)).map(String::as_str)
+    }
+}
+
+impl LoaderService for HashStoreService {
+    fn resolve(&self, _requester: &str, name: &str) -> Option<String> {
+        self.lookup(name).map(String::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
+
+    /// Build a hash-addressed world: libb, then liba needing sha(libb),
+    /// then an exe needing sha(liba).
+    fn world() -> (Vfs, HashStoreService, String) {
+        let fs = Vfs::local();
+        let mut svc = HashStoreService::new();
+        install(&fs, "/store/bb/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        let b_ref = svc.register(&fs, "/store/bb/libb.so").unwrap();
+        install(&fs, "/store/aa/liba.so", &ElfObject::dso("liba.so").needs(b_ref).build())
+            .unwrap();
+        let a_ref = svc.register(&fs, "/store/aa/liba.so").unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs(a_ref).build()).unwrap();
+        (fs, svc, "/bin/app".to_string())
+    }
+
+    #[test]
+    fn hash_addressed_load_works() {
+        let (fs, svc, exe) = world();
+        let r = ServiceLoader::new(&fs, svc).load(&exe).unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        assert_eq!(r.paths(), vec!["/bin/app", "/store/aa/liba.so", "/store/bb/libb.so"]);
+    }
+
+    #[test]
+    fn missing_digest_is_a_precise_error() {
+        let (fs, svc, exe) = world();
+        // An exe requesting an unregistered digest fails with the digest in
+        // hand — "determine with far greater detail which version is
+        // expected if it is not available".
+        install(
+            &fs,
+            "/bin/app2",
+            &ElfObject::exe("app2").needs("sha:deadbeefdeadbeef").build(),
+        )
+        .unwrap();
+        let r = ServiceLoader::new(&fs, svc).load("/bin/app2").unwrap();
+        assert!(!r.success());
+        assert_eq!(r.failures[0].name, "sha:deadbeefdeadbeef");
+        let _ = exe;
+    }
+
+    #[test]
+    fn manifest_without_loading() {
+        let (fs, svc, exe) = world();
+        let manifest = svc.manifest(&fs, &exe).unwrap();
+        assert_eq!(manifest.len(), 2);
+        assert!(manifest.iter().any(|(_, p)| p == "/store/bb/libb.so"));
+        // No accounted loader work happened.
+        assert_eq!(fs.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn manifest_reports_unprovidable() {
+        let fs = Vfs::local();
+        let svc = HashStoreService::new();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("sha:0000").build()).unwrap();
+        let err = svc.manifest(&fs, "/bin/app").unwrap_err();
+        assert!(err.contains("sha:0000"));
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = HashStoreService::digest(b"one");
+        let b = HashStoreService::digest(b"two");
+        assert_ne!(a, b);
+        assert_eq!(a, HashStoreService::digest(b"one"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests over random library worlds: the loader never panics, is
+//! deterministic, and its dedup cache is sound.
+
+use depchaos_elf::io::install;
+use depchaos_elf::ElfObject;
+use depchaos_loader::{Environment, GlibcLoader, MuslLoader, Resolution};
+use depchaos_vfs::Vfs;
+use proptest::prelude::*;
+
+/// A random world: `n` libraries spread over `d` directories; library i may
+/// need libraries with larger indices (acyclic); the executable needs a
+/// random subset; search paths are a random mix of rpath/runpath on the exe.
+#[derive(Debug, Clone)]
+struct World {
+    n: usize,
+    dirs: usize,
+    lib_dir: Vec<usize>,
+    needs: Vec<Vec<usize>>,
+    exe_needs: Vec<usize>,
+    exe_rpath: bool,
+}
+
+fn world_strat() -> impl Strategy<Value = World> {
+    (2usize..14, 1usize..5).prop_flat_map(|(n, dirs)| {
+        (
+            prop::collection::vec(0..dirs, n),
+            prop::collection::vec(prop::collection::vec(0..n, 0..3), n),
+            prop::collection::vec(0..n, 1..4),
+            any::<bool>(),
+        )
+            .prop_map(move |(lib_dir, raw_needs, exe_needs, exe_rpath)| {
+                let needs = raw_needs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ds)| {
+                        let mut ds: Vec<usize> =
+                            ds.into_iter().filter(|&d| d > i && d < n).collect();
+                        ds.sort();
+                        ds.dedup();
+                        ds
+                    })
+                    .collect();
+                World { n, dirs, lib_dir, needs, exe_needs, exe_rpath }
+            })
+    })
+}
+
+fn build(w: &World) -> (Vfs, String) {
+    let fs = Vfs::local();
+    let dir_list: Vec<String> = (0..w.dirs).map(|d| format!("/libs{d}")).collect();
+    for i in 0..w.n {
+        let mut b = ElfObject::dso(format!("lib{i}.so"));
+        for &d in &w.needs[i] {
+            b = b.needs(format!("lib{d}.so"));
+        }
+        b = b.runpath_all(dir_list.clone());
+        install(&fs, &format!("/libs{}/lib{i}.so", w.lib_dir[i]), &b.build()).unwrap();
+    }
+    let mut e = ElfObject::exe("app");
+    for &i in &w.exe_needs {
+        e = e.needs(format!("lib{i}.so"));
+    }
+    e = if w.exe_rpath { e.rpath_all(dir_list) } else { e.runpath_all(dir_list) };
+    install(&fs, "/bin/app", &e.build()).unwrap();
+    (fs, "/bin/app".to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loads always succeed (everything is findable), never panic, and are
+    /// deterministic.
+    #[test]
+    fn glibc_total_and_deterministic(w in world_strat()) {
+        let (fs, exe) = build(&w);
+        let a = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        prop_assert!(a.success(), "{:?}", a.failures);
+        let b = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        prop_assert_eq!(a.paths(), b.paths());
+    }
+
+    /// No object is ever mapped twice: paths and inodes are unique.
+    #[test]
+    fn no_duplicate_mappings(w in world_strat()) {
+        let (fs, exe) = build(&w);
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        let mut paths: Vec<_> = r.objects.iter().map(|o| o.canonical.clone()).collect();
+        let total = paths.len();
+        paths.sort();
+        paths.dedup();
+        prop_assert_eq!(paths.len(), total);
+        let mut inodes: Vec<_> = r.objects.iter().map(|o| o.inode).collect();
+        inodes.sort();
+        inodes.dedup();
+        prop_assert_eq!(inodes.len(), total);
+    }
+
+    /// Every event resolves to a loaded object or a recorded failure, and
+    /// every loaded object stems from exactly one Loaded event (or is the
+    /// executable).
+    #[test]
+    fn events_account_for_everything(w in world_strat()) {
+        let (fs, exe) = build(&w);
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        let loaded_events = r.events.iter().filter(|e| matches!(e.resolution, Resolution::Loaded { .. })).count();
+        prop_assert_eq!(loaded_events, r.objects.len() - 1);
+        for e in &r.events {
+            if let Some(p) = e.resolution.path() {
+                prop_assert!(r.objects.iter().any(|o| o.path == p));
+            }
+        }
+    }
+
+    /// musl and glibc agree on *success* for these worlds (no absolute
+    /// needed entries, everything on the search path) even though provenance
+    /// ordering differs.
+    #[test]
+    fn musl_agrees_on_success(w in world_strat()) {
+        let (fs, exe) = build(&w);
+        let g = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        let m = MuslLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        prop_assert_eq!(g.success(), m.success());
+        // And they load the same *set* of files.
+        let mut gp: Vec<_> = g.objects.iter().map(|o| o.canonical.clone()).collect();
+        let mut mp: Vec<_> = m.objects.iter().map(|o| o.canonical.clone()).collect();
+        gp.sort();
+        mp.sort();
+        prop_assert_eq!(gp, mp);
+    }
+
+    /// Wrapping-by-hand invariant: rewriting every needed entry to the path
+    /// the loader resolved yields the same load set with zero misses.
+    #[test]
+    fn freeze_resolution_reproduces_load(w in world_strat()) {
+        let (fs, exe) = build(&w);
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        let frozen: Vec<String> = r.objects.iter().skip(1).map(|o| o.path.clone()).collect();
+        depchaos_elf::ElfEditor::open(&fs, &exe).unwrap().set_needed(frozen).unwrap();
+        let r2 = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&exe).unwrap();
+        prop_assert!(r2.success());
+        prop_assert_eq!(r2.syscalls.misses, 0);
+        let mut a: Vec<_> = r.objects.iter().map(|o| o.canonical.clone()).collect();
+        let mut b: Vec<_> = r2.objects.iter().map(|o| o.canonical.clone()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! The self-referential (bundled) model (§II-B).
+//!
+//! The application directory vendors every dependency under `lib/` and the
+//! binary finds them through a single `$ORIGIN`-relative runpath — the
+//! AppImage / Darwin-app-bundle shape. The bundle is relocatable (the test
+//! moves it), atomic to install/remove, and wasteful: every bundle carries
+//! its own copies, so a library patch means rebuilding every bundle
+//! ([`BundleInstaller::duplicated_sonames`] quantifies the loss).
+
+use std::collections::HashMap;
+
+use depchaos_elf::{io, ElfObject};
+use depchaos_vfs::{path as vpath, Vfs, VfsError};
+
+use crate::package::Repo;
+
+/// Installs packages as self-contained application bundles.
+#[derive(Debug)]
+pub struct BundleInstaller {
+    root: String,
+    /// bundle dir → vendored sonames, for dedup-loss accounting.
+    contents: HashMap<String, Vec<String>>,
+}
+
+impl BundleInstaller {
+    pub fn new(root: impl Into<String>) -> Self {
+        BundleInstaller { root: root.into(), contents: HashMap::new() }
+    }
+
+    /// Vendor `pkg` and its full closure into one directory. Returns the
+    /// bundle path. Every library of every closure member is *copied* in.
+    pub fn install(&mut self, fs: &Vfs, repo: &Repo, name: &str) -> Result<String, VfsError> {
+        let Some(pkg) = repo.get(name) else {
+            return Err(VfsError::NotFound(format!("package {name}")));
+        };
+        let bundle = format!("{}/{}-{}", self.root, pkg.name, pkg.version);
+        let lib_dir = format!("{bundle}/lib");
+        let bin_dir = format!("{bundle}/bin");
+        fs.mkdir_p(&lib_dir)?;
+        fs.mkdir_p(&bin_dir)?;
+
+        let mut vendored = Vec::new();
+        let mut members = vec![pkg.clone()];
+        for dep in repo.closure(name) {
+            if let Some(p) = repo.get(&dep) {
+                members.push(p.clone());
+            }
+        }
+        for member in &members {
+            for lib in &member.libs {
+                let mut b = ElfObject::dso(&lib.soname);
+                for n in &lib.needed {
+                    b = b.needs(n);
+                }
+                for s in &lib.symbols {
+                    b = b.defines(s.clone());
+                }
+                // Vendored libraries also resolve siblings via $ORIGIN.
+                b = b.runpath("$ORIGIN");
+                io::install(fs, &vpath::join(&lib_dir, &lib.soname), &b.build())?;
+                vendored.push(lib.soname.clone());
+            }
+        }
+        for bin in &pkg.bins {
+            let mut b = ElfObject::exe(&bin.name);
+            for n in &bin.needed {
+                b = b.needs(n);
+            }
+            b = b.runpath("$ORIGIN/../lib");
+            io::install(fs, &vpath::join(&bin_dir, &bin.name), &b.build())?;
+        }
+        self.contents.insert(bundle.clone(), vendored);
+        Ok(bundle)
+    }
+
+    /// Remove a bundle atomically (one subtree).
+    pub fn remove(&mut self, fs: &Vfs, bundle: &str) -> Result<(), VfsError> {
+        fs.remove_all(bundle)?;
+        self.contents.remove(bundle);
+        Ok(())
+    }
+
+    /// Sonames vendored into more than one bundle, with their multiplicity —
+    /// the §II-B deduplication loss (each copy must be patched separately).
+    pub fn duplicated_sonames(&self) -> Vec<(String, usize)> {
+        let mut count: HashMap<&str, usize> = HashMap::new();
+        for sonames in self.contents.values() {
+            for s in sonames {
+                *count.entry(s).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = count
+            .into_iter()
+            .filter(|(_, c)| *c > 1)
+            .map(|(s, c)| (s.to_string(), c))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{BinDef, LibDef, PackageDef};
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    fn repo() -> Repo {
+        let mut r = Repo::new();
+        r.add(PackageDef::new("zlib", "1.2").lib(LibDef::new("libz.so.1")));
+        r.add(
+            PackageDef::new("viewer", "2.0")
+                .dep("zlib")
+                .lib(LibDef::new("libviewer.so").needs("libz.so.1"))
+                .bin(BinDef::new("viewer").needs("libviewer.so")),
+        );
+        r.add(
+            PackageDef::new("editor", "3.0")
+                .dep("zlib")
+                .bin(BinDef::new("editor").needs("libz.so.1")),
+        );
+        r
+    }
+
+    #[test]
+    fn bundle_is_self_contained() {
+        let fs = Vfs::local();
+        let mut b = BundleInstaller::new("/apps");
+        let bundle = b.install(&fs, &repo(), "viewer").unwrap();
+        let r = GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .load(&format!("{bundle}/bin/viewer"))
+            .unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        assert!(r.objects.iter().skip(1).all(|o| o.path.starts_with(&bundle)));
+    }
+
+    #[test]
+    fn bundle_is_relocatable() {
+        // $ORIGIN means the bundle works from any location: install at /apps,
+        // "move" by reinstalling at /home/user/apps and deleting the old one.
+        let fs = Vfs::local();
+        let mut at_home = BundleInstaller::new("/home/user/apps");
+        let bundle = at_home.install(&fs, &repo(), "viewer").unwrap();
+        assert!(bundle.starts_with("/home/user/apps"));
+        let r = GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .load(&format!("{bundle}/bin/viewer"))
+            .unwrap();
+        assert!(r.success());
+    }
+
+    #[test]
+    fn atomic_removal() {
+        let fs = Vfs::local();
+        let mut b = BundleInstaller::new("/apps");
+        let bundle = b.install(&fs, &repo(), "viewer").unwrap();
+        assert!(fs.exists(&bundle));
+        b.remove(&fs, &bundle).unwrap();
+        assert!(!fs.exists(&bundle));
+    }
+
+    #[test]
+    fn writable_bundle_directory_is_an_injection_vector() {
+        // §II-B: "because the user can choose where to place the bundle. If
+        // the library path includes a writable directory, an attacker can
+        // leverage it to load unintended code." $ORIGIN resolution trusts
+        // whatever sits next to the binary.
+        use depchaos_elf::{io, ElfObject, Symbol};
+        let fs = Vfs::local();
+        let mut b = BundleInstaller::new("/home/user/apps");
+        let bundle = b.install(&fs, &repo(), "viewer").unwrap();
+        // Attacker replaces the vendored zlib inside the writable dir.
+        io::install(
+            &fs,
+            &format!("{bundle}/lib/libz.so.1"),
+            &ElfObject::dso("libz.so.1").defines(Symbol::strong("attacker_payload")).build(),
+        )
+        .unwrap();
+        let r = GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .load(&format!("{bundle}/bin/viewer"))
+            .unwrap();
+        assert!(r.success(), "nothing detects the swap");
+        assert!(
+            r.bindings().contains_key("attacker_payload"),
+            "the planted library was loaded and its symbols bound"
+        );
+    }
+
+    #[test]
+    fn dedup_loss_measured() {
+        let fs = Vfs::local();
+        let mut b = BundleInstaller::new("/apps");
+        b.install(&fs, &repo(), "viewer").unwrap();
+        b.install(&fs, &repo(), "editor").unwrap();
+        let dups = b.duplicated_sonames();
+        assert_eq!(dups, vec![("libz.so.1".to_string(), 2)], "zlib vendored twice");
+    }
+}

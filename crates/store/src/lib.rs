@@ -1,0 +1,37 @@
+//! # depchaos-store — the software-distribution taxonomy, executable
+//!
+//! §II of the paper surveys how software finds its dependencies under four
+//! deployment models. This crate implements each one as an *installer* that
+//! lays packages out in a [`depchaos_vfs::Vfs`] and wires their search paths,
+//! so the loader crate can demonstrate every claimed property:
+//!
+//! * [`fhs`] — the Filesystem Hierarchy Standard model: everything in
+//!   `/usr/lib`, one version per soname, installs can silently overwrite
+//!   (§II-A's atomicity and provenance problems).
+//! * [`bundle`] — the self-referential model: vendored libraries next to the
+//!   binary, `$ORIGIN` runpaths, no sharing (§II-B's deduplication loss).
+//! * [`store`] — the Nix/Spack store model: per-package prefixes named by a
+//!   *pessimistic* content hash over the full transitive closure, RPATH or
+//!   RUNPATH entries pointing at exact store paths, domino rebuilds on any
+//!   change (§II-D).
+//! * [`modules`] — the HPC module model: `module load` mutates
+//!   `LD_LIBRARY_PATH`, composing (and colliding) with everything above
+//!   (§II-E, and the ROCm case study's third ingredient).
+//! * [`views`] — dependency views, workaround §III-D1: a symlink-farm FHS
+//!   image per package, bought with one inode per file.
+
+pub mod bundle;
+pub mod fhs;
+pub mod modules;
+pub mod package;
+pub mod profile;
+pub mod store;
+pub mod views;
+
+pub use bundle::BundleInstaller;
+pub use fhs::FhsInstaller;
+pub use modules::{Module, ModuleSystem};
+pub use package::{BinDef, LibDef, PackageDef, Repo};
+pub use profile::{gc, Profile};
+pub use store::{InstalledPackage, PathStyle, StoreInstaller};
+pub use views::build_view;

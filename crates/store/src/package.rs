@@ -1,0 +1,236 @@
+//! Package recipes — the input every installer consumes.
+//!
+//! A [`PackageDef`] is the deployment-model-agnostic description of a piece
+//! of software: what it provides (shared objects, executables) and which
+//! packages it depends on. Each installer in this crate turns the same
+//! recipe into a different on-disk layout, which is precisely the paper's
+//! framing: the *taxonomy* differs in how binaries find dependencies, not in
+//! the software itself.
+
+use std::collections::HashMap;
+
+use depchaos_elf::Symbol;
+use depchaos_graph::DepGraph;
+
+/// A shared object provided by a package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibDef {
+    /// soname (and file name).
+    pub soname: String,
+    /// Bare-soname needed entries (provided by this package or its deps).
+    pub needed: Vec<String>,
+    /// Defined dynamic symbols (when a scenario cares).
+    pub symbols: Vec<Symbol>,
+    /// Libraries dlopen()ed at runtime.
+    pub dlopens: Vec<String>,
+}
+
+impl LibDef {
+    pub fn new(soname: impl Into<String>) -> Self {
+        LibDef { soname: soname.into(), needed: Vec::new(), symbols: Vec::new(), dlopens: Vec::new() }
+    }
+
+    pub fn needs(mut self, n: impl Into<String>) -> Self {
+        self.needed.push(n.into());
+        self
+    }
+
+    pub fn defines(mut self, s: Symbol) -> Self {
+        self.symbols.push(s);
+        self
+    }
+
+    pub fn dlopens(mut self, n: impl Into<String>) -> Self {
+        self.dlopens.push(n.into());
+        self
+    }
+}
+
+/// An executable provided by a package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinDef {
+    pub name: String,
+    pub needed: Vec<String>,
+    pub dlopens: Vec<String>,
+}
+
+impl BinDef {
+    pub fn new(name: impl Into<String>) -> Self {
+        BinDef { name: name.into(), needed: Vec::new(), dlopens: Vec::new() }
+    }
+
+    pub fn needs(mut self, n: impl Into<String>) -> Self {
+        self.needed.push(n.into());
+        self
+    }
+
+    pub fn dlopens(mut self, n: impl Into<String>) -> Self {
+        self.dlopens.push(n.into());
+        self
+    }
+}
+
+/// A buildable unit of software.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageDef {
+    pub name: String,
+    pub version: String,
+    /// Compiler flags, patches... anything that perturbs the store hash.
+    pub build_options: String,
+    /// Names of packages this one depends on.
+    pub deps: Vec<String>,
+    pub libs: Vec<LibDef>,
+    pub bins: Vec<BinDef>,
+}
+
+impl PackageDef {
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        PackageDef {
+            name: name.into(),
+            version: version.into(),
+            build_options: String::new(),
+            deps: Vec::new(),
+            libs: Vec::new(),
+            bins: Vec::new(),
+        }
+    }
+
+    pub fn dep(mut self, d: impl Into<String>) -> Self {
+        self.deps.push(d.into());
+        self
+    }
+
+    pub fn lib(mut self, l: LibDef) -> Self {
+        self.libs.push(l);
+        self
+    }
+
+    pub fn bin(mut self, b: BinDef) -> Self {
+        self.bins.push(b);
+        self
+    }
+
+    pub fn build_options(mut self, o: impl Into<String>) -> Self {
+        self.build_options = o.into();
+        self
+    }
+
+    /// All sonames this package provides.
+    pub fn provided_sonames(&self) -> Vec<&str> {
+        self.libs.iter().map(|l| l.soname.as_str()).collect()
+    }
+}
+
+/// A named collection of package recipes — a distribution snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Repo {
+    packages: HashMap<String, PackageDef>,
+}
+
+impl Repo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a recipe.
+    pub fn add(&mut self, pkg: PackageDef) -> &mut Self {
+        self.packages.insert(pkg.name.clone(), pkg);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&PackageDef> {
+        self.packages.get(name)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut PackageDef> {
+        self.packages.get_mut(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.packages.keys().map(String::as_str)
+    }
+
+    /// The package dependency graph (edges: package → its deps).
+    pub fn dep_graph(&self) -> DepGraph {
+        let mut g = DepGraph::new();
+        for pkg in self.packages.values() {
+            let from = g.add_node(&pkg.name);
+            for d in &pkg.deps {
+                let to = g.add_node(d);
+                g.add_edge(from, to);
+            }
+        }
+        g
+    }
+
+    /// Transitive dependency closure of `name` (names, BFS order, excluding
+    /// the root). Missing packages are skipped silently (like an FHS distro
+    /// with an unversioned dangling Depends).
+    pub fn closure(&self, name: &str) -> Vec<String> {
+        let g = self.dep_graph();
+        match g.lookup(name) {
+            Some(root) => g.closure_bfs(root).into_iter().map(|n| g.name(n).to_string()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Which package provides `soname`, if any.
+    pub fn provider_of(&self, soname: &str) -> Option<&PackageDef> {
+        self.packages.values().find(|p| p.libs.iter().any(|l| l.soname == soname))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repo() -> Repo {
+        let mut r = Repo::new();
+        r.add(PackageDef::new("zlib", "1.2.11").lib(LibDef::new("libz.so.1")));
+        r.add(
+            PackageDef::new("openssl", "1.1.1l")
+                .dep("zlib")
+                .lib(LibDef::new("libssl.so.1.1").needs("libcrypto.so.1.1").needs("libz.so.1"))
+                .lib(LibDef::new("libcrypto.so.1.1").needs("libz.so.1")),
+        );
+        r.add(
+            PackageDef::new("curl", "7.79.1")
+                .dep("openssl")
+                .lib(LibDef::new("libcurl.so.4").needs("libssl.so.1.1"))
+                .bin(BinDef::new("curl").needs("libcurl.so.4")),
+        );
+        r
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let r = sample_repo();
+        assert_eq!(r.closure("curl"), vec!["openssl".to_string(), "zlib".to_string()]);
+        assert!(r.closure("zlib").is_empty());
+        assert!(r.closure("ghost").is_empty());
+    }
+
+    #[test]
+    fn provider_lookup() {
+        let r = sample_repo();
+        assert_eq!(r.provider_of("libz.so.1").unwrap().name, "zlib");
+        assert!(r.provider_of("libmissing.so").is_none());
+    }
+
+    #[test]
+    fn dep_graph_shape() {
+        let r = sample_repo();
+        let g = r.dep_graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_cycle());
+    }
+}

@@ -1,0 +1,232 @@
+//! Profiles and garbage collection — the store model's atomicity payoff.
+//!
+//! §II-D: the store "allows arbitrary versions of the code to reside
+//! congruently, providing the ability to perform upgrades or rollbacks
+//! atomically by installing the whole new graph without invalidating the
+//! old one." A [`Profile`] is the Nix-style moving pointer that makes the
+//! switch atomic: one symlink repoint per upgrade or rollback. [`gc`]
+//! reclaims prefixes no generation can reach.
+
+use std::collections::HashSet;
+
+use depchaos_vfs::{path as vpath, Vfs, VfsError};
+
+use crate::store::{InstalledPackage, StoreInstaller};
+
+/// A named sequence of generations with an atomically-switchable current
+/// pointer (`<base>/current` symlink).
+#[derive(Debug)]
+pub struct Profile {
+    base: String,
+    generations: Vec<InstalledPackage>,
+    current: usize,
+}
+
+impl Profile {
+    /// Create a profile rooted at `base` (e.g. `/profiles/default`).
+    pub fn create(fs: &Vfs, base: impl Into<String>) -> Result<Self, VfsError> {
+        let base = base.into();
+        fs.mkdir_p(&base)?;
+        Ok(Profile { base, generations: Vec::new(), current: 0 })
+    }
+
+    /// Install `pkg` as the next generation and atomically repoint
+    /// `current`. The previous generation's files are untouched.
+    pub fn set(&mut self, fs: &Vfs, pkg: InstalledPackage) -> Result<usize, VfsError> {
+        let gen_no = self.generations.len() + 1;
+        let link = format!("{}/generation-{gen_no}", self.base);
+        fs.symlink(&link, &pkg.prefix)?;
+        self.generations.push(pkg);
+        self.current = gen_no;
+        self.repoint(fs)?;
+        Ok(gen_no)
+    }
+
+    /// Roll back one generation (no-op at the first).
+    pub fn rollback(&mut self, fs: &Vfs) -> Result<usize, VfsError> {
+        if self.current > 1 {
+            self.current -= 1;
+            self.repoint(fs)?;
+        }
+        Ok(self.current)
+    }
+
+    /// Roll forward after a rollback.
+    pub fn roll_forward(&mut self, fs: &Vfs) -> Result<usize, VfsError> {
+        if self.current < self.generations.len() {
+            self.current += 1;
+            self.repoint(fs)?;
+        }
+        Ok(self.current)
+    }
+
+    fn repoint(&self, fs: &Vfs) -> Result<(), VfsError> {
+        // Atomic switch: create the new link under a temp name, then
+        // rename-over — no window where `current` is missing.
+        let current = format!("{}/current", self.base);
+        let tmp = format!("{}/.current.tmp", self.base);
+        let _ = fs.remove(&tmp);
+        fs.symlink(&tmp, &format!("{}/generation-{}", self.base, self.current))?;
+        fs.rename(&tmp, &current)
+    }
+
+    /// Path of the current generation's bin dir (through the symlink).
+    pub fn current_bin(&self, name: &str) -> String {
+        format!("{}/current/bin/{name}", self.base)
+    }
+
+    /// The live generation records (GC roots).
+    pub fn roots(&self) -> impl Iterator<Item = &InstalledPackage> {
+        self.generations.iter()
+    }
+
+    /// Drop generations before `keep_from` (1-based), making their closures
+    /// GC-eligible. The current pointer must stay within the kept range.
+    pub fn delete_generations_before(&mut self, fs: &Vfs, keep_from: usize) -> Result<(), VfsError> {
+        for gen_no in 1..keep_from {
+            let link = format!("{}/generation-{gen_no}", self.base);
+            let _ = fs.remove(&link);
+        }
+        // Record deletion by truncating from the front; renumbering is not
+        // needed for GC purposes, only membership.
+        let drop_n = keep_from.saturating_sub(1).min(self.generations.len());
+        self.generations.drain(..drop_n);
+        Ok(())
+    }
+}
+
+/// Delete every store prefix not reachable from the given roots through the
+/// dependency records. Returns the removed prefixes, sorted.
+pub fn gc<'a, I>(
+    fs: &Vfs,
+    store: &StoreInstaller,
+    roots: I,
+) -> Result<Vec<String>, VfsError>
+where
+    I: IntoIterator<Item = &'a InstalledPackage>,
+{
+    // Map lib_dir → history record for closure walking.
+    let by_libdir: std::collections::HashMap<&str, &InstalledPackage> =
+        store.history().iter().map(|p| (p.lib_dir.as_str(), p)).collect();
+
+    let mut live: HashSet<String> = HashSet::new();
+    let mut stack: Vec<&InstalledPackage> = roots.into_iter().collect();
+    while let Some(p) = stack.pop() {
+        if live.insert(p.prefix.clone()) {
+            for d in &p.dep_lib_dirs {
+                if let Some(dep) = by_libdir.get(d.as_str()) {
+                    stack.push(dep);
+                }
+            }
+        }
+    }
+
+    let mut removed = Vec::new();
+    for entry in fs.list_dir(store.root())? {
+        let prefix = vpath::join(store.root(), &entry);
+        if !live.contains(&prefix) {
+            fs.remove_all(&prefix)?;
+            removed.push(prefix);
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{BinDef, LibDef, PackageDef, Repo};
+    use crate::store::StoreInstaller;
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    fn repo(zlib_opts: &str) -> Repo {
+        let mut r = Repo::new();
+        r.add(
+            PackageDef::new("zlib", "1.2")
+                .build_options(zlib_opts)
+                .lib(LibDef::new("libz.so.1")),
+        );
+        r.add(
+            PackageDef::new("app", "1.0")
+                .dep("zlib")
+                .bin(BinDef::new("app").needs("libz.so.1")),
+        );
+        r
+    }
+
+    #[test]
+    fn upgrade_and_rollback_are_atomic_symlink_flips() {
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        let mut profile = Profile::create(&fs, "/profiles/default").unwrap();
+
+        let gen1 = store.install(&fs, &repo(""), "app").unwrap();
+        profile.set(&fs, gen1.clone()).unwrap();
+        let bin = profile.current_bin("app");
+        assert!(GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap().success());
+
+        // Upgrade: new zlib → new hashes → new prefixes; old ones intact.
+        let gen2 = store.install(&fs, &repo("-O3 CVE-2022-fix"), "app").unwrap();
+        assert_ne!(gen1.prefix, gen2.prefix);
+        profile.set(&fs, gen2.clone()).unwrap();
+        assert_eq!(fs.canonicalize(&bin).unwrap(), format!("{}/app", gen2.bin_dir));
+
+        // Rollback: one symlink flip, fully working old closure.
+        profile.rollback(&fs).unwrap();
+        assert_eq!(fs.canonicalize(&bin).unwrap(), format!("{}/app", gen1.bin_dir));
+        assert!(GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap().success());
+
+        profile.roll_forward(&fs).unwrap();
+        assert_eq!(fs.canonicalize(&bin).unwrap(), format!("{}/app", gen2.bin_dir));
+    }
+
+    #[test]
+    fn gc_keeps_live_closures_only() {
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        let mut profile = Profile::create(&fs, "/profiles/default").unwrap();
+
+        let gen1 = store.install(&fs, &repo(""), "app").unwrap();
+        profile.set(&fs, gen1.clone()).unwrap();
+        let gen2 = store.install(&fs, &repo("patched"), "app").unwrap();
+        profile.set(&fs, gen2.clone()).unwrap();
+
+        // Both generations live: nothing to collect.
+        let removed = gc(&fs, &store, profile.roots()).unwrap();
+        assert!(removed.is_empty(), "{removed:?}");
+
+        // Drop generation 1; its app AND its zlib become garbage.
+        profile.delete_generations_before(&fs, 2).unwrap();
+        let removed = gc(&fs, &store, profile.roots()).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert!(removed.iter().any(|p| p == &gen1.prefix));
+        assert!(!fs.exists(&gen1.prefix));
+        // Current generation still loads.
+        let bin = profile.current_bin("app");
+        assert!(GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap().success());
+    }
+
+    #[test]
+    fn gc_preserves_shared_dependencies() {
+        // Two apps sharing one zlib: collecting one app must keep zlib.
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        let mut r = repo("");
+        r.add(
+            PackageDef::new("other", "1.0")
+                .dep("zlib")
+                .bin(BinDef::new("other").needs("libz.so.1")),
+        );
+        let app = store.install(&fs, &r, "app").unwrap();
+        let other = store.install(&fs, &r, "other").unwrap();
+        let zlib_prefix = store.get("zlib").unwrap().prefix.clone();
+
+        // Only `other` remains a root.
+        let removed = gc(&fs, &store, [&other]).unwrap();
+        assert_eq!(removed, vec![app.prefix.clone()]);
+        assert!(fs.exists(&zlib_prefix), "shared dep survives");
+        let bin = format!("{}/other", other.bin_dir);
+        assert!(GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap().success());
+    }
+}

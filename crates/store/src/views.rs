@@ -1,0 +1,155 @@
+//! Dependency views — workaround §III-D1.
+//!
+//! Instead of N `RPATH`/`RUNPATH` entries pointing at N store prefixes, build
+//! one package-local FHS-styled directory of symlinks to the whole closure
+//! and give the binary a *single* search-path entry. Resolution touches one
+//! directory, which matters enormously on network filesystems.
+//!
+//! Costs, as the paper notes: a tremendous number of symlinks (inodes), and
+//! at most one version of any soname per view ([`ViewError::Conflict`]).
+
+use depchaos_vfs::{path as vpath, Vfs, VfsError};
+
+use crate::store::InstalledPackage;
+
+/// View-construction errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewError {
+    /// Two closure members provide the same soname — views cannot hold both.
+    Conflict { soname: String, first: String, second: String },
+    Fs(VfsError),
+}
+
+impl From<VfsError> for ViewError {
+    fn from(e: VfsError) -> Self {
+        ViewError::Fs(e)
+    }
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::Conflict { soname, first, second } => {
+                write!(f, "view conflict on {soname}: {first} vs {second}")
+            }
+            ViewError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Build `view_dir/lib` with a symlink per library of every package in
+/// `closure` (the package itself plus its installed dependencies).
+/// Returns the number of symlinks created.
+pub fn build_view(
+    fs: &Vfs,
+    view_dir: &str,
+    closure: &[&InstalledPackage],
+) -> Result<usize, ViewError> {
+    let lib_view = vpath::join(view_dir, "lib");
+    fs.mkdir_p(&lib_view)?;
+    let mut created = 0usize;
+    let mut owner_of: Vec<(String, String)> = Vec::new();
+    for pkg in closure {
+        let Ok(names) = fs.list_dir(&pkg.lib_dir) else { continue };
+        for name in names {
+            if let Some((_, first)) = owner_of.iter().find(|(n, _)| n == &name) {
+                return Err(ViewError::Conflict {
+                    soname: name,
+                    first: first.clone(),
+                    second: pkg.name.clone(),
+                });
+            }
+            let link = vpath::join(&lib_view, &name);
+            let target = vpath::join(&pkg.lib_dir, &name);
+            fs.symlink(&link, &target)?;
+            owner_of.push((name, pkg.name.clone()));
+            created += 1;
+        }
+    }
+    Ok(created)
+}
+
+/// The single search-path entry a viewed binary needs.
+pub fn view_lib_dir(view_dir: &str) -> String {
+    vpath::join(view_dir, "lib")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{BinDef, LibDef, PackageDef, Repo};
+    use crate::store::StoreInstaller;
+    use depchaos_elf::ElfEditor;
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    fn installed_world() -> (Vfs, StoreInstaller, InstalledPackage) {
+        let fs = Vfs::local();
+        let mut r = Repo::new();
+        r.add(PackageDef::new("zlib", "1").lib(LibDef::new("libz.so.1")));
+        r.add(
+            PackageDef::new("ssl", "1").dep("zlib").lib(LibDef::new("libssl.so").needs("libz.so.1")),
+        );
+        r.add(PackageDef::new("app", "1").dep("ssl").bin(BinDef::new("app").needs("libssl.so")));
+        let mut st = StoreInstaller::spack_like();
+        let app = st.install(&fs, &r, "app").unwrap();
+        (fs, st, app)
+    }
+
+    #[test]
+    fn view_collapses_search_to_one_directory() {
+        let (fs, st, app) = installed_world();
+        let ssl = st.get("ssl").unwrap().clone();
+        let zlib = st.get("zlib").unwrap().clone();
+        let n = build_view(&fs, "/views/app", &[&app, &ssl, &zlib]).unwrap();
+        assert_eq!(n, 2, "libssl + libz symlinked");
+
+        // Rewrite the binary: ONE rpath entry instead of three runpaths.
+        // A view-style install also strips the per-library search paths so
+        // the binary's single propagating RPATH serves every lookup
+        // (otherwise a library's own RUNPATH would pull resolution back to
+        // the store — the RPATH/RUNPATH interference from §III-A).
+        let bin = format!("{}/app", app.bin_dir);
+        let ed = ElfEditor::open(&fs, &bin).unwrap();
+        ed.set_rpath(vec![view_lib_dir("/views/app")]).unwrap();
+        for pkg in [&app, &ssl, &zlib] {
+            for name in fs.list_dir(&pkg.lib_dir).unwrap() {
+                ElfEditor::open(&fs, format!("{}/{}", pkg.lib_dir, name))
+                    .unwrap()
+                    .remove_rpath()
+                    .unwrap();
+            }
+        }
+
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        // Everything resolved through the view path.
+        assert!(r.objects.iter().skip(1).all(|o| o.path.starts_with("/views/app/lib/")));
+    }
+
+    #[test]
+    fn conflicting_sonames_rejected() {
+        let fs = Vfs::local();
+        let mut r = Repo::new();
+        r.add(PackageDef::new("ssl-a", "1").lib(LibDef::new("libssl.so")));
+        r.add(PackageDef::new("ssl-b", "2").lib(LibDef::new("libssl.so")));
+        let mut st = StoreInstaller::spack_like();
+        let a = st.install(&fs, &r, "ssl-a").unwrap();
+        let b = st.install(&fs, &r, "ssl-b").unwrap();
+        let err = build_view(&fs, "/views/x", &[&a, &b]).unwrap_err();
+        assert!(matches!(err, ViewError::Conflict { .. }));
+    }
+
+    #[test]
+    fn symlink_count_equals_inode_cost() {
+        let (fs, st, app) = installed_world();
+        let ssl = st.get("ssl").unwrap().clone();
+        let zlib = st.get("zlib").unwrap().clone();
+        let before = fs.inode_count();
+        let n = build_view(&fs, "/views/app", &[&app, &ssl, &zlib]).unwrap();
+        let after = fs.inode_count();
+        // n symlinks plus the view directories themselves.
+        assert!(after - before >= n, "views pay one inode per file");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the store model's pessimistic hashing.
+
+use depchaos_store::{LibDef, PackageDef, Repo, StoreInstaller};
+use depchaos_vfs::Vfs;
+use proptest::prelude::*;
+
+/// A linear chain of n packages: pkg0 -> pkg1 -> ... -> pkg(n-1), each with
+/// per-package build options drawn from the strategy.
+fn chain(opts: &[String]) -> Repo {
+    let n = opts.len();
+    let mut repo = Repo::new();
+    for i in 0..n {
+        let mut pkg =
+            PackageDef::new(format!("pkg{i}"), "1.0").build_options(opts[i].clone());
+        let mut lib = LibDef::new(format!("lib{i}.so"));
+        if i + 1 < n {
+            pkg = pkg.dep(format!("pkg{}", i + 1));
+            lib = lib.needs(format!("lib{}.so", i + 1));
+        }
+        repo.add(pkg.lib(lib));
+    }
+    repo
+}
+
+fn install_all(repo: &Repo, n: usize) -> Vec<String> {
+    let fs = Vfs::local();
+    let mut store = StoreInstaller::spack_like();
+    store.install(&fs, repo, "pkg0").unwrap();
+    (0..n).map(|i| store.get(&format!("pkg{i}")).unwrap().hash.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hashing is a pure function of the recipe closure: identical inputs,
+    /// identical hashes, on fresh installers and filesystems.
+    #[test]
+    fn hash_deterministic(opts in prop::collection::vec("[a-z0-9 -]{0,8}", 2..6)) {
+        let a = install_all(&chain(&opts), opts.len());
+        let b = install_all(&chain(&opts), opts.len());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Perturbing package k changes the hashes of exactly packages 0..=k
+    /// (its dependents and itself) and nothing below it.
+    #[test]
+    fn domino_is_exact(opts in prop::collection::vec("[a-z]{0,6}", 2..6), k_raw in 0usize..8) {
+        let n = opts.len();
+        let k = k_raw % n;
+        let before = install_all(&chain(&opts), n);
+        let mut changed = opts.clone();
+        changed[k] = format!("{}-patched", changed[k]);
+        let after = install_all(&chain(&changed), n);
+        for i in 0..n {
+            if i <= k {
+                prop_assert_ne!(&before[i], &after[i], "pkg{} must rebuild", i);
+            } else {
+                prop_assert_eq!(&before[i], &after[i], "pkg{} must be reused", i);
+            }
+        }
+    }
+
+    /// Distinct packages never collide (within a run): every prefix in the
+    /// store is unique.
+    #[test]
+    fn prefixes_unique(opts in prop::collection::vec("[a-z]{0,5}", 2..7)) {
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        store.install(&fs, &chain(&opts), "pkg0").unwrap();
+        let mut prefixes = fs.list_dir("/store").unwrap();
+        let total = prefixes.len();
+        prefixes.sort();
+        prefixes.dedup();
+        prop_assert_eq!(prefixes.len(), total);
+        prop_assert_eq!(total, opts.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for simulated filesystem operations.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Errors mirroring the POSIX errno values the dynamic loader cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// `ENOENT` — a path component or the final entry does not exist.
+    NotFound(String),
+    /// `ENOTDIR` — a non-final path component is not a directory.
+    NotADirectory(String),
+    /// `EISDIR` — a file operation was attempted on a directory.
+    IsADirectory(String),
+    /// `EEXIST` — entry already exists and overwrite was not requested.
+    AlreadyExists(String),
+    /// `ELOOP` — too many levels of symbolic links.
+    SymlinkLoop(String),
+    /// A path that is empty, relative where absolute is required, etc.
+    InvalidPath(String),
+    /// `ENOTEMPTY` — directory removal on a non-empty directory.
+    NotEmpty(String),
+}
+
+impl VfsError {
+    /// The path the error refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            VfsError::NotFound(p)
+            | VfsError::NotADirectory(p)
+            | VfsError::IsADirectory(p)
+            | VfsError::AlreadyExists(p)
+            | VfsError::SymlinkLoop(p)
+            | VfsError::InvalidPath(p)
+            | VfsError::NotEmpty(p) => p,
+        }
+    }
+
+    /// True for errors that a searching loader treats as "keep looking"
+    /// rather than "abort".
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, VfsError::NotFound(_) | VfsError::NotADirectory(_))
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "ENOENT: no such file or directory: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "ENOTDIR: not a directory: {p}"),
+            VfsError::IsADirectory(p) => write!(f, "EISDIR: is a directory: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "EEXIST: file exists: {p}"),
+            VfsError::SymlinkLoop(p) => write!(f, "ELOOP: too many symlinks: {p}"),
+            VfsError::InvalidPath(p) => write!(f, "EINVAL: invalid path: {p}"),
+            VfsError::NotEmpty(p) => write!(f, "ENOTEMPTY: directory not empty: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_classification() {
+        assert!(VfsError::NotFound("/x".into()).is_not_found());
+        assert!(VfsError::NotADirectory("/x".into()).is_not_found());
+        assert!(!VfsError::SymlinkLoop("/x".into()).is_not_found());
+    }
+
+    #[test]
+    fn display_contains_path() {
+        let e = VfsError::NotFound("/usr/lib/libfoo.so".into());
+        assert!(e.to_string().contains("/usr/lib/libfoo.so"));
+        assert_eq!(e.path(), "/usr/lib/libfoo.so");
+    }
+}

@@ -1,0 +1,145 @@
+//! Lexical path manipulation for the simulated filesystem.
+//!
+//! All VFS paths are absolute, `/`-separated strings. These helpers are purely
+//! lexical; symlink-aware resolution lives in [`crate::tree`].
+
+/// Split an absolute path into its components, ignoring empty segments and
+/// `.`, and applying `..` lexically.
+///
+/// Returns `None` if the path is not absolute.
+pub fn components(path: &str) -> Option<Vec<&str>> {
+    if !path.starts_with('/') {
+        return None;
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    Some(out)
+}
+
+/// Normalize an absolute path: collapse `//`, `.`, and lexical `..`.
+///
+/// `normalize("/a/b/../c/") == "/a/c"`. The root normalizes to `"/"`.
+pub fn normalize(path: &str) -> Option<String> {
+    let comps = components(path)?;
+    if comps.is_empty() {
+        return Some("/".to_string());
+    }
+    let mut s = String::with_capacity(path.len());
+    for c in &comps {
+        s.push('/');
+        s.push_str(c);
+    }
+    Some(s)
+}
+
+/// Join a base path and a possibly-relative component list.
+///
+/// If `rel` is absolute it wins outright (like `Path::join`).
+pub fn join(base: &str, rel: &str) -> String {
+    if rel.starts_with('/') {
+        normalize(rel).unwrap_or_else(|| "/".to_string())
+    } else {
+        let mut s = String::with_capacity(base.len() + rel.len() + 1);
+        s.push_str(base);
+        if !base.ends_with('/') {
+            s.push('/');
+        }
+        s.push_str(rel);
+        normalize(&s).unwrap_or_else(|| "/".to_string())
+    }
+}
+
+/// Parent directory of a normalized absolute path (`/` is its own parent).
+pub fn parent(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+/// Final component of a path (empty for `/`).
+pub fn basename(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Expand the ELF `$ORIGIN` token (and its `${ORIGIN}` spelling) against the
+/// directory containing the object, per the System V gABI dynamic-string
+/// token rules used by `RPATH`/`RUNPATH` entries.
+pub fn expand_origin(entry: &str, object_dir: &str) -> String {
+    expand_tokens(entry, object_dir, "lib64", "x86_64")
+}
+
+/// Full dynamic-string-token expansion: `$ORIGIN`, `$LIB` (the multilib
+/// library directory name), and `$PLATFORM` (the processor string), in both
+/// bare and braced spellings — the glibc token set.
+pub fn expand_tokens(entry: &str, object_dir: &str, lib: &str, platform: &str) -> String {
+    let expanded = entry
+        .replace("${ORIGIN}", object_dir)
+        .replace("$ORIGIN", object_dir)
+        .replace("${LIB}", lib)
+        .replace("$LIB", lib)
+        .replace("${PLATFORM}", platform)
+        .replace("$PLATFORM", platform);
+    normalize(&expanded).unwrap_or(expanded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize("/a/b/c").unwrap(), "/a/b/c");
+        assert_eq!(normalize("/a//b/./c/").unwrap(), "/a/b/c");
+        assert_eq!(normalize("/a/b/../c").unwrap(), "/a/c");
+        assert_eq!(normalize("/../..").unwrap(), "/");
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert!(normalize("relative/path").is_none());
+    }
+
+    #[test]
+    fn join_relative_and_absolute() {
+        assert_eq!(join("/usr/lib", "libm.so"), "/usr/lib/libm.so");
+        assert_eq!(join("/usr/lib/", "../bin/ls"), "/usr/bin/ls");
+        assert_eq!(join("/usr/lib", "/etc/passwd"), "/etc/passwd");
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent("/usr/lib/libm.so"), "/usr/lib");
+        assert_eq!(parent("/usr"), "/");
+        assert_eq!(parent("/"), "/");
+        assert_eq!(basename("/usr/lib/libm.so"), "libm.so");
+        assert_eq!(basename("/"), "");
+    }
+
+    #[test]
+    fn origin_expansion() {
+        assert_eq!(expand_origin("$ORIGIN/../lib", "/opt/app/bin"), "/opt/app/lib");
+        assert_eq!(expand_origin("${ORIGIN}", "/opt/app/bin"), "/opt/app/bin");
+        assert_eq!(expand_origin("/abs/path", "/opt/app/bin"), "/abs/path");
+    }
+
+    #[test]
+    fn lib_and_platform_tokens() {
+        assert_eq!(
+            expand_tokens("/opt/pkg/$LIB", "/x", "lib64", "x86_64"),
+            "/opt/pkg/lib64"
+        );
+        assert_eq!(
+            expand_tokens("$ORIGIN/../${LIB}/${PLATFORM}", "/opt/app/bin", "lib", "ppc64le"),
+            "/opt/app/lib/ppc64le"
+        );
+    }
+}

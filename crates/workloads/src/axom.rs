@@ -1,0 +1,154 @@
+//! An Axom-scale application stack (paper §I).
+//!
+//! > "Today the Axom library, a common support library for Livermore codes,
+//! > can require more than 200 total dependencies."
+//!
+//! This generator builds a layered, Spack-installable package universe of
+//! that scale: an application atop an axom-like support library, component
+//! libraries, third-party packages (the hdf5/mfem/raja band), a wide layer
+//! of utility libraries, and base system packages. Dependencies always point
+//! downward (a DAG by construction), with seeded fan-out, so the closure of
+//! the application exceeds 200 packages — the stack the paper's introduction
+//! motivates everything with.
+
+use depchaos_store::{BinDef, LibDef, PackageDef, Repo};
+
+use crate::rng::SplitMix;
+
+/// Name of the root application package.
+pub const APP: &str = "multiphysics-app";
+
+/// Layer sizes, top to bottom (≈ 215 packages + the app).
+const LAYERS: &[(&str, usize)] = &[
+    ("axom-component", 8),
+    ("tpl", 40),
+    ("util", 85),
+    ("base", 82),
+];
+
+/// Build the repository. `seed` controls the fan-out wiring only; layer
+/// structure and scale are fixed.
+pub fn repo(seed: u64) -> Repo {
+    let mut rng = SplitMix::new(seed);
+    let mut repo = Repo::new();
+
+    // Collect package names per layer, bottom-up.
+    let mut layer_names: Vec<Vec<String>> = Vec::new();
+    for (label, count) in LAYERS.iter().rev() {
+        let names: Vec<String> = (0..*count).map(|i| format!("{label}-{i:02}")).collect();
+        layer_names.push(names);
+    }
+    layer_names.reverse(); // back to top-down order, matching LAYERS
+
+    // Create bottom layer first so deps always exist. Each package takes a
+    // deterministic share of the layer below (so the whole stack is in the
+    // app's closure — real Spack concretizations pull in everything) plus
+    // seeded random extras (the cross-links that make the graph a snarl).
+    for li in (0..layer_names.len()).rev() {
+        let below: Option<Vec<String>> = layer_names.get(li + 1).cloned();
+        let cur_len = layer_names[li].len();
+        for (i, name) in layer_names[li].clone().iter().enumerate() {
+            let mut pkg = PackageDef::new(name.clone(), "1.0");
+            let mut lib = LibDef::new(format!("lib{name}.so"));
+            if let Some(below) = &below {
+                let mut chosen: Vec<&String> = below
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % cur_len == i)
+                    .map(|(_, d)| d)
+                    .collect();
+                for _ in 0..1 + rng.below(3) {
+                    let d = &below[rng.below(below.len() as u64) as usize];
+                    if !chosen.contains(&d) {
+                        chosen.push(d);
+                    }
+                }
+                for d in chosen {
+                    pkg = pkg.dep(d.clone());
+                    lib = lib.needs(format!("lib{d}.so"));
+                }
+            }
+            pkg = pkg.lib(lib);
+            repo.add(pkg);
+        }
+    }
+
+    // The axom library spans every component.
+    let mut axom = PackageDef::new("axom", "0.7.0");
+    let mut axom_lib = LibDef::new("libaxom.so");
+    for c in &layer_names[0] {
+        axom = axom.dep(c.clone());
+        axom_lib = axom_lib.needs(format!("lib{c}.so"));
+    }
+    repo.add(axom.lib(axom_lib));
+
+    // The application: axom plus a few TPLs directly.
+    let mut app = PackageDef::new(APP, "2.4.1").dep("axom");
+    let mut app_bin = BinDef::new(APP).needs("libaxom.so");
+    for d in layer_names[1].iter().take(4) {
+        app = app.dep(d.clone());
+        app_bin = app_bin.needs(format!("lib{d}.so"));
+    }
+    repo.add(app.bin(app_bin));
+    repo
+}
+
+/// Number of packages in the application's transitive closure.
+pub fn closure_size(repo: &Repo) -> usize {
+    repo.closure(APP).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_core::{wrap, ShrinkwrapOptions};
+    use depchaos_loader::{Environment, GlibcLoader};
+    use depchaos_store::StoreInstaller;
+    use depchaos_vfs::Vfs;
+
+    #[test]
+    fn closure_exceeds_200_dependencies() {
+        let r = repo(7);
+        let n = closure_size(&r);
+        assert!(n > 200, "the paper's Axom claim: got {n}");
+        assert!(!r.dep_graph().has_cycle());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(closure_size(&repo(7)), closure_size(&repo(7)));
+    }
+
+    #[test]
+    fn installs_and_loads_from_a_store() {
+        let fs = Vfs::local();
+        let r = repo(7);
+        let mut store = StoreInstaller::spack_like();
+        let app = store.install(&fs, &r, APP).unwrap();
+        let bin = format!("{}/{APP}", app.bin_dir);
+        let res = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap();
+        assert!(res.success(), "{:?}", res.failures.first());
+        assert!(res.library_count() > 200, "loaded {}", res.library_count());
+    }
+
+    #[test]
+    fn shrinkwrap_pays_off_at_axom_scale() {
+        let fs = Vfs::local();
+        let r = repo(7);
+        let mut store = StoreInstaller::spack_like();
+        let app = store.install(&fs, &r, APP).unwrap();
+        let bin = format!("{}/{APP}", app.bin_dir);
+        let env = Environment::bare();
+        let before = GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap();
+        wrap(&fs, &bin, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+        let after = GlibcLoader::new(&fs).with_env(env).load(&bin).unwrap();
+        assert!(after.success());
+        assert_eq!(after.syscalls.misses, 0);
+        assert!(
+            before.stat_openat() > 3 * after.stat_openat(),
+            "search elimination: {} -> {}",
+            before.stat_openat(),
+            after.stat_openat()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Debian-archive-shaped synthetic data (Fig 1, Fig 4).
+//!
+//! **Substitution note (DESIGN.md):** the paper analyzed the real Debian
+//! archive of November 2021 (~209k dependency declarations, "nearly 3/4 ...
+//! completely unversioned") and a local install of 3,287 binaries ("only 4%
+//! of shared object files are used by more than 5% of the binaries"). We
+//! generate archives/installs with the same published marginals so the same
+//! analysis code runs at the same scale.
+
+use depchaos_graph::{ConstraintTally, DependencyDecl, VersionConstraint};
+
+use crate::rng::SplitMix;
+
+/// Mix of constraint classes observed in the Nov-2021 Debian snapshot.
+/// (~72% unversioned, ~21% range, ~7% exact — read off Fig 1's bars.)
+pub const P_UNVERSIONED: f64 = 0.72;
+pub const P_RANGE: f64 = 0.21;
+
+/// Generate a Debian-like archive's dependency declarations.
+///
+/// `n_relations` declarations are spread over `n_relations / 7` packages
+/// (the archive averages a handful of Depends per package).
+pub fn repo(seed: u64, n_relations: usize) -> Vec<DependencyDecl> {
+    let mut rng = SplitMix::new(seed);
+    let n_packages = (n_relations / 7).max(2);
+    let mut out = Vec::with_capacity(n_relations);
+    for i in 0..n_relations {
+        let a = rng.below(n_packages as u64);
+        let mut b = rng.below(n_packages as u64);
+        if b == a {
+            // No package depends on itself.
+            b = (b + 1) % n_packages as u64;
+        }
+        let from = format!("pkg{a}");
+        let to = format!("pkg{b}");
+        let u = rng.unit();
+        let constraint = if u < P_UNVERSIONED {
+            VersionConstraint::Unversioned
+        } else if u < P_UNVERSIONED + P_RANGE {
+            VersionConstraint::Range
+        } else {
+            VersionConstraint::Exact
+        };
+        let _ = i;
+        out.push(DependencyDecl { from, to, constraint });
+    }
+    out
+}
+
+/// Tally a generated archive — the Fig 1 bars.
+pub fn fig1_tally(seed: u64, n_relations: usize) -> ConstraintTally {
+    ConstraintTally::tally(&repo(seed, n_relations))
+}
+
+/// A binary→shared-objects usage relation shaped like the paper's surveyed
+/// machine: `n_binaries` binaries over a pool of `n_sos` shared objects with
+/// Zipf-like popularity plus a libc-style universal head.
+///
+/// Returns `(binary name, used sonames)` pairs.
+pub fn installed_system(
+    seed: u64,
+    n_binaries: usize,
+    n_sos: usize,
+) -> Vec<(String, Vec<String>)> {
+    let mut rng = SplitMix::new(seed);
+    // Two-population model matching the Fig 4 curve: a small *core* of
+    // system libraries that most binaries share (libc at the extreme), and
+    // a long tail of special-purpose objects each used by a handful of
+    // binaries. The core is ~4–5% of the pool; the tail dominates counts.
+    let n_core = (n_sos / 25).max(4); // ≈4% of objects form the shared head
+    let tail = n_sos.saturating_sub(n_core).max(1);
+    // Tail popularity falls off steeply (Zipf-ish).
+    let mut cum = Vec::with_capacity(tail);
+    let mut total = 0.0f64;
+    for i in 0..tail {
+        total += 1.0 / ((i + 1) as f64).powf(1.8);
+        cum.push(total);
+    }
+    let so_name = |i: usize| {
+        if i == 0 {
+            "libc.so.6".to_string()
+        } else if i < n_core {
+            format!("libcore{i}.so")
+        } else {
+            format!("libso{}.so", i - n_core)
+        }
+    };
+    let mut out = Vec::with_capacity(n_binaries);
+    for b in 0..n_binaries {
+        // Every binary links libc, a handful of core libraries, a few tail
+        // draws, and one "its own" library (plugins, private helpers) that
+        // guarantees full pool coverage.
+        let mut used = vec![so_name(0)];
+        let n_core_draws = 3 + rng.below(5) as usize;
+        for _ in 0..n_core_draws {
+            let name = so_name(1 + rng.below((n_core - 1) as u64) as usize);
+            if !used.contains(&name) {
+                used.push(name);
+            }
+        }
+        let n_tail_draws = 2 + rng.below(5) as usize;
+        for _ in 0..n_tail_draws {
+            let name = so_name(n_core + rng.weighted(&cum));
+            if !used.contains(&name) {
+                used.push(name);
+            }
+        }
+        let private = so_name(n_core + b % tail);
+        if !used.contains(&private) {
+            used.push(private);
+        }
+        out.push((format!("bin{b}"), used));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_graph::reuse_counts;
+
+    #[test]
+    fn fig1_marginals_match_paper() {
+        let t = fig1_tally(2021, 209_000);
+        assert_eq!(t.total(), 209_000);
+        let f = t.unversioned_fraction();
+        assert!(
+            (0.70..0.75).contains(&f),
+            "nearly 3/4 unversioned, got {f:.3}"
+        );
+        assert!(t.exact < t.range, "exact is the smallest class");
+    }
+
+    #[test]
+    fn repo_is_deterministic() {
+        assert_eq!(repo(1, 100), repo(1, 100));
+        assert_ne!(repo(1, 100), repo(2, 100));
+    }
+
+    #[test]
+    fn fig4_headline_shape() {
+        // 3287 binaries over ~1400 shared objects, like the paper's survey.
+        let usages = installed_system(2021, 3287, 1400);
+        let h = reuse_counts(
+            usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))),
+        );
+        assert_eq!(h.binary_count, 3287);
+        let frac = h.fraction_above(0.05);
+        assert!(
+            frac < 0.08,
+            "only a few percent of objects used by >5% of binaries, got {:.1}%",
+            frac * 100.0
+        );
+        // libc heads the ranking, used by everything.
+        assert_eq!(h.ranked[0].0, "libc.so.6");
+        assert_eq!(h.ranked[0].1, 3287);
+        // ...and the median object is used by almost nobody.
+        assert!(h.median_users() <= 3);
+    }
+
+    #[test]
+    fn installed_system_no_duplicate_uses() {
+        for (_, sos) in installed_system(7, 50, 100) {
+            let mut sorted = sos.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), sos.len());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # depchaos-workloads — seeded generators for every experiment
+//!
+//! The paper's evaluation runs on artifacts we cannot ship: the Debian
+//! archive, the Nix store, LLNL's Pynamic builds, ROCm installs. Each module
+//! here builds a synthetic equivalent calibrated to the published shape
+//! (DESIGN.md records each substitution):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`debian`] | Fig 1 (dependency-spec taxonomy) and Fig 4 (shared-object reuse) |
+//! | [`nix_ruby`] | Fig 2 (the 453-derivation Ruby closure) |
+//! | [`emacs`] | Table II (emacs: 103 deps across 36 runpath dirs) |
+//! | [`pynamic`] | Fig 6 (the ~900-library MPI application) |
+//! | [`samba`] | Listing 1 (`dbwrap_tool`'s hidden `not found`) |
+//! | [`paradox`] | Fig 3 (the unsolvable two-directory layout) |
+//! | [`rocm`] | §V-B.1 (mixed-version ROCm segfault) |
+//! | [`openmp`] | §V-B.2 (libomp vs libompstubs duplicate symbols) |
+//!
+//! Everything is deterministic given a seed; generators return the paths and
+//! metadata the experiments need.
+
+pub mod axom;
+pub mod debian;
+pub mod emacs;
+pub mod nix_ruby;
+pub mod openmp;
+pub mod paradox;
+pub mod pynamic;
+pub mod rocm;
+pub mod samba;
+
+mod rng;
+
+pub use rng::SplitMix;

@@ -1,0 +1,176 @@
+//! The Nix Ruby closure (Fig 2): a 453-node build/runtime dependency graph.
+//!
+//! **Substitution note (DESIGN.md):** Fig 2 renders the actual derivation
+//! graph of Ruby 2.7.5 in nixpkgs — "so dense ... it's nigh illegible". The
+//! figure's content is qualitative: 453 nodes, a layered bootstrap (stage0→
+//! stage4), a band of core toolchain packages, and a fringe of source
+//! tarballs and patches. We reconstruct that topology deterministically with
+//! names taken from the figure itself.
+
+use depchaos_graph::{DepGraph, NodeId};
+
+use crate::rng::SplitMix;
+
+/// Number of nodes in the paper's figure.
+pub const RUBY_CLOSURE_SIZE: usize = 453;
+
+/// Core toolchain derivations named in Fig 2 (one bootstrap copy each is
+/// plenty for topology purposes).
+const CORE: &[&str] = &[
+    "gcc-10.3.0.drv",
+    "gcc-wrapper-10.3.0.drv",
+    "stdenv-linux.drv",
+    "glibc-2.33-56.drv",
+    "binutils-2.35.2.drv",
+    "binutils-wrapper-2.35.2.drv",
+    "coreutils-9.0.drv",
+    "bash-5.1-p12.drv",
+    "gnumake-4.3.drv",
+    "gnused-4.8.drv",
+    "gnugrep-3.7.drv",
+    "gawk-5.1.1.drv",
+    "gnutar-1.34.drv",
+    "gzip-1.11.drv",
+    "bzip2-1.0.6.0.2.drv",
+    "xz-5.2.5.drv",
+    "patch-2.7.6.drv",
+    "patchelf-0.13.drv",
+    "pkg-config-0.29.2.drv",
+    "perl-5.34.0.drv",
+    "python3-minimal-3.9.6.drv",
+    "zlib-1.2.11.drv",
+    "diffutils-3.8.drv",
+    "findutils-4.8.0.drv",
+];
+
+/// Direct dependencies of the ruby derivation, from the figure.
+const RUBY_DEPS: &[&str] = &[
+    "openssl-1.1.1l.drv",
+    "libffi-3.4.2.drv",
+    "ncurses-6.2.drv",
+    "readline-6.3p08.drv",
+    "libyaml-0.2.5.drv",
+    "gdbm-1.20.drv",
+    "bison-3.8.2.drv",
+    "autoconf-2.71.drv",
+    "automake-1.16.3.drv",
+    "libtool-2.4.6.drv",
+    "groff-1.22.4.drv",
+    "rubygems.drv",
+    "curl-7.79.1.drv",
+];
+
+/// Build the Ruby closure graph: exactly [`RUBY_CLOSURE_SIZE`] nodes.
+pub fn closure(seed: u64) -> DepGraph {
+    let mut g = DepGraph::new();
+    let mut rng = SplitMix::new(seed);
+
+    let ruby = g.add_node("ruby-2.7.5.drv");
+
+    // Bootstrap chain: stage4 → stage3 → ... → stage0 → bootstrap-tools.
+    let mut stages: Vec<NodeId> = Vec::new();
+    for s in (0..5).rev() {
+        let id = g.add_node(format!("bootstrap-stage{s}-stdenv-linux.drv"));
+        if let Some(&prev) = stages.last() {
+            g.add_edge(prev, id);
+        }
+        stages.push(id);
+    }
+    let tools = g.add_node("bootstrap-tools.drv");
+    g.add_edge(*stages.last().unwrap(), tools);
+
+    // Core toolchain: everything depends on stdenv; stdenv on stage4.
+    let mut core_ids = Vec::new();
+    for name in CORE {
+        let id = g.add_node(*name);
+        core_ids.push(id);
+    }
+    let stdenv = g.lookup("stdenv-linux.drv").unwrap();
+    g.add_edge(stdenv, stages[0]);
+    for &id in &core_ids {
+        if id != stdenv {
+            g.add_edge(id, stdenv);
+        }
+    }
+
+    // Ruby's direct deps, each depending on stdenv and 1–3 random core tools.
+    let mut dep_ids = Vec::new();
+    for name in RUBY_DEPS {
+        let id = g.add_node(*name);
+        dep_ids.push(id);
+        g.add_edge(ruby, id);
+        g.add_edge(id, stdenv);
+        for _ in 0..1 + rng.below(3) {
+            let t = core_ids[rng.below(core_ids.len() as u64) as usize];
+            if t != id {
+                g.add_edge(id, t);
+            }
+        }
+    }
+    let gcc_wrapper = g.lookup("gcc-wrapper-10.3.0.drv").unwrap();
+    g.add_edge(ruby, gcc_wrapper);
+    g.add_edge(ruby, stdenv);
+
+    // Fringe: source tarballs, patches, setup hooks — the long tail that
+    // makes the figure a snarl. Attach each to a random existing package
+    // until the node budget is exactly met.
+    let fringe_kinds = ["tar.gz.drv", "tar.xz.drv", "patch.drv", "setup-hook.sh", "builder.sh"];
+    let mut owners: Vec<NodeId> = Vec::new();
+    owners.push(ruby);
+    owners.extend(&core_ids);
+    owners.extend(&dep_ids);
+    let mut i = 0usize;
+    while g.node_count() < RUBY_CLOSURE_SIZE {
+        let owner = owners[rng.below(owners.len() as u64) as usize];
+        let kind = fringe_kinds[rng.below(fringe_kinds.len() as u64) as usize];
+        let leaf = g.add_node(format!("src-{i}-{kind}"));
+        g.add_edge(owner, leaf);
+        i += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_453_nodes() {
+        let g = closure(2022);
+        assert_eq!(g.node_count(), RUBY_CLOSURE_SIZE);
+    }
+
+    #[test]
+    fn acyclic_and_rooted_at_ruby() {
+        let g = closure(2022);
+        assert!(!g.has_cycle(), "derivation graphs are DAGs");
+        let ruby = g.lookup("ruby-2.7.5.drv").unwrap();
+        let reach = g.closure_bfs(ruby);
+        // Ruby reaches the overwhelming majority of the closure.
+        assert!(reach.len() > RUBY_CLOSURE_SIZE / 2, "reached {}", reach.len());
+    }
+
+    #[test]
+    fn bootstrap_chain_present() {
+        let g = closure(2022);
+        let s4 = g.lookup("bootstrap-stage4-stdenv-linux.drv").unwrap();
+        let s0 = g.lookup("bootstrap-stage0-stdenv-linux.drv").unwrap();
+        assert!(g.closure_bfs(s4).contains(&s0), "stage4 transitively needs stage0");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = closure(5);
+        let b = closure(5);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn dot_export_renders() {
+        let g = closure(2022);
+        let dot = depchaos_graph::dot::to_dot(&g, "ruby-2.7.5");
+        assert!(dot.contains("ruby-2.7.5.drv"));
+        assert!(dot.lines().count() > RUBY_CLOSURE_SIZE);
+    }
+}

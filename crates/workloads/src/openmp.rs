@@ -1,0 +1,110 @@
+//! The §V-B.2 case study: `libomp.so` vs `libompstubs.so`.
+//!
+//! The vendor toolchain links `libomp.so` when compiling with OpenMP and
+//! `libompstubs.so` otherwise, so OpenMP runtime calls always resolve. Both
+//! define the same strong symbols. When parts of an application pull in each
+//! one, runtime behaviour depends on load order (first wins); and the
+//! needy-executables workaround of §III-D2 — putting the whole closure on
+//! the link line — fails with duplicate-symbol errors. Shrinkwrap encodes
+//! the load order without a link step, so it preserves whichever order the
+//! user built.
+
+use depchaos_elf::{io, ElfObject, Symbol};
+use depchaos_vfs::{Vfs, VfsError};
+
+pub const APP: &str = "/work/bin/hybrid_app";
+pub const VENDOR_LIB: &str = "/opt/vendor/lib";
+
+/// The OpenMP API surface both libraries export.
+pub const OMP_SYMBOLS: &[&str] = &["omp_get_num_threads", "omp_get_thread_num", "omp_set_num_threads"];
+
+fn omp_lib(name: &str, real: bool) -> ElfObject {
+    let mut b = ElfObject::dso(name).runpath(VENDOR_LIB);
+    for s in OMP_SYMBOLS {
+        b = b.defines(Symbol::strong(*s));
+    }
+    // The real runtime also exposes offload entry points.
+    if real {
+        b = b.defines(Symbol::strong("__tgt_target_kernel"));
+    }
+    b.build()
+}
+
+/// Install the vendor runtime pair and an application whose components pull
+/// in both. One runtime is linked directly by the app (loads first, wins the
+/// symbol race); the other arrives through a solver library one level down.
+/// `stubs_first = true` models the app compiled *without* OpenMP linking an
+/// OpenMP-enabled solver — the silent no-threading configuration.
+pub fn install_scenario(fs: &Vfs, stubs_first: bool) -> Result<(), VfsError> {
+    io::install(fs, &format!("{VENDOR_LIB}/libomp.so"), &omp_lib("libomp.so", true))?;
+    io::install(fs, &format!("{VENDOR_LIB}/libompstubs.so"), &omp_lib("libompstubs.so", false))?;
+    let (direct, via_solver) =
+        if stubs_first { ("libompstubs.so", "libomp.so") } else { ("libomp.so", "libompstubs.so") };
+    io::install(
+        fs,
+        &format!("{VENDOR_LIB}/libsolver.so"),
+        &ElfObject::dso("libsolver.so").needs(via_solver).runpath(VENDOR_LIB).build(),
+    )?;
+    let app = ElfObject::exe("hybrid_app")
+        .runpath(VENDOR_LIB)
+        .needs(direct)
+        .needs("libsolver.so")
+        .build();
+    io::install(fs, APP, &app)?;
+    Ok(())
+}
+
+/// Which runtime provides `omp_get_num_threads` after loading?
+pub fn winning_runtime(r: &depchaos_loader::LoadResult) -> Option<String> {
+    r.bindings().get("omp_get_num_threads").cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::check_link;
+    use depchaos_loader::GlibcLoader;
+
+    #[test]
+    fn load_order_decides_threading() {
+        // App pulled libomp first → real runtime wins → threading works.
+        let fs = Vfs::local();
+        install_scenario(&fs, false).unwrap();
+        let r = GlibcLoader::new(&fs).load(APP).unwrap();
+        assert!(r.success());
+        assert!(winning_runtime(&r).unwrap().ends_with("libomp.so"));
+
+        // Solver (and its stubs) first → stubs win → silent no-threading.
+        let fs2 = Vfs::local();
+        install_scenario(&fs2, true).unwrap();
+        let r2 = GlibcLoader::new(&fs2).load(APP).unwrap();
+        assert!(r2.success(), "loads fine — the bug is behavioural");
+        assert!(winning_runtime(&r2).unwrap().ends_with("libompstubs.so"));
+    }
+
+    #[test]
+    fn needy_executables_link_fails_on_duplicates() {
+        // §III-D2's workaround needs both libraries on one link line.
+        let fs = Vfs::local();
+        install_scenario(&fs, false).unwrap();
+        let omp = depchaos_elf::io::peek_object(&fs, &format!("{VENDOR_LIB}/libomp.so")).unwrap();
+        let stubs =
+            depchaos_elf::io::peek_object(&fs, &format!("{VENDOR_LIB}/libompstubs.so")).unwrap();
+        let err = check_link([
+            ("libomp.so", omp.symbols.as_slice()),
+            ("libompstubs.so", stubs.symbols.as_slice()),
+        ])
+        .unwrap_err();
+        assert!(OMP_SYMBOLS.contains(&err.symbol.as_str()));
+    }
+
+    #[test]
+    fn both_runtimes_coexist_at_runtime() {
+        // At runtime both load without error; interposition handles it.
+        let fs = Vfs::local();
+        install_scenario(&fs, false).unwrap();
+        let r = GlibcLoader::new(&fs).load(APP).unwrap();
+        assert!(r.find("libomp.so").is_some());
+        assert!(r.find("libompstubs.so").is_some());
+    }
+}

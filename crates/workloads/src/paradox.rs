@@ -1,0 +1,117 @@
+//! The Fig 3 paradox: no search-path ordering can be correct.
+//!
+//! Two directories each contain a `liba.so` and a `libb.so`; the desired
+//! pair is `dirA/liba.so` and `dirB/libb.so`. Because `RPATH`, `RUNPATH`,
+//! and `LD_LIBRARY_PATH` are *directory* lists applied uniformly to every
+//! lookup, whichever directory is searched first supplies **both**
+//! libraries. [`any_ordering_correct`] proves the impossibility by
+//! exhaustion; Shrinkwrap dissolves it with per-dependency absolute paths.
+
+use depchaos_elf::{io, ElfObject, Symbol};
+use depchaos_vfs::{Vfs, VfsError};
+
+pub const DIR_A: &str = "/opt/dirA";
+pub const DIR_B: &str = "/opt/dirB";
+pub const EXE: &str = "/opt/bin/paradox_app";
+
+/// Marker symbol carried only by the *wanted* copies.
+pub const WANTED: &str = "wanted_version";
+
+/// Install the layout. The wanted copies (`dirA/liba.so`, `dirB/libb.so`)
+/// define [`WANTED`]; the decoys don't.
+pub fn install(fs: &Vfs) -> Result<(), VfsError> {
+    let wanted = |name: &str| ElfObject::dso(name).defines(Symbol::strong(WANTED)).build();
+    let decoy = |name: &str| ElfObject::dso(name).build();
+    io::install(fs, &format!("{DIR_A}/liba.so"), &wanted("liba.so"))?;
+    io::install(fs, &format!("{DIR_A}/libb.so"), &decoy("libb.so"))?;
+    io::install(fs, &format!("{DIR_B}/liba.so"), &decoy("liba.so"))?;
+    io::install(fs, &format!("{DIR_B}/libb.so"), &wanted("libb.so"))?;
+    io::install(
+        fs,
+        EXE,
+        &ElfObject::exe("paradox_app").needs("liba.so").needs("libb.so").build(),
+    )?;
+    Ok(())
+}
+
+/// Did a load resolve the *wanted* pair?
+pub fn is_correct(r: &depchaos_loader::LoadResult) -> bool {
+    let a_ok = r.find("liba.so").map(|o| o.path == format!("{DIR_A}/liba.so")).unwrap_or(false);
+    let b_ok = r.find("libb.so").map(|o| o.path == format!("{DIR_B}/libb.so")).unwrap_or(false);
+    a_ok && b_ok
+}
+
+/// Run the executable under every ordering of the two directories on each
+/// search mechanism (RPATH, RUNPATH, LD_LIBRARY_PATH) and report whether any
+/// ordering produced the wanted pair.
+pub fn any_ordering_correct(fs: &Vfs) -> bool {
+    use depchaos_elf::ElfEditor;
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    let orderings =
+        [vec![DIR_A.to_string(), DIR_B.to_string()], vec![DIR_B.to_string(), DIR_A.to_string()]];
+    for dirs in &orderings {
+        // RPATH on the executable.
+        ElfEditor::open(fs, EXE).unwrap().set_rpath(dirs.clone()).unwrap();
+        let r = GlibcLoader::new(fs).with_env(Environment::bare()).load(EXE).unwrap();
+        if is_correct(&r) {
+            return true;
+        }
+        // RUNPATH on the executable.
+        ElfEditor::open(fs, EXE).unwrap().set_runpath(dirs.clone()).unwrap();
+        let r = GlibcLoader::new(fs).with_env(Environment::bare()).load(EXE).unwrap();
+        if is_correct(&r) {
+            return true;
+        }
+        // LD_LIBRARY_PATH, with a clean binary.
+        ElfEditor::open(fs, EXE).unwrap().remove_rpath().unwrap();
+        let env = Environment::bare().with_ld_library_path(&dirs.join(":"));
+        let r = GlibcLoader::new(fs).with_env(env).load(EXE).unwrap();
+        if is_correct(&r) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_elf::ElfEditor;
+    use depchaos_loader::{Environment, GlibcLoader};
+
+    #[test]
+    fn no_ordering_is_correct() {
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        assert!(!any_ordering_correct(&fs), "Fig 3: the layout is unsolvable by ordering");
+    }
+
+    #[test]
+    fn absolute_paths_dissolve_the_paradox() {
+        // What Shrinkwrap produces: per-dependency paths, not directories.
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        ElfEditor::open(&fs, EXE)
+            .unwrap()
+            .set_needed(vec![format!("{DIR_A}/liba.so"), format!("{DIR_B}/libb.so")])
+            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(EXE).unwrap();
+        assert!(r.success());
+        assert!(is_correct(&r));
+    }
+
+    #[test]
+    fn every_ordering_still_loads_something() {
+        // The trap: nothing *fails* — the wrong libraries load fine.
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        ElfEditor::open(&fs, EXE)
+            .unwrap()
+            .set_runpath(vec![DIR_A.to_string(), DIR_B.to_string()])
+            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(EXE).unwrap();
+        assert!(r.success(), "loads without error");
+        assert!(!is_correct(&r), "...but with the wrong libb");
+    }
+}

@@ -1,0 +1,100 @@
+//! A tiny deterministic RNG for workload generation.
+//!
+//! SplitMix64: stable across platforms and rand-crate versions, so every
+//! generated workload is bit-for-bit reproducible from its seed. (The rand
+//! crate is still used where distributions are handy; this exists for the
+//! hot, stability-critical paths.)
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection-free multiply-shift; bias is negligible for our n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample an index from cumulative weights (binary search).
+    /// `cum` must be nondecreasing with a positive final value.
+    pub fn weighted(&mut self, cum: &[f64]) -> usize {
+        let total = *cum.last().expect("nonempty weights");
+        let x = self.unit() * total;
+        match cum.binary_search_by(|w| w.partial_cmp(&x).unwrap()) {
+            Ok(i) => (i + 1).min(cum.len() - 1),
+            Err(i) => i.min(cum.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix::new(43);
+        assert_ne!(SplitMix::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_in_range_and_covers() {
+        let mut r = SplitMix::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SplitMix::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_mass() {
+        // weight 0 bucket never drawn; heavy bucket dominates.
+        let cum = vec![0.0, 0.9, 1.0];
+        let mut r = SplitMix::new(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[r.weighted(&cum)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 5);
+    }
+}

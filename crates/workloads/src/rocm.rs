@@ -1,0 +1,162 @@
+//! The §V-B.1 case study: the ROCm mixed-version segfault.
+//!
+//! Three individually-reasonable choices combine into a broken load:
+//!
+//! 1. the application carries `RPATH` entries pointing at every ROCm 4.5
+//!    library;
+//! 2. the site's module files set `LD_LIBRARY_PATH` "to help with internal
+//!    library search issues in ROCM packages";
+//! 3. the ROCm packages themselves use `RUNPATH` (not `RPATH`).
+//!
+//! Run the 4.5-built app with the 4.3 module loaded: the first ROCm library
+//! is found through the app's RPATH (4.5, correct). But that library has a
+//! `RUNPATH`, which suppresses the RPATH chain for *its* dependencies, so
+//! the loader falls through to `LD_LIBRARY_PATH` — now pointing at 4.3 —
+//! and loads 4.3 internals underneath a 4.5 libamdhip64. Segfault.
+
+use depchaos_elf::{io, ElfObject, Symbol};
+use depchaos_loader::LoadResult;
+use depchaos_store::{Module, ModuleSystem};
+use depchaos_vfs::{Vfs, VfsError};
+
+pub const APP: &str = "/work/app/bin/gpu_sim";
+
+/// ROCm library set (enough to exercise the chain).
+const ROCM_LIBS: &[(&str, &[&str])] = &[
+    ("libamdhip64.so", &["libroctracer64.so", "libhsa-runtime64.so"]),
+    ("libroctracer64.so", &["librocm_smi64.so"]),
+    ("libhsa-runtime64.so", &[]),
+    ("librocm_smi64.so", &[]),
+];
+
+fn prefix(version: &str) -> String {
+    format!("/opt/rocm-{version}/lib")
+}
+
+/// Install one ROCm version. Each library defines a version marker symbol
+/// and carries a RUNPATH of its own directory (factor 3).
+pub fn install_rocm(fs: &Vfs, version: &str) -> Result<(), VfsError> {
+    let dir = prefix(version);
+    let marker = format!("rocm_abi_{}", version.replace('.', "_"));
+    for (name, needs) in ROCM_LIBS {
+        let mut b = ElfObject::dso(*name)
+            .defines(Symbol::strong(marker.clone()))
+            .runpath(&dir);
+        for n in *needs {
+            b = b.needs(*n);
+        }
+        io::install(fs, &format!("{dir}/{name}"), &b.build())?;
+    }
+    Ok(())
+}
+
+/// Install the application built against `built_version`: RPATH entries to
+/// that version's directory (factor 1).
+pub fn install_app(fs: &Vfs, built_version: &str) -> Result<(), VfsError> {
+    let app = ElfObject::exe("gpu_sim")
+        .needs("libamdhip64.so")
+        .rpath(prefix(built_version))
+        .build();
+    io::install(fs, APP, &app)?;
+    Ok(())
+}
+
+/// The site module tree: each ROCm module sets LD_LIBRARY_PATH (factor 2).
+pub fn module_system() -> ModuleSystem {
+    let mut ms = ModuleSystem::new();
+    ms.provide(Module::new("rocm/4.3.0").ld_library_path(prefix("4.3.0")));
+    ms.provide(Module::new("rocm/4.5.0").ld_library_path(prefix("4.5.0")));
+    ms
+}
+
+/// Which ROCm versions contributed loaded libraries? More than one element
+/// means the mixed-version state that segfaults.
+pub fn versions_loaded(r: &LoadResult) -> Vec<String> {
+    let mut versions: Vec<String> = r
+        .objects
+        .iter()
+        .filter_map(|o| {
+            o.path
+                .strip_prefix("/opt/rocm-")
+                .and_then(|rest| rest.split('/').next())
+                .map(String::from)
+        })
+        .collect();
+    versions.sort();
+    versions.dedup();
+    versions
+}
+
+/// Set up the full scenario: both ROCm versions on disk, app built on 4.5.
+pub fn install_scenario(fs: &Vfs) -> Result<(), VfsError> {
+    install_rocm(fs, "4.3.0")?;
+    install_rocm(fs, "4.5.0")?;
+    install_app(fs, "4.5.0")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_loader::{Environment, GlibcLoader, Provenance};
+
+    #[test]
+    fn matching_module_loads_consistent_set() {
+        let fs = Vfs::local();
+        install_scenario(&fs).unwrap();
+        let mut ms = module_system();
+        ms.load("rocm/4.5.0").unwrap();
+        let env = ms.environment(Environment::default());
+        let r = GlibcLoader::new(&fs).with_env(env).load(APP).unwrap();
+        assert!(r.success());
+        assert_eq!(versions_loaded(&r), vec!["4.5.0"]);
+    }
+
+    #[test]
+    fn mismatched_module_mixes_versions() {
+        let fs = Vfs::local();
+        install_scenario(&fs).unwrap();
+        let mut ms = module_system();
+        ms.load("rocm/4.3.0").unwrap(); // the wrong module
+        let env = ms.environment(Environment::default());
+        let r = GlibcLoader::new(&fs).with_env(env).load(APP).unwrap();
+        assert!(r.success(), "it loads — that's the insidious part");
+        let versions = versions_loaded(&r);
+        assert_eq!(versions, vec!["4.3.0", "4.5.0"], "mixed ABI = segfault at runtime");
+
+        // Verify the causal chain: libamdhip64 came from RPATH (4.5)...
+        let hip = r.find("libamdhip64.so").unwrap();
+        assert!(hip.path.starts_with("/opt/rocm-4.5.0"));
+        assert!(matches!(hip.provenance, Provenance::Rpath { .. }));
+        // ...but its dependency came from LD_LIBRARY_PATH (4.3), because
+        // libamdhip64's RUNPATH suppressed the app's RPATH chain.
+        let tracer = r.find("libroctracer64.so").unwrap();
+        assert!(tracer.path.starts_with("/opt/rocm-4.3.0"));
+        assert!(matches!(tracer.provenance, Provenance::LdLibraryPath));
+    }
+
+    #[test]
+    fn any_two_factors_are_harmless() {
+        let fs = Vfs::local();
+        install_scenario(&fs).unwrap();
+
+        // Without the module (factors 1+3 only): consistent 4.5.
+        let r = GlibcLoader::new(&fs).with_env(Environment::default()).load(APP).unwrap();
+        assert_eq!(versions_loaded(&r), vec!["4.5.0"]);
+
+        // With the module but ROCm using RPATH instead of RUNPATH
+        // (factors 1+2): the library's RPATH chain keeps winning.
+        for (name, _) in ROCM_LIBS {
+            let p = format!("/opt/rocm-4.5.0/lib/{name}");
+            let ed = depchaos_elf::ElfEditor::open(&fs, &p).unwrap();
+            let obj = ed.object().unwrap();
+            let dirs = obj.runpath.clone();
+            ed.set_rpath(dirs).unwrap();
+        }
+        let mut ms = module_system();
+        ms.load("rocm/4.3.0").unwrap();
+        let env = ms.environment(Environment::default());
+        let r = GlibcLoader::new(&fs).with_env(env).load(APP).unwrap();
+        assert_eq!(versions_loaded(&r), vec!["4.5.0"], "RPATH-only ROCm is immune");
+    }
+}

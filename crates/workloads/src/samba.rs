@@ -1,0 +1,162 @@
+//! The Listing 1 scenario: `libtree /usr/bin/dbwrap_tool`.
+//!
+//! Samba's `dbwrap_tool` and most of its libraries carry a RUNPATH, but
+//! `libsamba-modules-samba4.so` — four levels down — has none. It needs
+//! `libsamba-debug-samba4.so`, which its own search cannot find; the binary
+//! works only because an earlier library with a correct RUNPATH already
+//! loaded it into the soname cache. `libtree` (static, per-object analysis)
+//! prints `not found` for exactly that edge.
+
+use depchaos_elf::{io, ElfObject};
+use depchaos_vfs::{Vfs, VfsError};
+
+/// Where the tool installs.
+pub const TOOL_PATH: &str = "/usr/bin/dbwrap_tool";
+/// The library whose RUNPATH is missing.
+pub const BROKEN_LIB: &str = "libsamba-modules-samba4.so";
+/// The dependency that is invisible to it.
+pub const HIDDEN_DEP: &str = "libsamba-debug-samba4.so";
+
+const SAMBA_PRIVATE: &str = "/usr/lib/samba/private";
+
+/// Install the scenario. System libraries (`libpopt.so.0`, `libtalloc.so.2`,
+/// ...) land in `/usr/lib` and resolve via default paths, matching the
+/// `[default path]` tags in the listing.
+pub fn install(fs: &Vfs) -> Result<(), VfsError> {
+    // System-side libraries.
+    for name in ["libpopt.so.0", "libtalloc.so.2", "libsamba-errors.so.1", "libsmbconf.so.0", "libsamba-util.so.0"] {
+        io::install(fs, &format!("/usr/lib/{name}"), &ElfObject::dso(name).build())?;
+    }
+
+    // The private samba tree, all with proper RUNPATHs...
+    let with_runpath = |name: &str, needs: &[&str]| -> ElfObject {
+        let mut b = ElfObject::dso(name).runpath(SAMBA_PRIVATE);
+        for n in needs {
+            b = b.needs(*n);
+        }
+        b.build()
+    };
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libpopt-samba3-samba4.so"),
+        &with_runpath("libpopt-samba3-samba4.so", &["libcli-smb-common-samba4.so", "libpopt.so.0"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libcli-smb-common-samba4.so"),
+        &with_runpath("libcli-smb-common-samba4.so", &["libiov-buf-samba4.so", "libtalloc.so.2"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libiov-buf-samba4.so"),
+        &with_runpath("libiov-buf-samba4.so", &["libsmb-transport-samba4.so"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libsmb-transport-samba4.so"),
+        &with_runpath("libsmb-transport-samba4.so", &["libsamba-sockets-samba4.so"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libsamba-sockets-samba4.so"),
+        &with_runpath("libsamba-sockets-samba4.so", &["libgensec-samba4.so"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libgensec-samba4.so"),
+        &with_runpath("libgensec-samba4.so", &[BROKEN_LIB, "libsamba-errors.so.1"]),
+    )?;
+    // ...except the broken one: no RUNPATH at all. Three of its deps are
+    // system libraries found via default paths; the fourth is the hidden one.
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/{BROKEN_LIB}"),
+        &ElfObject::dso(BROKEN_LIB)
+            .needs("libsamba-util.so.0")
+            .needs("libtalloc.so.2")
+            .needs("libsamba-errors.so.1")
+            .needs(HIDDEN_DEP)
+            .build(),
+    )?;
+    // The library that *does* load the hidden dep, earlier in BFS order.
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libdbwrap-samba4.so"),
+        &with_runpath("libdbwrap-samba4.so", &["libutil-tdb-samba4.so", HIDDEN_DEP]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/libutil-tdb-samba4.so"),
+        &with_runpath("libutil-tdb-samba4.so", &["libtalloc.so.2"]),
+    )?;
+    io::install(
+        fs,
+        &format!("{SAMBA_PRIVATE}/{HIDDEN_DEP}"),
+        &with_runpath(HIDDEN_DEP, &["libsamba-util.so.0"]),
+    )?;
+
+    // The tool: RUNPATH into the private tree. Crucially, libdbwrap comes
+    // BEFORE libsamba-modules' request is processed (BFS), so the hidden
+    // dep is already cached when the broken library asks for it.
+    let tool = ElfObject::exe("dbwrap_tool")
+        .needs("libpopt-samba3-samba4.so")
+        .needs("libdbwrap-samba4.so")
+        .needs("libsmbconf.so.0")
+        .needs("libsamba-util.so.0")
+        .needs("libpopt.so.0")
+        .runpath(SAMBA_PRIVATE)
+        .build();
+    io::install(fs, TOOL_PATH, &tool)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_loader::{analyze_tree, Environment, GlibcLoader, LdCache, Resolution};
+
+    #[test]
+    fn binary_works_dynamically() {
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        let r = GlibcLoader::new(&fs).load(TOOL_PATH).unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        // The broken lib's request was satisfied by dedup, not by search.
+        let broken_idx = r.find(BROKEN_LIB).unwrap().idx;
+        let e = r
+            .events
+            .iter()
+            .find(|e| e.requester == broken_idx && e.name == HIDDEN_DEP)
+            .unwrap();
+        assert!(matches!(e.resolution, Resolution::Deduped { .. }));
+    }
+
+    #[test]
+    fn libtree_prints_not_found() {
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        let tree = analyze_tree(&fs, TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
+        let missing = tree.missing();
+        assert_eq!(missing.len(), 1, "{}", tree.render());
+        assert_eq!(missing[0].name, HIDDEN_DEP);
+        let text = tree.render();
+        assert!(text.contains(&format!("{HIDDEN_DEP} not found")));
+        assert!(text.contains("[default path]"), "system libs tagged like the listing");
+        assert!(text.contains("[runpath]"));
+    }
+
+    #[test]
+    fn breakage_surfaces_when_order_changes() {
+        // The paper: missing entries "may surface later when the binary is
+        // run with ... a new version of a library in the tree". Remove the
+        // well-behaved libdbwrap (as an upgrade might) and the same binary
+        // now fails outright.
+        let fs = Vfs::local();
+        install(&fs).unwrap();
+        let patched = depchaos_elf::ElfEditor::open(&fs, TOOL_PATH).unwrap();
+        patched.remove_needed("libdbwrap-samba4.so").unwrap();
+        let r = GlibcLoader::new(&fs).load(TOOL_PATH).unwrap();
+        assert!(!r.success());
+        assert!(r.failures.iter().any(|f| f.name == HIDDEN_DEP));
+    }
+}

@@ -1,0 +1,52 @@
+//! §I's motivating workload: an Axom-scale application with >200 transitive
+//! dependencies, installed Spack-style, loaded, and shrinkwrapped.
+//!
+//! Run with: `cargo run --release --example axom_stack`
+
+use depchaos::prelude::*;
+use depchaos_workloads::axom;
+
+fn main() {
+    let fs = Vfs::local();
+    let repo = axom::repo(7);
+    println!(
+        "package universe: {} packages; closure of {}: {} dependencies",
+        repo.len(),
+        axom::APP,
+        axom::closure_size(&repo)
+    );
+
+    let mut store = StoreInstaller::spack_like();
+    let app = store.install(&fs, &repo, axom::APP).unwrap();
+    let bin = format!("{}/{}", app.bin_dir, axom::APP);
+    println!("installed into {} store prefixes", fs.list_dir("/store").unwrap().len());
+
+    let env = Environment::bare();
+    let before = GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap();
+    println!(
+        "\nunwrapped load: {} objects, {} stat/openat ({} wasted misses), runpath len {}",
+        before.objects.len(),
+        before.stat_openat(),
+        before.syscalls.misses,
+        depchaos_elf::io::peek_object(&fs, &bin).unwrap().runpath.len(),
+    );
+
+    let report = wrap(&fs, &bin, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    println!(
+        "shrinkwrap: froze {} entries ({} lifted from transitive closure)",
+        report.frozen_count(),
+        report.lifted().len()
+    );
+
+    let after = GlibcLoader::new(&fs).with_env(env).load(&bin).unwrap();
+    println!(
+        "wrapped load:   {} objects, {} stat/openat ({} misses)",
+        after.objects.len(),
+        after.stat_openat(),
+        after.syscalls.misses
+    );
+    println!(
+        "\nsearch-cost reduction: {:.1}x fewer stat/openat",
+        before.stat_openat() as f64 / after.stat_openat() as f64
+    );
+}

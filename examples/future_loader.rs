@@ -1,0 +1,59 @@
+//! §III-C: what a better loader interface would look like — the paper's
+//! proposal (prepend/append/inherit + per-dependency pins), running.
+//!
+//! Run with: `cargo run --example future_loader`
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+use depchaos_elf::SearchPosition;
+use depchaos_workloads::paradox;
+
+fn main() {
+    // 1. The Fig 3 paradox, unsolvable with directory lists...
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    println!(
+        "Fig 3 layout: any RPATH/RUNPATH/LD_LIBRARY_PATH ordering correct? {}",
+        paradox::any_ordering_correct(&fs)
+    );
+
+    // ...solved by per-dependency pins.
+    let pinned = ElfObject::exe("paradox_app")
+        .needs("liba.so")
+        .needs("libb.so")
+        .pin("liba.so", format!("{}/liba.so", paradox::DIR_A))
+        .pin("libb.so", format!("{}/libb.so", paradox::DIR_B))
+        .build();
+    install(&fs, paradox::EXE, &pinned).unwrap();
+    let r = FutureLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
+    println!("future loader with pins: correct = {}\n", paradox::is_correct(&r));
+
+    // 2. The packager/user tension: prepend pins a path against the
+    //    environment; append defers to it.
+    let fs = Vfs::local();
+    install(&fs, "/pkg/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    install(&fs, "/override/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    for (mode, pos) in [("prepend", SearchPosition::Prepend), ("append", SearchPosition::Append)] {
+        let exe = ElfObject::exe("app").needs("libx.so").search_dir("/pkg", pos, false).build();
+        install(&fs, "/bin/app", &exe).unwrap();
+        let env = Environment::bare().with_ld_library_path("/override");
+        let r = FutureLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+        println!(
+            "{mode:>7} + LD_LIBRARY_PATH=/override  ->  loads {}",
+            r.objects[1].path
+        );
+        fs.remove("/bin/app").unwrap();
+    }
+
+    // 3. The Zircon-style service: content-addressed dependencies with an
+    //    offline manifest.
+    let fs = Vfs::local();
+    let mut svc = HashStoreService::new();
+    install(&fs, "/cas/libz.so", &ElfObject::dso("libz.so").build()).unwrap();
+    let z = svc.register(&fs, "/cas/libz.so").unwrap();
+    install(&fs, "/bin/client", &ElfObject::exe("client").needs(z.clone()).build()).unwrap();
+    println!("\ncontent-addressed needed entry: {z}");
+    println!("offline manifest: {:?}", svc.manifest(&fs, "/bin/client").unwrap());
+    let r = ServiceLoader::new(&fs, svc).load("/bin/client").unwrap();
+    println!("service load: success = {}", r.success());
+}

@@ -1,0 +1,41 @@
+//! Listing 1: `libtree dbwrap_tool` shows a `not found` inside a binary
+//! that runs fine — the soname dedup cache hides broken search paths.
+//!
+//! Run with: `cargo run --example libtree_listing1`
+
+use depchaos::prelude::*;
+use depchaos_workloads::samba;
+
+fn main() {
+    let fs = Vfs::local();
+    samba::install(&fs).unwrap();
+
+    println!("$ libtree {}", samba::TOOL_PATH);
+    let tree =
+        analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
+    print!("{}", tree.render());
+
+    println!("\n$ {}   # ...and yet:", samba::TOOL_PATH);
+    let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
+    println!(
+        "exit 0 — {} objects loaded; the missing runpath was papered over by\n\
+         an earlier load of {} (found via libdbwrap-samba4.so's runpath).",
+        r.objects.len(),
+        samba::HIDDEN_DEP
+    );
+
+    // Show the latent breakage: drop the innocent sibling and rerun.
+    ElfEditor::open(&fs, samba::TOOL_PATH)
+        .unwrap()
+        .remove_needed("libdbwrap-samba4.so")
+        .unwrap();
+    let r2 = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
+    println!(
+        "\nafter an unrelated 'upgrade' drops libdbwrap from the needed list:\n  success = {} ({})",
+        r2.success(),
+        r2.failures
+            .first()
+            .map(|f| format!("{}: cannot open {}", f.requester, f.name))
+            .unwrap_or_default()
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig 6: Pynamic time-to-launch from NFS, normal vs shrinkwrapped,
+//! at 512 / 1024 / 2048 ranks.
+//!
+//! Run with: `cargo run --release --example pynamic_launch [n_libs]`
+//! (defaults to the paper's 900 libraries; use e.g. 200 for a quick run).
+
+use depchaos::prelude::*;
+use depchaos_launch::render_fig6;
+use depchaos_workloads::pynamic;
+
+fn main() {
+    let n_libs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(pynamic::N_LIBS_PAPER);
+
+    // The application lives on NFS; caches cold; negative caching off —
+    // exactly the paper's measurement conditions.
+    let fs = Vfs::nfs();
+    let w = pynamic::install(&fs, "/apps/pynamic", n_libs).unwrap();
+    let env = Environment::bare();
+    println!("pynamic-bigexe: {n_libs} shared libraries, each in its own runpath dir\n");
+
+    let normal_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
+    println!(
+        "one rank, normal:  {} stat/openat ({} misses)",
+        normal_ops.stat_openat(),
+        normal_ops.misses()
+    );
+
+    wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let wrapped_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
+    println!(
+        "one rank, wrapped: {} stat/openat ({} misses)\n",
+        wrapped_ops.stat_openat(),
+        wrapped_ops.misses()
+    );
+
+    let cfg = LaunchConfig::default();
+    let points = [512usize, 1024, 2048];
+    let normal = sweep_ranks(&normal_ops, &cfg, &points);
+    let wrapped = sweep_ranks(&wrapped_ops, &cfg, &points);
+    print!("{}", render_fig6(&points, &normal, &wrapped));
+
+    // The Spindle remark from §V-A: broadcast caching helps the unwrapped
+    // case too — composing both is best.
+    let spindle_cfg = LaunchConfig { broadcast_cache: true, ..LaunchConfig::default() };
+    let spindled = sweep_ranks(&normal_ops, &spindle_cfg, &points);
+    println!("\nwith a Spindle-style broadcast cache instead of shrinkwrapping:");
+    print!("{}", render_fig6(&points, &normal, &spindled));
+}

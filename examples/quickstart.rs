@@ -1,0 +1,67 @@
+//! Quickstart: build a small Spack-like software stack, watch the loader
+//! resolve it, shrinkwrap the binary, and compare.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use depchaos::prelude::*;
+
+fn main() {
+    // 1. A world: an in-memory filesystem and a three-package stack.
+    let fs = Vfs::local();
+    let mut repo = Repo::new();
+    repo.add(PackageDef::new("zlib", "1.2.11").lib(LibDef::new("libz.so.1")));
+    repo.add(
+        PackageDef::new("openssl", "1.1.1l")
+            .dep("zlib")
+            .lib(LibDef::new("libcrypto.so.1.1").needs("libz.so.1"))
+            .lib(LibDef::new("libssl.so.1.1").needs("libcrypto.so.1.1")),
+    );
+    repo.add(
+        PackageDef::new("curl", "7.79.1")
+            .dep("openssl")
+            .lib(LibDef::new("libcurl.so.4").needs("libssl.so.1.1"))
+            .bin(BinDef::new("curl").needs("libcurl.so.4")),
+    );
+
+    // 2. Install into a content-addressed store (RUNPATH style, like Spack).
+    let mut store = StoreInstaller::spack_like();
+    let curl = store.install(&fs, &repo, "curl").unwrap();
+    let bin = format!("{}/curl", curl.bin_dir);
+    println!("installed: {}", curl.prefix);
+
+    // 3. Load it and look at the resolution work.
+    let before = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap();
+    println!("\nbefore shrinkwrap:");
+    for o in &before.objects {
+        println!("  {} [{}]", o.path, o.provenance.tag());
+    }
+    println!(
+        "  -> {} stat/openat calls, {} wasted on misses",
+        before.stat_openat(),
+        before.syscalls.misses
+    );
+
+    // 4. Shrinkwrap: absolute paths, closure lifted to the binary.
+    let report = wrap(&fs, &bin, &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+    println!("\n{}", report.render().trim_end());
+
+    // 5. Load again: direct opens, zero search.
+    let after = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap();
+    println!("\nafter shrinkwrap:");
+    for o in &after.objects {
+        println!("  {} [{}]", o.path, o.provenance.tag());
+    }
+    println!(
+        "  -> {} stat/openat calls, {} misses",
+        after.stat_openat(),
+        after.syscalls.misses
+    );
+
+    // 6. And it is auditable.
+    let audit = audit(&fs, &bin, &Environment::bare()).unwrap();
+    println!(
+        "\naudit: fully frozen = {}, musl compatible = {} (the paper's §IV caveat)",
+        audit.fully_frozen(),
+        audit.musl_ok
+    );
+}

@@ -1,0 +1,58 @@
+//! §V-B.1: the ROCm RPATH + RUNPATH + LD_LIBRARY_PATH three-way collision,
+//! step by step, and the Shrinkwrap fix.
+//!
+//! Run with: `cargo run --example rocm_conflict`
+
+use depchaos::prelude::*;
+use depchaos_workloads::rocm;
+
+fn show(label: &str, r: &depchaos_loader::LoadResult) {
+    println!("{label}");
+    for o in r.objects.iter().skip(1) {
+        println!("  {} [{}]", o.path, o.provenance.tag());
+    }
+    println!("  versions loaded: {:?}\n", rocm::versions_loaded(r));
+}
+
+fn main() {
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    println!(
+        "app built against ROCm 4.5 (RPATH → /opt/rocm-4.5.0/lib);\n\
+         ROCm libraries carry their own RUNPATH;\n\
+         module files set LD_LIBRARY_PATH.\n"
+    );
+
+    // Correct module: everything consistent.
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.5.0").unwrap();
+    let r = GlibcLoader::new(&fs)
+        .with_env(ms.environment(Environment::default()))
+        .load(rocm::APP)
+        .unwrap();
+    show("$ module load rocm/4.5.0 && ./gpu_sim", &r);
+
+    // Wrong module: the three factors combine.
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.3.0").unwrap();
+    let bad_env = ms.environment(Environment::default());
+    let r = GlibcLoader::new(&fs).with_env(bad_env.clone()).load(rocm::APP).unwrap();
+    show("$ module load rocm/4.3.0 && ./gpu_sim        # SEGFAULT in production", &r);
+    println!(
+        "why: libamdhip64 came from the app's RPATH (4.5), but its own RUNPATH\n\
+         suppressed the RPATH chain for its dependencies, so the loader fell\n\
+         through to LD_LIBRARY_PATH — the 4.3 module.\n"
+    );
+
+    // Shrinkwrap in the consistent environment, rerun in the broken one.
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.5.0").unwrap();
+    wrap(
+        &fs,
+        rocm::APP,
+        &ShrinkwrapOptions::new().env(ms.environment(Environment::default())),
+    )
+    .unwrap();
+    let r = GlibcLoader::new(&fs).with_env(bad_env).load(rocm::APP).unwrap();
+    show("$ shrinkwrap gpu_sim && module load rocm/4.3.0 && ./gpu_sim   # fixed", &r);
+}

@@ -1,0 +1,67 @@
+//! # depchaos — a Rust reproduction of *Mapping Out the HPC Dependency Chaos* (SC22)
+//!
+//! This facade crate re-exports the whole workspace. The pieces:
+//!
+//! * [`vfs`] — simulated filesystem with syscall accounting and NFS/local
+//!   latency models;
+//! * [`elf`] — the dynamic-section view of ELF objects plus patchelf-style
+//!   editing;
+//! * [`graph`] — dependency-graph analytics (closures, constraint taxonomy,
+//!   reuse histograms, DOT);
+//! * [`loader`] — executable models of the glibc and musl dynamic loaders,
+//!   plus libtree-style static analysis;
+//! * [`store`] — the §II deployment models: FHS, bundles, the Nix/Spack
+//!   store, modules, dependency views;
+//! * [`workloads`] — seeded generators for every evaluation artifact
+//!   (Debian, Nix Ruby, emacs, Pynamic, ROCm, OpenMP, samba, Fig 3);
+//! * [`shrinkwrap`] — the paper's contribution (crate `depchaos-core`);
+//! * [`launch`] — the Fig 6 parallel-launch discrete-event simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use depchaos::prelude::*;
+//!
+//! // A world: one app in a Spack-like store.
+//! let fs = Vfs::local();
+//! let mut repo = Repo::new();
+//! repo.add(PackageDef::new("zlib", "1.2").lib(LibDef::new("libz.so.1")));
+//! repo.add(PackageDef::new("tool", "1.0").dep("zlib")
+//!     .bin(BinDef::new("tool").needs("libz.so.1")));
+//! let mut store = StoreInstaller::spack_like();
+//! let tool = store.install(&fs, &repo, "tool").unwrap();
+//! let bin = format!("{}/tool", tool.bin_dir);
+//!
+//! // Load it, then shrinkwrap it, then load again: fewer syscalls.
+//! let before = GlibcLoader::new(&fs).load(&bin).unwrap();
+//! wrap(&fs, &bin, &ShrinkwrapOptions::new()).unwrap();
+//! let after = GlibcLoader::new(&fs).load(&bin).unwrap();
+//! assert!(after.success());
+//! assert!(after.syscalls.misses <= before.syscalls.misses);
+//! ```
+
+pub use depchaos_core as shrinkwrap;
+pub use depchaos_elf as elf;
+pub use depchaos_graph as graph;
+pub use depchaos_launch as launch;
+pub use depchaos_loader as loader;
+pub use depchaos_store as store;
+pub use depchaos_vfs as vfs;
+pub use depchaos_workloads as workloads;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use depchaos_core::{audit, wrap, OnMissing, ShrinkwrapOptions, Strategy};
+    pub use depchaos_elf::{ElfEditor, ElfObject, Machine, Symbol};
+    pub use depchaos_graph::{ConstraintTally, DepGraph, VersionConstraint};
+    pub use depchaos_launch::{profile_load, simulate_launch, sweep_ranks, LaunchConfig};
+    pub use depchaos_loader::{
+        analyze_tree, Environment, FutureLoader, GlibcLoader, HashStoreService, LdCache,
+        MuslLoader, Provenance, Resolution, ServiceLoader,
+    };
+    pub use depchaos_store::{
+        build_view, gc, BinDef, BundleInstaller, FhsInstaller, LibDef, Module, ModuleSystem,
+        PackageDef, Profile, Repo, StoreInstaller,
+    };
+    pub use depchaos_vfs::{Backend, Vfs};
+}

@@ -1,0 +1,99 @@
+//! The distribution-maintainer position from the §III-A Debian debate:
+//! resolve everything through `ld.so.conf` + the ldconfig cache, no
+//! per-binary paths at all — and its limits.
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+
+/// A Debian-ish system: core libs in /usr/lib, an /opt vendor tree exposed
+/// through ld.so.conf, binaries with zero RPATH/RUNPATH.
+fn build() -> (Vfs, LdCache, Environment) {
+    let fs = Vfs::local();
+    let mut fhs = FhsInstaller::new();
+    fhs.install(
+        &fs,
+        &PackageDef::new("glibc", "2.36").lib(LibDef::new("libc.so.6")),
+    )
+    .unwrap();
+    fhs.install(
+        &fs,
+        &PackageDef::new("zlib", "1.2")
+            .lib(LibDef::new("libz.so.1").needs("libc.so.6")),
+    )
+    .unwrap();
+    // Vendor tree outside the FHS, registered via ld.so.conf.
+    install(
+        &fs,
+        "/opt/vendor/lib/libvendor.so.3",
+        &ElfObject::dso("libvendor.so.3").needs("libz.so.1").build(),
+    )
+    .unwrap();
+    fhs.install(
+        &fs,
+        &PackageDef::new("tool", "1.0").bin(BinDef::new("tool").needs("libvendor.so.3")),
+    )
+    .unwrap();
+    let mut env = Environment::default();
+    env.ld_so_conf = vec!["/opt/vendor/lib".to_string()];
+    let cache = LdCache::ldconfig(&fs, &env.ld_so_conf);
+    (fs, cache, env)
+}
+
+#[test]
+fn cache_resolves_the_vendor_tree() {
+    let (fs, cache, env) = build();
+    let r = GlibcLoader::new(&fs).with_env(env).with_cache(cache).load("/usr/bin/tool").unwrap();
+    assert!(r.success(), "{:?}", r.failures);
+    let vendor = r.find("libvendor.so.3").unwrap();
+    assert_eq!(vendor.path, "/opt/vendor/lib/libvendor.so.3");
+    assert!(matches!(vendor.provenance, Provenance::LdSoCache));
+    // And its own deps came from the default dirs.
+    assert!(matches!(r.find("libz.so.1").unwrap().provenance, Provenance::DefaultPath));
+}
+
+#[test]
+fn stale_cache_breaks_until_ldconfig_reruns() {
+    // The maintainer's cost: every layout change needs an ldconfig run.
+    let (fs, cache, env) = build();
+    fs.remove("/opt/vendor/lib/libvendor.so.3").unwrap();
+    install(
+        &fs,
+        "/opt/vendor2/lib/libvendor.so.3",
+        &ElfObject::dso("libvendor.so.3").needs("libz.so.1").build(),
+    )
+    .unwrap();
+    // Old cache points at the removed file: not found.
+    let r = GlibcLoader::new(&fs)
+        .with_env(env.clone())
+        .with_cache(cache)
+        .load("/usr/bin/tool")
+        .unwrap();
+    assert!(!r.success());
+    // Re-run ldconfig over the updated conf: works again.
+    let mut env2 = env;
+    env2.ld_so_conf = vec!["/opt/vendor2/lib".to_string()];
+    let cache2 = LdCache::ldconfig(&fs, &env2.ld_so_conf);
+    let r2 = GlibcLoader::new(&fs).with_env(env2).with_cache(cache2).load("/usr/bin/tool").unwrap();
+    assert!(r2.success());
+}
+
+#[test]
+fn single_version_limit_of_the_cache() {
+    // Two versions of the same soname in conf order: first dir wins for
+    // everyone — the FHS "limited key space dilemma" survives in the cache.
+    let (fs, _, mut env) = build();
+    install(
+        &fs,
+        "/opt/vendor-new/lib/libvendor.so.3",
+        &ElfObject::dso("libvendor.so.3").needs("libz.so.1").build(),
+    )
+    .unwrap();
+    env.ld_so_conf =
+        vec!["/opt/vendor/lib".to_string(), "/opt/vendor-new/lib".to_string()];
+    let cache = LdCache::ldconfig(&fs, &env.ld_so_conf);
+    assert_eq!(
+        cache.lookup("libvendor.so.3", Machine::X86_64),
+        Some("/opt/vendor/lib/libvendor.so.3"),
+        "no way to give different consumers different versions"
+    );
+}

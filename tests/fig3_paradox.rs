@@ -1,0 +1,54 @@
+//! Fig 3: the two-directory layout no search-path ordering can solve —
+//! and its resolution by per-dependency absolute paths.
+
+use depchaos::prelude::*;
+use depchaos_workloads::paradox;
+
+#[test]
+fn exhaustive_orderings_all_fail() {
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    assert!(!paradox::any_ordering_correct(&fs));
+}
+
+#[test]
+fn shrinkwrap_style_needed_entries_solve_it() {
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    ElfEditor::open(&fs, paradox::EXE)
+        .unwrap()
+        .set_needed(vec![
+            format!("{}/liba.so", paradox::DIR_A),
+            format!("{}/libb.so", paradox::DIR_B),
+        ])
+        .unwrap();
+    let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
+    assert!(r.success());
+    assert!(paradox::is_correct(&r));
+}
+
+#[test]
+fn a_new_directory_of_symlinks_also_solves_it() {
+    // The paper's only in-band fix: "creating a new directory with the
+    // correct versions" — which is what dependency views automate.
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    fs.mkdir_p("/opt/view").unwrap();
+    fs.symlink("/opt/view/liba.so", &format!("{}/liba.so", paradox::DIR_A)).unwrap();
+    fs.symlink("/opt/view/libb.so", &format!("{}/libb.so", paradox::DIR_B)).unwrap();
+    ElfEditor::open(&fs, paradox::EXE)
+        .unwrap()
+        .set_runpath(vec!["/opt/view".to_string()])
+        .unwrap();
+    let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
+    assert!(r.success());
+    // Canonical targets are the wanted pair.
+    assert_eq!(
+        fs.canonicalize(&r.find("liba.so").unwrap().path).unwrap(),
+        format!("{}/liba.so", paradox::DIR_A)
+    );
+    assert_eq!(
+        fs.canonicalize(&r.find("libb.so").unwrap().path).unwrap(),
+        format!("{}/libb.so", paradox::DIR_B)
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig 6 end-to-end at test scale: profile → simulate → compare.
+//!
+//! The full 900-library figure runs in the bench harness; here a reduced
+//! instance checks every stage of the pipeline and the qualitative claims.
+
+use depchaos::prelude::*;
+use depchaos_workloads::pynamic;
+
+const N_LIBS: usize = 120;
+
+fn profiles() -> (depchaos_vfs::StraceLog, depchaos_vfs::StraceLog) {
+    let fs = Vfs::nfs();
+    let w = pynamic::install(&fs, "/apps/pynamic", N_LIBS).unwrap();
+    let env = Environment::bare();
+    let normal = profile_load(&fs, &w.exe_path, &env).unwrap();
+    depchaos_core::wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+    let wrapped = profile_load(&fs, &w.exe_path, &env).unwrap();
+    (normal, wrapped)
+}
+
+#[test]
+fn wrapped_op_stream_is_linear_not_quadratic() {
+    let (normal, wrapped) = profiles();
+    let quadratic = N_LIBS * (N_LIBS + 1) / 2;
+    assert!(normal.stat_openat() >= quadratic, "unwrapped search is quadratic");
+    assert!(
+        wrapped.stat_openat() <= N_LIBS + 2,
+        "wrapped is one open per dependency: {}",
+        wrapped.stat_openat()
+    );
+}
+
+#[test]
+fn speedup_grows_with_scale_and_wrapped_wins_everywhere() {
+    let (normal, wrapped) = profiles();
+    // Strip the fixed overheads to expose the loader-bound behaviour.
+    let cfg = LaunchConfig {
+        base_overhead_ns: 0,
+        per_rank_overhead_ns: 0,
+        ..LaunchConfig::default()
+    };
+    let points = [512usize, 1024, 2048];
+    let n = sweep_ranks(&normal, &cfg, &points);
+    let w = sweep_ranks(&wrapped, &cfg, &points);
+    let mut last_speedup = 0.0;
+    for (i, &p) in points.iter().enumerate() {
+        let tn = n[i].1.time_to_launch_ns as f64;
+        let tw = w[i].1.time_to_launch_ns as f64;
+        assert_eq!(n[i].0, p);
+        let speedup = tn / tw;
+        assert!(speedup > 1.5, "wrapped must win at {p} ranks: {speedup:.2}");
+        assert!(speedup >= last_speedup * 0.95, "gap widens (roughly) with scale");
+        last_speedup = speedup;
+    }
+}
+
+#[test]
+fn server_op_accounting_consistent() {
+    let (normal, wrapped) = profiles();
+    let cfg = LaunchConfig::default().with_ranks(512); // 4 nodes
+    let rn = simulate_launch(&normal, &cfg);
+    let rw = simulate_launch(&wrapped, &cfg);
+    assert_eq!(rn.nodes, 4);
+    // Every cold op in the profile is paid once per node.
+    assert!(rn.server_ops >= 4 * (N_LIBS * (N_LIBS + 1) / 2) as u64);
+    assert!(rw.server_ops < rn.server_ops / 10);
+    // Contention shows up as queue depth at scale.
+    assert!(rn.peak_queue_depth >= 2);
+}
+
+#[test]
+fn negative_caching_ablation() {
+    // Negative caching pays off on *repeated* launches: the second load's
+    // failed probes are client-cached when it is enabled. LLNL disables it,
+    // so every launch repays the full miss storm — which is why the paper
+    // measures with it off.
+    let env = Environment::bare();
+    let second_load_ns = |backend: Backend| {
+        let fs = Vfs::new(backend);
+        let w = pynamic::install(&fs, "/apps/p", N_LIBS).unwrap();
+        profile_load(&fs, &w.exe_path, &env).unwrap(); // cold first load
+        // Second load without dropping caches.
+        let t0 = fs.elapsed_ns();
+        GlibcLoader::new(&fs).with_env(env.clone()).load(&w.exe_path).unwrap();
+        fs.elapsed_ns() - t0
+    };
+    let off = second_load_ns(Backend::nfs());
+    let on = second_load_ns(Backend::nfs_with_negative_caching());
+    assert!(
+        off > on * 5,
+        "with negative caching off, relaunch repays the misses: {off} vs {on}"
+    );
+}

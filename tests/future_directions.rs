@@ -1,0 +1,106 @@
+//! §III-C: the paper's two future-loader directions, exercised end to end
+//! against the same workloads that defeat the legacy mechanisms.
+
+use depchaos::prelude::*;
+use depchaos_elf::SearchPosition;
+use depchaos_loader::{FutureLoader, HashStoreService, ServiceLoader};
+use depchaos_workloads::{paradox, rocm};
+
+/// The Fig 3 layout is unsolvable with directory lists (proven in
+/// fig3_paradox.rs) — and trivially solvable with per-dependency pins.
+#[test]
+fn future_loader_pins_solve_fig3() {
+    let fs = Vfs::local();
+    paradox::install(&fs).unwrap();
+    let pinned = ElfObject::exe("paradox_app")
+        .needs("liba.so")
+        .needs("libb.so")
+        .pin("liba.so", format!("{}/liba.so", paradox::DIR_A))
+        .pin("libb.so", format!("{}/libb.so", paradox::DIR_B))
+        .build();
+    depchaos_elf::io::install(&fs, paradox::EXE, &pinned).unwrap();
+    let r = FutureLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
+    assert!(r.success());
+    assert!(paradox::is_correct(&r));
+}
+
+/// The ROCm three-factor failure cannot happen under prepend/append/inherit
+/// semantics: the app's inheritable prepend keeps governing transitive
+/// lookups no matter what the vendor library carries.
+#[test]
+fn future_loader_defuses_rocm_interference() {
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    // Re-express the app's intent with the future mechanism: same
+    // directory, but inheritable.
+    let app = ElfObject::exe("gpu_sim")
+        .needs("libamdhip64.so")
+        .search_dir("/opt/rocm-4.5.0/lib", SearchPosition::Prepend, true)
+        .build();
+    depchaos_elf::io::install(&fs, rocm::APP, &app).unwrap();
+    // Hostile module environment:
+    let env = Environment::bare().with_ld_library_path("/opt/rocm-4.3.0/lib");
+    let r = FutureLoader::new(&fs).with_env(env).load(rocm::APP).unwrap();
+    assert!(r.success());
+    assert_eq!(rocm::versions_loaded(&r), vec!["4.5.0"], "no mixing possible");
+}
+
+/// The Zircon-service direction: hash-addressed needed entries, resolved by
+/// a content store, with an offline manifest ("provide all of the
+/// dependencies it needs in place of distributing a static binary or a
+/// container").
+#[test]
+fn hash_service_loads_and_manifests_a_stack() {
+    let fs = Vfs::local();
+    let mut svc = HashStoreService::new();
+
+    // Build a three-deep hash-addressed stack bottom-up.
+    depchaos_elf::io::install(&fs, "/cas/libz.so", &ElfObject::dso("libz.so").build()).unwrap();
+    let z = svc.register(&fs, "/cas/libz.so").unwrap();
+    depchaos_elf::io::install(&fs, "/cas/libssl.so", &ElfObject::dso("libssl.so").needs(z).build())
+        .unwrap();
+    let ssl = svc.register(&fs, "/cas/libssl.so").unwrap();
+    depchaos_elf::io::install(&fs, "/bin/client", &ElfObject::exe("client").needs(ssl).build())
+        .unwrap();
+
+    // Offline manifest answers "what do I need to ship?"
+    let manifest = svc.manifest(&fs, "/bin/client").unwrap();
+    assert_eq!(manifest.len(), 2);
+
+    // And the loader-service resolves the same entries at load time.
+    let r = ServiceLoader::new(&fs, svc).load("/bin/client").unwrap();
+    assert!(r.success());
+    assert_eq!(r.objects.len(), 3);
+}
+
+/// Content addressing catches the supply-chain case a soname cannot: a
+/// tampered library changes digest, so the load fails loudly instead of
+/// running the wrong code.
+#[test]
+fn hash_service_detects_substitution() {
+    let fs = Vfs::local();
+    let mut svc = HashStoreService::new();
+    depchaos_elf::io::install(&fs, "/cas/libz.so", &ElfObject::dso("libz.so").build()).unwrap();
+    let z = svc.register(&fs, "/cas/libz.so").unwrap();
+    depchaos_elf::io::install(&fs, "/bin/app", &ElfObject::exe("app").needs(z).build()).unwrap();
+
+    // Replace the library content (a different build, a compromise...).
+    depchaos_elf::io::install(
+        &fs,
+        "/cas/libz.so",
+        &ElfObject::dso("libz.so").defines(Symbol::strong("evil")).build(),
+    )
+    .unwrap();
+    // The index still points at the path, but re-registration would yield a
+    // different digest; a verifying service drops the stale entry. Simulate
+    // verification by rebuilding the index from current content:
+    let mut fresh = HashStoreService::new();
+    let new_ref = fresh.register(&fs, "/cas/libz.so").unwrap();
+    assert_ne!(new_ref, format!("sha:{}", {
+        // old digest from the needed entry on the binary
+        let obj = depchaos_elf::io::peek_object(&fs, "/bin/app").unwrap();
+        obj.needed[0].strip_prefix("sha:").unwrap().to_string()
+    }));
+    let r = ServiceLoader::new(&fs, fresh).load("/bin/app").unwrap();
+    assert!(!r.success(), "stale digest no longer resolvable");
+}

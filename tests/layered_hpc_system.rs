@@ -1,0 +1,171 @@
+//! §II-E: "any given HPC system is usually comprised of layered instances
+//! of the FHS model and some form of the store model" — the composition
+//! that produces the chaos the paper maps.
+//!
+//! Four layers, like Lassen:
+//!   1. OS base (RHEL/TOSS): FHS in /usr/lib, found via default paths;
+//!   2. site development environment (TCE): /usr/tce packages exposed by
+//!      modules that set LD_LIBRARY_PATH;
+//!   3. a group-managed store (Spack-like, RUNPATH);
+//!   4. the user's application linking across all three.
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+
+struct System {
+    fs: Vfs,
+    modules: ModuleSystem,
+}
+
+fn build_system() -> System {
+    let fs = Vfs::local();
+
+    // Layer 1: OS base.
+    let mut fhs = FhsInstaller::new();
+    fhs.install(
+        &fs,
+        &PackageDef::new("glibc", "2.28").lib(LibDef::new("libc.so.6")).lib(LibDef::new("libm.so.6")),
+    )
+    .unwrap();
+
+    // Layer 2: TCE compiler runtimes under /usr/tce, module-exposed.
+    for v in ["8.3.1", "12.1.1"] {
+        let dir = format!("/usr/tce/gcc-{v}/lib64");
+        install(
+            &fs,
+            &format!("{dir}/libstdc++.so.6"),
+            &ElfObject::dso("libstdc++.so.6")
+                .defines(Symbol::strong(format!("abi_{}", v.replace('.', "_"))))
+                .needs("libc.so.6")
+                .build(),
+        )
+        .unwrap();
+    }
+    let mut modules = ModuleSystem::new();
+    modules.provide(Module::new("gcc/8.3.1").ld_library_path("/usr/tce/gcc-8.3.1/lib64"));
+    modules.provide(Module::new("gcc/12.1.1").ld_library_path("/usr/tce/gcc-12.1.1/lib64"));
+
+    // Layer 3: the group's Spack-like store.
+    let mut repo = Repo::new();
+    repo.add(
+        PackageDef::new("hdf5", "1.12")
+            .lib(LibDef::new("libhdf5.so.200").needs("libstdc++.so.6").needs("libc.so.6")),
+    );
+    let mut store = StoreInstaller::spack_like();
+    store.install(&fs, &repo, "hdf5").unwrap();
+    let hdf5_lib = store.get("hdf5").unwrap().lib_dir.clone();
+
+    // Layer 4: the user's application, hand-linked against all layers.
+    // Compiled with gcc/12: it must see the 12.x libstdc++ at runtime, but
+    // the user relies on RUNPATH for hdf5 and the *module* for libstdc++ —
+    // the unplanned composition §II-E describes.
+    install(
+        &fs,
+        "/home/user/bin/sim",
+        &ElfObject::exe("sim")
+            .needs("libhdf5.so.200")
+            .needs("libstdc++.so.6")
+            .needs("libm.so.6")
+            .runpath(hdf5_lib)
+            .imports("abi_12_1_1")
+            .build(),
+    )
+    .unwrap();
+
+    System { fs, modules }
+}
+
+fn stdcxx_abi(r: &depchaos_loader::LoadResult) -> String {
+    let o = r.find("libstdc++.so.6").unwrap();
+    o.object.symbols.first().unwrap().name.clone()
+}
+
+#[test]
+fn correct_module_composes_correctly() {
+    let mut sys = build_system();
+    sys.modules.load("gcc/12.1.1").unwrap();
+    let env = sys.modules.environment(Environment::default());
+    let r = GlibcLoader::new(&sys.fs).with_env(env).load("/home/user/bin/sim").unwrap();
+    assert!(r.success(), "{:?}", r.failures);
+    assert_eq!(stdcxx_abi(&r), "abi_12_1_1");
+    // Each layer supplied its piece:
+    assert!(r.find("libm.so.6").unwrap().path.starts_with("/usr/lib"));
+    assert!(r.find("libhdf5.so.200").unwrap().path.starts_with("/store"));
+    assert!(r.find("libstdc++.so.6").unwrap().path.starts_with("/usr/tce/gcc-12.1.1"));
+}
+
+#[test]
+fn forgotten_module_silently_degrades() {
+    // Without any module the app still *runs* — the loader falls back to
+    // default paths for libstdc++... which doesn't exist there, so the load
+    // fails. With the WRONG module it runs with the wrong ABI: the worst
+    // outcome, because nothing errors.
+    let mut sys = build_system();
+    let env = sys.modules.environment(Environment::default());
+    let r = GlibcLoader::new(&sys.fs).with_env(env).load("/home/user/bin/sim").unwrap();
+    assert!(!r.success(), "no module, no libstdc++");
+
+    sys.modules.load("gcc/8.3.1").unwrap();
+    let env = sys.modules.environment(Environment::default());
+    let r = GlibcLoader::new(&sys.fs).with_env(env).load("/home/user/bin/sim").unwrap();
+    assert!(r.success(), "loads fine...");
+    assert_eq!(stdcxx_abi(&r), "abi_8_3_1", "...with the wrong C++ runtime");
+}
+
+#[test]
+fn shrinkwrap_pins_the_whole_composition() {
+    let mut sys = build_system();
+    sys.modules.load("gcc/12.1.1").unwrap();
+    let good_env = sys.modules.environment(Environment::default());
+    depchaos_core::wrap(
+        &sys.fs,
+        "/home/user/bin/sim",
+        &ShrinkwrapOptions::new().env(good_env),
+    )
+    .unwrap();
+
+    // Now run with no module / the wrong module: identical, correct load.
+    for load_wrong in [false, true] {
+        let mut ms = build_system().modules; // fresh module state
+        if load_wrong {
+            ms.load("gcc/8.3.1").unwrap();
+        }
+        let env = ms.environment(Environment::default());
+        let r = GlibcLoader::new(&sys.fs).with_env(env).load("/home/user/bin/sim").unwrap();
+        assert!(r.success());
+        assert_eq!(stdcxx_abi(&r), "abi_12_1_1", "frozen to the build-time runtime");
+    }
+}
+
+#[test]
+fn audit_reports_the_layering() {
+    let mut sys = build_system();
+    sys.modules.load("gcc/12.1.1").unwrap();
+    let env = sys.modules.environment(Environment::default());
+    let rep = depchaos_core::wrap(
+        &sys.fs,
+        "/home/user/bin/sim",
+        &ShrinkwrapOptions::new().env(env.clone()),
+    )
+    .unwrap();
+    // The frozen list spans all three provider layers — the "mapping out"
+    // the paper's title promises.
+    let layers: Vec<&str> = rep
+        .new_needed
+        .iter()
+        .map(|p| {
+            if p.starts_with("/usr/tce") {
+                "tce"
+            } else if p.starts_with("/store") {
+                "store"
+            } else {
+                "os"
+            }
+        })
+        .collect();
+    assert!(layers.contains(&"os"));
+    assert!(layers.contains(&"tce"));
+    assert!(layers.contains(&"store"));
+    let audit = depchaos_core::audit(&sys.fs, "/home/user/bin/sim", &env).unwrap();
+    assert!(audit.fully_frozen());
+}

@@ -1,0 +1,55 @@
+//! Listing 1, end to end: the dynamic load works, libtree says `not found`.
+
+use depchaos::prelude::*;
+use depchaos_workloads::samba;
+
+#[test]
+fn dynamic_load_succeeds_while_tree_shows_the_hole() {
+    let fs = Vfs::local();
+    samba::install(&fs).unwrap();
+
+    let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
+    assert!(r.success(), "{:?}", r.failures);
+
+    let tree = analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty())
+        .unwrap();
+    let rendered = tree.render();
+    assert!(rendered.contains("libsamba-debug-samba4.so not found"), "{rendered}");
+    assert!(rendered.contains("[runpath]"));
+    assert!(rendered.contains("[default path]"));
+}
+
+#[test]
+fn shrinkwrap_makes_the_hole_impossible() {
+    // After wrapping, the closure is explicit on the binary; the broken
+    // library's request is a guaranteed dedup, not an accident of order.
+    let fs = Vfs::local();
+    samba::install(&fs).unwrap();
+    let rep = depchaos_core::wrap(
+        &fs,
+        samba::TOOL_PATH,
+        &ShrinkwrapOptions::new().env(Environment::default()),
+    )
+    .unwrap();
+    assert!(rep.new_needed.iter().any(|p| p.ends_with(samba::HIDDEN_DEP)));
+    // Removing the innocent sibling no longer breaks the tool (contrast
+    // with the unwrapped behaviour tested in the workloads crate).
+    let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
+    assert!(r.success());
+    assert_eq!(r.syscalls.misses, 0);
+}
+
+#[test]
+fn wrap_report_lifts_the_transitive_set() {
+    let fs = Vfs::local();
+    samba::install(&fs).unwrap();
+    let original = depchaos_elf::io::peek_object(&fs, samba::TOOL_PATH).unwrap();
+    let rep = depchaos_core::wrap(
+        &fs,
+        samba::TOOL_PATH,
+        &ShrinkwrapOptions::new().env(Environment::default()),
+    )
+    .unwrap();
+    assert!(rep.new_needed.len() > original.needed.len(), "transitive deps lifted to the top");
+    assert!(!rep.lifted().is_empty());
+}

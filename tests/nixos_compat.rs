@@ -1,0 +1,131 @@
+//! §II-D: "A NixOS system cannot natively run a dynamic executable built on
+//! any other distribution even if the system has every single dependency
+//! used by that executable" — and the nix-ld style of workaround.
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+use depchaos_loader::LoadError;
+
+/// A NixOS-like world: everything under /nix/store, including the loader
+/// itself; nothing at the FHS's well-known paths.
+fn nixos_world() -> Vfs {
+    let fs = Vfs::local();
+    install(
+        &fs,
+        "/nix/store/abc-glibc-2.37/lib/ld-linux-x86-64.so.2",
+        &ElfObject::dso("ld-linux-x86-64.so.2").build(),
+    )
+    .unwrap();
+    install(
+        &fs,
+        "/nix/store/abc-glibc-2.37/lib/libc.so.6",
+        &ElfObject::dso("libc.so.6").build(),
+    )
+    .unwrap();
+    fs
+}
+
+/// A binary built on a normal distro: FHS interpreter path baked in.
+fn foreign_binary() -> ElfObject {
+    ElfObject::exe("foreign-app")
+        .interp("/lib64/ld-linux-x86-64.so.2")
+        .needs("libc.so.6")
+        .build()
+}
+
+#[test]
+fn foreign_binary_fails_despite_all_deps_present() {
+    let fs = nixos_world();
+    install(&fs, "/home/user/foreign-app", &foreign_binary()).unwrap();
+    // Every dependency exists in the store — but the interpreter path
+    // doesn't, so execve-time resolution dies with the misleading ENOENT.
+    let err = GlibcLoader::new(&fs)
+        .with_strict_interp(true)
+        .load("/home/user/foreign-app")
+        .unwrap_err();
+    assert!(err.to_string().contains("no such file or directory"));
+    match err {
+        LoadError::InterpreterNotFound { interp, .. } => {
+            assert_eq!(interp, "/lib64/ld-linux-x86-64.so.2");
+        }
+        other => panic!("expected InterpreterNotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn nix_ld_style_shim_fixes_it() {
+    // nix-ld installs a shim at the FHS loader path; with it in place (plus
+    // an env pointing at store libs) the foreign binary runs.
+    let fs = nixos_world();
+    install(&fs, "/home/user/foreign-app", &foreign_binary()).unwrap();
+    fs.mkdir_p("/lib64").unwrap();
+    fs.symlink(
+        "/lib64/ld-linux-x86-64.so.2",
+        "/nix/store/abc-glibc-2.37/lib/ld-linux-x86-64.so.2",
+    )
+    .unwrap();
+    let env = Environment::bare().with_ld_library_path("/nix/store/abc-glibc-2.37/lib");
+    let r = GlibcLoader::new(&fs)
+        .with_env(env)
+        .with_strict_interp(true)
+        .load("/home/user/foreign-app")
+        .unwrap();
+    assert!(r.success(), "{:?}", r.failures);
+    assert!(r.find("libc.so.6").unwrap().path.starts_with("/nix/store"));
+}
+
+#[test]
+fn patchelf_style_fix_also_works() {
+    // The other standard remedy: rewrite the interpreter (what nixpkgs'
+    // autoPatchelfHook does to vendored binaries).
+    let fs = nixos_world();
+    install(&fs, "/home/user/foreign-app", &foreign_binary()).unwrap();
+    ElfEditor::open(&fs, "/home/user/foreign-app")
+        .unwrap()
+        .set_interp("/nix/store/abc-glibc-2.37/lib/ld-linux-x86-64.so.2")
+        .unwrap();
+    let env = Environment::bare().with_ld_library_path("/nix/store/abc-glibc-2.37/lib");
+    let r = GlibcLoader::new(&fs)
+        .with_env(env)
+        .with_strict_interp(true)
+        .load("/home/user/foreign-app")
+        .unwrap();
+    assert!(r.success());
+}
+
+#[test]
+fn two_glibc_generations_coexist_in_the_store() {
+    // The payoff the paper grants the store model: "a Nix system can use
+    // two different loaders with two C libraries side-by-side".
+    let fs = nixos_world();
+    install(
+        &fs,
+        "/nix/store/xyz-glibc-2.38/lib/ld-linux-x86-64.so.2",
+        &ElfObject::dso("ld-linux-x86-64.so.2").build(),
+    )
+    .unwrap();
+    install(
+        &fs,
+        "/nix/store/xyz-glibc-2.38/lib/libc.so.6",
+        &ElfObject::dso("libc.so.6").build(),
+    )
+    .unwrap();
+    for (gen, store_pfx) in
+        [("old", "/nix/store/abc-glibc-2.37"), ("new", "/nix/store/xyz-glibc-2.38")]
+    {
+        let exe = ElfObject::exe(format!("app-{gen}"))
+            .interp(format!("{store_pfx}/lib/ld-linux-x86-64.so.2"))
+            .needs("libc.so.6")
+            .rpath(format!("{store_pfx}/lib"))
+            .build();
+        let path = format!("/nix/store/{gen}-app/bin/app");
+        install(&fs, &path, &exe).unwrap();
+        let r = GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .with_strict_interp(true)
+            .load(&path)
+            .unwrap();
+        assert!(r.success());
+        assert!(r.find("libc.so.6").unwrap().path.starts_with(store_pfx));
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property tests: random package universes through the whole
+//! pipeline (store install → load → shrinkwrap → reload).
+
+use depchaos::prelude::{
+    BinDef, BundleInstaller, DepGraph, Environment, FhsInstaller, GlibcLoader, LibDef,
+    PackageDef, Repo, ShrinkwrapOptions, StoreInstaller, Vfs,
+};
+use proptest::prelude::*;
+
+/// A random acyclic package universe: `n` packages, package i may depend on
+/// packages with larger indices (so the graph is a DAG by construction).
+/// Every package provides one library; package 0 additionally provides the
+/// binary under test.
+fn universe_strat() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let deps = prop::collection::vec(prop::collection::vec(0usize..n, 0..3), n);
+        (Just(n), deps).prop_map(|(n, raw)| {
+            let deps: Vec<Vec<usize>> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, ds)| {
+                    let mut ds: Vec<usize> =
+                        ds.into_iter().filter(|&d| d > i && d < n).collect();
+                    ds.sort();
+                    ds.dedup();
+                    ds
+                })
+                .collect();
+            (n, deps)
+        })
+    })
+}
+
+fn build_repo(n: usize, deps: &[Vec<usize>]) -> Repo {
+    let mut repo = Repo::new();
+    for i in 0..n {
+        let mut pkg = PackageDef::new(format!("pkg{i}"), "1.0");
+        let mut lib = LibDef::new(format!("libpkg{i}.so"));
+        for &d in &deps[i] {
+            pkg = pkg.dep(format!("pkg{d}"));
+            lib = lib.needs(format!("libpkg{d}.so"));
+        }
+        pkg = pkg.lib(lib);
+        if i == 0 {
+            let mut b = BinDef::new("main");
+            b = b.needs("libpkg0.so");
+            for &d in &deps[0] {
+                b = b.needs(format!("libpkg{d}.so"));
+            }
+            pkg = pkg.bin(b);
+        }
+        repo.add(pkg);
+    }
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any store-installed DAG loads hermetically, and shrinkwrapping it
+    /// (a) succeeds, (b) never increases syscalls, (c) is idempotent.
+    #[test]
+    fn store_install_load_wrap_roundtrip((n, deps) in universe_strat()) {
+        let repo = build_repo(n, &deps);
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        let pkg0 = store.install(&fs, &repo, "pkg0").unwrap();
+        let bin = format!("{}/main", pkg0.bin_dir);
+
+        let env = Environment::bare();
+        let before = GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap();
+        prop_assert!(before.success(), "{:?}", before.failures);
+
+        let rep1 = depchaos_core::wrap(
+            &fs, &bin, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+        let after = GlibcLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap();
+        prop_assert!(after.success(), "{:?}", after.failures);
+        prop_assert!(after.stat_openat() <= before.stat_openat());
+        prop_assert_eq!(after.syscalls.misses, 0);
+        // Same set of objects loaded, wrapped or not.
+        let mut a: Vec<_> = before.objects.iter().map(|o| o.canonical.clone()).collect();
+        let mut b: Vec<_> = after.objects.iter().map(|o| o.canonical.clone()).collect();
+        a.sort(); b.sort();
+        prop_assert_eq!(a, b);
+
+        let rep2 = depchaos_core::wrap(
+            &fs, &bin, &ShrinkwrapOptions::new().env(env)).unwrap();
+        prop_assert_eq!(rep1.new_needed, rep2.new_needed, "idempotent");
+    }
+
+    /// The loader's BFS load order equals the dependency graph's BFS
+    /// closure order (the property the needy-executables trick rests on).
+    #[test]
+    fn loader_order_matches_graph_bfs((n, deps) in universe_strat()) {
+        let repo = build_repo(n, &deps);
+        let fs = Vfs::local();
+        let mut store = StoreInstaller::spack_like();
+        let pkg0 = store.install(&fs, &repo, "pkg0").unwrap();
+        let bin = format!("{}/main", pkg0.bin_dir);
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&bin).unwrap();
+        prop_assert!(r.success());
+
+        // Graph: main -> libpkg0 + deps(0); libpkg_i -> deps(i).
+        let mut g = DepGraph::new();
+        let root = g.add_node("main");
+        let l0 = g.add_node("libpkg0.so");
+        g.add_edge(root, l0);
+        for &d in &deps[0] {
+            let t = g.add_node(format!("libpkg{d}.so"));
+            g.add_edge(root, t);
+        }
+        for (i, ds) in deps.iter().enumerate() {
+            let from = g.add_node(format!("libpkg{i}.so"));
+            for &d in ds {
+                let to = g.add_node(format!("libpkg{d}.so"));
+                g.add_edge(from, to);
+            }
+        }
+        let expect: Vec<String> =
+            g.closure_bfs(root).iter().map(|&id| g.name(id).to_string()).collect();
+        let got: Vec<String> = r
+            .objects
+            .iter()
+            .skip(1)
+            .map(|o| o.object.effective_soname().to_string())
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// FHS vs store vs bundle: all three deployments of the same universe
+    /// produce a working binary; the models differ in layout, not outcome.
+    #[test]
+    fn all_deployment_models_load((n, deps) in universe_strat()) {
+        let repo = build_repo(n, &deps);
+
+        // FHS (install in reverse-dependency order like a distro would).
+        let fs = Vfs::local();
+        let mut fhs = FhsInstaller::new();
+        for i in (0..n).rev() {
+            fhs.install(&fs, repo.get(&format!("pkg{i}")).unwrap()).unwrap();
+        }
+        let r = GlibcLoader::new(&fs).load("/usr/bin/main").unwrap();
+        prop_assert!(r.success(), "FHS: {:?}", r.failures);
+
+        // Store.
+        let fs2 = Vfs::local();
+        let mut store = StoreInstaller::nix_like();
+        let p = store.install(&fs2, &repo, "pkg0").unwrap();
+        let r2 = GlibcLoader::new(&fs2)
+            .with_env(Environment::bare())
+            .load(&format!("{}/main", p.bin_dir))
+            .unwrap();
+        prop_assert!(r2.success(), "store: {:?}", r2.failures);
+
+        // Bundle.
+        let fs3 = Vfs::local();
+        let mut bundle = BundleInstaller::new("/apps");
+        let dir = bundle.install(&fs3, &repo, "pkg0").unwrap();
+        let r3 = GlibcLoader::new(&fs3)
+            .with_env(Environment::bare())
+            .load(&format!("{dir}/bin/main"))
+            .unwrap();
+        prop_assert!(r3.success(), "bundle: {:?}", r3.failures);
+    }
+}

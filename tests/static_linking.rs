@@ -1,0 +1,92 @@
+//! §III-B, "Questioning Dynamic Linking": what static linking buys and
+//! breaks, measured.
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+
+fn dynamic_world() -> Vfs {
+    let fs = Vfs::local();
+    let mut fhs = FhsInstaller::new();
+    fhs.install(
+        &fs,
+        &PackageDef::new("glibc", "2.36")
+            .lib(LibDef::new("libc.so.6"))
+            .lib(LibDef::new("libm.so.6")),
+    )
+    .unwrap();
+    install(
+        &fs,
+        "/usr/bin/dynamic_app",
+        &ElfObject::exe("dynamic_app")
+            .needs("libc.so.6")
+            .needs("libm.so.6")
+            .build(),
+    )
+    .unwrap();
+    // The static build: everything linked in; no interp, no needed list.
+    let mut static_obj = ElfObject::exe("static_app").build();
+    static_obj.interp = None;
+    install(&fs, "/usr/bin/static_app", &static_obj).unwrap();
+    fs
+}
+
+#[test]
+fn static_startup_does_no_resolution_work() {
+    let fs = dynamic_world();
+    let dynamic = GlibcLoader::new(&fs).load("/usr/bin/dynamic_app").unwrap();
+    let r#static = GlibcLoader::new(&fs).load("/usr/bin/static_app").unwrap();
+    assert!(dynamic.success() && r#static.success());
+    assert!(dynamic.stat_openat() > r#static.stat_openat());
+    assert_eq!(r#static.library_count(), 0);
+    assert_eq!(r#static.syscalls.misses, 0);
+}
+
+#[test]
+fn static_linking_breaks_ld_preload_tools() {
+    // "tools that use the PMPI interface are usually preloaded with
+    // LD_PRELOAD ... Changing to fully static linking breaks all of these
+    // tools, rendering them unusable."
+    let fs = dynamic_world();
+    install(
+        &fs,
+        "/tools/libmpiprof.so",
+        &ElfObject::dso("libmpiprof.so").defines(Symbol::strong("MPI_Send")).build(),
+    )
+    .unwrap();
+    let env = Environment::default().with_preload("/tools/libmpiprof.so");
+
+    let dynamic = GlibcLoader::new(&fs).with_env(env.clone()).load("/usr/bin/dynamic_app").unwrap();
+    assert!(dynamic.find("libmpiprof.so").is_some(), "tool interposes on the dynamic build");
+
+    let r#static = GlibcLoader::new(&fs).with_env(env).load("/usr/bin/static_app").unwrap();
+    assert!(r#static.find("libmpiprof.so").is_none(), "tool silently inert on the static build");
+    assert!(r#static.bindings().is_empty());
+}
+
+#[test]
+fn shrinkwrap_approaches_static_cost_with_dynamic_flexibility() {
+    // The paper's implicit pitch: a shrinkwrapped binary pays close to the
+    // static binary's startup cost while LD_PRELOAD keeps working.
+    let fs = dynamic_world();
+    depchaos_core::wrap(
+        &fs,
+        "/usr/bin/dynamic_app",
+        &ShrinkwrapOptions::new().env(Environment::default()),
+    )
+    .unwrap();
+    let wrapped = GlibcLoader::new(&fs).load("/usr/bin/dynamic_app").unwrap();
+    let r#static = GlibcLoader::new(&fs).load("/usr/bin/static_app").unwrap();
+    // Wrapped: 1 open for the exe + 1 per dependency, zero misses.
+    assert_eq!(wrapped.syscalls.misses, 0);
+    assert!(wrapped.stat_openat() <= r#static.stat_openat() + wrapped.library_count() as u64);
+    // ...and the escape hatch still works.
+    install(
+        &fs,
+        "/tools/libmpiprof.so",
+        &ElfObject::dso("libmpiprof.so").defines(Symbol::strong("MPI_Send")).build(),
+    )
+    .unwrap();
+    let env = Environment::default().with_preload("/tools/libmpiprof.so");
+    let r = GlibcLoader::new(&fs).with_env(env).load("/usr/bin/dynamic_app").unwrap();
+    assert!(r.find("libmpiprof.so").is_some());
+}

@@ -1,0 +1,107 @@
+//! Table I: Properties of RPATH and RUNPATH — each cell proven against the
+//! glibc loader model.
+//!
+//! | Property                 | RPATH | RUNPATH |
+//! |--------------------------|-------|---------|
+//! | Before LD_LIBRARY_PATH   | Yes   | No      |
+//! | After LD_LIBRARY_PATH    | No    | Yes     |
+//! | Propagates               | Yes   | No      |
+
+use depchaos::prelude::*;
+use depchaos_elf::io::install;
+
+/// Two copies of libx.so: one reachable via the binary's embedded path,
+/// one via LD_LIBRARY_PATH. Which wins answers rows 1 and 2.
+fn embedded_vs_env(use_rpath: bool) -> String {
+    let fs = Vfs::local();
+    install(&fs, "/emb/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    install(&fs, "/env/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    let exe = if use_rpath {
+        ElfObject::exe("app").needs("libx.so").rpath("/emb").build()
+    } else {
+        ElfObject::exe("app").needs("libx.so").runpath("/emb").build()
+    };
+    install(&fs, "/bin/app", &exe).unwrap();
+    let env = Environment::bare().with_ld_library_path("/env");
+    let r = GlibcLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+    r.objects[1].path.clone()
+}
+
+#[test]
+fn row1_rpath_searched_before_ld_library_path() {
+    assert_eq!(embedded_vs_env(true), "/emb/libx.so");
+}
+
+#[test]
+fn row2_runpath_searched_after_ld_library_path() {
+    assert_eq!(embedded_vs_env(false), "/env/libx.so");
+}
+
+/// The embedded path names a directory holding a *transitive* dependency:
+/// only a propagating mechanism lets the child library find it.
+fn propagation(use_rpath: bool) -> bool {
+    let fs = Vfs::local();
+    install(&fs, "/libs/libmid.so", &ElfObject::dso("libmid.so").needs("libleaf.so").build())
+        .unwrap();
+    install(&fs, "/deep/libleaf.so", &ElfObject::dso("libleaf.so").build()).unwrap();
+    let exe = if use_rpath {
+        ElfObject::exe("app").needs("libmid.so").rpath("/libs").rpath("/deep").build()
+    } else {
+        ElfObject::exe("app").needs("libmid.so").runpath("/libs").runpath("/deep").build()
+    };
+    install(&fs, "/bin/app", &exe).unwrap();
+    let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+    r.success()
+}
+
+#[test]
+fn row3_rpath_propagates_to_dependencies() {
+    assert!(propagation(true));
+}
+
+#[test]
+fn row3_runpath_does_not_propagate() {
+    assert!(!propagation(false));
+}
+
+/// Bonus row from §III-A: RPATH is ignored entirely when the same object
+/// also carries RUNPATH.
+#[test]
+fn rpath_ignored_when_runpath_present() {
+    let fs = Vfs::local();
+    install(&fs, "/rp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    install(&fs, "/runp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    let exe = ElfObject::exe("app").needs("libx.so").rpath("/rp").runpath("/runp").build();
+    install(&fs, "/bin/app", &exe).unwrap();
+    let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+    assert_eq!(r.objects[1].path, "/runp/libx.so");
+}
+
+/// musl does not implement Table I: both attributes behave the same there
+/// (inherited, searched after LD_LIBRARY_PATH).
+#[test]
+fn musl_breaks_all_three_rows() {
+    // Row 1 analogue: RPATH loses to LD_LIBRARY_PATH under musl.
+    let fs = Vfs::local();
+    install(&fs, "/emb/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    install(&fs, "/env/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+    install(&fs, "/bin/app", &ElfObject::exe("app").needs("libx.so").rpath("/emb").build())
+        .unwrap();
+    let env = Environment::bare().with_ld_library_path("/env");
+    let r = MuslLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
+    assert_eq!(r.objects[1].path, "/env/libx.so");
+
+    // Row 3 analogue: RUNPATH *does* propagate under musl.
+    let fs = Vfs::local();
+    install(&fs, "/libs/libmid.so", &ElfObject::dso("libmid.so").needs("libleaf.so").build())
+        .unwrap();
+    install(&fs, "/deep/libleaf.so", &ElfObject::dso("libleaf.so").build()).unwrap();
+    install(
+        &fs,
+        "/bin/app",
+        &ElfObject::exe("app").needs("libmid.so").runpath("/libs").runpath("/deep").build(),
+    )
+    .unwrap();
+    let r = MuslLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
+    assert!(r.success());
+}

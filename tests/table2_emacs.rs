@@ -1,0 +1,74 @@
+//! Table II: emacs stat/openat syscalls, before and after Shrinkwrap.
+//!
+//! Paper: 1823 calls unwrapped, 104 wrapped — a 36× time reduction on NFS.
+
+use depchaos::prelude::*;
+use depchaos_workloads::emacs;
+
+fn load_calls(fs: &Vfs) -> (u64, u64, bool) {
+    let r = GlibcLoader::new(fs).with_env(Environment::bare()).load(emacs::EXE_PATH).unwrap();
+    (r.stat_openat(), r.time_ns, r.success())
+}
+
+#[test]
+fn unwrapped_calls_match_paper_band() {
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    let (calls, _, ok) = load_calls(&fs);
+    assert!(ok);
+    // Paper: 1823 of a ~3600 worst case. Generator calibrated to the band.
+    assert!((1500..2200).contains(&calls), "got {calls}, paper says 1823");
+}
+
+#[test]
+fn wrapped_calls_are_deps_plus_one() {
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    depchaos_core::wrap(
+        &fs,
+        emacs::EXE_PATH,
+        &ShrinkwrapOptions::new().env(Environment::bare()),
+    )
+    .unwrap();
+    let (calls, _, ok) = load_calls(&fs);
+    assert!(ok);
+    assert_eq!(calls, (emacs::N_DEPS + 1) as u64, "paper: 104 = 103 deps + the exe");
+}
+
+#[test]
+fn wrapped_is_an_order_of_magnitude_cheaper_in_time() {
+    // On NFS with negative caching off — the paper's environment — the
+    // simulated time gap is what Table II's 0.034s → 0.00095s shows.
+    let fs = Vfs::nfs();
+    emacs::install(&fs).unwrap();
+    fs.drop_caches();
+    let (before_calls, before_ns, _) = load_calls(&fs);
+    depchaos_core::wrap(
+        &fs,
+        emacs::EXE_PATH,
+        &ShrinkwrapOptions::new().env(Environment::bare()),
+    )
+    .unwrap();
+    fs.drop_caches();
+    let (after_calls, after_ns, _) = load_calls(&fs);
+    let call_ratio = before_calls as f64 / after_calls as f64;
+    let time_ratio = before_ns as f64 / after_ns as f64;
+    assert!(call_ratio > 10.0, "paper: 1823/104 ≈ 17.5x, got {call_ratio:.1}x");
+    assert!(time_ratio > 10.0, "paper: ~36x, got {time_ratio:.1}x");
+}
+
+#[test]
+fn misses_eliminated_entirely() {
+    let fs = Vfs::local();
+    emacs::install(&fs).unwrap();
+    let r1 = GlibcLoader::new(&fs).with_env(Environment::bare()).load(emacs::EXE_PATH).unwrap();
+    assert!(r1.syscalls.misses > 1000, "unwrapped search wastes >1k probes");
+    depchaos_core::wrap(
+        &fs,
+        emacs::EXE_PATH,
+        &ShrinkwrapOptions::new().env(Environment::bare()),
+    )
+    .unwrap();
+    let r2 = GlibcLoader::new(&fs).with_env(Environment::bare()).load(emacs::EXE_PATH).unwrap();
+    assert_eq!(r2.syscalls.misses, 0, "every open is a direct hit after wrapping");
+}

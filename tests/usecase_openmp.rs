@@ -1,0 +1,74 @@
+//! §V-B.2: libomp/libompstubs — the duplicate-symbol case Shrinkwrap
+//! handles and link-line lifting cannot.
+
+use depchaos::prelude::*;
+use depchaos_core::WrapWarning;
+use depchaos_elf::check_link;
+use depchaos_workloads::openmp;
+
+/// The needy-executables workaround (§III-D2) requires re-linking with the
+/// whole closure on the link line — which fails here.
+#[test]
+fn link_line_lifting_fails() {
+    let fs = Vfs::local();
+    openmp::install_scenario(&fs, false).unwrap();
+    let r = GlibcLoader::new(&fs).load(openmp::APP).unwrap();
+    let objs: Vec<(String, Vec<depchaos_elf::Symbol>)> = r
+        .objects
+        .iter()
+        .skip(1)
+        .map(|o| (o.path.clone(), o.object.symbols.clone()))
+        .collect();
+    let err =
+        check_link(objs.iter().map(|(p, s)| (p.as_str(), s.as_slice()))).unwrap_err();
+    assert!(err.symbol.starts_with("omp_"));
+}
+
+/// Shrinkwrap does not touch the link line, so it wraps cleanly, warns
+/// about the shadowing, and preserves the user's load order.
+#[test]
+fn shrinkwrap_succeeds_and_preserves_order() {
+    for stubs_first in [false, true] {
+        let fs = Vfs::local();
+        openmp::install_scenario(&fs, stubs_first).unwrap();
+        let rep = depchaos_core::wrap(
+            &fs,
+            openmp::APP,
+            &ShrinkwrapOptions::new().env(Environment::default()),
+        )
+        .unwrap();
+        assert!(
+            rep.warnings.iter().any(|w| matches!(w, WrapWarning::DuplicateStrongSymbol { .. })),
+            "shadowing surfaced as a warning"
+        );
+        let r = GlibcLoader::new(&fs).load(openmp::APP).unwrap();
+        assert!(r.success());
+        let winner = openmp::winning_runtime(&r).unwrap();
+        if stubs_first {
+            assert!(winner.ends_with("libompstubs.so"), "user's (buggy) order preserved");
+        } else {
+            assert!(winner.ends_with("libomp.so"), "user's (working) order preserved");
+        }
+    }
+}
+
+/// After wrapping, the winner no longer depends on the runtime environment:
+/// the load order is frozen in the binary.
+#[test]
+fn wrapped_order_is_environment_independent() {
+    let fs = Vfs::local();
+    openmp::install_scenario(&fs, false).unwrap();
+    depchaos_core::wrap(
+        &fs,
+        openmp::APP,
+        &ShrinkwrapOptions::new().env(Environment::default()),
+    )
+    .unwrap();
+    // A hostile LD_LIBRARY_PATH pointing somewhere with a different
+    // libomp.so cannot perturb the frozen order.
+    let fs_obj = depchaos_elf::io::peek_object(&fs, openmp::APP).unwrap();
+    assert!(fs_obj.needed.iter().all(|n| n.contains('/')));
+    let env = Environment::default().with_ld_library_path("/somewhere/else");
+    let r = GlibcLoader::new(&fs).with_env(env).load(openmp::APP).unwrap();
+    assert!(openmp::winning_runtime(&r).unwrap().ends_with("libomp.so"));
+}

@@ -1,0 +1,94 @@
+//! §V-B.1: the ROCm mixed-version failure and the Shrinkwrap fix.
+
+use depchaos::prelude::*;
+use depchaos_workloads::rocm;
+
+#[test]
+fn shrinkwrap_fixes_the_mixed_version_load() {
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+
+    // Wrap inside a consistent environment (the right module loaded) —
+    // "given a built binary inside a consistent environment".
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.5.0").unwrap();
+    let good_env = ms.environment(Environment::default());
+    depchaos_core::wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(good_env)).unwrap();
+
+    // Now run with the WRONG module loaded — the scenario that used to
+    // segfault. The frozen binary ignores LD_LIBRARY_PATH entirely.
+    let mut ms2 = rocm::module_system();
+    ms2.load("rocm/4.3.0").unwrap();
+    let bad_env = ms2.environment(Environment::default());
+    let r = GlibcLoader::new(&fs).with_env(bad_env).load(rocm::APP).unwrap();
+    assert!(r.success());
+    assert_eq!(rocm::versions_loaded(&r), vec!["4.5.0"], "consistent set despite bad module");
+}
+
+#[test]
+fn unwrapped_binary_still_mixes() {
+    // Control: without wrapping, the same environment mixes versions.
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.3.0").unwrap();
+    let env = ms.environment(Environment::default());
+    let r = GlibcLoader::new(&fs).with_env(env).load(rocm::APP).unwrap();
+    assert_eq!(rocm::versions_loaded(&r).len(), 2, "the bug reproduces");
+}
+
+#[test]
+fn wrapped_binary_is_auditable() {
+    // "the initial load for all needed libraries is no longer environment
+    // dependent and can be inspected in the build environment".
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.5.0").unwrap();
+    let env = ms.environment(Environment::default());
+    let rep = depchaos_core::wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(env)).unwrap();
+    assert!(rep.new_needed.iter().all(|p| p.starts_with("/opt/rocm-4.5.0")));
+    let audit = depchaos_core::audit(&fs, rocm::APP, &Environment::default()).unwrap();
+    assert!(audit.fully_frozen());
+}
+
+#[test]
+fn admin_swap_pain_point() {
+    // §III-A's administrator dilemma: with paths locked to rocm-4.5.0, an
+    // administrator replacing it with a binary-compatible hotfix directory
+    // must touch the binary (or symlink) — LD_LIBRARY_PATH no longer helps.
+    let fs = Vfs::local();
+    rocm::install_scenario(&fs).unwrap();
+    let mut ms = rocm::module_system();
+    ms.load("rocm/4.5.0").unwrap();
+    depchaos_core::wrap(
+        &fs,
+        rocm::APP,
+        &ShrinkwrapOptions::new().env(ms.environment(Environment::default())),
+    )
+    .unwrap();
+
+    // Install the "hotfix" version and point LD_LIBRARY_PATH at it: no
+    // effect on the wrapped binary.
+    rocm::install_rocm(&fs, "4.5.1").unwrap();
+    let env = Environment::default().with_ld_library_path("/opt/rocm-4.5.1/lib");
+    let r = GlibcLoader::new(&fs).with_env(env).load(rocm::APP).unwrap();
+    assert_eq!(rocm::versions_loaded(&r), vec!["4.5.0"], "env override impossible");
+
+    // Re-wrapping does NOT help either: the frozen absolute entries load
+    // directly, so the resolution pass never consults the new module.
+    let mut ms2 = rocm::module_system();
+    ms2.provide(Module::new("rocm/4.5.1").ld_library_path("/opt/rocm-4.5.1/lib"));
+    ms2.load("rocm/4.5.1").unwrap();
+    let env451 = ms2.environment(Environment::default());
+    depchaos_core::wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(env451.clone())).unwrap();
+    let r2 = GlibcLoader::new(&fs).with_env(Environment::default()).load(rocm::APP).unwrap();
+    assert_eq!(rocm::versions_loaded(&r2), vec!["4.5.0"], "absolute paths are truly frozen");
+
+    // The paper's listed remedy: recompile (rebuild the binary) and wrap
+    // again in the new environment.
+    rocm::install_app(&fs, "4.5.1").unwrap();
+    depchaos_core::wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(env451)).unwrap();
+    let r3 = GlibcLoader::new(&fs).with_env(Environment::default()).load(rocm::APP).unwrap();
+    assert_eq!(rocm::versions_loaded(&r3), vec!["4.5.1"]);
+}
