@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
     let dot = to_dot(&g, "ruby-2.7.5");
     let path = std::path::Path::new("target/fig2_ruby.dot");
     if std::fs::write(path, &dot).is_ok() {
-        println!("figure artifact: {} ({} bytes; render with `dot -Tsvg`)", path.display(), dot.len());
+        println!(
+            "figure artifact: {} ({} bytes; render with `dot -Tsvg`)",
+            path.display(),
+            dot.len()
+        );
     }
 
     c.bench_function("fig2/generate_closure", |b| {

@@ -8,9 +8,8 @@ use depchaos_workloads::debian;
 fn bench(c: &mut Criterion) {
     banner("Fig 4: shared object reuse (3287 binaries)");
     let usages = debian::installed_system(2021, 3287, 1400);
-    let hist = reuse_counts(
-        usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))),
-    );
+    let hist =
+        reuse_counts(usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))));
     print!("{}", hist.render_summary(5));
     println!(
         "paper: 'only 4% of shared object files are used by more than 5% of the binaries'; \
@@ -23,7 +22,9 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("fig4/reuse_histogram", |b| {
         b.iter(|| {
-            reuse_counts(usages.iter().map(|(bn, sos)| (bn.as_str(), sos.iter().map(String::as_str))))
+            reuse_counts(
+                usages.iter().map(|(bn, sos)| (bn.as_str(), sos.iter().map(String::as_str))),
+            )
         })
     });
 }

@@ -4,8 +4,9 @@
 //! the glibc/musl interpreters and the libtree analysis are, and what one
 //! directory probe costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use depchaos_bench::banner;
+use depchaos_core::LoaderBackend;
 use depchaos_loader::{analyze_tree, Environment, GlibcLoader, LdCache, MuslLoader};
 use depchaos_store::{BinDef, LibDef, PackageDef, Repo, StoreInstaller};
 use depchaos_vfs::Vfs;
@@ -54,16 +55,28 @@ fn bench(c: &mut Criterion) {
     c.bench_function("loader/musl_load_50", |b| {
         b.iter(|| MuslLoader::new(&fs).with_env(env.clone()).load(&bin).unwrap())
     });
+    // The same closure under every stock backend, through the Loader
+    // trait — the engine refactor makes this sweep a loop, not new code.
+    // Backends whose semantics cannot resolve this RUNPATH-style world
+    // (the future loader) are skipped rather than timed failing fast.
+    let mut group = c.benchmark_group("loader/backend_load_50");
+    for backend in LoaderBackend::all_stock() {
+        if !backend.instantiate(&fs, &env, &LdCache::empty()).load(&bin).unwrap().success() {
+            println!("(skipping {}: cannot resolve this world)", backend.name());
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(backend.name()), &backend, |b, bk| {
+            b.iter(|| bk.instantiate(&fs, &env, &LdCache::empty()).load(&bin).unwrap())
+        });
+    }
+    group.finish();
+
     c.bench_function("loader/libtree_analyze_50", |b| {
         b.iter(|| analyze_tree(&fs, &bin, &env, &LdCache::empty()).unwrap())
     });
     c.bench_function("loader/ldconfig_scan", |b| {
-        let dirs: Vec<String> = fs
-            .list_dir("/store")
-            .unwrap()
-            .into_iter()
-            .map(|d| format!("/store/{d}/lib"))
-            .collect();
+        let dirs: Vec<String> =
+            fs.list_dir("/store").unwrap().into_iter().map(|d| format!("/store/{d}/lib")).collect();
         b.iter(|| LdCache::ldconfig(&fs, &dirs))
     });
 }

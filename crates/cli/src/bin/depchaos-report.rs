@@ -44,6 +44,49 @@ fn main() {
     if all || arg == "usecases" {
         usecases();
     }
+    if all || arg == "backends" {
+        backends();
+    }
+}
+
+/// One image, every loader backend — the cross-semantics comparison the
+/// `Loader` trait makes a one-liner.
+fn backends() {
+    banner("Loader backends: emacs, plain vs shrinkwrapped");
+    use depchaos_core::LoaderBackend;
+    use depchaos_loader::LdCache;
+
+    println!(
+        "{:<10} {:>8} {:>14} {:>8} {:>14}  (soname dedup)",
+        "backend", "plain", "stat/openat", "wrapped", "stat/openat"
+    );
+    for backend in LoaderBackend::all_stock() {
+        let fs = Vfs::local();
+        emacs::install(&fs).unwrap();
+        let env = Environment::bare();
+        let loader = backend.instantiate(&fs, &env, &LdCache::empty());
+        let plain = loader.load(emacs::EXE_PATH).unwrap();
+
+        let wrapped_fs = Vfs::local();
+        emacs::install(&wrapped_fs).unwrap();
+        wrap(&wrapped_fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
+        let loader = backend.instantiate(&wrapped_fs, &env, &LdCache::empty());
+        let wrapped = loader.load(emacs::EXE_PATH).unwrap();
+
+        println!(
+            "{:<10} {:>8} {:>14} {:>8} {:>14}  ({})",
+            backend.name(),
+            if plain.success() { "ok" } else { "FAILS" },
+            plain.stat_openat(),
+            if wrapped.success() { "ok" } else { "FAILS" },
+            wrapped.stat_openat(),
+            if loader.resolves_by_soname() { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "(musl has no soname cache, so the wrapped image costs it a re-search per \
+         transitive request — and fails outright once search paths are gone: §IV)"
+    );
 }
 
 fn banner(s: &str) {
@@ -142,12 +185,7 @@ fn table2() {
     wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
     let after = GlibcLoader::new(&fs).with_env(env).load(emacs::EXE_PATH).unwrap();
     println!("{:<16} {:>16} {:>14}", "", "Calls (stat/openat)", "Time (seconds)");
-    println!(
-        "{:<16} {:>16} {:>14.6}",
-        "emacs",
-        before.stat_openat(),
-        before.time_ns as f64 / 1e9
-    );
+    println!("{:<16} {:>16} {:>14.6}", "emacs", before.stat_openat(), before.time_ns as f64 / 1e9);
     println!(
         "{:<16} {:>16} {:>14.6}",
         "emacs-wrapped",
@@ -167,7 +205,10 @@ fn listing1() {
         analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
     print!("{}", tree.render());
     let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
-    println!("(dynamic load nonetheless succeeds: {} objects, dedup hides the hole)", r.objects.len());
+    println!(
+        "(dynamic load nonetheless succeeds: {} objects, dedup hides the hole)",
+        r.objects.len()
+    );
 }
 
 fn usecases() {
@@ -181,18 +222,25 @@ fn usecases() {
     ms.load("rocm/4.3.0").unwrap();
     let env = ms.environment(Environment::default());
     let r = GlibcLoader::new(&fs).with_env(env.clone()).load(rocm::APP).unwrap();
-    println!("ROCm 4.5 app + rocm/4.3.0 module: versions loaded {:?} (the segfault)", rocm::versions_loaded(&r));
+    println!(
+        "ROCm 4.5 app + rocm/4.3.0 module: versions loaded {:?} (the segfault)",
+        rocm::versions_loaded(&r)
+    );
     let mut ms2 = rocm::module_system();
     ms2.load("rocm/4.5.0").unwrap();
     wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(ms2.environment(Environment::default())))
         .unwrap();
     let r2 = GlibcLoader::new(&fs).with_env(env).load(rocm::APP).unwrap();
-    println!("after shrinkwrap:                 versions loaded {:?} (fixed)", rocm::versions_loaded(&r2));
+    println!(
+        "after shrinkwrap:                 versions loaded {:?} (fixed)",
+        rocm::versions_loaded(&r2)
+    );
 
     // OpenMP stubs.
     let fs = Vfs::local();
     openmp::install_scenario(&fs, false).unwrap();
-    let rep = wrap(&fs, openmp::APP, &ShrinkwrapOptions::new().env(Environment::default())).unwrap();
+    let rep =
+        wrap(&fs, openmp::APP, &ShrinkwrapOptions::new().env(Environment::default())).unwrap();
     let dups = rep
         .warnings
         .iter()

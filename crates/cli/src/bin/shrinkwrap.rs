@@ -1,11 +1,42 @@
 //! `shrinkwrap` — wrap the Table II emacs workload and show the effect.
+//!
+//! Usage: `shrinkwrap [--backend glibc|musl|future]`
+//!
+//! The backend selects which loader-semantics model resolves the closure
+//! (`glibc` is the paper's configuration); the before/after measurement and
+//! the audit always run under both glibc and musl so the cross-loader
+//! caveat stays visible.
 
-use depchaos_core::{audit, wrap, ShrinkwrapOptions};
+use depchaos_core::{audit, wrap, LoaderBackend, ShrinkwrapOptions};
 use depchaos_loader::{Environment, GlibcLoader};
 use depchaos_vfs::Vfs;
 use depchaos_workloads::emacs;
 
+fn backend_from_args() -> LoaderBackend {
+    let mut backend = LoaderBackend::glibc();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            let name = args.next().unwrap_or_default();
+            backend = match name.as_str() {
+                "glibc" => LoaderBackend::glibc(),
+                "musl" => LoaderBackend::musl(),
+                "future" => LoaderBackend::future(),
+                other => {
+                    eprintln!("unknown backend {other:?}; expected glibc, musl, or future");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            eprintln!("unknown argument {a:?}; usage: shrinkwrap [--backend glibc|musl|future]");
+            std::process::exit(2);
+        }
+    }
+    backend
+}
+
 fn main() {
+    let backend = backend_from_args();
     let fs = Vfs::local();
     emacs::install(&fs).expect("install emacs world");
     let env = Environment::bare();
@@ -17,8 +48,20 @@ fn main() {
         before.stat_openat()
     );
 
-    let report = wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(env.clone()))
-        .expect("wrap");
+    println!("resolving through the {} backend", backend.name());
+    let report = match wrap(
+        &fs,
+        emacs::EXE_PATH,
+        &ShrinkwrapOptions::new().env(env.clone()).backend(backend),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            // e.g. the future backend on this RUNPATH-styled world: the
+            // chosen semantics cannot resolve the closure.
+            eprintln!("shrinkwrap failed: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", report.render());
 
     let after = GlibcLoader::new(&fs).with_env(env.clone()).load(emacs::EXE_PATH).unwrap();

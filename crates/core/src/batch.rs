@@ -40,9 +40,7 @@ pub fn wrap_tree(fs: &Vfs, prefix: &str, opts: &ShrinkwrapOptions) -> TreeReport
             match fs.peek(&path) {
                 Ok(meta) if meta.kind == depchaos_vfs::FileKind::Dir => stack.push(path),
                 Ok(_) => match io::peek_object(fs, &path) {
-                    Ok(obj)
-                        if obj.kind == ObjectKind::Executable && !obj.needed.is_empty() =>
-                    {
+                    Ok(obj) if obj.kind == ObjectKind::Executable && !obj.needed.is_empty() => {
                         match wrap(fs, &path, opts) {
                             Ok(r) => report.wrapped.push(r),
                             Err(e) => report.failed.push((path, e)),
@@ -130,5 +128,21 @@ mod tests {
         let rep = wrap_tree(&fs, "/nowhere", &ShrinkwrapOptions::new());
         assert!(rep.all_ok());
         assert!(rep.wrapped.is_empty());
+    }
+
+    #[test]
+    fn tree_wrap_is_backend_generic() {
+        // wrap_tree inherits the backend from the options, so whole-prefix
+        // wraps run under any loader semantics.
+        use crate::options::LoaderBackend;
+        let fs = world();
+        let opts = ShrinkwrapOptions::new()
+            .env(Environment::bare())
+            .backend(LoaderBackend::musl())
+            .strip_search_paths(false);
+        let rep = wrap_tree(&fs, "/opt/pkg", &opts);
+        assert!(rep.all_ok(), "{:?}", rep.failed);
+        assert_eq!(rep.wrapped.len(), 2);
+        assert!(rep.wrapped.iter().all(|w| w.new_needed.iter().all(|p| p.contains('/'))));
     }
 }

@@ -17,17 +17,25 @@
 //! * never touches a link line, so duplicate-symbol pairs like
 //!   `libomp`/`libompstubs` wrap fine and keep the user's order (§V-B.2).
 //!
-//! Two resolution strategies, as in the paper:
+//! Resolution is **backend-generic**: [`Strategy::Backend`] accepts any
+//! [`depchaos_loader::Loader`] via a [`LoaderBackend`] handle, so the same
+//! `wrap()` call can freeze what the glibc model, the musl model, a
+//! content-addressed loader service, or the §III-C future loader would
+//! resolve — and the cross-semantics claims of the paper become runnable
+//! comparisons instead of prose. Two strategies ship out of the box:
 //!
-//! * [`Strategy::Ldd`] — ask the actual loader (our glibc model) what it
-//!   would do under current conditions; exact, including dedup effects.
-//! * [`Strategy::Native`] — re-walk the search rules by hand for binaries
-//!   that can't execute here; stricter (a dependency hidden behind the
-//!   dedup cache is reported missing, not silently inherited).
+//! * [`Strategy::ldd`] — ask a loader model what it would do under current
+//!   conditions (the glibc backend by default); exact, including dedup
+//!   effects. Select other backends with
+//!   [`ShrinkwrapOptions::backend`].
+//! * [`Strategy::Native`] — re-walk the glibc search rules by hand for
+//!   binaries that can't execute here; stricter (a dependency hidden
+//!   behind the dedup cache is reported missing, not silently inherited).
 //!
 //! Limits faithfully reproduced: `LD_PRELOAD` still interposes (the PMPI
 //! escape hatch keeps working), `LD_LIBRARY_PATH` no longer does, and musl
-//! loads shrinkwrapped output incorrectly ([`audit::cross_loader_check`]).
+//! loads shrinkwrapped output incorrectly ([`audit::cross_loader_check`] —
+//! or wrap *through* the musl backend and watch it diverge).
 
 pub mod audit;
 pub mod batch;
@@ -38,6 +46,6 @@ pub mod wrap;
 
 pub use audit::{audit, cross_loader_check, AuditReport};
 pub use batch::{wrap_tree, TreeReport};
-pub use options::{OnMissing, ShrinkwrapOptions, Strategy};
+pub use options::{LoaderBackend, LoaderFactory, OnMissing, ShrinkwrapOptions, Strategy};
 pub use report::{WrapError, WrapReport, WrapWarning};
 pub use wrap::wrap;

@@ -42,8 +42,7 @@ pub fn resolve_closure(
     let mut seen: HashMap<String, ()> = HashMap::new();
     // BFS queue of (ancestor chain as (object, path) indices, name).
     let mut loaded: Vec<(ElfObject, String)> = vec![(exe.clone(), exe_path.to_string())];
-    let mut queue: Vec<(usize, String)> =
-        exe.needed.iter().map(|n| (0usize, n.clone())).collect();
+    let mut queue: Vec<(usize, String)> = exe.needed.iter().map(|n| (0usize, n.clone())).collect();
     let mut qi = 0usize;
     while qi < queue.len() {
         let (req_idx, name) = queue[qi].clone();
@@ -185,8 +184,12 @@ mod tests {
         let fs = Vfs::local();
         install(&fs, "/bin/app", &ElfObject::exe("app").needs("liba.so").runpath("/l").build())
             .unwrap();
-        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").needs("libb.so").runpath("/l").build())
-            .unwrap();
+        install(
+            &fs,
+            "/l/liba.so",
+            &ElfObject::dso("liba.so").needs("libb.so").runpath("/l").build(),
+        )
+        .unwrap();
         install(&fs, "/l/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
         let rs = resolve_closure(&fs, "/bin/app", &Environment::bare(), &LdCache::empty()).unwrap();
         let paths: Vec<_> = rs.iter().filter_map(|r| r.path.as_deref()).collect();
@@ -196,7 +199,12 @@ mod tests {
     #[test]
     fn skips_wrong_arch() {
         let fs = Vfs::local();
-        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libm.so").runpath("/x").runpath("/y").build()).unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libm.so").runpath("/x").runpath("/y").build(),
+        )
+        .unwrap();
         install(&fs, "/x/libm.so", &ElfObject::dso("libm.so").machine(Machine::Aarch64).build())
             .unwrap();
         install(&fs, "/y/libm.so", &ElfObject::dso("libm.so").build()).unwrap();
@@ -219,8 +227,12 @@ mod tests {
         )
         .unwrap();
         install(&fs, "/l/libok.so", &ElfObject::dso("libok.so").build()).unwrap();
-        install(&fs, "/l/libnopath.so", &ElfObject::dso("libnopath.so").needs("libhidden.so").build())
-            .unwrap();
+        install(
+            &fs,
+            "/l/libnopath.so",
+            &ElfObject::dso("libnopath.so").needs("libhidden.so").build(),
+        )
+        .unwrap();
         install(&fs, "/hidden/libhidden.so", &ElfObject::dso("libhidden.so").build()).unwrap();
         let rs = resolve_closure(&fs, "/bin/app", &Environment::bare(), &LdCache::empty()).unwrap();
         let hidden = rs.iter().find(|r| r.name == "libhidden.so").unwrap();

@@ -44,7 +44,10 @@ impl fmt::Display for WrapWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WrapWarning::DuplicateStrongSymbol { symbol, first, second } => {
-                write!(f, "duplicate strong symbol {symbol}: {first} wins over {second} (load order)")
+                write!(
+                    f,
+                    "duplicate strong symbol {symbol}: {first} wins over {second} (load order)"
+                )
             }
             WrapWarning::LeftUnresolved { requester, name } => {
                 write!(f, "{name} (needed by {requester}) left unresolved")
@@ -83,11 +86,7 @@ impl WrapReport {
             .iter()
             .filter(|p| {
                 !self.original_needed.iter().any(|orig| {
-                    orig == *p
-                        || self
-                            .resolved
-                            .iter()
-                            .any(|(n, rp)| n == orig && rp == *p)
+                    orig == *p || self.resolved.iter().any(|(n, rp)| n == orig && rp == *p)
                 })
             })
             .map(String::as_str)

@@ -1,24 +1,27 @@
 //! The wrap operation itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use depchaos_elf::{io, ElfEditor, SymbolBinding};
-use depchaos_loader::GlibcLoader;
+use depchaos_elf::{io, ElfEditor, ElfObject, SymbolBinding};
 use depchaos_vfs::Vfs;
 
 use crate::native::resolve_closure;
 use crate::options::{OnMissing, ShrinkwrapOptions, Strategy};
 use crate::report::{WrapError, WrapReport, WrapWarning};
 
-/// Shrinkwrap `binary_path` in place: resolve its full transitive closure,
-/// lift it to the top level, and freeze every entry as an absolute path.
+/// Shrinkwrap `binary_path` in place: resolve its full transitive closure
+/// under the configured loader backend, lift it to the top level, and
+/// freeze every entry as an absolute path.
 pub fn wrap(
     fs: &Vfs,
     binary_path: &str,
     opts: &ShrinkwrapOptions,
 ) -> Result<WrapReport, WrapError> {
-    let original = io::peek_object(fs, binary_path)
+    // One editor session per wrap: every read and rewrite below goes
+    // through this handle.
+    let editor = ElfEditor::open(fs, binary_path)
         .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
+    let original = editor.object().map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
     let original_needed = original.needed.clone();
 
     // Optionally promote dlopen hints into the needed list first, so the
@@ -33,10 +36,7 @@ pub fn wrap(
                 extended.push(d.clone());
             }
         }
-        ElfEditor::open(fs, binary_path)
-            .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?
-            .set_needed(extended)
-            .map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+        editor.set_needed(extended).map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
     } else {
         for d in &original.dlopens {
             warnings.push(WrapWarning::UndeclaredDlopen {
@@ -46,12 +46,90 @@ pub fn wrap(
         }
     }
 
-    // Resolve the closure under the chosen strategy. Each entry becomes
-    // (requested-name, Option<absolute path>), in load order.
-    let resolutions: Vec<(String, String, Option<String>)> = match opts.strategy {
-        Strategy::Ldd => {
-            let loader =
-                GlibcLoader::new(fs).with_env(opts.env.clone()).with_cache(opts.cache.clone());
+    // Resolve the closure and build the frozen list. Fallible: when it
+    // errors, the binary must come out of wrap() untouched, so a promoted
+    // dlopen needed-list above is rolled back before the error propagates.
+    let mut parsed_closure: HashMap<String, ElfObject> = HashMap::new();
+    let frozen = resolve_and_freeze(fs, binary_path, opts, &mut warnings, &mut parsed_closure);
+    let (new_needed, resolved_pairs) = match frozen {
+        Ok(v) => v,
+        Err(e) => {
+            if opts.declare_dlopens {
+                let _ = editor.set_needed(original_needed.clone());
+            }
+            return Err(e);
+        }
+    };
+
+    // Advisory duplicate-strong-symbol scan over the frozen closure, using
+    // the loader's already-parsed objects where available.
+    if opts.warn_duplicate_symbols {
+        let mut owner: HashMap<String, String> = HashMap::new();
+        for path in new_needed.iter().filter(|p| p.contains('/')) {
+            let parsed;
+            let obj = match parsed_closure.get(path) {
+                Some(obj) => obj,
+                None => match io::peek_object(fs, path) {
+                    Ok(obj) => {
+                        parsed = obj;
+                        &parsed
+                    }
+                    Err(_) => continue,
+                },
+            };
+            for sym in &obj.symbols {
+                if sym.binding == SymbolBinding::Strong {
+                    if let Some(first) = owner.get(&sym.name) {
+                        warnings.push(WrapWarning::DuplicateStrongSymbol {
+                            symbol: sym.name.clone(),
+                            first: first.clone(),
+                            second: path.clone(),
+                        });
+                    } else {
+                        owner.insert(sym.name.clone(), path.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite the binary through the same editor session.
+    editor
+        .set_needed(new_needed.clone())
+        .map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+    if opts.strip_search_paths {
+        editor.remove_rpath().map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
+    }
+
+    Ok(WrapReport {
+        binary: binary_path.to_string(),
+        original_needed,
+        new_needed,
+        resolved: resolved_pairs,
+        warnings,
+    })
+}
+
+/// The frozen needed list plus the `(requested name, resolved path)` pairs
+/// behind it.
+type FrozenClosure = (Vec<String>, Vec<(String, String)>);
+
+/// Resolve the closure under the configured strategy and build the frozen
+/// needed list. Backend strategies also deposit their already-parsed
+/// objects into `parsed_closure` so the symbol scan does not re-open the
+/// closure.
+fn resolve_and_freeze(
+    fs: &Vfs,
+    binary_path: &str,
+    opts: &ShrinkwrapOptions,
+    warnings: &mut Vec<WrapWarning>,
+    parsed_closure: &mut HashMap<String, ElfObject>,
+) -> Result<FrozenClosure, WrapError> {
+    // Each resolution entry is (requester, requested-name, Option<absolute
+    // path>), in load order.
+    let resolutions: Vec<(String, String, Option<String>)> = match &opts.strategy {
+        Strategy::Backend(backend) => {
+            let loader = backend.instantiate(fs, &opts.env, &opts.cache);
             let r = loader
                 .load(binary_path)
                 .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
@@ -70,6 +148,7 @@ pub fn wrap(
             for f in &r.failures {
                 out.push((f.requester.clone(), f.name.clone(), None));
             }
+            parsed_closure.extend(r.objects.into_iter().map(|o| (o.path, o.object)));
             out
         }
         Strategy::Native => resolve_closure(fs, binary_path, &opts.env, &opts.cache)
@@ -79,13 +158,16 @@ pub fn wrap(
             .collect(),
     };
 
-    // Build the frozen list; handle the unresolved per policy.
+    // Build the frozen list; handle the unresolved per policy. The set is a
+    // side-index over `new_needed` so membership checks stay O(1) on large
+    // closures (Pynamic-sized wraps used to pay O(n²) here).
     let mut new_needed: Vec<String> = Vec::with_capacity(resolutions.len());
+    let mut frozen: HashSet<String> = HashSet::with_capacity(resolutions.len());
     let mut resolved_pairs: Vec<(String, String)> = Vec::new();
     for (requester, name, path) in &resolutions {
         match path {
             Some(p) => {
-                if !new_needed.contains(p) {
+                if frozen.insert(p.clone()) {
                     new_needed.push(p.clone());
                 }
                 resolved_pairs.push((name.clone(), p.clone()));
@@ -98,7 +180,7 @@ pub fn wrap(
                     })
                 }
                 OnMissing::Keep => {
-                    if !new_needed.contains(name) {
+                    if frozen.insert(name.clone()) {
                         new_needed.push(name.clone());
                     }
                     warnings.push(WrapWarning::LeftUnresolved {
@@ -109,61 +191,28 @@ pub fn wrap(
             },
         }
     }
-
-    // Advisory duplicate-strong-symbol scan over the frozen closure.
-    if opts.warn_duplicate_symbols {
-        let mut owner: HashMap<String, String> = HashMap::new();
-        for path in new_needed.iter().filter(|p| p.contains('/')) {
-            if let Ok(obj) = io::peek_object(fs, path) {
-                for sym in &obj.symbols {
-                    if sym.binding == SymbolBinding::Strong {
-                        if let Some(first) = owner.get(&sym.name) {
-                            warnings.push(WrapWarning::DuplicateStrongSymbol {
-                                symbol: sym.name.clone(),
-                                first: first.clone(),
-                                second: path.clone(),
-                            });
-                        } else {
-                            owner.insert(sym.name.clone(), path.clone());
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // Rewrite the binary.
-    let editor = ElfEditor::open(fs, binary_path)
-        .map_err(|_| WrapError::BadBinary(binary_path.to_string()))?;
-    editor
-        .set_needed(new_needed.clone())
-        .map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
-    if opts.strip_search_paths {
-        editor.remove_rpath().map_err(|_| WrapError::WriteFailed(binary_path.to_string()))?;
-    }
-
-    Ok(WrapReport {
-        binary: binary_path.to_string(),
-        original_needed,
-        new_needed,
-        resolved: resolved_pairs,
-        warnings,
-    })
+    Ok((new_needed, resolved_pairs))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::LoaderBackend;
     use depchaos_elf::io::install;
     use depchaos_elf::{ElfObject, Symbol};
-    use depchaos_loader::{Environment, GlibcLoader, Resolution};
+    use depchaos_loader::{Environment, GlibcLoader, MuslLoader, Resolution};
 
     fn world() -> Vfs {
         let fs = Vfs::local();
         install(
             &fs,
             "/bin/app",
-            &ElfObject::exe("app").needs("liba.so").needs("libb.so").runpath("/l1").runpath("/l2").build(),
+            &ElfObject::exe("app")
+                .needs("liba.so")
+                .needs("libb.so")
+                .runpath("/l1")
+                .runpath("/l2")
+                .build(),
         )
         .unwrap();
         install(
@@ -225,8 +274,8 @@ mod tests {
     fn missing_dep_errors_by_default_keep_on_request() {
         let fs = Vfs::local();
         install(&fs, "/bin/app", &ElfObject::exe("app").needs("libghost.so").build()).unwrap();
-        let err = wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare()))
-            .unwrap_err();
+        let err =
+            wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap_err();
         assert!(matches!(err, WrapError::Unresolved { .. }));
 
         let rep = wrap(
@@ -253,6 +302,131 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ldd.new_needed, native.new_needed);
+    }
+
+    #[test]
+    fn same_binary_wraps_under_glibc_and_musl_backends() {
+        // The acceptance scenario for the backend-generic API: the same
+        // binary, the same wrap() call, two loader semantics. Store-like
+        // layout: the exe's propagating RPATH serves the whole closure and
+        // the libraries carry no search paths of their own.
+        fn store_world() -> Vfs {
+            let fs = Vfs::local();
+            install(
+                &fs,
+                "/bin/app",
+                &ElfObject::exe("app").needs("libx.so").needs("liby.so").rpath("/l").build(),
+            )
+            .unwrap();
+            install(&fs, "/l/libx.so", &ElfObject::dso("libx.so").needs("libz.so").build())
+                .unwrap();
+            install(&fs, "/l/liby.so", &ElfObject::dso("liby.so").needs("libz.so").build())
+                .unwrap();
+            install(&fs, "/l/libz.so", &ElfObject::dso("libz.so").build()).unwrap();
+            fs
+        }
+
+        let fs_glibc = store_world();
+        let glibc_rep = wrap(
+            &fs_glibc,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).backend(LoaderBackend::glibc()),
+        )
+        .unwrap();
+
+        let fs_musl = store_world();
+        let musl_rep = wrap(
+            &fs_musl,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).backend(LoaderBackend::musl()),
+        )
+        .unwrap();
+
+        // On a clean searchable closure both backends freeze the same list.
+        assert_eq!(glibc_rep.new_needed, musl_rep.new_needed);
+
+        // And the frozen output loads under glibc but NOT under musl — the
+        // §IV incompatibility, now demonstrable end-to-end through one API.
+        assert!(GlibcLoader::new(&fs_musl)
+            .with_env(Environment::bare())
+            .load("/bin/app")
+            .unwrap()
+            .success());
+        assert!(!MuslLoader::new(&fs_musl)
+            .with_env(Environment::bare())
+            .load("/bin/app")
+            .unwrap()
+            .success());
+    }
+
+    #[test]
+    fn future_backend_wraps_future_style_binaries() {
+        // A binary carrying §III-C search_dirs instead of RUNPATH: only the
+        // future backend can resolve it, and wrap() freezes what it reports.
+        use depchaos_elf::SearchPosition::Prepend;
+        let fs = Vfs::local();
+        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").needs("libb.so").build()).unwrap();
+        install(&fs, "/l/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("liba.so").search_dir("/l", Prepend, true).build(),
+        )
+        .unwrap();
+
+        // The glibc backend cannot resolve it...
+        let err =
+            wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap_err();
+        assert!(matches!(err, WrapError::Unresolved { .. }));
+
+        // ...the future backend can, through the very same wrap() API.
+        let rep = wrap(
+            &fs,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).backend(LoaderBackend::future()),
+        )
+        .unwrap();
+        assert_eq!(rep.new_needed, vec!["/l/liba.so", "/l/libb.so"]);
+        assert!(GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .load("/bin/app")
+            .unwrap()
+            .success());
+    }
+
+    #[test]
+    fn service_backend_wraps_hash_addressed_binaries() {
+        use depchaos_loader::HashStoreService;
+        use std::sync::Arc;
+        let fs = Vfs::local();
+        let mut svc = HashStoreService::new();
+        install(&fs, "/store/bb/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        let b_ref = svc.register(&fs, "/store/bb/libb.so").unwrap();
+        install(&fs, "/store/aa/liba.so", &ElfObject::dso("liba.so").needs(b_ref).build()).unwrap();
+        let a_ref = svc.register(&fs, "/store/aa/liba.so").unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs(a_ref).build()).unwrap();
+
+        let backend = LoaderBackend::service(Arc::new(svc));
+        let rep = wrap(
+            &fs,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).backend(backend.clone()),
+        )
+        .unwrap();
+        assert_eq!(rep.new_needed, vec!["/store/aa/liba.so", "/store/bb/libb.so"]);
+        // The wrapped binary loads through the service backend with its
+        // top-level entries opened directly; the libraries' own `sha:`
+        // transitive requests still need the service (and dedup to the
+        // already-loaded objects), while stock glibc has no way to answer
+        // them — frozen paths don't erase hash addressing inside libraries.
+        let loader =
+            backend.instantiate(&fs, &Environment::bare(), &depchaos_loader::LdCache::empty());
+        assert!(loader.load("/bin/app").unwrap().success());
+        assert!(!GlibcLoader::new(&fs)
+            .with_env(Environment::bare())
+            .load("/bin/app")
+            .unwrap()
+            .success());
     }
 
     #[test]
@@ -287,6 +461,26 @@ mod tests {
     }
 
     #[test]
+    fn wrap_accounting_covers_resolution_only() {
+        // The symbol scan runs on the loader's already-parsed closure and
+        // the rewrite goes through one editor session, so a wrap's entire
+        // accounted cost is exactly one resolution load.
+        let fs = world();
+        let loaded = {
+            let fs2 = world();
+            let before = fs2.snapshot();
+            GlibcLoader::new(&fs2).with_env(Environment::bare()).load("/bin/app").unwrap();
+            fs2.snapshot().since(&before)
+        };
+        let before = fs.snapshot();
+        wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        let delta = fs.snapshot().since(&before);
+        assert_eq!(delta.openat, loaded.openat, "wrap == one load, openat-wise");
+        assert_eq!(delta.stat, loaded.stat);
+        assert_eq!(delta.read, loaded.read);
+    }
+
+    #[test]
     fn declare_dlopens_freezes_runtime_loads() {
         let fs = Vfs::local();
         install(
@@ -298,7 +492,8 @@ mod tests {
         install(&fs, "/l/libplugin.so", &ElfObject::dso("libplugin.so").build()).unwrap();
 
         // Without the option: warning only.
-        let rep = wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
+        let rep =
+            wrap(&fs, "/bin/app", &ShrinkwrapOptions::new().env(Environment::bare())).unwrap();
         assert!(rep.warnings.iter().any(|w| matches!(w, WrapWarning::UndeclaredDlopen { .. })));
         assert!(rep.new_needed.is_empty());
 
@@ -318,6 +513,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rep2.new_needed, vec!["/l/libplugin.so"]);
+    }
+
+    #[test]
+    fn failed_wrap_rolls_back_dlopen_promotion() {
+        // declare_dlopens writes the promoted needed list before resolving;
+        // if resolution then fails (common under non-glibc backends), the
+        // binary must come back unmodified.
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app")
+                .needs("libreal.so")
+                .runpath("/l")
+                .dlopens("libplugin.so")
+                .build(),
+        )
+        .unwrap();
+        install(&fs, "/l/libreal.so", &ElfObject::dso("libreal.so").build()).unwrap();
+        // No /l/libplugin.so: the promoted entry cannot resolve.
+        let err = wrap(
+            &fs,
+            "/bin/app",
+            &ShrinkwrapOptions::new().env(Environment::bare()).declare_dlopens(true),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WrapError::Unresolved { .. }));
+        let obj = io::peek_object(&fs, "/bin/app").unwrap();
+        assert_eq!(obj.needed, vec!["libreal.so"], "failed wrap must be a no-op");
     }
 
     #[test]

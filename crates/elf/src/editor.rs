@@ -40,9 +40,7 @@ impl<'fs> ElfEditor<'fs> {
     {
         let mut obj = self.object()?;
         f(&mut obj);
-        self.fs
-            .write_file(&self.path, obj.to_bytes())
-            .map_err(ReadError::Fs)?;
+        self.fs.write_file(&self.path, obj.to_bytes()).map_err(ReadError::Fs)?;
         Ok(obj)
     }
 
@@ -116,11 +114,7 @@ mod tests {
 
     fn setup() -> Vfs {
         let fs = Vfs::local();
-        let obj = ElfObject::exe("app")
-            .needs("liba.so")
-            .needs("libb.so")
-            .rpath("/old/lib")
-            .build();
+        let obj = ElfObject::exe("app").needs("liba.so").needs("libb.so").rpath("/old/lib").build();
         install(&fs, "/bin/app", &obj).unwrap();
         fs
     }

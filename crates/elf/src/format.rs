@@ -116,17 +116,19 @@ impl ElfObject {
             if line.is_empty() {
                 continue;
             }
-            let (key, rest) = line.split_once(' ').ok_or_else(|| ParseError::BadLine(line.into()))?;
+            let (key, rest) =
+                line.split_once(' ').ok_or_else(|| ParseError::BadLine(line.into()))?;
             match key {
                 "name" => name = Some(rest.to_string()),
                 "kind" => {
                     kind = Some(
-                        ObjectKind::from_str_opt(rest).ok_or_else(|| ParseError::BadLine(line.into()))?,
+                        ObjectKind::from_str_opt(rest)
+                            .ok_or_else(|| ParseError::BadLine(line.into()))?,
                     )
                 }
                 "machine" => {
-                    machine =
-                        Machine::from_str_opt(rest).ok_or_else(|| ParseError::BadLine(line.into()))?
+                    machine = Machine::from_str_opt(rest)
+                        .ok_or_else(|| ParseError::BadLine(line.into()))?
                 }
                 "soname" => soname = Some(rest.to_string()),
                 "interp" => interp = Some(rest.to_string()),

@@ -253,7 +253,12 @@ impl ObjectBuilder {
     }
 
     /// Add a §III-C future-loader search entry.
-    pub fn search_dir(mut self, dir: impl Into<String>, position: SearchPosition, inherit: bool) -> Self {
+    pub fn search_dir(
+        mut self,
+        dir: impl Into<String>,
+        position: SearchPosition,
+        inherit: bool,
+    ) -> Self {
         self.obj.search_dirs.push(SearchDir { dir: dir.into(), position, inherit });
         self
     }

@@ -135,10 +135,26 @@ mod tests {
     #[test]
     fn tally_sums() {
         let decls = vec![
-            DependencyDecl { from: "a".into(), to: "x".into(), constraint: VersionConstraint::Unversioned },
-            DependencyDecl { from: "a".into(), to: "y".into(), constraint: VersionConstraint::Unversioned },
-            DependencyDecl { from: "b".into(), to: "x".into(), constraint: VersionConstraint::Range },
-            DependencyDecl { from: "c".into(), to: "x".into(), constraint: VersionConstraint::Exact },
+            DependencyDecl {
+                from: "a".into(),
+                to: "x".into(),
+                constraint: VersionConstraint::Unversioned,
+            },
+            DependencyDecl {
+                from: "a".into(),
+                to: "y".into(),
+                constraint: VersionConstraint::Unversioned,
+            },
+            DependencyDecl {
+                from: "b".into(),
+                to: "x".into(),
+                constraint: VersionConstraint::Range,
+            },
+            DependencyDecl {
+                from: "c".into(),
+                to: "x".into(),
+                constraint: VersionConstraint::Exact,
+            },
         ];
         let t = ConstraintTally::tally(&decls);
         assert_eq!(t.unversioned, 2);

@@ -31,7 +31,7 @@ impl Default for LaunchConfig {
         LaunchConfig {
             ranks: 512,
             ranks_per_node: 128,
-            rtt_ns: 200_000,        // 200 µs NFS round trip
+            rtt_ns: 200_000,         // 200 µs NFS round trip
             meta_service_ns: 50_000, // 20k metadata ops/s server
             warm_ns: 1_000,
             base_overhead_ns: 25_000_000_000, // 25 s of MPI/python startup

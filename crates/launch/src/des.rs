@@ -69,9 +69,8 @@ pub fn simulate_launch(ops: &StraceLog, cfg: &LaunchConfig) -> LaunchResult {
         clock_ns: u64,
         done_ns: u64,
     }
-    let mut node_state: Vec<Node> = (0..nodes)
-        .map(|_| Node { next_op: 0, clock_ns: 0, done_ns: 0 })
-        .collect();
+    let mut node_state: Vec<Node> =
+        (0..nodes).map(|_| Node { next_op: 0, clock_ns: 0, done_ns: 0 }).collect();
 
     // Advance a node through local ops until its next server op (or the
     // end); returns Some((issue time, service time)) or None when done.
@@ -172,11 +171,7 @@ mod tests {
     }
 
     fn fast_cfg() -> LaunchConfig {
-        LaunchConfig {
-            base_overhead_ns: 0,
-            per_rank_overhead_ns: 0,
-            ..LaunchConfig::default()
-        }
+        LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..LaunchConfig::default() }
     }
 
     #[test]

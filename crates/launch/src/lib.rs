@@ -8,7 +8,8 @@
 //!
 //! The model, in three layers:
 //!
-//! 1. [`profile`] replays our glibc loader against a cold NFS
+//! 1. [`profile`] replays a loader backend (any
+//!    [`depchaos_loader::Loader`]; glibc by default) against a cold NFS
 //!    [`depchaos_vfs::Vfs`] and captures the strace-style op stream one rank
 //!    issues at startup.
 //! 2. [`des`] is a discrete-event simulation: one metadata server with a
@@ -30,5 +31,5 @@ pub mod sweep;
 
 pub use config::{LaunchConfig, LaunchResult};
 pub use des::simulate_launch;
-pub use profile::profile_load;
+pub use profile::{profile_load, profile_load_with};
 pub use sweep::{render_fig6, render_tsv, sweep_ranks};

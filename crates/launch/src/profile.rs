@@ -1,19 +1,26 @@
 //! Capturing one rank's startup op stream.
 
-use depchaos_loader::{Environment, GlibcLoader, LoadError};
+use depchaos_loader::{Environment, GlibcLoader, LoadError, Loader};
 use depchaos_vfs::{StraceLog, Vfs};
 
-/// Replay a cold-cache load of `exe` and return its op stream — the input
-/// to [`crate::simulate_launch`]. The filesystem's backend (local vs NFS,
-/// negative caching) determines the per-op costs recorded in the stream.
+/// Replay a cold-cache load of `exe` under any [`Loader`] backend and
+/// return its op stream — the input to [`crate::simulate_launch`]. The
+/// filesystem's backend (local vs NFS, negative caching) determines the
+/// per-op costs recorded in the stream.
 ///
 /// Drops caches first, so back-to-back profiles are independent.
-pub fn profile_load(fs: &Vfs, exe: &str, env: &Environment) -> Result<StraceLog, LoadError> {
+pub fn profile_load_with(fs: &Vfs, exe: &str, loader: &dyn Loader) -> Result<StraceLog, LoadError> {
     fs.drop_caches();
     fs.start_trace();
-    let result = GlibcLoader::new(fs).with_env(env.clone()).load(exe);
+    let result = loader.load(exe);
     let log = fs.stop_trace();
     result.map(|_| log)
+}
+
+/// [`profile_load_with`] under the glibc model — the paper's measurement
+/// configuration.
+pub fn profile_load(fs: &Vfs, exe: &str, env: &Environment) -> Result<StraceLog, LoadError> {
+    profile_load_with(fs, exe, &GlibcLoader::new(fs).with_env(env.clone()))
 }
 
 #[cfg(test)]
@@ -43,5 +50,29 @@ mod tests {
     fn missing_exe_propagates() {
         let fs = Vfs::nfs();
         assert!(profile_load(&fs, "/bin/ghost", &Environment::bare()).is_err());
+    }
+
+    #[test]
+    fn backend_generic_profile_diverges_where_semantics_do() {
+        use depchaos_loader::MuslLoader;
+        // glibc checks RPATH before LD_LIBRARY_PATH; musl checks the
+        // environment first — so the same world produces different op
+        // streams, now observable through one profiling entry point.
+        let fs = Vfs::nfs();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("liba.so").rpath("/rp").build())
+            .unwrap();
+        install(&fs, "/rp/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        install(&fs, "/llp/liba.so", &ElfObject::dso("liba.so").build()).unwrap();
+        let env = Environment::bare().with_ld_library_path("/llp");
+
+        let glibc = GlibcLoader::new(&fs).with_env(env.clone());
+        let g = profile_load_with(&fs, "/bin/app", &glibc).unwrap();
+        let musl = MuslLoader::new(&fs).with_env(env);
+        let m = profile_load_with(&fs, "/bin/app", &musl).unwrap();
+
+        // glibc probes /rp first and hits; musl goes straight to /llp.
+        assert!(g.entries.iter().any(|e| e.path.starts_with("/rp/")));
+        assert!(!m.entries.iter().any(|e| e.path.starts_with("/rp/")));
+        assert!(m.entries.iter().any(|e| e.path.starts_with("/llp/")));
     }
 }

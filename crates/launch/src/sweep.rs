@@ -71,7 +71,8 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_in_ranks() {
-        let cfg = LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..Default::default() };
+        let cfg =
+            LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..Default::default() };
         let pts = [512usize, 1024, 2048];
         let res = sweep_ranks(&cold_stream(1000), &cfg, &pts);
         assert_eq!(res.len(), 3);

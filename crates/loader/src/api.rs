@@ -1,0 +1,42 @@
+//! The backend-agnostic loader interface.
+//!
+//! Every loader model in this crate — and any future backend — implements
+//! [`Loader`], so tools that *consume* a loader (Shrinkwrap, the launch
+//! profiler, the report CLIs) can be written once and run against glibc
+//! semantics, musl semantics, a loader service, or the §III-C proposal
+//! interchangeably. The trait is object-safe: `Box<dyn Loader>` /
+//! `&dyn Loader` are the currency of backend-generic code.
+
+use crate::result::{LoadError, LoadResult};
+
+/// A dynamic-loader model bound to one filesystem.
+pub trait Loader {
+    /// Stable, human-readable backend name (`"glibc"`, `"musl"`, ...) for
+    /// reports and CLI selection.
+    fn name(&self) -> &'static str;
+
+    /// Simulate `execve(exe)`: map the executable and the transitive
+    /// closure of its needed entries under this backend's semantics.
+    fn load(&self, exe: &str) -> Result<LoadResult, LoadError>;
+
+    /// [`Loader::load`], then replay `dlopen` hints where the backend
+    /// models them. Backends without dlopen replay fall back to a plain
+    /// load, so callers can request it unconditionally.
+    fn load_with_dlopen(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        self.load(exe)
+    }
+
+    /// Whether a bare-soname request can be satisfied by an object that was
+    /// loaded under a different name (glibc's soname cache). Shrinkwrap's
+    /// correctness rests on this — backends answering `false` (musl) load
+    /// shrinkwrapped output incorrectly, exactly as §IV documents.
+    fn resolves_by_soname(&self) -> bool;
+
+    /// Whether `LD_PRELOAD` entries are honoured.
+    fn honours_preload(&self) -> bool;
+
+    /// Whether [`Loader::load_with_dlopen`] actually replays dlopen hints.
+    fn supports_dlopen_replay(&self) -> bool {
+        false
+    }
+}

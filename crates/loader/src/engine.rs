@@ -1,0 +1,465 @@
+//! The shared breadth-first loader engine.
+//!
+//! Every loader the paper discusses — glibc, musl, the Zircon-style loader
+//! service, and the §III-C proposal — runs the *same* algorithm: map the
+//! executable, optionally inject `LD_PRELOAD` entries, then walk the
+//! breadth-first closure of `DT_NEEDED` requests, answering each request
+//! from a dedup cache when possible and from a search otherwise, while
+//! recording every decision. What differs between loaders is only
+//!
+//! * **where a request may be satisfied from** — the probe plan
+//!   ([`SearchPolicy`]): glibc's RPATH-chain → `LD_LIBRARY_PATH` → RUNPATH →
+//!   ld.so.cache → defaults, musl's env-first meld, a service delegation,
+//!   or the future loader's prepend/append/pin scheme; and
+//! * **when two requests are "the same library"** — the identity relation
+//!   ([`DedupPolicy`]): glibc's name+soname+path+inode cache, musl's
+//!   path+inode-only rule (the documented reason Shrinkwrap does not
+//!   support musl), or a pure by-name table.
+//!
+//! [`Engine::run`] owns everything the four hand-written loaders used to
+//! duplicate: the [`State`] maps, the event log, the failure list, the
+//! syscall-snapshot bracketing, the static-executable and `PT_INTERP`
+//! checks, and the `dlopen` replay loop. A concrete loader is nothing but a
+//! `(SearchPolicy, DedupPolicy, EngineConfig)` triple — see
+//! [`crate::GlibcLoader`] and friends, each now a thin instantiation.
+
+use std::collections::{HashMap, VecDeque};
+
+use depchaos_elf::{ElfObject, Machine};
+use depchaos_vfs::{Inode, Vfs};
+
+use crate::env::Environment;
+use crate::resolve::{Candidate, Provenance, Resolution};
+use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+
+/// Mutable load-time state shared by every backend: the mapped objects in
+/// load order plus the dedup indexes policies may use. A policy uses only
+/// the maps its loader's identity relation needs (musl, for example, keys
+/// `by_name` with shortnames and ignores `by_path` entirely).
+pub struct State {
+    pub objects: Vec<LoadedObject>,
+    /// Request-string index: requested names, sonames, shortnames — whatever
+    /// the [`DedupPolicy`] decides names a loaded object.
+    pub by_name: HashMap<String, usize>,
+    /// Probed-path and canonical-path index.
+    pub by_path: HashMap<String, usize>,
+    /// File-identity index — the `(dev,ino)` check loaders do after `open`.
+    pub by_inode: HashMap<Inode, usize>,
+    pub events: Vec<LoadEvent>,
+    pub failures: Vec<Failure>,
+}
+
+impl State {
+    pub fn new() -> Self {
+        State {
+            objects: Vec::new(),
+            by_name: HashMap::new(),
+            by_path: HashMap::new(),
+            by_inode: HashMap::new(),
+            events: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Append a freshly mapped object (computing its canonical path and
+    /// inode) without touching any dedup index — indexing is the
+    /// [`DedupPolicy`]'s decision.
+    pub fn push_object(
+        &mut self,
+        fs: &Vfs,
+        requested: &str,
+        cand: Candidate,
+        parent: Option<usize>,
+        provenance: Provenance,
+    ) -> usize {
+        let idx = self.objects.len();
+        let (canonical, inode) = identity(fs, &cand.path);
+        let inode = inode.unwrap_or(Inode(0));
+        self.objects.push(LoadedObject {
+            idx,
+            path: cand.path,
+            canonical,
+            inode,
+            object: cand.object,
+            parent,
+            requested_as: vec![requested.to_string()],
+            provenance,
+        });
+        idx
+    }
+
+    /// Record that `idx` also satisfies requests for `name`.
+    pub fn alias(&mut self, idx: usize, name: &str) {
+        if !self.objects[idx].requested_as.iter().any(|r| r == name) {
+            self.objects[idx].requested_as.push(name.to_string());
+        }
+    }
+}
+
+impl Default for State {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Resolve a path to its canonical form (falling back to the path itself)
+/// and its file identity, the `(dev,ino)` every loader compares after
+/// `open`. Unaccounted, like the loaders' own post-open identity checks.
+pub fn identity(fs: &Vfs, path: &str) -> (String, Option<Inode>) {
+    let canonical = fs.canonicalize(path).unwrap_or_else(|_| path.to_string());
+    let inode = fs.peek(&canonical).ok().map(|m| m.inode);
+    (canonical, inode)
+}
+
+/// Read-only probing context handed to policies alongside the state.
+pub struct Ctx<'a> {
+    pub fs: &'a Vfs,
+    pub env: &'a Environment,
+    /// Architecture of the root executable; wrong-ABI candidates are
+    /// silently skipped per the System V rule.
+    pub want_arch: Machine,
+}
+
+impl Ctx<'_> {
+    /// [`identity`] for the inode alone — the common dedup-policy question.
+    pub fn inode_of(&self, path: &str) -> Option<Inode> {
+        identity(self.fs, path).1
+    }
+}
+
+/// Maps one `(requester, needed-name)` request to an ordered candidate probe
+/// plan and executes it. Implementations own whatever configuration their
+/// search consults (an [`crate::LdCache`], a delegate service, ...).
+pub trait SearchPolicy {
+    /// Rewrite a request before dedup and search run — the future loader's
+    /// per-dependency pins turn a soname into an exact path here. Return
+    /// `None` to leave the request unchanged.
+    fn rewrite(&self, _cx: &Ctx, _st: &State, _requester: usize, _name: &str) -> Option<String> {
+        None
+    }
+
+    /// Probe the filesystem for `name` on behalf of `requester`. Every probe
+    /// must go through the accounted [`crate::resolve`] helpers so syscall
+    /// counts stay faithful.
+    fn locate(
+        &self,
+        cx: &Ctx,
+        st: &State,
+        requester: usize,
+        name: &str,
+    ) -> Option<(Candidate, Provenance)>;
+}
+
+/// Decides when a request or a freshly opened candidate is an
+/// already-loaded object, and how loaded objects are indexed for future
+/// requests. Implementations are responsible for recording request aliases
+/// ([`State::alias`]) exactly where their modelled loader would.
+pub trait DedupPolicy {
+    /// Pre-search cache lookup for a request string (bare soname or path).
+    /// A hit costs **zero filesystem work** — the Listing 1 mechanism.
+    fn lookup(&self, cx: &Ctx, st: &mut State, name: &str) -> Option<usize>;
+
+    /// Post-open identity check on a candidate the search found — the
+    /// `(dev,ino)` comparison loaders do after `open` catches aliased files
+    /// the request-string cache cannot.
+    fn absorb(
+        &self,
+        cx: &Ctx,
+        st: &mut State,
+        name: &str,
+        cand: &Candidate,
+        provenance: &Provenance,
+    ) -> Option<usize>;
+
+    /// Index the freshly registered object `idx` (requested as `requested`)
+    /// into the [`State`] maps this policy consults.
+    fn index(&self, cx: &Ctx, st: &mut State, idx: usize, requested: &str);
+}
+
+/// When `LD_PRELOAD` entries are honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreloadMode {
+    /// The loader model ignores preloads (service and future loaders).
+    Ignore,
+    /// Preloads always load right after the executable (musl).
+    Always,
+    /// Preloads load unless the executable is fully static — a static
+    /// binary never runs the dynamic loader, so `LD_PRELOAD` is inert
+    /// (glibc; the §III-B trade-off).
+    SkipStatic,
+}
+
+/// Fixed per-backend behaviour outside the two policies.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Verify `PT_INTERP` exists before loading, like the kernel's `execve`
+    /// (the NixOS §II-D failure mode). Off by default.
+    pub strict_interp: bool,
+    /// Charge mapping the executable's declared virtual size as a read.
+    pub charge_exe_read: bool,
+    pub preload: PreloadMode,
+}
+
+impl EngineConfig {
+    /// The glibc/musl-style default: charge the exe mapping, no interp check.
+    pub fn charged(preload: PreloadMode) -> Self {
+        EngineConfig { strict_interp: false, charge_exe_read: true, preload }
+    }
+
+    /// The analytic default used by the service and future loaders: no exe
+    /// mapping charge, no preloads.
+    pub fn uncharged() -> Self {
+        EngineConfig { strict_interp: false, charge_exe_read: false, preload: PreloadMode::Ignore }
+    }
+}
+
+/// The BFS driver. One engine instance is one loader bound to one
+/// filesystem; [`Engine::run`] simulates one `execve`.
+pub struct Engine<'fs, S, D> {
+    fs: &'fs Vfs,
+    env: Environment,
+    pub search: S,
+    pub dedup: D,
+    pub config: EngineConfig,
+}
+
+impl<'fs, S: SearchPolicy, D: DedupPolicy> Engine<'fs, S, D> {
+    pub fn new(fs: &'fs Vfs, search: S, dedup: D, config: EngineConfig) -> Self {
+        Engine { fs, env: Environment::default(), search, dedup, config }
+    }
+
+    pub fn fs(&self) -> &'fs Vfs {
+        self.fs
+    }
+
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    pub fn set_env(&mut self, env: Environment) {
+        self.env = env;
+    }
+
+    /// Simulate `execve(exe_path)`: map the executable, honour preloads per
+    /// config, and drive the breadth-first closure of needed entries.
+    /// With `dlopen`, additionally replay each loaded object's `dlopen`
+    /// hints (in load order), which search with the *caller's* paths — the
+    /// Qt plugin problem from §III-A.
+    pub fn run(&self, exe_path: &str, dlopen: bool) -> Result<LoadResult, LoadError> {
+        let before = self.fs.snapshot();
+        let t0 = self.fs.elapsed_ns();
+        let mut st = State::new();
+
+        // Map the executable.
+        if self.fs.try_open(exe_path).is_none() {
+            return Err(LoadError::ExeNotFound(exe_path.to_string()));
+        }
+        let bytes = self
+            .fs
+            .read_file(exe_path)
+            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
+        let exe = ElfObject::parse(&bytes)
+            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
+        if self.config.strict_interp {
+            if let Some(interp) = &exe.interp {
+                if self.fs.try_open(interp).is_none() {
+                    return Err(LoadError::InterpreterNotFound {
+                        exe: exe_path.to_string(),
+                        interp: interp.clone(),
+                    });
+                }
+            }
+        }
+        if self.config.charge_exe_read && exe.virtual_size > 0 {
+            self.fs.charge_read(exe_path, exe.virtual_size);
+        }
+        {
+            let cx = Ctx { fs: self.fs, env: &self.env, want_arch: exe.machine };
+            let idx = st.push_object(
+                self.fs,
+                exe_path,
+                Candidate { path: exe_path.to_string(), object: exe },
+                None,
+                Provenance::Executable,
+            );
+            self.dedup.index(&cx, &mut st, idx, exe_path);
+        }
+
+        // LD_PRELOAD entries load immediately after the executable and are
+        // searched like bare names (or opened directly when they are paths).
+        let preloads_active = match self.config.preload {
+            PreloadMode::Ignore => false,
+            PreloadMode::Always => true,
+            PreloadMode::SkipStatic => {
+                // A static executable (no PT_INTERP, no needed entries)
+                // never runs the dynamic loader at all.
+                !(st.objects[0].object.interp.is_none() && st.objects[0].object.needed.is_empty())
+            }
+        };
+        if preloads_active {
+            for entry in self.env.ld_preload.clone() {
+                self.request(&mut st, 0, &entry);
+            }
+        }
+
+        // Breadth-first over needed entries. Matching the historical model:
+        // the frontier starts from the executable's needed list only, after
+        // preloads are mapped.
+        let mut queue: VecDeque<(usize, String)> =
+            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
+        let mut next_obj = st.objects.len();
+        loop {
+            while let Some((req, name)) = queue.pop_front() {
+                self.request(&mut st, req, &name);
+                // Enqueue needed entries of anything newly loaded, in order.
+                while next_obj < st.objects.len() {
+                    for n in &st.objects[next_obj].object.needed {
+                        queue.push_back((next_obj, n.clone()));
+                    }
+                    next_obj += 1;
+                }
+            }
+            if !dlopen {
+                break;
+            }
+            // Replay dlopen hints of every object not yet replayed; any new
+            // object's needed entries go through the normal BFS above.
+            let mut any = false;
+            for idx in 0..st.objects.len() {
+                for d in st.objects[idx].object.dlopens.clone() {
+                    let already = st.events.iter().any(|e| e.requester == idx && e.name == d);
+                    if !already {
+                        queue.push_back((idx, d));
+                        any = true;
+                    }
+                }
+                if any {
+                    break;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        Ok(LoadResult {
+            syscalls: self.fs.snapshot().since(&before),
+            time_ns: self.fs.elapsed_ns() - t0,
+            objects: st.objects,
+            events: st.events,
+            failures: st.failures,
+        })
+    }
+
+    /// Resolve one request and record the outcome.
+    fn request(&self, st: &mut State, requester: usize, name: &str) {
+        let resolution = self.resolve(st, requester, name);
+        if let Resolution::NotFound = resolution {
+            st.failures.push(Failure {
+                requester: st.objects[requester].object.name.clone(),
+                name: name.to_string(),
+            });
+        }
+        st.events.push(LoadEvent { requester, name: name.to_string(), resolution });
+    }
+
+    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
+        let cx = Ctx { fs: self.fs, env: &self.env, want_arch: st.objects[0].object.machine };
+
+        // 1. Request rewriting (pins).
+        let rewritten = self.search.rewrite(&cx, st, requester, name);
+        let key = rewritten.as_deref().unwrap_or(name);
+
+        // 2. Dedup cache — a hit does zero filesystem work.
+        if let Some(idx) = self.dedup.lookup(&cx, st, key) {
+            return Resolution::Deduped { path: st.objects[idx].path.clone() };
+        }
+
+        // 3. The policy's probe plan.
+        match self.search.locate(&cx, st, requester, key) {
+            Some((cand, provenance)) => {
+                // 4. Post-open identity check: the search may have found a
+                // file that is already mapped under a different name.
+                if let Some(idx) = self.dedup.absorb(&cx, st, name, &cand, &provenance) {
+                    return Resolution::Deduped { path: st.objects[idx].path.clone() };
+                }
+                let path = cand.path.clone();
+                let idx = st.push_object(self.fs, name, cand, Some(requester), provenance.clone());
+                self.dedup.index(&cx, st, idx, name);
+                Resolution::Loaded { path, provenance }
+            }
+            None => Resolution::NotFound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::probe_exact;
+    use depchaos_elf::io::install;
+
+    /// A deliberately tiny backend: direct paths only, name-identity dedup.
+    struct DirectOnly;
+
+    impl SearchPolicy for DirectOnly {
+        fn locate(
+            &self,
+            cx: &Ctx,
+            _st: &State,
+            _requester: usize,
+            name: &str,
+        ) -> Option<(Candidate, Provenance)> {
+            probe_exact(cx.fs, name, cx.want_arch).map(|c| (c, Provenance::DirectPath))
+        }
+    }
+
+    struct ByName;
+
+    impl DedupPolicy for ByName {
+        fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
+            st.by_name.get(name).copied()
+        }
+
+        fn absorb(
+            &self,
+            _cx: &Ctx,
+            _st: &mut State,
+            _name: &str,
+            _cand: &Candidate,
+            _provenance: &Provenance,
+        ) -> Option<usize> {
+            None
+        }
+
+        fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
+            st.by_name.insert(requested.to_string(), idx);
+        }
+    }
+
+    #[test]
+    fn minimal_backend_drives_bfs_and_records_events() {
+        let fs = Vfs::local();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("/l/liba.so").needs("/l/liba.so").build(),
+        )
+        .unwrap();
+        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").needs("/l/gone.so").build()).unwrap();
+        let engine = Engine::new(&fs, DirectOnly, ByName, EngineConfig::uncharged());
+        let r = engine.run("/bin/app", false).unwrap();
+        assert_eq!(r.objects.len(), 2);
+        assert_eq!(r.events.len(), 3, "two requests from app + one from liba");
+        assert!(matches!(r.events[1].resolution, Resolution::Deduped { .. }));
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].name, "/l/gone.so");
+    }
+
+    #[test]
+    fn missing_exe_is_an_error_not_a_failure() {
+        let fs = Vfs::local();
+        let engine = Engine::new(&fs, DirectOnly, ByName, EngineConfig::uncharged());
+        assert!(matches!(engine.run("/bin/ghost", false), Err(LoadError::ExeNotFound(_))));
+    }
+}

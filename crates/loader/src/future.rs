@@ -1,4 +1,5 @@
-//! The §III-C *future loader* — the paper's proposal, implemented.
+//! The §III-C *future loader* — the paper's proposal, implemented as an
+//! instantiation of the shared [`crate::engine`].
 //!
 //! > "The constraints we want to express are a combination of options to
 //! > inject new paths into the library search path: prepend, append, and
@@ -10,19 +11,21 @@
 //! > the final issue: the ability to load libraries with conflicting
 //! > filenames from paths deterministically."
 //!
-//! Semantics implemented here:
+//! Semantics, encoded in [`FutureSearch`] / [`FutureDedup`]:
 //!
 //! * Each object carries [`depchaos_elf::SearchDir`] entries —
 //!   `(dir, Prepend|Append, inherit)` — and [`depchaos_elf::DepPin`]s
 //!   mapping a soname to an exact path.
 //! * Resolution for a request by object `O`:
-//!   1. pins of `O`, then inherited pins of ancestors (nearest first);
+//!   1. pins of `O`, then inherited pins of ancestors (nearest first) —
+//!      a pin *rewrites* the request to an exact path before dedup runs;
 //!   2. prepend dirs of `O`, then inherited prepends of ancestors;
 //!   3. `LD_LIBRARY_PATH`;
 //!   4. append dirs of `O`, then inherited appends of ancestors;
 //!   5. default directories.
-//! * Dedup identical to glibc (soname cache), so Shrinkwrap-style output
-//!   still works.
+//! * Dedup identical in spirit to glibc (request-name/soname/path cache
+//!   plus post-open inode identity), so Shrinkwrap-style output still
+//!   works.
 //!
 //! The problems this dissolves, each proven in the tests below:
 //! the Qt plugin problem (propagation on demand, not all-or-nothing), the
@@ -30,164 +33,52 @@
 //! the admin-override tension (append = user-overridable, prepend = pinned),
 //! and Fig 3 (per-dependency pins).
 
-use std::collections::{HashMap, VecDeque};
+use depchaos_elf::SearchPosition;
+use depchaos_vfs::Vfs;
 
-use depchaos_elf::{ElfObject, SearchPosition};
-use depchaos_vfs::{Inode, Vfs};
-
+use crate::api::Loader;
+use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, SearchPolicy, State};
 use crate::env::Environment;
-use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance, Resolution};
-use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance};
+use crate::result::{LoadError, LoadResult};
 
-/// The proposed loader, bound to one filesystem.
-pub struct FutureLoader<'fs> {
-    fs: &'fs Vfs,
-    env: Environment,
-}
+/// The proposal's probe plan: pins rewrite the request; otherwise prepends
+/// (own, then inherited), the environment, appends (own, then inherited),
+/// then defaults.
+pub struct FutureSearch;
 
-struct State {
-    objects: Vec<LoadedObject>,
-    by_name: HashMap<String, usize>,
-    by_inode: HashMap<Inode, usize>,
-    events: Vec<LoadEvent>,
-    failures: Vec<Failure>,
-}
-
-impl<'fs> FutureLoader<'fs> {
-    pub fn new(fs: &'fs Vfs) -> Self {
-        FutureLoader { fs, env: Environment::default() }
-    }
-
-    pub fn with_env(mut self, env: Environment) -> Self {
-        self.env = env;
-        self
-    }
-
-    /// Simulate process startup under the proposed semantics.
-    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
-        let before = self.fs.snapshot();
-        let t0 = self.fs.elapsed_ns();
-        let mut st = State {
-            objects: Vec::new(),
-            by_name: HashMap::new(),
-            by_inode: HashMap::new(),
-            events: Vec::new(),
-            failures: Vec::new(),
-        };
-
-        if self.fs.try_open(exe_path).is_none() {
-            return Err(LoadError::ExeNotFound(exe_path.to_string()));
-        }
-        let bytes = self
-            .fs
-            .read_file(exe_path)
-            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
-        let exe = ElfObject::parse(&bytes)
-            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
-        self.register(&mut st, exe_path, Candidate { path: exe_path.to_string(), object: exe }, None, Provenance::Executable);
-
-        let mut queue: VecDeque<(usize, String)> =
-            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
-        let mut next_obj = st.objects.len();
-        while let Some((req, name)) = queue.pop_front() {
-            let resolution = self.resolve(&mut st, req, &name);
-            if let Resolution::NotFound = resolution {
-                st.failures.push(Failure {
-                    requester: st.objects[req].object.name.clone(),
-                    name: name.clone(),
-                });
-            }
-            st.events.push(LoadEvent { requester: req, name, resolution });
-            while next_obj < st.objects.len() {
-                for n in &st.objects[next_obj].object.needed {
-                    queue.push_back((next_obj, n.clone()));
-                }
-                next_obj += 1;
-            }
-        }
-
-        Ok(LoadResult {
-            syscalls: self.fs.snapshot().since(&before),
-            time_ns: self.fs.elapsed_ns() - t0,
-            objects: st.objects,
-            events: st.events,
-            failures: st.failures,
-        })
-    }
-
-    fn register(
-        &self,
-        st: &mut State,
-        requested: &str,
-        cand: Candidate,
-        parent: Option<usize>,
-        provenance: Provenance,
-    ) -> usize {
-        let idx = st.objects.len();
-        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
-        let inode = self.fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
-        st.by_name.entry(requested.to_string()).or_insert(idx);
-        st.by_name.entry(cand.object.effective_soname().to_string()).or_insert(idx);
-        st.by_name.entry(cand.path.clone()).or_insert(idx);
-        st.by_inode.entry(inode).or_insert(idx);
-        st.objects.push(LoadedObject {
-            idx,
-            path: cand.path,
-            canonical,
-            inode,
-            object: cand.object,
-            parent,
-            requested_as: vec![requested.to_string()],
-            provenance,
-        });
-        idx
-    }
-
-    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
-        let want_arch = st.objects[0].object.machine;
-
-        // Pins first: the requester's own, then inherited ones. A pinned
-        // path participates in dedup like any other request.
+impl SearchPolicy for FutureSearch {
+    fn rewrite(&self, _cx: &Ctx, st: &State, requester: usize, name: &str) -> Option<String> {
         // Pins are inheritable by default (the proposal leaves this open;
         // inheritance is the useful choice) with the nearest object winning.
-        let mut pinned: Option<String> = None;
         let mut idx = Some(requester);
         while let Some(i) = idx {
             for p in &st.objects[i].object.pins {
-                if p.soname == name && pinned.is_none() {
-                    pinned = Some(expand_entry(&p.path, &st.objects[i].path));
+                if p.soname == name {
+                    return Some(expand_entry(&p.path, &st.objects[i].path));
                 }
             }
             idx = st.objects[i].parent;
         }
-        if let Some(path) = pinned {
-            if let Some(&i) = st.by_name.get(&path) {
-                return Resolution::Deduped { path: st.objects[i].path.clone() };
-            }
-            return match probe_exact(self.fs, &path, want_arch) {
-                Some(cand) => self.commit(st, requester, name, cand, Provenance::DirectPath),
-                None => Resolution::NotFound,
-            };
-        }
+        None
+    }
 
+    fn locate(
+        &self,
+        cx: &Ctx,
+        st: &State,
+        requester: usize,
+        name: &str,
+    ) -> Option<(Candidate, Provenance)> {
         if name.contains('/') {
-            if let Some(&i) = st.by_name.get(name) {
-                return Resolution::Deduped { path: st.objects[i].path.clone() };
-            }
-            return match probe_exact(self.fs, name, want_arch) {
-                Some(cand) => self.commit(st, requester, name, cand, Provenance::DirectPath),
-                None => Resolution::NotFound,
-            };
-        }
-
-        if let Some(&i) = st.by_name.get(name) {
-            return Resolution::Deduped { path: st.objects[i].path.clone() };
+            // Direct (or pinned) path: opened outright.
+            return probe_exact(cx.fs, name, cx.want_arch).map(|c| (c, Provenance::DirectPath));
         }
 
         // Assemble the search list: prepends (own, then inherited), the
         // environment, appends (own, then inherited), defaults.
         let mut dirs: Vec<(String, Provenance)> = Vec::new();
-        let collect = |st: &State, pos: SearchPosition, out: &mut Vec<(String, Provenance)>| {
+        let collect = |pos: SearchPosition, out: &mut Vec<(String, Provenance)>| {
             let mut idx = Some(requester);
             let mut own = true;
             while let Some(i) = idx {
@@ -204,40 +95,95 @@ impl<'fs> FutureLoader<'fs> {
                 own = false;
             }
         };
-        collect(st, SearchPosition::Prepend, &mut dirs);
-        for d in &self.env.ld_library_path {
+        collect(SearchPosition::Prepend, &mut dirs);
+        for d in &cx.env.ld_library_path {
             dirs.push((d.clone(), Provenance::LdLibraryPath));
         }
-        collect(st, SearchPosition::Append, &mut dirs);
-        for d in &self.env.default_paths {
+        collect(SearchPosition::Append, &mut dirs);
+        for d in &cx.env.default_paths {
             dirs.push((d.clone(), Provenance::DefaultPath));
         }
 
         for (dir, prov) in dirs {
-            if let Some(cand) = probe_dir(self.fs, &dir, name, want_arch, &self.env.hwcaps) {
-                return self.commit(st, requester, name, cand, prov);
+            if let Some(cand) = probe_dir(cx.fs, &dir, name, cx.want_arch, &cx.env.hwcaps) {
+                return Some((cand, prov));
             }
         }
-        Resolution::NotFound
+        None
+    }
+}
+
+/// The proposal keeps glibc's forgiving identity relation (so Shrinkwrap
+/// output still loads): one `by_name` table over requested names, sonames,
+/// and paths, plus post-open inode identity.
+pub struct FutureDedup;
+
+impl DedupPolicy for FutureDedup {
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
+        st.by_name.get(name).copied()
     }
 
-    fn commit(
+    fn absorb(
         &self,
+        cx: &Ctx,
         st: &mut State,
-        requester: usize,
-        name: &str,
-        cand: Candidate,
-        provenance: Provenance,
-    ) -> Resolution {
-        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
-        if let Ok(meta) = self.fs.peek(&canonical) {
-            if let Some(&i) = st.by_inode.get(&meta.inode) {
-                return Resolution::Deduped { path: st.objects[i].path.clone() };
-            }
+        _name: &str,
+        cand: &Candidate,
+        _provenance: &Provenance,
+    ) -> Option<usize> {
+        let inode = cx.inode_of(&cand.path)?;
+        st.by_inode.get(&inode).copied()
+    }
+
+    fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
+        let soname = st.objects[idx].object.effective_soname().to_string();
+        let path = st.objects[idx].path.clone();
+        let inode = st.objects[idx].inode;
+        st.by_name.entry(requested.to_string()).or_insert(idx);
+        st.by_name.entry(soname).or_insert(idx);
+        st.by_name.entry(path).or_insert(idx);
+        st.by_inode.entry(inode).or_insert(idx);
+    }
+}
+
+/// The proposed loader, bound to one filesystem.
+pub struct FutureLoader<'fs> {
+    engine: Engine<'fs, FutureSearch, FutureDedup>,
+}
+
+impl<'fs> FutureLoader<'fs> {
+    pub fn new(fs: &'fs Vfs) -> Self {
+        FutureLoader {
+            engine: Engine::new(fs, FutureSearch, FutureDedup, EngineConfig::uncharged()),
         }
-        let path = cand.path.clone();
-        self.register(st, name, cand, Some(requester), provenance.clone());
-        Resolution::Loaded { path, provenance }
+    }
+
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.engine.set_env(env);
+        self
+    }
+
+    /// Simulate process startup under the proposed semantics.
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        self.engine.run(exe_path, false)
+    }
+}
+
+impl Loader for FutureLoader<'_> {
+    fn name(&self) -> &'static str {
+        "future"
+    }
+
+    fn load(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        FutureLoader::load(self, exe)
+    }
+
+    fn resolves_by_soname(&self) -> bool {
+        true
+    }
+
+    fn honours_preload(&self) -> bool {
+        false
     }
 }
 
@@ -245,6 +191,7 @@ impl<'fs> FutureLoader<'fs> {
 mod tests {
     use super::*;
     use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
     use depchaos_elf::SearchPosition::{Append, Prepend};
 
     #[test]
@@ -265,9 +212,12 @@ mod tests {
     }
 
     fn depchaos_workload_paradox(fs: &Vfs) {
-        for (dir, name) in
-            [("/opt/dirA", "liba.so"), ("/opt/dirA", "libb.so"), ("/opt/dirB", "liba.so"), ("/opt/dirB", "libb.so")]
-        {
+        for (dir, name) in [
+            ("/opt/dirA", "liba.so"),
+            ("/opt/dirA", "libb.so"),
+            ("/opt/dirB", "liba.so"),
+            ("/opt/dirB", "libb.so"),
+        ] {
             install(fs, &format!("{dir}/{name}"), &ElfObject::dso(name).build()).unwrap();
         }
     }
@@ -323,12 +273,14 @@ mod tests {
         install(&fs, "/override/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
         let env = Environment::bare().with_ld_library_path("/override");
 
-        let pinned = ElfObject::exe("pinned").needs("libx.so").search_dir("/pkg", Prepend, false).build();
+        let pinned =
+            ElfObject::exe("pinned").needs("libx.so").search_dir("/pkg", Prepend, false).build();
         install(&fs, "/bin/pinned", &pinned).unwrap();
         let r = FutureLoader::new(&fs).with_env(env.clone()).load("/bin/pinned").unwrap();
         assert_eq!(r.objects[1].path, "/pkg/libx.so", "prepend beats the environment");
 
-        let open = ElfObject::exe("open").needs("libx.so").search_dir("/pkg", Append, false).build();
+        let open =
+            ElfObject::exe("open").needs("libx.so").search_dir("/pkg", Append, false).build();
         install(&fs, "/bin/open", &open).unwrap();
         let r = FutureLoader::new(&fs).with_env(env).load("/bin/open").unwrap();
         assert_eq!(r.objects[1].path, "/override/libx.so", "append lets the user override");
@@ -352,8 +304,12 @@ mod tests {
                     .build(),
             )
             .unwrap();
-            install(&fs, &format!("{dir}/libroctracer64.so"), &ElfObject::dso("libroctracer64.so").build())
-                .unwrap();
+            install(
+                &fs,
+                &format!("{dir}/libroctracer64.so"),
+                &ElfObject::dso("libroctracer64.so").build(),
+            )
+            .unwrap();
         }
         let exe = ElfObject::exe("gpu_sim")
             .needs("libamdhip64.so")
@@ -382,5 +338,16 @@ mod tests {
         let r = FutureLoader::new(&fs).with_env(Environment::bare()).load("/bin/app").unwrap();
         assert!(r.success());
         assert_eq!(r.objects.len(), 3);
+    }
+
+    #[test]
+    fn usable_through_the_loader_trait() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").build()).unwrap();
+        let fut = FutureLoader::new(&fs).with_env(Environment::bare());
+        let dyn_loader: &dyn Loader = &fut;
+        assert_eq!(dyn_loader.name(), "future");
+        assert!(dyn_loader.resolves_by_soname());
+        assert!(dyn_loader.load("/bin/app").unwrap().success());
     }
 }

@@ -1,12 +1,15 @@
-//! The glibc `ld.so` model.
+//! The glibc `ld.so` model — an instantiation of the shared
+//! [`crate::engine`].
 //!
-//! Search order for a needed entry requested by object `O` (ld.so(8)):
+//! Search order for a needed entry requested by object `O` (ld.so(8)),
+//! encoded by [`GlibcSearch`]:
 //!
 //! 1. Entries containing `/` are opened directly — no search.
-//! 2. Otherwise, the dedup cache is consulted first: any already-loaded
-//!    object whose requested name, soname, path, or inode matches satisfies
-//!    the request with **zero filesystem work** (Listing 1's hidden-missing-
-//!    path effect, and the mechanism Shrinkwrap relies on).
+//! 2. Otherwise, the dedup cache ([`GlibcDedup`]) is consulted first: any
+//!    already-loaded object whose requested name, soname, path, or inode
+//!    matches satisfies the request with **zero filesystem work**
+//!    (Listing 1's hidden-missing-path effect, and the mechanism Shrinkwrap
+//!    relies on).
 //! 3. `DT_RPATH` of `O` and its loader-chain ancestors — used only if `O`
 //!    itself carries no `DT_RUNPATH`; an ancestor that carries `DT_RUNPATH`
 //!    contributes nothing.
@@ -16,290 +19,36 @@
 //! 7. The built-in default directories.
 //!
 //! Loading proceeds breadth-first from the executable's needed list;
-//! `LD_PRELOAD` objects load immediately after the executable.
+//! `LD_PRELOAD` objects load immediately after the executable — both driven
+//! by [`crate::engine::Engine`], not re-implemented here.
 
-use std::collections::{HashMap, VecDeque};
+use depchaos_vfs::Vfs;
 
-use depchaos_elf::ElfObject;
-use depchaos_vfs::{Inode, Vfs};
-
+use crate::api::Loader;
+use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, PreloadMode, SearchPolicy, State};
 use crate::env::Environment;
 use crate::ldcache::LdCache;
-use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance, Resolution};
-use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance};
+use crate::result::{LoadError, LoadResult};
 
-/// A glibc-semantics loader bound to one filesystem.
-pub struct GlibcLoader<'fs> {
-    fs: &'fs Vfs,
-    env: Environment,
-    cache: LdCache,
-    strict_interp: bool,
+/// glibc's probe plan: RPATH chain → `LD_LIBRARY_PATH` → RUNPATH →
+/// ld.so.cache → default directories, hwcaps subdirectories first inside
+/// every directory.
+pub struct GlibcSearch {
+    pub cache: LdCache,
 }
 
-struct State {
-    objects: Vec<LoadedObject>,
-    by_name: HashMap<String, usize>,
-    by_path: HashMap<String, usize>,
-    by_inode: HashMap<Inode, usize>,
-    events: Vec<LoadEvent>,
-    failures: Vec<Failure>,
-}
-
-impl State {
-    fn new() -> Self {
-        State {
-            objects: Vec::new(),
-            by_name: HashMap::new(),
-            by_path: HashMap::new(),
-            by_inode: HashMap::new(),
-            events: Vec::new(),
-            failures: Vec::new(),
-        }
-    }
-
-    /// Register a freshly mapped object under all the names glibc indexes.
-    fn register(
-        &mut self,
-        fs: &Vfs,
-        requested: &str,
-        cand: Candidate,
-        parent: Option<usize>,
-        provenance: Provenance,
-    ) -> usize {
-        let idx = self.objects.len();
-        let canonical = fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
-        let inode = fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
-        let soname = cand.object.effective_soname().to_string();
-        self.by_name.entry(requested.to_string()).or_insert(idx);
-        self.by_name.entry(soname).or_insert(idx);
-        self.by_path.entry(cand.path.clone()).or_insert(idx);
-        self.by_path.entry(canonical.clone()).or_insert(idx);
-        self.by_inode.entry(inode).or_insert(idx);
-        self.objects.push(LoadedObject {
-            idx,
-            path: cand.path,
-            canonical,
-            inode,
-            object: cand.object,
-            parent,
-            requested_as: vec![requested.to_string()],
-            provenance,
-        });
-        idx
-    }
-
-    /// Check the dedup cache for a bare-name request.
-    fn dedup_name(&mut self, name: &str) -> Option<usize> {
-        let idx = *self.by_name.get(name)?;
-        self.alias(idx, name);
-        Some(idx)
-    }
-
-    /// Check the dedup cache for a path request (path, canonical, inode all
-    /// handled by the by_path map seeded at register time; inode covered on
-    /// probe).
-    fn dedup_path(&mut self, fs: &Vfs, path: &str) -> Option<usize> {
-        if let Some(&idx) = self.by_path.get(path) {
-            self.alias(idx, path);
-            return Some(idx);
-        }
-        // A different path may still be the same file (symlinked stores).
-        let canonical = fs.canonicalize(path).ok()?;
-        if let Some(&idx) = self.by_path.get(&canonical) {
-            self.alias(idx, path);
-            return Some(idx);
-        }
-        let inode = fs.peek(&canonical).ok()?.inode;
-        if let Some(&idx) = self.by_inode.get(&inode) {
-            self.alias(idx, path);
-            return Some(idx);
-        }
-        None
-    }
-
-    fn alias(&mut self, idx: usize, name: &str) {
-        if !self.objects[idx].requested_as.iter().any(|r| r == name) {
-            self.objects[idx].requested_as.push(name.to_string());
-        }
-        self.by_name.entry(name.to_string()).or_insert(idx);
-    }
-}
-
-impl<'fs> GlibcLoader<'fs> {
-    pub fn new(fs: &'fs Vfs) -> Self {
-        GlibcLoader { fs, env: Environment::default(), cache: LdCache::empty(), strict_interp: false }
-    }
-
-    /// Verify the `PT_INTERP` interpreter exists before loading, like the
-    /// kernel's `execve` does. Off by default (most fixtures don't install
-    /// an ld.so); the NixOS §II-D compatibility tests turn it on.
-    pub fn with_strict_interp(mut self, yes: bool) -> Self {
-        self.strict_interp = yes;
-        self
-    }
-
-    pub fn with_env(mut self, env: Environment) -> Self {
-        self.env = env;
-        self
-    }
-
-    pub fn with_cache(mut self, cache: LdCache) -> Self {
-        self.cache = cache;
-        self
-    }
-
-    pub fn env(&self) -> &Environment {
-        &self.env
-    }
-
-    /// Simulate `execve(exe_path)`: map the executable, `LD_PRELOAD`s, and
-    /// the breadth-first closure of needed entries. `dlopen` hints are NOT
-    /// processed — see [`GlibcLoader::load_with_dlopen`].
-    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
-        self.load_inner(exe_path, false)
-    }
-
-    /// [`GlibcLoader::load`], then replay each loaded object's `dlopen`
-    /// hints (in load order), which search with the *caller's* paths — the
-    /// Qt plugin problem from §III-A.
-    pub fn load_with_dlopen(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
-        self.load_inner(exe_path, true)
-    }
-
-    fn load_inner(&self, exe_path: &str, dlopen: bool) -> Result<LoadResult, LoadError> {
-        let before = self.fs.snapshot();
-        let t0 = self.fs.elapsed_ns();
-        let mut st = State::new();
-
-        // Map the executable.
-        if self.fs.try_open(exe_path).is_none() {
-            return Err(LoadError::ExeNotFound(exe_path.to_string()));
-        }
-        let bytes = self
-            .fs
-            .read_file(exe_path)
-            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
-        let exe = ElfObject::parse(&bytes)
-            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
-        if self.strict_interp {
-            if let Some(interp) = &exe.interp {
-                if self.fs.try_open(interp).is_none() {
-                    return Err(LoadError::InterpreterNotFound {
-                        exe: exe_path.to_string(),
-                        interp: interp.clone(),
-                    });
-                }
-            }
-        }
-        if exe.virtual_size > 0 {
-            self.fs.charge_read(exe_path, exe.virtual_size);
-        }
-        st.register(
-            self.fs,
-            exe_path,
-            Candidate { path: exe_path.to_string(), object: exe },
-            None,
-            Provenance::Executable,
-        );
-
-        // A static executable (no PT_INTERP, no needed entries) never runs
-        // the dynamic loader at all — LD_PRELOAD and friends are inert, the
-        // §III-B trade-off ("changing to fully static linking breaks all of
-        // these tools").
-        let is_static = st.objects[0].object.interp.is_none()
-            && st.objects[0].object.needed.is_empty();
-
-        // LD_PRELOAD objects load immediately after the executable and are
-        // searched like bare names (or opened directly when they are paths).
-        if !is_static {
-            for entry in self.env.ld_preload.clone() {
-                self.request(&mut st, 0, &entry, true);
-            }
-        }
-
-        // Breadth-first over needed entries.
-        let mut queue: VecDeque<(usize, String)> =
-            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
-        let mut next_obj = st.objects.len();
-        loop {
-            while let Some((req, name)) = queue.pop_front() {
-                self.request(&mut st, req, &name, false);
-                // Enqueue needed entries of anything newly loaded, in order.
-                while next_obj < st.objects.len() {
-                    for n in &st.objects[next_obj].object.needed {
-                        queue.push_back((next_obj, n.clone()));
-                    }
-                    next_obj += 1;
-                }
-            }
-            if !dlopen {
-                break;
-            }
-            // Replay dlopen hints of every object not yet replayed; any new
-            // object's needed entries go through the normal BFS above.
-            let mut any = false;
-            for idx in 0..st.objects.len() {
-                for d in st.objects[idx].object.dlopens.clone() {
-                    let already = st
-                        .events
-                        .iter()
-                        .any(|e| e.requester == idx && e.name == d);
-                    if !already {
-                        queue.push_back((idx, d));
-                        any = true;
-                    }
-                }
-                if any {
-                    break;
-                }
-            }
-            if !any {
-                break;
-            }
-        }
-
-        Ok(LoadResult {
-            syscalls: self.fs.snapshot().since(&before),
-            time_ns: self.fs.elapsed_ns() - t0,
-            objects: st.objects,
-            events: st.events,
-            failures: st.failures,
-        })
-    }
-
-    /// Resolve one request and record the outcome.
-    fn request(&self, st: &mut State, requester: usize, name: &str, _preload: bool) {
-        let resolution = self.resolve(st, requester, name);
-        if let Resolution::NotFound = resolution {
-            st.failures.push(Failure {
-                requester: st.objects[requester].object.name.clone(),
-                name: name.to_string(),
-            });
-        }
-        st.events.push(LoadEvent { requester, name: name.to_string(), resolution });
-    }
-
-    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
-        let want_arch = st.objects[0].object.machine;
-
+impl SearchPolicy for GlibcSearch {
+    fn locate(
+        &self,
+        cx: &Ctx,
+        st: &State,
+        requester: usize,
+        name: &str,
+    ) -> Option<(Candidate, Provenance)> {
         if name.contains('/') {
-            // Direct path: dedup on path/inode, else open outright.
-            if let Some(idx) = st.dedup_path(self.fs, name) {
-                return Resolution::Deduped { path: st.objects[idx].path.clone() };
-            }
-            return match probe_exact(self.fs, name, want_arch) {
-                Some(cand) => {
-                    let path = cand.path.clone();
-                    st.register(self.fs, name, cand, Some(requester), Provenance::DirectPath);
-                    Resolution::Loaded { path, provenance: Provenance::DirectPath }
-                }
-                None => Resolution::NotFound,
-            };
-        }
-
-        // Bare soname: dedup cache first — no filesystem work at all.
-        if let Some(idx) = st.dedup_name(name) {
-            return Resolution::Deduped { path: st.objects[idx].path.clone() };
+            // Direct path: opened outright, no search.
+            return probe_exact(cx.fs, name, cx.want_arch).map(|c| (c, Provenance::DirectPath));
         }
 
         // Phase 1: RPATH chain, suppressed entirely if the requester has a
@@ -309,21 +58,15 @@ impl<'fs> GlibcLoader<'fs> {
             while let Some(idx) = chain {
                 let obj = &st.objects[idx];
                 if obj.object.runpath.is_empty() {
-                    let owner = obj.object.name.clone();
-                    let owner_path = obj.path.clone();
-                    let dirs: Vec<String> = obj
-                        .object
-                        .rpath
-                        .iter()
-                        .map(|e| expand_entry(e, &owner_path))
-                        .collect();
-                    for dir in &dirs {
+                    for entry in &obj.object.rpath {
+                        let dir = expand_entry(entry, &obj.path);
                         if let Some(cand) =
-                            probe_dir(self.fs, dir, name, want_arch, &self.env.hwcaps)
+                            probe_dir(cx.fs, &dir, name, cx.want_arch, &cx.env.hwcaps)
                         {
-                            return self.commit(st, requester, name, cand, Provenance::Rpath {
-                                owner: owner.clone(),
-                            });
+                            return Some((
+                                cand,
+                                Provenance::Rpath { owner: obj.object.name.clone() },
+                            ));
                         }
                     }
                 }
@@ -332,72 +75,194 @@ impl<'fs> GlibcLoader<'fs> {
         }
 
         // Phase 2: LD_LIBRARY_PATH.
-        for dir in &self.env.ld_library_path {
-            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &self.env.hwcaps) {
-                return self.commit(st, requester, name, cand, Provenance::LdLibraryPath);
+        for dir in &cx.env.ld_library_path {
+            if let Some(cand) = probe_dir(cx.fs, dir, name, cx.want_arch, &cx.env.hwcaps) {
+                return Some((cand, Provenance::LdLibraryPath));
             }
         }
 
         // Phase 3: the requester's own RUNPATH (never inherited).
-        {
-            let owner = st.objects[requester].object.name.clone();
-            let owner_path = st.objects[requester].path.clone();
-            let dirs: Vec<String> = st.objects[requester]
-                .object
-                .runpath
-                .iter()
-                .map(|e| expand_entry(e, &owner_path))
-                .collect();
-            for dir in &dirs {
-                if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &self.env.hwcaps) {
-                    return self.commit(st, requester, name, cand, Provenance::Runpath {
-                        owner: owner.clone(),
-                    });
-                }
+        let req = &st.objects[requester];
+        for entry in &req.object.runpath {
+            let dir = expand_entry(entry, &req.path);
+            if let Some(cand) = probe_dir(cx.fs, &dir, name, cx.want_arch, &cx.env.hwcaps) {
+                return Some((cand, Provenance::Runpath { owner: req.object.name.clone() }));
             }
         }
 
         // Phase 4: ld.so.cache.
-        if let Some(path) = self.cache.lookup(name, want_arch) {
-            if let Some(cand) = probe_exact(self.fs, path, want_arch) {
-                return self.commit(st, requester, name, cand, Provenance::LdSoCache);
+        if let Some(path) = self.cache.lookup(name, cx.want_arch) {
+            if let Some(cand) = probe_exact(cx.fs, path, cx.want_arch) {
+                return Some((cand, Provenance::LdSoCache));
             }
         }
 
         // Phase 5: default directories.
-        for dir in &self.env.default_paths {
-            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &self.env.hwcaps) {
-                return self.commit(st, requester, name, cand, Provenance::DefaultPath);
+        for dir in &cx.env.default_paths {
+            if let Some(cand) = probe_dir(cx.fs, dir, name, cx.want_arch, &cx.env.hwcaps) {
+                return Some((cand, Provenance::DefaultPath));
             }
         }
 
-        Resolution::NotFound
+        None
+    }
+}
+
+/// glibc's identity relation: a request is satisfied by any loaded object
+/// matching on requested name, soname, probed path, canonical path, or
+/// inode.
+pub struct GlibcDedup;
+
+impl GlibcDedup {
+    /// Record the alias and make `name` answerable from the soname cache.
+    fn alias(&self, st: &mut State, idx: usize, name: &str) {
+        st.alias(idx, name);
+        st.by_name.entry(name.to_string()).or_insert(idx);
     }
 
-    fn commit(
+    /// Path-identity check: probed path, canonical path, then inode
+    /// (symlinked stores make all three distinct).
+    fn dedup_path(&self, fs: &Vfs, st: &mut State, path: &str) -> Option<usize> {
+        if let Some(&idx) = st.by_path.get(path) {
+            self.alias(st, idx, path);
+            return Some(idx);
+        }
+        let (canonical, inode) = crate::engine::identity(fs, path);
+        if let Some(&idx) = st.by_path.get(&canonical) {
+            self.alias(st, idx, path);
+            return Some(idx);
+        }
+        if let Some(idx) = inode.and_then(|i| st.by_inode.get(&i).copied()) {
+            self.alias(st, idx, path);
+            return Some(idx);
+        }
+        None
+    }
+}
+
+impl DedupPolicy for GlibcDedup {
+    fn lookup(&self, cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
+        if name.contains('/') {
+            self.dedup_path(cx.fs, st, name)
+        } else {
+            let idx = *st.by_name.get(name)?;
+            self.alias(st, idx, name);
+            Some(idx)
+        }
+    }
+
+    fn absorb(
         &self,
+        cx: &Ctx,
         st: &mut State,
-        requester: usize,
-        name: &str,
-        cand: Candidate,
-        provenance: Provenance,
-    ) -> Resolution {
+        _name: &str,
+        cand: &Candidate,
+        _provenance: &Provenance,
+    ) -> Option<usize> {
         // The search may have found a file that is already mapped under a
         // different name (hard identity): glibc checks dev/ino after open.
-        if let Some(idx) = st.dedup_path(self.fs, &cand.path) {
-            return Resolution::Deduped { path: st.objects[idx].path.clone() };
+        self.dedup_path(cx.fs, st, &cand.path)
+    }
+
+    fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
+        let soname = st.objects[idx].object.effective_soname().to_string();
+        let path = st.objects[idx].path.clone();
+        let canonical = st.objects[idx].canonical.clone();
+        let inode = st.objects[idx].inode;
+        st.by_name.entry(requested.to_string()).or_insert(idx);
+        st.by_name.entry(soname).or_insert(idx);
+        st.by_path.entry(path).or_insert(idx);
+        st.by_path.entry(canonical).or_insert(idx);
+        st.by_inode.entry(inode).or_insert(idx);
+    }
+}
+
+/// A glibc-semantics loader bound to one filesystem.
+pub struct GlibcLoader<'fs> {
+    engine: Engine<'fs, GlibcSearch, GlibcDedup>,
+}
+
+impl<'fs> GlibcLoader<'fs> {
+    pub fn new(fs: &'fs Vfs) -> Self {
+        GlibcLoader {
+            engine: Engine::new(
+                fs,
+                GlibcSearch { cache: LdCache::empty() },
+                GlibcDedup,
+                EngineConfig::charged(PreloadMode::SkipStatic),
+            ),
         }
-        let path = cand.path.clone();
-        st.register(self.fs, name, cand, Some(requester), provenance.clone());
-        Resolution::Loaded { path, provenance }
+    }
+
+    /// Verify the `PT_INTERP` interpreter exists before loading, like the
+    /// kernel's `execve` does. Off by default (most fixtures don't install
+    /// an ld.so); the NixOS §II-D compatibility tests turn it on.
+    pub fn with_strict_interp(mut self, yes: bool) -> Self {
+        self.engine.config.strict_interp = yes;
+        self
+    }
+
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.engine.set_env(env);
+        self
+    }
+
+    pub fn with_cache(mut self, cache: LdCache) -> Self {
+        self.engine.search.cache = cache;
+        self
+    }
+
+    pub fn env(&self) -> &Environment {
+        self.engine.env()
+    }
+
+    /// Simulate `execve(exe_path)`: map the executable, `LD_PRELOAD`s, and
+    /// the breadth-first closure of needed entries. `dlopen` hints are NOT
+    /// processed — see [`GlibcLoader::load_with_dlopen`].
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        self.engine.run(exe_path, false)
+    }
+
+    /// [`GlibcLoader::load`], then replay each loaded object's `dlopen`
+    /// hints (in load order), which search with the *caller's* paths — the
+    /// Qt plugin problem from §III-A.
+    pub fn load_with_dlopen(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        self.engine.run(exe_path, true)
+    }
+}
+
+impl Loader for GlibcLoader<'_> {
+    fn name(&self) -> &'static str {
+        "glibc"
+    }
+
+    fn load(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        GlibcLoader::load(self, exe)
+    }
+
+    fn load_with_dlopen(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        GlibcLoader::load_with_dlopen(self, exe)
+    }
+
+    fn resolves_by_soname(&self) -> bool {
+        true
+    }
+
+    fn honours_preload(&self) -> bool {
+        true
+    }
+
+    fn supports_dlopen_replay(&self) -> bool {
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resolve::Resolution;
     use depchaos_elf::io::install;
-    use depchaos_elf::Machine;
+    use depchaos_elf::{ElfObject, Machine};
 
     /// exe -> liba -> libb, all findable via default paths.
     fn simple_world() -> Vfs {
@@ -422,10 +287,7 @@ mod tests {
     #[test]
     fn missing_exe() {
         let fs = Vfs::local();
-        assert!(matches!(
-            GlibcLoader::new(&fs).load("/bin/ghost"),
-            Err(LoadError::ExeNotFound(_))
-        ));
+        assert!(matches!(GlibcLoader::new(&fs).load("/bin/ghost"), Err(LoadError::ExeNotFound(_))));
     }
 
     #[test]
@@ -442,8 +304,12 @@ mod tests {
         let fs = Vfs::local();
         install(&fs, "/rp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
         install(&fs, "/llp/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
-        install(&fs, "/bin/rp_app", &ElfObject::exe("rp_app").needs("libx.so").rpath("/rp").build())
-            .unwrap();
+        install(
+            &fs,
+            "/bin/rp_app",
+            &ElfObject::exe("rp_app").needs("libx.so").rpath("/rp").build(),
+        )
+        .unwrap();
         install(
             &fs,
             "/bin/runp_app",
@@ -469,8 +335,12 @@ mod tests {
         // libdeep lives only in /deep, referenced from the exe's search path.
         for (attr, should_find) in [("rpath", true), ("runpath", false)] {
             let fs = Vfs::local();
-            install(&fs, "/usr/lib/liba.so", &ElfObject::dso("liba.so").needs("libdeep.so").build())
-                .unwrap();
+            install(
+                &fs,
+                "/usr/lib/liba.so",
+                &ElfObject::dso("liba.so").needs("libdeep.so").build(),
+            )
+            .unwrap();
             install(&fs, "/deep/libdeep.so", &ElfObject::dso("libdeep.so").build()).unwrap();
             let exe = if attr == "rpath" {
                 ElfObject::exe("app").needs("liba.so").rpath("/deep").build()
@@ -519,7 +389,11 @@ mod tests {
         install(
             &fs,
             "/bin/app",
-            &ElfObject::exe("app").needs("libfirst.so").needs("libsecond.so").runpath("/libs").build(),
+            &ElfObject::exe("app")
+                .needs("libfirst.so")
+                .needs("libsecond.so")
+                .runpath("/libs")
+                .build(),
         )
         .unwrap();
         install(
@@ -528,16 +402,17 @@ mod tests {
             &ElfObject::dso("libfirst.so").needs("libshared.so").runpath("/hidden").build(),
         )
         .unwrap();
-        install(&fs, "/libs/libsecond.so", &ElfObject::dso("libsecond.so").needs("libshared.so").build())
-            .unwrap();
+        install(
+            &fs,
+            "/libs/libsecond.so",
+            &ElfObject::dso("libsecond.so").needs("libshared.so").build(),
+        )
+        .unwrap();
         install(&fs, "/hidden/libshared.so", &ElfObject::dso("libshared.so").build()).unwrap();
         let r = GlibcLoader::new(&fs).load("/bin/app").unwrap();
         assert!(r.success());
-        let dedup_event = r
-            .events
-            .iter()
-            .find(|e| e.requester == 2 && e.name == "libshared.so")
-            .unwrap();
+        let dedup_event =
+            r.events.iter().find(|e| e.requester == 2 && e.name == "libshared.so").unwrap();
         assert!(matches!(dedup_event.resolution, Resolution::Deduped { .. }));
     }
 
@@ -549,10 +424,7 @@ mod tests {
         install(
             &fs,
             "/bin/app",
-            &ElfObject::exe("app")
-                .needs("/store/x/libxyz.so")
-                .needs("/store/a/libac.so")
-                .build(),
+            &ElfObject::exe("app").needs("/store/x/libxyz.so").needs("/store/a/libac.so").build(),
         )
         .unwrap();
         install(&fs, "/store/x/libxyz.so", &ElfObject::dso("libxyz.so").needs("libac.so").build())
@@ -581,12 +453,7 @@ mod tests {
     fn preload_loads_first_and_interposes() {
         use depchaos_elf::Symbol;
         let fs = Vfs::local();
-        install(
-            &fs,
-            "/bin/app",
-            &ElfObject::exe("app").needs("libreal.so").build(),
-        )
-        .unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libreal.so").build()).unwrap();
         install(
             &fs,
             "/usr/lib/libreal.so",
@@ -608,7 +475,12 @@ mod tests {
     #[test]
     fn wrong_arch_candidate_shadowed_by_later_dir() {
         let fs = Vfs::local();
-        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libm.so").runpath("/mixed").runpath("/good").build()).unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libm.so").runpath("/mixed").runpath("/good").build(),
+        )
+        .unwrap();
         install(&fs, "/mixed/libm.so", &ElfObject::dso("libm.so").machine(Machine::X86).build())
             .unwrap();
         install(&fs, "/good/libm.so", &ElfObject::dso("libm.so").build()).unwrap();
@@ -622,8 +494,12 @@ mod tests {
         // libplugin loadable only through libhost's runpath; the exe has no
         // path to it. dlopen from libhost works; from the exe it wouldn't.
         let fs = Vfs::local();
-        install(&fs, "/bin/app", &ElfObject::exe("app").needs("libhost.so").runpath("/libs").build())
-            .unwrap();
+        install(
+            &fs,
+            "/bin/app",
+            &ElfObject::exe("app").needs("libhost.so").runpath("/libs").build(),
+        )
+        .unwrap();
         install(
             &fs,
             "/libs/libhost.so",
@@ -647,5 +523,18 @@ mod tests {
         assert_eq!(a.paths(), b.paths());
         // second run is warmer, never slower
         assert!(b.time_ns <= a.time_ns);
+    }
+
+    #[test]
+    fn loader_trait_object_works() {
+        let fs = simple_world();
+        let glibc = GlibcLoader::new(&fs);
+        let dyn_loader: &dyn Loader = &glibc;
+        assert_eq!(dyn_loader.name(), "glibc");
+        assert!(dyn_loader.resolves_by_soname());
+        assert!(dyn_loader.supports_dlopen_replay());
+        let r = dyn_loader.load("/bin/app").unwrap();
+        assert!(r.success());
+        assert_eq!(r.objects.len(), 3);
     }
 }

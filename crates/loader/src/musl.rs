@@ -1,185 +1,51 @@
 //! The musl `ld.so` model — the divergent semantics that make Shrinkwrap
-//! glibc-only (§IV).
+//! glibc-only (§IV) — as an instantiation of the shared [`crate::engine`].
 //!
-//! Differences from glibc, all load-bearing for the paper:
+//! Differences from glibc, all load-bearing for the paper and all encoded
+//! in the two policy values below:
 //!
-//! * **No soname cache.** Dedup happens by requested-name string (for bare
-//!   names, against the *shortname* of libraries that were themselves loaded
-//!   by bare name) and by `(dev,inode)` after opening a candidate. An object
-//!   loaded via an absolute path does **not** satisfy a later bare-soname
-//!   request unless the search happens to find the same file — so a
-//!   shrinkwrapped binary may load duplicates or fail outright.
-//! * **RPATH ≡ RUNPATH**, both inherited through the `needed_by` chain but
-//!   searched **after** `LD_LIBRARY_PATH` (musl `dynlink.c`: `env_path`
-//!   first, then the requester chain's rpath, then the system path). The
-//!   paper notes this meld "would actually solve a number of problems with
-//!   RUNPATH, but ... is non-standard".
+//! * **No soname cache** ([`MuslDedup`]). Dedup happens by requested-name
+//!   string (for bare names, against the *shortname* of libraries that were
+//!   themselves loaded by bare name) and by `(dev,inode)` after opening a
+//!   candidate. An object loaded via an absolute path does **not** satisfy
+//!   a later bare-soname request unless the search happens to find the same
+//!   file — so a shrinkwrapped binary may load duplicates or fail outright.
+//! * **RPATH ≡ RUNPATH** ([`MuslSearch`]), both inherited through the
+//!   `needed_by` chain but searched **after** `LD_LIBRARY_PATH` (musl
+//!   `dynlink.c`: `env_path` first, then the requester chain's rpath, then
+//!   the system path). The paper notes this meld "would actually solve a
+//!   number of problems with RUNPATH, but ... is non-standard".
 //! * No hwcaps subdirectories, no ld.so.cache.
 
-use std::collections::{HashMap, VecDeque};
+use depchaos_vfs::Vfs;
 
-use depchaos_elf::ElfObject;
-use depchaos_vfs::{Inode, Vfs};
-
+use crate::api::Loader;
+use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, PreloadMode, SearchPolicy, State};
 use crate::env::Environment;
-use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance, Resolution};
-use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+use crate::resolve::{expand_entry, probe_dir, probe_exact, Candidate, Provenance};
+use crate::result::{LoadError, LoadResult};
 
-/// A musl-semantics loader bound to one filesystem.
-pub struct MuslLoader<'fs> {
-    fs: &'fs Vfs,
-    env: Environment,
-}
+/// musl's probe plan: `LD_LIBRARY_PATH` first, then the requester chain's
+/// melded RPATH+RUNPATH (inherited), then the system path. No hwcaps, no
+/// cache.
+pub struct MuslSearch;
 
-struct State {
-    objects: Vec<LoadedObject>,
-    /// Bare-name dedup: shortnames of objects loaded by search.
-    by_shortname: HashMap<String, usize>,
-    by_inode: HashMap<Inode, usize>,
-    events: Vec<LoadEvent>,
-    failures: Vec<Failure>,
-}
-
-impl State {
-    fn new() -> Self {
-        State {
-            objects: Vec::new(),
-            by_shortname: HashMap::new(),
-            by_inode: HashMap::new(),
-            events: Vec::new(),
-            failures: Vec::new(),
-        }
-    }
-
-    fn register(
-        &mut self,
-        fs: &Vfs,
-        requested: &str,
-        cand: Candidate,
-        parent: Option<usize>,
-        provenance: Provenance,
-        loaded_by_search: bool,
-    ) -> usize {
-        let idx = self.objects.len();
-        let canonical = fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
-        let inode = fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
-        if loaded_by_search {
-            // musl sets shortname only for libraries found by name search.
-            self.by_shortname.entry(requested.to_string()).or_insert(idx);
-        }
-        self.by_inode.entry(inode).or_insert(idx);
-        self.objects.push(LoadedObject {
-            idx,
-            path: cand.path,
-            canonical,
-            inode,
-            object: cand.object,
-            parent,
-            requested_as: vec![requested.to_string()],
-            provenance,
-        });
-        idx
-    }
-}
-
-impl<'fs> MuslLoader<'fs> {
-    pub fn new(fs: &'fs Vfs) -> Self {
-        MuslLoader { fs, env: Environment::default() }
-    }
-
-    pub fn with_env(mut self, env: Environment) -> Self {
-        self.env = env;
-        self
-    }
-
-    /// Simulate process startup under musl semantics.
-    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
-        let before = self.fs.snapshot();
-        let t0 = self.fs.elapsed_ns();
-        let mut st = State::new();
-
-        if self.fs.try_open(exe_path).is_none() {
-            return Err(LoadError::ExeNotFound(exe_path.to_string()));
-        }
-        let bytes = self
-            .fs
-            .read_file(exe_path)
-            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
-        let exe = ElfObject::parse(&bytes)
-            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
-        if exe.virtual_size > 0 {
-            self.fs.charge_read(exe_path, exe.virtual_size);
-        }
-        st.register(
-            self.fs,
-            exe_path,
-            Candidate { path: exe_path.to_string(), object: exe },
-            None,
-            Provenance::Executable,
-            false,
-        );
-
-        for entry in self.env.ld_preload.clone() {
-            self.request(&mut st, 0, &entry);
-        }
-
-        let mut queue: VecDeque<(usize, String)> =
-            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
-        let mut next_obj = st.objects.len();
-        while let Some((req, name)) = queue.pop_front() {
-            self.request(&mut st, req, &name);
-            while next_obj < st.objects.len() {
-                for n in &st.objects[next_obj].object.needed {
-                    queue.push_back((next_obj, n.clone()));
-                }
-                next_obj += 1;
-            }
-        }
-
-        Ok(LoadResult {
-            syscalls: self.fs.snapshot().since(&before),
-            time_ns: self.fs.elapsed_ns() - t0,
-            objects: st.objects,
-            events: st.events,
-            failures: st.failures,
-        })
-    }
-
-    fn request(&self, st: &mut State, requester: usize, name: &str) {
-        let resolution = self.resolve(st, requester, name);
-        if let Resolution::NotFound = resolution {
-            st.failures.push(Failure {
-                requester: st.objects[requester].object.name.clone(),
-                name: name.to_string(),
-            });
-        }
-        st.events.push(LoadEvent { requester, name: name.to_string(), resolution });
-    }
-
-    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
-        let want_arch = st.objects[0].object.machine;
-
+impl SearchPolicy for MuslSearch {
+    fn locate(
+        &self,
+        cx: &Ctx,
+        st: &State,
+        requester: usize,
+        name: &str,
+    ) -> Option<(Candidate, Provenance)> {
         if name.contains('/') {
-            // Direct path: open, then (dev,ino) dedup only.
-            let Some(cand) = probe_exact(self.fs, name, want_arch) else {
-                return Resolution::NotFound;
-            };
-            return self.commit(st, requester, name, cand, Provenance::DirectPath, false);
-        }
-
-        // Bare name: shortname dedup (absolute-loaded objects not indexed).
-        if let Some(&idx) = st.by_shortname.get(name) {
-            let path = st.objects[idx].path.clone();
-            if !st.objects[idx].requested_as.iter().any(|r| r == name) {
-                st.objects[idx].requested_as.push(name.to_string());
-            }
-            return Resolution::Deduped { path };
+            return probe_exact(cx.fs, name, cx.want_arch).map(|c| (c, Provenance::DirectPath));
         }
 
         // musl search order: env_path FIRST...
-        for dir in &self.env.ld_library_path {
-            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
-                return self.commit(st, requester, name, cand, Provenance::LdLibraryPath, true);
+        for dir in &cx.env.ld_library_path {
+            if let Some(cand) = probe_dir(cx.fs, dir, name, cx.want_arch, &[]) {
+                return Some((cand, Provenance::LdLibraryPath));
             }
         }
 
@@ -187,71 +53,137 @@ impl<'fs> MuslLoader<'fs> {
         // both inherited)...
         let mut chain = Some(requester);
         while let Some(idx) = chain {
-            let owner = st.objects[idx].object.name.clone();
-            let owner_path = st.objects[idx].path.clone();
-            let mut dirs: Vec<String> = Vec::new();
-            dirs.extend(st.objects[idx].object.rpath.iter().map(|e| expand_entry(e, &owner_path)));
-            dirs.extend(
-                st.objects[idx].object.runpath.iter().map(|e| expand_entry(e, &owner_path)),
-            );
-            for dir in &dirs {
-                if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
-                    return self.commit(
-                        st,
-                        requester,
-                        name,
-                        cand,
-                        Provenance::Rpath { owner: owner.clone() },
-                        true,
-                    );
+            let obj = &st.objects[idx];
+            for entry in obj.object.rpath.iter().chain(obj.object.runpath.iter()) {
+                let dir = expand_entry(entry, &obj.path);
+                if let Some(cand) = probe_dir(cx.fs, &dir, name, cx.want_arch, &[]) {
+                    return Some((cand, Provenance::Rpath { owner: obj.object.name.clone() }));
                 }
             }
-            chain = st.objects[idx].parent;
+            chain = obj.parent;
         }
 
         // ...then the system path.
-        for dir in &self.env.default_paths {
-            if let Some(cand) = probe_dir(self.fs, dir, name, want_arch, &[]) {
-                return self.commit(st, requester, name, cand, Provenance::DefaultPath, true);
+        for dir in &cx.env.default_paths {
+            if let Some(cand) = probe_dir(cx.fs, dir, name, cx.want_arch, &[]) {
+                return Some((cand, Provenance::DefaultPath));
             }
         }
 
-        Resolution::NotFound
+        None
+    }
+}
+
+/// musl's identity relation: shortnames (bare-name loads only) plus
+/// `(dev,inode)` after open. Pathname requests are never pre-deduped — musl
+/// opens first and compares inodes.
+pub struct MuslDedup;
+
+impl MuslDedup {
+    /// musl sets a library's shortname only when the library was found by
+    /// name *search* — an absolute needed entry never enters the table.
+    fn by_search(provenance: &Provenance) -> bool {
+        matches!(
+            provenance,
+            Provenance::Rpath { .. }
+                | Provenance::Runpath { .. }
+                | Provenance::LdLibraryPath
+                | Provenance::LdSoCache
+                | Provenance::DefaultPath
+        )
+    }
+}
+
+impl DedupPolicy for MuslDedup {
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
+        if name.contains('/') {
+            // Direct path: open, then (dev,ino) dedup only.
+            return None;
+        }
+        // Bare name: shortname dedup (absolute-loaded objects not indexed).
+        let idx = *st.by_name.get(name)?;
+        st.alias(idx, name);
+        Some(idx)
     }
 
-    fn commit(
+    fn absorb(
         &self,
+        cx: &Ctx,
         st: &mut State,
-        requester: usize,
         name: &str,
-        cand: Candidate,
-        provenance: Provenance,
-        by_search: bool,
-    ) -> Resolution {
+        cand: &Candidate,
+        provenance: &Provenance,
+    ) -> Option<usize> {
         // (dev,ino) dedup after open — musl's only cross-name dedup.
-        let canonical = self.fs.canonicalize(&cand.path).unwrap_or_else(|_| cand.path.clone());
-        if let Ok(meta) = self.fs.peek(&canonical) {
-            if let Some(&idx) = st.by_inode.get(&meta.inode) {
-                let path = st.objects[idx].path.clone();
-                if by_search {
-                    st.by_shortname.entry(name.to_string()).or_insert(idx);
-                }
-                if !st.objects[idx].requested_as.iter().any(|r| r == name) {
-                    st.objects[idx].requested_as.push(name.to_string());
-                }
-                return Resolution::Deduped { path };
-            }
+        let inode = cx.inode_of(&cand.path)?;
+        let idx = *st.by_inode.get(&inode)?;
+        if Self::by_search(provenance) {
+            st.by_name.entry(name.to_string()).or_insert(idx);
         }
-        let path = cand.path.clone();
-        st.register(self.fs, name, cand, Some(requester), provenance.clone(), by_search);
-        Resolution::Loaded { path, provenance }
+        st.alias(idx, name);
+        Some(idx)
+    }
+
+    fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
+        if Self::by_search(&st.objects[idx].provenance) {
+            st.by_name.entry(requested.to_string()).or_insert(idx);
+        }
+        st.by_inode.entry(st.objects[idx].inode).or_insert(idx);
+    }
+}
+
+/// A musl-semantics loader bound to one filesystem.
+pub struct MuslLoader<'fs> {
+    engine: Engine<'fs, MuslSearch, MuslDedup>,
+}
+
+impl<'fs> MuslLoader<'fs> {
+    pub fn new(fs: &'fs Vfs) -> Self {
+        MuslLoader {
+            engine: Engine::new(
+                fs,
+                MuslSearch,
+                MuslDedup,
+                EngineConfig::charged(PreloadMode::Always),
+            ),
+        }
+    }
+
+    pub fn with_env(mut self, env: Environment) -> Self {
+        self.engine.set_env(env);
+        self
+    }
+
+    /// Simulate process startup under musl semantics.
+    pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
+        self.engine.run(exe_path, false)
+    }
+}
+
+impl Loader for MuslLoader<'_> {
+    fn name(&self) -> &'static str {
+        "musl"
+    }
+
+    fn load(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        MuslLoader::load(self, exe)
+    }
+
+    fn resolves_by_soname(&self) -> bool {
+        false
+    }
+
+    fn honours_preload(&self) -> bool {
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resolve::Resolution;
     use depchaos_elf::io::install;
+    use depchaos_elf::ElfObject;
 
     #[test]
     fn env_path_beats_rpath_under_musl() {
@@ -273,12 +205,8 @@ mod tests {
         install(&fs, "/usr/lib/liba.so", &ElfObject::dso("liba.so").needs("libdeep.so").build())
             .unwrap();
         install(&fs, "/deep/libdeep.so", &ElfObject::dso("libdeep.so").build()).unwrap();
-        install(
-            &fs,
-            "/bin/app",
-            &ElfObject::exe("app").needs("liba.so").runpath("/deep").build(),
-        )
-        .unwrap();
+        install(&fs, "/bin/app", &ElfObject::exe("app").needs("liba.so").runpath("/deep").build())
+            .unwrap();
         let r = MuslLoader::new(&fs).load("/bin/app").unwrap();
         assert!(r.success(), "musl inherits runpath through the chain");
     }
@@ -371,5 +299,17 @@ mod tests {
         install(&fs, "/store/a/libac.so", &ElfObject::dso("libac.so").build()).unwrap();
         assert!(GlibcLoader::new(&fs).load("/bin/app").unwrap().success());
         assert!(!MuslLoader::new(&fs).load("/bin/app").unwrap().success());
+    }
+
+    #[test]
+    fn loader_trait_reports_musl_capabilities() {
+        let fs = Vfs::local();
+        install(&fs, "/bin/app", &ElfObject::exe("app").build()).unwrap();
+        let musl = MuslLoader::new(&fs);
+        let dyn_loader: &dyn Loader = &musl;
+        assert_eq!(dyn_loader.name(), "musl");
+        assert!(!dyn_loader.resolves_by_soname(), "the §IV incompatibility, queryable");
+        assert!(!dyn_loader.supports_dlopen_replay());
+        assert!(dyn_loader.load("/bin/app").unwrap().success());
     }
 }

@@ -16,7 +16,10 @@ pub enum LoadError {
     /// failure a foreign dynamic binary hits on NixOS, where even ld.so
     /// lives under the store ("not where an FHS system would expect").
     /// The kernel reports it as a baffling `ENOENT` on the *binary*.
-    InterpreterNotFound { exe: String, interp: String },
+    InterpreterNotFound {
+        exe: String,
+        interp: String,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -156,7 +159,10 @@ impl LoadResult {
             self.time_ns as f64 / 1e6,
         ));
         for f in &self.failures {
-            s.push_str(&format!("  ERROR: {}: cannot open shared object file: {}\n", f.requester, f.name));
+            s.push_str(&format!(
+                "  ERROR: {}: cannot open shared object file: {}\n",
+                f.requester, f.name
+            ));
         }
         s
     }
@@ -185,8 +191,16 @@ mod tests {
         let r = LoadResult {
             objects: vec![
                 obj(0, "/bin/app", ElfObject::exe("app").build()),
-                obj(1, "/lib/first.so", ElfObject::dso("first.so").defines(Symbol::strong("f")).build()),
-                obj(2, "/lib/second.so", ElfObject::dso("second.so").defines(Symbol::strong("f")).build()),
+                obj(
+                    1,
+                    "/lib/first.so",
+                    ElfObject::dso("first.so").defines(Symbol::strong("f")).build(),
+                ),
+                obj(
+                    2,
+                    "/lib/second.so",
+                    ElfObject::dso("second.so").defines(Symbol::strong("f")).build(),
+                ),
             ],
             events: vec![],
             failures: vec![],

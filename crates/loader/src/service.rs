@@ -1,4 +1,5 @@
-//! A Zircon-style loader service (§III-C).
+//! A Zircon-style loader service (§III-C) — resolution fully delegated to a
+//! policy object, BFS driven by the shared [`crate::engine`].
 //!
 //! > "The Fuchsia kernel and Zircon system loader implement a service to
 //! > request dynamic libraries at load time, allowing load configurations
@@ -17,13 +18,15 @@
 //! [`HashStoreService::manifest`] answers the "provide all of the
 //! dependencies it needs" question without running the binary.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-use depchaos_elf::ElfObject;
-use depchaos_vfs::{Inode, Vfs};
+use depchaos_vfs::Vfs;
 
-use crate::resolve::{probe_exact, Provenance, Resolution};
-use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
+use crate::api::Loader;
+use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, SearchPolicy, State};
+use crate::resolve::{probe_exact, Candidate, Provenance};
+use crate::result::{LoadError, LoadResult};
 
 /// A resolution policy consulted once per needed entry.
 pub trait LoaderService {
@@ -32,113 +35,116 @@ pub trait LoaderService {
     fn resolve(&self, requester: &str, name: &str) -> Option<String>;
 }
 
-/// The loader half: BFS + dedup identical to glibc, resolution fully
+/// Shared services work too — a backend factory can hand the same index to
+/// many loader instances.
+impl<S: LoaderService + ?Sized> LoaderService for Arc<S> {
+    fn resolve(&self, requester: &str, name: &str) -> Option<String> {
+        (**self).resolve(requester, name)
+    }
+}
+
+/// Delegation as a [`SearchPolicy`]: symbolic requests — bare names, hash
+/// references — go to the service; explicit paths (e.g. in shrinkwrapped
+/// output) are opened directly, as a real loader service would. Either way
+/// the answer is opened and ABI-checked like any other candidate.
+pub struct ServiceSearch<S: LoaderService> {
+    pub service: S,
+}
+
+impl<S: LoaderService> SearchPolicy for ServiceSearch<S> {
+    fn locate(
+        &self,
+        cx: &Ctx,
+        st: &State,
+        requester: usize,
+        name: &str,
+    ) -> Option<(Candidate, Provenance)> {
+        if name.contains('/') {
+            return probe_exact(cx.fs, name, cx.want_arch).map(|c| (c, Provenance::DirectPath));
+        }
+        self.service
+            .resolve(&st.objects[requester].path, name)
+            .and_then(|p| probe_exact(cx.fs, &p, cx.want_arch))
+            .map(|c| (c, Provenance::LdSoCache))
+    }
+}
+
+/// Request-string + soname identity like glibc's front table, backed by
+/// post-open inode identity so a hash reference and an explicit path to the
+/// same store file dedup to one mapping.
+pub struct ServiceDedup;
+
+impl DedupPolicy for ServiceDedup {
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
+        st.by_name.get(name).copied()
+    }
+
+    fn absorb(
+        &self,
+        cx: &Ctx,
+        st: &mut State,
+        name: &str,
+        cand: &Candidate,
+        _provenance: &Provenance,
+    ) -> Option<usize> {
+        let inode = cx.inode_of(&cand.path)?;
+        let idx = *st.by_inode.get(&inode)?;
+        st.by_name.insert(name.to_string(), idx);
+        Some(idx)
+    }
+
+    fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
+        st.by_name.insert(requested.to_string(), idx);
+        if !matches!(st.objects[idx].provenance, Provenance::Executable) {
+            st.by_name.insert(st.objects[idx].object.effective_soname().to_string(), idx);
+        }
+        st.by_inode.entry(st.objects[idx].inode).or_insert(idx);
+    }
+}
+
+/// The loader half: BFS + dedup from the shared engine, resolution fully
 /// delegated to the service.
 pub struct ServiceLoader<'fs, S: LoaderService> {
-    fs: &'fs Vfs,
-    service: S,
+    engine: Engine<'fs, ServiceSearch<S>, ServiceDedup>,
 }
 
 impl<'fs, S: LoaderService> ServiceLoader<'fs, S> {
     pub fn new(fs: &'fs Vfs, service: S) -> Self {
-        ServiceLoader { fs, service }
+        ServiceLoader {
+            engine: Engine::new(
+                fs,
+                ServiceSearch { service },
+                ServiceDedup,
+                EngineConfig::uncharged(),
+            ),
+        }
     }
 
     pub fn service(&self) -> &S {
-        &self.service
+        &self.engine.search.service
     }
 
     /// Simulate process startup with service-side resolution.
     pub fn load(&self, exe_path: &str) -> Result<LoadResult, LoadError> {
-        let before = self.fs.snapshot();
-        let t0 = self.fs.elapsed_ns();
-        let mut objects: Vec<LoadedObject> = Vec::new();
-        let mut by_name: HashMap<String, usize> = HashMap::new();
-        let mut events = Vec::new();
-        let mut failures = Vec::new();
+        self.engine.run(exe_path, false)
+    }
+}
 
-        if self.fs.try_open(exe_path).is_none() {
-            return Err(LoadError::ExeNotFound(exe_path.to_string()));
-        }
-        let bytes = self
-            .fs
-            .read_file(exe_path)
-            .map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
-        let exe = ElfObject::parse(&bytes)
-            .map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
-        let want_arch = exe.machine;
-        objects.push(LoadedObject {
-            idx: 0,
-            path: exe_path.to_string(),
-            canonical: self.fs.canonicalize(exe_path).unwrap_or_else(|_| exe_path.to_string()),
-            inode: self.fs.peek(exe_path).map(|m| m.inode).unwrap_or(Inode(0)),
-            object: exe,
-            parent: None,
-            requested_as: vec![exe_path.to_string()],
-            provenance: Provenance::Executable,
-        });
-        by_name.insert(exe_path.to_string(), 0);
+impl<S: LoaderService> Loader for ServiceLoader<'_, S> {
+    fn name(&self) -> &'static str {
+        "service"
+    }
 
-        let mut queue: VecDeque<(usize, String)> =
-            objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
-        let mut next_obj = objects.len();
-        while let Some((req, name)) = queue.pop_front() {
-            let resolution = if let Some(&i) = by_name.get(&name) {
-                Resolution::Deduped { path: objects[i].path.clone() }
-            } else {
-                match self
-                    .service
-                    .resolve(&objects[req].path, &name)
-                    .and_then(|p| probe_exact(self.fs, &p, want_arch))
-                {
-                    Some(cand) => {
-                        let idx = objects.len();
-                        let canonical = self
-                            .fs
-                            .canonicalize(&cand.path)
-                            .unwrap_or_else(|_| cand.path.clone());
-                        let inode =
-                            self.fs.peek(&canonical).map(|m| m.inode).unwrap_or(Inode(0));
-                        by_name.insert(name.clone(), idx);
-                        by_name.insert(cand.object.effective_soname().to_string(), idx);
-                        let path = cand.path.clone();
-                        objects.push(LoadedObject {
-                            idx,
-                            path: cand.path,
-                            canonical,
-                            inode,
-                            object: cand.object,
-                            parent: Some(req),
-                            requested_as: vec![name.clone()],
-                            provenance: Provenance::LdSoCache,
-                        });
-                        Resolution::Loaded { path, provenance: Provenance::LdSoCache }
-                    }
-                    None => Resolution::NotFound,
-                }
-            };
-            if let Resolution::NotFound = resolution {
-                failures.push(Failure {
-                    requester: objects[req].object.name.clone(),
-                    name: name.clone(),
-                });
-            }
-            events.push(LoadEvent { requester: req, name, resolution });
-            while next_obj < objects.len() {
-                for n in &objects[next_obj].object.needed {
-                    queue.push_back((next_obj, n.clone()));
-                }
-                next_obj += 1;
-            }
-        }
+    fn load(&self, exe: &str) -> Result<LoadResult, LoadError> {
+        ServiceLoader::load(self, exe)
+    }
 
-        Ok(LoadResult {
-            syscalls: self.fs.snapshot().since(&before),
-            time_ns: self.fs.elapsed_ns() - t0,
-            objects,
-            events,
-            failures,
-        })
+    fn resolves_by_soname(&self) -> bool {
+        true
+    }
+
+    fn honours_preload(&self) -> bool {
+        false
     }
 }
 
@@ -221,8 +227,7 @@ mod tests {
         let mut svc = HashStoreService::new();
         install(&fs, "/store/bb/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
         let b_ref = svc.register(&fs, "/store/bb/libb.so").unwrap();
-        install(&fs, "/store/aa/liba.so", &ElfObject::dso("liba.so").needs(b_ref).build())
-            .unwrap();
+        install(&fs, "/store/aa/liba.so", &ElfObject::dso("liba.so").needs(b_ref).build()).unwrap();
         let a_ref = svc.register(&fs, "/store/aa/liba.so").unwrap();
         install(&fs, "/bin/app", &ElfObject::exe("app").needs(a_ref).build()).unwrap();
         (fs, svc, "/bin/app".to_string())
@@ -242,12 +247,8 @@ mod tests {
         // An exe requesting an unregistered digest fails with the digest in
         // hand — "determine with far greater detail which version is
         // expected if it is not available".
-        install(
-            &fs,
-            "/bin/app2",
-            &ElfObject::exe("app2").needs("sha:deadbeefdeadbeef").build(),
-        )
-        .unwrap();
+        install(&fs, "/bin/app2", &ElfObject::exe("app2").needs("sha:deadbeefdeadbeef").build())
+            .unwrap();
         let r = ServiceLoader::new(&fs, svc).load("/bin/app2").unwrap();
         assert!(!r.success());
         assert_eq!(r.failures[0].name, "sha:deadbeefdeadbeef");
@@ -279,5 +280,17 @@ mod tests {
         let b = HashStoreService::digest(b"two");
         assert_ne!(a, b);
         assert_eq!(a, HashStoreService::digest(b"one"));
+    }
+
+    #[test]
+    fn shared_service_through_arc_and_trait_object() {
+        let (fs, svc, exe) = world();
+        let shared = Arc::new(svc);
+        let loader = ServiceLoader::new(&fs, shared.clone());
+        let dyn_loader: &dyn Loader = &loader;
+        assert_eq!(dyn_loader.name(), "service");
+        assert!(dyn_loader.load(&exe).unwrap().success());
+        // The same index keeps serving other instances.
+        assert!(ServiceLoader::new(&fs, shared).load(&exe).unwrap().success());
     }
 }

@@ -106,8 +106,7 @@ pub fn analyze_tree(
     env: &Environment,
     cache: &LdCache,
 ) -> Result<DepTree, LoadError> {
-    let bytes =
-        fs.peek_file(exe_path).map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
+    let bytes = fs.peek_file(exe_path).map_err(|_| LoadError::ExeNotFound(exe_path.to_string()))?;
     let exe =
         ElfObject::parse(&bytes).map_err(|_| LoadError::ExeUnparseable(exe_path.to_string()))?;
     let want_arch = exe.machine;
@@ -275,8 +274,7 @@ mod tests {
         assert!(r.success());
         // ...but the tree shows the latent breakage.
         let tree =
-            analyze_tree(&fs, "/usr/bin/tool", &Environment::default(), &LdCache::empty())
-                .unwrap();
+            analyze_tree(&fs, "/usr/bin/tool", &Environment::default(), &LdCache::empty()).unwrap();
         let missing = tree.missing();
         assert_eq!(missing.len(), 1);
         assert_eq!(missing[0].name, "libhidden.so");
@@ -294,10 +292,18 @@ mod tests {
             &ElfObject::exe("app").needs("liba.so").needs("libb.so").runpath("/l").build(),
         )
         .unwrap();
-        install(&fs, "/l/liba.so", &ElfObject::dso("liba.so").needs("libc6.so").runpath("/l").build())
-            .unwrap();
-        install(&fs, "/l/libb.so", &ElfObject::dso("libb.so").needs("libc6.so").runpath("/l").build())
-            .unwrap();
+        install(
+            &fs,
+            "/l/liba.so",
+            &ElfObject::dso("liba.so").needs("libc6.so").runpath("/l").build(),
+        )
+        .unwrap();
+        install(
+            &fs,
+            "/l/libb.so",
+            &ElfObject::dso("libb.so").needs("libc6.so").runpath("/l").build(),
+        )
+        .unwrap();
         install(&fs, "/l/libc6.so", &ElfObject::dso("libc6.so").build()).unwrap();
         let tree =
             analyze_tree(&fs, "/bin/app", &Environment::default(), &LdCache::empty()).unwrap();
@@ -311,8 +317,7 @@ mod tests {
     fn render_root_then_indented_children() {
         let fs = samba_like();
         let tree =
-            analyze_tree(&fs, "/usr/bin/tool", &Environment::default(), &LdCache::empty())
-                .unwrap();
+            analyze_tree(&fs, "/usr/bin/tool", &Environment::default(), &LdCache::empty()).unwrap();
         let text = tree.render();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "/usr/bin/tool");

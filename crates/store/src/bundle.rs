@@ -89,11 +89,8 @@ impl BundleInstaller {
                 *count.entry(s).or_default() += 1;
             }
         }
-        let mut out: Vec<(String, usize)> = count
-            .into_iter()
-            .filter(|(_, c)| *c > 1)
-            .map(|(s, c)| (s.to_string(), c))
-            .collect();
+        let mut out: Vec<(String, usize)> =
+            count.into_iter().filter(|(_, c)| *c > 1).map(|(s, c)| (s.to_string(), c)).collect();
         out.sort();
         out
     }

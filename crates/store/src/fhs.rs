@@ -157,7 +157,6 @@ impl FhsInstaller {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,16 +167,9 @@ mod tests {
     fn installed_app_loads_via_default_paths() {
         let fs = Vfs::local();
         let mut fhs = FhsInstaller::new();
-        fhs.install(
-            &fs,
-            &PackageDef::new("zlib", "1").lib(LibDef::new("libz.so.1")),
-        )
-        .unwrap();
-        fhs.install(
-            &fs,
-            &PackageDef::new("tool", "1").bin(BinDef::new("tool").needs("libz.so.1")),
-        )
-        .unwrap();
+        fhs.install(&fs, &PackageDef::new("zlib", "1").lib(LibDef::new("libz.so.1"))).unwrap();
+        fhs.install(&fs, &PackageDef::new("tool", "1").bin(BinDef::new("tool").needs("libz.so.1")))
+            .unwrap();
         let r = GlibcLoader::new(&fs).load("/usr/bin/tool").unwrap();
         assert!(r.success());
         assert_eq!(r.objects[1].path, "/usr/lib/libz.so.1");
@@ -215,11 +207,8 @@ mod tests {
         let fs = Vfs::local();
         let mut fhs = FhsInstaller::new();
         fhs.install(&fs, &PackageDef::new("zlib", "1").lib(LibDef::new("libz.so.1"))).unwrap();
-        fhs.install(
-            &fs,
-            &PackageDef::new("tool", "1").bin(BinDef::new("tool").needs("libz.so.1")),
-        )
-        .unwrap();
+        fhs.install(&fs, &PackageDef::new("tool", "1").bin(BinDef::new("tool").needs("libz.so.1")))
+            .unwrap();
         assert_eq!(fhs.remove(&fs, "zlib").unwrap(), 1);
         let r = GlibcLoader::new(&fs).load("/usr/bin/tool").unwrap();
         assert!(!r.success(), "nothing protected the dependent");

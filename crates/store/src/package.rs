@@ -27,7 +27,12 @@ pub struct LibDef {
 
 impl LibDef {
     pub fn new(soname: impl Into<String>) -> Self {
-        LibDef { soname: soname.into(), needed: Vec::new(), symbols: Vec::new(), dlopens: Vec::new() }
+        LibDef {
+            soname: soname.into(),
+            needed: Vec::new(),
+            symbols: Vec::new(),
+            dlopens: Vec::new(),
+        }
     }
 
     pub fn needs(mut self, n: impl Into<String>) -> Self {

@@ -82,7 +82,11 @@ impl Profile {
 
     /// Drop generations before `keep_from` (1-based), making their closures
     /// GC-eligible. The current pointer must stay within the kept range.
-    pub fn delete_generations_before(&mut self, fs: &Vfs, keep_from: usize) -> Result<(), VfsError> {
+    pub fn delete_generations_before(
+        &mut self,
+        fs: &Vfs,
+        keep_from: usize,
+    ) -> Result<(), VfsError> {
         for gen_no in 1..keep_from {
             let link = format!("{}/generation-{gen_no}", self.base);
             let _ = fs.remove(&link);
@@ -97,11 +101,7 @@ impl Profile {
 
 /// Delete every store prefix not reachable from the given roots through the
 /// dependency records. Returns the removed prefixes, sorted.
-pub fn gc<'a, I>(
-    fs: &Vfs,
-    store: &StoreInstaller,
-    roots: I,
-) -> Result<Vec<String>, VfsError>
+pub fn gc<'a, I>(fs: &Vfs, store: &StoreInstaller, roots: I) -> Result<Vec<String>, VfsError>
 where
     I: IntoIterator<Item = &'a InstalledPackage>,
 {
@@ -143,15 +143,9 @@ mod tests {
     fn repo(zlib_opts: &str) -> Repo {
         let mut r = Repo::new();
         r.add(
-            PackageDef::new("zlib", "1.2")
-                .build_options(zlib_opts)
-                .lib(LibDef::new("libz.so.1")),
+            PackageDef::new("zlib", "1.2").build_options(zlib_opts).lib(LibDef::new("libz.so.1")),
         );
-        r.add(
-            PackageDef::new("app", "1.0")
-                .dep("zlib")
-                .bin(BinDef::new("app").needs("libz.so.1")),
-        );
+        r.add(PackageDef::new("app", "1.0").dep("zlib").bin(BinDef::new("app").needs("libz.so.1")));
         r
     }
 

@@ -126,8 +126,14 @@ impl StoreInstaller {
 
     /// Install `name` (and, recursively, its closure) from `repo`.
     /// Idempotent: an unchanged package reuses its existing prefix.
-    pub fn install(&mut self, fs: &Vfs, repo: &Repo, name: &str) -> Result<InstalledPackage, StoreError> {
-        let pkg = repo.get(name).ok_or_else(|| StoreError::UnknownPackage(name.to_string()))?.clone();
+    pub fn install(
+        &mut self,
+        fs: &Vfs,
+        repo: &Repo,
+        name: &str,
+    ) -> Result<InstalledPackage, StoreError> {
+        let pkg =
+            repo.get(name).ok_or_else(|| StoreError::UnknownPackage(name.to_string()))?.clone();
         // Depth-first: deps first, like a real build.
         let mut dep_installed = Vec::with_capacity(pkg.deps.len());
         for d in &pkg.deps {
@@ -265,11 +271,7 @@ mod tests {
                 .dep("zlib")
                 .lib(LibDef::new("libssl.so").needs("libz.so.1")),
         );
-        r.add(
-            PackageDef::new("app", "1.0")
-                .dep("ssl")
-                .bin(BinDef::new("app").needs("libssl.so")),
-        );
+        r.add(PackageDef::new("app", "1.0").dep("ssl").bin(BinDef::new("app").needs("libssl.so")));
         r
     }
 
@@ -352,9 +354,6 @@ mod tests {
     fn unknown_package_errors() {
         let fs = Vfs::local();
         let mut st = StoreInstaller::spack_like();
-        assert!(matches!(
-            st.install(&fs, &repo(), "ghost"),
-            Err(StoreError::UnknownPackage(_))
-        ));
+        assert!(matches!(st.install(&fs, &repo(), "ghost"), Err(StoreError::UnknownPackage(_))));
     }
 }

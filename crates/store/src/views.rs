@@ -16,7 +16,11 @@ use crate::store::InstalledPackage;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ViewError {
     /// Two closure members provide the same soname — views cannot hold both.
-    Conflict { soname: String, first: String, second: String },
+    Conflict {
+        soname: String,
+        first: String,
+        second: String,
+    },
     Fs(VfsError),
 }
 
@@ -89,7 +93,9 @@ mod tests {
         let mut r = Repo::new();
         r.add(PackageDef::new("zlib", "1").lib(LibDef::new("libz.so.1")));
         r.add(
-            PackageDef::new("ssl", "1").dep("zlib").lib(LibDef::new("libssl.so").needs("libz.so.1")),
+            PackageDef::new("ssl", "1")
+                .dep("zlib")
+                .lib(LibDef::new("libssl.so").needs("libz.so.1")),
         );
         r.add(PackageDef::new("app", "1").dep("ssl").bin(BinDef::new("app").needs("libssl.so")));
         let mut st = StoreInstaller::spack_like();

@@ -9,9 +9,8 @@ use proptest::prelude::*;
 fn chain(opts: &[String]) -> Repo {
     let n = opts.len();
     let mut repo = Repo::new();
-    for i in 0..n {
-        let mut pkg =
-            PackageDef::new(format!("pkg{i}"), "1.0").build_options(opts[i].clone());
+    for (i, opt) in opts.iter().enumerate() {
+        let mut pkg = PackageDef::new(format!("pkg{i}"), "1.0").build_options(opt.clone());
         let mut lib = LibDef::new(format!("lib{i}.so"));
         if i + 1 < n {
             pkg = pkg.dep(format!("pkg{}", i + 1));

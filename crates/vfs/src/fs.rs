@@ -60,7 +60,14 @@ impl Vfs {
     /// Like [`Vfs::charge`] but with a distinct cache key, for charges that
     /// model a different span of the same file (e.g. mapping segments vs
     /// reading the header).
-    fn charge_keyed(&self, op: Op, path: &str, cache_key: &str, outcome: Outcome, bytes: u64) -> u64 {
+    fn charge_keyed(
+        &self,
+        op: Op,
+        path: &str,
+        cache_key: &str,
+        outcome: Outcome,
+        bytes: u64,
+    ) -> u64 {
         let cost = self.cost.lock().op_cost(op, cache_key, outcome, bytes);
         *self.clock_ns.lock() += cost;
         match op {

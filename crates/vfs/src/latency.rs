@@ -54,7 +54,12 @@ pub struct NfsParams {
 impl Default for NfsParams {
     fn default() -> Self {
         // ~200us RTT (datacenter NFS under light load), 1us client-cache hit.
-        NfsParams { rtt_ns: 200_000, warm_ns: 1_000, negative_caching: false, read_ns_per_kib: 4_000 }
+        NfsParams {
+            rtt_ns: 200_000,
+            warm_ns: 1_000,
+            negative_caching: false,
+            read_ns_per_kib: 4_000,
+        }
     }
 }
 

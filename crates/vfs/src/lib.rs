@@ -46,5 +46,5 @@ pub use counters::{CounterSnapshot, SyscallCounters};
 pub use error::{VfsError, VfsResult};
 pub use fs::Vfs;
 pub use latency::{AttrCache, Backend, CostModel, LocalParams, NfsParams};
-pub use strace::{Op, Outcome, Syscall, StraceLog};
+pub use strace::{Op, Outcome, StraceLog, Syscall};
 pub use tree::{FileKind, Inode, Metadata};

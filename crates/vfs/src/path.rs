@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn lib_and_platform_tokens() {
-        assert_eq!(
-            expand_tokens("/opt/pkg/$LIB", "/x", "lib64", "x86_64"),
-            "/opt/pkg/lib64"
-        );
+        assert_eq!(expand_tokens("/opt/pkg/$LIB", "/x", "lib64", "x86_64"), "/opt/pkg/lib64");
         assert_eq!(
             expand_tokens("$ORIGIN/../${LIB}/${PLATFORM}", "/opt/app/bin", "lib", "ppc64le"),
             "/opt/app/lib/ppc64le"

@@ -314,10 +314,9 @@ impl Tree {
         let name = path::basename(p).to_string();
         let dir_ino = self.resolve(&dir, true)?;
         let child = match self.node(dir_ino) {
-            Node::Dir { entries } => entries
-                .get(&name)
-                .copied()
-                .ok_or_else(|| VfsError::NotFound(p.to_string()))?,
+            Node::Dir { entries } => {
+                entries.get(&name).copied().ok_or_else(|| VfsError::NotFound(p.to_string()))?
+            }
             _ => return Err(VfsError::NotADirectory(dir)),
         };
         if let Node::Dir { entries } = self.node(child) {

@@ -19,12 +19,7 @@ use crate::rng::SplitMix;
 pub const APP: &str = "multiphysics-app";
 
 /// Layer sizes, top to bottom (≈ 215 packages + the app).
-const LAYERS: &[(&str, usize)] = &[
-    ("axom-component", 8),
-    ("tpl", 40),
-    ("util", 85),
-    ("base", 82),
-];
+const LAYERS: &[(&str, usize)] = &[("axom-component", 8), ("tpl", 40), ("util", 85), ("base", 82)];
 
 /// Build the repository. `seed` controls the fan-out wiring only; layer
 /// structure and scale are fixed.

@@ -57,11 +57,7 @@ pub fn fig1_tally(seed: u64, n_relations: usize) -> ConstraintTally {
 /// Zipf-like popularity plus a libc-style universal head.
 ///
 /// Returns `(binary name, used sonames)` pairs.
-pub fn installed_system(
-    seed: u64,
-    n_binaries: usize,
-    n_sos: usize,
-) -> Vec<(String, Vec<String>)> {
+pub fn installed_system(seed: u64, n_binaries: usize, n_sos: usize) -> Vec<(String, Vec<String>)> {
     let mut rng = SplitMix::new(seed);
     // Two-population model matching the Fig 4 curve: a small *core* of
     // system libraries that most binaries share (libc at the extreme), and
@@ -124,10 +120,7 @@ mod tests {
         let t = fig1_tally(2021, 209_000);
         assert_eq!(t.total(), 209_000);
         let f = t.unversioned_fraction();
-        assert!(
-            (0.70..0.75).contains(&f),
-            "nearly 3/4 unversioned, got {f:.3}"
-        );
+        assert!((0.70..0.75).contains(&f), "nearly 3/4 unversioned, got {f:.3}");
         assert!(t.exact < t.range, "exact is the smallest class");
     }
 

@@ -69,10 +69,8 @@ pub fn install(fs: &Vfs) -> Result<EmacsWorkload, VfsError> {
         lib_paths.push(path);
     }
 
-    let exe = ElfObject::exe("emacs")
-        .needs_all(exe_needs)
-        .runpath_all(runpath_dirs.clone())
-        .build();
+    let exe =
+        ElfObject::exe("emacs").needs_all(exe_needs).runpath_all(runpath_dirs.clone()).build();
     io::install(fs, EXE_PATH, &exe)?;
 
     Ok(EmacsWorkload { exe_path: EXE_PATH.to_string(), lib_paths, runpath_dirs })
@@ -87,10 +85,7 @@ mod tests {
     fn loads_all_103_dependencies() {
         let fs = Vfs::local();
         install(&fs).unwrap();
-        let r = GlibcLoader::new(&fs)
-            .with_env(Environment::bare())
-            .load(EXE_PATH)
-            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(EXE_PATH).unwrap();
         assert!(r.success(), "{:?}", r.failures);
         assert_eq!(r.library_count(), N_DEPS);
     }
@@ -99,17 +94,11 @@ mod tests {
     fn unwrapped_syscall_count_in_table2_band() {
         let fs = Vfs::local();
         install(&fs).unwrap();
-        let r = GlibcLoader::new(&fs)
-            .with_env(Environment::bare())
-            .load(EXE_PATH)
-            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(EXE_PATH).unwrap();
         let calls = r.stat_openat();
         // Paper: 1823 (out of a worst case near 3600). Our rotation lands in
         // the same band — what matters is the ~18x gap to the wrapped run.
-        assert!(
-            (1000..3600).contains(&calls),
-            "expected Table II band, got {calls}"
-        );
+        assert!((1000..3600).contains(&calls), "expected Table II band, got {calls}");
     }
 
     #[test]

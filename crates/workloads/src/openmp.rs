@@ -16,7 +16,8 @@ pub const APP: &str = "/work/bin/hybrid_app";
 pub const VENDOR_LIB: &str = "/opt/vendor/lib";
 
 /// The OpenMP API surface both libraries export.
-pub const OMP_SYMBOLS: &[&str] = &["omp_get_num_threads", "omp_get_thread_num", "omp_set_num_threads"];
+pub const OMP_SYMBOLS: &[&str] =
+    &["omp_get_num_threads", "omp_get_thread_num", "omp_set_num_threads"];
 
 fn omp_lib(name: &str, real: bool) -> ElfObject {
     let mut b = ElfObject::dso(name).runpath(VENDOR_LIB);

@@ -26,11 +26,7 @@ pub fn install(fs: &Vfs) -> Result<(), VfsError> {
     io::install(fs, &format!("{DIR_A}/libb.so"), &decoy("libb.so"))?;
     io::install(fs, &format!("{DIR_B}/liba.so"), &decoy("liba.so"))?;
     io::install(fs, &format!("{DIR_B}/libb.so"), &wanted("libb.so"))?;
-    io::install(
-        fs,
-        EXE,
-        &ElfObject::exe("paradox_app").needs("liba.so").needs("libb.so").build(),
-    )?;
+    io::install(fs, EXE, &ElfObject::exe("paradox_app").needs("liba.so").needs("libb.so").build())?;
     Ok(())
 }
 

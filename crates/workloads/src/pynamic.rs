@@ -90,10 +90,7 @@ mod tests {
     fn small_instance_loads() {
         let fs = Vfs::local();
         let w = install(&fs, "/apps/pynamic", 30).unwrap();
-        let r = GlibcLoader::new(&fs)
-            .with_env(Environment::bare())
-            .load(&w.exe_path)
-            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&w.exe_path).unwrap();
         assert!(r.success(), "{:?}", r.failures);
         assert_eq!(r.library_count(), 30);
     }
@@ -105,16 +102,10 @@ mod tests {
         // pathology Fig 6 amplifies through NFS.
         let fs = Vfs::local();
         let w = install(&fs, "/apps/pynamic", 40).unwrap();
-        let r = GlibcLoader::new(&fs)
-            .with_env(Environment::bare())
-            .load(&w.exe_path)
-            .unwrap();
+        let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(&w.exe_path).unwrap();
         let calls = r.stat_openat();
         let quadratic = (40 * 41) / 2;
-        assert!(
-            calls as usize >= quadratic,
-            "expected ≥ {quadratic} probes, got {calls}"
-        );
+        assert!(calls as usize >= quadratic, "expected ≥ {quadratic} probes, got {calls}");
     }
 
     #[test]

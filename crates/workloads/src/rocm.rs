@@ -39,9 +39,7 @@ pub fn install_rocm(fs: &Vfs, version: &str) -> Result<(), VfsError> {
     let dir = prefix(version);
     let marker = format!("rocm_abi_{}", version.replace('.', "_"));
     for (name, needs) in ROCM_LIBS {
-        let mut b = ElfObject::dso(*name)
-            .defines(Symbol::strong(marker.clone()))
-            .runpath(&dir);
+        let mut b = ElfObject::dso(*name).defines(Symbol::strong(marker.clone())).runpath(&dir);
         for n in *needs {
             b = b.needs(*n);
         }
@@ -53,10 +51,8 @@ pub fn install_rocm(fs: &Vfs, version: &str) -> Result<(), VfsError> {
 /// Install the application built against `built_version`: RPATH entries to
 /// that version's directory (factor 1).
 pub fn install_app(fs: &Vfs, built_version: &str) -> Result<(), VfsError> {
-    let app = ElfObject::exe("gpu_sim")
-        .needs("libamdhip64.so")
-        .rpath(prefix(built_version))
-        .build();
+    let app =
+        ElfObject::exe("gpu_sim").needs("libamdhip64.so").rpath(prefix(built_version)).build();
     io::install(fs, APP, &app)?;
     Ok(())
 }

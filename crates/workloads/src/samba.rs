@@ -24,7 +24,13 @@ const SAMBA_PRIVATE: &str = "/usr/lib/samba/private";
 /// `[default path]` tags in the listing.
 pub fn install(fs: &Vfs) -> Result<(), VfsError> {
     // System-side libraries.
-    for name in ["libpopt.so.0", "libtalloc.so.2", "libsamba-errors.so.1", "libsmbconf.so.0", "libsamba-util.so.0"] {
+    for name in [
+        "libpopt.so.0",
+        "libtalloc.so.2",
+        "libsamba-errors.so.1",
+        "libsmbconf.so.0",
+        "libsamba-util.so.0",
+    ] {
         io::install(fs, &format!("/usr/lib/{name}"), &ElfObject::dso(name).build())?;
     }
 
@@ -123,11 +129,8 @@ mod tests {
         assert!(r.success(), "{:?}", r.failures);
         // The broken lib's request was satisfied by dedup, not by search.
         let broken_idx = r.find(BROKEN_LIB).unwrap().idx;
-        let e = r
-            .events
-            .iter()
-            .find(|e| e.requester == broken_idx && e.name == HIDDEN_DEP)
-            .unwrap();
+        let e =
+            r.events.iter().find(|e| e.requester == broken_idx && e.name == HIDDEN_DEP).unwrap();
         assert!(matches!(e.resolution, Resolution::Deduped { .. }));
     }
 
@@ -135,7 +138,8 @@ mod tests {
     fn libtree_prints_not_found() {
         let fs = Vfs::local();
         install(&fs).unwrap();
-        let tree = analyze_tree(&fs, TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
+        let tree =
+            analyze_tree(&fs, TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
         let missing = tree.missing();
         assert_eq!(missing.len(), 1, "{}", tree.render());
         assert_eq!(missing[0].name, HIDDEN_DEP);

@@ -19,9 +19,8 @@ fn main() {
 
     // Fig 4: reuse of shared objects across one installed system.
     let usages = debian::installed_system(2021, 3287, 1400);
-    let hist = reuse_counts(
-        usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))),
-    );
+    let hist =
+        reuse_counts(usages.iter().map(|(b, sos)| (b.as_str(), sos.iter().map(String::as_str))));
     println!("Fig 4 — shared object reuse across {} binaries:", hist.binary_count);
     print!("{}", hist.render_summary(8));
     println!(

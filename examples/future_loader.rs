@@ -38,10 +38,7 @@ fn main() {
         install(&fs, "/bin/app", &exe).unwrap();
         let env = Environment::bare().with_ld_library_path("/override");
         let r = FutureLoader::new(&fs).with_env(env).load("/bin/app").unwrap();
-        println!(
-            "{mode:>7} + LD_LIBRARY_PATH=/override  ->  loads {}",
-            r.objects[1].path
-        );
+        println!("{mode:>7} + LD_LIBRARY_PATH=/override  ->  loads {}", r.objects[1].path);
         fs.remove("/bin/app").unwrap();
     }
 

@@ -25,10 +25,7 @@ fn main() {
     );
 
     // Show the latent breakage: drop the innocent sibling and rerun.
-    ElfEditor::open(&fs, samba::TOOL_PATH)
-        .unwrap()
-        .remove_needed("libdbwrap-samba4.so")
-        .unwrap();
+    ElfEditor::open(&fs, samba::TOOL_PATH).unwrap().remove_needed("libdbwrap-samba4.so").unwrap();
     let r2 = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
     println!(
         "\nafter an unrelated 'upgrade' drops libdbwrap from the needed list:\n  success = {} ({})",

@@ -9,10 +9,8 @@ use depchaos_launch::render_fig6;
 use depchaos_workloads::pynamic;
 
 fn main() {
-    let n_libs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(pynamic::N_LIBS_PAPER);
+    let n_libs: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(pynamic::N_LIBS_PAPER);
 
     // The application lives on NFS; caches cold; negative caching off —
     // exactly the paper's measurement conditions.

@@ -51,11 +51,7 @@ fn main() {
     for o in &after.objects {
         println!("  {} [{}]", o.path, o.provenance.tag());
     }
-    println!(
-        "  -> {} stat/openat calls, {} misses",
-        after.stat_openat(),
-        after.syscalls.misses
-    );
+    println!("  -> {} stat/openat calls, {} misses", after.stat_openat(), after.syscalls.misses);
 
     // 6. And it is auditable.
     let audit = audit(&fs, &bin, &Environment::bare()).unwrap();

@@ -47,12 +47,8 @@ fn main() {
     // Shrinkwrap in the consistent environment, rerun in the broken one.
     let mut ms = rocm::module_system();
     ms.load("rocm/4.5.0").unwrap();
-    wrap(
-        &fs,
-        rocm::APP,
-        &ShrinkwrapOptions::new().env(ms.environment(Environment::default())),
-    )
-    .unwrap();
+    wrap(&fs, rocm::APP, &ShrinkwrapOptions::new().env(ms.environment(Environment::default())))
+        .unwrap();
     let r = GlibcLoader::new(&fs).with_env(bad_env).load(rocm::APP).unwrap();
     show("$ shrinkwrap gpu_sim && module load rocm/4.3.0 && ./gpu_sim   # fixed", &r);
 }

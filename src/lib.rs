@@ -8,13 +8,18 @@
 //!   editing;
 //! * [`graph`] — dependency-graph analytics (closures, constraint taxonomy,
 //!   reuse histograms, DOT);
-//! * [`loader`] — executable models of the glibc and musl dynamic loaders,
-//!   plus libtree-style static analysis;
+//! * [`loader`] — one breadth-first loader engine
+//!   ([`loader::engine`]) with pluggable search and dedup policies, behind
+//!   the object-safe [`loader::Loader`] trait: glibc and musl models, a
+//!   Zircon-style loader service, the §III-C future loader, plus
+//!   libtree-style static analysis;
 //! * [`store`] — the §II deployment models: FHS, bundles, the Nix/Spack
 //!   store, modules, dependency views;
 //! * [`workloads`] — seeded generators for every evaluation artifact
 //!   (Debian, Nix Ruby, emacs, Pynamic, ROCm, OpenMP, samba, Fig 3);
-//! * [`shrinkwrap`] — the paper's contribution (crate `depchaos-core`);
+//! * [`shrinkwrap`] — the paper's contribution (crate `depchaos-core`),
+//!   backend-generic: [`shrinkwrap::Strategy`] freezes whatever closure any
+//!   [`loader::Loader`] resolves;
 //! * [`launch`] — the Fig 6 parallel-launch discrete-event simulation.
 //!
 //! ## Quickstart
@@ -32,12 +37,22 @@
 //! let tool = store.install(&fs, &repo, "tool").unwrap();
 //! let bin = format!("{}/tool", tool.bin_dir);
 //!
-//! // Load it, then shrinkwrap it, then load again: fewer syscalls.
-//! let before = GlibcLoader::new(&fs).load(&bin).unwrap();
-//! wrap(&fs, &bin, &ShrinkwrapOptions::new()).unwrap();
-//! let after = GlibcLoader::new(&fs).load(&bin).unwrap();
+//! // Every loader model is a `Loader`; pick backends at runtime.
+//! let glibc = GlibcLoader::new(&fs);
+//! let musl = MuslLoader::new(&fs);
+//! for loader in [&glibc as &dyn Loader, &musl] {
+//!     let r = loader.load(&bin).unwrap();
+//!     assert!(r.success(), "{} should load the store layout", loader.name());
+//! }
+//!
+//! // Shrinkwrap through a backend (glibc is the default), then reload:
+//! // fewer syscalls, and the musl incompatibility becomes observable.
+//! let before = glibc.load(&bin).unwrap();
+//! wrap(&fs, &bin, &ShrinkwrapOptions::new().backend(LoaderBackend::glibc())).unwrap();
+//! let after = glibc.load(&bin).unwrap();
 //! assert!(after.success());
 //! assert!(after.syscalls.misses <= before.syscalls.misses);
+//! assert!(glibc.resolves_by_soname() && !musl.resolves_by_soname());
 //! ```
 
 pub use depchaos_core as shrinkwrap;
@@ -51,12 +66,16 @@ pub use depchaos_workloads as workloads;
 
 /// The names most programs want in scope.
 pub mod prelude {
-    pub use depchaos_core::{audit, wrap, OnMissing, ShrinkwrapOptions, Strategy};
+    pub use depchaos_core::{
+        audit, wrap, LoaderBackend, LoaderFactory, OnMissing, ShrinkwrapOptions, Strategy,
+    };
     pub use depchaos_elf::{ElfEditor, ElfObject, Machine, Symbol};
     pub use depchaos_graph::{ConstraintTally, DepGraph, VersionConstraint};
-    pub use depchaos_launch::{profile_load, simulate_launch, sweep_ranks, LaunchConfig};
+    pub use depchaos_launch::{
+        profile_load, profile_load_with, simulate_launch, sweep_ranks, LaunchConfig,
+    };
     pub use depchaos_loader::{
-        analyze_tree, Environment, FutureLoader, GlibcLoader, HashStoreService, LdCache,
+        analyze_tree, Environment, FutureLoader, GlibcLoader, HashStoreService, LdCache, Loader,
         MuslLoader, Provenance, Resolution, ServiceLoader,
     };
     pub use depchaos_store::{

@@ -10,15 +10,10 @@ use depchaos_elf::io::install;
 fn build() -> (Vfs, LdCache, Environment) {
     let fs = Vfs::local();
     let mut fhs = FhsInstaller::new();
+    fhs.install(&fs, &PackageDef::new("glibc", "2.36").lib(LibDef::new("libc.so.6"))).unwrap();
     fhs.install(
         &fs,
-        &PackageDef::new("glibc", "2.36").lib(LibDef::new("libc.so.6")),
-    )
-    .unwrap();
-    fhs.install(
-        &fs,
-        &PackageDef::new("zlib", "1.2")
-            .lib(LibDef::new("libz.so.1").needs("libc.so.6")),
+        &PackageDef::new("zlib", "1.2").lib(LibDef::new("libz.so.1").needs("libc.so.6")),
     )
     .unwrap();
     // Vendor tree outside the FHS, registered via ld.so.conf.
@@ -33,8 +28,8 @@ fn build() -> (Vfs, LdCache, Environment) {
         &PackageDef::new("tool", "1.0").bin(BinDef::new("tool").needs("libvendor.so.3")),
     )
     .unwrap();
-    let mut env = Environment::default();
-    env.ld_so_conf = vec!["/opt/vendor/lib".to_string()];
+    let env =
+        Environment { ld_so_conf: vec!["/opt/vendor/lib".to_string()], ..Environment::default() };
     let cache = LdCache::ldconfig(&fs, &env.ld_so_conf);
     (fs, cache, env)
 }
@@ -88,8 +83,7 @@ fn single_version_limit_of_the_cache() {
         &ElfObject::dso("libvendor.so.3").needs("libz.so.1").build(),
     )
     .unwrap();
-    env.ld_so_conf =
-        vec!["/opt/vendor/lib".to_string(), "/opt/vendor-new/lib".to_string()];
+    env.ld_so_conf = vec!["/opt/vendor/lib".to_string(), "/opt/vendor-new/lib".to_string()];
     let cache = LdCache::ldconfig(&fs, &env.ld_so_conf);
     assert_eq!(
         cache.lookup("libvendor.so.3", Machine::X86_64),

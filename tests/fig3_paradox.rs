@@ -36,10 +36,7 @@ fn a_new_directory_of_symlinks_also_solves_it() {
     fs.mkdir_p("/opt/view").unwrap();
     fs.symlink("/opt/view/liba.so", &format!("{}/liba.so", paradox::DIR_A)).unwrap();
     fs.symlink("/opt/view/libb.so", &format!("{}/libb.so", paradox::DIR_B)).unwrap();
-    ElfEditor::open(&fs, paradox::EXE)
-        .unwrap()
-        .set_runpath(vec!["/opt/view".to_string()])
-        .unwrap();
+    ElfEditor::open(&fs, paradox::EXE).unwrap().set_runpath(vec!["/opt/view".to_string()]).unwrap();
     let r = GlibcLoader::new(&fs).with_env(Environment::bare()).load(paradox::EXE).unwrap();
     assert!(r.success());
     // Canonical targets are the wanted pair.

@@ -34,11 +34,8 @@ fn wrapped_op_stream_is_linear_not_quadratic() {
 fn speedup_grows_with_scale_and_wrapped_wins_everywhere() {
     let (normal, wrapped) = profiles();
     // Strip the fixed overheads to expose the loader-bound behaviour.
-    let cfg = LaunchConfig {
-        base_overhead_ns: 0,
-        per_rank_overhead_ns: 0,
-        ..LaunchConfig::default()
-    };
+    let cfg =
+        LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..LaunchConfig::default() };
     let points = [512usize, 1024, 2048];
     let n = sweep_ranks(&normal, &cfg, &points);
     let w = sweep_ranks(&wrapped, &cfg, &points);
@@ -79,15 +76,12 @@ fn negative_caching_ablation() {
         let fs = Vfs::new(backend);
         let w = pynamic::install(&fs, "/apps/p", N_LIBS).unwrap();
         profile_load(&fs, &w.exe_path, &env).unwrap(); // cold first load
-        // Second load without dropping caches.
+                                                       // Second load without dropping caches.
         let t0 = fs.elapsed_ns();
         GlibcLoader::new(&fs).with_env(env.clone()).load(&w.exe_path).unwrap();
         fs.elapsed_ns() - t0
     };
     let off = second_load_ns(Backend::nfs());
     let on = second_load_ns(Backend::nfs_with_negative_caching());
-    assert!(
-        off > on * 5,
-        "with negative caching off, relaunch repays the misses: {off} vs {on}"
-    );
+    assert!(off > on * 5, "with negative caching off, relaunch repays the misses: {off} vs {on}");
 }

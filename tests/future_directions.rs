@@ -96,11 +96,14 @@ fn hash_service_detects_substitution() {
     // verification by rebuilding the index from current content:
     let mut fresh = HashStoreService::new();
     let new_ref = fresh.register(&fs, "/cas/libz.so").unwrap();
-    assert_ne!(new_ref, format!("sha:{}", {
-        // old digest from the needed entry on the binary
-        let obj = depchaos_elf::io::peek_object(&fs, "/bin/app").unwrap();
-        obj.needed[0].strip_prefix("sha:").unwrap().to_string()
-    }));
+    assert_ne!(
+        new_ref,
+        format!("sha:{}", {
+            // old digest from the needed entry on the binary
+            let obj = depchaos_elf::io::peek_object(&fs, "/bin/app").unwrap();
+            obj.needed[0].strip_prefix("sha:").unwrap().to_string()
+        })
+    );
     let r = ServiceLoader::new(&fs, fresh).load("/bin/app").unwrap();
     assert!(!r.success(), "stale digest no longer resolvable");
 }

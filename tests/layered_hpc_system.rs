@@ -24,7 +24,9 @@ fn build_system() -> System {
     let mut fhs = FhsInstaller::new();
     fhs.install(
         &fs,
-        &PackageDef::new("glibc", "2.28").lib(LibDef::new("libc.so.6")).lib(LibDef::new("libm.so.6")),
+        &PackageDef::new("glibc", "2.28")
+            .lib(LibDef::new("libc.so.6"))
+            .lib(LibDef::new("libm.so.6")),
     )
     .unwrap();
 
@@ -117,12 +119,8 @@ fn shrinkwrap_pins_the_whole_composition() {
     let mut sys = build_system();
     sys.modules.load("gcc/12.1.1").unwrap();
     let good_env = sys.modules.environment(Environment::default());
-    depchaos_core::wrap(
-        &sys.fs,
-        "/home/user/bin/sim",
-        &ShrinkwrapOptions::new().env(good_env),
-    )
-    .unwrap();
+    depchaos_core::wrap(&sys.fs, "/home/user/bin/sim", &ShrinkwrapOptions::new().env(good_env))
+        .unwrap();
 
     // Now run with no module / the wrong module: identical, correct load.
     for load_wrong in [false, true] {

@@ -11,8 +11,8 @@ fn dynamic_load_succeeds_while_tree_shows_the_hole() {
     let r = GlibcLoader::new(&fs).load(samba::TOOL_PATH).unwrap();
     assert!(r.success(), "{:?}", r.failures);
 
-    let tree = analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty())
-        .unwrap();
+    let tree =
+        analyze_tree(&fs, samba::TOOL_PATH, &Environment::default(), &LdCache::empty()).unwrap();
     let rendered = tree.render();
     assert!(rendered.contains("libsamba-debug-samba4.so not found"), "{rendered}");
     assert!(rendered.contains("[runpath]"));

@@ -16,21 +16,14 @@ fn nixos_world() -> Vfs {
         &ElfObject::dso("ld-linux-x86-64.so.2").build(),
     )
     .unwrap();
-    install(
-        &fs,
-        "/nix/store/abc-glibc-2.37/lib/libc.so.6",
-        &ElfObject::dso("libc.so.6").build(),
-    )
-    .unwrap();
+    install(&fs, "/nix/store/abc-glibc-2.37/lib/libc.so.6", &ElfObject::dso("libc.so.6").build())
+        .unwrap();
     fs
 }
 
 /// A binary built on a normal distro: FHS interpreter path baked in.
 fn foreign_binary() -> ElfObject {
-    ElfObject::exe("foreign-app")
-        .interp("/lib64/ld-linux-x86-64.so.2")
-        .needs("libc.so.6")
-        .build()
+    ElfObject::exe("foreign-app").interp("/lib64/ld-linux-x86-64.so.2").needs("libc.so.6").build()
 }
 
 #[test]
@@ -39,10 +32,8 @@ fn foreign_binary_fails_despite_all_deps_present() {
     install(&fs, "/home/user/foreign-app", &foreign_binary()).unwrap();
     // Every dependency exists in the store — but the interpreter path
     // doesn't, so execve-time resolution dies with the misleading ENOENT.
-    let err = GlibcLoader::new(&fs)
-        .with_strict_interp(true)
-        .load("/home/user/foreign-app")
-        .unwrap_err();
+    let err =
+        GlibcLoader::new(&fs).with_strict_interp(true).load("/home/user/foreign-app").unwrap_err();
     assert!(err.to_string().contains("no such file or directory"));
     match err {
         LoadError::InterpreterNotFound { interp, .. } => {
@@ -59,11 +50,8 @@ fn nix_ld_style_shim_fixes_it() {
     let fs = nixos_world();
     install(&fs, "/home/user/foreign-app", &foreign_binary()).unwrap();
     fs.mkdir_p("/lib64").unwrap();
-    fs.symlink(
-        "/lib64/ld-linux-x86-64.so.2",
-        "/nix/store/abc-glibc-2.37/lib/ld-linux-x86-64.so.2",
-    )
-    .unwrap();
+    fs.symlink("/lib64/ld-linux-x86-64.so.2", "/nix/store/abc-glibc-2.37/lib/ld-linux-x86-64.so.2")
+        .unwrap();
     let env = Environment::bare().with_ld_library_path("/nix/store/abc-glibc-2.37/lib");
     let r = GlibcLoader::new(&fs)
         .with_env(env)
@@ -104,12 +92,8 @@ fn two_glibc_generations_coexist_in_the_store() {
         &ElfObject::dso("ld-linux-x86-64.so.2").build(),
     )
     .unwrap();
-    install(
-        &fs,
-        "/nix/store/xyz-glibc-2.38/lib/libc.so.6",
-        &ElfObject::dso("libc.so.6").build(),
-    )
-    .unwrap();
+    install(&fs, "/nix/store/xyz-glibc-2.38/lib/libc.so.6", &ElfObject::dso("libc.so.6").build())
+        .unwrap();
     for (gen, store_pfx) in
         [("old", "/nix/store/abc-glibc-2.37"), ("new", "/nix/store/xyz-glibc-2.38")]
     {

@@ -1,9 +1,10 @@
 //! Cross-crate property tests: random package universes through the whole
 //! pipeline (store install → load → shrinkwrap → reload).
 
+use depchaos::elf::{io::install, SearchPosition};
 use depchaos::prelude::{
-    BinDef, BundleInstaller, DepGraph, Environment, FhsInstaller, GlibcLoader, LibDef,
-    PackageDef, Repo, ShrinkwrapOptions, StoreInstaller, Vfs,
+    BinDef, BundleInstaller, DepGraph, ElfObject, Environment, FhsInstaller, GlibcLoader, LibDef,
+    LoaderBackend, MuslLoader, PackageDef, Repo, ShrinkwrapOptions, StoreInstaller, Vfs,
 };
 use proptest::prelude::*;
 
@@ -19,8 +20,7 @@ fn universe_strat() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, ds)| {
-                    let mut ds: Vec<usize> =
-                        ds.into_iter().filter(|&d| d > i && d < n).collect();
+                    let mut ds: Vec<usize> = ds.into_iter().filter(|&d| d > i && d < n).collect();
                     ds.sort();
                     ds.dedup();
                     ds
@@ -161,5 +161,96 @@ proptest! {
             .load(&format!("{dir}/bin/main"))
             .unwrap();
         prop_assert!(r3.success(), "bundle: {:?}", r3.failures);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Soname-aliased closures (the shrinkwrapped shape): the executable
+    /// references every library by absolute path; libraries reference each
+    /// other by bare soname and carry no search paths. glibc's soname
+    /// dedup cache satisfies every bare request; musl, with no soname
+    /// cache, fails exactly when a transitive bare request exists (§IV).
+    #[test]
+    fn glibc_musl_dedup_divergence_on_soname_aliased_closures((n, deps) in universe_strat()) {
+        let fs = Vfs::local();
+        let mut exe = ElfObject::exe("main");
+        for (i, ds) in deps.iter().enumerate() {
+            let mut lib = ElfObject::dso(format!("libpkg{i}.so"));
+            for &d in ds {
+                lib = lib.needs(format!("libpkg{d}.so"));
+            }
+            install(&fs, &format!("/store/pkg{i}/libpkg{i}.so"), &lib.build()).unwrap();
+            exe = exe.needs(format!("/store/pkg{i}/libpkg{i}.so"));
+        }
+        install(&fs, "/bin/main", &exe.build()).unwrap();
+
+        let g = GlibcLoader::new(&fs).with_env(Environment::bare()).load("/bin/main").unwrap();
+        prop_assert!(g.success(), "glibc dedups by soname: {:?}", g.failures);
+        prop_assert_eq!(g.objects.len(), n + 1, "nothing loaded twice under glibc");
+
+        let m = MuslLoader::new(&fs).with_env(Environment::bare()).load("/bin/main").unwrap();
+        let any_transitive = deps.iter().any(|d| !d.is_empty());
+        prop_assert_eq!(
+            !m.success(),
+            any_transitive,
+            "musl fails iff a bare transitive request exists: {:?}",
+            m.failures
+        );
+    }
+
+    /// wrap() is idempotent under every stock Loader backend, each given
+    /// options its semantics can satisfy on the same package universe.
+    #[test]
+    fn wrap_idempotent_under_every_backend((n, deps) in universe_strat()) {
+        // glibc and musl resolve the store's RUNPATH layout. musl keeps the
+        // search paths on the wrapped binary so its re-resolution can
+        // rescue bare transitive requests through inode dedup.
+        for (backend, opts) in [
+            (LoaderBackend::glibc(), ShrinkwrapOptions::new().env(Environment::bare())),
+            (
+                LoaderBackend::musl(),
+                ShrinkwrapOptions::new().env(Environment::bare()).strip_search_paths(false),
+            ),
+        ] {
+            let repo = build_repo(n, &deps);
+            let fs = Vfs::local();
+            let mut store = StoreInstaller::spack_like();
+            let pkg0 = store.install(&fs, &repo, "pkg0").unwrap();
+            let bin = format!("{}/main", pkg0.bin_dir);
+            let opts = opts.backend(backend.clone());
+            let first = depchaos_core::wrap(&fs, &bin, &opts).unwrap();
+            let second = depchaos_core::wrap(&fs, &bin, &opts).unwrap();
+            prop_assert_eq!(
+                &first.new_needed,
+                &second.new_needed,
+                "{} backend not idempotent",
+                backend.name()
+            );
+            prop_assert!(first.new_needed.iter().all(|p| p.contains('/')), "fully frozen");
+        }
+
+        // The future backend wraps a search_dir-styled copy of the same
+        // universe (it ignores RPATH/RUNPATH by design).
+        let fs = Vfs::local();
+        let mut exe =
+            ElfObject::exe("main").search_dir("/libs", SearchPosition::Prepend, true).needs("libpkg0.so");
+        for &d in &deps[0] {
+            exe = exe.needs(format!("libpkg{d}.so"));
+        }
+        for (i, ds) in deps.iter().enumerate() {
+            let mut lib = ElfObject::dso(format!("libpkg{i}.so"));
+            for &d in ds {
+                lib = lib.needs(format!("libpkg{d}.so"));
+            }
+            install(&fs, &format!("/libs/libpkg{i}.so"), &lib.build()).unwrap();
+        }
+        install(&fs, "/bin/main", &exe.build()).unwrap();
+        let opts =
+            ShrinkwrapOptions::new().env(Environment::bare()).backend(LoaderBackend::future());
+        let first = depchaos_core::wrap(&fs, "/bin/main", &opts).unwrap();
+        let second = depchaos_core::wrap(&fs, "/bin/main", &opts).unwrap();
+        prop_assert_eq!(&first.new_needed, &second.new_needed, "future backend not idempotent");
     }
 }

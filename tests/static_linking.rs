@@ -17,10 +17,7 @@ fn dynamic_world() -> Vfs {
     install(
         &fs,
         "/usr/bin/dynamic_app",
-        &ElfObject::exe("dynamic_app")
-            .needs("libc.so.6")
-            .needs("libm.so.6")
-            .build(),
+        &ElfObject::exe("dynamic_app").needs("libc.so.6").needs("libm.so.6").build(),
     )
     .unwrap();
     // The static build: everything linked in; no interp, no needed list.

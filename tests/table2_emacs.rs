@@ -24,12 +24,8 @@ fn unwrapped_calls_match_paper_band() {
 fn wrapped_calls_are_deps_plus_one() {
     let fs = Vfs::local();
     emacs::install(&fs).unwrap();
-    depchaos_core::wrap(
-        &fs,
-        emacs::EXE_PATH,
-        &ShrinkwrapOptions::new().env(Environment::bare()),
-    )
-    .unwrap();
+    depchaos_core::wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(Environment::bare()))
+        .unwrap();
     let (calls, _, ok) = load_calls(&fs);
     assert!(ok);
     assert_eq!(calls, (emacs::N_DEPS + 1) as u64, "paper: 104 = 103 deps + the exe");
@@ -43,12 +39,8 @@ fn wrapped_is_an_order_of_magnitude_cheaper_in_time() {
     emacs::install(&fs).unwrap();
     fs.drop_caches();
     let (before_calls, before_ns, _) = load_calls(&fs);
-    depchaos_core::wrap(
-        &fs,
-        emacs::EXE_PATH,
-        &ShrinkwrapOptions::new().env(Environment::bare()),
-    )
-    .unwrap();
+    depchaos_core::wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(Environment::bare()))
+        .unwrap();
     fs.drop_caches();
     let (after_calls, after_ns, _) = load_calls(&fs);
     let call_ratio = before_calls as f64 / after_calls as f64;
@@ -63,12 +55,8 @@ fn misses_eliminated_entirely() {
     emacs::install(&fs).unwrap();
     let r1 = GlibcLoader::new(&fs).with_env(Environment::bare()).load(emacs::EXE_PATH).unwrap();
     assert!(r1.syscalls.misses > 1000, "unwrapped search wastes >1k probes");
-    depchaos_core::wrap(
-        &fs,
-        emacs::EXE_PATH,
-        &ShrinkwrapOptions::new().env(Environment::bare()),
-    )
-    .unwrap();
+    depchaos_core::wrap(&fs, emacs::EXE_PATH, &ShrinkwrapOptions::new().env(Environment::bare()))
+        .unwrap();
     let r2 = GlibcLoader::new(&fs).with_env(Environment::bare()).load(emacs::EXE_PATH).unwrap();
     assert_eq!(r2.syscalls.misses, 0, "every open is a direct hit after wrapping");
 }

@@ -13,14 +13,9 @@ fn link_line_lifting_fails() {
     let fs = Vfs::local();
     openmp::install_scenario(&fs, false).unwrap();
     let r = GlibcLoader::new(&fs).load(openmp::APP).unwrap();
-    let objs: Vec<(String, Vec<depchaos_elf::Symbol>)> = r
-        .objects
-        .iter()
-        .skip(1)
-        .map(|o| (o.path.clone(), o.object.symbols.clone()))
-        .collect();
-    let err =
-        check_link(objs.iter().map(|(p, s)| (p.as_str(), s.as_slice()))).unwrap_err();
+    let objs: Vec<(String, Vec<depchaos_elf::Symbol>)> =
+        r.objects.iter().skip(1).map(|o| (o.path.clone(), o.object.symbols.clone())).collect();
+    let err = check_link(objs.iter().map(|(p, s)| (p.as_str(), s.as_slice()))).unwrap_err();
     assert!(err.symbol.starts_with("omp_"));
 }
 
@@ -58,12 +53,8 @@ fn shrinkwrap_succeeds_and_preserves_order() {
 fn wrapped_order_is_environment_independent() {
     let fs = Vfs::local();
     openmp::install_scenario(&fs, false).unwrap();
-    depchaos_core::wrap(
-        &fs,
-        openmp::APP,
-        &ShrinkwrapOptions::new().env(Environment::default()),
-    )
-    .unwrap();
+    depchaos_core::wrap(&fs, openmp::APP, &ShrinkwrapOptions::new().env(Environment::default()))
+        .unwrap();
     // A hostile LD_LIBRARY_PATH pointing somewhere with a different
     // libomp.so cannot perturb the frozen order.
     let fs_obj = depchaos_elf::io::peek_object(&fs, openmp::APP).unwrap();

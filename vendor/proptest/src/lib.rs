@@ -1,0 +1,673 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this shim reimplements
+//! the slice of proptest the workspace tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, integer-range and regex-string
+//! strategies, `Just`, tuples, `prop::collection::{vec, btree_map}`,
+//! `prop::sample::select`, `prop::option::of`, `any::<T>()`, the
+//! `proptest!` macro, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for an offline shim:
+//!
+//! * Generation is **deterministic**: case `i` of every test uses a fixed
+//!   seed derived from `i`, so failures reproduce without a persistence
+//!   file.
+//! * No shrinking. A failing case panics with the values' `Debug` output
+//!   where available (via the assertion message), not a minimized input.
+//! * The regex strategy supports the subset the tests use: literals,
+//!   escapes, character classes with ranges, groups, and the `{m}`,
+//!   `{m,n}`, `?`, `*`, `+` quantifiers.
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64: tiny, seedable, good-enough mixing for test generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x1234_5678) }
+        }
+
+        /// The per-case rng used by the `proptest!` macro expansion.
+        pub fn for_case(case: u64) -> Self {
+            TestRng::new(0xdeadbeef ^ case.wrapping_mul(0xa076_1d64_78bd_642f))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi)`; returns `lo` when the range is empty.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            if hi <= lo {
+                return lo;
+            }
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        pub fn usize_between(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+            self.below(lo as u64, hi_exclusive as u64) as usize
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A reusable value generator. Unlike the real crate there is no value
+    /// tree: `generate` yields one concrete value per call.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    if self.start >= self.end {
+                        return self.start;
+                    }
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo >= hi {
+                        return lo;
+                    }
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Closure-backed strategy — the building block `prop_compose!` expands
+    /// to.
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// `&'static str` as a regex-subset string strategy, like the real crate.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_regex(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Minimal `Arbitrary`: types the workspace asks `any::<T>()` for.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `proptest::prelude::any::<T>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Size specification accepted by the collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end.max(r.start) }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: r.end().saturating_add(1) }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_between(self.lo, self.hi_exclusive.max(self.lo + 1))
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, like the real strategy (the map may
+            // come out smaller than the requested size).
+            let n = self.size.pick(rng);
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+
+    /// `prop::collection::btree_map(key, value, size)`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop::sample::select on an empty set");
+            let i = rng.usize_between(0, self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// `prop::sample::select(values)`: pick one of the given values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        Select(values)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match the real crate's default: None about a quarter of the time.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges (single chars are `(c, c)`).
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, Quant)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Quant {
+        min: usize,
+        max: usize,
+    }
+
+    const ONE: Quant = Quant { min: 1, max: 1 };
+
+    fn parse_sequence(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(Atom, Quant)> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                break;
+            }
+            chars.next();
+            let atom = match c {
+                '(' => {
+                    let inner = parse_sequence(chars);
+                    assert_eq!(chars.next(), Some(')'), "unbalanced group in regex strategy");
+                    Atom::Group(inner)
+                }
+                '[' => Atom::Class(parse_class(chars)),
+                '\\' => Atom::Literal(chars.next().expect("dangling escape in regex strategy")),
+                other => Atom::Literal(other),
+            };
+            out.push((atom, parse_quantifier(chars)));
+        }
+        out
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class in regex strategy");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    return ranges;
+                }
+                '\\' => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    let esc = chars.next().expect("dangling escape in character class");
+                    pending = Some(esc);
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    ranges.push((lo, hi));
+                }
+                other => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> Quant {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Quant { min: 0, max: 1 }
+            }
+            Some('*') => {
+                chars.next();
+                Quant { min: 0, max: 4 }
+            }
+            Some('+') => {
+                chars.next();
+                Quant { min: 1, max: 4 }
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => Quant {
+                        min: lo.trim().parse().expect("bad {m,n} quantifier"),
+                        max: hi.trim().parse().expect("bad {m,n} quantifier"),
+                    },
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        Quant { min: n, max: n }
+                    }
+                }
+            }
+            _ => ONE,
+        }
+    }
+
+    fn emit(seq: &[(Atom, Quant)], rng: &mut TestRng, out: &mut String) {
+        for (atom, q) in seq {
+            let reps = rng.usize_between(q.min, q.max + 1);
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 =
+                            ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                        let mut pick = rng.below(0, total as u64) as u32;
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern` (the supported subset).
+    pub fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_sequence(&mut chars);
+        assert!(chars.next().is_none(), "unbalanced ')' in regex strategy {pattern:?}");
+        let mut out = String::new();
+        emit(&seq, rng, &mut out);
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// `prop_compose!`: define a function returning a strategy that draws each
+/// `pat in strategy` binding and evaluates the body to the final value.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident $params:tt
+        ($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name $params -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// The test-definition macro: same surface syntax as the real crate, each
+/// generated `#[test]` runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case as u64);
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::string::generate_regex("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = crate::string::generate_regex("(/[a-z.]{0,8}){1,6}/?", &mut rng);
+            assert!(p.starts_with('/'), "{p:?}");
+
+            let n = crate::string::generate_regex(
+                "[a-z][a-z0-9._-]{0,12}(\\.so)?(\\.[0-9]{1,2})?",
+                &mut rng,
+            );
+            assert!(n.chars().next().unwrap().is_ascii_lowercase(), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..100 {
+            let n = (2usize..12).generate(&mut rng);
+            assert!((2..12).contains(&n));
+            let v = prop::collection::vec(0usize..5, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let picked = prop::sample::select(vec!['x', 'y']).generate(&mut rng);
+            assert!(picked == 'x' || picked == 'y');
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn macro_smoke((n, flag) in (1usize..5, any::<bool>()), s in "[a-z]{2}") {
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(s.len(), 2);
+            let _ = flag;
+        }
+    }
+}

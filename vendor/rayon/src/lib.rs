@@ -1,0 +1,45 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! `par_iter()` entry point the workspace uses and runs it **sequentially**.
+//! The call sites are already data-parallel-safe, so swapping the real rayon
+//! back in (by deleting this vendor crate and restoring the registry
+//! dependency) changes performance only, never results.
+
+pub mod prelude {
+    /// Sequential `par_iter()`: any collection whose reference iterates
+    /// yields a plain `std` iterator, so downstream `.map().collect()`
+    /// chains type-check exactly as with rayon's parallel iterators.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_over_slice_and_vec() {
+        let xs = [1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let v = vec![(1usize, "a")];
+        assert_eq!(v.par_iter().count(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (empty marker traits)
+//! and re-exports the no-op derive macros from the vendored `serde_derive`,
+//! so `#[derive(Serialize, Deserialize)]` on workspace types compiles
+//! without crates.io access. No serialization format ships in this tree, so
+//! nothing ever calls through the traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Blanket impls so generic bounds like `T: Serialize` stay satisfiable.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
