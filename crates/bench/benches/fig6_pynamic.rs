@@ -1,52 +1,62 @@
 //! Fig 6: Pynamic time-to-launch at 512/1024/2048 ranks, normal vs wrapped,
-//! plus the Spindle-style broadcast-cache ablation.
+//! plus the Spindle-style broadcast-cache ablation — all one scenario-matrix
+//! run at the paper's 900-library scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use depchaos_bench::banner;
-use depchaos_core::{wrap, ShrinkwrapOptions};
-use depchaos_launch::{profile_load, render_fig6, simulate_launch, sweep_ranks, LaunchConfig};
-use depchaos_loader::Environment;
-use depchaos_vfs::{StraceLog, Vfs};
-use depchaos_workloads::pynamic;
-
-fn profiles() -> (StraceLog, StraceLog) {
-    let fs = Vfs::nfs();
-    let w = pynamic::install_paper(&fs, "/apps/pynamic").unwrap();
-    let env = Environment::bare();
-    let normal = profile_load(&fs, &w.exe_path, &env).unwrap();
-    wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
-    let wrapped = profile_load(&fs, &w.exe_path, &env).unwrap();
-    (normal, wrapped)
-}
+use depchaos_launch::{
+    render_fig6, simulate_launch, CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend,
+    ProfileCache, WrapState,
+};
+use depchaos_vfs::StorageModel;
+use depchaos_workloads::{Pynamic, Workload};
 
 fn bench(c: &mut Criterion) {
     banner("Fig 6: Pynamic time-to-launch (900 libs, cold NFS)");
-    let (normal, wrapped) = profiles();
+    let workload = Pynamic::paper();
+    let cache = ProfileCache::new();
+    let report = ExperimentMatrix::new()
+        .workload(workload.clone())
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies(CachePolicy::all())
+        .run(&cache);
+
+    let pick = |wrap: WrapState, cp: CachePolicy| report.one(wrap, cp).expect("scenario").clone();
+    let normal = pick(WrapState::Plain, CachePolicy::Cold);
+    let wrapped = pick(WrapState::Wrapped, CachePolicy::Cold);
     println!(
-        "per-rank op streams: normal {} stat/openat, wrapped {}",
-        normal.stat_openat(),
-        wrapped.stat_openat()
+        "per-rank op streams: normal {} stat/openat, wrapped {} ({} profiling run(s))",
+        normal.stat_openat, wrapped.stat_openat, report.cells_profiled
     );
-    let cfg = LaunchConfig::default();
-    let points = [512usize, 1024, 2048];
-    let n = sweep_ranks(&normal, &cfg, &points);
-    let w = sweep_ranks(&wrapped, &cfg, &points);
-    print!("{}", render_fig6(&points, &n, &w));
+    print!("{}", render_fig6(&report.rank_points, &normal.series, &wrapped.series));
     println!("paper: 169s->30.5s (5.5x) at 512; 344.6s normal at 2048 (7.2x)");
 
-    let spindle = LaunchConfig { broadcast_cache: true, ..LaunchConfig::default() };
-    let s = sweep_ranks(&normal, &spindle, &points);
+    let spindle = pick(WrapState::Plain, CachePolicy::Broadcast);
     println!("\nablation: normal + Spindle-style broadcast cache");
-    print!("{}", render_fig6(&points, &n, &s));
+    print!("{}", render_fig6(&report.rank_points, &normal.series, &spindle.series));
 
+    // Criterion loops re-simulate from the memoized profile cell — the DES
+    // itself is what's being timed.
+    let cell = cache
+        .get(&depchaos_launch::CellKey {
+            workload: workload.name().to_string(),
+            backend: "glibc".to_string(),
+            storage: StorageModel::Nfs,
+        })
+        .expect("cell profiled by the matrix run");
+    let normal_ops = &cell.plain.as_ref().expect("plain profile").log;
+    let wrapped_ops = &cell.wrapped.as_ref().expect("wrapped profile").log;
+    let cfg = LaunchConfig::default();
     let mut group = c.benchmark_group("fig6/des");
     group.sample_size(10);
-    for &ranks in &points {
+    for &ranks in &report.rank_points {
         group.bench_with_input(BenchmarkId::new("normal", ranks), &ranks, |b, &r| {
-            b.iter(|| simulate_launch(&normal, &cfg.clone().with_ranks(r)))
+            b.iter(|| simulate_launch(normal_ops, &cfg.clone().with_ranks(r)))
         });
         group.bench_with_input(BenchmarkId::new("wrapped", ranks), &ranks, |b, &r| {
-            b.iter(|| simulate_launch(&wrapped, &cfg.clone().with_ranks(r)))
+            b.iter(|| simulate_launch(wrapped_ops, &cfg.clone().with_ranks(r)))
         });
     }
     group.finish();

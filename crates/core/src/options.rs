@@ -113,7 +113,16 @@ impl LoaderBackend {
     /// A loader-service backend sharing `service` across instantiations —
     /// e.g. a [`depchaos_loader::HashStoreService`] index.
     pub fn service<S: LoaderService + Send + Sync + 'static>(service: Arc<S>) -> Self {
-        Self::new("service", Arc::new(ServiceFactory(service)))
+        Self::service_named("service", service)
+    }
+
+    /// [`LoaderBackend::service`] under a caller-chosen display name, so a
+    /// sweep can distinguish e.g. a `hash-store` index from other services.
+    pub fn service_named<S: LoaderService + Send + Sync + 'static>(
+        name: impl Into<String>,
+        service: Arc<S>,
+    ) -> Self {
+        Self::new(name, Arc::new(ServiceFactory(service)))
     }
 
     /// Every stock backend, for sweeps and cross-backend tests.

@@ -1,0 +1,498 @@
+//! Executing an [`ExperimentMatrix`]: memoized profiling, parallel DES
+//! sweeps, and the [`SweepReport`] renderers.
+//!
+//! Execution is two-phase:
+//!
+//! 1. **Profile** — every unique [`CellKey`] (workload × backend × storage)
+//!    is realised exactly once: build a fresh [`Vfs`] on the cell's storage
+//!    backend, install the workload, capture the plain op stream, wrap
+//!    through the cell's backend, capture the wrapped op stream. Both logs
+//!    land in a shared, memoized [`ProfileCache`], so scenarios differing
+//!    only in wrap state, cache policy, or rank points reuse one profile.
+//! 2. **Sweep** — every scenario replays its cell's op stream through the
+//!    DES at each rank point, fanned out over rayon (the simulations are
+//!    independent).
+//!
+//! A backend that cannot resolve the workload is data, not a crash: the
+//! cell records the unresolved count or wrap error and the report renders
+//! the hole (that the future loader cannot see a RUNPATH-only world *is*
+//! the §IV story).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use depchaos_core::{wrap, ShrinkwrapOptions};
+use depchaos_loader::LdCache;
+use depchaos_vfs::{StraceLog, Vfs};
+use depchaos_workloads::Workload;
+
+use crate::config::LaunchResult;
+use crate::matrix::{
+    CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
+};
+use crate::profile::profile_load_checked;
+use crate::sweep::{render_fig6, sweep_ranks};
+
+/// One captured op stream plus how the load went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileOutcome {
+    pub log: StraceLog,
+    /// stat+openat count of the stream (the Table II metric).
+    pub stat_openat: usize,
+    /// Failed lookups in the stream.
+    pub misses: usize,
+    /// Did every dependency resolve? A load can run to completion with
+    /// holes (future loader on a RUNPATH world, musl on a stripped image).
+    pub complete: bool,
+    /// Unresolved dependency count when `!complete`.
+    pub unresolved: usize,
+}
+
+/// Everything one profiling run of a cell produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellProfile {
+    pub key: CellKey,
+    /// The as-built op stream, or the error that prevented capturing it.
+    pub plain: Result<ProfileOutcome, String>,
+    /// The post-Shrinkwrap op stream; `Err` when the wrap itself failed
+    /// under this cell's backend semantics.
+    pub wrapped: Result<ProfileOutcome, String>,
+}
+
+impl CellProfile {
+    /// The outcome for one wrap state.
+    pub fn outcome(&self, wrap: WrapState) -> &Result<ProfileOutcome, String> {
+        match wrap {
+            WrapState::Plain => &self.plain,
+            WrapState::Wrapped => &self.wrapped,
+        }
+    }
+}
+
+/// The shared, memoized profile store. Cells are keyed by
+/// (workload, backend, storage); asking twice for the same key performs
+/// one profiling run and hands back the same [`Arc`]. Sharing one cache
+/// across matrices (report sections, benches, tests) extends the
+/// memoization across them.
+#[derive(Default)]
+pub struct ProfileCache {
+    cells: Mutex<HashMap<CellKey, Arc<CellProfile>>>,
+    computed: Mutex<usize>,
+}
+
+impl ProfileCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many profiling runs actually executed (cache misses) — the
+    /// exactly-once accounting the matrix tests assert on.
+    pub fn computed(&self) -> usize {
+        *self.computed.lock()
+    }
+
+    /// A cell already in the cache, if any.
+    pub fn get(&self, key: &CellKey) -> Option<Arc<CellProfile>> {
+        self.cells.lock().get(key).cloned()
+    }
+
+    /// Fetch or produce the profile cell for (workload, backend, storage).
+    pub fn get_or_profile(
+        &self,
+        workload: &dyn Workload,
+        backend: &MatrixBackend,
+        storage: depchaos_vfs::StorageModel,
+    ) -> Arc<CellProfile> {
+        self.get_or_profile_counted(workload, backend, storage).0
+    }
+
+    /// [`ProfileCache::get_or_profile`], also reporting whether *this call*
+    /// performed the profiling run — the per-run accounting behind
+    /// [`SweepReport::cells_profiled`], which must not miscount when the
+    /// cache is shared by concurrently running matrices.
+    pub fn get_or_profile_counted(
+        &self,
+        workload: &dyn Workload,
+        backend: &MatrixBackend,
+        storage: depchaos_vfs::StorageModel,
+    ) -> (Arc<CellProfile>, bool) {
+        let key = CellKey {
+            workload: workload.name().to_string(),
+            backend: backend.name().to_string(),
+            storage,
+        };
+        if let Some(hit) = self.get(&key) {
+            return (hit, false);
+        }
+        let profile = Arc::new(profile_cell(key.clone(), workload, backend, storage));
+        let mut cells = self.cells.lock();
+        // Under a parallel fill two threads can race to the same key; the
+        // first insert wins and counts, the loser adopts it.
+        if let Some(existing) = cells.get(&key) {
+            return (Arc::clone(existing), false);
+        }
+        cells.insert(key, Arc::clone(&profile));
+        *self.computed.lock() += 1;
+        (profile, true)
+    }
+}
+
+/// One profiling run: world build, plain capture, wrap, wrapped capture.
+fn profile_cell(
+    key: CellKey,
+    workload: &dyn Workload,
+    backend: &MatrixBackend,
+    storage: depchaos_vfs::StorageModel,
+) -> CellProfile {
+    let fs = Vfs::new(storage.backend());
+    let installed = match workload.install(&fs) {
+        Ok(i) => i,
+        Err(e) => {
+            let msg = format!("install failed: {e}");
+            return CellProfile { key, plain: Err(msg.clone()), wrapped: Err(msg) };
+        }
+    };
+    let env = workload.environment();
+    let loader_backend = match backend.backend_for(&fs, &installed) {
+        Ok(b) => b,
+        Err(e) => {
+            let msg = format!("backend index failed: {e}");
+            return CellProfile { key, plain: Err(msg.clone()), wrapped: Err(msg) };
+        }
+    };
+    let capture = |label: &str| -> Result<ProfileOutcome, String> {
+        let loader = loader_backend.instantiate(&fs, &env, &LdCache::empty());
+        profile_load_checked(&fs, &installed.exe_path, loader.as_ref())
+            .map(|(log, r)| ProfileOutcome {
+                stat_openat: log.stat_openat(),
+                misses: log.misses(),
+                complete: r.success(),
+                unresolved: r.failures.len(),
+                log,
+            })
+            .map_err(|e| format!("{label} load failed: {e}"))
+    };
+
+    let plain = capture("plain");
+    let wrapped = match wrap(
+        &fs,
+        &installed.exe_path,
+        &ShrinkwrapOptions::new().env(env.clone()).backend(loader_backend.clone()),
+    ) {
+        Ok(_) => capture("wrapped"),
+        Err(e) => Err(format!("wrap failed: {e}")),
+    };
+    CellProfile { key, plain, wrapped }
+}
+
+/// One scenario's sweep: its identity, a per-rank profile summary, and the
+/// simulated series (empty when the cell has no usable op stream).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    pub spec: ScenarioSpec,
+    pub stat_openat: usize,
+    pub misses: usize,
+    pub complete: bool,
+    /// Unresolved dependency count when `!complete`.
+    pub unresolved: usize,
+    /// Why there is no series, when there isn't.
+    pub error: Option<String>,
+    pub series: Vec<(usize, LaunchResult)>,
+}
+
+impl ScenarioResult {
+    /// The simulated launch at `ranks`, when swept.
+    pub fn result_at(&self, ranks: usize) -> Option<&LaunchResult> {
+        self.series.iter().find(|(r, _)| *r == ranks).map(|(_, l)| l)
+    }
+
+    /// Launch seconds at `ranks`, when simulated.
+    pub fn seconds_at(&self, ranks: usize) -> Option<f64> {
+        self.result_at(ranks).map(LaunchResult::seconds)
+    }
+}
+
+/// Everything an [`ExperimentMatrix::run`] produced, serializable, with
+/// the Fig 6 table and TSV renderers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    pub rank_points: Vec<usize>,
+    pub results: Vec<ScenarioResult>,
+    /// Profiling runs this matrix triggered (cache misses); always ≤ the
+    /// number of unique cells across its scenarios.
+    pub cells_profiled: usize,
+}
+
+impl SweepReport {
+    /// Results matching a predicate over specs.
+    pub fn find(&self, pred: impl Fn(&ScenarioSpec) -> bool) -> Vec<&ScenarioResult> {
+        self.results.iter().filter(|r| pred(&r.spec)).collect()
+    }
+
+    /// The one result with exactly this spec.
+    pub fn get(&self, spec: &ScenarioSpec) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| &r.spec == spec)
+    }
+
+    /// The single result for `(wrap, cache)` — the common pick when the
+    /// matrix covers one (workload, backend, storage) slice, as the Fig 6
+    /// drivers do. `None` when absent *or* ambiguous.
+    pub fn one(&self, wrap: WrapState, cache: CachePolicy) -> Option<&ScenarioResult> {
+        let mut it = self.results.iter().filter(|r| r.spec.wrap == wrap && r.spec.cache == cache);
+        let first = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// Per-backend Fig 6 tables: for every (workload, storage, cache,
+    /// backend) slice that has both wrap states, the normal-vs-wrapped
+    /// table; slices missing a series render their error instead.
+    pub fn render_fig6_tables(&self) -> String {
+        // One pass to index results by spec, so slice assembly below stays
+        // linear in the matrix size.
+        let by_spec: HashMap<&ScenarioSpec, &ScenarioResult> =
+            self.results.iter().map(|r| (&r.spec, r)).collect();
+        let mut out = String::new();
+        let mut seen: HashSet<ScenarioSpec> = HashSet::new();
+        for r in &self.results {
+            let slice_key = ScenarioSpec { wrap: WrapState::Plain, ..r.spec.clone() };
+            if !seen.insert(slice_key) {
+                continue;
+            }
+            let of_wrap =
+                |w: WrapState| by_spec.get(&ScenarioSpec { wrap: w, ..r.spec.clone() }).copied();
+            let plain = of_wrap(WrapState::Plain);
+            let wrapped = of_wrap(WrapState::Wrapped);
+            out.push_str(&format!(
+                "--- {} × {} ({}, {} cache) ---\n",
+                r.spec.workload,
+                r.spec.backend,
+                r.spec.storage.name(),
+                r.spec.cache.name()
+            ));
+            for (state, res) in [("plain", plain), ("wrapped", wrapped)] {
+                if let Some(res) = res {
+                    if let Some(e) = &res.error {
+                        out.push_str(&format!("{state}: no series — {e}\n"));
+                    } else if !res.complete {
+                        out.push_str(&format!(
+                            "{state}: {} stat/openat, INCOMPLETE ({} unresolved)\n",
+                            res.stat_openat, res.unresolved
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "{state}: {} stat/openat ({} misses)\n",
+                            res.stat_openat, res.misses
+                        ));
+                    }
+                }
+            }
+            let series =
+                |r: Option<&ScenarioResult>| r.map(|r| r.series.clone()).unwrap_or_default();
+            out.push_str(&render_fig6(&self.rank_points, &series(plain), &series(wrapped)));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole sweep as TSV — one row per (scenario, rank point), the raw
+    /// data behind every per-backend figure.
+    pub fn render_tsv(&self) -> String {
+        let mut s = String::from(
+            "workload\tbackend\tstorage\twrap\tcache\tranks\tseconds\tserver_ops\tpeak_queue\n",
+        );
+        for r in &self.results {
+            for (ranks, l) in &r.series {
+                s.push_str(&format!(
+                    "{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{}\t{}\n",
+                    r.spec.workload,
+                    r.spec.backend,
+                    r.spec.storage.name(),
+                    r.spec.wrap.name(),
+                    r.spec.cache.name(),
+                    l.seconds(),
+                    l.server_ops,
+                    l.peak_queue_depth
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl ExperimentMatrix {
+    /// Run the matrix against a shared profile cache: profile each unique
+    /// cell once, then sweep every scenario's rank points in parallel.
+    pub fn run(&self, cache: &ProfileCache) -> SweepReport {
+        let scenarios = self.expand();
+        let rank_points = self.effective_rank_points();
+
+        // Phase 1: realise every unique cell once. Deduplicate here rather
+        // than leaning on the cache's race guard so each cell is profiled
+        // by exactly one worker even under a parallel fill.
+        let mut unique: Vec<&Scenario> = Vec::new();
+        let mut seen: HashSet<CellKey> = HashSet::new();
+        for s in &scenarios {
+            if seen.insert(s.cell_key()) {
+                unique.push(s);
+            }
+        }
+        let cells_profiled = unique
+            .par_iter()
+            .map(|s| {
+                let (_, computed_here) =
+                    cache.get_or_profile_counted(s.workload.as_ref(), &s.backend, s.storage);
+                usize::from(computed_here)
+            })
+            .sum();
+
+        // Phase 2: fan the DES sweeps out — independent simulations.
+        let results: Vec<ScenarioResult> = scenarios
+            .par_iter()
+            .map(|s| {
+                let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
+                let cfg = s.cache.apply(self.base.clone());
+                match cell.outcome(s.wrap) {
+                    Ok(p) => ScenarioResult {
+                        spec: s.spec(),
+                        stat_openat: p.stat_openat,
+                        misses: p.misses,
+                        complete: p.complete,
+                        unresolved: p.unresolved,
+                        error: None,
+                        series: sweep_ranks(&p.log, &cfg, &rank_points),
+                    },
+                    Err(e) => ScenarioResult {
+                        spec: s.spec(),
+                        stat_openat: 0,
+                        misses: 0,
+                        complete: false,
+                        unresolved: 0,
+                        error: Some(e.clone()),
+                        series: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+
+        SweepReport { rank_points, results, cells_profiled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LaunchConfig;
+    use crate::matrix::CachePolicy;
+    use depchaos_vfs::StorageModel;
+    use depchaos_workloads::Pynamic;
+
+    fn small_matrix() -> ExperimentMatrix {
+        ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies(CachePolicy::all())
+            .rank_points([256usize, 512])
+    }
+
+    #[test]
+    fn cells_profiled_once_across_wrap_and_cache_axes() {
+        let cache = ProfileCache::new();
+        let report = small_matrix().run(&cache);
+        // 1 workload × 1 backend × 1 storage = 1 cell, 4 scenarios.
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.cells_profiled, 1);
+        assert_eq!(cache.computed(), 1);
+        // Re-running the same matrix against the same cache re-profiles
+        // nothing.
+        let report2 = small_matrix().run(&cache);
+        assert_eq!(report2.cells_profiled, 0);
+        assert_eq!(cache.computed(), 1);
+    }
+
+    #[test]
+    fn wrapped_beats_plain_in_the_report() {
+        let cache = ProfileCache::new();
+        let report = small_matrix()
+            .base_config(LaunchConfig {
+                base_overhead_ns: 0,
+                per_rank_overhead_ns: 0,
+                ..LaunchConfig::default()
+            })
+            .run(&cache);
+        let plain = report
+            .find(|s| s.wrap == WrapState::Plain && s.cache == CachePolicy::Cold)
+            .pop()
+            .unwrap();
+        let wrapped = report
+            .find(|s| s.wrap == WrapState::Wrapped && s.cache == CachePolicy::Cold)
+            .pop()
+            .unwrap();
+        assert!(plain.complete && wrapped.complete);
+        assert!(wrapped.stat_openat < plain.stat_openat / 5);
+        for &ranks in &[256usize, 512] {
+            assert!(wrapped.seconds_at(ranks).unwrap() < plain.seconds_at(ranks).unwrap());
+        }
+    }
+
+    #[test]
+    fn broadcast_cache_policy_reaches_the_des() {
+        let cache = ProfileCache::new();
+        let report = small_matrix()
+            .base_config(LaunchConfig {
+                base_overhead_ns: 0,
+                per_rank_overhead_ns: 0,
+                ..LaunchConfig::default()
+            })
+            .run(&cache);
+        let cold = report
+            .find(|s| s.wrap == WrapState::Plain && s.cache == CachePolicy::Cold)
+            .pop()
+            .unwrap();
+        let bcast = report
+            .find(|s| s.wrap == WrapState::Plain && s.cache == CachePolicy::Broadcast)
+            .pop()
+            .unwrap();
+        assert!(bcast.seconds_at(512).unwrap() < cold.seconds_at(512).unwrap());
+    }
+
+    #[test]
+    fn renderers_cover_every_slice() {
+        let cache = ProfileCache::new();
+        let report = small_matrix().run(&cache);
+        let tables = report.render_fig6_tables();
+        assert!(tables.contains("pynamic-30 × glibc (nfs, cold cache)"));
+        assert!(tables.contains("pynamic-30 × glibc (nfs, broadcast cache)"));
+        assert!(tables.contains("speedup"));
+        let tsv = report.render_tsv();
+        assert!(tsv.starts_with("workload\t"));
+        // 4 scenarios × 2 rank points + header.
+        assert_eq!(tsv.lines().count(), 9);
+    }
+
+    #[test]
+    fn a_backend_that_cannot_wrap_is_reported_not_fatal() {
+        use depchaos_core::LoaderBackend;
+        // The future loader ignores RUNPATH, so it can neither resolve nor
+        // wrap the stock pynamic world — the report carries the error.
+        let cache = ProfileCache::new();
+        let report = ExperimentMatrix::new()
+            .workload(Pynamic::new(10))
+            .backend(MatrixBackend::Stock(LoaderBackend::future()))
+            .run(&cache);
+        let wrapped = report.find(|s| s.wrap == WrapState::Wrapped).pop().unwrap();
+        assert!(wrapped.error.as_deref().unwrap_or_default().contains("wrap failed"));
+        let plain = report.find(|s| s.wrap == WrapState::Plain).pop().unwrap();
+        assert!(!plain.complete, "future cannot see RUNPATH dirs");
+        let tables = report.render_fig6_tables();
+        assert!(tables.contains("wrap failed") || tables.contains("no series"));
+    }
+}

@@ -1,35 +1,79 @@
-//! # depchaos-launch — parallel launch over a shared filesystem (Fig 6)
+//! # depchaos-launch — scenario-matrix launch experiments (Fig 6 and beyond)
 //!
 //! Frings et al. (cited by the paper) showed that loading a large dynamic
 //! application at scale can "flood the filesystem with requests" and push
 //! startup into hours. Fig 6 measures exactly this: Pynamic (≈900 shared
 //! libraries) launched on 512–2048 ranks with libraries on NFS, cold
-//! caches, negative caching disabled.
+//! caches, negative caching disabled. This crate reproduces that figure —
+//! and generalises it into a *design-space sweep* over every axis the
+//! paper's discussion names.
 //!
-//! The model, in three layers:
+//! The layers, bottom-up:
 //!
-//! 1. [`profile`] replays a loader backend (any
-//!    [`depchaos_loader::Loader`]; glibc by default) against a cold NFS
-//!    [`depchaos_vfs::Vfs`] and captures the strace-style op stream one rank
-//!    issues at startup.
+//! 1. [`profile`] replays a loader backend (any [`depchaos_loader::Loader`])
+//!    against a cold [`depchaos_vfs::Vfs`] and captures the strace-style op
+//!    stream one rank issues at startup.
 //! 2. [`des`] is a discrete-event simulation: one metadata server with a
 //!    fixed per-op service time and FIFO queue; each *node* replays the op
 //!    stream sequentially (the loader is serial), round-tripping every cold
 //!    op. Ranks beyond the first on a node hit the node's page cache —
 //!    which is why the unit of NFS load is the node, not the rank.
-//! 3. [`sweep`] runs rank scalings in parallel (rayon) for the figure.
+//! 3. [`sweep`] runs rank scalings in parallel (rayon) for one figure
+//!    series.
+//! 4. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
+//!    of (workload × loader backend × storage model × wrap state × cache
+//!    policy), and an [`ExperimentMatrix`] expands the cross product.
+//!    Workloads come from the [`depchaos_workloads::Workload`] trait;
+//!    storage models are [`depchaos_vfs::StorageModel`]; backends are
+//!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
+//! 5. [`experiment`] executes a matrix: each unique (workload, backend,
+//!    storage) cell is profiled **exactly once** into a shared, memoized
+//!    [`ProfileCache`] (plain and wrapped streams captured in one run),
+//!    the DES rank sweeps fan out over rayon, and everything lands in a
+//!    serde-serializable [`SweepReport`] with per-backend Fig 6 table and
+//!    TSV renderers.
+//!
+//! The paper's figure is one cell of the matrix (pynamic × glibc × nfs);
+//! `depchaos-report fig6-backends` renders the same figure for glibc, musl,
+//! the §III-C future loader, and a hash-store service side by side, and the
+//! Spindle-broadcast remark from §V-A is just the cache-policy axis.
 //!
 //! The simulated server and RTT constants are calibrated so the paper's
 //! qualitative shape emerges (normal launch grows with scale; shrinkwrapped
-//! stays near-flat; crossover factor in the 5–8× band at 2048 ranks) — see
-//! EXPERIMENTS.md for paper-vs-measured values.
+//! stays near-flat; crossover factor in the 5–8× band at 2048 ranks).
+//!
+//! ```
+//! use depchaos_launch::{CachePolicy, ExperimentMatrix, MatrixBackend, ProfileCache, WrapState};
+//! use depchaos_vfs::StorageModel;
+//! use depchaos_workloads::Pynamic;
+//!
+//! let cache = ProfileCache::new();
+//! let report = ExperimentMatrix::new()
+//!     .workload(Pynamic::new(40))
+//!     .backends(MatrixBackend::all())
+//!     .storage(StorageModel::Nfs)
+//!     .wrap_states(WrapState::all())
+//!     .cache_policies([CachePolicy::Cold])
+//!     .rank_points([512usize, 1024])
+//!     .run(&cache);
+//! // 4 backends × 2 wrap states; 4 unique profile cells.
+//! assert_eq!(report.results.len(), 8);
+//! assert_eq!(report.cells_profiled, 4);
+//! println!("{}", report.render_fig6_tables());
+//! ```
 
 pub mod config;
 pub mod des;
+pub mod experiment;
+pub mod matrix;
 pub mod profile;
 pub mod sweep;
 
 pub use config::{LaunchConfig, LaunchResult};
 pub use des::simulate_launch;
-pub use profile::{profile_load, profile_load_with};
+pub use experiment::{CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport};
+pub use matrix::{
+    CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
+};
+pub use profile::{profile_load, profile_load_checked, profile_load_with};
 pub use sweep::{render_fig6, render_tsv, sweep_ranks};

@@ -1,0 +1,407 @@
+//! The experiment design space: scenario axes and their cross product.
+//!
+//! A [`Scenario`] is one point in (workload × loader backend × storage
+//! model × wrap state × cache policy); an [`ExperimentMatrix`] holds the
+//! axis values and expands the full cross product. Execution lives in
+//! [`crate::experiment`] — this module is purely the *description* of what
+//! to run, which is what makes "Fig 6, but for every backend" or "Fig 6,
+//! but on local disk with a Spindle cache" one-line requests.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use depchaos_core::LoaderBackend;
+use depchaos_loader::HashStoreService;
+use depchaos_vfs::{StorageModel, Vfs};
+use depchaos_workloads::{InstalledWorkload, Workload};
+
+use crate::config::LaunchConfig;
+
+/// The wrap-state axis: is the binary launched as built, or after
+/// Shrinkwrap froze its closure?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WrapState {
+    Plain,
+    Wrapped,
+}
+
+impl WrapState {
+    pub fn all() -> [WrapState; 2] {
+        [WrapState::Plain, WrapState::Wrapped]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WrapState::Plain => "plain",
+            WrapState::Wrapped => "wrapped",
+        }
+    }
+}
+
+/// The cache-policy axis: every node pays the cold stream, or a
+/// Spindle-style broadcast cache lets one node pay and the rest replay warm
+/// (the paper's "combining Shrinkwrap with an approach like Spindle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePolicy {
+    Cold,
+    Broadcast,
+}
+
+impl CachePolicy {
+    pub fn all() -> [CachePolicy; 2] {
+        [CachePolicy::Cold, CachePolicy::Broadcast]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CachePolicy::Cold => "cold",
+            CachePolicy::Broadcast => "broadcast",
+        }
+    }
+
+    /// Apply the policy to a launch configuration.
+    pub fn apply(&self, mut cfg: LaunchConfig) -> LaunchConfig {
+        cfg.broadcast_cache = matches!(self, CachePolicy::Broadcast);
+        cfg
+    }
+}
+
+/// The backend axis. Stock [`LoaderBackend`]s carry no per-world state and
+/// are used as-is; the hash-store service must index the installed world
+/// first, so it is built per cell from the install record.
+#[derive(Clone)]
+pub enum MatrixBackend {
+    Stock(LoaderBackend),
+    /// A [`HashStoreService`]-backed loader service whose index is
+    /// populated from the workload's installed libraries (content digest +
+    /// soname alias each).
+    HashStore,
+}
+
+impl MatrixBackend {
+    /// The four backends the per-backend Fig 6 compares.
+    pub fn all() -> Vec<MatrixBackend> {
+        let mut v: Vec<MatrixBackend> =
+            LoaderBackend::all_stock().into_iter().map(MatrixBackend::Stock).collect();
+        v.push(MatrixBackend::HashStore);
+        v
+    }
+
+    pub fn glibc() -> Self {
+        MatrixBackend::Stock(LoaderBackend::glibc())
+    }
+
+    pub fn musl() -> Self {
+        MatrixBackend::Stock(LoaderBackend::musl())
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            MatrixBackend::Stock(b) => b.name(),
+            MatrixBackend::HashStore => "hash-store",
+        }
+    }
+
+    /// Resolve to a concrete [`LoaderBackend`] against an installed world.
+    /// Index building is store-side setup, not launch work — but a world
+    /// the store cannot index faithfully (e.g. two libraries sharing one
+    /// soname) is an error, not a silently mis-indexed cell.
+    pub fn backend_for(
+        &self,
+        fs: &Vfs,
+        installed: &InstalledWorkload,
+    ) -> Result<LoaderBackend, String> {
+        match self {
+            MatrixBackend::Stock(b) => Ok(b.clone()),
+            MatrixBackend::HashStore => {
+                let mut svc = HashStoreService::new();
+                for lib in &installed.lib_paths {
+                    svc.register_with_soname(fs, lib)
+                        .map_err(|e| format!("hash-store index failed for {lib}: {e}"))?;
+                }
+                Ok(LoaderBackend::service_named("hash-store", Arc::new(svc)))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MatrixBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("MatrixBackend").field(&self.name()).finish()
+    }
+}
+
+/// Identity of one *profiling* cell: the axes that change the captured op
+/// stream. Wrap state is deliberately absent — one profiling run of a cell
+/// captures the plain stream, wraps, and captures the wrapped stream, so
+/// each unique (workload, backend, storage) triple is profiled exactly
+/// once no matter how many scenarios share it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    pub workload: String,
+    pub backend: String,
+    pub storage: StorageModel,
+}
+
+/// One point of the design space, ready to simulate.
+#[derive(Clone)]
+pub struct Scenario {
+    pub workload: Arc<dyn Workload>,
+    pub backend: MatrixBackend,
+    pub storage: StorageModel,
+    pub wrap: WrapState,
+    pub cache: CachePolicy,
+}
+
+impl Scenario {
+    /// The profile-cache cell this scenario reads from.
+    pub fn cell_key(&self) -> CellKey {
+        CellKey {
+            workload: self.workload.name().to_string(),
+            backend: self.backend.name().to_string(),
+            storage: self.storage,
+        }
+    }
+
+    /// Serializable identity (names only) for reports.
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            workload: self.workload.name().to_string(),
+            backend: self.backend.name().to_string(),
+            storage: self.storage,
+            wrap: self.wrap,
+            cache: self.cache,
+        }
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scenario({} × {} × {} × {} × {})",
+            self.workload.name(),
+            self.backend.name(),
+            self.storage.name(),
+            self.wrap.name(),
+            self.cache.name()
+        )
+    }
+}
+
+/// The data identity of a scenario: every axis by name, serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    pub workload: String,
+    pub backend: String,
+    pub storage: StorageModel,
+    pub wrap: WrapState,
+    pub cache: CachePolicy,
+}
+
+impl ScenarioSpec {
+    /// One-line label, stable across renderers and TSV.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.workload,
+            self.backend,
+            self.storage.name(),
+            self.wrap.name(),
+            self.cache.name()
+        )
+    }
+}
+
+/// The experiment matrix: axis values plus the sweep parameters shared by
+/// every scenario. `expand()` is the cross product; `run()` (in
+/// [`crate::experiment`]) profiles each unique cell once and fans the DES
+/// sweeps out in parallel.
+#[derive(Clone)]
+pub struct ExperimentMatrix {
+    pub(crate) workloads: Vec<Arc<dyn Workload>>,
+    pub(crate) backends: Vec<MatrixBackend>,
+    pub(crate) storages: Vec<StorageModel>,
+    pub(crate) wrap_states: Vec<WrapState>,
+    pub(crate) cache_policies: Vec<CachePolicy>,
+    pub(crate) rank_points: Vec<usize>,
+    pub(crate) base: LaunchConfig,
+}
+
+impl ExperimentMatrix {
+    /// An empty matrix with the paper's sweep defaults: 512/1024/2048
+    /// ranks, NFS storage, glibc backend, both wrap states, cold caches.
+    /// Every axis can be overridden; axes left empty at `expand()` time
+    /// fall back to these defaults so a matrix is always runnable.
+    pub fn new() -> Self {
+        ExperimentMatrix {
+            workloads: Vec::new(),
+            backends: Vec::new(),
+            storages: Vec::new(),
+            wrap_states: Vec::new(),
+            cache_policies: Vec::new(),
+            rank_points: Vec::new(),
+            base: LaunchConfig::default(),
+        }
+    }
+
+    pub fn workload(mut self, w: impl Workload + 'static) -> Self {
+        self.workloads.push(Arc::new(w));
+        self
+    }
+
+    pub fn workload_arc(mut self, w: Arc<dyn Workload>) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    pub fn backend(mut self, b: MatrixBackend) -> Self {
+        self.backends.push(b);
+        self
+    }
+
+    pub fn backends(mut self, bs: impl IntoIterator<Item = MatrixBackend>) -> Self {
+        self.backends.extend(bs);
+        self
+    }
+
+    pub fn storage(mut self, s: StorageModel) -> Self {
+        self.storages.push(s);
+        self
+    }
+
+    pub fn wrap_states(mut self, ws: impl IntoIterator<Item = WrapState>) -> Self {
+        self.wrap_states.extend(ws);
+        self
+    }
+
+    pub fn cache_policies(mut self, cs: impl IntoIterator<Item = CachePolicy>) -> Self {
+        self.cache_policies.extend(cs);
+        self
+    }
+
+    pub fn rank_points(mut self, pts: impl IntoIterator<Item = usize>) -> Self {
+        self.rank_points.extend(pts);
+        self
+    }
+
+    /// Override the base [`LaunchConfig`] (cluster calibration); the cache
+    /// policy axis still toggles `broadcast_cache` per scenario.
+    pub fn base_config(mut self, cfg: LaunchConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    pub(crate) fn effective_rank_points(&self) -> Vec<usize> {
+        if self.rank_points.is_empty() {
+            vec![512, 1024, 2048]
+        } else {
+            self.rank_points.clone()
+        }
+    }
+
+    /// Expand the full cross product. Empty axes default to: glibc,
+    /// NFS, both wrap states, cold cache. (Workloads have no default — an
+    /// empty workload axis expands to no scenarios.)
+    pub fn expand(&self) -> Vec<Scenario> {
+        let backends = if self.backends.is_empty() {
+            vec![MatrixBackend::glibc()]
+        } else {
+            self.backends.clone()
+        };
+        let storages =
+            if self.storages.is_empty() { vec![StorageModel::Nfs] } else { self.storages.clone() };
+        let wraps = if self.wrap_states.is_empty() {
+            WrapState::all().to_vec()
+        } else {
+            self.wrap_states.clone()
+        };
+        let caches = if self.cache_policies.is_empty() {
+            vec![CachePolicy::Cold]
+        } else {
+            self.cache_policies.clone()
+        };
+
+        let mut out = Vec::new();
+        for w in &self.workloads {
+            for b in &backends {
+                for s in &storages {
+                    for wr in &wraps {
+                        for c in &caches {
+                            out.push(Scenario {
+                                workload: Arc::clone(w),
+                                backend: b.clone(),
+                                storage: *s,
+                                wrap: *wr,
+                                cache: *c,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for ExperimentMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_workloads::{Emacs, Pynamic};
+
+    #[test]
+    fn expansion_is_the_cross_product() {
+        let m = ExperimentMatrix::new()
+            .workload(Pynamic::new(10))
+            .workload(Emacs)
+            .backends(MatrixBackend::all())
+            .storage(StorageModel::Nfs)
+            .storage(StorageModel::Local)
+            .wrap_states(WrapState::all())
+            .cache_policies(CachePolicy::all());
+        let scenarios = m.expand();
+        assert_eq!(scenarios.len(), 2 * 4 * 2 * 2 * 2);
+        // Cell keys collapse the wrap and cache axes.
+        let cells: std::collections::HashSet<CellKey> =
+            scenarios.iter().map(|s| s.cell_key()).collect();
+        assert_eq!(cells.len(), 2 * 4 * 2);
+    }
+
+    #[test]
+    fn empty_axes_default_to_the_paper_cell() {
+        let m = ExperimentMatrix::new().workload(Pynamic::new(10));
+        let scenarios = m.expand();
+        assert_eq!(scenarios.len(), 2, "glibc × nfs × (plain, wrapped) × cold");
+        assert!(scenarios.iter().all(|s| s.backend.name() == "glibc"));
+        assert!(scenarios.iter().all(|s| s.storage == StorageModel::Nfs));
+        assert!(scenarios.iter().all(|s| s.cache == CachePolicy::Cold));
+        assert_eq!(m.effective_rank_points(), vec![512, 1024, 2048]);
+    }
+
+    #[test]
+    fn specs_and_labels_are_data() {
+        let m = ExperimentMatrix::new().workload(Pynamic::new(10)).backend(MatrixBackend::glibc());
+        let spec = m.expand()[0].spec();
+        assert_eq!(spec.label(), "pynamic-10/glibc/nfs/plain/cold");
+    }
+
+    #[test]
+    fn hash_store_backend_resolves_an_installed_world() {
+        use depchaos_loader::LdCache;
+        let w = Pynamic::new(8);
+        let fs = Vfs::local();
+        let installed = w.install(&fs).unwrap();
+        let backend = MatrixBackend::HashStore.backend_for(&fs, &installed).unwrap();
+        assert_eq!(backend.name(), "hash-store");
+        let loader = backend.instantiate(&fs, &w.environment(), &LdCache::empty());
+        let r = loader.load(&installed.exe_path).unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+    }
+}

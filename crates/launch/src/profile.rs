@@ -1,6 +1,6 @@
 //! Capturing one rank's startup op stream.
 
-use depchaos_loader::{Environment, GlibcLoader, LoadError, Loader};
+use depchaos_loader::{Environment, GlibcLoader, LoadError, LoadResult, Loader};
 use depchaos_vfs::{StraceLog, Vfs};
 
 /// Replay a cold-cache load of `exe` under any [`Loader`] backend and
@@ -10,11 +10,23 @@ use depchaos_vfs::{StraceLog, Vfs};
 ///
 /// Drops caches first, so back-to-back profiles are independent.
 pub fn profile_load_with(fs: &Vfs, exe: &str, loader: &dyn Loader) -> Result<StraceLog, LoadError> {
+    profile_load_checked(fs, exe, loader).map(|(log, _)| log)
+}
+
+/// [`profile_load_with`], also returning the [`LoadResult`] so callers can
+/// see *how* the load went: a backend can run to completion with unresolved
+/// dependencies (musl on a search-path-stripped image, the future loader on
+/// a RUNPATH-only world), and the matrix engine records that per cell.
+pub fn profile_load_checked(
+    fs: &Vfs,
+    exe: &str,
+    loader: &dyn Loader,
+) -> Result<(StraceLog, LoadResult), LoadError> {
     fs.drop_caches();
     fs.start_trace();
     let result = loader.load(exe);
     let log = fs.stop_trace();
-    result.map(|_| log)
+    result.map(|r| (log, r))
 }
 
 /// [`profile_load_with`] under the glibc model — the paper's measurement

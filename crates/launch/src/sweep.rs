@@ -1,5 +1,7 @@
 //! Rank sweeps for the Fig 6 series.
 
+use std::collections::HashMap;
+
 use rayon::prelude::*;
 
 use depchaos_vfs::StraceLog;
@@ -27,11 +29,25 @@ pub fn render_fig6(
     normal: &[(usize, LaunchResult)],
     wrapped: &[(usize, LaunchResult)],
 ) -> String {
+    let by_ranks = |series: &[(usize, LaunchResult)]| -> HashMap<usize, f64> {
+        series.iter().map(|(r, l)| (*r, l.seconds())).collect()
+    };
+    let normal = by_ranks(normal);
+    let wrapped = by_ranks(wrapped);
+    let secs = |v: Option<f64>, width: usize| match v {
+        Some(t) => format!("{t:>width$.1}"),
+        None => format!("{:>width$}", "-"),
+    };
     let mut s = String::from("ranks  normal(s)  wrapped(s)  speedup\n");
     for &p in points {
-        let n = normal.iter().find(|(r, _)| *r == p).map(|(_, l)| l.seconds()).unwrap_or(f64::NAN);
-        let w = wrapped.iter().find(|(r, _)| *r == p).map(|(_, l)| l.seconds()).unwrap_or(f64::NAN);
-        s.push_str(&format!("{p:>5}  {n:>9.1}  {w:>10.1}  {:>6.1}x\n", n / w));
+        let n = normal.get(&p).copied();
+        let w = wrapped.get(&p).copied();
+        let speedup = match (n, w) {
+            // A zero or missing wrapped time has no meaningful ratio.
+            (Some(n), Some(w)) if (n / w).is_finite() => format!("{:>6.1}x", n / w),
+            _ => format!("{:>7}", "-"),
+        };
+        s.push_str(&format!("{p:>5}  {}  {}  {speedup}\n", secs(n, 9), secs(w, 10)));
     }
     s
 }
@@ -102,5 +118,25 @@ mod tests {
         let table = render_fig6(&pts, &normal, &wrapped);
         assert!(table.contains("speedup"));
         assert!(table.contains("512"));
+    }
+
+    #[test]
+    fn render_guards_degenerate_speedups() {
+        let zero = LaunchResult {
+            time_to_launch_ns: 0,
+            nodes: 1,
+            server_ops: 0,
+            local_ops: 0,
+            peak_queue_depth: 0,
+        };
+        let cfg = LaunchConfig::default();
+        let pts = [512usize, 1024];
+        let normal = sweep_ranks(&cold_stream(10), &cfg, &pts);
+        // Wrapped series: a zero time at 512, no data at all for 1024.
+        let wrapped = vec![(512usize, zero)];
+        let table = render_fig6(&pts, &normal, &wrapped);
+        assert!(!table.contains("inf"), "zero wrapped time must not print inf:\n{table}");
+        assert!(!table.contains("NaN"), "missing point must not print NaN ratio:\n{table}");
+        assert!(table.contains('-'));
     }
 }

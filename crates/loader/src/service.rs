@@ -149,10 +149,14 @@ impl<S: LoaderService> Loader for ServiceLoader<'_, S> {
 }
 
 /// The paper's envisioned content-addressed scheme: needed entries are
-/// `sha:<digest>`; the service owns the digest → store-path index.
+/// `sha:<digest>`; the service owns the digest → store-path index. Binaries
+/// not yet rewritten to `sha:` references can still resolve through the
+/// store via [`HashStoreService::alias`] — the migration path for existing
+/// soname-addressed needed lists.
 #[derive(Debug, Default)]
 pub struct HashStoreService {
     index: HashMap<String, String>,
+    aliases: HashMap<String, String>,
 }
 
 impl HashStoreService {
@@ -203,8 +207,39 @@ impl HashStoreService {
         Ok(out)
     }
 
+    /// Serve `name` requests (e.g. a bare soname) with the store file at
+    /// `path` — how a binary whose needed list predates hash references
+    /// still loads entirely through the service's index. Unlike digests,
+    /// sonames can collide: the displaced mapping is returned so callers
+    /// can detect that two store files claim the same name (the ambiguity
+    /// content addressing exists to remove).
+    pub fn alias(&mut self, name: impl Into<String>, path: impl Into<String>) -> Option<String> {
+        self.aliases.insert(name.into(), path.into())
+    }
+
+    /// Register `path` under its content digest *and* under its basename,
+    /// so both `sha:<digest>` and soname requests resolve to it. Errors —
+    /// leaving the index untouched — if the basename already aliases a
+    /// *different* store file.
+    pub fn register_with_soname(&mut self, fs: &Vfs, path: &str) -> Result<String, String> {
+        let base = path.rsplit('/').next();
+        if let Some(base) = base {
+            if let Some(existing) = self.aliases.get(base).filter(|old| old.as_str() != path) {
+                return Err(format!("soname {base:?} already aliased to {existing}"));
+            }
+        }
+        let r = self.register(fs, path)?;
+        if let Some(base) = base {
+            self.alias(base, path);
+        }
+        Ok(r)
+    }
+
     fn lookup(&self, name: &str) -> Option<&str> {
-        name.strip_prefix("sha:").and_then(|d| self.index.get(d)).map(String::as_str)
+        name.strip_prefix("sha:")
+            .and_then(|d| self.index.get(d))
+            .or_else(|| self.aliases.get(name))
+            .map(String::as_str)
     }
 }
 
@@ -272,6 +307,39 @@ mod tests {
         install(&fs, "/bin/app", &ElfObject::exe("app").needs("sha:0000").build()).unwrap();
         let err = svc.manifest(&fs, "/bin/app").unwrap_err();
         assert!(err.contains("sha:0000"));
+    }
+
+    #[test]
+    fn soname_aliases_serve_unmigrated_binaries() {
+        let fs = Vfs::local();
+        let mut svc = HashStoreService::new();
+        install(&fs, "/store/bb/libb.so", &ElfObject::dso("libb.so").build()).unwrap();
+        svc.register_with_soname(&fs, "/store/bb/libb.so").unwrap();
+        // The exe still requests by bare soname — the index answers anyway.
+        install(&fs, "/bin/old", &ElfObject::exe("old").needs("libb.so").build()).unwrap();
+        let r = ServiceLoader::new(&fs, svc).load("/bin/old").unwrap();
+        assert!(r.success(), "{:?}", r.failures);
+        assert_eq!(r.paths(), vec!["/bin/old", "/store/bb/libb.so"]);
+    }
+
+    #[test]
+    fn conflicting_soname_aliases_are_an_error() {
+        let fs = Vfs::local();
+        let mut svc = HashStoreService::new();
+        install(&fs, "/store/aa/libx.so", &ElfObject::dso("libx.so").build()).unwrap();
+        install(&fs, "/store/bb/libx.so", &ElfObject::dso("libx.so").soname("libx2").build())
+            .unwrap();
+        svc.register_with_soname(&fs, "/store/aa/libx.so").unwrap();
+        // Re-registering the same file is fine; a different file under the
+        // same basename is the ambiguity the store must reject.
+        svc.register_with_soname(&fs, "/store/aa/libx.so").unwrap();
+        let err = svc.register_with_soname(&fs, "/store/bb/libx.so").unwrap_err();
+        assert!(err.contains("libx.so"), "{err}");
+        // The rejection is a no-op: the original mapping still serves, and
+        // the rejected file was not indexed under its digest either.
+        assert_eq!(svc.resolve("", "libx.so").as_deref(), Some("/store/aa/libx.so"));
+        let bb_digest = HashStoreService::digest(&fs.peek_file("/store/bb/libx.so").unwrap());
+        assert_eq!(svc.resolve("", &format!("sha:{bb_digest}")), None);
     }
 
     #[test]

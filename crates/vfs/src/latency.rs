@@ -16,6 +16,9 @@
 //! ratios matter for the reproduction.
 
 use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use crate::strace::{Op, Outcome};
 
@@ -85,6 +88,52 @@ impl Backend {
     /// NFS with negative caching enabled, for ablations.
     pub fn nfs_with_negative_caching() -> Self {
         Backend::Nfs(NfsParams { negative_caching: true, ..NfsParams::default() })
+    }
+}
+
+/// A *nameable* storage configuration — the data form of [`Backend`] that
+/// experiment matrices enumerate, serialize, and print. Where [`Backend`]
+/// carries calibration parameters, a `StorageModel` is pure identity: the
+/// scenario axis "where do the binaries live".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageModel {
+    /// Local filesystem (warm/cold dentry cache).
+    Local,
+    /// NFS with negative caching disabled — the paper's LLNL configuration
+    /// and the regime Fig 6 measures.
+    Nfs,
+    /// NFS with negative caching enabled, the ablation the paper mentions.
+    NfsNegativeCaching,
+}
+
+impl StorageModel {
+    /// Every storage model, for sweeps.
+    pub fn all() -> [StorageModel; 3] {
+        [StorageModel::Local, StorageModel::Nfs, StorageModel::NfsNegativeCaching]
+    }
+
+    /// Stable display/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageModel::Local => "local",
+            StorageModel::Nfs => "nfs",
+            StorageModel::NfsNegativeCaching => "nfs+negcache",
+        }
+    }
+
+    /// The calibrated [`Backend`] this model names.
+    pub fn backend(&self) -> Backend {
+        match self {
+            StorageModel::Local => Backend::local(),
+            StorageModel::Nfs => Backend::nfs(),
+            StorageModel::NfsNegativeCaching => Backend::nfs_with_negative_caching(),
+        }
+    }
+}
+
+impl fmt::Display for StorageModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -225,6 +274,18 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storage_models_name_their_backends() {
+        assert_eq!(StorageModel::Local.backend(), Backend::local());
+        assert_eq!(StorageModel::Nfs.backend(), Backend::nfs());
+        assert_eq!(
+            StorageModel::NfsNegativeCaching.backend(),
+            Backend::nfs_with_negative_caching()
+        );
+        let names: Vec<&str> = StorageModel::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["local", "nfs", "nfs+negcache"]);
+    }
 
     #[test]
     fn local_warm_after_first_touch() {

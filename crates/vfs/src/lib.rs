@@ -45,6 +45,6 @@ mod fs;
 pub use counters::{CounterSnapshot, SyscallCounters};
 pub use error::{VfsError, VfsResult};
 pub use fs::Vfs;
-pub use latency::{AttrCache, Backend, CostModel, LocalParams, NfsParams};
+pub use latency::{AttrCache, Backend, CostModel, LocalParams, NfsParams, StorageModel};
 pub use strace::{Op, Outcome, StraceLog, Syscall};
 pub use tree::{FileKind, Inode, Metadata};

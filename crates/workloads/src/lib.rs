@@ -28,7 +28,9 @@ pub mod paradox;
 pub mod pynamic;
 pub mod rocm;
 pub mod samba;
+pub mod workload;
 
 mod rng;
 
 pub use rng::SplitMix;
+pub use workload::{Emacs, InstalledWorkload, Pynamic, PynamicRpath, Workload};

@@ -24,6 +24,13 @@ pub struct PynamicWorkload {
     pub lib_dirs: Vec<String>,
 }
 
+impl PynamicWorkload {
+    /// Absolute path of every installed module library (one per directory).
+    pub fn lib_paths(&self) -> Vec<String> {
+        self.lib_dirs.iter().enumerate().map(|(i, d)| format!("{d}/{}", soname_of(i))).collect()
+    }
+}
+
 fn dir_of(root: &str, i: usize) -> String {
     format!("{root}/pymodule-{i:03}")
 }
@@ -54,6 +61,46 @@ pub fn install(fs: &Vfs, root: &str, n_libs: usize) -> Result<PynamicWorkload, V
 /// Install at the paper's scale.
 pub fn install_paper(fs: &Vfs, root: &str) -> Result<PynamicWorkload, VfsError> {
     install(fs, root, N_LIBS_PAPER)
+}
+
+/// The RPATH variant: same per-directory module layout, but the executable
+/// carries the directory list as `RPATH` rather than `RUNPATH`, and every
+/// module is *also* staged into one flat directory (`{root}/flat`) meant for
+/// `LD_LIBRARY_PATH`. Loader semantics then diverge observably: glibc
+/// consults RPATH before the environment (quadratic directory scan), musl
+/// consults the environment first (one flat-directory hit per module) — the
+/// cross-backend contrast the scenario matrix measures.
+pub fn install_rpath_variant(
+    fs: &Vfs,
+    root: &str,
+    n_libs: usize,
+) -> Result<PynamicWorkload, VfsError> {
+    let flat = flat_dir(root);
+    let mut lib_dirs = Vec::with_capacity(n_libs);
+    for i in 0..n_libs {
+        let dir = dir_of(root, i);
+        let lib = ElfObject::dso(soname_of(i)).virtual_size(1 << 20).build();
+        io::install(fs, &format!("{dir}/{}", soname_of(i)), &lib)?;
+        io::install(fs, &format!("{flat}/{}", soname_of(i)), &lib)?;
+        lib_dirs.push(dir);
+    }
+    let exe_path = format!("{root}/bin/pynamic-rpath");
+    // A modest executable: this variant exists to expose *search-path*
+    // semantics, so metadata traffic — not the 213 MiB bigexe transfer —
+    // should dominate its launch profile.
+    let exe = ElfObject::exe("pynamic-rpath")
+        .needs_all((0..n_libs).map(soname_of))
+        .rpath_all(lib_dirs.clone())
+        .virtual_size(16 << 20)
+        .build();
+    io::install(fs, &exe_path, &exe)?;
+    Ok(PynamicWorkload { exe_path, n_libs, lib_dirs })
+}
+
+/// The flat staging directory [`install_rpath_variant`] fills — the
+/// `LD_LIBRARY_PATH` entry of that scenario's environment.
+pub fn flat_dir(root: &str) -> String {
+    format!("{root}/flat")
 }
 
 /// The dlopen variant: python modules loaded at runtime rather than linked.
@@ -146,6 +193,32 @@ mod tests {
         let r = GlibcLoader::new(&fs).with_env(env).load(&w.exe_path).unwrap();
         assert_eq!(r.library_count(), 25, "now linked up-front, search-free");
         assert_eq!(r.syscalls.misses, 0);
+    }
+
+    #[test]
+    fn rpath_variant_diverges_between_glibc_and_musl() {
+        use depchaos_loader::MuslLoader;
+        let fs = Vfs::local();
+        let w = install_rpath_variant(&fs, "/apps/pyr", 20).unwrap();
+        let env = Environment::bare().with_ld_library_path(&flat_dir("/apps/pyr"));
+        let g = GlibcLoader::new(&fs).with_env(env.clone()).load(&w.exe_path).unwrap();
+        let m = MuslLoader::new(&fs).with_env(env).load(&w.exe_path).unwrap();
+        assert!(g.success() && m.success());
+        // glibc honours RPATH first: quadratic probing of the per-lib dirs.
+        assert!(g.stat_openat() as usize >= (20 * 21) / 2);
+        // musl checks LD_LIBRARY_PATH first: one flat hit per module.
+        assert!((m.stat_openat() as usize) < 3 * 20, "musl went flat: {}", m.stat_openat());
+    }
+
+    #[test]
+    fn lib_paths_match_layout() {
+        let fs = Vfs::local();
+        let w = install(&fs, "/a", 5).unwrap();
+        let paths = w.lib_paths();
+        assert_eq!(paths.len(), 5);
+        for p in &paths {
+            assert!(fs.exists(p), "{p} installed");
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The [`Workload`] trait: a nameable, installable application.
+//!
+//! The scenario-matrix engine (`depchaos-launch`) enumerates workloads as
+//! one experiment axis, so each one must be expressible as data: a stable
+//! name for cache keys and report rows, an `install` that builds the world
+//! into any [`Vfs`], and the environment the application is launched under.
+//! The per-module generators ([`crate::pynamic`], [`crate::emacs`], ...)
+//! stay the primitive API; implementations here are thin adapters over
+//! them.
+
+use depchaos_loader::Environment;
+use depchaos_vfs::{Vfs, VfsError};
+
+use crate::{emacs, pynamic};
+
+/// What [`Workload::install`] produced: the executable to launch and the
+/// library files placed — enough for harnesses to wrap, profile, or index
+/// the world (e.g. building a hash-store manifest) without re-deriving the
+/// layout.
+#[derive(Debug, Clone)]
+pub struct InstalledWorkload {
+    pub exe_path: String,
+    pub lib_paths: Vec<String>,
+}
+
+/// A named, installable application the experiment matrix can enumerate.
+pub trait Workload: Send + Sync {
+    /// Stable identity: used as a profile-cache key component and a report
+    /// column, so two configurations that install different worlds must
+    /// carry different names.
+    fn name(&self) -> &str;
+
+    /// Build the world into `fs` (unaccounted package installation).
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError>;
+
+    /// The environment the application launches under. Defaults to bare —
+    /// the paper's measurement configuration.
+    fn environment(&self) -> Environment {
+        Environment::bare()
+    }
+}
+
+/// The Fig 6 workload: Pynamic-style MPI application, `n_libs` modules each
+/// alone in its own RUNPATH directory (see [`pynamic::install`]).
+#[derive(Debug, Clone)]
+pub struct Pynamic {
+    name: String,
+    n_libs: usize,
+}
+
+impl Pynamic {
+    pub fn new(n_libs: usize) -> Self {
+        Pynamic { name: format!("pynamic-{n_libs}"), n_libs }
+    }
+
+    /// The paper's ~900-library configuration.
+    pub fn paper() -> Self {
+        Self::new(pynamic::N_LIBS_PAPER)
+    }
+
+    pub fn n_libs(&self) -> usize {
+        self.n_libs
+    }
+}
+
+impl Workload for Pynamic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        let w = pynamic::install(fs, "/apps/pynamic", self.n_libs)?;
+        Ok(InstalledWorkload { exe_path: w.exe_path.clone(), lib_paths: w.lib_paths() })
+    }
+}
+
+/// The RPATH variant of Pynamic (see [`pynamic::install_rpath_variant`]):
+/// launched with `LD_LIBRARY_PATH` pointing at the flat staging directory,
+/// so glibc (RPATH first) and musl (environment first) produce visibly
+/// different op streams over the *same* world.
+#[derive(Debug, Clone)]
+pub struct PynamicRpath {
+    name: String,
+    n_libs: usize,
+}
+
+impl PynamicRpath {
+    const ROOT: &'static str = "/apps/pynamic-rpath";
+
+    pub fn new(n_libs: usize) -> Self {
+        PynamicRpath { name: format!("pynamic-rpath-{n_libs}"), n_libs }
+    }
+}
+
+impl Workload for PynamicRpath {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        let w = pynamic::install_rpath_variant(fs, Self::ROOT, self.n_libs)?;
+        Ok(InstalledWorkload { exe_path: w.exe_path.clone(), lib_paths: w.lib_paths() })
+    }
+
+    fn environment(&self) -> Environment {
+        Environment::bare().with_ld_library_path(&pynamic::flat_dir(Self::ROOT))
+    }
+}
+
+/// The Table II workload: emacs-as-built-by-Nix (see [`emacs::install`]).
+#[derive(Debug, Clone, Default)]
+pub struct Emacs;
+
+impl Workload for Emacs {
+    fn name(&self) -> &str {
+        "emacs"
+    }
+
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        let w = emacs::install(fs)?;
+        Ok(InstalledWorkload { exe_path: w.exe_path, lib_paths: w.lib_paths })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_loader::{GlibcLoader, Loader};
+
+    fn loads_clean(w: &dyn Workload) {
+        let fs = Vfs::local();
+        let inst = w.install(&fs).unwrap();
+        let loader = GlibcLoader::new(&fs).with_env(w.environment());
+        let r = Loader::load(&loader, &inst.exe_path).unwrap();
+        assert!(r.success(), "{} should load: {:?}", w.name(), r.failures);
+        for p in &inst.lib_paths {
+            assert!(fs.exists(p), "{}: reported lib {p} missing", w.name());
+        }
+    }
+
+    #[test]
+    fn every_stock_workload_installs_and_loads() {
+        loads_clean(&Pynamic::new(25));
+        loads_clean(&PynamicRpath::new(25));
+        loads_clean(&Emacs);
+    }
+
+    #[test]
+    fn names_encode_scale() {
+        assert_eq!(Pynamic::new(200).name(), "pynamic-200");
+        assert_eq!(Pynamic::paper().name(), "pynamic-900");
+        assert_eq!(PynamicRpath::new(64).name(), "pynamic-rpath-64");
+        assert_eq!(Emacs.name(), "emacs");
+    }
+
+    #[test]
+    fn workloads_are_object_safe_and_shareable() {
+        let ws: Vec<std::sync::Arc<dyn Workload>> =
+            vec![std::sync::Arc::new(Pynamic::new(10)), std::sync::Arc::new(Emacs)];
+        let names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["pynamic-10", "emacs"]);
+    }
+}

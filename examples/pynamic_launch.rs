@@ -1,12 +1,18 @@
-//! Fig 6: Pynamic time-to-launch from NFS, normal vs shrinkwrapped,
-//! at 512 / 1024 / 2048 ranks.
+//! Fig 6: Pynamic time-to-launch from NFS, normal vs shrinkwrapped, at
+//! 512 / 1024 / 2048 ranks — plus the §V-A Spindle-broadcast ablation.
 //!
 //! Run with: `cargo run --release --example pynamic_launch [n_libs]`
 //! (defaults to the paper's 900 libraries; use e.g. 200 for a quick run).
+//!
+//! The whole figure is one scenario-matrix run: the wrap states and cache
+//! policies are axes, and the (workload, backend, storage) cell is
+//! profiled exactly once however many scenarios share it.
 
-use depchaos::prelude::*;
-use depchaos_launch::render_fig6;
-use depchaos_workloads::pynamic;
+use depchaos::prelude::{
+    render_fig6, CachePolicy, ExperimentMatrix, MatrixBackend, ProfileCache, StorageModel,
+    WrapState,
+};
+use depchaos::workloads::{pynamic, Pynamic};
 
 fn main() {
     let n_libs: usize =
@@ -14,36 +20,33 @@ fn main() {
 
     // The application lives on NFS; caches cold; negative caching off —
     // exactly the paper's measurement conditions.
-    let fs = Vfs::nfs();
-    let w = pynamic::install(&fs, "/apps/pynamic", n_libs).unwrap();
-    let env = Environment::bare();
     println!("pynamic-bigexe: {n_libs} shared libraries, each in its own runpath dir\n");
+    let cache = ProfileCache::new();
+    let report = ExperimentMatrix::new()
+        .workload(Pynamic::new(n_libs))
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies(CachePolicy::all())
+        .run(&cache);
 
-    let normal_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
-    println!(
-        "one rank, normal:  {} stat/openat ({} misses)",
-        normal_ops.stat_openat(),
-        normal_ops.misses()
-    );
-
-    wrap(&fs, &w.exe_path, &ShrinkwrapOptions::new().env(env.clone())).unwrap();
-    let wrapped_ops = profile_load(&fs, &w.exe_path, &env).unwrap();
+    let pick = |wrap: WrapState, cache: CachePolicy| {
+        report.one(wrap, cache).expect("scenario present in matrix")
+    };
+    let normal = pick(WrapState::Plain, CachePolicy::Cold);
+    let wrapped = pick(WrapState::Wrapped, CachePolicy::Cold);
+    println!("one rank, normal:  {} stat/openat ({} misses)", normal.stat_openat, normal.misses);
     println!(
         "one rank, wrapped: {} stat/openat ({} misses)\n",
-        wrapped_ops.stat_openat(),
-        wrapped_ops.misses()
+        wrapped.stat_openat, wrapped.misses
     );
-
-    let cfg = LaunchConfig::default();
-    let points = [512usize, 1024, 2048];
-    let normal = sweep_ranks(&normal_ops, &cfg, &points);
-    let wrapped = sweep_ranks(&wrapped_ops, &cfg, &points);
-    print!("{}", render_fig6(&points, &normal, &wrapped));
+    print!("{}", render_fig6(&report.rank_points, &normal.series, &wrapped.series));
 
     // The Spindle remark from §V-A: broadcast caching helps the unwrapped
-    // case too — composing both is best.
-    let spindle_cfg = LaunchConfig { broadcast_cache: true, ..LaunchConfig::default() };
-    let spindled = sweep_ranks(&normal_ops, &spindle_cfg, &points);
+    // case too — composing both is best. Same profile cell, different DES
+    // cache policy; nothing was re-profiled.
+    let spindled = pick(WrapState::Plain, CachePolicy::Broadcast);
     println!("\nwith a Spindle-style broadcast cache instead of shrinkwrapping:");
-    print!("{}", render_fig6(&points, &normal, &spindled));
+    print!("{}", render_fig6(&report.rank_points, &normal.series, &spindled.series));
+    assert_eq!(report.cells_profiled, 1, "four scenarios, one profiling run");
 }

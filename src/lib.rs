@@ -20,7 +20,11 @@
 //! * [`shrinkwrap`] — the paper's contribution (crate `depchaos-core`),
 //!   backend-generic: [`shrinkwrap::Strategy`] freezes whatever closure any
 //!   [`loader::Loader`] resolves;
-//! * [`launch`] — the Fig 6 parallel-launch discrete-event simulation.
+//! * [`launch`] — the Fig 6 parallel-launch discrete-event simulation,
+//!   generalised into a scenario-matrix sweep engine
+//!   ([`launch::ExperimentMatrix`]): workload × backend × storage × wrap
+//!   state × cache policy, with memoized profiling and per-backend
+//!   renderers.
 //!
 //! ## Quickstart
 //!
@@ -72,7 +76,9 @@ pub mod prelude {
     pub use depchaos_elf::{ElfEditor, ElfObject, Machine, Symbol};
     pub use depchaos_graph::{ConstraintTally, DepGraph, VersionConstraint};
     pub use depchaos_launch::{
-        profile_load, profile_load_with, simulate_launch, sweep_ranks, LaunchConfig,
+        profile_load, profile_load_checked, profile_load_with, render_fig6, simulate_launch,
+        sweep_ranks, CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend, ProfileCache,
+        SweepReport, WrapState,
     };
     pub use depchaos_loader::{
         analyze_tree, Environment, FutureLoader, GlibcLoader, HashStoreService, LdCache, Loader,
@@ -82,5 +88,6 @@ pub mod prelude {
         build_view, gc, BinDef, BundleInstaller, FhsInstaller, LibDef, Module, ModuleSystem,
         PackageDef, Profile, Repo, StoreInstaller,
     };
-    pub use depchaos_vfs::{Backend, Vfs};
+    pub use depchaos_vfs::{Backend, StorageModel, Vfs};
+    pub use depchaos_workloads::{InstalledWorkload, Workload};
 }

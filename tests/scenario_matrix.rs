@@ -1,0 +1,178 @@
+//! The scenario-matrix engine, cross-crate: profile-cache determinism as a
+//! property, and the cross-backend Fig 6 divergence/convergence claims.
+
+use depchaos_launch::{
+    CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend, ProfileCache, WrapState,
+};
+use depchaos_vfs::StorageModel;
+use depchaos_workloads::{Emacs, Pynamic, PynamicRpath, Workload};
+use proptest::prelude::*;
+
+fn backend_of(idx: usize) -> MatrixBackend {
+    let mut all = MatrixBackend::all();
+    all.remove(idx % all.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Profiling is deterministic: asking the cache for the same cell again
+    /// returns the very same memoized profile, and an independent cache
+    /// profiling the same cell from scratch produces a byte-identical
+    /// strace log — whatever the workload scale, backend, or storage model.
+    #[test]
+    fn profile_cache_repeats_are_byte_identical(
+        n_libs in 5usize..30,
+        backend_idx in 0usize..4,
+        storage_idx in 0usize..3,
+    ) {
+        let workload = Pynamic::new(n_libs);
+        let backend = backend_of(backend_idx);
+        let storage = StorageModel::all()[storage_idx];
+
+        let cache = ProfileCache::new();
+        let first = cache.get_or_profile(&workload, &backend, storage);
+        let again = cache.get_or_profile(&workload, &backend, storage);
+        prop_assert!(std::sync::Arc::ptr_eq(&first, &again), "repeat hit is memoized");
+        prop_assert_eq!(cache.computed(), 1);
+
+        let fresh = ProfileCache::new().get_or_profile(&workload, &backend, storage);
+        for wrap in WrapState::all() {
+            match (first.outcome(wrap), fresh.outcome(wrap)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.log.entries, &b.log.entries, "op streams identical");
+                    prop_assert_eq!(a.stat_openat, b.stat_openat);
+                    prop_assert_eq!(a.complete, b.complete);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "even failures reproduce"),
+                (a, b) => prop_assert!(false, "outcomes diverge: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+}
+
+/// glibc consults RPATH before the environment; musl consults the
+/// environment first. On the RPATH-variant Pynamic (per-directory RPATH
+/// plus a flat `LD_LIBRARY_PATH` staging dir) the two backends' plain
+/// Fig 6 series must therefore diverge — and converge again once the
+/// binary is wrapped search-free.
+#[test]
+fn musl_and_glibc_series_diverge_plain_and_converge_wrapped() {
+    let cache = ProfileCache::new();
+    let report = ExperimentMatrix::new()
+        .workload(PynamicRpath::new(60))
+        .backends([MatrixBackend::glibc(), MatrixBackend::musl()])
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .rank_points([512usize, 2048])
+        .base_config(LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        })
+        .run(&cache);
+    assert_eq!(report.cells_profiled, 2, "one cell per backend");
+
+    let get = |backend: &str, wrap: WrapState| {
+        let found = report.find(|s| s.backend == backend && s.wrap == wrap);
+        (*found.first().unwrap_or_else(|| panic!("{backend}/{wrap:?} in report"))).clone()
+    };
+    let g_plain = get("glibc", WrapState::Plain);
+    let m_plain = get("musl", WrapState::Plain);
+    let g_wrapped = get("glibc", WrapState::Wrapped);
+    let m_wrapped = get("musl", WrapState::Wrapped);
+    for r in [&g_plain, &m_plain, &g_wrapped, &m_wrapped] {
+        assert!(r.complete, "{}: {:?}", r.spec.label(), r.error);
+    }
+
+    // Plain: glibc pays the quadratic RPATH scan, musl goes flat via the
+    // environment — different op streams, visibly different launch times.
+    assert!(g_plain.stat_openat > 3 * m_plain.stat_openat);
+    for &ranks in &report.rank_points {
+        let g = g_plain.seconds_at(ranks).unwrap();
+        let m = m_plain.seconds_at(ranks).unwrap();
+        assert!(g > 1.5 * m, "plain series diverge at {ranks} ranks: glibc {g:.1}s musl {m:.1}s");
+    }
+
+    // Wrapped: both load a search-free absolute-path image — the series
+    // converge (within noise of identical op streams).
+    for &ranks in &report.rank_points {
+        let g = g_wrapped.seconds_at(ranks).unwrap();
+        let m = m_wrapped.seconds_at(ranks).unwrap();
+        let ratio = g / m;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "wrapped series converge at {ranks} ranks: glibc {g:.2}s musl {m:.2}s"
+        );
+    }
+}
+
+/// The full four-backend sweep the `fig6-backends` report section renders:
+/// every backend gets a row, holes are data, and the hash-store service's
+/// plain series sits near wrapped-glibc (one probe per request).
+#[test]
+fn four_backend_sweep_is_complete_and_cells_are_shared() {
+    let cache = ProfileCache::new();
+    let matrix = ExperimentMatrix::new()
+        .workload(Pynamic::new(50))
+        .backends(MatrixBackend::all())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .rank_points([512usize])
+        .base_config(LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        });
+    let report = matrix.run(&cache);
+    assert_eq!(report.results.len(), 8, "4 backends × 2 wrap states");
+    assert_eq!(report.cells_profiled, 4);
+
+    let get = |backend: &str, wrap: WrapState| {
+        (*report.find(|s| s.backend == backend && s.wrap == wrap).first().unwrap()).clone()
+    };
+    // glibc and musl resolve the RUNPATH world; the future loader cannot.
+    assert!(get("glibc", WrapState::Plain).complete);
+    assert!(get("musl", WrapState::Plain).complete);
+    assert!(!get("future", WrapState::Plain).complete);
+    assert!(get("future", WrapState::Wrapped).error.is_some(), "future cannot wrap it either");
+
+    // Hash-store: one probe per request — already near the wrapped glibc
+    // line while plain.
+    let hs_plain = get("hash-store", WrapState::Plain);
+    let g_wrapped = get("glibc", WrapState::Wrapped);
+    assert!(hs_plain.complete);
+    let hs = hs_plain.seconds_at(512).unwrap();
+    let gw = g_wrapped.seconds_at(512).unwrap();
+    assert!(hs < 2.0 * gw, "hash-store plain ({hs:.1}s) near wrapped glibc ({gw:.1}s)");
+
+    // Re-running the sweep against the shared cache profiles nothing new.
+    assert_eq!(matrix.run(&cache).cells_profiled, 0);
+
+    // And the renderer covers every backend slice.
+    let tables = report.render_fig6_tables();
+    for b in ["glibc", "musl", "future", "hash-store"] {
+        assert!(tables.contains(&format!("× {b} ")), "missing {b} table:\n{tables}");
+    }
+}
+
+/// Workload axis: emacs (Table II) rides the same engine unchanged.
+#[test]
+fn emacs_is_a_first_class_matrix_workload() {
+    let cache = ProfileCache::new();
+    let report = ExperimentMatrix::new()
+        .workload(Emacs)
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Local)
+        .rank_points([512usize])
+        .run(&cache);
+    let plain = (*report.find(|s| s.wrap == WrapState::Plain).first().unwrap()).clone();
+    let wrapped = (*report.find(|s| s.wrap == WrapState::Wrapped).first().unwrap()).clone();
+    assert!(plain.complete && wrapped.complete);
+    // The Table II band, straight out of the matrix.
+    assert!((1000..3600).contains(&plain.stat_openat), "{}", plain.stat_openat);
+    assert!(wrapped.stat_openat < plain.stat_openat / 10);
+    let _ = Emacs.name();
+}
