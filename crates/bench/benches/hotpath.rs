@@ -1,0 +1,192 @@
+//! Hot-path benchmarks: the allocation-free profile→simulate pipeline.
+//!
+//! Three surfaces the PR 3 optimisations target, timed directly:
+//!
+//! * `des_million_ranks` — [`simulate_classified`] at 1Mi–4Mi ranks, the
+//!   scale the coalesced DES unlocked (warm-node coalescing + one heap
+//!   event per server op).
+//! * `vfs_resolve_deep` — slab-tree path resolution: deep component chains
+//!   and symlink hops, with lazy error-path construction keeping the
+//!   success path allocation-free.
+//! * classification itself, since sweeps amortise it across rank points.
+//!
+//! Besides the criterion `ns/iter` lines, this bench persists a
+//! `BENCH_des.json` summary at the repo root — the first entry in the
+//! measured perf trajectory. CI runs it in `--test` quick mode (fewer
+//! samples, same coverage) and uploads the file as an artifact.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depchaos_bench::banner;
+use depchaos_launch::{simulate_classified, ClassifiedStream, LaunchConfig, LaunchResult};
+use depchaos_vfs::{Op, Outcome, StraceLog, Syscall, Vfs};
+
+fn cold_stream(n: usize) -> StraceLog {
+    let mut log = StraceLog::new();
+    for i in 0..n {
+        log.push(Syscall::new(Op::Openat, &format!("/lib/l{i}.so"), Outcome::Enoent, 200_000));
+    }
+    log
+}
+
+fn warm_stream(n: usize) -> StraceLog {
+    let mut log = StraceLog::new();
+    for i in 0..n {
+        log.push(Syscall::new(Op::Stat, &format!("/wrapped/l{i}.so"), Outcome::Ok, 1_000));
+    }
+    log
+}
+
+/// One DES scenario in the persisted summary.
+struct DesPoint {
+    name: &'static str,
+    cfg: LaunchConfig,
+    ops: StraceLog,
+}
+
+fn des_points() -> Vec<DesPoint> {
+    let mi = 1024 * 1024;
+    vec![
+        DesPoint {
+            name: "broadcast_4Mi_cold500",
+            cfg: LaunchConfig {
+                ranks: 4 * mi,
+                ranks_per_node: 16,
+                broadcast_cache: true,
+                ..LaunchConfig::default()
+            },
+            ops: cold_stream(500),
+        },
+        DesPoint {
+            name: "warm_4Mi_local500",
+            cfg: LaunchConfig { ranks: 4 * mi, ranks_per_node: 16, ..LaunchConfig::default() },
+            ops: warm_stream(500),
+        },
+        DesPoint {
+            name: "broadcast_1Mi_cold500",
+            cfg: LaunchConfig {
+                ranks: mi,
+                ranks_per_node: 16,
+                broadcast_cache: true,
+                ..LaunchConfig::default()
+            },
+            ops: cold_stream(500),
+        },
+        DesPoint {
+            name: "contended_16Ki_cold500",
+            cfg: LaunchConfig { ranks: 16 * 1024, ranks_per_node: 16, ..LaunchConfig::default() },
+            ops: cold_stream(500),
+        },
+    ]
+}
+
+/// Mean ns over `iters` runs, plus one result for the summary row.
+fn time_des(point: &DesPoint, iters: u32) -> (u128, LaunchResult) {
+    let classified = ClassifiedStream::classify(&point.ops, &point.cfg);
+    let result = simulate_classified(&classified, &point.cfg);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(simulate_classified(&classified, &point.cfg));
+    }
+    (t0.elapsed().as_nanos() / iters as u128, result)
+}
+
+/// Persist the summary the CI step uploads; returns the JSON it wrote.
+fn write_summary(rows: &[(&DesPoint, u128, LaunchResult, u32)], quick: bool) -> String {
+    let mut json = String::from("{\n  \"bench\": \"des_hot_path\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n  \"results\": [\n", {
+        if quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }));
+    for (i, (p, mean_ns, r, iters)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"des_million_ranks/{}\", \"ranks\": {}, \"nodes\": {}, \
+             \"server_ops\": {}, \"simulated_launch_s\": {:.3}, \"mean_ns_per_iter\": {}, \
+             \"iters\": {}}}{}\n",
+            p.name,
+            p.cfg.ranks,
+            r.nodes,
+            r.server_ops,
+            r.seconds(),
+            mean_ns,
+            iters,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    std::fs::write(path, &json).expect("write BENCH_des.json");
+    json
+}
+
+/// A 64-deep directory chain with a file at the bottom, reachable both
+/// directly and through an 8-hop symlink ladder.
+fn deep_world() -> (Vfs, String, String) {
+    let fs = Vfs::local();
+    let deep_dir: String = (0..64).map(|i| format!("/d{i}")).collect();
+    fs.mkdir_p(&deep_dir).unwrap();
+    let deep_file = format!("{deep_dir}/leaf.so");
+    fs.write_file(&deep_file, vec![7; 64]).unwrap();
+    fs.mkdir_p("/links").unwrap();
+    fs.symlink("/links/hop0", &deep_file).unwrap();
+    for i in 1..8 {
+        fs.symlink(&format!("/links/hop{i}"), &format!("hop{}", i - 1)).unwrap();
+    }
+    (fs, deep_file, "/links/hop7".to_string())
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Hot path: coalesced DES at millions of ranks + slab VFS resolution");
+    let quick = std::env::args().any(|a| a == "--test");
+    let iters: u32 = if quick { 10 } else { 200 };
+
+    // The persisted DES summary (also printed for the bench log).
+    let points = des_points();
+    let mut rows = Vec::new();
+    for p in &points {
+        let (mean_ns, r) = time_des(p, iters);
+        println!(
+            "des_million_ranks/{:<24} ranks {:>8}  nodes {:>7}  sim {:>8.1}s  {:>10} ns/iter",
+            p.name,
+            p.cfg.ranks,
+            r.nodes,
+            r.seconds(),
+            mean_ns
+        );
+        rows.push((p, mean_ns, r, iters));
+    }
+    let json = write_summary(&rows, quick);
+    println!("wrote BENCH_des.json ({} bytes)", json.len());
+
+    let mut group = c.benchmark_group("des_million_ranks");
+    group.sample_size(if quick { 3 } else { 10 });
+    for p in &points {
+        let classified = ClassifiedStream::classify(&p.ops, &p.cfg);
+        group.bench_function(p.name, |b| b.iter(|| simulate_classified(&classified, &p.cfg)));
+    }
+    group.finish();
+
+    let (fs, deep_file, link) = deep_world();
+    let mut group = c.benchmark_group("vfs_resolve_deep");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.bench_function("stat_64_components", |b| b.iter(|| fs.stat(&deep_file).unwrap()));
+    group.bench_function("stat_8_symlink_hops", |b| b.iter(|| fs.stat(&link).unwrap()));
+    group.bench_function("canonicalize_symlink_ladder", |b| {
+        b.iter(|| fs.canonicalize(&link).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(if quick { 3 } else { 10 });
+    let ops = cold_stream(500);
+    let cfg = LaunchConfig::default();
+    group.bench_function("cold500", |b| b.iter(|| ClassifiedStream::classify(&ops, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -71,6 +71,18 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // The profiling configuration: strace capture on, so the interned-path
+    // log and dedup maps are what's being exercised — the stream every
+    // Fig 6 cell feeds to the DES, now captured without per-op allocation.
+    c.bench_function("loader/intern_load_50", |b| {
+        let loader = GlibcLoader::new(&fs).with_env(env.clone());
+        b.iter(|| {
+            fs.start_trace();
+            loader.load(&bin).unwrap();
+            fs.stop_trace()
+        })
+    });
+
     c.bench_function("loader/libtree_analyze_50", |b| {
         b.iter(|| analyze_tree(&fs, &bin, &env, &LdCache::empty()).unwrap())
     });

@@ -1,0 +1,25 @@
+//! The workspace path interner — see [`depchaos_vfs::intern`] for the
+//! implementation.
+//!
+//! This is the canonical workspace-facing home of [`PathId`]/[`intern`]:
+//! anything above the loader layer should name them through
+//! `depchaos_core::intern`. The implementation physically lives in
+//! `depchaos-vfs` because the strace log ([`depchaos_vfs::Syscall`]) stores
+//! `PathId`s and the VFS sits *below* this crate in the dependency graph —
+//! a re-export keeps the one-interner-per-process invariant while giving
+//! the workspace a single import path.
+
+pub use depchaos_vfs::intern::{intern, PathId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_interner_per_process() {
+        // The re-export and the vfs module hand out the same ids: the
+        // interner is global, not per-crate.
+        assert_eq!(intern("/core/reexport"), depchaos_vfs::intern::intern("/core/reexport"));
+        assert_eq!(PathId::from("/core/reexport").as_str(), "/core/reexport");
+    }
+}

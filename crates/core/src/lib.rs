@@ -39,6 +39,7 @@
 
 pub mod audit;
 pub mod batch;
+pub mod intern;
 pub mod native;
 pub mod options;
 pub mod report;
@@ -46,6 +47,7 @@ pub mod wrap;
 
 pub use audit::{audit, cross_loader_check, AuditReport};
 pub use batch::{wrap_tree, TreeReport};
+pub use intern::{intern, PathId};
 pub use options::{LoaderBackend, LoaderFactory, OnMissing, ShrinkwrapOptions, Strategy};
 pub use report::{WrapError, WrapReport, WrapWarning};
 pub use wrap::wrap;

@@ -5,6 +5,34 @@
 //! dynamic loader issues one syscall at a time, so a node cannot pipeline
 //! its own lookups. Contention emerges naturally: every node's cold op
 //! must pass through the single server queue.
+//!
+//! # The hot path: classify once, coalesce what is symmetric
+//!
+//! Simulation is split into two phases so a rank sweep pays classification
+//! exactly once:
+//!
+//! 1. [`ClassifiedStream::classify`] turns the raw [`StraceLog`] into a
+//!    compact schedule: one segment per server round trip (its preceding
+//!    local-compute time folded into a single number) plus aggregate
+//!    counts. This is the only pass that touches the op stream, and its
+//!    output is immutable — [`crate::sweep_ranks`] and the experiment
+//!    engine share one `ClassifiedStream` across every rank point of a
+//!    cell instead of re-deriving (and re-allocating) it per point.
+//! 2. [`simulate_classified`] runs the DES against the schedule. Nodes
+//!    whose replay never touches the server — warm nodes under a
+//!    broadcast cache, or any node when the stream has no server ops —
+//!    are *coalesced analytically*: they are symmetric, so their finish
+//!    time is computed once and multiplied out. Only cold nodes with
+//!    server traffic enter the event heap, and each contributes one event
+//!    per server op rather than one per op.
+//!
+//! The per-rank-point cost therefore drops from
+//! `O(nodes × ops · log nodes)` to `O(cold_nodes × server_ops ·
+//! log cold_nodes)`: a Spindle-style broadcast sweep at 4M ranks
+//! (262,144 nodes) schedules one node, and a wrapped all-warm stream
+//! schedules none. Results are **bit-identical** to the retained
+//! [`reference`] implementation — `tests/des_equivalence.rs` proves it by
+//! property test across random streams, rank counts, and cache policies.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -13,128 +41,236 @@ use depchaos_vfs::{Op, StraceLog};
 
 use crate::config::{LaunchConfig, LaunchResult};
 
-/// Classification of one op for the simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum OpClass {
-    /// Round-trips to the server (cold metadata, or data reads).
-    /// `client_extra_ns` is time the client spends consuming the response
-    /// after the server frees up (stream transfer of read data).
-    Server { service_ns: u64, client_extra_ns: u64 },
-    /// Satisfied from the client cache.
-    Local { cost_ns: u64 },
+/// The [`LaunchConfig`] fields classification depends on. Two configs with
+/// equal `ClassifyParams` can share one [`ClassifiedStream`] — rank count,
+/// node shape, overheads, and cache policy all vary freely across a sweep
+/// without reclassifying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassifyParams {
+    pub rtt_ns: u64,
+    pub meta_service_ns: u64,
+    pub warm_ns: u64,
 }
 
-/// Classify the profiled ops. Anything the VFS charged at least an RTT for
-/// was a server round trip; reads ship their (size-derived) cost as the
-/// service time; the rest is client-local.
-fn classify(ops: &StraceLog, cfg: &LaunchConfig) -> Vec<OpClass> {
-    ops.entries
-        .iter()
-        .map(|e| {
+impl ClassifyParams {
+    /// The classification-relevant slice of `cfg`.
+    pub fn of(cfg: &LaunchConfig) -> Self {
+        ClassifyParams {
+            rtt_ns: cfg.rtt_ns,
+            meta_service_ns: cfg.meta_service_ns,
+            warm_ns: cfg.warm_ns,
+        }
+    }
+}
+
+/// One server round trip in the schedule: the local compute a node performs
+/// since its previous server op, then the request itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ServerSeg {
+    /// Client-local time spent before issuing this request.
+    pre_local_ns: u64,
+    /// Server-side occupancy of the request.
+    service_ns: u64,
+    /// Client-side time consuming the response after the server moves on
+    /// (streaming transfer of read payloads).
+    client_extra_ns: u64,
+}
+
+/// A classified, compacted op stream: the reusable input to
+/// [`simulate_classified`]. Build one per (op stream, [`ClassifyParams`])
+/// and sweep as many rank points over it as you like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedStream {
+    params: ClassifyParams,
+    /// One entry per server-class op, in stream order.
+    segments: Vec<ServerSeg>,
+    /// Local compute after the last server op.
+    tail_local_ns: u64,
+    /// Total ops in the original stream.
+    n_ops: u64,
+    /// Ops classified client-local (for a cold node).
+    n_local: u64,
+}
+
+impl ClassifiedStream {
+    /// Classify the profiled ops under `cfg`'s latency calibration.
+    /// Anything the VFS charged at least an RTT for was a server round
+    /// trip; reads ship their (size-derived) cost as the service time; the
+    /// rest is client-local.
+    pub fn classify(ops: &StraceLog, cfg: &LaunchConfig) -> Self {
+        let params = ClassifyParams::of(cfg);
+        let mut segments = Vec::new();
+        let mut pre_local_ns = 0u64;
+        let mut n_local = 0u64;
+        for e in &ops.entries {
             if e.op == Op::Read {
                 // Data reads are bandwidth-bound, not IOPS-bound: the server
                 // streams to several clients at once, so its per-read
                 // occupancy is a fraction of the client-perceived transfer
                 // time; the client still spends the full cost receiving.
-                let service = (e.cost_ns / 8).max(cfg.meta_service_ns);
-                OpClass::Server {
+                let service = (e.cost_ns / 8).max(params.meta_service_ns);
+                segments.push(ServerSeg {
+                    pre_local_ns,
                     service_ns: service,
                     client_extra_ns: e.cost_ns.saturating_sub(service),
-                }
-            } else if e.cost_ns >= cfg.rtt_ns {
-                OpClass::Server { service_ns: cfg.meta_service_ns, client_extra_ns: 0 }
+                });
+                pre_local_ns = 0;
+            } else if e.cost_ns >= params.rtt_ns {
+                segments.push(ServerSeg {
+                    pre_local_ns,
+                    service_ns: params.meta_service_ns,
+                    client_extra_ns: 0,
+                });
+                pre_local_ns = 0;
             } else {
-                OpClass::Local { cost_ns: e.cost_ns.max(cfg.warm_ns) }
+                pre_local_ns += e.cost_ns.max(params.warm_ns);
+                n_local += 1;
             }
-        })
-        .collect()
+        }
+        ClassifiedStream {
+            params,
+            segments,
+            tail_local_ns: pre_local_ns,
+            n_ops: ops.entries.len() as u64,
+            n_local,
+        }
+    }
+
+    /// The parameters this stream was classified under.
+    pub fn params(&self) -> ClassifyParams {
+        self.params
+    }
+
+    /// Server round trips one cold replay performs.
+    pub fn server_ops(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Total ops in the underlying stream.
+    pub fn len(&self) -> u64 {
+        self.n_ops
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_ops == 0
+    }
+
+    /// A cold node's total client-local compute (excludes server waits).
+    pub fn local_total_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.pre_local_ns).sum::<u64>() + self.tail_local_ns
+    }
+
+    /// Wall time of one fully warm replay: every op, server-class or not,
+    /// hits the node cache... except locals keep their own (higher) cost.
+    fn warm_replay_ns(&self) -> u64 {
+        self.local_total_ns() + self.server_ops() * self.params.warm_ns
+    }
 }
 
 /// Simulate launching `cfg.ranks` ranks whose per-rank startup op stream is
 /// `ops` (captured by [`crate::profile::profile_load`] on a cold mount).
+///
+/// Classifies and simulates in one call; when sweeping several rank points
+/// over one stream, build the [`ClassifiedStream`] once and call
+/// [`simulate_classified`] per point instead.
 pub fn simulate_launch(ops: &StraceLog, cfg: &LaunchConfig) -> LaunchResult {
-    let classes = classify(ops, cfg);
+    simulate_classified(&ClassifiedStream::classify(ops, cfg), cfg)
+}
+
+/// The DES over a pre-classified stream. Exact — bit-identical to
+/// [`reference::simulate_launch_reference`] — but warm nodes cost O(1) and
+/// cold nodes cost one heap event per *server* op.
+///
+/// Panics if `cfg`'s latency calibration differs from the one the stream
+/// was classified under (rank count, node shape, overheads, and cache
+/// policy may differ freely).
+pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> LaunchResult {
+    assert_eq!(
+        stream.params(),
+        ClassifyParams::of(cfg),
+        "ClassifiedStream reused under a different latency calibration; reclassify"
+    );
     let nodes = cfg.nodes();
     // With a broadcast cache only node 0 pays the cold stream; the others
     // see every op warm.
     let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
+    let warm_nodes = nodes - cold_nodes;
 
-    let mut server_ops = 0u64;
-    let mut local_ops = 0u64;
+    // Warm nodes never interact with the server and replay identical
+    // streams: one analytic replay covers them all.
+    let warm_done_ns = if warm_nodes > 0 { stream.warm_replay_ns() } else { 0 };
+    let mut local_ops = warm_nodes as u64 * stream.n_ops;
 
-    // Per-node cursor into the op stream and local clock.
-    #[derive(Debug)]
-    struct Node {
-        next_op: usize,
-        clock_ns: u64,
-        done_ns: u64,
-    }
-    let mut node_state: Vec<Node> =
-        (0..nodes).map(|_| Node { next_op: 0, clock_ns: 0, done_ns: 0 }).collect();
+    // Every cold node consumes the same local-class ops regardless of how
+    // the server queue interleaves them.
+    local_ops += cold_nodes as u64 * stream.n_local;
+    let server_ops = cold_nodes as u64 * stream.server_ops();
 
-    // Advance a node through local ops until its next server op (or the
-    // end); returns Some((issue time, service time)) or None when done.
-    fn advance(
-        n: &mut Node,
-        classes: &[OpClass],
-        is_cold: bool,
-        warm_ns: u64,
-        local_ops: &mut u64,
-    ) -> Option<(u64, u64, u64)> {
-        while n.next_op < classes.len() {
-            match classes[n.next_op] {
-                OpClass::Local { cost_ns } => {
-                    n.clock_ns += cost_ns;
-                    n.next_op += 1;
-                    *local_ops += 1;
+    let mut peak_queue_depth = 0usize;
+    let cold_done_ns = if stream.segments.is_empty() {
+        // No server traffic: cold nodes are symmetric too — coalesce.
+        stream.local_total_ns()
+    } else {
+        // Per-node cursor into the segment schedule and local clock. Only
+        // cold nodes exist here, and only their server ops are events.
+        struct Node {
+            next_seg: usize,
+            clock_ns: u64,
+        }
+        let mut node_state: Vec<Node> =
+            (0..cold_nodes).map(|_| Node { next_seg: 0, clock_ns: 0 }).collect();
+
+        // Event queue of (arrival at server, node, service time, client
+        // extra) — the tuple layout (and so the tie-breaking order) of the
+        // reference implementation.
+        let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> =
+            BinaryHeap::with_capacity(cold_nodes);
+        let first = stream.segments[0];
+        for (i, n) in node_state.iter_mut().enumerate() {
+            n.clock_ns = first.pre_local_ns;
+            heap.push(Reverse((
+                n.clock_ns + cfg.rtt_ns / 2,
+                i,
+                first.service_ns,
+                first.client_extra_ns,
+            )));
+        }
+
+        let mut server_busy_ns = 0u64;
+        let mut done_max_ns = 0u64;
+        while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
+            peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
+            let start = server_busy_ns.max(arrival);
+            let done = start + svc;
+            server_busy_ns = done;
+            // Client resumes after the response returns and it has consumed
+            // the payload (reads stream for `extra` after the server moves
+            // on), then computes locally until its next request.
+            let n = &mut node_state[i];
+            n.clock_ns = done + cfg.rtt_ns / 2 + extra;
+            n.next_seg += 1;
+            match stream.segments.get(n.next_seg) {
+                Some(seg) => {
+                    n.clock_ns += seg.pre_local_ns;
+                    heap.push(Reverse((
+                        n.clock_ns + cfg.rtt_ns / 2,
+                        i,
+                        seg.service_ns,
+                        seg.client_extra_ns,
+                    )));
                 }
-                OpClass::Server { service_ns, client_extra_ns } => {
-                    if !is_cold {
-                        // Warm replay: even "server" ops hit the node cache.
-                        n.clock_ns += warm_ns;
-                        n.next_op += 1;
-                        *local_ops += 1;
-                        continue;
-                    }
-                    n.next_op += 1;
-                    return Some((n.clock_ns, service_ns, client_extra_ns));
+                None => {
+                    n.clock_ns += stream.tail_local_ns;
+                    done_max_ns = done_max_ns.max(n.clock_ns);
                 }
             }
         }
-        n.done_ns = n.clock_ns;
-        None
-    }
-
-    // Event queue of (arrival at server, node, service time, client extra).
-    let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
-    for (i, n) in node_state.iter_mut().enumerate() {
-        let cold = i < cold_nodes;
-        if let Some((t, svc, extra)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
-            heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc, extra)));
-        }
-    }
-
-    let mut server_busy_ns = 0u64;
-    let mut peak_queue_depth = 0usize;
-    while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
-        peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-        let start = server_busy_ns.max(arrival);
-        let done = start + svc;
-        server_busy_ns = done;
-        server_ops += 1;
-        // Client resumes after the response returns and it has consumed the
-        // payload (reads stream for client_extra after the server moves on).
-        let n = &mut node_state[i];
-        n.clock_ns = done + cfg.rtt_ns / 2 + extra;
-        let cold = i < cold_nodes;
-        if let Some((t, s, e)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
-            heap.push(Reverse((t + cfg.rtt_ns / 2, i, s, e)));
-        }
-    }
+        done_max_ns
+    };
 
     // Per-node completion plus serialized per-rank spawn overhead.
     let spawn_ns = cfg.per_rank_overhead_ns * cfg.ranks_per_node.min(cfg.ranks) as u64;
-    let slowest = node_state.iter().map(|n| n.done_ns).max().unwrap_or(0);
+    let slowest = cold_done_ns.max(warm_done_ns);
     LaunchResult {
         time_to_launch_ns: cfg.base_overhead_ns + spawn_ns + slowest,
         nodes,
@@ -144,28 +280,140 @@ pub fn simulate_launch(ops: &StraceLog, cfg: &LaunchConfig) -> LaunchResult {
     }
 }
 
+pub mod reference {
+    //! The retained pre-coalescing implementation: every node walks every
+    //! op through an explicit per-node cursor, `O(nodes × ops · log
+    //! nodes)`. Kept verbatim as the equivalence oracle for
+    //! [`super::simulate_classified`] (`tests/des_equivalence.rs` asserts
+    //! bit-identical [`LaunchResult`]s) — do not optimise this module.
+
+    use super::*;
+
+    /// Classification of one op for the simulation.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum OpClass {
+        /// Round-trips to the server (cold metadata, or data reads).
+        Server { service_ns: u64, client_extra_ns: u64 },
+        /// Satisfied from the client cache.
+        Local { cost_ns: u64 },
+    }
+
+    fn classify(ops: &StraceLog, cfg: &LaunchConfig) -> Vec<OpClass> {
+        ops.entries
+            .iter()
+            .map(|e| {
+                if e.op == Op::Read {
+                    let service = (e.cost_ns / 8).max(cfg.meta_service_ns);
+                    OpClass::Server {
+                        service_ns: service,
+                        client_extra_ns: e.cost_ns.saturating_sub(service),
+                    }
+                } else if e.cost_ns >= cfg.rtt_ns {
+                    OpClass::Server { service_ns: cfg.meta_service_ns, client_extra_ns: 0 }
+                } else {
+                    OpClass::Local { cost_ns: e.cost_ns.max(cfg.warm_ns) }
+                }
+            })
+            .collect()
+    }
+
+    /// The O(nodes × ops) oracle — see the module doc.
+    pub fn simulate_launch_reference(ops: &StraceLog, cfg: &LaunchConfig) -> LaunchResult {
+        let classes = classify(ops, cfg);
+        let nodes = cfg.nodes();
+        let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
+
+        let mut server_ops = 0u64;
+        let mut local_ops = 0u64;
+
+        #[derive(Debug)]
+        struct Node {
+            next_op: usize,
+            clock_ns: u64,
+            done_ns: u64,
+        }
+        let mut node_state: Vec<Node> =
+            (0..nodes).map(|_| Node { next_op: 0, clock_ns: 0, done_ns: 0 }).collect();
+
+        fn advance(
+            n: &mut Node,
+            classes: &[OpClass],
+            is_cold: bool,
+            warm_ns: u64,
+            local_ops: &mut u64,
+        ) -> Option<(u64, u64, u64)> {
+            while n.next_op < classes.len() {
+                match classes[n.next_op] {
+                    OpClass::Local { cost_ns } => {
+                        n.clock_ns += cost_ns;
+                        n.next_op += 1;
+                        *local_ops += 1;
+                    }
+                    OpClass::Server { service_ns, client_extra_ns } => {
+                        if !is_cold {
+                            n.clock_ns += warm_ns;
+                            n.next_op += 1;
+                            *local_ops += 1;
+                            continue;
+                        }
+                        n.next_op += 1;
+                        return Some((n.clock_ns, service_ns, client_extra_ns));
+                    }
+                }
+            }
+            n.done_ns = n.clock_ns;
+            None
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+        for (i, n) in node_state.iter_mut().enumerate() {
+            let cold = i < cold_nodes;
+            if let Some((t, svc, extra)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
+                heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc, extra)));
+            }
+        }
+
+        let mut server_busy_ns = 0u64;
+        let mut peak_queue_depth = 0usize;
+        while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
+            peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
+            let start = server_busy_ns.max(arrival);
+            let done = start + svc;
+            server_busy_ns = done;
+            server_ops += 1;
+            let n = &mut node_state[i];
+            n.clock_ns = done + cfg.rtt_ns / 2 + extra;
+            let cold = i < cold_nodes;
+            if let Some((t, s, e)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
+                heap.push(Reverse((t + cfg.rtt_ns / 2, i, s, e)));
+            }
+        }
+
+        let spawn_ns = cfg.per_rank_overhead_ns * cfg.ranks_per_node.min(cfg.ranks) as u64;
+        let slowest = node_state.iter().map(|n| n.done_ns).max().unwrap_or(0);
+        LaunchResult {
+            time_to_launch_ns: cfg.base_overhead_ns + spawn_ns + slowest,
+            nodes,
+            server_ops,
+            local_ops,
+            peak_queue_depth,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::simulate_launch_reference;
     use super::*;
     use depchaos_vfs::{Outcome, Syscall};
 
     fn stream(n_cold: usize, n_warm: usize) -> StraceLog {
         let mut log = StraceLog::new();
         for i in 0..n_cold {
-            log.push(Syscall {
-                op: Op::Openat,
-                path: format!("/lib/cold{i}"),
-                outcome: Outcome::Enoent,
-                cost_ns: 200_000,
-            });
+            log.push(Syscall::new(Op::Openat, &format!("/lib/cold{i}"), Outcome::Enoent, 200_000));
         }
         for i in 0..n_warm {
-            log.push(Syscall {
-                op: Op::Stat,
-                path: format!("/lib/warm{i}"),
-                outcome: Outcome::Ok,
-                cost_ns: 1_000,
-            });
+            log.push(Syscall::new(Op::Stat, &format!("/lib/warm{i}"), Outcome::Ok, 1_000));
         }
         log
     }
@@ -238,18 +486,9 @@ mod tests {
         let mut meta = StraceLog::new();
         let mut reads = StraceLog::new();
         for i in 0..100 {
-            meta.push(Syscall {
-                op: Op::Openat,
-                path: format!("/l/{i}"),
-                outcome: Outcome::Ok,
-                cost_ns: 200_000,
-            });
-            reads.push(Syscall {
-                op: Op::Read,
-                path: format!("/l/{i}"),
-                outcome: Outcome::Ok,
-                cost_ns: 4_000_000, // 1 MiB over the wire
-            });
+            meta.push(Syscall::new(Op::Openat, &format!("/l/{i}"), Outcome::Ok, 200_000));
+            // 1 MiB over the wire
+            reads.push(Syscall::new(Op::Read, &format!("/l/{i}"), Outcome::Ok, 4_000_000));
         }
         let cfg = fast_cfg().with_ranks(128);
         let tm = simulate_launch(&meta, &cfg).time_to_launch_ns;
@@ -271,5 +510,70 @@ mod tests {
         let r = simulate_launch(&stream(0, 0), &cfg);
         let expect = cfg.base_overhead_ns + cfg.per_rank_overhead_ns * 128;
         assert_eq!(r.time_to_launch_ns, expect);
+    }
+
+    #[test]
+    fn matches_reference_on_representative_scenarios() {
+        // The broad random sweep lives in tests/des_equivalence.rs; this is
+        // the quick in-crate guard over the interesting regimes.
+        let streams =
+            [stream(0, 0), stream(100, 0), stream(0, 100), stream(37, 63), stream(1, 499)];
+        for ops in &streams {
+            for ranks in [1usize, 100, 512, 2048] {
+                for broadcast in [false, true] {
+                    let mut cfg = fast_cfg().with_ranks(ranks);
+                    cfg.broadcast_cache = broadcast;
+                    assert_eq!(
+                        simulate_launch(ops, &cfg),
+                        simulate_launch_reference(ops, &cfg),
+                        "ranks={ranks} broadcast={broadcast} ops={}",
+                        ops.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classified_stream_is_reusable_across_rank_points() {
+        let ops = stream(50, 50);
+        let cfg = fast_cfg();
+        let classified = ClassifiedStream::classify(&ops, &cfg);
+        assert_eq!(classified.server_ops(), 50);
+        assert_eq!(classified.len(), 100);
+        for ranks in [128usize, 512, 4096] {
+            let per_point = cfg.clone().with_ranks(ranks);
+            assert_eq!(
+                simulate_classified(&classified, &per_point),
+                simulate_launch(&ops, &per_point)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different latency calibration")]
+    fn stale_classification_is_rejected() {
+        let ops = stream(10, 0);
+        let classified = ClassifiedStream::classify(&ops, &fast_cfg());
+        let recalibrated = LaunchConfig { rtt_ns: 1, ..fast_cfg() };
+        simulate_classified(&classified, &recalibrated);
+    }
+
+    #[test]
+    fn million_node_broadcast_sweep_is_instant() {
+        // 4 Mi ranks on 16-rank nodes = 262,144 nodes. Under Spindle
+        // broadcast only node 0 is cold: the other 262,143 are coalesced
+        // analytically, so the simulation does O(server_ops) work.
+        let ops = stream(500, 0);
+        let mut cfg = fast_cfg();
+        cfg.ranks = 4 * 1024 * 1024;
+        cfg.ranks_per_node = 16;
+        cfg.broadcast_cache = true;
+        let t0 = std::time::Instant::now();
+        let r = simulate_launch(&ops, &cfg);
+        assert!(t0.elapsed().as_secs_f64() < 1.0, "took {:?}", t0.elapsed());
+        assert_eq!(r.nodes, 262_144);
+        assert_eq!(r.server_ops, 500);
+        assert_eq!(r.local_ops, 262_143 * 500);
     }
 }

@@ -30,12 +30,13 @@ use depchaos_loader::LdCache;
 use depchaos_vfs::{StraceLog, Vfs};
 use depchaos_workloads::Workload;
 
-use crate::config::LaunchResult;
+use crate::config::{LaunchConfig, LaunchResult};
+use crate::des::{ClassifiedStream, ClassifyParams};
 use crate::matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
 };
 use crate::profile::profile_load_checked;
-use crate::sweep::{render_fig6, sweep_ranks};
+use crate::sweep::{render_fig6, sweep_ranks_classified};
 
 /// One captured op stream plus how the load went.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,6 +83,12 @@ impl CellProfile {
 pub struct ProfileCache {
     cells: Mutex<HashMap<CellKey, Arc<CellProfile>>>,
     computed: Mutex<usize>,
+    /// Classified streams, memoized per (cell, wrap state, latency
+    /// calibration): every scenario and rank point that shares those three
+    /// shares one classification — cache policy and rank counts do not
+    /// invalidate it.
+    classified: Mutex<HashMap<(CellKey, WrapState, ClassifyParams), Arc<ClassifiedStream>>>,
+    classified_computed: Mutex<usize>,
 }
 
 impl ProfileCache {
@@ -93,6 +100,36 @@ impl ProfileCache {
     /// exactly-once accounting the matrix tests assert on.
     pub fn computed(&self) -> usize {
         *self.computed.lock()
+    }
+
+    /// How many stream classifications actually executed; bounded by
+    /// (cells × wrap states × distinct latency calibrations), never by
+    /// scenarios or rank points.
+    pub fn classified_computed(&self) -> usize {
+        *self.classified_computed.lock()
+    }
+
+    /// Fetch or compute the [`ClassifiedStream`] for one wrap state of a
+    /// cell under `cfg`'s latency calibration.
+    pub fn classified(
+        &self,
+        key: &CellKey,
+        wrap: WrapState,
+        log: &StraceLog,
+        cfg: &LaunchConfig,
+    ) -> Arc<ClassifiedStream> {
+        let k = (key.clone(), wrap, ClassifyParams::of(cfg));
+        if let Some(hit) = self.classified.lock().get(&k) {
+            return Arc::clone(hit);
+        }
+        let stream = Arc::new(ClassifiedStream::classify(log, cfg));
+        let mut map = self.classified.lock();
+        if let Some(existing) = map.get(&k) {
+            return Arc::clone(existing);
+        }
+        map.insert(k, Arc::clone(&stream));
+        *self.classified_computed.lock() += 1;
+        stream
     }
 
     /// A cell already in the cache, if any.
@@ -359,15 +396,20 @@ impl ExperimentMatrix {
                 let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
                 let cfg = s.cache.apply(self.base.clone());
                 match cell.outcome(s.wrap) {
-                    Ok(p) => ScenarioResult {
-                        spec: s.spec(),
-                        stat_openat: p.stat_openat,
-                        misses: p.misses,
-                        complete: p.complete,
-                        unresolved: p.unresolved,
-                        error: None,
-                        series: sweep_ranks(&p.log, &cfg, &rank_points),
-                    },
+                    Ok(p) => {
+                        // One classification per (cell, wrap, calibration),
+                        // shared across cache policies and rank points.
+                        let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
+                        ScenarioResult {
+                            spec: s.spec(),
+                            stat_openat: p.stat_openat,
+                            misses: p.misses,
+                            complete: p.complete,
+                            unresolved: p.unresolved,
+                            error: None,
+                            series: sweep_ranks_classified(&stream, &cfg, &rank_points),
+                        }
+                    }
                     Err(e) => ScenarioResult {
                         spec: s.spec(),
                         stat_openat: 0,
@@ -416,6 +458,23 @@ mod tests {
         let report2 = small_matrix().run(&cache);
         assert_eq!(report2.cells_profiled, 0);
         assert_eq!(cache.computed(), 1);
+    }
+
+    #[test]
+    fn classification_shared_across_cache_policies_and_rank_points() {
+        let cache = ProfileCache::new();
+        small_matrix().run(&cache);
+        // 1 cell × 2 wrap states × 1 calibration = 2 classifications, even
+        // though 4 scenarios × 2 rank points replayed them.
+        assert_eq!(cache.classified_computed(), 2);
+        // Re-running reclassifies nothing.
+        small_matrix().run(&cache);
+        assert_eq!(cache.classified_computed(), 2);
+        // A recalibrated base config is a different classification key.
+        small_matrix()
+            .base_config(LaunchConfig { rtt_ns: 400_000, ..LaunchConfig::default() })
+            .run(&cache);
+        assert_eq!(cache.classified_computed(), 4);
     }
 
     #[test]

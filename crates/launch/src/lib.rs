@@ -18,8 +18,17 @@
 //!    stream sequentially (the loader is serial), round-tripping every cold
 //!    op. Ranks beyond the first on a node hit the node's page cache —
 //!    which is why the unit of NFS load is the node, not the rank.
+//!    Simulation is two-phase: [`ClassifiedStream::classify`] compacts the
+//!    op stream into a per-server-op schedule exactly once, and
+//!    [`simulate_classified`] replays it — coalescing the symmetric
+//!    warm/serverless nodes analytically and heap-scheduling only cold
+//!    nodes, one event per *server* op. That takes a rank point from
+//!    `O(nodes × ops · log nodes)` to `O(cold_nodes × server_ops · log
+//!    cold_nodes)`, which is what lets the matrix sweep 4M-rank points in
+//!    microseconds while staying bit-identical to the retained
+//!    [`des::reference`] oracle (property-tested equivalence).
 //! 3. [`sweep`] runs rank scalings in parallel (rayon) for one figure
-//!    series.
+//!    series, all points sharing one [`ClassifiedStream`].
 //! 4. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
 //!    of (workload × loader backend × storage model × wrap state × cache
 //!    policy), and an [`ExperimentMatrix`] expands the cross product.
@@ -28,10 +37,11 @@
 //!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
 //! 5. [`experiment`] executes a matrix: each unique (workload, backend,
 //!    storage) cell is profiled **exactly once** into a shared, memoized
-//!    [`ProfileCache`] (plain and wrapped streams captured in one run),
-//!    the DES rank sweeps fan out over rayon, and everything lands in a
-//!    serde-serializable [`SweepReport`] with per-backend Fig 6 table and
-//!    TSV renderers.
+//!    [`ProfileCache`] (plain and wrapped streams captured in one run) and
+//!    classified once per (cell, wrap state, latency calibration) — the
+//!    rayon workers share `Arc<ClassifiedStream>`s instead of re-deriving
+//!    them per rank point — then everything lands in a serde-serializable
+//!    [`SweepReport`] with per-backend Fig 6 table and TSV renderers.
 //!
 //! The paper's figure is one cell of the matrix (pynamic × glibc × nfs);
 //! `depchaos-report fig6-backends` renders the same figure for glibc, musl,
@@ -70,10 +80,10 @@ pub mod profile;
 pub mod sweep;
 
 pub use config::{LaunchConfig, LaunchResult};
-pub use des::simulate_launch;
+pub use des::{reference, simulate_classified, simulate_launch, ClassifiedStream, ClassifyParams};
 pub use experiment::{CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport};
 pub use matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
 };
 pub use profile::{profile_load, profile_load_checked, profile_load_with};
-pub use sweep::{render_fig6, render_tsv, sweep_ranks};
+pub use sweep::{render_fig6, render_tsv, sweep_ranks, sweep_ranks_classified};

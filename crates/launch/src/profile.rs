@@ -83,8 +83,8 @@ mod tests {
         let m = profile_load_with(&fs, "/bin/app", &musl).unwrap();
 
         // glibc probes /rp first and hits; musl goes straight to /llp.
-        assert!(g.entries.iter().any(|e| e.path.starts_with("/rp/")));
-        assert!(!m.entries.iter().any(|e| e.path.starts_with("/rp/")));
-        assert!(m.entries.iter().any(|e| e.path.starts_with("/llp/")));
+        assert!(g.entries.iter().any(|e| e.path_str().starts_with("/rp/")));
+        assert!(!m.entries.iter().any(|e| e.path_str().starts_with("/rp/")));
+        assert!(m.entries.iter().any(|e| e.path_str().starts_with("/llp/")));
     }
 }

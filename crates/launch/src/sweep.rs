@@ -7,18 +7,32 @@ use rayon::prelude::*;
 use depchaos_vfs::StraceLog;
 
 use crate::config::{LaunchConfig, LaunchResult};
-use crate::des::simulate_launch;
+use crate::des::{simulate_classified, ClassifiedStream};
 
 /// Simulate the same workload at several scales, in parallel (the
 /// simulations are independent — rayon's bread and butter).
+///
+/// The stream is classified **once**; every rank point replays the shared
+/// [`ClassifiedStream`]. Callers that already hold one (the experiment
+/// engine's memoized cells) should use [`sweep_ranks_classified`].
 pub fn sweep_ranks(
     ops: &StraceLog,
     base: &LaunchConfig,
     rank_points: &[usize],
 ) -> Vec<(usize, LaunchResult)> {
+    sweep_ranks_classified(&ClassifiedStream::classify(ops, base), base, rank_points)
+}
+
+/// [`sweep_ranks`] over a pre-classified stream: the rayon workers share
+/// `stream` by reference — zero per-point classification or cloning.
+pub fn sweep_ranks_classified(
+    stream: &ClassifiedStream,
+    base: &LaunchConfig,
+    rank_points: &[usize],
+) -> Vec<(usize, LaunchResult)> {
     rank_points
         .par_iter()
-        .map(|&ranks| (ranks, simulate_launch(ops, &base.clone().with_ranks(ranks))))
+        .map(|&ranks| (ranks, simulate_classified(stream, &base.clone().with_ranks(ranks))))
         .collect()
 }
 
@@ -75,12 +89,7 @@ mod tests {
     fn cold_stream(n: usize) -> StraceLog {
         let mut log = StraceLog::new();
         for i in 0..n {
-            log.push(Syscall {
-                op: Op::Openat,
-                path: format!("/l/{i}"),
-                outcome: Outcome::Ok,
-                cost_ns: 200_000,
-            });
+            log.push(Syscall::new(Op::Openat, &format!("/l/{i}"), Outcome::Ok, 200_000));
         }
         log
     }

@@ -22,11 +22,28 @@
 //! checks, and the `dlopen` replay loop. A concrete loader is nothing but a
 //! `(SearchPolicy, DedupPolicy, EngineConfig)` triple — see
 //! [`crate::GlibcLoader`] and friends, each now a thin instantiation.
+//!
+//! # Performance
+//!
+//! The engine's request loop is allocation-free in the steady state. Both
+//! request-string indexes ([`State::by_name`], [`State::by_path`]) key on
+//! interned [`PathId`]s rather than owned `String`s — the canonical
+//! workspace interner, re-exported as `depchaos_core::intern` — and the
+//! BFS frontier carries `(requester, PathId)` pairs, so a request's
+//! pre-search dedup probe ([`DedupPolicy::lookup`]) is an integer hash
+//! lookup with no re-hashing of path text. A needed entry's text is copied
+//! into the interner at most once per *process*, no matter how many
+//! objects request it or how many loads replay it (the Fig 6 profiling
+//! loop replays thousands); recovering the text costs one shared-lock
+//! index read per request. Only the cold side — indexing a freshly loaded
+//! object, and result recording ([`LoadEvent`], [`LoadedObject`]) — still
+//! touches strings, because it happens once per object, not once per
+//! request, and results outlive the engine as public API.
 
 use std::collections::{HashMap, VecDeque};
 
 use depchaos_elf::{ElfObject, Machine};
-use depchaos_vfs::{Inode, Vfs};
+use depchaos_vfs::{intern, Inode, PathId, Vfs};
 
 use crate::env::Environment;
 use crate::resolve::{Candidate, Provenance, Resolution};
@@ -39,10 +56,11 @@ use crate::result::{Failure, LoadError, LoadEvent, LoadResult, LoadedObject};
 pub struct State {
     pub objects: Vec<LoadedObject>,
     /// Request-string index: requested names, sonames, shortnames — whatever
-    /// the [`DedupPolicy`] decides names a loaded object.
-    pub by_name: HashMap<String, usize>,
-    /// Probed-path and canonical-path index.
-    pub by_path: HashMap<String, usize>,
+    /// the [`DedupPolicy`] decides names a loaded object. Keyed on interned
+    /// ids so probes and inserts allocate nothing.
+    pub by_name: HashMap<PathId, usize>,
+    /// Probed-path and canonical-path index (interned).
+    pub by_path: HashMap<PathId, usize>,
     /// File-identity index — the `(dev,ino)` check loaders do after `open`.
     pub by_inode: HashMap<Inode, usize>,
     pub events: Vec<LoadEvent>,
@@ -155,9 +173,11 @@ pub trait SearchPolicy {
 /// requests. Implementations are responsible for recording request aliases
 /// ([`State::alias`]) exactly where their modelled loader would.
 pub trait DedupPolicy {
-    /// Pre-search cache lookup for a request string (bare soname or path).
-    /// A hit costs **zero filesystem work** — the Listing 1 mechanism.
-    fn lookup(&self, cx: &Ctx, st: &mut State, name: &str) -> Option<usize>;
+    /// Pre-search cache lookup for a request (bare soname or path,
+    /// interned). A hit costs **zero filesystem work** — the Listing 1
+    /// mechanism — and, this being the hot call of big-closure loads, the
+    /// probe is an integer hash on the id.
+    fn lookup(&self, cx: &Ctx, st: &mut State, name: PathId) -> Option<usize>;
 
     /// Post-open identity check on a candidate the search found — the
     /// `(dev,ino)` comparison loaders do after `open` catches aliased files
@@ -297,24 +317,26 @@ impl<'fs, S: SearchPolicy, D: DedupPolicy> Engine<'fs, S, D> {
             }
         };
         if preloads_active {
-            for entry in self.env.ld_preload.clone() {
-                self.request(&mut st, 0, &entry);
+            for entry in &self.env.ld_preload {
+                self.request(&mut st, 0, intern(entry));
             }
         }
 
         // Breadth-first over needed entries. Matching the historical model:
         // the frontier starts from the executable's needed list only, after
-        // preloads are mapped.
-        let mut queue: VecDeque<(usize, String)> =
-            st.objects[0].object.needed.iter().map(|n| (0usize, n.clone())).collect();
+        // preloads are mapped. The frontier carries interned ids — each
+        // distinct needed name is copied at most once per process, not once
+        // per request.
+        let mut queue: VecDeque<(usize, PathId)> =
+            st.objects[0].object.needed.iter().map(|n| (0usize, intern(n))).collect();
         let mut next_obj = st.objects.len();
         loop {
             while let Some((req, name)) = queue.pop_front() {
-                self.request(&mut st, req, &name);
+                self.request(&mut st, req, name);
                 // Enqueue needed entries of anything newly loaded, in order.
                 while next_obj < st.objects.len() {
                     for n in &st.objects[next_obj].object.needed {
-                        queue.push_back((next_obj, n.clone()));
+                        queue.push_back((next_obj, intern(n)));
                     }
                     next_obj += 1;
                 }
@@ -329,7 +351,7 @@ impl<'fs, S: SearchPolicy, D: DedupPolicy> Engine<'fs, S, D> {
                 for d in st.objects[idx].object.dlopens.clone() {
                     let already = st.events.iter().any(|e| e.requester == idx && e.name == d);
                     if !already {
-                        queue.push_back((idx, d));
+                        queue.push_back((idx, intern(&d)));
                         any = true;
                     }
                 }
@@ -352,40 +374,47 @@ impl<'fs, S: SearchPolicy, D: DedupPolicy> Engine<'fs, S, D> {
     }
 
     /// Resolve one request and record the outcome.
-    fn request(&self, st: &mut State, requester: usize, name: &str) {
+    fn request(&self, st: &mut State, requester: usize, name: PathId) {
         let resolution = self.resolve(st, requester, name);
         if let Resolution::NotFound = resolution {
             st.failures.push(Failure {
                 requester: st.objects[requester].object.name.clone(),
-                name: name.to_string(),
+                name: name.as_str().to_string(),
             });
         }
-        st.events.push(LoadEvent { requester, name: name.to_string(), resolution });
+        st.events.push(LoadEvent { requester, name: name.as_str().to_string(), resolution });
     }
 
-    fn resolve(&self, st: &mut State, requester: usize, name: &str) -> Resolution {
+    fn resolve(&self, st: &mut State, requester: usize, name: PathId) -> Resolution {
         let cx = Ctx { fs: self.fs, env: &self.env, want_arch: st.objects[0].object.machine };
+        let name_text = name.as_str();
 
         // 1. Request rewriting (pins).
-        let rewritten = self.search.rewrite(&cx, st, requester, name);
-        let key = rewritten.as_deref().unwrap_or(name);
+        let rewritten = self.search.rewrite(&cx, st, requester, name_text);
+        let key = match &rewritten {
+            Some(s) => intern(s),
+            None => name,
+        };
 
-        // 2. Dedup cache — a hit does zero filesystem work.
+        // 2. Dedup cache — a hit does zero filesystem work, and the probe
+        // is an integer hash on the interned id.
         if let Some(idx) = self.dedup.lookup(&cx, st, key) {
             return Resolution::Deduped { path: st.objects[idx].path.clone() };
         }
 
         // 3. The policy's probe plan.
-        match self.search.locate(&cx, st, requester, key) {
+        let key_text = rewritten.as_deref().unwrap_or(name_text);
+        match self.search.locate(&cx, st, requester, key_text) {
             Some((cand, provenance)) => {
                 // 4. Post-open identity check: the search may have found a
                 // file that is already mapped under a different name.
-                if let Some(idx) = self.dedup.absorb(&cx, st, name, &cand, &provenance) {
+                if let Some(idx) = self.dedup.absorb(&cx, st, name_text, &cand, &provenance) {
                     return Resolution::Deduped { path: st.objects[idx].path.clone() };
                 }
                 let path = cand.path.clone();
-                let idx = st.push_object(self.fs, name, cand, Some(requester), provenance.clone());
-                self.dedup.index(&cx, st, idx, name);
+                let idx =
+                    st.push_object(self.fs, name_text, cand, Some(requester), provenance.clone());
+                self.dedup.index(&cx, st, idx, name_text);
                 Resolution::Loaded { path, provenance }
             }
             None => Resolution::NotFound,
@@ -417,8 +446,8 @@ mod tests {
     struct ByName;
 
     impl DedupPolicy for ByName {
-        fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
-            st.by_name.get(name).copied()
+        fn lookup(&self, _cx: &Ctx, st: &mut State, name: PathId) -> Option<usize> {
+            st.by_name.get(&name).copied()
         }
 
         fn absorb(
@@ -433,7 +462,7 @@ mod tests {
         }
 
         fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
-            st.by_name.insert(requested.to_string(), idx);
+            st.by_name.insert(intern(requested), idx);
         }
     }
 

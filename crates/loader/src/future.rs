@@ -34,7 +34,7 @@
 //! and Fig 3 (per-dependency pins).
 
 use depchaos_elf::SearchPosition;
-use depchaos_vfs::Vfs;
+use depchaos_vfs::{intern, PathId, Vfs};
 
 use crate::api::Loader;
 use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, SearchPolicy, State};
@@ -119,8 +119,8 @@ impl SearchPolicy for FutureSearch {
 pub struct FutureDedup;
 
 impl DedupPolicy for FutureDedup {
-    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
-        st.by_name.get(name).copied()
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: PathId) -> Option<usize> {
+        st.by_name.get(&name).copied()
     }
 
     fn absorb(
@@ -136,10 +136,10 @@ impl DedupPolicy for FutureDedup {
     }
 
     fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
-        let soname = st.objects[idx].object.effective_soname().to_string();
-        let path = st.objects[idx].path.clone();
+        let soname = intern(st.objects[idx].object.effective_soname());
+        let path = intern(&st.objects[idx].path);
         let inode = st.objects[idx].inode;
-        st.by_name.entry(requested.to_string()).or_insert(idx);
+        st.by_name.entry(intern(requested)).or_insert(idx);
         st.by_name.entry(soname).or_insert(idx);
         st.by_name.entry(path).or_insert(idx);
         st.by_inode.entry(inode).or_insert(idx);

@@ -22,7 +22,7 @@
 //! `LD_PRELOAD` objects load immediately after the executable — both driven
 //! by [`crate::engine::Engine`], not re-implemented here.
 
-use depchaos_vfs::Vfs;
+use depchaos_vfs::{intern, PathId, Vfs};
 
 use crate::api::Loader;
 use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, PreloadMode, SearchPolicy, State};
@@ -115,20 +115,21 @@ pub struct GlibcDedup;
 
 impl GlibcDedup {
     /// Record the alias and make `name` answerable from the soname cache.
-    fn alias(&self, st: &mut State, idx: usize, name: &str) {
-        st.alias(idx, name);
-        st.by_name.entry(name.to_string()).or_insert(idx);
+    fn alias(&self, st: &mut State, idx: usize, name: PathId) {
+        st.alias(idx, name.as_str());
+        st.by_name.entry(name).or_insert(idx);
     }
 
     /// Path-identity check: probed path, canonical path, then inode
-    /// (symlinked stores make all three distinct).
-    fn dedup_path(&self, fs: &Vfs, st: &mut State, path: &str) -> Option<usize> {
-        if let Some(&idx) = st.by_path.get(path) {
+    /// (symlinked stores make all three distinct). `path` is the interned
+    /// form of `text`.
+    fn dedup_path(&self, fs: &Vfs, st: &mut State, path: PathId, text: &str) -> Option<usize> {
+        if let Some(&idx) = st.by_path.get(&path) {
             self.alias(st, idx, path);
             return Some(idx);
         }
-        let (canonical, inode) = crate::engine::identity(fs, path);
-        if let Some(&idx) = st.by_path.get(&canonical) {
+        let (canonical, inode) = crate::engine::identity(fs, text);
+        if let Some(&idx) = st.by_path.get(&intern(&canonical)) {
             self.alias(st, idx, path);
             return Some(idx);
         }
@@ -141,11 +142,12 @@ impl GlibcDedup {
 }
 
 impl DedupPolicy for GlibcDedup {
-    fn lookup(&self, cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
-        if name.contains('/') {
-            self.dedup_path(cx.fs, st, name)
+    fn lookup(&self, cx: &Ctx, st: &mut State, name: PathId) -> Option<usize> {
+        let text = name.as_str();
+        if text.contains('/') {
+            self.dedup_path(cx.fs, st, name, text)
         } else {
-            let idx = *st.by_name.get(name)?;
+            let idx = *st.by_name.get(&name)?;
             self.alias(st, idx, name);
             Some(idx)
         }
@@ -161,15 +163,15 @@ impl DedupPolicy for GlibcDedup {
     ) -> Option<usize> {
         // The search may have found a file that is already mapped under a
         // different name (hard identity): glibc checks dev/ino after open.
-        self.dedup_path(cx.fs, st, &cand.path)
+        self.dedup_path(cx.fs, st, intern(&cand.path), &cand.path)
     }
 
     fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
-        let soname = st.objects[idx].object.effective_soname().to_string();
-        let path = st.objects[idx].path.clone();
-        let canonical = st.objects[idx].canonical.clone();
+        let soname = intern(st.objects[idx].object.effective_soname());
+        let path = intern(&st.objects[idx].path);
+        let canonical = intern(&st.objects[idx].canonical);
         let inode = st.objects[idx].inode;
-        st.by_name.entry(requested.to_string()).or_insert(idx);
+        st.by_name.entry(intern(requested)).or_insert(idx);
         st.by_name.entry(soname).or_insert(idx);
         st.by_path.entry(path).or_insert(idx);
         st.by_path.entry(canonical).or_insert(idx);

@@ -17,7 +17,7 @@
 //!   number of problems with RUNPATH, but ... is non-standard".
 //! * No hwcaps subdirectories, no ld.so.cache.
 
-use depchaos_vfs::Vfs;
+use depchaos_vfs::{intern, PathId, Vfs};
 
 use crate::api::Loader;
 use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, PreloadMode, SearchPolicy, State};
@@ -95,14 +95,14 @@ impl MuslDedup {
 }
 
 impl DedupPolicy for MuslDedup {
-    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
-        if name.contains('/') {
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: PathId) -> Option<usize> {
+        if name.as_str().contains('/') {
             // Direct path: open, then (dev,ino) dedup only.
             return None;
         }
         // Bare name: shortname dedup (absolute-loaded objects not indexed).
-        let idx = *st.by_name.get(name)?;
-        st.alias(idx, name);
+        let idx = *st.by_name.get(&name)?;
+        st.alias(idx, name.as_str());
         Some(idx)
     }
 
@@ -118,7 +118,7 @@ impl DedupPolicy for MuslDedup {
         let inode = cx.inode_of(&cand.path)?;
         let idx = *st.by_inode.get(&inode)?;
         if Self::by_search(provenance) {
-            st.by_name.entry(name.to_string()).or_insert(idx);
+            st.by_name.entry(intern(name)).or_insert(idx);
         }
         st.alias(idx, name);
         Some(idx)
@@ -126,7 +126,7 @@ impl DedupPolicy for MuslDedup {
 
     fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
         if Self::by_search(&st.objects[idx].provenance) {
-            st.by_name.entry(requested.to_string()).or_insert(idx);
+            st.by_name.entry(intern(requested)).or_insert(idx);
         }
         st.by_inode.entry(st.objects[idx].inode).or_insert(idx);
     }

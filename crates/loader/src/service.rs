@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use depchaos_vfs::Vfs;
+use depchaos_vfs::{intern, PathId, Vfs};
 
 use crate::api::Loader;
 use crate::engine::{Ctx, DedupPolicy, Engine, EngineConfig, SearchPolicy, State};
@@ -75,8 +75,8 @@ impl<S: LoaderService> SearchPolicy for ServiceSearch<S> {
 pub struct ServiceDedup;
 
 impl DedupPolicy for ServiceDedup {
-    fn lookup(&self, _cx: &Ctx, st: &mut State, name: &str) -> Option<usize> {
-        st.by_name.get(name).copied()
+    fn lookup(&self, _cx: &Ctx, st: &mut State, name: PathId) -> Option<usize> {
+        st.by_name.get(&name).copied()
     }
 
     fn absorb(
@@ -89,14 +89,14 @@ impl DedupPolicy for ServiceDedup {
     ) -> Option<usize> {
         let inode = cx.inode_of(&cand.path)?;
         let idx = *st.by_inode.get(&inode)?;
-        st.by_name.insert(name.to_string(), idx);
+        st.by_name.insert(intern(name), idx);
         Some(idx)
     }
 
     fn index(&self, _cx: &Ctx, st: &mut State, idx: usize, requested: &str) {
-        st.by_name.insert(requested.to_string(), idx);
+        st.by_name.insert(intern(requested), idx);
         if !matches!(st.objects[idx].provenance, Provenance::Executable) {
-            st.by_name.insert(st.objects[idx].object.effective_soname().to_string(), idx);
+            st.by_name.insert(intern(st.objects[idx].object.effective_soname()), idx);
         }
         st.by_inode.entry(st.objects[idx].inode).or_insert(idx);
     }

@@ -6,6 +6,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::counters::{CounterSnapshot, SyscallCounters};
 use crate::error::{VfsError, VfsResult};
+use crate::intern::{intern, PathId};
 use crate::latency::{Backend, CostModel};
 use crate::strace::{Op, Outcome, StraceLog, Syscall};
 use crate::tree::{Inode, Metadata, Tree};
@@ -54,7 +55,10 @@ impl Vfs {
     // ---- accounting plumbing -------------------------------------------
 
     fn charge(&self, op: Op, path: &str, outcome: Outcome, bytes: u64) -> u64 {
-        self.charge_keyed(op, path, path, outcome, bytes)
+        // One interner lookup per accounted op; the id then serves the cost
+        // model's caches and the strace log without further allocation.
+        let key = intern(path);
+        self.charge_keyed(op, key, key, outcome, bytes)
     }
 
     /// Like [`Vfs::charge`] but with a distinct cache key, for charges that
@@ -63,8 +67,8 @@ impl Vfs {
     fn charge_keyed(
         &self,
         op: Op,
-        path: &str,
-        cache_key: &str,
+        path: PathId,
+        cache_key: PathId,
         outcome: Outcome,
         bytes: u64,
     ) -> u64 {
@@ -80,7 +84,7 @@ impl Vfs {
             self.counters.bump_miss();
         }
         if let Some(log) = self.log.lock().as_mut() {
-            log.push(Syscall { op, path: path.to_string(), outcome, cost_ns: cost });
+            log.push(Syscall { op, path, outcome, cost_ns: cost });
         }
         cost
     }
@@ -199,7 +203,15 @@ impl Vfs {
     pub fn charge_read(&self, path: &str, bytes: u64) {
         // Separate cache key: reading the ELF header does not page in the
         // mapped segments, so the first mapping is cold even after a read.
-        self.charge_keyed(Op::Read, path, &format!("{path}#map"), Outcome::Ok, bytes);
+        // (One transient format per *mapping* charge — object loads, not
+        // probe misses — so this stays off the per-op hot path.)
+        self.charge_keyed(
+            Op::Read,
+            intern(path),
+            intern(&format!("{path}#map")),
+            Outcome::Ok,
+            bytes,
+        );
     }
 
     /// `readlink(2)`.

@@ -20,6 +20,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::PathId;
 use crate::strace::{Op, Outcome};
 
 /// Parameters for the local-filesystem cost model.
@@ -139,17 +140,21 @@ impl fmt::Display for StorageModel {
 
 /// Tracks which (path, outcome) pairs are cached, i.e. warm.
 ///
-/// Keyed by path string; a positive entry means attributes are cached, a
-/// negative entry means the *absence* is cached (only honoured when the
-/// backend enables negative caching).
+/// Keyed by interned [`PathId`] — recording a cache entry stores a 4-byte
+/// id, not a cloned `String`, so the per-op cost of the model is a couple of
+/// integer hash probes and zero allocation.
+///
+/// A positive entry means attributes are cached, a negative entry means the
+/// *absence* is cached (only honoured when the backend enables negative
+/// caching).
 #[derive(Debug, Default)]
 pub struct AttrCache {
-    positive: HashSet<String>,
-    negative: HashSet<String>,
+    positive: HashSet<PathId>,
+    negative: HashSet<PathId>,
     /// File *contents* cached (page cache) — separate from attributes: an
     /// `openat` warms the dentry/attr path but the first `read` still moves
     /// the bytes.
-    data: HashSet<String>,
+    data: HashSet<PathId>,
 }
 
 impl AttrCache {
@@ -165,28 +170,28 @@ impl AttrCache {
         self.data.clear();
     }
 
-    pub fn data_is_warm(&self, path: &str) -> bool {
-        self.data.contains(path)
+    pub fn data_is_warm(&self, path: PathId) -> bool {
+        self.data.contains(&path)
     }
 
-    pub fn record_data(&mut self, path: &str) {
-        self.data.insert(path.to_string());
+    pub fn record_data(&mut self, path: PathId) {
+        self.data.insert(path);
     }
 
-    pub fn is_warm(&self, path: &str, ok: bool, negative_caching: bool) -> bool {
+    pub fn is_warm(&self, path: PathId, ok: bool, negative_caching: bool) -> bool {
         if ok {
-            self.positive.contains(path)
+            self.positive.contains(&path)
         } else {
-            negative_caching && self.negative.contains(path)
+            negative_caching && self.negative.contains(&path)
         }
     }
 
-    pub fn record(&mut self, path: &str, ok: bool) {
+    pub fn record(&mut self, path: PathId, ok: bool) {
         if ok {
-            self.positive.insert(path.to_string());
-            self.negative.remove(path);
+            self.positive.insert(path);
+            self.negative.remove(&path);
         } else {
-            self.negative.insert(path.to_string());
+            self.negative.insert(path);
         }
     }
 
@@ -230,7 +235,7 @@ impl CostModel {
 
     /// Cost of one metadata syscall (`stat`/`openat`/`readlink`) against
     /// `path` with the given outcome; updates the cache.
-    pub fn metadata_cost(&mut self, path: &str, outcome: Outcome) -> u64 {
+    pub fn metadata_cost(&mut self, path: PathId, outcome: Outcome) -> u64 {
         let ok = outcome == Outcome::Ok;
         let (warm_ns, cold_ns, negative_caching) = match self.backend {
             Backend::Local(p) => (p.warm_ns, p.cold_ns, true),
@@ -246,7 +251,7 @@ impl CostModel {
     }
 
     /// Cost of reading `bytes` of file data from `path`.
-    pub fn read_cost(&mut self, path: &str, bytes: u64) -> u64 {
+    pub fn read_cost(&mut self, path: PathId, bytes: u64) -> u64 {
         let (per_kib, base) = match self.backend {
             Backend::Local(p) => (p.read_ns_per_kib, p.warm_ns),
             Backend::Nfs(p) => (p.read_ns_per_kib, p.warm_ns),
@@ -263,7 +268,7 @@ impl CostModel {
     }
 
     /// Cost of one op, dispatching on kind.
-    pub fn op_cost(&mut self, op: Op, path: &str, outcome: Outcome, bytes: u64) -> u64 {
+    pub fn op_cost(&mut self, op: Op, path: PathId, outcome: Outcome, bytes: u64) -> u64 {
         match op {
             Op::Read => self.read_cost(path, bytes),
             _ => self.metadata_cost(path, outcome),
@@ -274,6 +279,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::intern;
 
     #[test]
     fn storage_models_name_their_backends() {
@@ -290,16 +296,16 @@ mod tests {
     #[test]
     fn local_warm_after_first_touch() {
         let mut m = CostModel::new(Backend::local());
-        let c1 = m.metadata_cost("/lib/x", Outcome::Ok);
-        let c2 = m.metadata_cost("/lib/x", Outcome::Ok);
+        let c1 = m.metadata_cost(intern("/lib/x"), Outcome::Ok);
+        let c2 = m.metadata_cost(intern("/lib/x"), Outcome::Ok);
         assert!(c1 > c2, "first access cold ({c1}) then warm ({c2})");
     }
 
     #[test]
     fn nfs_negative_caching_off_pays_rtt_every_time() {
         let mut m = CostModel::new(Backend::nfs());
-        let c1 = m.metadata_cost("/lib/missing", Outcome::Enoent);
-        let c2 = m.metadata_cost("/lib/missing", Outcome::Enoent);
+        let c1 = m.metadata_cost(intern("/lib/missing"), Outcome::Enoent);
+        let c2 = m.metadata_cost(intern("/lib/missing"), Outcome::Enoent);
         assert_eq!(c1, c2, "misses never warm without negative caching");
         assert_eq!(c1, NfsParams::default().rtt_ns);
     }
@@ -307,38 +313,38 @@ mod tests {
     #[test]
     fn nfs_negative_caching_on_warms_misses() {
         let mut m = CostModel::new(Backend::nfs_with_negative_caching());
-        let c1 = m.metadata_cost("/lib/missing", Outcome::Enoent);
-        let c2 = m.metadata_cost("/lib/missing", Outcome::Enoent);
+        let c1 = m.metadata_cost(intern("/lib/missing"), Outcome::Enoent);
+        let c2 = m.metadata_cost(intern("/lib/missing"), Outcome::Enoent);
         assert!(c2 < c1);
     }
 
     #[test]
     fn drop_caches_makes_cold_again() {
         let mut m = CostModel::new(Backend::local());
-        m.metadata_cost("/lib/x", Outcome::Ok);
+        m.metadata_cost(intern("/lib/x"), Outcome::Ok);
         m.drop_caches();
-        let c = m.metadata_cost("/lib/x", Outcome::Ok);
+        let c = m.metadata_cost(intern("/lib/x"), Outcome::Ok);
         assert_eq!(c, LocalParams::default().cold_ns);
     }
 
     #[test]
     fn reads_scale_with_size() {
         let mut m = CostModel::new(Backend::nfs());
-        let small = m.read_cost("/lib/a", 1024);
+        let small = m.read_cost(intern("/lib/a"), 1024);
         m.drop_caches();
-        let big = m.read_cost("/lib/b", 1024 * 1024);
+        let big = m.read_cost(intern("/lib/b"), 1024 * 1024);
         assert!(big > small * 100);
     }
 
     #[test]
     fn success_then_failure_not_confused() {
         let mut m = CostModel::new(Backend::nfs_with_negative_caching());
-        m.metadata_cost("/p", Outcome::Enoent);
+        m.metadata_cost(intern("/p"), Outcome::Enoent);
         // Now the file "appears": positive lookup must not be treated warm.
-        let c = m.metadata_cost("/p", Outcome::Ok);
+        let c = m.metadata_cost(intern("/p"), Outcome::Ok);
         assert_eq!(c, NfsParams::default().rtt_ns);
         // and the positive result overwrites the negative entry
-        let c2 = m.metadata_cost("/p", Outcome::Ok);
+        let c2 = m.metadata_cost(intern("/p"), Outcome::Ok);
         assert!(c2 < c);
     }
 }

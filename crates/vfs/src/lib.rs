@@ -35,6 +35,7 @@
 
 pub mod counters;
 pub mod error;
+pub mod intern;
 pub mod latency;
 pub mod path;
 pub mod strace;
@@ -45,6 +46,7 @@ mod fs;
 pub use counters::{CounterSnapshot, SyscallCounters};
 pub use error::{VfsError, VfsResult};
 pub use fs::Vfs;
+pub use intern::{intern, PathId};
 pub use latency::{AttrCache, Backend, CostModel, LocalParams, NfsParams, StorageModel};
 pub use strace::{Op, Outcome, StraceLog, Syscall};
 pub use tree::{FileKind, Inode, Metadata};

@@ -4,10 +4,17 @@
 //! record an equivalent trace: one [`Syscall`] per operation with its path,
 //! outcome, and simulated cost. Logging is off by default (big simulations
 //! would otherwise accumulate millions of entries) and enabled per-scope.
+//!
+//! Paths are stored as interned [`PathId`]s, not owned `String`s: appending
+//! an entry allocates nothing beyond the log's own vector growth, so tracing
+//! a million-op load does a handful of interner inserts (one per *distinct*
+//! path) instead of a million string clones.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+use crate::intern::{intern, PathId};
 
 /// Which syscall an entry models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,22 +46,35 @@ pub enum Outcome {
     Error,
 }
 
-/// One logged syscall.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One logged syscall. `path` is interned — compare with `==` against other
+/// ids, or resolve the text with [`PathId::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Syscall {
     pub op: Op,
-    pub path: String,
+    pub path: PathId,
     pub outcome: Outcome,
     /// Simulated cost in nanoseconds under the active backend.
     pub cost_ns: u64,
 }
 
+impl Syscall {
+    /// Build an entry from path text (interning it).
+    pub fn new(op: Op, path: &str, outcome: Outcome, cost_ns: u64) -> Self {
+        Syscall { op, path: intern(path), outcome, cost_ns }
+    }
+
+    /// The path text of this entry.
+    pub fn path_str(&self) -> &'static str {
+        self.path.as_str()
+    }
+}
+
 impl fmt::Display for Syscall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let rc = match self.outcome {
-            Outcome::Ok => "0".to_string(),
-            Outcome::Enoent => "-1 ENOENT".to_string(),
-            Outcome::Error => "-1 ERR".to_string(),
+            Outcome::Ok => "0",
+            Outcome::Enoent => "-1 ENOENT",
+            Outcome::Error => "-1 ERR",
         };
         write!(f, "{}(\"{}\") = {} <{:.6}s>", self.op, self.path, rc, self.cost_ns as f64 / 1e9)
     }
@@ -119,7 +139,7 @@ mod tests {
     use super::*;
 
     fn sc(op: Op, path: &str, outcome: Outcome, cost_ns: u64) -> Syscall {
-        Syscall { op, path: path.into(), outcome, cost_ns }
+        Syscall::new(op, path, outcome, cost_ns)
     }
 
     #[test]

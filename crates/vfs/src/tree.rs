@@ -60,34 +60,49 @@ impl Node {
 }
 
 /// The mutable namespace. One instance per [`crate::Vfs`].
+///
+/// Nodes live in a dense slab indexed by inode number: inodes are allocated
+/// sequentially and never recycled, so `nodes[ino]` is a direct vector index
+/// — every component hop during resolution is an O(1) array access instead
+/// of a `BTreeMap` descent. Removal leaves a `None` tombstone (cheap; the
+/// slab is bounded by the number of inodes ever created, which experiment
+/// worlds keep in the tens of thousands).
 #[derive(Debug)]
 pub(crate) struct Tree {
-    nodes: BTreeMap<Inode, Node>,
+    nodes: Vec<Option<Node>>,
     root: Inode,
-    next_inode: u64,
+    live: usize,
 }
 
 impl Tree {
     pub fn new() -> Self {
-        let root = Inode(1);
-        let mut nodes = BTreeMap::new();
-        nodes.insert(root, Node::Dir { entries: BTreeMap::new() });
-        Tree { nodes, root, next_inode: 2 }
+        // Slot 0 is reserved so inode numbers start at 1, like real
+        // filesystems; the root directory is inode 1.
+        let nodes = vec![None, Some(Node::Dir { entries: BTreeMap::new() })];
+        Tree { nodes, root: Inode(1), live: 1 }
     }
 
     fn alloc(&mut self, node: Node) -> Inode {
-        let ino = Inode(self.next_inode);
-        self.next_inode += 1;
-        self.nodes.insert(ino, node);
+        let ino = Inode(self.nodes.len() as u64);
+        self.nodes.push(Some(node));
+        self.live += 1;
         ino
     }
 
+    fn free(&mut self, ino: Inode) {
+        if let Some(slot) = self.nodes.get_mut(ino.0 as usize) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
+    }
+
     fn node(&self, ino: Inode) -> &Node {
-        self.nodes.get(&ino).expect("dangling inode")
+        self.nodes[ino.0 as usize].as_ref().expect("dangling inode")
     }
 
     fn node_mut(&mut self, ino: Inode) -> &mut Node {
-        self.nodes.get_mut(&ino).expect("dangling inode")
+        self.nodes[ino.0 as usize].as_mut().expect("dangling inode")
     }
 
     /// Resolve `path` to an inode, following symlinks in every non-final
@@ -100,40 +115,47 @@ impl Tree {
     fn resolve_inner(&self, p: &str, follow_final: bool, hops: &mut usize) -> VfsResult<Inode> {
         let comps = path::components(p).ok_or_else(|| VfsError::InvalidPath(p.to_string()))?;
         let mut cur = self.root;
-        let mut walked = String::new();
+        // The walked-so-far prefix is materialised only when an error
+        // message or a relative symlink target needs it: `prefix` stands in
+        // for the first `rebased` components (set after traversing a
+        // symlink); the rest re-joins from `comps`. The plain success path
+        // — every component a directory hop — allocates nothing.
+        let mut prefix: Option<String> = None;
+        let mut rebased = 0usize;
+        let walked = |prefix: &Option<String>, rebased: usize, upto: usize| -> String {
+            let mut s = prefix.clone().unwrap_or_default();
+            for c in &comps[rebased..upto] {
+                s.push('/');
+                s.push_str(c);
+            }
+            s
+        };
         for (i, comp) in comps.iter().enumerate() {
             let is_final = i + 1 == comps.len();
             let entries = match self.node(cur) {
                 Node::Dir { entries } => entries,
-                _ => return Err(VfsError::NotADirectory(walked.clone())),
+                _ => return Err(VfsError::NotADirectory(walked(&prefix, rebased, i))),
             };
             let child = *entries
                 .get(*comp)
-                .ok_or_else(|| VfsError::NotFound(format!("{walked}/{comp}")))?;
-            walked.push('/');
-            walked.push_str(comp);
+                .ok_or_else(|| VfsError::NotFound(walked(&prefix, rebased, i + 1)))?;
             match self.node(child) {
                 Node::Symlink { target } if !is_final || follow_final => {
                     *hops += 1;
                     if *hops > MAX_SYMLINK_HOPS {
                         return Err(VfsError::SymlinkLoop(p.to_string()));
                     }
-                    let base = path::parent(&walked);
+                    let base = walked(&prefix, rebased, i);
                     let abs = path::join(&base, target);
-                    let resolved = self.resolve_inner(&abs, true, hops)?;
-                    cur = resolved;
+                    cur = self.resolve_inner(&abs, true, hops)?;
                     // Continue the walk from the symlink's resolution.
-                    walked = self.guess_path_hint(&abs);
+                    prefix = Some(abs);
+                    rebased = i + 1;
                 }
                 _ => cur = child,
             }
         }
         Ok(cur)
-    }
-
-    fn guess_path_hint(&self, abs: &str) -> String {
-        // Only used for error messages on intermediate components.
-        abs.to_string()
     }
 
     /// Canonicalize: resolve every symlink and return the normalized physical
@@ -286,7 +308,7 @@ impl Tree {
     }
 
     pub fn read_inode(&self, ino: Inode) -> VfsResult<Arc<Vec<u8>>> {
-        match self.nodes.get(&ino) {
+        match self.nodes.get(ino.0 as usize).and_then(Option::as_ref) {
             Some(Node::File { data }) => Ok(Arc::clone(data)),
             Some(_) => Err(VfsError::IsADirectory(format!("inode {}", ino.0))),
             None => Err(VfsError::NotFound(format!("inode {}", ino.0))),
@@ -330,7 +352,7 @@ impl Tree {
             }
             _ => unreachable!(),
         }
-        self.nodes.remove(&child);
+        self.free(child);
         Ok(())
     }
 
@@ -359,7 +381,7 @@ impl Tree {
                         return Err(VfsError::NotEmpty(to.to_string()));
                     }
                 }
-                self.nodes.remove(&existing);
+                self.free(existing);
             }
         }
         match self.node_mut(from_dir) {
@@ -391,7 +413,7 @@ impl Tree {
             }
         }
         for ino in to_delete {
-            self.nodes.remove(&ino);
+            self.free(ino);
         }
         let dir = path::parent(p);
         let name = path::basename(p).to_string();
@@ -404,7 +426,7 @@ impl Tree {
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 }
 

@@ -1,0 +1,147 @@
+//! The coalesced DES is *exactly* the old DES, only faster.
+//!
+//! [`depchaos::launch::simulate_classified`] coalesces symmetric nodes
+//! analytically and heap-schedules one event per server op; the retained
+//! [`depchaos::launch::reference`] oracle walks every node through every op.
+//! These properties pin the two to bit-identical [`LaunchResult`]s across
+//! random streams, rank counts, node shapes, and cache policies — and the
+//! smoke tests below hold the coalesced path to the scale target: 4M ranks,
+//! sub-second, in release mode.
+
+use std::time::Instant;
+
+use depchaos::launch::{
+    reference::simulate_launch_reference, simulate_classified, simulate_launch, ClassifiedStream,
+    LaunchConfig,
+};
+use depchaos::vfs::{Op, Outcome, StraceLog, Syscall};
+use proptest::prelude::*;
+
+/// Build a stream from `(kind, cost)` pairs. Kind picks the op; cost is
+/// raw, so the classifier sees everything from sub-warm to multi-RTT and
+/// payload-heavy reads.
+fn stream_of(spec: &[(u8, u64)]) -> StraceLog {
+    let mut log = StraceLog::new();
+    for (i, &(kind, cost_ns)) in spec.iter().enumerate() {
+        let (op, outcome) = match kind % 4 {
+            0 => (Op::Stat, Outcome::Ok),
+            1 => (Op::Openat, Outcome::Enoent),
+            2 => (Op::Read, Outcome::Ok),
+            _ => (Op::Readlink, Outcome::Ok),
+        };
+        log.push(Syscall::new(op, &format!("/p/{i}"), outcome, cost_ns));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coalesced == reference, bit for bit, over the whole input space the
+    /// sweep engine exercises.
+    #[test]
+    fn coalesced_des_matches_reference(
+        spec in prop::collection::vec((0u8..4, 0u64..2_000_000), 0..120),
+        ranks in 1usize..6000,
+        rpn_sel in 0usize..4,
+        knobs in 0u8..8,
+    ) {
+        let ops = stream_of(&spec);
+        let cfg = LaunchConfig {
+            ranks,
+            ranks_per_node: [1, 16, 128, 997][rpn_sel],
+            broadcast_cache: knobs & 1 != 0,
+            base_overhead_ns: if knobs & 2 != 0 { 25_000_000_000 } else { 0 },
+            per_rank_overhead_ns: if knobs & 4 != 0 { 10_000_000 } else { 0 },
+            ..LaunchConfig::default()
+        };
+        let fast = simulate_launch(&ops, &cfg);
+        let slow = simulate_launch_reference(&ops, &cfg);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// One classification serves every rank point of a sweep: replaying a
+    /// shared [`ClassifiedStream`] equals classifying fresh at each point.
+    #[test]
+    fn shared_classification_matches_per_point(
+        spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 1..80),
+        points in prop::collection::vec(1usize..5000, 1..5),
+    ) {
+        let ops = stream_of(&spec);
+        let base = LaunchConfig::default();
+        let classified = ClassifiedStream::classify(&ops, &base);
+        for ranks in points {
+            let cfg = base.clone().with_ranks(ranks);
+            prop_assert_eq!(
+                simulate_classified(&classified, &cfg),
+                simulate_launch_reference(&ops, &cfg)
+            );
+        }
+    }
+}
+
+/// A 500-op cold metadata stream, the ISSUE's acceptance shape.
+fn cold_500() -> StraceLog {
+    let mut log = StraceLog::new();
+    for i in 0..500 {
+        log.push(Syscall::new(Op::Openat, &format!("/lib/l{i}.so"), Outcome::Enoent, 200_000));
+    }
+    log
+}
+
+fn four_mi_ranks() -> LaunchConfig {
+    LaunchConfig { ranks: 4_194_304, ranks_per_node: 16, ..LaunchConfig::default() }
+}
+
+/// The acceptance bar: 4,194,304 ranks (262,144 nodes), 500-op stream,
+/// under one second. Spindle broadcast leaves one cold node; the other
+/// 262,143 coalesce to arithmetic.
+#[test]
+fn four_million_rank_broadcast_simulates_subsecond() {
+    let ops = cold_500();
+    let cfg = LaunchConfig { broadcast_cache: true, ..four_mi_ranks() };
+    let t0 = Instant::now();
+    let r = simulate_launch(&ops, &cfg);
+    let elapsed = t0.elapsed();
+    assert_eq!(r.nodes, 262_144);
+    assert_eq!(r.server_ops, 500);
+    assert_eq!(r.local_ops, 262_143u64 * 500);
+    assert!(r.peak_queue_depth <= 1, "one cold node never queues behind itself");
+    if !cfg!(debug_assertions) {
+        assert!(elapsed.as_secs_f64() < 1.0, "release-mode budget blown: {elapsed:?}");
+    }
+}
+
+/// The shrinkwrapped shape at the same scale: a 500-op stream the node
+/// caches absorb entirely. All 262,144 nodes are cold yet serverless, so
+/// the whole fleet coalesces.
+#[test]
+fn four_million_rank_warm_stream_simulates_subsecond() {
+    let mut ops = StraceLog::new();
+    for i in 0..500 {
+        ops.push(Syscall::new(Op::Stat, &format!("/wrapped/l{i}.so"), Outcome::Ok, 1_000));
+    }
+    let cfg = four_mi_ranks();
+    let t0 = Instant::now();
+    let r = simulate_launch(&ops, &cfg);
+    let elapsed = t0.elapsed();
+    assert_eq!(r.server_ops, 0);
+    assert_eq!(r.local_ops, 262_144u64 * 500);
+    if !cfg!(debug_assertions) {
+        assert!(elapsed.as_secs_f64() < 1.0, "release-mode budget blown: {elapsed:?}");
+    }
+}
+
+/// Scale sanity at full contention, sized so the reference can confirm it:
+/// the coalesced heap still agrees with the oracle when *every* node is
+/// cold and queueing.
+#[test]
+fn all_cold_contention_still_exact_at_scale() {
+    let ops = cold_500();
+    let cfg = LaunchConfig {
+        ranks: 16_384,
+        ranks_per_node: 16, // 1024 cold nodes
+        ..LaunchConfig::default()
+    };
+    assert_eq!(simulate_launch(&ops, &cfg), simulate_launch_reference(&ops, &cfg));
+}
