@@ -81,27 +81,44 @@ fn des_points() -> Vec<DesPoint> {
     ]
 }
 
-/// Mean ns over `iters` runs, plus one result for the summary row.
+/// Batches per point: the summary records the *fastest batch's* mean
+/// ns/iter. A plain mean over one long run absorbs every scheduler
+/// hiccup of a shared CI box into the number the regression gate compares;
+/// the min-of-batches estimator converges on the undisturbed cost, which
+/// is the thing a code change actually moves.
+const BATCHES: u32 = 10;
+
+/// Best-batch mean ns over `iters` total runs, plus one result for the
+/// summary row.
 fn time_des(point: &DesPoint, iters: u32) -> (u128, LaunchResult) {
     let classified = ClassifiedStream::classify(&point.ops, &point.cfg);
     let result = simulate_classified(&classified, &point.cfg);
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(simulate_classified(&classified, &point.cfg));
+    let batch_iters = (iters / BATCHES).max(1);
+    let mut best_ns = u128::MAX;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            std::hint::black_box(simulate_classified(&classified, &point.cfg));
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() / batch_iters as u128);
     }
-    (t0.elapsed().as_nanos() / iters as u128, result)
+    (best_ns, result)
 }
 
+/// Iterations per point in full mode; anything less is a quick run.
+const FULL_ITERS: u32 = 200;
+
 /// Persist the summary the CI step uploads; returns the JSON it wrote.
-fn write_summary(rows: &[(&DesPoint, u128, LaunchResult, u32)], quick: bool) -> String {
+/// The recorded mode is derived from the iteration count the rows actually
+/// ran with — not from re-sniffing argv — so the file cannot claim "full"
+/// for a `--test` quick run (`bench-diff` refuses to compare summaries
+/// whose modes differ, which makes an honest label load-bearing).
+fn write_summary(rows: &[(&DesPoint, u128, LaunchResult, u32)], iters: u32) -> String {
     let mut json = String::from("{\n  \"bench\": \"des_hot_path\",\n");
-    json.push_str(&format!("  \"mode\": \"{}\",\n  \"results\": [\n", {
-        if quick {
-            "quick"
-        } else {
-            "full"
-        }
-    }));
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"results\": [\n",
+        if iters >= FULL_ITERS { "full" } else { "quick" }
+    ));
     for (i, (p, mean_ns, r, iters)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"des_million_ranks/{}\", \"ranks\": {}, \"nodes\": {}, \
@@ -142,7 +159,7 @@ fn deep_world() -> (Vfs, String, String) {
 fn bench(c: &mut Criterion) {
     banner("Hot path: coalesced DES at millions of ranks + slab VFS resolution");
     let quick = std::env::args().any(|a| a == "--test");
-    let iters: u32 = if quick { 10 } else { 200 };
+    let iters: u32 = if quick { 10 } else { FULL_ITERS };
 
     // The persisted DES summary (also printed for the bench log).
     let points = des_points();
@@ -159,7 +176,7 @@ fn bench(c: &mut Criterion) {
         );
         rows.push((p, mean_ns, r, iters));
     }
-    let json = write_summary(&rows, quick);
+    let json = write_summary(&rows, iters);
     println!("wrote BENCH_des.json ({} bytes)", json.len());
 
     let mut group = c.benchmark_group("des_million_ranks");

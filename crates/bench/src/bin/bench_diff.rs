@@ -1,0 +1,72 @@
+//! `bench-diff` — the CI perf-regression gate over `BENCH_des.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-diff <baseline.json> <current.json> [--threshold-pct N] \
+//!            [--prefix des_million_ranks/] [--report FILE]
+//! ```
+//!
+//! Compares the fresh summary against the checked-in baseline and exits
+//! non-zero when any watched case's `mean_ns_per_iter` regressed beyond the
+//! threshold (default 25%) or vanished. Exit codes: 0 pass, 1 regression,
+//! 2 usage/parse error or mode mismatch (quick vs full summaries are never
+//! comparable).
+
+use depchaos_bench::diff::{diff, parse_summary};
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("bench-diff: {msg}");
+    eprintln!(
+        "usage: bench-diff <baseline.json> <current.json> [--threshold-pct N] \
+         [--prefix P] [--report FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut prefix = "des_million_ranks/".to_string();
+    let mut report_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--threshold-pct" => {
+                threshold_pct = value_of("--threshold-pct")
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage("--threshold-pct must be a number"))
+            }
+            "--prefix" => prefix = value_of("--prefix"),
+            "--report" => report_path = Some(value_of("--report")),
+            flag if flag.starts_with("--") => fail_usage(&format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        fail_usage("expected exactly two summary paths");
+    };
+
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| fail_usage(&format!("read {p}: {e}")))
+    };
+    let baseline = parse_summary(&read(baseline_path))
+        .unwrap_or_else(|e| fail_usage(&format!("{baseline_path}: {e}")));
+    let current = parse_summary(&read(current_path))
+        .unwrap_or_else(|e| fail_usage(&format!("{current_path}: {e}")));
+
+    let report =
+        diff(&baseline, &current, &prefix, threshold_pct).unwrap_or_else(|e| fail_usage(&e));
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &rendered) {
+            fail_usage(&format!("write {p}: {e}"));
+        }
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

@@ -1,0 +1,287 @@
+//! Comparing `BENCH_des.json` summaries: the CI perf-regression gate.
+//!
+//! The `hotpath` bench persists a summary of the DES hot-path timings
+//! (`des_million_ranks/*`). [`parse_summary`] reads that file's fixed
+//! format, [`diff`] compares a fresh run against the checked-in baseline,
+//! and the `bench-diff` binary turns the comparison into an exit code: any
+//! case whose `mean_ns_per_iter` regresses beyond the threshold (default
+//! 25%), or that disappeared from the fresh run, fails the build.
+//!
+//! Two summaries are only comparable when they were produced in the same
+//! mode: a `--test` quick run (few iterations, noisy) measured against a
+//! full baseline would gate on noise, so [`diff`] refuses mode mismatches
+//! outright instead of producing a misleading report.
+//!
+//! The parser is deliberately a scanner for the one format
+//! `hotpath::write_summary` emits (the workspace has no JSON parser —
+//! the vendored serde stand-in only serializes). It fails loudly on
+//! anything it does not recognise rather than guessing.
+
+/// One benchmark case from a summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCase {
+    pub name: String,
+    pub mean_ns_per_iter: u64,
+}
+
+/// A parsed `BENCH_des.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSummary {
+    /// `"full"` or `"quick"` — how many iterations backed each mean.
+    pub mode: String,
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchSummary {
+    pub fn get(&self, name: &str) -> Option<&BenchCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+/// Extract the JSON string value following `"key":`, if present.
+fn string_field(text: &str, key: &str) -> Option<String> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at + key.len() + 2..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the unsigned integer value following `"key":`, if present.
+fn u64_field(text: &str, key: &str) -> Option<u64> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at + key.len() + 2..];
+    let colon = rest.find(':')?;
+    let digits: String =
+        rest[colon + 1..].trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parse a `BENCH_des.json` summary. Errors name what is missing.
+pub fn parse_summary(text: &str) -> Result<BenchSummary, String> {
+    let mode = string_field(text, "mode").ok_or("summary has no \"mode\" field")?;
+    let results_at = text.find("\"results\"").ok_or("summary has no \"results\" array")?;
+    let mut cases = Vec::new();
+    // One `{...}` object per line in the writer's format; scan objects so a
+    // reformatted file still parses.
+    let mut rest = &text[results_at..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').ok_or("unterminated result object")? + open;
+        let obj = &rest[open..=close];
+        let name = string_field(obj, "name")
+            .ok_or_else(|| format!("result object without \"name\": {obj}"))?;
+        let mean = u64_field(obj, "mean_ns_per_iter")
+            .ok_or_else(|| format!("{name}: no \"mean_ns_per_iter\""))?;
+        cases.push(BenchCase { name, mean_ns_per_iter: mean });
+        rest = &rest[close + 1..];
+    }
+    if cases.is_empty() {
+        return Err("summary has no result objects".to_string());
+    }
+    Ok(BenchSummary { mode, cases })
+}
+
+/// One case's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    pub name: String,
+    pub baseline_ns: u64,
+    pub current_ns: u64,
+    /// Positive = slower than baseline.
+    pub delta_pct: f64,
+    pub regressed: bool,
+}
+
+/// The gate's verdict over every baseline case under the watched prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    /// Baseline cases the current run no longer produces — a silent drop
+    /// would otherwise read as "no regression".
+    pub missing: Vec<String>,
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// Does the current run pass the gate?
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// The human-readable delta report CI uploads as an artifact.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:<44} {:>12} {:>12} {:>9}  verdict\n",
+            "case", "baseline ns", "current ns", "delta"
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<44} {:>12} {:>12} {:>8.1}%  {}\n",
+                r.name,
+                r.baseline_ns,
+                r.current_ns,
+                r.delta_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for m in &self.missing {
+            s.push_str(&format!("{m:<44} MISSING from current run\n"));
+        }
+        s.push_str(&format!(
+            "gate: >{:.0}% mean_ns_per_iter regression fails; {}\n",
+            self.threshold_pct,
+            if self.ok() { "PASS" } else { "FAIL" }
+        ));
+        s
+    }
+}
+
+/// Compare `current` against `baseline` over every baseline case whose name
+/// starts with `prefix`. Errs (rather than reporting) when the two
+/// summaries were produced in different modes.
+pub fn diff(
+    baseline: &BenchSummary,
+    current: &BenchSummary,
+    prefix: &str,
+    threshold_pct: f64,
+) -> Result<DiffReport, String> {
+    if baseline.mode != current.mode {
+        return Err(format!(
+            "mode mismatch: baseline is \"{}\" but current is \"{}\" — quick-mode means are \
+             too noisy to gate against a full baseline; rerun both in one mode",
+            baseline.mode, current.mode
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for b in baseline.cases.iter().filter(|c| c.name.starts_with(prefix)) {
+        match current.get(&b.name) {
+            Some(c) => {
+                let delta_pct = (c.mean_ns_per_iter as f64 - b.mean_ns_per_iter as f64)
+                    / (b.mean_ns_per_iter as f64).max(1.0)
+                    * 100.0;
+                rows.push(DiffRow {
+                    name: b.name.clone(),
+                    baseline_ns: b.mean_ns_per_iter,
+                    current_ns: c.mean_ns_per_iter,
+                    delta_pct,
+                    regressed: delta_pct > threshold_pct,
+                });
+            }
+            None => missing.push(b.name.clone()),
+        }
+    }
+    Ok(DiffReport { rows, missing, threshold_pct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mode: &str, cases: &[(&str, u64)]) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"des_hot_path\",\n  \"mode\": \"{mode}\",\n  \"results\": [\n"
+        );
+        for (i, (name, mean)) in cases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"ranks\": 1, \"nodes\": 1, \"server_ops\": 0, \
+                 \"simulated_launch_s\": 1.000, \"mean_ns_per_iter\": {mean}, \"iters\": 200}}{}\n",
+                if i + 1 == cases.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn parses_the_writer_format() {
+        let text = summary("full", &[("des_million_ranks/a", 4000), ("classify/b", 90)]);
+        let s = parse_summary(&text).unwrap();
+        assert_eq!(s.mode, "full");
+        assert_eq!(s.cases.len(), 2);
+        assert_eq!(s.get("des_million_ranks/a").unwrap().mean_ns_per_iter, 4000);
+    }
+
+    #[test]
+    fn parse_errors_name_the_hole() {
+        assert!(parse_summary("{}").unwrap_err().contains("mode"));
+        assert!(parse_summary("{\"mode\": \"full\"}").unwrap_err().contains("results"));
+        let no_mean = "{\"mode\": \"full\", \"results\": [{\"name\": \"x\"}]}";
+        assert!(parse_summary(no_mean).unwrap_err().contains("mean_ns_per_iter"));
+    }
+
+    #[test]
+    fn synthetic_regression_over_threshold_fails_the_gate() {
+        // The acceptance demonstration: a >25% des_million_ranks regression
+        // must flip the report to FAIL.
+        let base = parse_summary(&summary("full", &[("des_million_ranks/hot", 4000)])).unwrap();
+        let slow = parse_summary(&summary("full", &[("des_million_ranks/hot", 5100)])).unwrap();
+        let report = diff(&base, &slow, "des_million_ranks/", 25.0).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.regressions().len(), 1);
+        assert!((report.rows[0].delta_pct - 27.5).abs() < 0.01);
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn regressions_within_threshold_and_speedups_pass() {
+        let base = parse_summary(&summary(
+            "full",
+            &[("des_million_ranks/hot", 4000), ("des_million_ranks/cool", 100)],
+        ))
+        .unwrap();
+        let cur = parse_summary(&summary(
+            "full",
+            &[("des_million_ranks/hot", 4900), ("des_million_ranks/cool", 10)],
+        ))
+        .unwrap();
+        let report = diff(&base, &cur, "des_million_ranks/", 25.0).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn cases_outside_the_prefix_are_not_gated() {
+        let base = parse_summary(&summary("full", &[("classify/cold500", 100)])).unwrap();
+        let cur = parse_summary(&summary("full", &[("classify/cold500", 900)])).unwrap();
+        let report = diff(&base, &cur, "des_million_ranks/", 25.0).unwrap();
+        assert!(report.rows.is_empty() && report.ok());
+    }
+
+    #[test]
+    fn a_vanished_case_fails_the_gate() {
+        let base = parse_summary(&summary(
+            "full",
+            &[("des_million_ranks/hot", 4000), ("des_million_ranks/gone", 10)],
+        ))
+        .unwrap();
+        let cur = parse_summary(&summary("full", &[("des_million_ranks/hot", 4000)])).unwrap();
+        let report = diff(&base, &cur, "des_million_ranks/", 25.0).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.missing, vec!["des_million_ranks/gone".to_string()]);
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn mismatched_modes_are_refused() {
+        let base = parse_summary(&summary("full", &[("des_million_ranks/hot", 4000)])).unwrap();
+        let quick = parse_summary(&summary("quick", &[("des_million_ranks/hot", 4000)])).unwrap();
+        let err = diff(&base, &quick, "des_million_ranks/", 25.0).unwrap_err();
+        assert!(err.contains("mode mismatch"), "{err}");
+    }
+
+    #[test]
+    fn the_checked_in_baseline_parses() {
+        // Guards the writer and parser against drifting apart: the real
+        // repo-root baseline must always be readable.
+        let text = include_str!("../../../BENCH_des.json");
+        let s = parse_summary(text).unwrap();
+        assert!(s.cases.iter().any(|c| c.name.starts_with("des_million_ranks/")));
+    }
+}

@@ -14,6 +14,12 @@
 //! | `fig6_pynamic` | Fig 6 — Pynamic time-to-launch sweep |
 //! | `shrinkwrap_cost` | §V intro — cost of running Shrinkwrap itself |
 //! | `loader_micro` | supporting microbenchmarks (glibc vs musl, probe cost) |
+//!
+//! The `hotpath` bench also persists `BENCH_des.json`; the [`diff`] module
+//! and its `bench-diff` binary compare that summary against the checked-in
+//! baseline — the CI perf-regression gate.
+
+pub mod diff;
 
 /// Print a banner once per bench so the harness output is self-describing.
 pub fn banner(title: &str) {

@@ -1,22 +1,51 @@
 //! `depchaos-report` — regenerate every paper table and figure as text.
 //!
-//! Usage: `depchaos-report [SECTION]` (default `all`). Fig 6 at full scale
-//! takes a few seconds in release mode; pass `fig6-small` for a reduced
-//! run, or `fig6-backends` for the per-backend scenario-matrix sweep
-//! (glibc, musl, future, hash-store side by side).
+//! Usage: `depchaos-report [SECTION] [--tsv FILE]` (default `all`). Fig 6
+//! at full scale takes a few seconds in release mode; pass `fig6-small`
+//! for a reduced run, `fig6-backends` for the per-backend scenario-matrix
+//! sweep (glibc, musl, future, hash-store side by side), or `fig6-dist`
+//! for the service-distribution sweep (deterministic vs jittered vs
+//! heavy-tailed metadata server, p50/p99 bands, pynamic + axom + rocm).
+//! `--tsv FILE` additionally writes the section's raw `SweepReport` rows
+//! as TSV — the artifact CI persists; sections that run no sweep ignore
+//! it.
 
 use depchaos_core::{wrap, ShrinkwrapOptions};
 use depchaos_graph::reuse_counts;
-use depchaos_launch::{CachePolicy, ExperimentMatrix, MatrixBackend, ProfileCache, WrapState};
+use depchaos_launch::{
+    CachePolicy, ExperimentMatrix, MatrixBackend, ProfileCache, ServiceDistribution, SweepReport,
+    WrapState,
+};
 use depchaos_loader::{Environment, GlibcLoader};
 use depchaos_vfs::{StorageModel, Vfs};
-use depchaos_workloads::{debian, emacs, nix_ruby, paradox, pynamic, Pynamic};
+use depchaos_workloads::{debian, emacs, nix_ruby, paradox, pynamic, Axom, Pynamic, Rocm};
+
+/// Where a sweep-producing section should drop its raw TSV, if anywhere.
+struct ReportOpts {
+    tsv: Option<String>,
+}
+
+impl ReportOpts {
+    /// Write `report`'s rows when `--tsv` was given; exit 2 on IO errors —
+    /// a CI artifact silently missing is worse than a red step.
+    fn persist_tsv(&self, report: &SweepReport) {
+        if let Some(path) = &self.tsv {
+            if let Err(e) = std::fs::write(path, report.render_tsv()) {
+                eprintln!("cannot write TSV {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("(wrote {path})");
+        }
+    }
+}
+
+type SectionFn = fn(&ReportOpts);
 
 /// Every report section: name, whether `all` includes it, and its
 /// renderer. One table drives dispatch and the valid-section listing
 /// alike, so the two cannot drift apart (an unknown argument exits 2
 /// instead of silently rendering nothing).
-const SECTIONS: &[(&str, bool, fn())] = &[
+const SECTIONS: &[(&str, bool, SectionFn)] = &[
     ("fig1", true, fig1),
     ("fig2", true, fig2),
     ("fig3", true, fig3),
@@ -26,23 +55,47 @@ const SECTIONS: &[(&str, bool, fn())] = &[
     ("fig6", true, fig6_paper),
     ("fig6-small", false, fig6_small),
     ("fig6-backends", true, fig6_backends),
+    ("fig6-dist", true, fig6_dist),
     ("listing1", true, listing1),
     ("usecases", true, usecases),
     ("backends", true, backends),
 ];
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut section_arg: Option<String> = None;
+    let mut opts = ReportOpts { tsv: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tsv" => match args.next() {
+                Some(p) => opts.tsv = Some(p),
+                None => {
+                    eprintln!("--tsv needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            _ => section_arg = Some(a),
+        }
+    }
+    let arg = section_arg.unwrap_or_else(|| "all".to_string());
     if arg == "all" {
+        // Several sections would take turns overwriting one TSV path;
+        // refuse rather than hand back only the last section's rows.
+        if opts.tsv.is_some() {
+            eprintln!(
+                "--tsv needs a single sweep section (fig6, fig6-backends, fig6-dist), not all"
+            );
+            std::process::exit(2);
+        }
         for (_, in_all, section) in SECTIONS {
             if *in_all {
-                section();
+                section(&opts);
             }
         }
         return;
     }
     match SECTIONS.iter().find(|(name, _, _)| *name == arg) {
-        Some((_, _, section)) => section(),
+        Some((_, _, section)) => section(&opts),
         None => {
             let names: Vec<&str> = SECTIONS.iter().map(|(n, _, _)| *n).collect();
             eprintln!("unknown section {arg:?}; valid sections: all, {}", names.join(", "));
@@ -51,17 +104,17 @@ fn main() {
     }
 }
 
-fn fig6_paper() {
-    fig6(pynamic::N_LIBS_PAPER);
+fn fig6_paper(opts: &ReportOpts) {
+    fig6(pynamic::N_LIBS_PAPER, opts);
 }
 
-fn fig6_small() {
-    fig6(200);
+fn fig6_small(opts: &ReportOpts) {
+    fig6(200, opts);
 }
 
 /// One image, every loader backend — the cross-semantics comparison the
 /// `Loader` trait makes a one-liner.
-fn backends() {
+fn backends(_opts: &ReportOpts) {
     banner("Loader backends: emacs, plain vs shrinkwrapped");
     use depchaos_core::LoaderBackend;
     use depchaos_loader::LdCache;
@@ -103,14 +156,14 @@ fn banner(s: &str) {
     println!("\n===== {s} =====");
 }
 
-fn fig1() {
+fn fig1(_opts: &ReportOpts) {
     banner("Fig 1: Debian package dependencies by type");
     let t = debian::fig1_tally(2021, 209_000);
     print!("{}", t.render_table());
     println!("unversioned fraction: {:.1}%", 100.0 * t.unversioned_fraction());
 }
 
-fn fig2() {
+fn fig2(_opts: &ReportOpts) {
     banner("Fig 2: Nix Ruby closure (the snarl)");
     let g = nix_ruby::closure(2022);
     println!("nodes: {}   edges: {}", g.node_count(), g.edge_count());
@@ -120,7 +173,7 @@ fn fig2() {
     println!("DOT export: {} lines (pipe to `dot -Tsvg` to render the snarl)", dot.lines().count());
 }
 
-fn fig3() {
+fn fig3(_opts: &ReportOpts) {
     banner("Fig 3: the RUNPATH paradox");
     let fs = Vfs::local();
     paradox::install(&fs).unwrap();
@@ -128,14 +181,14 @@ fn fig3() {
     println!("(Shrinkwrap-style absolute paths resolve it — see tests/fig3_paradox.rs)");
 }
 
-fn fig4() {
+fn fig4(_opts: &ReportOpts) {
     banner("Fig 4: shared object reuse (3287 binaries)");
     let usages = debian::installed_system(2021, 3287, 1400);
     let h = reuse_counts(usages.iter().map(|(b, s)| (b.as_str(), s.iter().map(String::as_str))));
     print!("{}", h.render_summary(10));
 }
 
-fn table1() {
+fn table1(_opts: &ReportOpts) {
     banner("Table I: properties of RPATH and RUNPATH");
     use depchaos_elf::{io::install, ElfObject};
 
@@ -186,7 +239,7 @@ fn table1() {
     println!("(computed live against the glibc loader model)");
 }
 
-fn table2() {
+fn table2(_opts: &ReportOpts) {
     banner("Table II: emacs stat/openat syscalls");
     let fs = Vfs::local();
     emacs::install(&fs).unwrap();
@@ -205,7 +258,7 @@ fn table2() {
     println!("reduction: {:.1}x", before.stat_openat() as f64 / after.stat_openat() as f64);
 }
 
-fn listing1() {
+fn listing1(_opts: &ReportOpts) {
     banner("Listing 1: libtree dbwrap_tool");
     use depchaos_loader::{analyze_tree, LdCache};
     use depchaos_workloads::samba;
@@ -221,7 +274,7 @@ fn listing1() {
     );
 }
 
-fn usecases() {
+fn usecases(_opts: &ReportOpts) {
     banner("§V-B use cases");
     use depchaos_workloads::{openmp, rocm};
 
@@ -265,7 +318,7 @@ fn usecases() {
     );
 }
 
-fn fig6(n_libs: usize) {
+fn fig6(n_libs: usize, opts: &ReportOpts) {
     banner("Fig 6: Pynamic time-to-launch (normal vs shrinkwrapped)");
     // The paper's figure is one cell of the scenario matrix: pynamic ×
     // glibc × NFS, plain vs wrapped, cold caches.
@@ -278,13 +331,14 @@ fn fig6(n_libs: usize) {
         .run(&ProfileCache::new());
     println!("({n_libs} shared libraries, cold NFS, negative caching off)");
     print!("{}", report.render_fig6_tables());
+    opts.persist_tsv(&report);
 }
 
 /// The backend × wrap sweep: the same Fig 6 pipeline driven once, rendered
 /// per loader backend — glibc, musl, the §III-C future loader, and the
 /// hash-store loader service. 300 libraries keep the musl quadratic
 /// profile affordable while preserving every qualitative contrast.
-fn fig6_backends() {
+fn fig6_backends(opts: &ReportOpts) {
     let n_libs = 300;
     banner("Fig 6 backends: Pynamic time-to-launch per loader backend");
     let report = ExperimentMatrix::new()
@@ -305,4 +359,36 @@ fn fig6_backends() {
          hole is the finding; the hash-store service resolves every request in one probe, \
          so its plain series already sits near the wrapped glibc line)"
     );
+    opts.persist_tsv(&report);
+}
+
+/// The service-distribution sweep: three genuinely different dependency
+/// shapes (Pynamic's RUNPATH search storm, the >200-package Axom store
+/// stack, the ROCm module world) under a deterministic, a jittered, and a
+/// heavy-tailed metadata server — every stochastic cell seeded, replicated,
+/// and reported as p50/p99 bands next to the deterministic curve.
+fn fig6_dist(opts: &ReportOpts) {
+    banner("Fig 6 dist: time-to-launch under stochastic server latency");
+    let report = ExperimentMatrix::new()
+        .workload(Pynamic::new(200))
+        .workload(Axom::paper())
+        .workload(Rocm::matched())
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .distributions(ServiceDistribution::all())
+        .run(&ProfileCache::new());
+    println!(
+        "(cold NFS, glibc; {} cells profiled once, stochastic cells over {} seeded replicates)",
+        report.cells_profiled,
+        depchaos_launch::DEFAULT_REPLICATES
+    );
+    print!("{}", report.render_fig6_dist_tables());
+    println!(
+        "(jitter barely moves p50 — queueing averages it out — while the log-normal tail \
+         stretches p99 on the search-heavy plain streams; wrapped streams barely feel \
+         either, having almost no server ops left to jitter)"
+    );
+    opts.persist_tsv(&report);
 }

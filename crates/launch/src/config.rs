@@ -2,6 +2,95 @@
 
 use serde::{Deserialize, Serialize};
 
+use depchaos_workloads::SplitMix;
+
+/// The metadata server's per-op service-time distribution.
+///
+/// The paper's Fig 6 model is [`Deterministic`](ServiceDistribution): every
+/// op occupies the server for exactly `meta_service_ns`. Real NFS/metadata
+/// servers jitter and show heavy tails, so the DES also offers two
+/// stochastic models. Both are *mean-preserving* multiplicative factors on
+/// the classified service time — the expected server occupancy (and so the
+/// asymptotic throughput) matches the deterministic model, only the
+/// per-draw spread differs — and both are driven by an explicit
+/// [`SplitMix`] stream, so every draw reproduces from `(seed, node,
+/// draw index)`.
+///
+/// Parameters are stored in integer milli-units so the distribution can be
+/// part of `Eq + Hash` cache keys ([`crate::ClassifyParams`], scenario
+/// specs) without floating-point identity headaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceDistribution {
+    /// Exactly `meta_service_ns` per op — the paper's model, and the only
+    /// variant the coalesced fast path may take no draws for.
+    Deterministic,
+    /// Uniform in `[1 − s, 1 + s]` with `s = spread_milli / 1000`:
+    /// bounded jitter, as from a lightly shared server.
+    UniformJitter { spread_milli: u32 },
+    /// `exp(σ·Z − σ²/2)` with `σ = sigma_milli / 1000` and `Z` standard
+    /// normal: the heavy-tailed regime (a few ops stall far beyond the
+    /// mean), normalised so the factor's expectation is 1.
+    LogNormal { sigma_milli: u32 },
+}
+
+impl ServiceDistribution {
+    /// Uniform jitter with half-width `spread` (fraction of the mean,
+    /// `0.0 ≤ spread < 1.0`).
+    pub fn uniform_jitter(spread: f64) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1): {spread}");
+        ServiceDistribution::UniformJitter { spread_milli: (spread * 1000.0).round() as u32 }
+    }
+
+    /// Log-normal with shape `sigma` (`sigma ≥ 0`).
+    pub fn log_normal(sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite and ≥ 0: {sigma}");
+        ServiceDistribution::LogNormal { sigma_milli: (sigma * 1000.0).round() as u32 }
+    }
+
+    /// The distributions `fig6-dist` compares by default.
+    pub fn all() -> [ServiceDistribution; 3] {
+        [
+            ServiceDistribution::Deterministic,
+            ServiceDistribution::uniform_jitter(0.25),
+            ServiceDistribution::log_normal(0.5),
+        ]
+    }
+
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, ServiceDistribution::Deterministic)
+    }
+
+    /// Stable display/report/TSV name.
+    pub fn name(&self) -> String {
+        match self {
+            ServiceDistribution::Deterministic => "deterministic".to_string(),
+            ServiceDistribution::UniformJitter { spread_milli } => format!("jitter-{spread_milli}"),
+            ServiceDistribution::LogNormal { sigma_milli } => format!("lognormal-{sigma_milli}"),
+        }
+    }
+
+    /// One multiplicative service-time factor. [`Deterministic`]
+    /// (ServiceDistribution) returns 1.0 without touching `rng` — callers
+    /// on the exact path must not even construct a generator.
+    pub fn sample(&self, rng: &mut SplitMix) -> f64 {
+        match *self {
+            ServiceDistribution::Deterministic => 1.0,
+            ServiceDistribution::UniformJitter { spread_milli } => {
+                let s = spread_milli as f64 / 1000.0;
+                1.0 + s * (2.0 * rng.unit() - 1.0)
+            }
+            ServiceDistribution::LogNormal { sigma_milli } => {
+                let sigma = sigma_milli as f64 / 1000.0;
+                // Box–Muller; `1 - unit()` keeps the log argument in (0, 1].
+                let u1 = 1.0 - rng.unit();
+                let u2 = rng.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (sigma * z - sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
 /// Cluster and filesystem parameters for one launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaunchConfig {
@@ -24,6 +113,14 @@ pub struct LaunchConfig {
     /// the rest replay warm (ablation of the paper's "combining Shrinkwrap
     /// with an approach like Spindle" remark).
     pub broadcast_cache: bool,
+    /// Per-op server service-time distribution. [`Deterministic`]
+    /// (ServiceDistribution) reproduces the paper's FIFO model bit for bit;
+    /// the stochastic variants draw one factor per (cold node, server op)
+    /// from [`SplitMix::split`]`(seed, node)`.
+    pub service_dist: ServiceDistribution,
+    /// Base RNG seed for stochastic service draws. Ignored (no draws occur)
+    /// under [`ServiceDistribution::Deterministic`].
+    pub seed: u64,
 }
 
 impl Default for LaunchConfig {
@@ -37,6 +134,8 @@ impl Default for LaunchConfig {
             base_overhead_ns: 25_000_000_000, // 25 s of MPI/python startup
             per_rank_overhead_ns: 10_000_000, // 10 ms per rank, serial per node
             broadcast_cache: false,
+            service_dist: ServiceDistribution::Deterministic,
+            seed: 0xD15_7A5ED, // "dist-based" — any fixed value works
         }
     }
 }
@@ -44,6 +143,16 @@ impl Default for LaunchConfig {
 impl LaunchConfig {
     pub fn with_ranks(mut self, ranks: usize) -> Self {
         self.ranks = ranks;
+        self
+    }
+
+    pub fn with_service_dist(mut self, dist: ServiceDistribution) -> Self {
+        self.service_dist = dist;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -90,5 +199,57 @@ mod tests {
         assert_eq!(c.ranks, 512);
         assert_eq!(c.nodes(), 4);
         assert!(!c.broadcast_cache);
+        assert!(c.service_dist.is_deterministic(), "the paper's model is the default");
+    }
+
+    #[test]
+    fn jitter_factors_are_bounded_and_centered() {
+        let dist = ServiceDistribution::uniform_jitter(0.25);
+        let mut rng = SplitMix::new(3);
+        let mut sum = 0.0;
+        for _ in 0..4000 {
+            let f = dist.sample(&mut rng);
+            assert!((0.75..=1.25).contains(&f), "factor out of band: {f}");
+            sum += f;
+        }
+        let mean = sum / 4000.0;
+        assert!((mean - 1.0).abs() < 0.01, "jitter is mean-preserving: {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_mean_preserving_with_a_heavy_tail() {
+        let dist = ServiceDistribution::log_normal(0.5);
+        let mut rng = SplitMix::new(4);
+        let n = 200_000;
+        let (mut sum, mut above_double) = (0.0, 0usize);
+        for _ in 0..n {
+            let f = dist.sample(&mut rng);
+            assert!(f > 0.0);
+            sum += f;
+            if f > 2.0 {
+                above_double += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "σ-corrected log-normal has mean 1: {mean}");
+        assert!(above_double > 0, "the tail reaches past 2× the mean");
+    }
+
+    #[test]
+    fn distribution_names_are_stable() {
+        assert_eq!(ServiceDistribution::Deterministic.name(), "deterministic");
+        assert_eq!(ServiceDistribution::uniform_jitter(0.25).name(), "jitter-250");
+        assert_eq!(ServiceDistribution::log_normal(0.5).name(), "lognormal-500");
+    }
+
+    #[test]
+    fn sampling_reproduces_per_seed() {
+        for dist in ServiceDistribution::all() {
+            let mut a = SplitMix::split(9, 2);
+            let mut b = SplitMix::split(9, 2);
+            for _ in 0..50 {
+                assert_eq!(dist.sample(&mut a).to_bits(), dist.sample(&mut b).to_bits());
+            }
+        }
     }
 }

@@ -33,23 +33,53 @@
 //! schedules none. Results are **bit-identical** to the retained
 //! [`reference`] implementation — `tests/des_equivalence.rs` proves it by
 //! property test across random streams, rank counts, and cache policies.
+//!
+//! # Stochastic service times
+//!
+//! `cfg.service_dist` selects the server's per-op service-time model (see
+//! [`ServiceDistribution`]). Under `Deterministic` the simulation takes the
+//! exact, draw-free path above — bit-identical to the pre-distribution DES
+//! whatever the seed. The stochastic variants scale each segment's service
+//! time by one factor drawn from the cold node's own
+//! [`SplitMix::split`]`(cfg.seed, node)` stream, consumed strictly in
+//! segment order, so:
+//!
+//! * every draw reproduces from `(seed, node, segment index)` alone —
+//!   independent of heap interleaving, replicate fan-out, or rayon
+//!   scheduling;
+//! * warm and serverless nodes take no draws and stay coalesced (they never
+//!   occupy the server, so they remain symmetric even under jitter);
+//! * the [`reference`] oracle draws the *same* per-(node, segment) factors,
+//!   keeping the fast path property-testable bit-identical in the
+//!   stochastic regimes too.
+//!
+//! The client-side payload time of a read (`client_extra_ns`) is fixed at
+//! classification: jitter models server occupancy variance, not the
+//! transfer the client has to absorb either way.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use depchaos_vfs::{Op, StraceLog};
+use depchaos_workloads::SplitMix;
 
-use crate::config::{LaunchConfig, LaunchResult};
+use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 
 /// The [`LaunchConfig`] fields classification depends on. Two configs with
 /// equal `ClassifyParams` can share one [`ClassifiedStream`] — rank count,
-/// node shape, overheads, and cache policy all vary freely across a sweep
-/// without reclassifying.
+/// node shape, overheads, cache policy, and *seed* all vary freely across a
+/// sweep (and across stochastic replicates) without reclassifying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClassifyParams {
     pub rtt_ns: u64,
     pub meta_service_ns: u64,
     pub warm_ns: u64,
+    /// The service distribution the stream will be simulated under. It does
+    /// not change the segment schedule itself, but keying it here keeps a
+    /// memoized [`ClassifiedStream`] honest about what it will be replayed
+    /// as — and deliberately excludes the seed, so replicates share one
+    /// classification.
+    pub dist: ServiceDistribution,
 }
 
 impl ClassifyParams {
@@ -59,8 +89,27 @@ impl ClassifyParams {
             rtt_ns: cfg.rtt_ns,
             meta_service_ns: cfg.meta_service_ns,
             warm_ns: cfg.warm_ns,
+            dist: cfg.service_dist,
         }
     }
+}
+
+/// Hard ceiling on one drawn service time: ~18 minutes. Far beyond any
+/// physical metadata op, but low enough that even a pathological stream
+/// (millions of server ops all drawn at the cap) sums well inside `u64`
+/// nanoseconds — the event loop's clock arithmetic stays overflow-free
+/// without saturating every addition.
+const MAX_SERVICE_NS: u64 = 1 << 40;
+
+/// Apply a drawn factor to a base service time. Rounds toward zero and
+/// clamps to `1..=MAX_SERVICE_NS`: a pathological tail draw can neither
+/// produce a zero-occupancy server op nor overflow the simulation clocks.
+fn scale_service_ns(base_ns: u64, factor: f64) -> u64 {
+    let scaled = base_ns as f64 * factor;
+    if scaled >= MAX_SERVICE_NS as f64 {
+        return MAX_SERVICE_NS;
+    }
+    (scaled as u64).max(1)
 }
 
 /// One server round trip in the schedule: the local compute a node performs
@@ -206,66 +255,23 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
     local_ops += cold_nodes as u64 * stream.n_local;
     let server_ops = cold_nodes as u64 * stream.server_ops();
 
-    let mut peak_queue_depth = 0usize;
-    let cold_done_ns = if stream.segments.is_empty() {
-        // No server traffic: cold nodes are symmetric too — coalesce.
-        stream.local_total_ns()
+    let (cold_done_ns, peak_queue_depth) = if stream.segments.is_empty() {
+        // No server traffic: cold nodes take no draws under any
+        // distribution, so they are symmetric too — coalesce.
+        (stream.local_total_ns(), 0)
+    } else if cfg.service_dist.is_deterministic() {
+        // The exact fast path: no RNG is even constructed.
+        heap_schedule(stream, cfg, cold_nodes, |_, seg| seg.service_ns)
     } else {
-        // Per-node cursor into the segment schedule and local clock. Only
-        // cold nodes exist here, and only their server ops are events.
-        struct Node {
-            next_seg: usize,
-            clock_ns: u64,
-        }
-        let mut node_state: Vec<Node> =
-            (0..cold_nodes).map(|_| Node { next_seg: 0, clock_ns: 0 }).collect();
-
-        // Event queue of (arrival at server, node, service time, client
-        // extra) — the tuple layout (and so the tie-breaking order) of the
-        // reference implementation.
-        let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> =
-            BinaryHeap::with_capacity(cold_nodes);
-        let first = stream.segments[0];
-        for (i, n) in node_state.iter_mut().enumerate() {
-            n.clock_ns = first.pre_local_ns;
-            heap.push(Reverse((
-                n.clock_ns + cfg.rtt_ns / 2,
-                i,
-                first.service_ns,
-                first.client_extra_ns,
-            )));
-        }
-
-        let mut server_busy_ns = 0u64;
-        let mut done_max_ns = 0u64;
-        while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
-            peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-            let start = server_busy_ns.max(arrival);
-            let done = start + svc;
-            server_busy_ns = done;
-            // Client resumes after the response returns and it has consumed
-            // the payload (reads stream for `extra` after the server moves
-            // on), then computes locally until its next request.
-            let n = &mut node_state[i];
-            n.clock_ns = done + cfg.rtt_ns / 2 + extra;
-            n.next_seg += 1;
-            match stream.segments.get(n.next_seg) {
-                Some(seg) => {
-                    n.clock_ns += seg.pre_local_ns;
-                    heap.push(Reverse((
-                        n.clock_ns + cfg.rtt_ns / 2,
-                        i,
-                        seg.service_ns,
-                        seg.client_extra_ns,
-                    )));
-                }
-                None => {
-                    n.clock_ns += stream.tail_local_ns;
-                    done_max_ns = done_max_ns.max(n.clock_ns);
-                }
-            }
-        }
-        done_max_ns
+        // Stochastic: one independent draw stream per cold node, consumed
+        // in segment order (each node's events are pushed sequentially), so
+        // the factor for (node, segment) is schedule-independent.
+        let dist = cfg.service_dist;
+        let mut rngs: Vec<SplitMix> =
+            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, i as u64)).collect();
+        heap_schedule(stream, cfg, cold_nodes, |i, seg| {
+            scale_service_ns(seg.service_ns, dist.sample(&mut rngs[i]))
+        })
     };
 
     // Per-node completion plus serialized per-rank spawn overhead.
@@ -280,12 +286,87 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
     }
 }
 
+/// The event loop shared by the exact and stochastic paths: `cold_nodes`
+/// cursors over the segment schedule, one heap event per server op.
+/// `draw(node, segment)` supplies the service time — the deterministic
+/// instantiation reads it straight off the segment, the stochastic one
+/// scales it by the node's next factor. Returns `(slowest cold finish,
+/// peak queue depth)`.
+fn heap_schedule(
+    stream: &ClassifiedStream,
+    cfg: &LaunchConfig,
+    cold_nodes: usize,
+    mut draw: impl FnMut(usize, &ServerSeg) -> u64,
+) -> (u64, usize) {
+    // Per-node cursor into the segment schedule and local clock. Only
+    // cold nodes exist here, and only their server ops are events.
+    struct Node {
+        next_seg: usize,
+        clock_ns: u64,
+    }
+    let mut node_state: Vec<Node> =
+        (0..cold_nodes).map(|_| Node { next_seg: 0, clock_ns: 0 }).collect();
+
+    // Event queue of (arrival at server, node, service time, client
+    // extra) — the tuple layout (and so the tie-breaking order) of the
+    // reference implementation.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> =
+        BinaryHeap::with_capacity(cold_nodes);
+    let first = stream.segments[0];
+    for (i, n) in node_state.iter_mut().enumerate() {
+        n.clock_ns = first.pre_local_ns;
+        heap.push(Reverse((
+            n.clock_ns + cfg.rtt_ns / 2,
+            i,
+            draw(i, &first),
+            first.client_extra_ns,
+        )));
+    }
+
+    let mut peak_queue_depth = 0usize;
+    let mut server_busy_ns = 0u64;
+    let mut done_max_ns = 0u64;
+    while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
+        peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
+        let start = server_busy_ns.max(arrival);
+        let done = start + svc;
+        server_busy_ns = done;
+        // Client resumes after the response returns and it has consumed
+        // the payload (reads stream for `extra` after the server moves
+        // on), then computes locally until its next request.
+        let n = &mut node_state[i];
+        n.clock_ns = done + cfg.rtt_ns / 2 + extra;
+        n.next_seg += 1;
+        match stream.segments.get(n.next_seg) {
+            Some(seg) => {
+                n.clock_ns += seg.pre_local_ns;
+                heap.push(Reverse((
+                    n.clock_ns + cfg.rtt_ns / 2,
+                    i,
+                    draw(i, seg),
+                    seg.client_extra_ns,
+                )));
+            }
+            None => {
+                n.clock_ns += stream.tail_local_ns;
+                done_max_ns = done_max_ns.max(n.clock_ns);
+            }
+        }
+    }
+    (done_max_ns, peak_queue_depth)
+}
+
 pub mod reference {
     //! The retained pre-coalescing implementation: every node walks every
     //! op through an explicit per-node cursor, `O(nodes × ops · log
-    //! nodes)`. Kept verbatim as the equivalence oracle for
+    //! nodes)`. Kept as the equivalence oracle for
     //! [`super::simulate_classified`] (`tests/des_equivalence.rs` asserts
-    //! bit-identical [`LaunchResult`]s) — do not optimise this module.
+    //! bit-identical [`LaunchResult`]s) — do not optimise this module. The
+    //! only post-freeze extension is the stochastic service draw, which
+    //! mirrors the fast path's per-(node, segment) [`SplitMix`] streams so
+    //! the oracle covers the jittered regimes too; under
+    //! [`ServiceDistribution::Deterministic`] no generator is constructed
+    //! and the walk is the original, verbatim.
 
     use super::*;
 
@@ -322,6 +403,23 @@ pub mod reference {
         let classes = classify(ops, cfg);
         let nodes = cfg.nodes();
         let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
+
+        // Stochastic service draws: node i's stream is SplitMix::split(seed,
+        // i), consumed once per server op it reaches, in op order — the same
+        // (node, draw-index) → factor mapping as the fast path.
+        let dist = cfg.service_dist;
+        let mut rngs: Vec<SplitMix> = if dist.is_deterministic() {
+            Vec::new()
+        } else {
+            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, i as u64)).collect()
+        };
+        let mut svc_draw = |i: usize, base_ns: u64| -> u64 {
+            if dist.is_deterministic() {
+                base_ns
+            } else {
+                scale_service_ns(base_ns, dist.sample(&mut rngs[i]))
+            }
+        };
 
         let mut server_ops = 0u64;
         let mut local_ops = 0u64;
@@ -369,7 +467,7 @@ pub mod reference {
         for (i, n) in node_state.iter_mut().enumerate() {
             let cold = i < cold_nodes;
             if let Some((t, svc, extra)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
-                heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc, extra)));
+                heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc_draw(i, svc), extra)));
             }
         }
 
@@ -385,7 +483,7 @@ pub mod reference {
             n.clock_ns = done + cfg.rtt_ns / 2 + extra;
             let cold = i < cold_nodes;
             if let Some((t, s, e)) = advance(n, &classes, cold, cfg.warm_ns, &mut local_ops) {
-                heap.push(Reverse((t + cfg.rtt_ns / 2, i, s, e)));
+                heap.push(Reverse((t + cfg.rtt_ns / 2, i, svc_draw(i, s), e)));
             }
         }
 
@@ -557,6 +655,107 @@ mod tests {
         let classified = ClassifiedStream::classify(&ops, &fast_cfg());
         let recalibrated = LaunchConfig { rtt_ns: 1, ..fast_cfg() };
         simulate_classified(&classified, &recalibrated);
+    }
+
+    #[test]
+    fn deterministic_ignores_the_seed() {
+        // No draws occur, so the seed cannot leak into the result.
+        let ops = stream(80, 20);
+        let a = simulate_launch(&ops, &fast_cfg().with_seed(1));
+        let b = simulate_launch(&ops, &fast_cfg().with_seed(0xFFFF_FFFF));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stochastic_paths_match_the_reference_oracle() {
+        let streams = [stream(0, 0), stream(60, 0), stream(0, 60), stream(17, 43)];
+        for dist in ServiceDistribution::all() {
+            for ops in &streams {
+                for ranks in [1usize, 300, 2048] {
+                    for broadcast in [false, true] {
+                        let mut cfg = fast_cfg().with_ranks(ranks).with_service_dist(dist);
+                        cfg.broadcast_cache = broadcast;
+                        cfg.seed = 99;
+                        assert_eq!(
+                            simulate_launch(ops, &cfg),
+                            simulate_launch_reference(ops, &cfg),
+                            "dist={} ranks={ranks} broadcast={broadcast} ops={}",
+                            dist.name(),
+                            ops.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_runs_reproduce_per_seed_and_vary_across_seeds() {
+        let ops = stream(200, 0);
+        let cfg = fast_cfg()
+            .with_ranks(2048)
+            .with_service_dist(ServiceDistribution::log_normal(0.5))
+            .with_seed(7);
+        assert_eq!(simulate_launch(&ops, &cfg), simulate_launch(&ops, &cfg));
+        let other = simulate_launch(&ops, &cfg.clone().with_seed(8));
+        assert_ne!(
+            simulate_launch(&ops, &cfg).time_to_launch_ns,
+            other.time_to_launch_ns,
+            "200 heavy-tailed draws under contention cannot tie across seeds"
+        );
+    }
+
+    #[test]
+    fn jitter_moves_time_but_not_op_accounting() {
+        let ops = stream(150, 50);
+        let det = simulate_launch(&ops, &fast_cfg().with_ranks(1024));
+        let jit = simulate_launch(
+            &ops,
+            &fast_cfg()
+                .with_ranks(1024)
+                .with_service_dist(ServiceDistribution::uniform_jitter(0.25)),
+        );
+        assert_eq!(det.nodes, jit.nodes);
+        assert_eq!(det.server_ops, jit.server_ops);
+        assert_eq!(det.local_ops, jit.local_ops);
+        assert_ne!(det.time_to_launch_ns, jit.time_to_launch_ns);
+        // Bounded jitter keeps the launch within the ±25% service envelope
+        // (service is only part of the wall time, so much tighter in truth).
+        let (lo, hi) = (det.time_to_launch_ns * 3 / 4, det.time_to_launch_ns * 5 / 4);
+        assert!(
+            (lo..=hi).contains(&jit.time_to_launch_ns),
+            "{} vs {}",
+            det.time_to_launch_ns,
+            jit.time_to_launch_ns
+        );
+    }
+
+    #[test]
+    fn extreme_tail_draws_clamp_instead_of_overflowing() {
+        // σ = 8 reaches factors around e^60 in a long sample; every drawn
+        // service must clamp at MAX_SERVICE_NS and the simulation stay
+        // exact against the oracle instead of wrapping the clock.
+        let ops = stream(100, 0);
+        for seed in 0..20u64 {
+            let cfg = fast_cfg()
+                .with_ranks(2048)
+                .with_service_dist(ServiceDistribution::log_normal(8.0))
+                .with_seed(seed);
+            let r = simulate_launch(&ops, &cfg);
+            assert_eq!(r, simulate_launch_reference(&ops, &cfg));
+            assert!(r.time_to_launch_ns < 16 * 100 * (super::MAX_SERVICE_NS + cfg.rtt_ns));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different latency calibration")]
+    fn distribution_mismatch_is_rejected() {
+        // A stream classified for the deterministic model must not be
+        // replayed as a stochastic one without reclassifying.
+        let ops = stream(10, 0);
+        let classified = ClassifiedStream::classify(&ops, &fast_cfg());
+        let jittered = fast_cfg().with_service_dist(ServiceDistribution::uniform_jitter(0.1));
+        simulate_classified(&classified, &jittered);
     }
 
     #[test]

@@ -28,15 +28,29 @@ use serde::{Deserialize, Serialize};
 use depchaos_core::{wrap, ShrinkwrapOptions};
 use depchaos_loader::LdCache;
 use depchaos_vfs::{StraceLog, Vfs};
-use depchaos_workloads::Workload;
+use depchaos_workloads::{SplitMix, Workload};
 
-use crate::config::{LaunchConfig, LaunchResult};
+use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
 use crate::matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
 };
 use crate::profile::profile_load_checked;
-use crate::sweep::{render_fig6, sweep_ranks_classified};
+use crate::sweep::{render_fig6, sweep_ranks_replicated, LaunchStats};
+
+/// The RNG seed one scenario simulates under: a stable FNV-1a digest of the
+/// scenario label folded into the experiment's base seed. Every cell of the
+/// matrix is therefore reproducible from `(base seed, cell label)` alone —
+/// re-running a single scenario standalone draws exactly what the full
+/// sweep drew — while distinct cells get decorrelated streams.
+pub fn scenario_seed(base_seed: u64, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SplitMix::new(base_seed ^ h).next_u64()
+}
 
 /// One captured op stream plus how the load went.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -226,9 +240,10 @@ fn profile_cell(
     CellProfile { key, plain, wrapped }
 }
 
-/// One scenario's sweep: its identity, a per-rank profile summary, and the
-/// simulated series (empty when the cell has no usable op stream).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One scenario's sweep: its identity, a per-rank profile summary, the
+/// simulated series (empty when the cell has no usable op stream), and —
+/// per rank point — the replicate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioResult {
     pub spec: ScenarioSpec,
     pub stat_openat: usize,
@@ -238,7 +253,11 @@ pub struct ScenarioResult {
     pub unresolved: usize,
     /// Why there is no series, when there isn't.
     pub error: Option<String>,
+    /// Replicate 0's full results, one per rank point.
     pub series: Vec<(usize, LaunchResult)>,
+    /// p50/p95/p99/mean over the scenario's seeded replicates, one per rank
+    /// point (replicate count 1 for deterministic scenarios).
+    pub stats: Vec<(usize, LaunchStats)>,
 }
 
 impl ScenarioResult {
@@ -251,11 +270,16 @@ impl ScenarioResult {
     pub fn seconds_at(&self, ranks: usize) -> Option<f64> {
         self.result_at(ranks).map(LaunchResult::seconds)
     }
+
+    /// Replicate statistics at `ranks`, when swept.
+    pub fn stats_at(&self, ranks: usize) -> Option<&LaunchStats> {
+        self.stats.iter().find(|(r, _)| *r == ranks).map(|(_, s)| s)
+    }
 }
 
 /// Everything an [`ExperimentMatrix::run`] produced, serializable, with
 /// the Fig 6 table and TSV renderers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
     pub rank_points: Vec<usize>,
     pub results: Vec<ScenarioResult>,
@@ -339,27 +363,110 @@ impl SweepReport {
     }
 
     /// The whole sweep as TSV — one row per (scenario, rank point), the raw
-    /// data behind every per-backend figure.
+    /// data behind every per-backend and per-distribution figure. The
+    /// percentile columns repeat the point estimate when the scenario is
+    /// deterministic (replicates = 1).
     pub fn render_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tranks\tseconds\tserver_ops\tpeak_queue\n",
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\n",
         );
         for r in &self.results {
             for (ranks, l) in &r.series {
+                let st = r.stats_at(*ranks).copied().unwrap_or(LaunchStats {
+                    replicates: 1,
+                    mean_ns: l.time_to_launch_ns,
+                    p50_ns: l.time_to_launch_ns,
+                    p95_ns: l.time_to_launch_ns,
+                    p99_ns: l.time_to_launch_ns,
+                });
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
                     r.spec.wrap.name(),
                     r.spec.cache.name(),
+                    r.spec.dist.name(),
                     l.seconds(),
+                    st.p50_s(),
+                    st.p95_s(),
+                    st.p99_s(),
+                    st.replicates,
                     l.server_ops,
                     l.peak_queue_depth
                 ));
             }
         }
         s
+    }
+
+    /// Per-distribution Fig 6 tables: for every (workload, backend,
+    /// storage, cache, wrap) slice, one table with the deterministic curve
+    /// next to each stochastic distribution's p50/p99 band — the `fig6-dist`
+    /// section. Slices without a series render their error instead.
+    pub fn render_fig6_dist_tables(&self) -> String {
+        let mut out = String::new();
+        let mut seen: HashSet<ScenarioSpec> = HashSet::new();
+        for r in &self.results {
+            let slice = ScenarioSpec { dist: ServiceDistribution::Deterministic, ..r.spec.clone() };
+            if !seen.insert(slice.clone()) {
+                continue;
+            }
+            // All distributions of this slice, deterministic first, then in
+            // result order (which follows the matrix's distribution axis).
+            let mut members: Vec<&ScenarioResult> = self
+                .results
+                .iter()
+                .filter(|x| {
+                    ScenarioSpec { dist: ServiceDistribution::Deterministic, ..x.spec.clone() }
+                        == slice
+                })
+                .collect();
+            members.sort_by_key(|x| !x.spec.dist.is_deterministic());
+            out.push_str(&format!(
+                "--- {} × {} ({}, {} cache, {}) ---\n",
+                slice.workload,
+                slice.backend,
+                slice.storage.name(),
+                slice.cache.name(),
+                slice.wrap.name()
+            ));
+            if let Some(e) = members.iter().find_map(|m| m.error.as_deref()) {
+                out.push_str(&format!("no series — {e}\n\n"));
+                continue;
+            }
+            let mut header = String::from("ranks");
+            for m in &members {
+                if m.spec.dist.is_deterministic() {
+                    header.push_str(&format!("  {:>10}", "det(s)"));
+                } else {
+                    header.push_str(&format!(
+                        "  {:>22}",
+                        format!("{} p50/p99(s)", m.spec.dist.name())
+                    ));
+                }
+            }
+            out.push_str(&header);
+            out.push('\n');
+            for &p in &self.rank_points {
+                let mut row = format!("{p:>5}");
+                for m in &members {
+                    match (m.spec.dist.is_deterministic(), m.seconds_at(p), m.stats_at(p)) {
+                        (true, Some(secs), _) => row.push_str(&format!("  {secs:>10.1}")),
+                        (false, _, Some(st)) => row.push_str(&format!(
+                            "  {:>22}",
+                            format!("{:.1}/{:.1}", st.p50_s(), st.p99_s())
+                        )),
+                        (true, None, _) => row.push_str(&format!("  {:>10}", "-")),
+                        (false, _, None) => row.push_str(&format!("  {:>22}", "-")),
+                    }
+                }
+                out.push_str(&row);
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -394,30 +501,41 @@ impl ExperimentMatrix {
             .par_iter()
             .map(|s| {
                 let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
-                let cfg = s.cache.apply(self.base.clone());
+                let spec = s.spec();
+                let mut cfg = s.cache.apply(self.base.clone());
+                cfg.service_dist = s.dist;
+                // Each cell draws from its own decorrelated stream, derived
+                // from (experiment seed, cell label) — deterministic across
+                // runs and across rayon schedules.
+                cfg.seed = scenario_seed(self.base.seed, &spec.label());
                 match cell.outcome(s.wrap) {
                     Ok(p) => {
                         // One classification per (cell, wrap, calibration),
-                        // shared across cache policies and rank points.
+                        // shared across cache policies, rank points, and
+                        // stochastic replicates.
                         let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
+                        let rows =
+                            sweep_ranks_replicated(&stream, &cfg, &rank_points, self.replicates);
                         ScenarioResult {
-                            spec: s.spec(),
+                            spec,
                             stat_openat: p.stat_openat,
                             misses: p.misses,
                             complete: p.complete,
                             unresolved: p.unresolved,
                             error: None,
-                            series: sweep_ranks_classified(&stream, &cfg, &rank_points),
+                            series: rows.iter().map(|&(r, l, _)| (r, l)).collect(),
+                            stats: rows.iter().map(|&(r, _, st)| (r, st)).collect(),
                         }
                     }
                     Err(e) => ScenarioResult {
-                        spec: s.spec(),
+                        spec,
                         stat_openat: 0,
                         misses: 0,
                         complete: false,
                         unresolved: 0,
                         error: Some(e.clone()),
                         series: Vec::new(),
+                        stats: Vec::new(),
                     },
                 }
             })
@@ -535,6 +653,56 @@ mod tests {
         assert!(tsv.starts_with("workload\t"));
         // 4 scenarios × 2 rank points + header.
         assert_eq!(tsv.lines().count(), 9);
+    }
+
+    #[test]
+    fn distribution_axis_multiplies_simulation_not_profiling() {
+        let cache = ProfileCache::new();
+        let report = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .distributions(ServiceDistribution::all())
+            .replicates(5)
+            .rank_points([256usize, 512])
+            .run(&cache);
+        // 2 wrap states × 3 distributions, one profiled cell.
+        assert_eq!(report.results.len(), 6);
+        assert_eq!(report.cells_profiled, 1);
+        // Classification keys on (cell, wrap, ClassifyParams-incl-dist):
+        // replicates and rank points reuse them.
+        assert_eq!(cache.classified_computed(), 6);
+
+        for r in &report.results {
+            let expect_k = if r.spec.dist.is_deterministic() { 1 } else { 5 };
+            for (ranks, st) in &r.stats {
+                assert_eq!(st.replicates, expect_k, "{} at {ranks}", r.spec.label());
+                assert!(st.p50_ns <= st.p99_ns);
+                // Replicate 0 is the series entry.
+                assert!(r.result_at(*ranks).is_some());
+            }
+        }
+
+        let dist_tables = report.render_fig6_dist_tables();
+        assert!(dist_tables.contains("det(s)"));
+        assert!(dist_tables.contains("jitter-250 p50/p99(s)"));
+        assert!(dist_tables.contains("lognormal-500 p50/p99(s)"));
+        let tsv = report.render_tsv();
+        assert!(tsv.starts_with("workload\tbackend\tstorage\twrap\tcache\tdist\t"));
+        // 6 scenarios × 2 rank points + header.
+        assert_eq!(tsv.lines().count(), 13);
+    }
+
+    #[test]
+    fn scenario_seeds_are_stable_and_per_cell() {
+        let a = scenario_seed(1, "pynamic-30/glibc/nfs/plain/cold/lognormal-500");
+        let b = scenario_seed(1, "pynamic-30/glibc/nfs/plain/cold/lognormal-500");
+        let c = scenario_seed(1, "pynamic-30/glibc/nfs/wrapped/cold/lognormal-500");
+        let d = scenario_seed(2, "pynamic-30/glibc/nfs/plain/cold/lognormal-500");
+        assert_eq!(a, b, "pure function of (seed, label)");
+        assert_ne!(a, c, "cells draw decorrelated streams");
+        assert_ne!(a, d, "the experiment seed moves every cell");
     }
 
     #[test]

@@ -14,39 +14,55 @@
 //!    against a cold [`depchaos_vfs::Vfs`] and captures the strace-style op
 //!    stream one rank issues at startup.
 //! 2. [`des`] is a discrete-event simulation: one metadata server with a
-//!    fixed per-op service time and FIFO queue; each *node* replays the op
-//!    stream sequentially (the loader is serial), round-tripping every cold
-//!    op. Ranks beyond the first on a node hit the node's page cache —
-//!    which is why the unit of NFS load is the node, not the rank.
-//!    Simulation is two-phase: [`ClassifiedStream::classify`] compacts the
-//!    op stream into a per-server-op schedule exactly once, and
-//!    [`simulate_classified`] replays it — coalescing the symmetric
-//!    warm/serverless nodes analytically and heap-scheduling only cold
-//!    nodes, one event per *server* op. That takes a rank point from
-//!    `O(nodes × ops · log nodes)` to `O(cold_nodes × server_ops · log
-//!    cold_nodes)`, which is what lets the matrix sweep 4M-rank points in
-//!    microseconds while staying bit-identical to the retained
-//!    [`des::reference`] oracle (property-tested equivalence).
+//!    FIFO queue; each *node* replays the op stream sequentially (the
+//!    loader is serial), round-tripping every cold op. Ranks beyond the
+//!    first on a node hit the node's page cache — which is why the unit of
+//!    NFS load is the node, not the rank. The server's per-op service time
+//!    follows `cfg.service_dist` (a [`ServiceDistribution`]): the paper's
+//!    deterministic model, bounded uniform jitter, or a heavy-tailed
+//!    log-normal, the stochastic variants drawing one seeded factor per
+//!    (cold node, server op). Simulation is two-phase:
+//!    [`ClassifiedStream::classify`] compacts the op stream into a
+//!    per-server-op schedule exactly once, and [`simulate_classified`]
+//!    replays it — coalescing the symmetric warm/serverless nodes
+//!    analytically (they take no draws, so they stay symmetric under any
+//!    distribution) and heap-scheduling only cold nodes, one event per
+//!    *server* op. That takes a rank point from `O(nodes × ops · log
+//!    nodes)` to `O(cold_nodes × server_ops · log cold_nodes)`, which is
+//!    what lets the matrix sweep 4M-rank points in microseconds while
+//!    staying bit-identical to the retained [`des::reference`] oracle
+//!    (property-tested equivalence, deterministic *and* stochastic).
 //! 3. [`sweep`] runs rank scalings in parallel (rayon) for one figure
 //!    series, all points sharing one [`ClassifiedStream`].
+//!    [`sweep_ranks_replicated`] adds the stochastic dimension: K seeded
+//!    replicates per rank point ([`replicate_seed`]), summarised as
+//!    [`LaunchStats`] p50/p95/p99 — K collapses to 1 when the distribution
+//!    is deterministic.
 //! 4. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
 //!    of (workload × loader backend × storage model × wrap state × cache
-//!    policy), and an [`ExperimentMatrix`] expands the cross product.
-//!    Workloads come from the [`depchaos_workloads::Workload`] trait;
+//!    policy × service distribution), and an [`ExperimentMatrix`] expands
+//!    the cross product. Workloads come from the
+//!    [`depchaos_workloads::Workload`] trait (pynamic and its RPATH
+//!    variant, emacs, the >200-package Axom stack, the ROCm module world);
 //!    storage models are [`depchaos_vfs::StorageModel`]; backends are
 //!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
 //! 5. [`experiment`] executes a matrix: each unique (workload, backend,
 //!    storage) cell is profiled **exactly once** into a shared, memoized
 //!    [`ProfileCache`] (plain and wrapped streams captured in one run) and
-//!    classified once per (cell, wrap state, latency calibration) — the
-//!    rayon workers share `Arc<ClassifiedStream>`s instead of re-deriving
-//!    them per rank point — then everything lands in a serde-serializable
-//!    [`SweepReport`] with per-backend Fig 6 table and TSV renderers.
+//!    classified once per (cell, wrap state, latency calibration) — shared
+//!    across cache policies, rank points, *and* stochastic replicates —
+//!    then everything lands in a serde-serializable [`SweepReport`] with
+//!    per-backend Fig 6, per-distribution band, and TSV renderers. Every
+//!    stochastic cell draws from [`scenario_seed`]`(base seed, cell
+//!    label)`, so any single cell reproduces standalone, byte for byte,
+//!    from the experiment seed and its label.
 //!
 //! The paper's figure is one cell of the matrix (pynamic × glibc × nfs);
 //! `depchaos-report fig6-backends` renders the same figure for glibc, musl,
-//! the §III-C future loader, and a hash-store service side by side, and the
-//! Spindle-broadcast remark from §V-A is just the cache-policy axis.
+//! the §III-C future loader, and a hash-store service side by side;
+//! `fig6-dist` renders it under jittered and heavy-tailed metadata servers
+//! with p50/p99 bands; and the Spindle-broadcast remark from §V-A is just
+//! the cache-policy axis.
 //!
 //! The simulated server and RTT constants are calibrated so the paper's
 //! qualitative shape emerges (normal launch grows with scale; shrinkwrapped
@@ -79,11 +95,17 @@ pub mod matrix;
 pub mod profile;
 pub mod sweep;
 
-pub use config::{LaunchConfig, LaunchResult};
+pub use config::{LaunchConfig, LaunchResult, ServiceDistribution};
 pub use des::{reference, simulate_classified, simulate_launch, ClassifiedStream, ClassifyParams};
-pub use experiment::{CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport};
+pub use experiment::{
+    scenario_seed, CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport,
+};
 pub use matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
+    DEFAULT_REPLICATES,
 };
 pub use profile::{profile_load, profile_load_checked, profile_load_with};
-pub use sweep::{render_fig6, render_tsv, sweep_ranks, sweep_ranks_classified};
+pub use sweep::{
+    render_fig6, render_tsv, replicate_seed, sweep_ranks, sweep_ranks_classified,
+    sweep_ranks_replicated, LaunchStats,
+};

@@ -1,11 +1,13 @@
 //! The experiment design space: scenario axes and their cross product.
 //!
 //! A [`Scenario`] is one point in (workload × loader backend × storage
-//! model × wrap state × cache policy); an [`ExperimentMatrix`] holds the
-//! axis values and expands the full cross product. Execution lives in
-//! [`crate::experiment`] — this module is purely the *description* of what
-//! to run, which is what makes "Fig 6, but for every backend" or "Fig 6,
-//! but on local disk with a Spindle cache" one-line requests.
+//! model × wrap state × cache policy × service distribution); an
+//! [`ExperimentMatrix`] holds the axis values and expands the full cross
+//! product. Execution lives in [`crate::experiment`] — this module is
+//! purely the *description* of what to run, which is what makes "Fig 6,
+//! but for every backend", "Fig 6, but on local disk with a Spindle
+//! cache", or "Fig 6, but under a heavy-tailed metadata server" one-line
+//! requests.
 
 use std::sync::Arc;
 
@@ -16,7 +18,7 @@ use depchaos_loader::HashStoreService;
 use depchaos_vfs::{StorageModel, Vfs};
 use depchaos_workloads::{InstalledWorkload, Workload};
 
-use crate::config::LaunchConfig;
+use crate::config::{LaunchConfig, ServiceDistribution};
 
 /// The wrap-state axis: is the binary launched as built, or after
 /// Shrinkwrap froze its closure?
@@ -152,6 +154,7 @@ pub struct Scenario {
     pub storage: StorageModel,
     pub wrap: WrapState,
     pub cache: CachePolicy,
+    pub dist: ServiceDistribution,
 }
 
 impl Scenario {
@@ -172,6 +175,7 @@ impl Scenario {
             storage: self.storage,
             wrap: self.wrap,
             cache: self.cache,
+            dist: self.dist,
         }
     }
 }
@@ -180,12 +184,13 @@ impl std::fmt::Debug for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Scenario({} × {} × {} × {} × {})",
+            "Scenario({} × {} × {} × {} × {} × {})",
             self.workload.name(),
             self.backend.name(),
             self.storage.name(),
             self.wrap.name(),
-            self.cache.name()
+            self.cache.name(),
+            self.dist.name()
         )
     }
 }
@@ -198,21 +203,29 @@ pub struct ScenarioSpec {
     pub storage: StorageModel,
     pub wrap: WrapState,
     pub cache: CachePolicy,
+    pub dist: ServiceDistribution,
 }
 
 impl ScenarioSpec {
-    /// One-line label, stable across renderers and TSV.
+    /// One-line label, stable across renderers and TSV. Also the input of
+    /// the per-cell seed derivation ([`crate::experiment::scenario_seed`]),
+    /// which is what makes "reproducible from (seed, cell key)" literal.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}",
             self.workload,
             self.backend,
             self.storage.name(),
             self.wrap.name(),
-            self.cache.name()
+            self.cache.name(),
+            self.dist.name()
         )
     }
 }
+
+/// Default replicate count for stochastic scenarios — enough for stable
+/// p50/p99 nearest-rank picks without drowning a CI sweep.
+pub const DEFAULT_REPLICATES: usize = 11;
 
 /// The experiment matrix: axis values plus the sweep parameters shared by
 /// every scenario. `expand()` is the cross product; `run()` (in
@@ -225,7 +238,9 @@ pub struct ExperimentMatrix {
     pub(crate) storages: Vec<StorageModel>,
     pub(crate) wrap_states: Vec<WrapState>,
     pub(crate) cache_policies: Vec<CachePolicy>,
+    pub(crate) distributions: Vec<ServiceDistribution>,
     pub(crate) rank_points: Vec<usize>,
+    pub(crate) replicates: usize,
     pub(crate) base: LaunchConfig,
 }
 
@@ -241,7 +256,9 @@ impl ExperimentMatrix {
             storages: Vec::new(),
             wrap_states: Vec::new(),
             cache_policies: Vec::new(),
+            distributions: Vec::new(),
             rank_points: Vec::new(),
+            replicates: DEFAULT_REPLICATES,
             base: LaunchConfig::default(),
         }
     }
@@ -281,6 +298,24 @@ impl ExperimentMatrix {
         self
     }
 
+    pub fn distribution(mut self, d: ServiceDistribution) -> Self {
+        self.distributions.push(d);
+        self
+    }
+
+    pub fn distributions(mut self, ds: impl IntoIterator<Item = ServiceDistribution>) -> Self {
+        self.distributions.extend(ds);
+        self
+    }
+
+    /// Replicates per (stochastic scenario, rank point); deterministic
+    /// scenarios always run exactly once. Default
+    /// [`DEFAULT_REPLICATES`].
+    pub fn replicates(mut self, k: usize) -> Self {
+        self.replicates = k.max(1);
+        self
+    }
+
     pub fn rank_points(mut self, pts: impl IntoIterator<Item = usize>) -> Self {
         self.rank_points.extend(pts);
         self
@@ -301,9 +336,9 @@ impl ExperimentMatrix {
         }
     }
 
-    /// Expand the full cross product. Empty axes default to: glibc,
-    /// NFS, both wrap states, cold cache. (Workloads have no default — an
-    /// empty workload axis expands to no scenarios.)
+    /// Expand the full cross product. Empty axes default to: glibc, NFS,
+    /// both wrap states, cold cache, deterministic service. (Workloads
+    /// have no default — an empty workload axis expands to no scenarios.)
     pub fn expand(&self) -> Vec<Scenario> {
         let backends = if self.backends.is_empty() {
             vec![MatrixBackend::glibc()]
@@ -322,6 +357,11 @@ impl ExperimentMatrix {
         } else {
             self.cache_policies.clone()
         };
+        let dists = if self.distributions.is_empty() {
+            vec![ServiceDistribution::Deterministic]
+        } else {
+            self.distributions.clone()
+        };
 
         let mut out = Vec::new();
         for w in &self.workloads {
@@ -329,13 +369,16 @@ impl ExperimentMatrix {
                 for s in &storages {
                     for wr in &wraps {
                         for c in &caches {
-                            out.push(Scenario {
-                                workload: Arc::clone(w),
-                                backend: b.clone(),
-                                storage: *s,
-                                wrap: *wr,
-                                cache: *c,
-                            });
+                            for d in &dists {
+                                out.push(Scenario {
+                                    workload: Arc::clone(w),
+                                    backend: b.clone(),
+                                    storage: *s,
+                                    wrap: *wr,
+                                    cache: *c,
+                                    dist: *d,
+                                });
+                            }
                         }
                     }
                 }
@@ -389,7 +432,23 @@ mod tests {
     fn specs_and_labels_are_data() {
         let m = ExperimentMatrix::new().workload(Pynamic::new(10)).backend(MatrixBackend::glibc());
         let spec = m.expand()[0].spec();
-        assert_eq!(spec.label(), "pynamic-10/glibc/nfs/plain/cold");
+        assert_eq!(spec.label(), "pynamic-10/glibc/nfs/plain/cold/deterministic");
+    }
+
+    #[test]
+    fn distribution_axis_multiplies_scenarios_not_cells() {
+        let m = ExperimentMatrix::new()
+            .workload(Pynamic::new(10))
+            .distributions(ServiceDistribution::all());
+        let scenarios = m.expand();
+        assert_eq!(scenarios.len(), 2 * 3, "(plain, wrapped) × 3 distributions");
+        // The distribution changes simulation, not profiling: one cell.
+        let cells: std::collections::HashSet<CellKey> =
+            scenarios.iter().map(|s| s.cell_key()).collect();
+        assert_eq!(cells.len(), 1);
+        let labels: std::collections::HashSet<String> =
+            scenarios.iter().map(|s| s.spec().label()).collect();
+        assert_eq!(labels.len(), 6, "every scenario is addressable by label");
     }
 
     #[test]

@@ -1,13 +1,110 @@
 //! Rank sweeps for the Fig 6 series.
+//!
+//! [`sweep_ranks`] is the one-series drive; [`sweep_ranks_replicated`] is
+//! the stochastic-aware version: each rank point is simulated over K seeded
+//! replicates (replicate `r` re-seeds the config from
+//! [`SplitMix::split`]`(base.seed, r)`, replicate 0 *being* the base seed)
+//! and summarised as [`LaunchStats`] — p50/p95/p99/mean of the launch
+//! time. Under a deterministic service distribution every replicate would
+//! be identical, so K collapses to 1 and the stats degenerate to the single
+//! exact value.
 
 use std::collections::HashMap;
 
 use rayon::prelude::*;
 
 use depchaos_vfs::StraceLog;
+use depchaos_workloads::SplitMix;
+use serde::{Deserialize, Serialize};
 
 use crate::config::{LaunchConfig, LaunchResult};
 use crate::des::{simulate_classified, ClassifiedStream};
+
+/// Launch-time summary statistics over K seeded replicates of one rank
+/// point. All values are nanoseconds of `time_to_launch_ns`; percentiles
+/// are nearest-rank over the sorted replicate sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// How many replicates the sample holds (1 for deterministic runs).
+    pub replicates: usize,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl LaunchStats {
+    /// Summarise a non-empty replicate sample (sorts in place).
+    pub fn from_samples(samples: &mut [u64]) -> LaunchStats {
+        assert!(!samples.is_empty(), "stats need at least one replicate");
+        samples.sort_unstable();
+        let pct = |p: f64| samples[(p / 100.0 * (samples.len() - 1) as f64).round() as usize];
+        let mean = samples.iter().map(|&s| s as u128).sum::<u128>() / samples.len() as u128;
+        LaunchStats {
+            replicates: samples.len(),
+            mean_ns: mean as u64,
+            p50_ns: pct(50.0),
+            p95_ns: pct(95.0),
+            p99_ns: pct(99.0),
+        }
+    }
+
+    pub fn p50_s(&self) -> f64 {
+        self.p50_ns as f64 / 1e9
+    }
+
+    pub fn p95_s(&self) -> f64 {
+        self.p95_ns as f64 / 1e9
+    }
+
+    pub fn p99_s(&self) -> f64 {
+        self.p99_ns as f64 / 1e9
+    }
+}
+
+/// The seed replicate `r` of `base_seed` runs under: replicate 0 is the
+/// base itself (so a 1-replicate sweep is exactly the plain sweep), later
+/// replicates take independent [`SplitMix`] substreams.
+pub fn replicate_seed(base_seed: u64, replicate: usize) -> u64 {
+    if replicate == 0 {
+        base_seed
+    } else {
+        SplitMix::split(base_seed, replicate as u64).next_u64()
+    }
+}
+
+/// [`sweep_ranks_classified`] over K seeded replicates per rank point:
+/// returns, per point, replicate 0's full [`LaunchResult`] (the series the
+/// plain renderers draw) plus the [`LaunchStats`] over all replicates.
+/// `replicates` is clamped to 1 when the stream's distribution is
+/// deterministic — extra replicates could only repeat the same value.
+pub fn sweep_ranks_replicated(
+    stream: &ClassifiedStream,
+    base: &LaunchConfig,
+    rank_points: &[usize],
+    replicates: usize,
+) -> Vec<(usize, LaunchResult, LaunchStats)> {
+    let k = if stream.params().dist.is_deterministic() { 1 } else { replicates.max(1) };
+    rank_points
+        .par_iter()
+        .map(|&ranks| {
+            let mut first = None;
+            let mut samples: Vec<u64> = (0..k)
+                .map(|r| {
+                    let cfg =
+                        base.clone().with_ranks(ranks).with_seed(replicate_seed(base.seed, r));
+                    let res = simulate_classified(stream, &cfg);
+                    if r == 0 {
+                        first = Some(res);
+                    }
+                    res.time_to_launch_ns
+                })
+                .collect();
+            let stats = LaunchStats::from_samples(&mut samples);
+            (ranks, first.expect("k >= 1"), stats)
+        })
+        .collect()
+}
 
 /// Simulate the same workload at several scales, in parallel (the
 /// simulations are independent — rayon's bread and butter).
@@ -127,6 +224,59 @@ mod tests {
         let table = render_fig6(&pts, &normal, &wrapped);
         assert!(table.contains("speedup"));
         assert!(table.contains("512"));
+    }
+
+    #[test]
+    fn deterministic_sweep_collapses_to_one_replicate() {
+        let cfg = LaunchConfig::default();
+        let stream = ClassifiedStream::classify(&cold_stream(50), &cfg);
+        let rows = sweep_ranks_replicated(&stream, &cfg, &[512, 1024], 32);
+        for (ranks, first, stats) in rows {
+            assert_eq!(stats.replicates, 1, "no point replicating an exact model");
+            assert_eq!(stats.p50_ns, first.time_to_launch_ns);
+            assert_eq!(stats.p99_ns, first.time_to_launch_ns);
+            assert_eq!(
+                first,
+                sweep_ranks(&cold_stream(50), &cfg, &[ranks])[0].1,
+                "replicate 0 is the plain sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_replicates_order_the_percentiles() {
+        use crate::config::ServiceDistribution;
+        let cfg = LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            service_dist: ServiceDistribution::log_normal(0.5),
+            ..Default::default()
+        };
+        let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+        let rows = sweep_ranks_replicated(&stream, &cfg, &[2048], 25);
+        let (_, first, stats) = &rows[0];
+        assert_eq!(stats.replicates, 25);
+        assert!(stats.p50_ns <= stats.p95_ns && stats.p95_ns <= stats.p99_ns);
+        assert!(stats.p99_ns > stats.p50_ns, "a heavy tail spreads the sample");
+        assert_eq!(first.time_to_launch_ns, {
+            let c = cfg.clone().with_ranks(2048);
+            simulate_classified(&stream, &c).time_to_launch_ns
+        });
+        // Byte-identical on re-run: the replicate seeds are pure data.
+        assert_eq!(rows, sweep_ranks_replicated(&stream, &cfg, &[2048], 25));
+    }
+
+    #[test]
+    fn stats_percentiles_are_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let st = LaunchStats::from_samples(&mut s);
+        assert_eq!(st.replicates, 100);
+        assert_eq!(st.p50_ns, 51); // index round(0.5 * 99) = 50
+        assert_eq!(st.p95_ns, 95);
+        assert_eq!(st.p99_ns, 99);
+        let mut one = vec![42u64];
+        let st1 = LaunchStats::from_samples(&mut one);
+        assert_eq!((st1.p50_ns, st1.p95_ns, st1.p99_ns, st1.mean_ns), (42, 42, 42, 42));
     }
 
     #[test]

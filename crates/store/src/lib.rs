@@ -33,5 +33,5 @@ pub use fhs::FhsInstaller;
 pub use modules::{Module, ModuleSystem};
 pub use package::{BinDef, LibDef, PackageDef, Repo};
 pub use profile::{gc, Profile};
-pub use store::{InstalledPackage, PathStyle, StoreInstaller};
+pub use store::{InstalledPackage, PathStyle, StoreError, StoreInstaller};
 pub use views::build_view;

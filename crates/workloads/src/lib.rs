@@ -15,9 +15,13 @@
 //! | [`paradox`] | Fig 3 (the unsolvable two-directory layout) |
 //! | [`rocm`] | §V-B.1 (mixed-version ROCm segfault) |
 //! | [`openmp`] | §V-B.2 (libomp vs libompstubs duplicate symbols) |
+//! | [`axom`] | §I (the >200-dependency Axom application stack) |
 //!
 //! Everything is deterministic given a seed; generators return the paths and
-//! metadata the experiments need.
+//! metadata the experiments need. The [`Workload`] trait adapts generators
+//! for the scenario-matrix engine — [`Pynamic`], [`PynamicRpath`],
+//! [`Emacs`], [`Axom`], and [`Rocm`] (matched or deliberately mixed-ABI)
+//! are its stock implementations.
 
 pub mod axom;
 pub mod debian;
@@ -33,4 +37,4 @@ pub mod workload;
 mod rng;
 
 pub use rng::SplitMix;
-pub use workload::{Emacs, InstalledWorkload, Pynamic, PynamicRpath, Workload};
+pub use workload::{Axom, Emacs, InstalledWorkload, Pynamic, PynamicRpath, Rocm, Workload};

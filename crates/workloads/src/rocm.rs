@@ -33,6 +33,14 @@ fn prefix(version: &str) -> String {
     format!("/opt/rocm-{version}/lib")
 }
 
+/// The library files [`install_rocm`] places for `version`, in install
+/// order — what a harness needs to index or wrap the world without
+/// re-deriving the layout.
+pub fn lib_paths(version: &str) -> Vec<String> {
+    let dir = prefix(version);
+    ROCM_LIBS.iter().map(|(name, _)| format!("{dir}/{name}")).collect()
+}
+
 /// Install one ROCm version. Each library defines a version marker symbol
 /// and carries a RUNPATH of its own directory (factor 3).
 pub fn install_rocm(fs: &Vfs, version: &str) -> Result<(), VfsError> {

@@ -9,9 +9,10 @@
 //! them.
 
 use depchaos_loader::Environment;
+use depchaos_store::{StoreError, StoreInstaller};
 use depchaos_vfs::{Vfs, VfsError};
 
-use crate::{emacs, pynamic};
+use crate::{axom, emacs, pynamic, rocm};
 
 /// What [`Workload::install`] produced: the executable to launch and the
 /// library files placed — enough for harnesses to wrap, profile, or index
@@ -122,6 +123,102 @@ impl Workload for Emacs {
     }
 }
 
+/// The §I motivation workload: a multiphysics application atop an
+/// Axom-scale Spack stack (see [`axom::repo`]) — >200 packages in the
+/// closure, every library RUNPATH-linked through a content-addressed
+/// store. The seed wires the cross-layer fan-out; layer structure and
+/// scale are fixed.
+#[derive(Debug, Clone)]
+pub struct Axom {
+    name: String,
+    seed: u64,
+}
+
+impl Axom {
+    pub fn new(seed: u64) -> Self {
+        Axom { name: format!("axom-{seed}"), seed }
+    }
+
+    /// The seed the in-repo Axom experiments use throughout.
+    pub fn paper() -> Self {
+        Self::new(7)
+    }
+}
+
+impl Workload for Axom {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        let repo = axom::repo(self.seed);
+        let mut store = StoreInstaller::spack_like();
+        let app = store.install(fs, &repo, axom::APP).map_err(|e| match e {
+            StoreError::Fs(e) => e,
+            // Unreachable for a generated repo; surface it as a lookup miss.
+            StoreError::UnknownPackage(p) => VfsError::NotFound(p),
+        })?;
+        let exe_path = format!("{}/{}", app.bin_dir, axom::APP);
+        let mut lib_paths = Vec::new();
+        for pkg in repo.closure(axom::APP) {
+            if let (Some(installed), Some(def)) = (store.get(&pkg), repo.get(&pkg)) {
+                for soname in def.provided_sonames() {
+                    lib_paths.push(format!("{}/{soname}", installed.lib_dir));
+                }
+            }
+        }
+        Ok(InstalledWorkload { exe_path, lib_paths })
+    }
+}
+
+/// The §V-B.1 workload: the ROCm GPU application (app built against 4.5,
+/// both 4.5 and 4.3 on disk, site modules setting `LD_LIBRARY_PATH`).
+/// [`Rocm::matched`] loads the matching `rocm/4.5.0` module — a consistent
+/// world with a RUNPATH/LD_LIBRARY_PATH-shaped op stream unlike any
+/// Pynamic variant. [`Rocm::mixed`] loads the wrong `rocm/4.3.0` module:
+/// the load *succeeds* while mixing ABI versions, so the matrix carries the
+/// paper's segfault scenario as an ordinary cell.
+#[derive(Debug, Clone)]
+pub struct Rocm {
+    name: &'static str,
+    module: &'static str,
+    module_version: &'static str,
+}
+
+impl Rocm {
+    /// App and module agree on ROCm 4.5 — the healthy configuration.
+    pub fn matched() -> Self {
+        Rocm { name: "rocm-4.5", module: "rocm/4.5.0", module_version: "4.5.0" }
+    }
+
+    /// The 4.3 module under the 4.5 app — the mixed-ABI load of §V-B.1.
+    pub fn mixed() -> Self {
+        Rocm { name: "rocm-mixed", module: "rocm/4.3.0", module_version: "4.3.0" }
+    }
+}
+
+impl Workload for Rocm {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn install(&self, fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        rocm::install_scenario(fs)?;
+        // Report the module version's libraries: the set LD_LIBRARY_PATH
+        // exposes, and (for `matched`) the one the load resolves against.
+        Ok(InstalledWorkload {
+            exe_path: rocm::APP.to_string(),
+            lib_paths: rocm::lib_paths(self.module_version),
+        })
+    }
+
+    fn environment(&self) -> Environment {
+        let mut ms = rocm::module_system();
+        ms.load(self.module).expect("static module tree provides every rocm module");
+        ms.environment(Environment::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +240,9 @@ mod tests {
         loads_clean(&Pynamic::new(25));
         loads_clean(&PynamicRpath::new(25));
         loads_clean(&Emacs);
+        loads_clean(&Axom::new(7));
+        loads_clean(&Rocm::matched());
+        loads_clean(&Rocm::mixed()); // loads fine — that's the insidious part
     }
 
     #[test]
@@ -151,6 +251,32 @@ mod tests {
         assert_eq!(Pynamic::paper().name(), "pynamic-900");
         assert_eq!(PynamicRpath::new(64).name(), "pynamic-rpath-64");
         assert_eq!(Emacs.name(), "emacs");
+        assert_eq!(Axom::paper().name(), "axom-7");
+        assert_eq!(Rocm::matched().name(), "rocm-4.5");
+        assert_eq!(Rocm::mixed().name(), "rocm-mixed");
+    }
+
+    #[test]
+    fn axom_reports_its_whole_closure() {
+        let fs = Vfs::local();
+        let inst = Axom::paper().install(&fs).unwrap();
+        assert!(inst.lib_paths.len() > 200, "the paper's >200-dependency claim");
+        let uniq: std::collections::HashSet<&String> = inst.lib_paths.iter().collect();
+        assert_eq!(uniq.len(), inst.lib_paths.len(), "no duplicate lib files");
+    }
+
+    #[test]
+    fn rocm_variants_differ_only_in_module_environment() {
+        let fs = Vfs::local();
+        let matched = Rocm::matched().install(&fs).unwrap();
+        let mixed = Rocm::mixed().install(&Vfs::local()).unwrap();
+        assert_eq!(matched.exe_path, mixed.exe_path);
+        assert_ne!(matched.lib_paths, mixed.lib_paths, "each reports its module's world");
+        // The mixed module really mixes ABI versions at load time.
+        let loader = GlibcLoader::new(&fs).with_env(Rocm::mixed().environment());
+        let r = Loader::load(&loader, &matched.exe_path).unwrap();
+        assert!(r.success());
+        assert_eq!(crate::rocm::versions_loaded(&r), vec!["4.3.0", "4.5.0"]);
     }
 
     #[test]

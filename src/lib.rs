@@ -23,8 +23,9 @@
 //! * [`launch`] — the Fig 6 parallel-launch discrete-event simulation,
 //!   generalised into a scenario-matrix sweep engine
 //!   ([`launch::ExperimentMatrix`]): workload × backend × storage × wrap
-//!   state × cache policy, with memoized profiling and per-backend
-//!   renderers.
+//!   state × cache policy × service distribution (deterministic, jittered,
+//!   or heavy-tailed metadata server — seeded, replicated, reported as
+//!   p50/p99 bands), with memoized profiling and per-backend renderers.
 //!
 //! ## Quickstart
 //!

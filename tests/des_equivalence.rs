@@ -12,10 +12,15 @@ use std::time::Instant;
 
 use depchaos::launch::{
     reference::simulate_launch_reference, simulate_classified, simulate_launch, ClassifiedStream,
-    LaunchConfig,
+    LaunchConfig, ServiceDistribution,
 };
 use depchaos::vfs::{Op, Outcome, StraceLog, Syscall};
 use proptest::prelude::*;
+
+/// The distribution axis a selector index names in the properties below.
+fn dist_of(sel: u8) -> ServiceDistribution {
+    ServiceDistribution::all()[sel as usize % 3]
+}
 
 /// Build a stream from `(kind, cost)` pairs. Kind picks the op; cost is
 /// raw, so the classifier sees everything from sub-warm to multi-RTT and
@@ -38,13 +43,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Coalesced == reference, bit for bit, over the whole input space the
-    /// sweep engine exercises.
+    /// sweep engine exercises — including the stochastic service
+    /// distributions, whose per-(node, segment) draws the two
+    /// implementations must take identically.
     #[test]
     fn coalesced_des_matches_reference(
         spec in prop::collection::vec((0u8..4, 0u64..2_000_000), 0..120),
         ranks in 1usize..6000,
         rpn_sel in 0usize..4,
         knobs in 0u8..8,
+        dist_sel in 0u8..3,
+        seed in any::<u64>(),
     ) {
         let ops = stream_of(&spec);
         let cfg = LaunchConfig {
@@ -53,11 +62,63 @@ proptest! {
             broadcast_cache: knobs & 1 != 0,
             base_overhead_ns: if knobs & 2 != 0 { 25_000_000_000 } else { 0 },
             per_rank_overhead_ns: if knobs & 4 != 0 { 10_000_000 } else { 0 },
+            service_dist: dist_of(dist_sel),
+            seed,
             ..LaunchConfig::default()
         };
         let fast = simulate_launch(&ops, &cfg);
         let slow = simulate_launch_reference(&ops, &cfg);
         prop_assert_eq!(fast, slow);
+    }
+
+    /// The pre-axis DES is exactly `Deterministic`: on any stream and any
+    /// seed, the deterministic distribution reproduces the reference
+    /// oracle's pre-distribution walk bit for bit, and the seed cannot leak
+    /// into the result (no draws ever occur).
+    #[test]
+    fn deterministic_distribution_is_bit_identical_to_pre_axis_des(
+        spec in prop::collection::vec((0u8..4, 0u64..2_000_000), 0..100),
+        ranks in 1usize..6000,
+        broadcast in any::<bool>(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let ops = stream_of(&spec);
+        let base = LaunchConfig {
+            ranks,
+            broadcast_cache: broadcast,
+            service_dist: ServiceDistribution::Deterministic,
+            ..LaunchConfig::default()
+        };
+        let with_a = simulate_launch(&ops, &LaunchConfig { seed: seed_a, ..base.clone() });
+        let with_b = simulate_launch(&ops, &LaunchConfig { seed: seed_b, ..base.clone() });
+        prop_assert_eq!(&with_a, &with_b, "seed must not reach a deterministic simulation");
+        prop_assert_eq!(with_a, simulate_launch_reference(&ops, &base));
+    }
+
+    /// Stochastic runs reproduce: the same (stream, config, seed) triple
+    /// yields the same result on both paths, and a shared classification
+    /// replayed per point still matches fresh per-point classification.
+    #[test]
+    fn stochastic_draws_are_pure_data(
+        spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 1..80),
+        points in prop::collection::vec(1usize..5000, 1..4),
+        dist_sel in 1u8..3, // only the stochastic variants
+        seed in any::<u64>(),
+    ) {
+        let ops = stream_of(&spec);
+        let base = LaunchConfig {
+            service_dist: dist_of(dist_sel),
+            seed,
+            ..LaunchConfig::default()
+        };
+        let classified = ClassifiedStream::classify(&ops, &base);
+        for ranks in points {
+            let cfg = base.clone().with_ranks(ranks);
+            let shared = simulate_classified(&classified, &cfg);
+            prop_assert_eq!(&shared, &simulate_classified(&classified, &cfg));
+            prop_assert_eq!(shared, simulate_launch_reference(&ops, &cfg));
+        }
     }
 
     /// One classification serves every rank point of a sweep: replaying a

@@ -1,0 +1,165 @@
+//! The service-distribution axis, end to end: seeded determinism of whole
+//! `SweepReport`s, cross-seed statistical sanity, and the new Axom/ROCm
+//! workloads riding the matrix.
+//!
+//! The reproducibility contract under test: a stochastic sweep is a pure
+//! function of `(matrix, base seed)` — every cell's draws derive from
+//! `scenario_seed(base, label)` and every replicate from
+//! `replicate_seed(cell seed, r)`, so re-running the same matrix yields a
+//! byte-identical report, while changing the base seed moves every sample
+//! without moving the distributions they come from.
+
+use depchaos_launch::{
+    CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend, ProfileCache, ServiceDistribution,
+    SweepReport, WrapState,
+};
+use depchaos_vfs::StorageModel;
+use depchaos_workloads::{Axom, Pynamic, Rocm};
+
+fn dist_matrix(seed: u64) -> ExperimentMatrix {
+    ExperimentMatrix::new()
+        .workload(Pynamic::new(60))
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .distributions([
+            ServiceDistribution::uniform_jitter(0.25),
+            ServiceDistribution::log_normal(0.5),
+        ])
+        .replicates(15)
+        .rank_points([512usize, 2048])
+        .base_config(LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            seed,
+            ..LaunchConfig::default()
+        })
+}
+
+fn run(seed: u64) -> SweepReport {
+    dist_matrix(seed).run(&ProfileCache::new())
+}
+
+#[test]
+fn same_seed_yields_byte_identical_reports() {
+    let a = run(42);
+    let b = run(42);
+    // Structural equality covers every series entry and every percentile...
+    assert_eq!(a, b);
+    // ...and the rendered artifacts are byte-identical too (what the CI
+    // TSV uploads actually persist).
+    assert_eq!(a.render_tsv(), b.render_tsv());
+    assert_eq!(a.render_fig6_dist_tables(), b.render_fig6_dist_tables());
+}
+
+#[test]
+fn different_seeds_move_samples_not_distributions() {
+    let a = run(42);
+    let b = run(1337);
+    assert_ne!(a, b, "independent seeds cannot tie across 15 replicates");
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.spec, rb.spec, "same matrix, same scenario order");
+        for ((ranks, sa), (_, sb)) in ra.stats.iter().zip(&rb.stats) {
+            // Ordered percentiles whatever the seed.
+            assert!(sa.p50_ns <= sa.p95_ns && sa.p95_ns <= sa.p99_ns);
+            assert!(sb.p50_ns <= sb.p95_ns && sb.p95_ns <= sb.p99_ns);
+            // p50 is an estimator of the same underlying distribution: two
+            // 15-replicate samples must land within a loose band (jitter
+            // and the σ=0.5 log-normal both keep the median tight here —
+            // service time is only one component of the launch).
+            let (lo, hi) = (sa.p50_ns.min(sb.p50_ns), sa.p50_ns.max(sb.p50_ns));
+            assert!(
+                (hi - lo) as f64 / (hi as f64) < 0.10,
+                "{} at {ranks}: p50 {lo} vs {hi} differ by more than 10%",
+                ra.spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn axom_and_rocm_ride_the_full_matrix_with_distributions() {
+    let cache = ProfileCache::new();
+    let report = ExperimentMatrix::new()
+        .workload(Axom::paper())
+        .workload(Rocm::matched())
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .distributions(ServiceDistribution::all())
+        .replicates(5)
+        .rank_points([512usize, 2048])
+        .base_config(LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        })
+        .run(&cache);
+    // 2 workloads × 2 wraps × 3 distributions; 2 profile cells.
+    assert_eq!(report.results.len(), 12);
+    assert_eq!(report.cells_profiled, 2);
+
+    for r in &report.results {
+        assert!(r.complete, "{}: {:?}", r.spec.label(), r.error);
+        assert!(r.error.is_none());
+        assert!(!r.series.is_empty() && !r.stats.is_empty());
+    }
+
+    // The two shapes differ qualitatively. Axom's Spack RUNPATH stack pays
+    // a real search storm, so wrapping must win. Matched ROCm resolves
+    // everything on the first LD_LIBRARY_PATH probe (its §V-B pathology is
+    // *correctness*, not search cost) — wrapping can only hold the line.
+    for dist in ServiceDistribution::all() {
+        let get = |workload: &str, wrap| {
+            *report
+                .find(|s| s.workload == workload && s.wrap == wrap && s.dist == dist)
+                .first()
+                .unwrap_or_else(|| panic!("{workload}/{dist:?}/{wrap:?} in report"))
+        };
+        let axom_plain = get("axom-7", WrapState::Plain);
+        let axom_wrapped = get("axom-7", WrapState::Wrapped);
+        assert!(
+            axom_plain.stat_openat > 3 * axom_wrapped.stat_openat,
+            "wrap prunes the store search"
+        );
+        assert!(
+            axom_wrapped.seconds_at(2048).unwrap() < axom_plain.seconds_at(2048).unwrap(),
+            "axom under {}: wrapped launches faster",
+            dist.name()
+        );
+        let rocm_plain = get("rocm-4.5", WrapState::Plain);
+        let rocm_wrapped = get("rocm-4.5", WrapState::Wrapped);
+        assert!(rocm_wrapped.stat_openat <= rocm_plain.stat_openat);
+        // Near-identical streams, but plain and wrapped are distinct cells
+        // and so draw from decorrelated seed streams: under jitter the
+        // comparison only holds to within the draw noise.
+        assert!(
+            rocm_wrapped.seconds_at(2048).unwrap() <= rocm_plain.seconds_at(2048).unwrap() * 1.05,
+            "wrapping a search-free world must not cost anything real ({})",
+            dist.name()
+        );
+    }
+
+    // And the dist renderer covers both workloads with bands.
+    let tables = report.render_fig6_dist_tables();
+    assert!(tables.contains("axom-7 × glibc"));
+    assert!(tables.contains("rocm-4.5 × glibc"));
+    assert!(tables.contains("lognormal-500 p50/p99(s)"));
+}
+
+#[test]
+fn deterministic_scenarios_never_replicate() {
+    let report = ExperimentMatrix::new()
+        .workload(Pynamic::new(20))
+        .distributions([ServiceDistribution::Deterministic])
+        .replicates(40)
+        .rank_points([512usize])
+        .run(&ProfileCache::new());
+    for r in &report.results {
+        for (_, st) in &r.stats {
+            assert_eq!(st.replicates, 1, "deterministic cells collapse to one run");
+            assert_eq!(st.p50_ns, st.p99_ns);
+        }
+    }
+}
