@@ -3,23 +3,26 @@
 //! Usage:
 //!
 //! ```text
-//! bench-diff <baseline.json> <current.json> [--threshold-pct N] \
-//!            [--prefix des_million_ranks/] [--report FILE]
+//! bench-diff <baseline.json> <current.json> [--gate PREFIX=PCT]... \
+//!            [--threshold-pct N] [--prefix P] [--report FILE]
 //! ```
 //!
 //! Compares the fresh summary against the checked-in baseline and exits
-//! non-zero when any watched case's `mean_ns_per_iter` regressed beyond the
-//! threshold (default 25%) or vanished. Exit codes: 0 pass, 1 regression,
-//! 2 usage/parse error or mode mismatch (quick vs full summaries are never
-//! comparable).
+//! non-zero when any watched case's `mean_ns_per_iter` regressed beyond its
+//! group's threshold or vanished. `--gate` is repeatable and names one
+//! watched group with its own threshold (a case is judged by the first
+//! matching gate); with no `--gate`, the legacy single-group flags apply
+//! (`--prefix`, default `des_million_ranks/`; `--threshold-pct`, default
+//! 25). Exit codes: 0 pass, 1 regression, 2 usage/parse error or mode
+//! mismatch (quick vs full summaries are never comparable).
 
-use depchaos_bench::diff::{diff, parse_summary};
+use depchaos_bench::diff::{diff_gates, parse_summary, Gate};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("bench-diff: {msg}");
     eprintln!(
-        "usage: bench-diff <baseline.json> <current.json> [--threshold-pct N] \
-         [--prefix P] [--report FILE]"
+        "usage: bench-diff <baseline.json> <current.json> [--gate PREFIX=PCT]... \
+         [--threshold-pct N] [--prefix P] [--report FILE]"
     );
     std::process::exit(2);
 }
@@ -28,6 +31,7 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold_pct = 25.0f64;
     let mut prefix = "des_million_ranks/".to_string();
+    let mut gates: Vec<Gate> = Vec::new();
     let mut report_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -36,6 +40,15 @@ fn main() {
             args.next().unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
         };
         match a.as_str() {
+            "--gate" => {
+                let spec = value_of("--gate");
+                let Some((p, pct)) = spec.split_once('=') else {
+                    fail_usage("--gate takes PREFIX=PCT");
+                };
+                let pct: f64 =
+                    pct.parse().unwrap_or_else(|_| fail_usage("--gate threshold must be a number"));
+                gates.push(Gate::new(p, pct));
+            }
             "--threshold-pct" => {
                 threshold_pct = value_of("--threshold-pct")
                     .parse()
@@ -50,6 +63,9 @@ fn main() {
     let [baseline_path, current_path] = paths.as_slice() else {
         fail_usage("expected exactly two summary paths");
     };
+    if gates.is_empty() {
+        gates.push(Gate::new(&prefix, threshold_pct));
+    }
 
     let read = |p: &str| {
         std::fs::read_to_string(p).unwrap_or_else(|e| fail_usage(&format!("read {p}: {e}")))
@@ -59,8 +75,7 @@ fn main() {
     let current = parse_summary(&read(current_path))
         .unwrap_or_else(|e| fail_usage(&format!("{current_path}: {e}")));
 
-    let report =
-        diff(&baseline, &current, &prefix, threshold_pct).unwrap_or_else(|e| fail_usage(&e));
+    let report = diff_gates(&baseline, &current, &gates).unwrap_or_else(|e| fail_usage(&e));
     let rendered = report.render();
     print!("{rendered}");
     if let Some(p) = report_path {

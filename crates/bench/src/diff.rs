@@ -1,11 +1,14 @@
 //! Comparing `BENCH_des.json` summaries: the CI perf-regression gate.
 //!
-//! The `hotpath` bench persists a summary of the DES hot-path timings
-//! (`des_million_ranks/*`). [`parse_summary`] reads that file's fixed
-//! format, [`diff`] compares a fresh run against the checked-in baseline,
-//! and the `bench-diff` binary turns the comparison into an exit code: any
-//! case whose `mean_ns_per_iter` regresses beyond the threshold (default
-//! 25%), or that disappeared from the fresh run, fails the build.
+//! The `hotpath` bench persists a summary of the hot-path timings — the
+//! DES cases (`des_million_ranks/*`) plus the slab-VFS and classification
+//! probes (`vfs_resolve_deep/*`, `classify/*`). [`parse_summary`] reads
+//! that file's fixed format, [`diff_gates`] compares a fresh run against
+//! the checked-in baseline over any number of watched groups — each
+//! [`Gate`] pairs a name prefix with its own regression threshold — and
+//! the `bench-diff` binary turns the comparison into an exit code: any
+//! gated case whose `mean_ns_per_iter` regresses beyond its group's
+//! threshold, or that disappeared from the fresh run, fails the build.
 //!
 //! Two summaries are only comparable when they were produced in the same
 //! mode: a `--test` quick run (few iterations, noisy) measured against a
@@ -82,6 +85,23 @@ pub fn parse_summary(text: &str) -> Result<BenchSummary, String> {
     Ok(BenchSummary { mode, cases })
 }
 
+/// One watched benchmark group: every baseline case whose name starts with
+/// `prefix` is gated at `threshold_pct`. Groups get their own thresholds
+/// because their noise floors differ — the DES cases are long and stable,
+/// the nanosecond-scale VFS probes wobble more even under the
+/// min-of-batches estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    pub prefix: String,
+    pub threshold_pct: f64,
+}
+
+impl Gate {
+    pub fn new(prefix: &str, threshold_pct: f64) -> Gate {
+        Gate { prefix: prefix.to_string(), threshold_pct }
+    }
+}
+
 /// One case's baseline-vs-current comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRow {
@@ -90,17 +110,19 @@ pub struct DiffRow {
     pub current_ns: u64,
     /// Positive = slower than baseline.
     pub delta_pct: f64,
+    /// The gate threshold this case was judged against.
+    pub threshold_pct: f64,
     pub regressed: bool,
 }
 
-/// The gate's verdict over every baseline case under the watched prefix.
+/// The gate's verdict over every baseline case under the watched prefixes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffReport {
     pub rows: Vec<DiffRow>,
     /// Baseline cases the current run no longer produces — a silent drop
     /// would otherwise read as "no regression".
     pub missing: Vec<String>,
-    pub threshold_pct: f64,
+    pub gates: Vec<Gate>,
 }
 
 impl DiffReport {
@@ -116,25 +138,28 @@ impl DiffReport {
     /// The human-readable delta report CI uploads as an artifact.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "{:<44} {:>12} {:>12} {:>9}  verdict\n",
-            "case", "baseline ns", "current ns", "delta"
+            "{:<44} {:>12} {:>12} {:>9} {:>7}  verdict\n",
+            "case", "baseline ns", "current ns", "delta", "gate"
         );
         for r in &self.rows {
             s.push_str(&format!(
-                "{:<44} {:>12} {:>12} {:>8.1}%  {}\n",
+                "{:<44} {:>12} {:>12} {:>8.1}% {:>6.0}%  {}\n",
                 r.name,
                 r.baseline_ns,
                 r.current_ns,
                 r.delta_pct,
+                r.threshold_pct,
                 if r.regressed { "REGRESSED" } else { "ok" }
             ));
         }
         for m in &self.missing {
             s.push_str(&format!("{m:<44} MISSING from current run\n"));
         }
+        let gates: Vec<String> =
+            self.gates.iter().map(|g| format!("{}>{:.0}%", g.prefix, g.threshold_pct)).collect();
         s.push_str(&format!(
-            "gate: >{:.0}% mean_ns_per_iter regression fails; {}\n",
-            self.threshold_pct,
+            "gate: mean_ns_per_iter regression beyond [{}] fails; {}\n",
+            gates.join(", "),
             if self.ok() { "PASS" } else { "FAIL" }
         ));
         s
@@ -150,6 +175,17 @@ pub fn diff(
     prefix: &str,
     threshold_pct: f64,
 ) -> Result<DiffReport, String> {
+    diff_gates(baseline, current, &[Gate::new(prefix, threshold_pct)])
+}
+
+/// [`diff`] over several watched groups at once, each with its own
+/// threshold. A case is judged by the **first** gate whose prefix matches,
+/// so overlapping prefixes behave predictably.
+pub fn diff_gates(
+    baseline: &BenchSummary,
+    current: &BenchSummary,
+    gates: &[Gate],
+) -> Result<DiffReport, String> {
     if baseline.mode != current.mode {
         return Err(format!(
             "mode mismatch: baseline is \"{}\" but current is \"{}\" — quick-mode means are \
@@ -159,7 +195,10 @@ pub fn diff(
     }
     let mut rows = Vec::new();
     let mut missing = Vec::new();
-    for b in baseline.cases.iter().filter(|c| c.name.starts_with(prefix)) {
+    for b in &baseline.cases {
+        let Some(gate) = gates.iter().find(|g| b.name.starts_with(&g.prefix)) else {
+            continue;
+        };
         match current.get(&b.name) {
             Some(c) => {
                 let delta_pct = (c.mean_ns_per_iter as f64 - b.mean_ns_per_iter as f64)
@@ -170,13 +209,14 @@ pub fn diff(
                     baseline_ns: b.mean_ns_per_iter,
                     current_ns: c.mean_ns_per_iter,
                     delta_pct,
-                    regressed: delta_pct > threshold_pct,
+                    threshold_pct: gate.threshold_pct,
+                    regressed: delta_pct > gate.threshold_pct,
                 });
             }
             None => missing.push(b.name.clone()),
         }
     }
-    Ok(DiffReport { rows, missing, threshold_pct })
+    Ok(DiffReport { rows, missing, gates: gates.to_vec() })
 }
 
 #[cfg(test)]
@@ -274,6 +314,46 @@ mod tests {
         let quick = parse_summary(&summary("quick", &[("des_million_ranks/hot", 4000)])).unwrap();
         let err = diff(&base, &quick, "des_million_ranks/", 25.0).unwrap_err();
         assert!(err.contains("mode mismatch"), "{err}");
+    }
+
+    #[test]
+    fn per_group_thresholds_apply_independently() {
+        // 30% on the DES case (gated at 25 → fails), 30% on the vfs case
+        // (gated at 40 → passes): one report, two verdicts.
+        let base = parse_summary(&summary(
+            "full",
+            &[("des_million_ranks/hot", 1000), ("vfs_resolve_deep/stat", 1000)],
+        ))
+        .unwrap();
+        let cur = parse_summary(&summary(
+            "full",
+            &[("des_million_ranks/hot", 1300), ("vfs_resolve_deep/stat", 1300)],
+        ))
+        .unwrap();
+        let gates = [Gate::new("des_million_ranks/", 25.0), Gate::new("vfs_resolve_deep/", 40.0)];
+        let report = diff_gates(&base, &cur, &gates).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        let des = report.rows.iter().find(|r| r.name.starts_with("des_")).unwrap();
+        let vfs = report.rows.iter().find(|r| r.name.starts_with("vfs_")).unwrap();
+        assert!(des.regressed && des.threshold_pct == 25.0);
+        assert!(!vfs.regressed && vfs.threshold_pct == 40.0);
+        assert!(!report.ok());
+        let rendered = report.render();
+        assert!(rendered.contains("des_million_ranks/>25%"), "{rendered}");
+        assert!(rendered.contains("vfs_resolve_deep/>40%"), "{rendered}");
+    }
+
+    #[test]
+    fn ungated_groups_are_ignored_and_vanished_gated_cases_fail() {
+        let base =
+            parse_summary(&summary("full", &[("classify/cold500", 100), ("loader/other", 100)]))
+                .unwrap();
+        let cur = parse_summary(&summary("full", &[("loader/other", 9000)])).unwrap();
+        let gates = [Gate::new("classify/", 40.0)];
+        let report = diff_gates(&base, &cur, &gates).unwrap();
+        assert!(report.rows.is_empty(), "loader/ is not gated");
+        assert_eq!(report.missing, vec!["classify/cold500".to_string()]);
+        assert!(!report.ok());
     }
 
     #[test]

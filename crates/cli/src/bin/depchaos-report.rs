@@ -3,9 +3,11 @@
 //! Usage: `depchaos-report [SECTION] [--tsv FILE]` (default `all`). Fig 6
 //! at full scale takes a few seconds in release mode; pass `fig6-small`
 //! for a reduced run, `fig6-backends` for the per-backend scenario-matrix
-//! sweep (glibc, musl, future, hash-store side by side), or `fig6-dist`
+//! sweep (glibc, musl, future, hash-store side by side), `fig6-dist`
 //! for the service-distribution sweep (deterministic vs jittered vs
-//! heavy-tailed metadata server, p50/p99 bands, pynamic + axom + rocm).
+//! heavy-tailed metadata server, p50/p99 bands, pynamic + axom + rocm), or
+//! `fig6-queueing` for the M/G/1 cross-check (exits 1 when any cell's
+//! replicate mean escapes its queueing-theory envelope).
 //! `--tsv FILE` additionally writes the section's raw `SweepReport` rows
 //! as TSV — the artifact CI persists; sections that run no sweep ignore
 //! it.
@@ -29,8 +31,14 @@ impl ReportOpts {
     /// Write `report`'s rows when `--tsv` was given; exit 2 on IO errors —
     /// a CI artifact silently missing is worse than a red step.
     fn persist_tsv(&self, report: &SweepReport) {
+        self.persist_raw(&report.render_tsv());
+    }
+
+    /// Write a section-specific TSV rendering (same `--tsv` path and error
+    /// policy as [`ReportOpts::persist_tsv`]).
+    fn persist_raw(&self, content: &str) {
         if let Some(path) = &self.tsv {
-            if let Err(e) = std::fs::write(path, report.render_tsv()) {
+            if let Err(e) = std::fs::write(path, content) {
                 eprintln!("cannot write TSV {path}: {e}");
                 std::process::exit(2);
             }
@@ -56,6 +64,7 @@ const SECTIONS: &[(&str, bool, SectionFn)] = &[
     ("fig6-small", false, fig6_small),
     ("fig6-backends", true, fig6_backends),
     ("fig6-dist", true, fig6_dist),
+    ("fig6-queueing", true, fig6_queueing),
     ("listing1", true, listing1),
     ("usecases", true, usecases),
     ("backends", true, backends),
@@ -83,7 +92,8 @@ fn main() {
         // refuse rather than hand back only the last section's rows.
         if opts.tsv.is_some() {
             eprintln!(
-                "--tsv needs a single sweep section (fig6, fig6-backends, fig6-dist), not all"
+                "--tsv needs a single sweep section (fig6, fig6-backends, fig6-dist, \
+                 fig6-queueing), not all"
             );
             std::process::exit(2);
         }
@@ -391,4 +401,39 @@ fn fig6_dist(opts: &ReportOpts) {
          either, having almost no server ops left to jitter)"
     );
     opts.persist_tsv(&report);
+}
+
+/// The queueing-theory cross-check: every stochastic cell's replicate mean
+/// against its M/G/1 envelope (hard capacity/work-conservation bounds plus
+/// the Pollaczek–Khinchine descriptors). A violation means the DES and
+/// queueing theory disagree about the same model — that is a bug by
+/// definition, so this section exits 1 and fails CI rather than printing a
+/// table nobody reads.
+fn fig6_queueing(opts: &ReportOpts) {
+    banner("Fig 6 queueing: DES replicate means vs M/G/1 envelope");
+    let report = ExperimentMatrix::new()
+        .workload(Pynamic::new(150))
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .distributions(ServiceDistribution::all())
+        .rank_points([512usize, 2048, 16 * 1024])
+        .run(&ProfileCache::new());
+    println!(
+        "(cold NFS, glibc; every swept cell checked over {} seeded replicates; \
+         rho ≥ 1 marks the contended regime where the capacity bound binds)",
+        depchaos_launch::DEFAULT_REPLICATES
+    );
+    print!("{}", report.render_queueing_tables());
+    opts.persist_raw(&report.render_queueing_tsv());
+    let violations = report.queueing_violations();
+    if violations.is_empty() {
+        println!("every cell within bounds — the stochastic DES is consistent with M/G/1");
+    } else {
+        for (label, ranks) in &violations {
+            eprintln!("QUEUEING VIOLATION: {label} at {ranks} ranks");
+        }
+        std::process::exit(1);
+    }
 }

@@ -116,7 +116,7 @@ pub struct LaunchConfig {
     /// Per-op server service-time distribution. [`Deterministic`]
     /// (ServiceDistribution) reproduces the paper's FIFO model bit for bit;
     /// the stochastic variants draw one factor per (cold node, server op)
-    /// from [`SplitMix::split`]`(seed, node)`.
+    /// from [`SplitMix::split`]`(seed, SplitMix::NODE, node)`.
     pub service_dist: ServiceDistribution,
     /// Base RNG seed for stochastic service draws. Ignored (no draws occur)
     /// under [`ServiceDistribution::Deterministic`].
@@ -245,8 +245,8 @@ mod tests {
     #[test]
     fn sampling_reproduces_per_seed() {
         for dist in ServiceDistribution::all() {
-            let mut a = SplitMix::split(9, 2);
-            let mut b = SplitMix::split(9, 2);
+            let mut a = SplitMix::split(9, SplitMix::NODE, 2);
+            let mut b = SplitMix::split(9, SplitMix::NODE, 2);
             for _ in 0..50 {
                 assert_eq!(dist.sample(&mut a).to_bits(), dist.sample(&mut b).to_bits());
             }

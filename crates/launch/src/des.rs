@@ -6,7 +6,7 @@
 //! its own lookups. Contention emerges naturally: every node's cold op
 //! must pass through the single server queue.
 //!
-//! # The hot path: classify once, coalesce what is symmetric
+//! # The hot path: classify once, then the cheapest exact regime
 //!
 //! Simulation is split into two phases so a rank sweep pays classification
 //! exactly once:
@@ -18,31 +18,37 @@
 //!    output is immutable — [`crate::sweep_ranks`] and the experiment
 //!    engine share one `ClassifiedStream` across every rank point of a
 //!    cell instead of re-deriving (and re-allocating) it per point.
-//! 2. [`simulate_classified`] runs the DES against the schedule. Nodes
-//!    whose replay never touches the server — warm nodes under a
-//!    broadcast cache, or any node when the stream has no server ops —
-//!    are *coalesced analytically*: they are symmetric, so their finish
-//!    time is computed once and multiplied out. Only cold nodes with
-//!    server traffic enter the event heap, and each contributes one event
-//!    per server op rather than one per op.
+//! 2. [`simulate_classified`] runs the DES against the schedule, picking
+//!    the cheapest of **three regimes that all produce bit-identical
+//!    results**:
 //!
-//! The per-rank-point cost therefore drops from
-//! `O(nodes × ops · log nodes)` to `O(cold_nodes × server_ops ·
-//! log cold_nodes)`: a Spindle-style broadcast sweep at 4M ranks
-//! (262,144 nodes) schedules one node, and a wrapped all-warm stream
-//! schedules none. Results are **bit-identical** to the retained
-//! [`reference`] implementation — `tests/des_equivalence.rs` proves it by
-//! property test across random streams, rank counts, and cache policies.
+//!    * **Analytic** ([`analytic_all_cold`]) — the symmetric all-cold
+//!      fleet under deterministic service: when the segment schedule is
+//!      round-major (uniform metadata streams always are), the whole
+//!      fleet collapses to a max-plus line-envelope recursion over the
+//!      segments, `O(server_ops)` independent of the node count, exact
+//!      `peak_queue_depth` included. Warm and serverless nodes are always
+//!      coalesced analytically (one replay, multiplied out).
+//!    * **Heap** — cold nodes walk the segment schedule through a binary
+//!      event heap, one event per *server* op: `O(cold_nodes ×
+//!      server_ops · log cold_nodes)`. The fallback whenever the closed
+//!      form's guard declines (payload-heavy gaps can break round-major
+//!      ordering) and the stochastic path's engine.
+//!    * **Reference** ([`reference`]) — the retained oracle: every node
+//!      walks every op, `O(nodes × ops · log nodes)`. Never used by the
+//!      sweeps; exists so the other two have an independent ground truth
+//!      (`tests/des_equivalence.rs` and the in-crate suite pin all three
+//!      to bit-identical [`LaunchResult`]s by property test).
 //!
 //! # Stochastic service times
 //!
 //! `cfg.service_dist` selects the server's per-op service-time model (see
 //! [`ServiceDistribution`]). Under `Deterministic` the simulation takes the
-//! exact, draw-free path above — bit-identical to the pre-distribution DES
+//! exact, draw-free paths above — bit-identical to the pre-distribution DES
 //! whatever the seed. The stochastic variants scale each segment's service
 //! time by one factor drawn from the cold node's own
-//! [`SplitMix::split`]`(cfg.seed, node)` stream, consumed strictly in
-//! segment order, so:
+//! [`SplitMix::split`]`(cfg.seed, SplitMix::NODE, node)` stream, consumed
+//! strictly in segment order, so:
 //!
 //! * every draw reproduces from `(seed, node, segment index)` alone —
 //!   independent of heap interleaving, replicate fan-out, or rayon
@@ -52,6 +58,27 @@
 //! * the [`reference`] oracle draws the *same* per-(node, segment) factors,
 //!   keeping the fast path property-testable bit-identical in the
 //!   stochastic regimes too.
+//!
+//! # The RNG stream-domain map
+//!
+//! Every random draw in the launch stack comes from a
+//! [`SplitMix::split`]`(seed, domain, stream)` generator; the domain
+//! constant says who owns the draw, and no two domains can alias (each
+//! input goes through the full SplitMix finalizer):
+//!
+//! | domain | stream index | draws |
+//! |---|---|---|
+//! | [`SplitMix::NODE`] | cold node index | per-(node, segment) service factors, here |
+//! | [`SplitMix::REPLICATE`] | replicate `r ≥ 1` | one `u64`: replicate `r`'s config seed ([`crate::replicate_seed`]) |
+//! | [`SplitMix::WORKLOAD`] | scenario-label digest | one `u64`: the cell's base seed ([`crate::scenario_seed`]) |
+//!
+//! The flow is `experiment seed → WORKLOAD → cell seed → REPLICATE →
+//! replicate seed → NODE → service factors`; each arrow is a domain hop,
+//! so a value drawn at one level can never equal a state or a draw at
+//! another. (The pre-domain scheme violated exactly this: replicate `r`'s
+//! seed *was* node `r`'s first service draw of replicate 0, and node 0's
+//! stream *was* the base generator — stochastic results produced before
+//! the fix come from correlated streams and are not comparable.)
 //!
 //! The client-side payload time of a read (`client_extra_ns`) is fixed at
 //! classification: jitter models server occupancy variance, not the
@@ -115,14 +142,14 @@ fn scale_service_ns(base_ns: u64, factor: f64) -> u64 {
 /// One server round trip in the schedule: the local compute a node performs
 /// since its previous server op, then the request itself.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ServerSeg {
+pub(crate) struct ServerSeg {
     /// Client-local time spent before issuing this request.
-    pre_local_ns: u64,
+    pub(crate) pre_local_ns: u64,
     /// Server-side occupancy of the request.
-    service_ns: u64,
+    pub(crate) service_ns: u64,
     /// Client-side time consuming the response after the server moves on
     /// (streaming transfer of read payloads).
-    client_extra_ns: u64,
+    pub(crate) client_extra_ns: u64,
 }
 
 /// A classified, compacted op stream: the reusable input to
@@ -211,8 +238,19 @@ impl ClassifiedStream {
 
     /// Wall time of one fully warm replay: every op, server-class or not,
     /// hits the node cache... except locals keep their own (higher) cost.
-    fn warm_replay_ns(&self) -> u64 {
+    pub(crate) fn warm_replay_ns(&self) -> u64 {
         self.local_total_ns() + self.server_ops() * self.params.warm_ns
+    }
+
+    /// The per-server-op schedule, for the in-crate analytic consumers
+    /// ([`crate::queueing`]).
+    pub(crate) fn server_segments(&self) -> &[ServerSeg] {
+        &self.segments
+    }
+
+    /// Local compute after the last server op.
+    pub(crate) fn tail_local(&self) -> u64 {
+        self.tail_local_ns
     }
 }
 
@@ -260,15 +298,23 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
         // distribution, so they are symmetric too — coalesce.
         (stream.local_total_ns(), 0)
     } else if cfg.service_dist.is_deterministic() {
-        // The exact fast path: no RNG is even constructed.
-        heap_schedule(stream, cfg, cold_nodes, |_, seg| seg.service_ns)
+        // The exact fast path: no RNG is even constructed, and when the
+        // fleet is symmetric with a round-major segment schedule (see
+        // `all_cold_closed_form`) not even the event heap — the cold fleet
+        // collapses to a line-envelope recursion over the segments. A lone
+        // cold node keeps the heap: its O(server_ops) walk is cheaper than
+        // maintaining the envelope.
+        (cold_nodes > 1)
+            .then(|| all_cold_closed_form(stream, cfg, cold_nodes))
+            .flatten()
+            .unwrap_or_else(|| heap_schedule(stream, cfg, cold_nodes, |_, seg| seg.service_ns))
     } else {
         // Stochastic: one independent draw stream per cold node, consumed
         // in segment order (each node's events are pushed sequentially), so
         // the factor for (node, segment) is schedule-independent.
         let dist = cfg.service_dist;
         let mut rngs: Vec<SplitMix> =
-            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, i as u64)).collect();
+            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::NODE, i as u64)).collect();
         heap_schedule(stream, cfg, cold_nodes, |i, seg| {
             scale_service_ns(seg.service_ns, dist.sample(&mut rngs[i]))
         })
@@ -356,6 +402,147 @@ fn heap_schedule(
     (done_max_ns, peak_queue_depth)
 }
 
+/// The analytic all-cold fast path: `simulate_classified`'s deterministic
+/// no-broadcast regime without the event heap. Returns the full
+/// [`LaunchResult`] when the closed form applies (see
+/// [`all_cold_closed_form`] for the exactness guard), `None` when the
+/// segment schedule forces a heap replay — callers and tests can tell
+/// *whether* the analytic regime engaged, and the result is bit-identical
+/// to [`simulate_classified`] whenever it does.
+pub fn analytic_all_cold(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Option<LaunchResult> {
+    if !cfg.service_dist.is_deterministic() || cfg.broadcast_cache || stream.segments.is_empty() {
+        return None;
+    }
+    let nodes = cfg.nodes();
+    let (cold_done_ns, peak_queue_depth) = all_cold_closed_form(stream, cfg, nodes)?;
+    let spawn_ns = cfg.per_rank_overhead_ns * cfg.ranks_per_node.min(cfg.ranks) as u64;
+    Some(LaunchResult {
+        time_to_launch_ns: cfg.base_overhead_ns + spawn_ns + cold_done_ns,
+        nodes,
+        server_ops: nodes as u64 * stream.server_ops(),
+        local_ops: nodes as u64 * stream.n_local,
+        peak_queue_depth,
+    })
+}
+
+/// Upper bound on the line-envelope size before the closed form bails to
+/// the heap. The envelope holds at most one line per *distinct* service
+/// time still live, so real op streams (metadata ops share
+/// `meta_service_ns`; reads bucket by size) stay in single digits — the cap
+/// only guards adversarial streams where O(lines) per segment would
+/// degenerate toward O(server_ops²).
+const MAX_ENVELOPE_LINES: usize = 64;
+
+/// Closed form for the symmetric all-cold fleet under deterministic
+/// service: `cold_nodes` identical nodes replay the segment schedule
+/// through the FIFO server, and the result is **bit-identical** to
+/// [`heap_schedule`] — `(slowest cold finish, peak queue depth)` — computed
+/// in `O(server_ops × envelope lines)` independent of the node count.
+///
+/// # Why this is exact
+///
+/// Every node issues segment 0 at the same instant, so the heap serves
+/// round 0 in node order, and completions within a round are the Lindley
+/// recursion `D(i,k) = max(D(i-1,k), A(i,k)) + s_k` whose unrolled solution
+/// is a **max-plus envelope of lines in the node index**: round 0 is the
+/// single line `a₀ + (i+1)·s₀`. Each next round keeps the lines steeper
+/// than `s_k` (arrival-paced nodes, shifted by the inter-op gap and one
+/// service), folds the flatter ones into the server-paced chain line of
+/// slope `s_k`, and the envelope never grows beyond one line per distinct
+/// service time. The slowest finish is the envelope at `i = N-1` plus the
+/// response/tail time, and the peak queue depth is exactly `cold_nodes`:
+/// from the first pop until the first node retires, every node keeps one
+/// outstanding request in the calendar.
+///
+/// # The round-major guard
+///
+/// The recursion assumes the server drains round `k` completely before
+/// touching round `k+1` — true iff the *earliest* round-`k+1` arrival lands
+/// strictly after the *latest* round-`k` arrival. Since
+/// `D(0,k) ≥ D(N-1,k-1) + s_k`, the condition `s_k + gap_k > gap_{k-1}`
+/// per consecutive segment pair guarantees it for any node count (gap =
+/// rtt + client extra + next pre-local). Uniform metadata streams satisfy
+/// it trivially; a payload-heavy read followed by a bare stat can violate
+/// it (its huge gap lets node 0 lap the stragglers), and then we return
+/// `None` and let the heap replay the schedule. A single cold node is
+/// always round-major.
+fn all_cold_closed_form(
+    stream: &ClassifiedStream,
+    cfg: &LaunchConfig,
+    cold_nodes: usize,
+) -> Option<(u64, usize)> {
+    let segs = &stream.segments;
+    let half_rtt = cfg.rtt_ns / 2;
+    // Gap between finishing server op j and arriving for op j+1, exactly as
+    // the heap accumulates it (half_rtt twice, not rtt once: integer halving
+    // must round the same way).
+    let gap = |j: usize| 2 * half_rtt + segs[j].client_extra_ns + segs[j + 1].pre_local_ns;
+
+    if cold_nodes > 1 {
+        let mut prev_gap = 0u64;
+        for (j, seg) in segs[..segs.len() - 1].iter().enumerate() {
+            let g = gap(j);
+            if seg.service_ns + g <= prev_gap {
+                return None;
+            }
+            prev_gap = g;
+        }
+    }
+
+    // The envelope: D(i, round) = max over lines of (c + i·slope), for node
+    // index i in [0, cold_nodes). Round 0: every node arrives at a₀ =
+    // pre_local₀ + rtt/2 and is served back to back. Two buffers swap roles
+    // per round, so the whole recursion allocates twice, total.
+    let last = (cold_nodes - 1) as u64;
+    let a0 = segs[0].pre_local_ns + half_rtt;
+    let mut lines: Vec<(u64, u64)> = Vec::with_capacity(8);
+    let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(8);
+    lines.push((a0 + segs[0].service_ns, segs[0].service_ns));
+    for (j, seg) in segs.iter().enumerate().skip(1) {
+        let s = seg.service_ns;
+        let g_prev = gap(j - 1);
+        // Server-paced chain seed: the previous round's last completion —
+        // the server cannot start round j before draining round j-1.
+        let mut chain = lines.iter().map(|&(c, m)| c + last * m).max().expect("nonempty");
+        scratch.clear();
+        for &(c, m) in &lines {
+            if m > s {
+                // Arrival-paced: these nodes arrive slower than the server
+                // serves, so they are served on arrival (+ their service).
+                scratch.push((c + g_prev + s, m));
+            } else {
+                // Arrivals at least as fast as service: the stragglers pile
+                // behind the server-paced chain.
+                chain = chain.max(c + g_prev);
+            }
+        }
+        // The chain line: D = chain + (i+1)·s.
+        scratch.push((chain + s, s));
+        // Prune lines dominated across the whole index range [0, last]: a
+        // line below another at both endpoints is below it everywhere.
+        scratch.sort_unstable();
+        scratch.dedup();
+        lines.clear();
+        for &(c, m) in &scratch {
+            let end = c + last * m;
+            let dominated = scratch.iter().any(|&(c2, m2)| {
+                (c2, m2) != (c, m) && c2 >= c && c2 + last * m2 >= end && (c2 > c || m2 > m)
+            });
+            if !dominated {
+                lines.push((c, m));
+            }
+        }
+        if lines.len() > MAX_ENVELOPE_LINES {
+            return None;
+        }
+    }
+
+    let served_last = lines.iter().map(|&(c, m)| c + last * m).max().expect("nonempty");
+    let done_max =
+        served_last + half_rtt + segs[segs.len() - 1].client_extra_ns + stream.tail_local_ns;
+    Some((done_max, cold_nodes))
+}
+
 pub mod reference {
     //! The retained pre-coalescing implementation: every node walks every
     //! op through an explicit per-node cursor, `O(nodes × ops · log
@@ -405,13 +592,13 @@ pub mod reference {
         let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
 
         // Stochastic service draws: node i's stream is SplitMix::split(seed,
-        // i), consumed once per server op it reaches, in op order — the same
-        // (node, draw-index) → factor mapping as the fast path.
+        // NODE, i), consumed once per server op it reaches, in op order —
+        // the same (node, draw-index) → factor mapping as the fast path.
         let dist = cfg.service_dist;
         let mut rngs: Vec<SplitMix> = if dist.is_deterministic() {
             Vec::new()
         } else {
-            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, i as u64)).collect()
+            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::NODE, i as u64)).collect()
         };
         let mut svc_draw = |i: usize, base_ns: u64| -> u64 {
             if dist.is_deterministic() {
@@ -756,6 +943,128 @@ mod tests {
         let classified = ClassifiedStream::classify(&ops, &fast_cfg());
         let jittered = fast_cfg().with_service_dist(ServiceDistribution::uniform_jitter(0.1));
         simulate_classified(&classified, &jittered);
+    }
+
+    /// Random op streams for the analytic-vs-heap comparison: kinds and
+    /// costs driven by a seeded [`SplitMix`], spanning sub-warm locals,
+    /// multi-RTT metadata, and payload reads.
+    fn random_stream(seed: u64, len: usize) -> StraceLog {
+        let mut rng = SplitMix::new(seed);
+        let mut log = StraceLog::new();
+        for i in 0..len {
+            let (op, outcome) = match rng.below(4) {
+                0 => (Op::Stat, Outcome::Ok),
+                1 => (Op::Openat, Outcome::Enoent),
+                2 => (Op::Read, Outcome::Ok),
+                _ => (Op::Readlink, Outcome::Ok),
+            };
+            log.push(Syscall::new(op, &format!("/r/{i}"), outcome, rng.below(2_000_000)));
+        }
+        log
+    }
+
+    #[test]
+    fn closed_form_matches_the_heap_bit_for_bit_whenever_it_engages() {
+        // The in-module ground truth: whenever the round-major guard admits
+        // a stream, the envelope recursion must reproduce heap_schedule's
+        // (slowest finish, peak queue depth) exactly — same tie-breaks,
+        // same integer halving. Random streams exercise both guard
+        // verdicts; the uniform metadata stream must always engage.
+        let mut engaged = 0;
+        for seed in 0..40u64 {
+            let ops = random_stream(seed, (seed % 60) as usize + 1);
+            for ranks in [1usize, 128, 2048, 8192] {
+                let cfg = fast_cfg().with_ranks(ranks);
+                let classified = ClassifiedStream::classify(&ops, &cfg);
+                if classified.segments.is_empty() {
+                    continue;
+                }
+                let cold = cfg.nodes();
+                if let Some(analytic) = all_cold_closed_form(&classified, &cfg, cold) {
+                    engaged += 1;
+                    let heap = heap_schedule(&classified, &cfg, cold, |_, seg| seg.service_ns);
+                    assert_eq!(analytic, heap, "seed={seed} ranks={ranks}");
+                }
+            }
+        }
+        assert!(engaged > 20, "the guard admitted only {engaged} cases — generator too hostile");
+        for ranks in [1usize, 512, 16 * 1024] {
+            let cfg = fast_cfg().with_ranks(ranks);
+            let classified = ClassifiedStream::classify(&stream(200, 50), &cfg);
+            assert!(
+                all_cold_closed_form(&classified, &cfg, cfg.nodes()).is_some(),
+                "uniform cold metadata streams are always round-major"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_all_cold_is_simulate_classified_when_it_engages() {
+        for (nc, nw) in [(1usize, 0usize), (100, 0), (37, 63), (1, 499), (200, 50)] {
+            let ops = stream(nc, nw);
+            for ranks in [1usize, 128, 2048] {
+                let cfg = fast_cfg().with_ranks(ranks);
+                let classified = ClassifiedStream::classify(&ops, &cfg);
+                let analytic = analytic_all_cold(&classified, &cfg)
+                    .expect("uniform streams engage the closed form");
+                assert_eq!(analytic, simulate_classified(&classified, &cfg));
+                assert_eq!(analytic, simulate_launch_reference(&ops, &cfg));
+                assert_eq!(analytic.peak_queue_depth, cfg.nodes(), "every cold node queues");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_declines_what_it_cannot_prove() {
+        // A payload-heavy read's huge client gap followed by a bare stat
+        // breaks round-major ordering for a multi-node fleet: node 0 laps
+        // the stragglers. The closed form must decline (and the heap keep
+        // the result exact) — yet a single cold node is always admitted.
+        let mut ops = StraceLog::new();
+        ops.push(Syscall::new(Op::Read, "/data/big", Outcome::Ok, 4_000_000));
+        for i in 0..10 {
+            ops.push(Syscall::new(Op::Stat, &format!("/l/{i}"), Outcome::Enoent, 200_000));
+        }
+        let multi = fast_cfg().with_ranks(2048);
+        let classified = ClassifiedStream::classify(&ops, &multi);
+        assert!(analytic_all_cold(&classified, &multi).is_none());
+        assert_eq!(
+            simulate_classified(&classified, &multi),
+            simulate_launch_reference(&ops, &multi),
+            "the heap fallback stays exact where the closed form declines"
+        );
+        let single = fast_cfg().with_ranks(64); // one node
+        let classified = ClassifiedStream::classify(&ops, &single);
+        assert!(analytic_all_cold(&classified, &single).is_some());
+
+        // Stochastic and broadcast regimes are out of the analytic scope by
+        // construction.
+        let jitter = fast_cfg()
+            .with_ranks(2048)
+            .with_service_dist(ServiceDistribution::uniform_jitter(0.25));
+        assert!(analytic_all_cold(&ClassifiedStream::classify(&ops, &jitter), &jitter).is_none());
+        let mut bcast = fast_cfg().with_ranks(2048);
+        bcast.broadcast_cache = true;
+        assert!(analytic_all_cold(&ClassifiedStream::classify(&ops, &bcast), &bcast).is_none());
+    }
+
+    #[test]
+    fn million_node_all_cold_simulates_instantly() {
+        // 262,144 cold nodes × 500 server ops — heap cost would be 131M
+        // events; the closed form does 500 envelope steps.
+        let ops = stream(500, 0);
+        let mut cfg = fast_cfg();
+        cfg.ranks = 4 * 1024 * 1024;
+        cfg.ranks_per_node = 16;
+        let t0 = std::time::Instant::now();
+        let classified = ClassifiedStream::classify(&ops, &cfg);
+        let r = simulate_classified(&classified, &cfg);
+        assert!(t0.elapsed().as_secs_f64() < 1.0, "took {:?}", t0.elapsed());
+        assert_eq!(r, analytic_all_cold(&classified, &cfg).expect("uniform stream engages"));
+        assert_eq!(r.nodes, 262_144);
+        assert_eq!(r.peak_queue_depth, 262_144, "the whole fleet queues at once");
+        // Sanity: the launch cannot beat the server's serial capacity.
+        assert!(r.time_to_launch_ns >= 262_144 * 500 * cfg.meta_service_ns);
     }
 
     #[test]

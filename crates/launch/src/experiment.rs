@@ -36,20 +36,24 @@ use crate::matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
 };
 use crate::profile::profile_load_checked;
+use crate::queueing::{mg1_bounds, validate_against_mg1, QueueingCheck};
 use crate::sweep::{render_fig6, sweep_ranks_replicated, LaunchStats};
 
 /// The RNG seed one scenario simulates under: a stable FNV-1a digest of the
-/// scenario label folded into the experiment's base seed. Every cell of the
-/// matrix is therefore reproducible from `(base seed, cell label)` alone —
-/// re-running a single scenario standalone draws exactly what the full
-/// sweep drew — while distinct cells get decorrelated streams.
+/// scenario label, taken through the [`SplitMix::WORKLOAD`] stream domain of
+/// the experiment's base seed. Every cell of the matrix is therefore
+/// reproducible from `(base seed, cell label)` alone — re-running a single
+/// scenario standalone draws exactly what the full sweep drew — while
+/// distinct cells get decorrelated streams that cannot collide with the
+/// replicate ([`SplitMix::REPLICATE`]) or per-node ([`SplitMix::NODE`])
+/// domains derived from them.
 pub fn scenario_seed(base_seed: u64, label: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in label.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    SplitMix::new(base_seed ^ h).next_u64()
+    SplitMix::split(base_seed, SplitMix::WORKLOAD, h).next_u64()
 }
 
 /// One captured op stream plus how the load went.
@@ -258,6 +262,10 @@ pub struct ScenarioResult {
     /// p50/p95/p99/mean over the scenario's seeded replicates, one per rank
     /// point (replicate count 1 for deterministic scenarios).
     pub stats: Vec<(usize, LaunchStats)>,
+    /// The M/G/1 envelope verdict per rank point
+    /// ([`crate::queueing::validate_against_mg1`]): does the replicate mean
+    /// sit inside what queueing theory allows for this cell?
+    pub queueing: Vec<(usize, QueueingCheck)>,
 }
 
 impl ScenarioResult {
@@ -274,6 +282,11 @@ impl ScenarioResult {
     /// Replicate statistics at `ranks`, when swept.
     pub fn stats_at(&self, ranks: usize) -> Option<&LaunchStats> {
         self.stats.iter().find(|(r, _)| *r == ranks).map(|(_, s)| s)
+    }
+
+    /// The queueing verdict at `ranks`, when swept.
+    pub fn queueing_at(&self, ranks: usize) -> Option<&QueueingCheck> {
+        self.queueing.iter().find(|(r, _)| *r == ranks).map(|(_, q)| q)
     }
 }
 
@@ -468,6 +481,109 @@ impl SweepReport {
         }
         out
     }
+
+    /// Every `(scenario label, ranks)` whose replicate mean escaped the
+    /// M/G/1 envelope — empty means the whole sweep is consistent with
+    /// queueing theory.
+    pub fn queueing_violations(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for r in &self.results {
+            for (ranks, q) in &r.queueing {
+                if !q.within {
+                    out.push((r.spec.label(), *ranks));
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-scenario M/G/1 validation tables — the `fig6-queueing` section:
+    /// one row per rank point with the observed replicate mean, the hard
+    /// envelope, the offered utilisation, the Pollaczek–Khinchine wait, and
+    /// the verdict.
+    pub fn render_queueing_tables(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!("--- {} ---\n", r.spec.label()));
+            if let Some(e) = &r.error {
+                out.push_str(&format!("no series — {e}\n\n"));
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>7} {:>10} {:>10} {:>10} {:>7} {:>12}  verdict\n",
+                "ranks", "mean(s)", "lower(s)", "upper(s)", "rho", "mg1-wait(ms)"
+            ));
+            for (ranks, q) in &r.queueing {
+                let wait = if q.bounds.mean_wait_ns.is_finite() {
+                    format!("{:>12.3}", q.bounds.mean_wait_ns / 1e6)
+                } else {
+                    format!("{:>12}", "saturated")
+                };
+                out.push_str(&format!(
+                    "{ranks:>7} {:>10.2} {:>10.2} {:>10.2} {:>7.2} {wait}  {}\n",
+                    q.observed_mean_ns as f64 / 1e9,
+                    q.bounds.lower_ns as f64 / 1e9,
+                    q.bounds.upper_ns as f64 / 1e9,
+                    q.bounds.utilisation,
+                    if !q.bounds.applicable {
+                        "n/a"
+                    } else if q.within {
+                        "ok"
+                    } else {
+                        "VIOLATION"
+                    }
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The queueing validation as TSV — one row per (scenario, rank point),
+    /// the raw data behind `fig6-queueing`. The `within` column is `n/a`
+    /// for cells whose bounds are inapplicable (clamp-reaching tails): such
+    /// cells pass vacuously and must not read as validated. Saturated cells
+    /// (ρ ≥ 1) have no finite open-system wait; their `mg1_wait_ms` field
+    /// is left empty — the TSV convention for a missing datum — rather
+    /// than printing a non-numeric `inf` into a numeric column.
+    pub fn render_queueing_tsv(&self) -> String {
+        let mut s = String::from(
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tranks\tmean_s\tlower_s\tupper_s\
+             \tutilisation\tmg1_wait_ms\treplicates\twithin\n",
+        );
+        for r in &self.results {
+            for (ranks, q) in &r.queueing {
+                let st = r.stats_at(*ranks).map(|s| s.replicates).unwrap_or(1);
+                let wait_ms = if q.bounds.mean_wait_ns.is_finite() {
+                    format!("{:.3}", q.bounds.mean_wait_ns / 1e6)
+                } else {
+                    String::new()
+                };
+                s.push_str(&format!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{wait_ms}\t{}\t{}\n",
+                    r.spec.workload,
+                    r.spec.backend,
+                    r.spec.storage.name(),
+                    r.spec.wrap.name(),
+                    r.spec.cache.name(),
+                    r.spec.dist.name(),
+                    q.observed_mean_ns as f64 / 1e9,
+                    q.bounds.lower_ns as f64 / 1e9,
+                    q.bounds.upper_ns as f64 / 1e9,
+                    q.bounds.utilisation,
+                    st,
+                    if !q.bounds.applicable {
+                        "n/a"
+                    } else if q.within {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                ));
+            }
+        }
+        s
+    }
 }
 
 impl ExperimentMatrix {
@@ -516,6 +632,13 @@ impl ExperimentMatrix {
                         let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
                         let rows =
                             sweep_ranks_replicated(&stream, &cfg, &rank_points, self.replicates);
+                        let queueing = rows
+                            .iter()
+                            .map(|&(r, _, st)| {
+                                let b = mg1_bounds(&stream, &cfg.clone().with_ranks(r));
+                                (r, validate_against_mg1(&b, &st))
+                            })
+                            .collect();
                         ScenarioResult {
                             spec,
                             stat_openat: p.stat_openat,
@@ -525,6 +648,7 @@ impl ExperimentMatrix {
                             error: None,
                             series: rows.iter().map(|&(r, l, _)| (r, l)).collect(),
                             stats: rows.iter().map(|&(r, _, st)| (r, st)).collect(),
+                            queueing,
                         }
                     }
                     Err(e) => ScenarioResult {
@@ -536,6 +660,7 @@ impl ExperimentMatrix {
                         error: Some(e.clone()),
                         series: Vec::new(),
                         stats: Vec::new(),
+                        queueing: Vec::new(),
                     },
                 }
             })
@@ -690,6 +815,36 @@ mod tests {
         assert!(dist_tables.contains("lognormal-500 p50/p99(s)"));
         let tsv = report.render_tsv();
         assert!(tsv.starts_with("workload\tbackend\tstorage\twrap\tcache\tdist\t"));
+        // 6 scenarios × 2 rank points + header.
+        assert_eq!(tsv.lines().count(), 13);
+    }
+
+    #[test]
+    fn queueing_checks_ride_every_swept_cell() {
+        let cache = ProfileCache::new();
+        let report = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .distributions(ServiceDistribution::all())
+            .replicates(5)
+            .rank_points([512usize, 2048])
+            .run(&cache);
+        for r in &report.results {
+            assert_eq!(r.queueing.len(), 2, "{}: one check per rank point", r.spec.label());
+            for (ranks, q) in &r.queueing {
+                assert_eq!(q.observed_mean_ns, r.stats_at(*ranks).unwrap().mean_ns);
+                assert!(q.within, "{} at {ranks}: {q:?}", r.spec.label());
+            }
+        }
+        assert!(report.queueing_violations().is_empty());
+        let tables = report.render_queueing_tables();
+        assert!(tables.contains("mg1-wait(ms)"));
+        assert!(tables.contains(" ok"));
+        assert!(!tables.contains("VIOLATION"));
+        let tsv = report.render_queueing_tsv();
+        assert!(tsv.starts_with("workload\t"));
         // 6 scenarios × 2 rank points + header.
         assert_eq!(tsv.lines().count(), 13);
     }

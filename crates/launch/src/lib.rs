@@ -21,17 +21,19 @@
 //!    follows `cfg.service_dist` (a [`ServiceDistribution`]): the paper's
 //!    deterministic model, bounded uniform jitter, or a heavy-tailed
 //!    log-normal, the stochastic variants drawing one seeded factor per
-//!    (cold node, server op). Simulation is two-phase:
+//!    (cold node, server op) from a dedicated RNG stream domain (see the
+//!    [`des`] module's stream-domain map). Simulation is two-phase:
 //!    [`ClassifiedStream::classify`] compacts the op stream into a
 //!    per-server-op schedule exactly once, and [`simulate_classified`]
-//!    replays it — coalescing the symmetric warm/serverless nodes
-//!    analytically (they take no draws, so they stay symmetric under any
-//!    distribution) and heap-scheduling only cold nodes, one event per
-//!    *server* op. That takes a rank point from `O(nodes × ops · log
-//!    nodes)` to `O(cold_nodes × server_ops · log cold_nodes)`, which is
-//!    what lets the matrix sweep 4M-rank points in microseconds while
-//!    staying bit-identical to the retained [`des::reference`] oracle
-//!    (property-tested equivalence, deterministic *and* stochastic).
+//!    replays it through the cheapest exact regime — the
+//!    [`analytic_all_cold`] closed form when the symmetric all-cold fleet
+//!    is round-major (`O(server_ops)`, node-count independent, exact peak
+//!    queue depth), the per-server-op event heap otherwise — coalescing
+//!    the symmetric warm/serverless nodes analytically in every regime.
+//!    That takes a 4M-rank point (broadcast *or* all-cold) to microseconds
+//!    while staying bit-identical to the retained [`des::reference`]
+//!    oracle (property-tested equivalence, deterministic *and*
+//!    stochastic).
 //! 3. [`sweep`] runs rank scalings in parallel (rayon) for one figure
 //!    series, all points sharing one [`ClassifiedStream`].
 //!    [`sweep_ranks_replicated`] adds the stochastic dimension: K seeded
@@ -46,23 +48,31 @@
 //!    variant, emacs, the >200-package Axom stack, the ROCm module world);
 //!    storage models are [`depchaos_vfs::StorageModel`]; backends are
 //!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
-//! 5. [`experiment`] executes a matrix: each unique (workload, backend,
+//! 5. [`queueing`] is the independent cross-check: M/G/1 service moments
+//!    (closed-form second moments per distribution), Pollaczek–Khinchine
+//!    mean waits, and hard capacity/work-conservation bounds on the mean
+//!    launch time — [`validate_against_mg1`] flags any cell whose
+//!    replicate mean escapes the envelope, so a modelling bug shared by
+//!    the DES and its oracle would still be caught by theory.
+//! 6. [`experiment`] executes a matrix: each unique (workload, backend,
 //!    storage) cell is profiled **exactly once** into a shared, memoized
 //!    [`ProfileCache`] (plain and wrapped streams captured in one run) and
 //!    classified once per (cell, wrap state, latency calibration) — shared
 //!    across cache policies, rank points, *and* stochastic replicates —
 //!    then everything lands in a serde-serializable [`SweepReport`] with
-//!    per-backend Fig 6, per-distribution band, and TSV renderers. Every
-//!    stochastic cell draws from [`scenario_seed`]`(base seed, cell
-//!    label)`, so any single cell reproduces standalone, byte for byte,
-//!    from the experiment seed and its label.
+//!    per-backend Fig 6, per-distribution band, queueing-check, and TSV
+//!    renderers. Every stochastic cell draws from
+//!    [`scenario_seed`]`(base seed, cell label)`, so any single cell
+//!    reproduces standalone, byte for byte, from the experiment seed and
+//!    its label.
 //!
 //! The paper's figure is one cell of the matrix (pynamic × glibc × nfs);
 //! `depchaos-report fig6-backends` renders the same figure for glibc, musl,
 //! the §III-C future loader, and a hash-store service side by side;
 //! `fig6-dist` renders it under jittered and heavy-tailed metadata servers
-//! with p50/p99 bands; and the Spindle-broadcast remark from §V-A is just
-//! the cache-policy axis.
+//! with p50/p99 bands; `fig6-queueing` validates every cell against its
+//! M/G/1 envelope (and fails CI on a violation); and the Spindle-broadcast
+//! remark from §V-A is just the cache-policy axis.
 //!
 //! The simulated server and RTT constants are calibrated so the paper's
 //! qualitative shape emerges (normal launch grows with scale; shrinkwrapped
@@ -93,10 +103,14 @@ pub mod des;
 pub mod experiment;
 pub mod matrix;
 pub mod profile;
+pub mod queueing;
 pub mod sweep;
 
 pub use config::{LaunchConfig, LaunchResult, ServiceDistribution};
-pub use des::{reference, simulate_classified, simulate_launch, ClassifiedStream, ClassifyParams};
+pub use des::{
+    analytic_all_cold, reference, simulate_classified, simulate_launch, ClassifiedStream,
+    ClassifyParams,
+};
 pub use experiment::{
     scenario_seed, CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport,
 };
@@ -105,6 +119,10 @@ pub use matrix::{
     DEFAULT_REPLICATES,
 };
 pub use profile::{profile_load, profile_load_checked, profile_load_with};
+pub use queueing::{
+    factor_second_moment, mg1_bounds, validate_against_mg1, Mg1Bounds, QueueingCheck,
+    ServiceMoments,
+};
 pub use sweep::{
     render_fig6, render_tsv, replicate_seed, sweep_ranks, sweep_ranks_classified,
     sweep_ranks_replicated, LaunchStats,

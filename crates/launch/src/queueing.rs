@@ -1,0 +1,414 @@
+//! M/G/1 queueing-theory cross-checks for the stochastic DES.
+//!
+//! The DES is trusted because it is bit-identical to a slow reference
+//! implementation — but both could share a modelling bug. This module
+//! derives what queueing theory says the simulated launch *must* look like,
+//! straight from the [`ClassifiedStream`] and the
+//! [`ServiceDistribution`]'s closed-form moments, and
+//! [`validate_against_mg1`] flags any sweep cell whose replicate mean
+//! escapes the envelope. Three layers, from descriptive to binding:
+//!
+//! * **Moments** ([`ServiceMoments`]): the server's per-op service time is
+//!   a classified base time scaled by a mean-one factor `F`, so `E[S] =
+//!   mean(sₖ)` and `E[S²] = mean(sₖ²)·E[F²]`, with `E[F²]` closed-form per
+//!   distribution — `1` (deterministic), `1 + spread²/3` (uniform jitter on
+//!   `[1−spread, 1+spread]`), `exp(σ²)` (mean-one log-normal).
+//! * **M/G/1 descriptors**: treating each cold node's replay as the arrival
+//!   process (one op per `free-replay/K` nanoseconds, `N` nodes), the
+//!   offered utilisation is `ρ = N·ΣS / free-replay` and the
+//!   Pollaczek–Khinchine mean wait `W = λ·E[S²] / 2(1−ρ)` — infinite once
+//!   the offered load saturates the server (`ρ ≥ 1`), which is exactly the
+//!   contended regime the paper's Fig 6 lives in.
+//! * **Bounds** ([`Mg1Bounds::lower_ns`] / [`Mg1Bounds::upper_ns`]): hard
+//!   envelope on the *mean* launch time, rigorous for the DES's work
+//!   conserving FIFO server rather than asymptotic:
+//!   - lower: the slower of a node's own unimpeded replay and the server's
+//!     serial capacity (`first arrival + N·K ops of work`, plus the last
+//!     response's return path) — no schedule can beat either;
+//!   - upper: a node's own replay plus **all** other nodes' server work —
+//!     in a work-conserving FIFO system each foreign op can delay a node at
+//!     most once.
+//!
+//!   Under a stochastic distribution the drawn service `clamp(⌊sₖ·F⌋)`
+//!   rounds toward zero and clamps to at least 1 ns, so the bounds carry a
+//!   ±1 ns-per-draw allowance, and [`validate_against_mg1`] adds a
+//!   `6σ/√draws` relative slack for the sampling noise of a finite
+//!   replicate set. A distribution whose tail reaches the service clamp
+//!   (log-normal `σ > 2`) truncates its own mean unboundedly; such cells
+//!   are marked inapplicable instead of mis-flagged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{LaunchConfig, ServiceDistribution};
+use crate::des::{ClassifiedStream, ClassifyParams};
+use crate::sweep::LaunchStats;
+
+/// `E[F²]` of the mean-one service factor, closed-form per distribution.
+pub fn factor_second_moment(dist: ServiceDistribution) -> f64 {
+    match dist {
+        ServiceDistribution::Deterministic => 1.0,
+        ServiceDistribution::UniformJitter { spread_milli } => {
+            let s = spread_milli as f64 / 1000.0;
+            1.0 + s * s / 3.0
+        }
+        ServiceDistribution::LogNormal { sigma_milli } => {
+            let sigma = sigma_milli as f64 / 1000.0;
+            (sigma * sigma).exp()
+        }
+    }
+}
+
+/// First and second moments of one server op's service time under a
+/// distribution, averaged over the stream's segment schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceMoments {
+    pub mean_ns: f64,
+    pub second_moment_ns2: f64,
+}
+
+impl ServiceMoments {
+    /// Moments over `stream`'s server ops; `None` when the stream never
+    /// touches the server.
+    pub fn of(stream: &ClassifiedStream, dist: ServiceDistribution) -> Option<ServiceMoments> {
+        let segs = stream.server_segments();
+        if segs.is_empty() {
+            return None;
+        }
+        let k = segs.len() as f64;
+        let sum: u128 = segs.iter().map(|s| s.service_ns as u128).sum();
+        let sum_sq: u128 = segs.iter().map(|s| (s.service_ns as u128).pow(2)).sum();
+        Some(ServiceMoments {
+            mean_ns: sum as f64 / k,
+            second_moment_ns2: sum_sq as f64 / k * factor_second_moment(dist),
+        })
+    }
+}
+
+/// The queueing-theory envelope for one (stream, config) cell at one rank
+/// point: M/G/1 descriptors plus hard mean-launch bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1Bounds {
+    pub ranks: usize,
+    pub cold_nodes: usize,
+    /// Server round trips per cold replay (the stream's `K`).
+    pub server_ops_per_node: u64,
+    /// Offered utilisation `ρ = N·ΣS / free-replay`; values ≥ 1 mean the
+    /// cold fleet saturates the server (the contended regime).
+    pub utilisation: f64,
+    /// Pollaczek–Khinchine mean wait per op at the offered load;
+    /// `f64::INFINITY` once saturated.
+    pub mean_wait_ns: f64,
+    /// Hard lower bound on the mean launch time.
+    pub lower_ns: u64,
+    /// Hard upper bound on the mean launch time.
+    pub upper_ns: u64,
+    /// Squared coefficient of variation of the service factor
+    /// (`E[F²] − 1`).
+    pub factor_cv2: f64,
+    /// Standard deviation of one replicate's **total drawn server work**,
+    /// `√(cv² · N · Σsₖ²)` — the sampling-slack scale for validation. The
+    /// per-segment second moment matters: a stream dominated by a few large
+    /// read services fluctuates like its big ops, not like `√(N·K)`
+    /// interchangeable draws.
+    pub work_sd_ns: f64,
+    /// Whether the bounds are trustworthy for this distribution: a
+    /// log-normal with `σ > 2` reaches the DES's service clamp and
+    /// truncates its own mean, so the envelope would mis-flag it.
+    pub applicable: bool,
+}
+
+/// Compute the envelope for `stream` under `cfg` (whose rank count selects
+/// the point). Panics, like [`crate::simulate_classified`], when `cfg`'s
+/// calibration differs from the one the stream was classified under.
+pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
+    assert_eq!(
+        stream.params(),
+        ClassifyParams::of(cfg),
+        "ClassifiedStream reused under a different latency calibration; reclassify"
+    );
+    let nodes = cfg.nodes();
+    let cold = if cfg.broadcast_cache { 1u64 } else { nodes as u64 };
+    let warm_done = if (nodes as u64) > cold { stream.warm_replay_ns() as u128 } else { 0 };
+    let overhead = cfg.base_overhead_ns as u128
+        + cfg.per_rank_overhead_ns as u128 * cfg.ranks_per_node.min(cfg.ranks) as u128;
+    let dist = cfg.service_dist;
+    let applicable = match dist {
+        ServiceDistribution::LogNormal { sigma_milli } => sigma_milli <= 2000,
+        _ => true,
+    };
+    let cv2 = factor_second_moment(dist) - 1.0;
+
+    let segs = stream.server_segments();
+    let k = segs.len() as u64;
+    if k == 0 {
+        // No server traffic: the launch is exact whatever the distribution.
+        let exact = overhead + (stream.local_total_ns() as u128).max(warm_done);
+        let exact = exact.min(u64::MAX as u128) as u64;
+        return Mg1Bounds {
+            ranks: cfg.ranks,
+            cold_nodes: cold as usize,
+            server_ops_per_node: 0,
+            utilisation: 0.0,
+            mean_wait_ns: 0.0,
+            lower_ns: exact,
+            upper_ns: exact,
+            factor_cv2: cv2,
+            work_sd_ns: 0.0,
+            applicable,
+        };
+    }
+
+    let half_rtt = cfg.rtt_ns as u128 / 2;
+    let service_total: u128 = segs.iter().map(|s| s.service_ns as u128).sum();
+    // One unimpeded cold replay: every pre-local, both half-RTTs, the
+    // service itself, and the client-side payload time, plus the tail.
+    let free: u128 = segs
+        .iter()
+        .map(|s| {
+            s.pre_local_ns as u128 + 2 * half_rtt + s.service_ns as u128 + s.client_extra_ns as u128
+        })
+        .sum::<u128>()
+        + stream.tail_local() as u128;
+    let first_arrival = segs[0].pre_local_ns as u128 + half_rtt;
+    let return_path =
+        half_rtt + segs[k as usize - 1].client_extra_ns as u128 + stream.tail_local() as u128;
+
+    // ±1 ns per draw: the DES floors each drawn service toward zero (lower
+    // allowance) and clamps it up to at least 1 ns (upper allowance). No
+    // draws occur under the deterministic model.
+    let draw_slack = |per: u128| if dist.is_deterministic() { 0 } else { per };
+    let lower_free = free.saturating_sub(draw_slack(k as u128));
+    let lower_capacity = (first_arrival + cold as u128 * service_total + return_path)
+        .saturating_sub(draw_slack(cold as u128 * k as u128));
+    let lower_cold = lower_free.max(lower_capacity);
+    let upper_cold =
+        free + (cold as u128 - 1) * service_total + draw_slack(cold as u128 * k as u128);
+
+    let lower = overhead + lower_cold.max(warm_done);
+    let upper = overhead + upper_cold.max(warm_done);
+
+    // Descriptors: each cold node offers one op per free/K nanoseconds. A
+    // degenerate all-zero-cost calibration (free = 0) is instantaneous
+    // arrivals of zero-length ops: report it as saturated rather than NaN.
+    let utilisation =
+        if free > 0 { cold as f64 * service_total as f64 / free as f64 } else { f64::INFINITY };
+    let moments = ServiceMoments::of(stream, dist).expect("k > 0");
+    let mean_wait_ns = if utilisation < 1.0 {
+        let lambda = cold as f64 * k as f64 / free as f64;
+        lambda * moments.second_moment_ns2 / (2.0 * (1.0 - utilisation))
+    } else {
+        f64::INFINITY
+    };
+
+    let service_sq_total: f64 = segs.iter().map(|s| (s.service_ns as f64).powi(2)).sum();
+    Mg1Bounds {
+        ranks: cfg.ranks,
+        cold_nodes: cold as usize,
+        server_ops_per_node: k,
+        utilisation,
+        mean_wait_ns,
+        lower_ns: lower.min(u64::MAX as u128) as u64,
+        upper_ns: upper.min(u64::MAX as u128) as u64,
+        factor_cv2: cv2,
+        work_sd_ns: (cv2 * cold as f64 * service_sq_total).sqrt(),
+        applicable,
+    }
+}
+
+/// One cell's verdict: the envelope, what the DES replicates actually
+/// averaged, and whether that mean sits inside the (slack-widened) bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueingCheck {
+    pub bounds: Mg1Bounds,
+    pub observed_mean_ns: u64,
+    /// The absolute sampling slack applied (`6·work_sd/√replicates`, 0 when
+    /// the factor is deterministic).
+    pub slack_ns: f64,
+    pub within: bool,
+}
+
+/// Check a replicate summary against the envelope. The bounds constrain the
+/// *true* mean; a finite replicate sample fluctuates around it with a
+/// standard error of at most [`Mg1Bounds::work_sd_ns`]`/√replicates` (the
+/// launch time moves at most one-for-one with the total drawn server work,
+/// in either regime), so the comparison widens the envelope by six of those
+/// standard errors — tight enough to catch a modelling bug (which shifts
+/// the mean by whole service quanta), loose enough never to flag honest
+/// noise. Inapplicable bounds (see [`Mg1Bounds::applicable`]) always pass.
+pub fn validate_against_mg1(bounds: &Mg1Bounds, stats: &LaunchStats) -> QueueingCheck {
+    let slack_ns = 6.0 * bounds.work_sd_ns / (stats.replicates.max(1) as f64).sqrt();
+    let mean = stats.mean_ns as f64;
+    let within = !bounds.applicable
+        || (mean >= bounds.lower_ns as f64 - slack_ns - 0.5
+            && mean <= bounds.upper_ns as f64 + slack_ns + 0.5);
+    QueueingCheck { bounds: *bounds, observed_mean_ns: stats.mean_ns, slack_ns, within }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate_classified;
+    use crate::sweep::sweep_ranks_replicated;
+    use depchaos_vfs::{Op, Outcome, StraceLog, Syscall};
+
+    fn cold_stream(n: usize) -> StraceLog {
+        let mut log = StraceLog::new();
+        for i in 0..n {
+            log.push(Syscall::new(Op::Openat, &format!("/l/{i}"), Outcome::Enoent, 200_000));
+        }
+        log
+    }
+
+    fn fast_cfg() -> LaunchConfig {
+        LaunchConfig { base_overhead_ns: 0, per_rank_overhead_ns: 0, ..LaunchConfig::default() }
+    }
+
+    #[test]
+    fn factor_second_moments_are_the_closed_forms() {
+        assert_eq!(factor_second_moment(ServiceDistribution::Deterministic), 1.0);
+        let jitter = factor_second_moment(ServiceDistribution::uniform_jitter(0.25));
+        assert!((jitter - (1.0 + 0.0625 / 3.0)).abs() < 1e-12);
+        let ln = factor_second_moment(ServiceDistribution::log_normal(0.5));
+        assert!((ln - 0.25f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_moments_match_empirical_sampling() {
+        use depchaos_workloads::SplitMix;
+        for dist in ServiceDistribution::all() {
+            let mut rng = SplitMix::new(17);
+            let n = 200_000;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let f = dist.sample(&mut rng);
+                sum_sq += f * f;
+            }
+            let empirical = sum_sq / n as f64;
+            let closed = factor_second_moment(dist);
+            assert!(
+                (empirical - closed).abs() / closed < 0.02,
+                "{}: E[F²] {empirical} vs closed form {closed}",
+                dist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_result_sits_inside_the_envelope() {
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        for ranks in [1usize, 512, 2048, 16 * 1024] {
+            let at = cfg.clone().with_ranks(ranks);
+            let b = mg1_bounds(&stream, &at);
+            let r = simulate_classified(&stream, &at);
+            assert!(b.lower_ns <= b.upper_ns);
+            assert!(
+                (b.lower_ns..=b.upper_ns).contains(&r.time_to_launch_ns),
+                "ranks={ranks}: {} outside [{}, {}]",
+                r.time_to_launch_ns,
+                b.lower_ns,
+                b.upper_ns
+            );
+        }
+    }
+
+    #[test]
+    fn contended_regime_reports_saturation() {
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        // One node: the server is mostly idle between the node's round
+        // trips; P-K wait is finite and small.
+        let single = mg1_bounds(&stream, &cfg.clone().with_ranks(128));
+        assert!(single.utilisation < 1.0);
+        assert!(single.mean_wait_ns.is_finite());
+        // 128 cold nodes: service alone (50 µs) dwarfs each node's 250 µs
+        // inter-op cycle — deep saturation, infinite open-system wait.
+        let fleet = mg1_bounds(&stream, &cfg.clone().with_ranks(16 * 1024));
+        assert!(fleet.utilisation > 1.0, "ρ = {}", fleet.utilisation);
+        assert!(fleet.mean_wait_ns.is_infinite());
+        // And the capacity lower bound dominates: launch grows with N.
+        assert!(fleet.lower_ns > single.lower_ns * 10);
+    }
+
+    #[test]
+    fn stochastic_replicate_means_validate_across_distributions() {
+        for dist in ServiceDistribution::all() {
+            for seed in [7u64, 42, 0xD15_7A5ED] {
+                let cfg = LaunchConfig { seed, ..fast_cfg() }.with_service_dist(dist);
+                let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+                let rows = sweep_ranks_replicated(&stream, &cfg, &[512, 2048, 8192], 7);
+                for (ranks, _, stats) in rows {
+                    let b = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks));
+                    let check = validate_against_mg1(&b, &stats);
+                    assert!(
+                        check.within,
+                        "{} seed={seed} ranks={ranks}: mean {} outside [{}, {}] (slack {})",
+                        dist.name(),
+                        check.observed_mean_ns,
+                        b.lower_ns,
+                        b.upper_ns,
+                        check.slack_ns
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_shifted_mean_is_flagged() {
+        // The check must have teeth: a mean below the server's serial
+        // capacity (as a lost-contention bug would produce) fails.
+        let cfg = fast_cfg().with_service_dist(ServiceDistribution::uniform_jitter(0.25));
+        let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+        let at = cfg.clone().with_ranks(16 * 1024);
+        let b = mg1_bounds(&stream, &at);
+        let bogus = LaunchStats {
+            replicates: 11,
+            mean_ns: b.lower_ns / 2,
+            p50_ns: b.lower_ns / 2,
+            p95_ns: b.lower_ns / 2,
+            p99_ns: b.lower_ns / 2,
+        };
+        assert!(!validate_against_mg1(&b, &bogus).within);
+        let above = LaunchStats { mean_ns: b.upper_ns * 2, ..bogus };
+        assert!(!validate_against_mg1(&b, &above).within);
+    }
+
+    #[test]
+    fn clamp_reaching_tails_are_marked_inapplicable() {
+        let cfg = fast_cfg().with_service_dist(ServiceDistribution::log_normal(8.0));
+        let stream = ClassifiedStream::classify(&cold_stream(50), &cfg);
+        let b = mg1_bounds(&stream, &cfg.clone().with_ranks(2048));
+        assert!(!b.applicable);
+        // Inapplicable bounds never flag — vacuous pass, not a false alarm.
+        let anything = LaunchStats { replicates: 5, mean_ns: 1, p50_ns: 1, p95_ns: 1, p99_ns: 1 };
+        assert!(validate_against_mg1(&b, &anything).within);
+    }
+
+    #[test]
+    fn serverless_streams_are_exact() {
+        let mut warm = StraceLog::new();
+        for i in 0..100 {
+            warm.push(Syscall::new(Op::Stat, &format!("/w/{i}"), Outcome::Ok, 1_000));
+        }
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&warm, &cfg);
+        let at = cfg.clone().with_ranks(2048);
+        let b = mg1_bounds(&stream, &at);
+        assert_eq!(b.lower_ns, b.upper_ns);
+        assert_eq!(b.lower_ns, simulate_classified(&stream, &at).time_to_launch_ns);
+        assert_eq!(b.utilisation, 0.0);
+    }
+
+    #[test]
+    fn broadcast_bounds_cover_the_warm_fleet() {
+        let mut cfg = fast_cfg();
+        cfg.broadcast_cache = true;
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        let at = cfg.clone().with_ranks(16 * 1024);
+        let b = mg1_bounds(&stream, &at);
+        assert_eq!(b.cold_nodes, 1);
+        let r = simulate_classified(&stream, &at);
+        assert!((b.lower_ns..=b.upper_ns).contains(&r.time_to_launch_ns));
+    }
+}

@@ -3,11 +3,11 @@
 //! [`sweep_ranks`] is the one-series drive; [`sweep_ranks_replicated`] is
 //! the stochastic-aware version: each rank point is simulated over K seeded
 //! replicates (replicate `r` re-seeds the config from
-//! [`SplitMix::split`]`(base.seed, r)`, replicate 0 *being* the base seed)
-//! and summarised as [`LaunchStats`] — p50/p95/p99/mean of the launch
-//! time. Under a deterministic service distribution every replicate would
-//! be identical, so K collapses to 1 and the stats degenerate to the single
-//! exact value.
+//! [`SplitMix::split`]`(base.seed, SplitMix::REPLICATE, r)`, replicate 0
+//! *being* the base seed) and summarised as [`LaunchStats`] —
+//! p50/p95/p99/mean of the launch time. Under a deterministic service
+//! distribution every replicate would be identical, so K collapses to 1
+//! and the stats degenerate to the single exact value.
 
 use std::collections::HashMap;
 
@@ -39,7 +39,11 @@ impl LaunchStats {
         assert!(!samples.is_empty(), "stats need at least one replicate");
         samples.sort_unstable();
         let pct = |p: f64| samples[(p / 100.0 * (samples.len() - 1) as f64).round() as usize];
-        let mean = samples.iter().map(|&s| s as u128).sum::<u128>() / samples.len() as u128;
+        // Round to nearest: truncating division skewed the mean low by up
+        // to 1 ns, so a perfectly symmetric sample disagreed with its own
+        // median.
+        let n = samples.len() as u128;
+        let mean = (samples.iter().map(|&s| s as u128).sum::<u128>() + n / 2) / n;
         LaunchStats {
             replicates: samples.len(),
             mean_ns: mean as u64,
@@ -64,12 +68,16 @@ impl LaunchStats {
 
 /// The seed replicate `r` of `base_seed` runs under: replicate 0 is the
 /// base itself (so a 1-replicate sweep is exactly the plain sweep), later
-/// replicates take independent [`SplitMix`] substreams.
+/// replicates take independent [`SplitMix`] substreams in the
+/// [`SplitMix::REPLICATE`] domain — decorrelated by construction from the
+/// per-node service draws ([`SplitMix::NODE`]), which the pre-domain scheme
+/// aliased: `replicate_seed(base, r)` used to equal the first service
+/// factor node `r` drew in replicate 0.
 pub fn replicate_seed(base_seed: u64, replicate: usize) -> u64 {
     if replicate == 0 {
         base_seed
     } else {
-        SplitMix::split(base_seed, replicate as u64).next_u64()
+        SplitMix::split(base_seed, SplitMix::REPLICATE, replicate as u64).next_u64()
     }
 }
 
@@ -277,6 +285,25 @@ mod tests {
         let mut one = vec![42u64];
         let st1 = LaunchStats::from_samples(&mut one);
         assert_eq!((st1.p50_ns, st1.p95_ns, st1.p99_ns, st1.mean_ns), (42, 42, 42, 42));
+    }
+
+    #[test]
+    fn stats_mean_rounds_to_nearest_ns() {
+        // A symmetric two-point sample: the mean is 10.5 ns, which must
+        // round to the same 11 ns nearest-rank p50 picks — truncation used
+        // to report 10 and disagree with every percentile.
+        let mut two = vec![10u64, 11];
+        let st = LaunchStats::from_samples(&mut two);
+        assert_eq!(st.p50_ns, 11);
+        assert_eq!(st.mean_ns, 11, "mean rounds to nearest, not toward zero");
+        // Larger symmetric sample: mean sits exactly on the midpoint value.
+        let mut sym = vec![100u64, 200, 300];
+        let st = LaunchStats::from_samples(&mut sym);
+        assert_eq!(st.mean_ns, 200);
+        assert_eq!(st.mean_ns, st.p50_ns, "p-stats and mean agree on symmetric samples");
+        // Fraction below one half still truncates down.
+        let mut low = vec![10u64, 10, 11];
+        assert_eq!(LaunchStats::from_samples(&mut low).mean_ns, 10);
     }
 
     #[test]

@@ -12,23 +12,50 @@ pub struct SplitMix {
 }
 
 impl SplitMix {
+    /// Stream domain for DES per-node service-factor draws
+    /// (`depchaos-launch`): node `i` of a simulation seed draws from
+    /// `split(seed, NODE, i)`.
+    pub const NODE: u64 = 0x4E4F_4445_0000_0001;
+    /// Stream domain for seeded replicate fan-out: replicate `r ≥ 1` of a
+    /// base seed simulates under `split(seed, REPLICATE, r).next_u64()`.
+    pub const REPLICATE: u64 = 0x5245_504C_0000_0002;
+    /// Stream domain for per-scenario (workload cell) seed derivation: the
+    /// experiment engine folds a label digest through
+    /// `split(seed, WORKLOAD, digest)`.
+    pub const WORKLOAD: u64 = 0x574F_524B_0000_0003;
+
     pub fn new(seed: u64) -> Self {
         SplitMix { state: seed }
     }
 
-    /// An independent substream of `seed`: stream `k` of a seed is a
-    /// generator decorrelated from every other stream of the same seed (and
-    /// from the base generator itself, except stream 0 which *is*
-    /// `SplitMix::new(seed)`). This is how per-node / per-replicate draws
-    /// stay reproducible without sharing one sequential generator: consumer
-    /// `k` takes `split(seed, k)` and draws at its own pace.
-    pub fn split(seed: u64, stream: u64) -> SplitMix {
-        if stream == 0 {
-            return SplitMix::new(seed);
-        }
-        // One SplitMix finalisation step over the stream index keeps
-        // neighbouring streams far apart in the state space.
-        SplitMix { state: seed ^ SplitMix::new(stream).next_u64() }
+    /// The SplitMix64 finalizer: the value `next_u64` would draw from state
+    /// `x`. Used by [`SplitMix::split`] to put every derived stream a full
+    /// avalanche away from its inputs.
+    fn finalize(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// An independent substream of `seed`: stream `k` of a *domain* of a
+    /// seed is a generator decorrelated from every other `(domain, stream)`
+    /// pair of the same seed, from every stream of every other seed, and
+    /// from the base generator `SplitMix::new(seed)` itself. This is how
+    /// per-node / per-replicate / per-scenario draws stay reproducible
+    /// without sharing one sequential generator: consumer `k` of domain `d`
+    /// takes `split(seed, d, k)` and draws at its own pace.
+    ///
+    /// Both the domain and the stream index go through the **full**
+    /// finalizer before touching the seed, and the combined state is
+    /// finalized once more. The previous scheme (`seed ^ finalize(stream)`,
+    /// stream 0 passed through verbatim) left two aliases the launch crate
+    /// actually hit: stream 0 *was* the base generator, and a value drawn
+    /// *from* stream `k` (a replicate seed) equalled the raw *state* of
+    /// stream `k` in another consumer's domain (node `k`'s service draws) —
+    /// correlating numbers that were documented as independent.
+    pub fn split(seed: u64, domain: u64, stream: u64) -> SplitMix {
+        SplitMix { state: Self::finalize(seed ^ Self::finalize(domain ^ Self::finalize(stream))) }
     }
 
     /// Next raw 64-bit value.
@@ -81,16 +108,50 @@ mod tests {
 
     #[test]
     fn split_streams_are_decorrelated_and_reproducible() {
-        // Stream 0 is the base generator; other streams differ from it, from
-        // each other, and reproduce from (seed, stream) alone.
-        assert_eq!(SplitMix::split(42, 0).next_u64(), SplitMix::new(42).next_u64());
-        let firsts: Vec<u64> = (0..64).map(|s| SplitMix::split(42, s).next_u64()).collect();
+        // Every (domain, stream) differs from the base generator — stream 0
+        // included — from each other, and reproduces from (seed, domain,
+        // stream) alone.
+        assert_ne!(
+            SplitMix::split(42, SplitMix::NODE, 0).next_u64(),
+            SplitMix::new(42).next_u64(),
+            "stream 0 must not alias the base generator"
+        );
+        let firsts: Vec<u64> =
+            (0..64).map(|s| SplitMix::split(42, SplitMix::NODE, s).next_u64()).collect();
         let mut uniq = firsts.clone();
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), firsts.len(), "streams collide");
-        assert_eq!(SplitMix::split(42, 7).next_u64(), SplitMix::split(42, 7).next_u64());
-        assert_ne!(SplitMix::split(42, 7).next_u64(), SplitMix::split(43, 7).next_u64());
+        assert_eq!(
+            SplitMix::split(42, SplitMix::NODE, 7).next_u64(),
+            SplitMix::split(42, SplitMix::NODE, 7).next_u64()
+        );
+        assert_ne!(
+            SplitMix::split(42, SplitMix::NODE, 7).next_u64(),
+            SplitMix::split(43, SplitMix::NODE, 7).next_u64()
+        );
+    }
+
+    #[test]
+    fn domains_are_decorrelated_from_each_other_and_from_states() {
+        // The regression the launch crate hit: a value *drawn from* one
+        // domain's stream k must collide with neither the first draw nor
+        // the raw state of another domain's stream k — across domains,
+        // streams, and a spread of seeds.
+        let domains = [SplitMix::NODE, SplitMix::REPLICATE, SplitMix::WORKLOAD];
+        for seed in [0u64, 1, 42, u64::MAX, 0xD15_7A5ED] {
+            let mut seen = std::collections::HashSet::new();
+            for &d in &domains {
+                for k in 0..32u64 {
+                    let mut g = SplitMix::split(seed, d, k);
+                    let state_alias = SplitMix::split(seed, d, k);
+                    assert!(seen.insert(g.next_u64()), "first draw collides ({d:#x}, {k})");
+                    // The state itself (what the pre-fix scheme leaked as
+                    // another domain's draw) is also unique across domains.
+                    assert!(seen.insert(state_alias.state), "state collides ({d:#x}, {k})");
+                }
+            }
+        }
     }
 
     #[test]
