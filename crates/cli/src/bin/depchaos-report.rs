@@ -1,16 +1,31 @@
 //! `depchaos-report` — regenerate every paper table and figure as text.
 //!
-//! Usage: `depchaos-report [SECTION] [--tsv FILE]` (default `all`). Fig 6
-//! at full scale takes a few seconds in release mode; pass `fig6-small`
-//! for a reduced run, `fig6-backends` for the per-backend scenario-matrix
-//! sweep (glibc, musl, future, hash-store side by side), `fig6-dist`
-//! for the service-distribution sweep (deterministic vs jittered vs
-//! heavy-tailed metadata server, p50/p99 bands, pynamic + axom + rocm), or
-//! `fig6-queueing` for the M/G/1 cross-check (exits 1 when any cell's
-//! replicate mean escapes its queueing-theory envelope).
+//! Usage: `depchaos-report [SECTION] [--tsv FILE] [--store DIR] [--jobs N]`
+//! (default `all`). Fig 6 at full scale takes a few seconds in release
+//! mode; pass `fig6-small` for a reduced run, `fig6-backends` for the
+//! per-backend scenario-matrix sweep (glibc, musl, future, hash-store side
+//! by side), `fig6-dist` for the service-distribution sweep (deterministic
+//! vs jittered vs heavy-tailed metadata server, p50/p99 bands, pynamic +
+//! axom + rocm), or `fig6-queueing` for the M/G/1 cross-check (exits 1
+//! when any cell's replicate mean escapes its queueing-theory envelope).
 //! `--tsv FILE` additionally writes the section's raw `SweepReport` rows
 //! as TSV — the artifact CI persists; sections that run no sweep ignore
 //! it.
+//!
+//! `--store DIR` routes every sweep section through the persistent result
+//! store (`depchaos-serve`'s content-addressed cache): cells already in
+//! the store are served warm, only misses simulate, fresh results are
+//! appended — rendered tables are bit-identical either way, and the
+//! warm/cold counters print to stderr. `--jobs N` fans cold scenario
+//! shards over N worker threads (default 1).
+//!
+//! Exit codes (uniform across the depchaos CLIs):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | the requested sections rendered |
+//! | 1 | check violation — a queueing cell escaped its M/G/1 envelope |
+//! | 2 | usage or I/O error — bad section/flags, unwritable TSV, store failure |
 
 use depchaos_core::{wrap, ShrinkwrapOptions};
 use depchaos_graph::reuse_counts;
@@ -19,15 +34,51 @@ use depchaos_launch::{
     WrapState,
 };
 use depchaos_loader::{Environment, GlibcLoader};
+use depchaos_serve::{run_matrix_incremental, ResultStore};
 use depchaos_vfs::{StorageModel, Vfs};
 use depchaos_workloads::{debian, emacs, nix_ruby, paradox, pynamic, Axom, Pynamic, Rocm};
 
-/// Where a sweep-producing section should drop its raw TSV, if anywhere.
+/// Where a sweep-producing section should drop its raw TSV, if anywhere,
+/// and how to execute its matrix (direct, or incrementally against a
+/// persistent store).
 struct ReportOpts {
     tsv: Option<String>,
+    store: Option<String>,
+    jobs: usize,
 }
 
 impl ReportOpts {
+    /// Execute a sweep matrix for one section: against the persistent
+    /// store when `--store` was given (warm cells served, misses
+    /// simulated and appended), in memory otherwise — one code path, so
+    /// the rendered tables cannot depend on which way the cells came.
+    fn run(&self, matrix: &ExperimentMatrix) -> SweepReport {
+        let store = match &self.store {
+            Some(dir) => match ResultStore::open(std::path::Path::new(dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open store {dir}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => ResultStore::in_memory(),
+        };
+        match run_matrix_incremental(matrix, &store, &ProfileCache::new(), self.jobs) {
+            Ok((report, stats)) => {
+                if self.store.is_some() {
+                    eprintln!(
+                        "(store: {} cells — {} warm, {} simulated on {} jobs)",
+                        stats.cells_total, stats.warm_hits, stats.cold_cells, stats.jobs
+                    );
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("store I/O error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     /// Write `report`'s rows when `--tsv` was given; exit 2 on IO errors —
     /// a CI artifact silently missing is worse than a red step.
     fn persist_tsv(&self, report: &SweepReport) {
@@ -72,14 +123,22 @@ const SECTIONS: &[(&str, bool, SectionFn)] = &[
 
 fn main() {
     let mut section_arg: Option<String> = None;
-    let mut opts = ReportOpts { tsv: None };
+    let mut opts = ReportOpts { tsv: None, store: None, jobs: 1 };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
         match a.as_str() {
-            "--tsv" => match args.next() {
-                Some(p) => opts.tsv = Some(p),
-                None => {
-                    eprintln!("--tsv needs a file path");
+            "--tsv" => opts.tsv = Some(value("--tsv")),
+            "--store" => opts.store = Some(value("--store")),
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) => opts.jobs = n,
+                Err(_) => {
+                    eprintln!("--jobs needs an integer");
                     std::process::exit(2);
                 }
             },
@@ -332,13 +391,14 @@ fn fig6(n_libs: usize, opts: &ReportOpts) {
     banner("Fig 6: Pynamic time-to-launch (normal vs shrinkwrapped)");
     // The paper's figure is one cell of the scenario matrix: pynamic ×
     // glibc × NFS, plain vs wrapped, cold caches.
-    let report = ExperimentMatrix::new()
-        .workload(Pynamic::new(n_libs))
-        .backend(MatrixBackend::glibc())
-        .storage(StorageModel::Nfs)
-        .wrap_states(WrapState::all())
-        .cache_policies([CachePolicy::Cold])
-        .run(&ProfileCache::new());
+    let report = opts.run(
+        &ExperimentMatrix::new()
+            .workload(Pynamic::new(n_libs))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies([CachePolicy::Cold]),
+    );
     println!("({n_libs} shared libraries, cold NFS, negative caching off)");
     print!("{}", report.render_fig6_tables());
     opts.persist_tsv(&report);
@@ -351,13 +411,14 @@ fn fig6(n_libs: usize, opts: &ReportOpts) {
 fn fig6_backends(opts: &ReportOpts) {
     let n_libs = 300;
     banner("Fig 6 backends: Pynamic time-to-launch per loader backend");
-    let report = ExperimentMatrix::new()
-        .workload(Pynamic::new(n_libs))
-        .backends(MatrixBackend::all())
-        .storage(StorageModel::Nfs)
-        .wrap_states(WrapState::all())
-        .cache_policies([CachePolicy::Cold])
-        .run(&ProfileCache::new());
+    let report = opts.run(
+        &ExperimentMatrix::new()
+            .workload(Pynamic::new(n_libs))
+            .backends(MatrixBackend::all())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies([CachePolicy::Cold]),
+    );
     println!(
         "({n_libs} shared libraries, cold NFS; {} unique cells profiled once each)",
         report.cells_profiled
@@ -379,16 +440,17 @@ fn fig6_backends(opts: &ReportOpts) {
 /// and reported as p50/p99 bands next to the deterministic curve.
 fn fig6_dist(opts: &ReportOpts) {
     banner("Fig 6 dist: time-to-launch under stochastic server latency");
-    let report = ExperimentMatrix::new()
-        .workload(Pynamic::new(200))
-        .workload(Axom::paper())
-        .workload(Rocm::matched())
-        .backend(MatrixBackend::glibc())
-        .storage(StorageModel::Nfs)
-        .wrap_states(WrapState::all())
-        .cache_policies([CachePolicy::Cold])
-        .distributions(ServiceDistribution::all())
-        .run(&ProfileCache::new());
+    let report = opts.run(
+        &ExperimentMatrix::new()
+            .workload(Pynamic::new(200))
+            .workload(Axom::paper())
+            .workload(Rocm::matched())
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies([CachePolicy::Cold])
+            .distributions(ServiceDistribution::all()),
+    );
     println!(
         "(cold NFS, glibc; {} cells profiled once, stochastic cells over {} seeded replicates)",
         report.cells_profiled,
@@ -411,15 +473,16 @@ fn fig6_dist(opts: &ReportOpts) {
 /// table nobody reads.
 fn fig6_queueing(opts: &ReportOpts) {
     banner("Fig 6 queueing: DES replicate means vs M/G/1 envelope");
-    let report = ExperimentMatrix::new()
-        .workload(Pynamic::new(150))
-        .backend(MatrixBackend::glibc())
-        .storage(StorageModel::Nfs)
-        .wrap_states(WrapState::all())
-        .cache_policies([CachePolicy::Cold])
-        .distributions(ServiceDistribution::all())
-        .rank_points([512usize, 2048, 16 * 1024])
-        .run(&ProfileCache::new());
+    let report = opts.run(
+        &ExperimentMatrix::new()
+            .workload(Pynamic::new(150))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies([CachePolicy::Cold])
+            .distributions(ServiceDistribution::all())
+            .rank_points([512usize, 2048, 16 * 1024]),
+    );
     println!(
         "(cold NFS, glibc; every swept cell checked over {} seeded replicates; \
          rho ≥ 1 marks the contended regime where the capacity bound binds)",

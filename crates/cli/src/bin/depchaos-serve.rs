@@ -1,0 +1,152 @@
+//! `depchaos-serve` — the batched what-if front door over the persistent
+//! result store.
+//!
+//! ```text
+//! depchaos-serve --store DIR --requests FILE [--out FILE] [--stats FILE]
+//!                [--jobs N] [--compact]
+//! ```
+//!
+//! Reads one what-if request per JSONL line from `--requests` (`-` for
+//! stdin) — see `depchaos_serve::requests` for the format — answers warm
+//! queries straight from the store under `--store` (created on first
+//! use), simulates only the cold cells over `--jobs` worker threads
+//! (default: the machine's parallelism), and appends every fresh result
+//! to the store. Answers (simulator-deterministic JSONL, byte-identical
+//! across replays) go to `--out` or stdout; the batch/per-query
+//! hit-miss-latency accounting and the store's load stats go to
+//! `--stats` or stderr. `--compact` rewrites the store log afterwards,
+//! shedding duplicate and dead bytes.
+//!
+//! Exit codes (uniform across the depchaos CLIs):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | every request parsed and was answered (error *cells* are answers) |
+//! | 1 | check violation — at least one request failed to parse |
+//! | 2 | usage or I/O error — bad flags, unreadable input, store failure |
+
+use std::io::Read;
+use std::path::Path;
+
+use depchaos_launch::ProfileCache;
+use depchaos_serve::{default_jobs, serve_batch, ResultStore};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: depchaos-serve --store DIR --requests FILE \
+         [--out FILE] [--stats FILE] [--jobs N] [--compact]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut store_dir: Option<String> = None;
+    let mut requests: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut stats_path: Option<String> = None;
+    let mut jobs = default_jobs();
+    let mut compact = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--store" => store_dir = Some(value("--store")),
+            "--requests" => requests = Some(value("--requests")),
+            "--out" => out = Some(value("--out")),
+            "--stats" => stats_path = Some(value("--stats")),
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) => jobs = n,
+                Err(_) => {
+                    eprintln!("--jobs needs an integer");
+                    usage()
+                }
+            },
+            "--compact" => compact = true,
+            _ => {
+                eprintln!("unknown argument {a:?}");
+                usage()
+            }
+        }
+    }
+    let Some(store_dir) = store_dir else {
+        eprintln!("--store is required");
+        usage()
+    };
+    let Some(requests) = requests else {
+        eprintln!("--requests is required");
+        usage()
+    };
+
+    let input = if requests == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            std::process::exit(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&requests) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {requests}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let store = match ResultStore::open(Path::new(&store_dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {store_dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let report = match serve_batch(&input, &store, &ProfileCache::new(), jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store I/O error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let answers = report.answers_jsonl();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &answers) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => print!("{answers}"),
+    }
+    let stats = report.stats_json(&store);
+    match &stats_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &stats) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => eprint!("{stats}"),
+    }
+
+    if compact {
+        match store.compact() {
+            Ok(n) => eprintln!("(compacted store to {n} records)"),
+            Err(e) => {
+                eprintln!("compaction failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if report.had_errors() {
+        std::process::exit(1);
+    }
+}

@@ -69,6 +69,27 @@ impl ServiceDistribution {
         }
     }
 
+    /// Inverse of [`ServiceDistribution::name`]: `deterministic`,
+    /// `jitter-SPREAD_MILLI`, or `lognormal-SIGMA_MILLI` — the spellings
+    /// every report and TSV prints, which is what the serve front door
+    /// accepts as a `dist` delta.
+    pub fn parse(s: &str) -> Option<ServiceDistribution> {
+        if s == "deterministic" {
+            return Some(ServiceDistribution::Deterministic);
+        }
+        if let Some(milli) = s.strip_prefix("jitter-") {
+            let spread_milli: u32 = milli.parse().ok()?;
+            if spread_milli >= 1000 {
+                return None;
+            }
+            return Some(ServiceDistribution::UniformJitter { spread_milli });
+        }
+        if let Some(milli) = s.strip_prefix("lognormal-") {
+            return Some(ServiceDistribution::LogNormal { sigma_milli: milli.parse().ok()? });
+        }
+        None
+    }
+
     /// One multiplicative service-time factor. [`Deterministic`]
     /// (ServiceDistribution) returns 1.0 without touching `rng` — callers
     /// on the exact path must not even construct a generator.

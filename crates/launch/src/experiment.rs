@@ -586,6 +586,69 @@ impl SweepReport {
     }
 }
 
+/// Execute **one** scenario at the given rank points against a shared
+/// profile cache — the single-cell entry point. [`ExperimentMatrix::run`]
+/// is exactly this, fanned over the full expansion, and the serve layer
+/// (`depchaos-serve`) calls it per store miss with whatever subset of rank
+/// points is cold; because every rank point is simulated independently
+/// (same per-point `LaunchConfig`, same seed derivation from the scenario
+/// label), a subset run is bit-identical to the matching slice of a full
+/// run — which is what makes per-(scenario, rank point) memoization sound.
+pub fn run_scenario(
+    s: &Scenario,
+    base: &LaunchConfig,
+    replicates: usize,
+    rank_points: &[usize],
+    cache: &ProfileCache,
+) -> ScenarioResult {
+    let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
+    let spec = s.spec();
+    let mut cfg = s.cache.apply(base.clone());
+    cfg.service_dist = s.dist;
+    // Each cell draws from its own decorrelated stream, derived
+    // from (experiment seed, cell label) — deterministic across
+    // runs and across rayon schedules.
+    cfg.seed = scenario_seed(base.seed, &spec.label());
+    match cell.outcome(s.wrap) {
+        Ok(p) => {
+            // One classification per (cell, wrap, calibration),
+            // shared across cache policies, rank points, and
+            // stochastic replicates.
+            let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
+            let rows = sweep_ranks_replicated(&stream, &cfg, rank_points, replicates);
+            let queueing = rows
+                .iter()
+                .map(|&(r, _, st)| {
+                    let b = mg1_bounds(&stream, &cfg.clone().with_ranks(r));
+                    (r, validate_against_mg1(&b, &st))
+                })
+                .collect();
+            ScenarioResult {
+                spec,
+                stat_openat: p.stat_openat,
+                misses: p.misses,
+                complete: p.complete,
+                unresolved: p.unresolved,
+                error: None,
+                series: rows.iter().map(|&(r, l, _)| (r, l)).collect(),
+                stats: rows.iter().map(|&(r, _, st)| (r, st)).collect(),
+                queueing,
+            }
+        }
+        Err(e) => ScenarioResult {
+            spec,
+            stat_openat: 0,
+            misses: 0,
+            complete: false,
+            unresolved: 0,
+            error: Some(e.clone()),
+            series: Vec::new(),
+            stats: Vec::new(),
+            queueing: Vec::new(),
+        },
+    }
+}
+
 impl ExperimentMatrix {
     /// Run the matrix against a shared profile cache: profile each unique
     /// cell once, then sweep every scenario's rank points in parallel.
@@ -615,55 +678,7 @@ impl ExperimentMatrix {
         // Phase 2: fan the DES sweeps out — independent simulations.
         let results: Vec<ScenarioResult> = scenarios
             .par_iter()
-            .map(|s| {
-                let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
-                let spec = s.spec();
-                let mut cfg = s.cache.apply(self.base.clone());
-                cfg.service_dist = s.dist;
-                // Each cell draws from its own decorrelated stream, derived
-                // from (experiment seed, cell label) — deterministic across
-                // runs and across rayon schedules.
-                cfg.seed = scenario_seed(self.base.seed, &spec.label());
-                match cell.outcome(s.wrap) {
-                    Ok(p) => {
-                        // One classification per (cell, wrap, calibration),
-                        // shared across cache policies, rank points, and
-                        // stochastic replicates.
-                        let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
-                        let rows =
-                            sweep_ranks_replicated(&stream, &cfg, &rank_points, self.replicates);
-                        let queueing = rows
-                            .iter()
-                            .map(|&(r, _, st)| {
-                                let b = mg1_bounds(&stream, &cfg.clone().with_ranks(r));
-                                (r, validate_against_mg1(&b, &st))
-                            })
-                            .collect();
-                        ScenarioResult {
-                            spec,
-                            stat_openat: p.stat_openat,
-                            misses: p.misses,
-                            complete: p.complete,
-                            unresolved: p.unresolved,
-                            error: None,
-                            series: rows.iter().map(|&(r, l, _)| (r, l)).collect(),
-                            stats: rows.iter().map(|&(r, _, st)| (r, st)).collect(),
-                            queueing,
-                        }
-                    }
-                    Err(e) => ScenarioResult {
-                        spec,
-                        stat_openat: 0,
-                        misses: 0,
-                        complete: false,
-                        unresolved: 0,
-                        error: Some(e.clone()),
-                        series: Vec::new(),
-                        stats: Vec::new(),
-                        queueing: Vec::new(),
-                    },
-                }
-            })
+            .map(|s| run_scenario(s, &self.base, self.replicates, &rank_points, cache))
             .collect();
 
         SweepReport { rank_points, results, cells_profiled }

@@ -112,7 +112,8 @@ pub use des::{
     ClassifyParams,
 };
 pub use experiment::{
-    scenario_seed, CellProfile, ProfileCache, ProfileOutcome, ScenarioResult, SweepReport,
+    run_scenario, scenario_seed, CellProfile, ProfileCache, ProfileOutcome, ScenarioResult,
+    SweepReport,
 };
 pub use matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,

@@ -39,6 +39,12 @@ impl WrapState {
             WrapState::Wrapped => "wrapped",
         }
     }
+
+    /// Inverse of [`WrapState::name`] — the serve front door parses axis
+    /// deltas by the exact names the reports print.
+    pub fn parse(s: &str) -> Option<WrapState> {
+        WrapState::all().into_iter().find(|w| w.name() == s)
+    }
 }
 
 /// The cache-policy axis: every node pays the cold stream, or a
@@ -60,6 +66,11 @@ impl CachePolicy {
             CachePolicy::Cold => "cold",
             CachePolicy::Broadcast => "broadcast",
         }
+    }
+
+    /// Inverse of [`CachePolicy::name`].
+    pub fn parse(s: &str) -> Option<CachePolicy> {
+        CachePolicy::all().into_iter().find(|c| c.name() == s)
     }
 
     /// Apply the policy to a launch configuration.
@@ -103,6 +114,12 @@ impl MatrixBackend {
             MatrixBackend::Stock(b) => b.name(),
             MatrixBackend::HashStore => "hash-store",
         }
+    }
+
+    /// Inverse of [`MatrixBackend::name`] over the sweepable backends
+    /// ([`MatrixBackend::all`]).
+    pub fn parse(s: &str) -> Option<MatrixBackend> {
+        MatrixBackend::all().into_iter().find(|b| b.name() == s)
     }
 
     /// Resolve to a concrete [`LoaderBackend`] against an installed world.
@@ -328,12 +345,27 @@ impl ExperimentMatrix {
         self
     }
 
-    pub(crate) fn effective_rank_points(&self) -> Vec<usize> {
+    /// The rank points this matrix will sweep — the explicit list, or the
+    /// paper's 512/1024/2048 default when none were given. Public because
+    /// the serve layer keys its store per (scenario, rank point) and must
+    /// enumerate exactly what `run()` would simulate.
+    pub fn effective_rank_points(&self) -> Vec<usize> {
         if self.rank_points.is_empty() {
             vec![512, 1024, 2048]
         } else {
             self.rank_points.clone()
         }
+    }
+
+    /// The replicate count `run()` will request per stochastic rank point.
+    pub fn replicate_count(&self) -> usize {
+        self.replicates
+    }
+
+    /// The base launch configuration (cluster calibration + experiment
+    /// seed) every scenario derives its per-cell config from.
+    pub fn base(&self) -> &LaunchConfig {
+        &self.base
     }
 
     /// Expand the full cross product. Empty axes default to: glibc, NFS,

@@ -1,0 +1,365 @@
+//! The incremental sharded executor: expand a matrix, serve every cell the
+//! store already holds, simulate only the misses, and aggregate a
+//! [`SweepReport`] bit-identical to a cold full run.
+//!
+//! Identity of warm and cold answers is not a best effort — it falls out
+//! of the engine's structure:
+//!
+//! * every `(scenario, rank point)` is simulated independently (per-point
+//!   config, per-point replicate seeds derived from the scenario label),
+//!   so [`run_scenario`] over a *subset* of rank points is bit-identical
+//!   to the matching slice of a full run;
+//! * the store's [`ScenarioKey`](crate::key::ScenarioKey) hashes every
+//!   semantic input of a cell, so a hit can only be a result the cold
+//!   path would have recomputed verbatim;
+//! * floats round-trip the disk by bit pattern, so a record read back
+//!   compares `==` to the record that was written.
+//!
+//! Cold cells are grouped into **shards** (one per scenario with at least
+//! one miss — scenarios share profile/classification work across their
+//! rank points, so splitting finer would redo it) and fanned over a pool
+//! of worker threads pulling shards off a shared counter; `jobs <= 1`
+//! runs inline on the caller's thread with no spawns.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use depchaos_launch::{
+    run_scenario, ExperimentMatrix, ProfileCache, Scenario, ScenarioResult, SweepReport,
+};
+
+use crate::codec::{CellOutcome, CellRecord, ProfileSummary};
+use crate::key::{CellIdentity, ScenarioKey, ENGINE_EPOCH};
+use crate::store::ResultStore;
+
+/// What one incremental run did — the hit/miss accounting the serve front
+/// door reports per batch and CI asserts on (a warm replay must show
+/// `cold_cells == 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Scenarios in the expanded matrix.
+    pub scenarios: usize,
+    /// `(scenario, rank point)` cells the matrix describes.
+    pub cells_total: usize,
+    /// Cells answered from the store.
+    pub warm_hits: usize,
+    /// Cells simulated by this run.
+    pub cold_cells: usize,
+    /// Scenario shards the worker pool executed (scenarios with ≥1 miss).
+    pub shards: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Profiling runs this call triggered.
+    pub cells_profiled: usize,
+}
+
+impl ExecStats {
+    /// Warm fraction in `[0, 1]`; 1.0 for an empty matrix.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells_total == 0 {
+            1.0
+        } else {
+            self.warm_hits as f64 / self.cells_total as f64
+        }
+    }
+}
+
+/// A sensible worker count when the caller has no opinion.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One scenario's cold slice: which rank points miss, under which keys.
+struct Shard {
+    scenario: usize,
+    misses: Vec<(usize, ScenarioKey)>,
+}
+
+/// Run `matrix` against `store`: serve warm cells, simulate cold ones on
+/// `jobs` workers, persist every fresh record, and aggregate the report in
+/// matrix order. The report's `results` are bit-identical to
+/// `matrix.run(profiles)` regardless of how the warm/cold line falls
+/// (`cells_profiled` necessarily differs — a warm run profiles nothing).
+pub fn run_matrix_incremental(
+    matrix: &ExperimentMatrix,
+    store: &ResultStore,
+    profiles: &ProfileCache,
+    jobs: usize,
+) -> std::io::Result<(SweepReport, ExecStats)> {
+    let scenarios = matrix.expand();
+    let rank_points = matrix.effective_rank_points();
+    let replicates = matrix.replicate_count();
+    let base = matrix.base();
+    let profiled_before = profiles.computed();
+
+    // Phase 1: address every cell and split warm from cold.
+    let mut warm: HashMap<ScenarioKey, CellRecord> = HashMap::new();
+    let mut shards: Vec<Shard> = Vec::new();
+    let mut keys: Vec<Vec<(usize, ScenarioKey)>> = Vec::with_capacity(scenarios.len());
+    for (i, s) in scenarios.iter().enumerate() {
+        let spec = s.spec();
+        let mut cell_keys = Vec::with_capacity(rank_points.len());
+        let mut misses = Vec::new();
+        for &ranks in &rank_points {
+            let key = CellIdentity { spec: &spec, ranks, replicates, base }.key();
+            cell_keys.push((ranks, key));
+            match store.get(key) {
+                Some(rec) => {
+                    warm.insert(key, rec);
+                }
+                None => misses.push((ranks, key)),
+            }
+        }
+        keys.push(cell_keys);
+        if !misses.is_empty() {
+            shards.push(Shard { scenario: i, misses });
+        }
+    }
+    let cells_total = scenarios.len() * rank_points.len();
+    let warm_hits = warm.len();
+    let cold_cells = cells_total - warm_hits;
+
+    // Phase 2: simulate the shards. Workers pull off a shared counter —
+    // dynamic load balancing, since shard costs vary by orders of
+    // magnitude across workloads.
+    let workers = jobs.max(1).min(shards.len().max(1));
+    let fresh: Vec<Mutex<Option<Vec<CellRecord>>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
+    let run_shard = |shard: &Shard| -> Vec<CellRecord> {
+        let s = &scenarios[shard.scenario];
+        let pts: Vec<usize> = shard.misses.iter().map(|&(r, _)| r).collect();
+        let result = run_scenario(s, base, replicates, &pts, profiles);
+        records_of(&result, &shard.misses)
+    };
+    if workers <= 1 {
+        for (shard, slot) in shards.iter().zip(&fresh) {
+            *slot.lock() = Some(run_shard(shard));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..workers {
+                sc.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(i) else { break };
+                    *fresh[i].lock() = Some(run_shard(shard));
+                });
+            }
+        });
+    }
+
+    // Phase 3: persist the fresh records and fold them into the warm map.
+    for slot in &fresh {
+        let records = slot.lock().take().expect("every shard ran");
+        for rec in records {
+            store.put(rec.clone())?;
+            warm.insert(rec.key, rec);
+        }
+    }
+
+    // Phase 4: aggregate in matrix order — the exact shape `run()` builds.
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .zip(&keys)
+        .map(|(s, cell_keys)| {
+            let recs: Vec<&CellRecord> =
+                cell_keys.iter().filter_map(|(_, k)| warm.get(k)).collect();
+            assemble(s, &recs)
+        })
+        .collect();
+
+    let stats = ExecStats {
+        scenarios: scenarios.len(),
+        cells_total,
+        warm_hits,
+        cold_cells,
+        shards: shards.len(),
+        jobs: workers,
+        cells_profiled: profiles.computed() - profiled_before,
+    };
+    let report = SweepReport { rank_points, results, cells_profiled: stats.cells_profiled };
+    Ok((report, stats))
+}
+
+/// Split one scenario result into per-rank-point store records.
+fn records_of(r: &ScenarioResult, cells: &[(usize, ScenarioKey)]) -> Vec<CellRecord> {
+    let label = r.spec.label();
+    cells
+        .iter()
+        .map(|&(ranks, key)| {
+            let outcome = match (r.result_at(ranks), r.stats_at(ranks), r.queueing_at(ranks)) {
+                (Some(res), Some(st), Some(q)) => {
+                    Some(CellOutcome { result: *res, stats: *st, queueing: *q })
+                }
+                _ => None,
+            };
+            CellRecord {
+                key,
+                epoch: ENGINE_EPOCH,
+                label: label.clone(),
+                ranks,
+                profile: ProfileSummary {
+                    stat_openat: r.stat_openat,
+                    misses: r.misses,
+                    complete: r.complete,
+                    unresolved: r.unresolved,
+                },
+                error: r.error.clone(),
+                outcome,
+            }
+        })
+        .collect()
+}
+
+/// Rebuild one [`ScenarioResult`] from its per-rank-point records (in rank
+/// point order). The spec comes from the in-hand scenario — records only
+/// carry the label — so aggregation never parses names.
+fn assemble(s: &Scenario, recs: &[&CellRecord]) -> ScenarioResult {
+    let spec = s.spec();
+    let profile = recs.first().map(|r| r.profile).unwrap_or(ProfileSummary {
+        stat_openat: 0,
+        misses: 0,
+        complete: false,
+        unresolved: 0,
+    });
+    let error = recs.iter().find_map(|r| r.error.clone());
+    let mut series = Vec::new();
+    let mut stats = Vec::new();
+    let mut queueing = Vec::new();
+    if error.is_none() {
+        for rec in recs {
+            if let Some(o) = &rec.outcome {
+                series.push((rec.ranks, o.result));
+                stats.push((rec.ranks, o.stats));
+                queueing.push((rec.ranks, o.queueing));
+            }
+        }
+    }
+    ScenarioResult {
+        spec,
+        stat_openat: profile.stat_openat,
+        misses: profile.misses,
+        complete: profile.complete,
+        unresolved: profile.unresolved,
+        error,
+        series,
+        stats,
+        queueing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depchaos_launch::{CachePolicy, MatrixBackend, ServiceDistribution, WrapState};
+    use depchaos_vfs::StorageModel;
+    use depchaos_workloads::Pynamic;
+
+    fn matrix() -> ExperimentMatrix {
+        ExperimentMatrix::new()
+            .workload(Pynamic::new(20))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies(CachePolicy::all())
+            .distributions([
+                ServiceDistribution::Deterministic,
+                ServiceDistribution::log_normal(0.5),
+            ])
+            .replicates(3)
+            .rank_points([256usize, 512])
+    }
+
+    #[test]
+    fn cold_run_matches_direct_run_and_warm_replay_simulates_nothing() {
+        let direct = matrix().run(&ProfileCache::new());
+
+        let store = ResultStore::in_memory();
+        let (cold, cs) =
+            run_matrix_incremental(&matrix(), &store, &ProfileCache::new(), 2).unwrap();
+        assert_eq!(cold.results, direct.results);
+        assert_eq!(cold.rank_points, direct.rank_points);
+        assert_eq!(cs.cold_cells, cs.cells_total);
+        assert_eq!(cs.warm_hits, 0);
+        assert_eq!(cs.cells_total, 8 * 2);
+        assert_eq!(store.len(), cs.cells_total);
+
+        // Warm replay: fresh profile cache proves nothing re-profiles or
+        // re-simulates — every answer comes off the store.
+        let warm_profiles = ProfileCache::new();
+        let (warm, ws) = run_matrix_incremental(&matrix(), &store, &warm_profiles, 2).unwrap();
+        assert_eq!(warm.results, direct.results);
+        assert_eq!(ws.cold_cells, 0);
+        assert_eq!(ws.warm_hits, ws.cells_total);
+        assert_eq!(ws.shards, 0);
+        assert_eq!(ws.cells_profiled, 0);
+        assert_eq!(warm_profiles.computed(), 0);
+        assert!((ws.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_warmth_runs_exactly_the_missing_cells() {
+        let store = ResultStore::in_memory();
+        run_matrix_incremental(&matrix(), &store, &ProfileCache::new(), 1).unwrap();
+
+        // Grow the matrix by one rank point: only the new column is cold.
+        let grown = matrix().rank_points([1024usize]);
+        let (report, stats) =
+            run_matrix_incremental(&grown, &store, &ProfileCache::new(), 4).unwrap();
+        assert_eq!(stats.cells_total, 8 * 3);
+        assert_eq!(stats.cold_cells, 8);
+        assert_eq!(stats.warm_hits, 16);
+        assert_eq!(stats.shards, 8, "every scenario misses exactly its new point");
+
+        // And the merged report equals a cold run of the grown matrix.
+        let direct = grown.run(&ProfileCache::new());
+        assert_eq!(report.results, direct.results);
+    }
+
+    #[test]
+    fn editing_one_axis_invalidates_exactly_the_affected_cells() {
+        let store = ResultStore::in_memory();
+        let (_, cold) = run_matrix_incremental(&matrix(), &store, &ProfileCache::new(), 1).unwrap();
+        assert_eq!(cold.cold_cells, 16);
+
+        // A new distribution value re-keys only the cells that carry it:
+        // the deterministic half of the matrix stays warm.
+        let edited = ExperimentMatrix::new()
+            .workload(Pynamic::new(20))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies(CachePolicy::all())
+            .distributions([
+                ServiceDistribution::Deterministic,
+                ServiceDistribution::log_normal(0.75),
+            ])
+            .replicates(3)
+            .rank_points([256usize, 512]);
+        let (_, stats) = run_matrix_incremental(&edited, &store, &ProfileCache::new(), 1).unwrap();
+        assert_eq!(stats.warm_hits, 8, "deterministic cells untouched");
+        assert_eq!(stats.cold_cells, 8, "exactly the lognormal cells re-ran");
+    }
+
+    #[test]
+    fn error_cells_are_stored_and_served_warm() {
+        use depchaos_core::LoaderBackend;
+        // The future loader cannot resolve or wrap the stock pynamic world;
+        // the cells are errors, and errors are results too.
+        let m = ExperimentMatrix::new()
+            .workload(Pynamic::new(10))
+            .backend(MatrixBackend::Stock(LoaderBackend::future()))
+            .rank_points([256usize]);
+        let store = ResultStore::in_memory();
+        let (cold, _) = run_matrix_incremental(&m, &store, &ProfileCache::new(), 1).unwrap();
+        let warm_profiles = ProfileCache::new();
+        let (warm, ws) = run_matrix_incremental(&m, &store, &warm_profiles, 1).unwrap();
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(ws.cold_cells, 0);
+        assert_eq!(warm_profiles.computed(), 0, "error cells answer without re-profiling");
+        let wrapped = warm.find(|s| s.wrap == WrapState::Wrapped).pop().unwrap();
+        assert!(wrapped.error.is_some());
+    }
+}

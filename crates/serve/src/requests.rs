@@ -1,0 +1,481 @@
+//! The batched front door: what-if requests in, answers out.
+//!
+//! A batch is JSONL — one request per line:
+//!
+//! ```json
+//! {"id":"q1","base":"pynamic-200"}
+//! {"id":"q2","base":"pynamic-200","wrap":"wrapped","cache":"broadcast"}
+//! {"id":"q3","base":"axom-7","dist":"lognormal-500","ranks":[512,4096],"servers":4}
+//! ```
+//!
+//! `id` and `base` are mandatory; everything else is a **delta** against
+//! the named base scenario, which defaults to the paper cell: glibc
+//! backend, NFS storage, plain binary, cold caches, deterministic server,
+//! ranks 512/1024/2048, [`DEFAULT_REPLICATES`] replicates. Recognised base
+//! workloads: `pynamic-N`, `pynamic-rpath-N`, `axom-SEED`, `rocm-4.5`,
+//! `rocm-mixed`, `emacs`. Axis deltas take the exact names the reports
+//! print (`wrap`, `cache`, `backend`, `storage`, `dist`); `ranks` replaces
+//! the rank-point list; `replicates` and `seed` override the sweep
+//! parameters; `servers: N` models a metadata service scaled to N backend
+//! servers as a perfect division of the per-op service time
+//! (`meta_service_ns / N` — an optimistic lower bound, no coordination
+//! cost).
+//!
+//! Each answer is one JSONL line per `(query, rank point)` carrying only
+//! simulator-deterministic integers (or the cell's error string), so a
+//! warm replay of the same batch must produce a **byte-identical** answer
+//! file — CI asserts exactly that. Hit/miss/latency accounting goes to a
+//! separate stats document ([`BatchReport::stats_json`]), which is where
+//! the nondeterministic numbers (wall-clock) live.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use depchaos_launch::{
+    CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend, ProfileCache, ServiceDistribution,
+    WrapState, DEFAULT_REPLICATES,
+};
+use depchaos_vfs::StorageModel;
+use depchaos_workloads::{Axom, Emacs, Pynamic, PynamicRpath, Rocm, Workload};
+
+use crate::codec::{esc, str_field, u64_field};
+use crate::exec::{run_matrix_incremental, ExecStats};
+use crate::store::ResultStore;
+
+/// One parsed what-if query: a named base scenario plus axis deltas.
+#[derive(Debug, Clone)]
+pub struct WhatIfRequest {
+    pub id: String,
+    /// The base workload name (`pynamic-N`, `axom-SEED`, …).
+    pub base: String,
+    pub backend: MatrixBackend,
+    pub storage: StorageModel,
+    pub wrap: WrapState,
+    pub cache: CachePolicy,
+    pub dist: ServiceDistribution,
+    pub ranks: Vec<usize>,
+    /// Metadata servers backing the service (perfect-scaling model).
+    pub servers: u64,
+    pub replicates: usize,
+    /// Experiment seed override, when given.
+    pub seed: Option<u64>,
+}
+
+/// Parse a `[usize, ...]` array following `"key":`.
+fn usize_list_field(line: &str, key: &str) -> Option<Vec<usize>> {
+    let at = line.find(&format!("\"{key}\":"))?;
+    let rest = line[at + key.len() + 3..].trim_start().strip_prefix('[')?;
+    let inner = &rest[..rest.find(']')?];
+    if inner.trim().is_empty() {
+        return None;
+    }
+    inner.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+/// Resolve a base-workload name to a workload instance.
+fn resolve_workload(name: &str) -> Result<Arc<dyn Workload>, String> {
+    let libs = |n: &str| -> Result<usize, String> {
+        let n: usize = n.parse().map_err(|_| format!("bad library count in {name:?}"))?;
+        if n == 0 || n > 5000 {
+            return Err(format!("library count out of range in {name:?} (1..=5000)"));
+        }
+        Ok(n)
+    };
+    if let Some(n) = name.strip_prefix("pynamic-rpath-") {
+        return Ok(Arc::new(PynamicRpath::new(libs(n)?)));
+    }
+    if let Some(n) = name.strip_prefix("pynamic-") {
+        return Ok(Arc::new(Pynamic::new(libs(n)?)));
+    }
+    if let Some(seed) = name.strip_prefix("axom-") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed in {name:?}"))?;
+        return Ok(Arc::new(Axom::new(seed)));
+    }
+    match name {
+        "emacs" => Ok(Arc::new(Emacs)),
+        "rocm-4.5" => Ok(Arc::new(Rocm::matched())),
+        "rocm-mixed" => Ok(Arc::new(Rocm::mixed())),
+        _ => Err(format!(
+            "unknown base workload {name:?} \
+             (try pynamic-N, pynamic-rpath-N, axom-SEED, rocm-4.5, rocm-mixed, emacs)"
+        )),
+    }
+}
+
+impl WhatIfRequest {
+    /// Parse one request line. Errors name the offending field.
+    pub fn parse(line: &str) -> Result<WhatIfRequest, String> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err("request is not a JSON object".to_string());
+        }
+        let has = |key: &str| line.contains(&format!("\"{key}\":"));
+        let id = str_field(line, "id").ok_or("missing field \"id\"")?;
+        let base = str_field(line, "base").ok_or("missing field \"base\"")?;
+        resolve_workload(&base)?;
+        let axis = |key: &str| -> Result<Option<String>, String> {
+            if !has(key) {
+                return Ok(None);
+            }
+            str_field(line, key).map(Some).ok_or_else(|| format!("malformed field {key:?}"))
+        };
+        let backend = match axis("backend")? {
+            Some(s) => MatrixBackend::parse(&s).ok_or(format!("unknown backend {s:?}"))?,
+            None => MatrixBackend::glibc(),
+        };
+        let storage = match axis("storage")? {
+            Some(s) => StorageModel::parse(&s).ok_or(format!("unknown storage model {s:?}"))?,
+            None => StorageModel::Nfs,
+        };
+        let wrap = match axis("wrap")? {
+            Some(s) => WrapState::parse(&s).ok_or(format!("unknown wrap state {s:?}"))?,
+            None => WrapState::Plain,
+        };
+        let cache = match axis("cache")? {
+            Some(s) => CachePolicy::parse(&s).ok_or(format!("unknown cache policy {s:?}"))?,
+            None => CachePolicy::Cold,
+        };
+        let dist = match axis("dist")? {
+            Some(s) => {
+                ServiceDistribution::parse(&s).ok_or(format!("unknown distribution {s:?}"))?
+            }
+            None => ServiceDistribution::Deterministic,
+        };
+        let ranks = if has("ranks") {
+            usize_list_field(line, "ranks").ok_or("malformed field \"ranks\"")?
+        } else {
+            vec![512, 1024, 2048]
+        };
+        let servers = if has("servers") {
+            match u64_field(line, "servers") {
+                Some(n) if n >= 1 => n,
+                _ => return Err("field \"servers\" must be an integer ≥ 1".to_string()),
+            }
+        } else {
+            1
+        };
+        let replicates = if has("replicates") {
+            u64_field(line, "replicates").ok_or("malformed field \"replicates\"")? as usize
+        } else {
+            DEFAULT_REPLICATES
+        };
+        let seed = if has("seed") {
+            Some(u64_field(line, "seed").ok_or("malformed field \"seed\"")?)
+        } else {
+            None
+        };
+        Ok(WhatIfRequest {
+            id,
+            base,
+            backend,
+            storage,
+            wrap,
+            cache,
+            dist,
+            ranks,
+            servers,
+            replicates,
+            seed,
+        })
+    }
+
+    /// The single-scenario matrix this query describes.
+    pub fn matrix(&self) -> Result<ExperimentMatrix, String> {
+        let workload = resolve_workload(&self.base)?;
+        let mut base = LaunchConfig::default();
+        if let Some(seed) = self.seed {
+            base.seed = seed;
+        }
+        // Perfect scaling across metadata servers: N servers divide the
+        // per-op service time, coordination-free. An optimistic what-if.
+        base.meta_service_ns = (base.meta_service_ns / self.servers).max(1);
+        Ok(ExperimentMatrix::new()
+            .workload_arc(workload)
+            .backend(self.backend.clone())
+            .storage(self.storage)
+            .wrap_states([self.wrap])
+            .cache_policies([self.cache])
+            .distribution(self.dist)
+            .rank_points(self.ranks.iter().copied())
+            .replicates(self.replicates)
+            .base_config(base))
+    }
+}
+
+/// One served query: its deterministic answer lines plus the accounting.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub id: String,
+    /// JSONL answer lines (one per rank point; one error line for error
+    /// cells or unparseable requests).
+    pub answers: Vec<String>,
+    pub stats: ExecStats,
+    pub elapsed_us: u128,
+    pub parse_error: Option<String>,
+}
+
+/// A served batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    pub queries: Vec<QueryOutcome>,
+}
+
+impl BatchReport {
+    /// Every answer line, in batch order — simulator-deterministic, so a
+    /// warm replay emits identical bytes.
+    pub fn answers_jsonl(&self) -> String {
+        let mut out = String::new();
+        for q in &self.queries {
+            for line in &q.answers {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Did any request fail to parse? (Simulated error *cells* are data,
+    /// not failures.)
+    pub fn had_errors(&self) -> bool {
+        self.queries.iter().any(|q| q.parse_error.is_some())
+    }
+
+    /// The batch accounting as one JSON document: totals (including the
+    /// `total_cold_cells` / `hit_rate` fields the CI smoke greps), the
+    /// per-query counters, and the store's load stats.
+    pub fn stats_json(&self, store: &ResultStore) -> String {
+        let cells: usize = self.queries.iter().map(|q| q.stats.cells_total).sum();
+        let warm: usize = self.queries.iter().map(|q| q.stats.warm_hits).sum();
+        let cold: usize = self.queries.iter().map(|q| q.stats.cold_cells).sum();
+        let parse_errors = self.queries.iter().filter(|q| q.parse_error.is_some()).count();
+        let elapsed: u128 = self.queries.iter().map(|q| q.elapsed_us).sum();
+        let hit_rate = if cells == 0 { 1.0 } else { warm as f64 / cells as f64 };
+        let mut s = format!(
+            "{{\"queries\":{},\"cells\":{cells},\"total_warm_hits\":{warm},\
+             \"total_cold_cells\":{cold},\"hit_rate\":{hit_rate:.3},\
+             \"parse_errors\":{parse_errors},\"elapsed_us\":{elapsed},\n \"per_query\":[",
+            self.queries.len(),
+        );
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n  {{\"id\":\"{}\",\"cells\":{},\"warm_hits\":{},\"cold_cells\":{},\
+                 \"elapsed_us\":{}}}",
+                esc(&q.id),
+                q.stats.cells_total,
+                q.stats.warm_hits,
+                q.stats.cold_cells,
+                q.elapsed_us,
+            ));
+        }
+        let ls = store.load_stats();
+        s.push_str(&format!(
+            "],\n \"store\":{{\"records\":{},\"loaded\":{},\"corrupt_skipped\":{},\
+             \"epoch_evicted\":{},\"duplicates\":{}}}}}\n",
+            store.len(),
+            ls.loaded,
+            ls.corrupt_skipped,
+            ls.epoch_evicted,
+            ls.duplicates,
+        ));
+        s
+    }
+}
+
+/// Serve one batch of JSONL requests against a store. Queries run in batch
+/// order (each one fans its cold shards over `jobs` workers); a request
+/// that fails to parse becomes an error answer and marks the batch (exit
+/// code 1 at the CLI), without stopping later queries. I/O errors from the
+/// store are real errors.
+pub fn serve_batch(
+    input: &str,
+    store: &ResultStore,
+    profiles: &ProfileCache,
+    jobs: usize,
+) -> std::io::Result<BatchReport> {
+    let mut report = BatchReport::default();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let parsed = WhatIfRequest::parse(line).and_then(|r| r.matrix().map(|m| (r, m)));
+        let (req, matrix) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                let id = str_field(line, "id").unwrap_or_else(|| format!("line-{}", lineno + 1));
+                report.queries.push(QueryOutcome {
+                    answers: vec![format!("{{\"id\":\"{}\",\"error\":\"{}\"}}", esc(&id), esc(&e))],
+                    id,
+                    stats: ExecStats::default(),
+                    elapsed_us: started.elapsed().as_micros(),
+                    parse_error: Some(e),
+                });
+                continue;
+            }
+        };
+        let (sweep, stats) = run_matrix_incremental(&matrix, store, profiles, jobs)?;
+        let mut answers = Vec::new();
+        for r in &sweep.results {
+            let label = r.spec.label();
+            if let Some(e) = &r.error {
+                answers.push(format!(
+                    "{{\"id\":\"{}\",\"label\":\"{}\",\"error\":\"{}\"}}",
+                    esc(&req.id),
+                    esc(&label),
+                    esc(e)
+                ));
+                continue;
+            }
+            for &ranks in &sweep.rank_points {
+                let (Some(l), Some(st), Some(q)) =
+                    (r.result_at(ranks), r.stats_at(ranks), r.queueing_at(ranks))
+                else {
+                    continue;
+                };
+                answers.push(format!(
+                    "{{\"id\":\"{}\",\"label\":\"{}\",\"ranks\":{ranks},\"launch_ns\":{},\
+                     \"nodes\":{},\"server_ops\":{},\"local_ops\":{},\"peak_queue\":{},\
+                     \"replicates\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
+                     \"p99_ns\":{},\"q_within\":{}}}",
+                    esc(&req.id),
+                    esc(&label),
+                    l.time_to_launch_ns,
+                    l.nodes,
+                    l.server_ops,
+                    l.local_ops,
+                    l.peak_queue_depth,
+                    st.replicates,
+                    st.mean_ns,
+                    st.p50_ns,
+                    st.p95_ns,
+                    st.p99_ns,
+                    q.within,
+                ));
+            }
+        }
+        report.queries.push(QueryOutcome {
+            id: req.id,
+            answers,
+            stats,
+            elapsed_us: started.elapsed().as_micros(),
+            parse_error: None,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults_and_deltas() {
+        let q = WhatIfRequest::parse(r#"{"id":"q1","base":"pynamic-20"}"#).unwrap();
+        assert_eq!(q.id, "q1");
+        assert_eq!(q.ranks, vec![512, 1024, 2048]);
+        assert_eq!(q.wrap, WrapState::Plain);
+        assert_eq!(q.servers, 1);
+        assert_eq!(q.replicates, DEFAULT_REPLICATES);
+
+        let q = WhatIfRequest::parse(
+            r#"{"id":"q2","base":"pynamic-20","wrap":"wrapped","cache":"broadcast",
+               "dist":"lognormal-500","backend":"musl","storage":"local",
+               "ranks":[256, 512],"servers":4,"replicates":3,"seed":9}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        assert_eq!(q.wrap, WrapState::Wrapped);
+        assert_eq!(q.cache, CachePolicy::Broadcast);
+        assert_eq!(q.dist, ServiceDistribution::log_normal(0.5));
+        assert_eq!(q.backend.name(), "musl");
+        assert_eq!(q.storage, StorageModel::Local);
+        assert_eq!(q.ranks, vec![256, 512]);
+        assert_eq!(q.servers, 4);
+        assert_eq!(q.replicates, 3);
+        assert_eq!(q.seed, Some(9));
+    }
+
+    #[test]
+    fn bad_fields_name_themselves() {
+        for (line, needle) in [
+            (r#"{"base":"pynamic-20"}"#, "\"id\""),
+            (r#"{"id":"q"}"#, "\"base\""),
+            (r#"{"id":"q","base":"frobnicator"}"#, "unknown base workload"),
+            (r#"{"id":"q","base":"pynamic-0"}"#, "out of range"),
+            (r#"{"id":"q","base":"pynamic-20","wrap":"sideways"}"#, "unknown wrap state"),
+            (r#"{"id":"q","base":"pynamic-20","dist":"cauchy"}"#, "unknown distribution"),
+            (r#"{"id":"q","base":"pynamic-20","servers":0}"#, "\"servers\""),
+            (r#"{"id":"q","base":"pynamic-20","ranks":[a]}"#, "\"ranks\""),
+            ("not json", "not a JSON object"),
+        ] {
+            let err = WhatIfRequest::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn batch_serves_cold_then_byte_identical_warm() {
+        let batch = concat!(
+            r#"{"id":"base","base":"pynamic-20","ranks":[256,512]}"#,
+            "\n",
+            r#"{"id":"wrapped","base":"pynamic-20","wrap":"wrapped","ranks":[256,512]}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let cold = serve_batch(batch, &store, &ProfileCache::new(), 2).unwrap();
+        assert!(!cold.had_errors());
+        assert_eq!(cold.queries.len(), 2);
+        assert_eq!(cold.queries[0].stats.cold_cells, 2);
+        assert_eq!(cold.answers_jsonl().lines().count(), 4);
+
+        let warm = serve_batch(batch, &store, &ProfileCache::new(), 2).unwrap();
+        assert_eq!(warm.answers_jsonl(), cold.answers_jsonl(), "warm replay is byte-identical");
+        for q in &warm.queries {
+            assert_eq!(q.stats.cold_cells, 0);
+            assert_eq!(q.stats.warm_hits, 2);
+        }
+        let stats = warm.stats_json(&store);
+        assert!(stats.contains("\"total_cold_cells\":0"), "{stats}");
+        assert!(stats.contains("\"hit_rate\":1.000"), "{stats}");
+    }
+
+    #[test]
+    fn server_scaling_and_wrapping_shrink_the_answer() {
+        let batch = concat!(
+            r#"{"id":"slow","base":"pynamic-20","ranks":[512]}"#,
+            "\n",
+            r#"{"id":"fast","base":"pynamic-20","ranks":[512],"servers":8}"#,
+            "\n",
+            r#"{"id":"wrapped","base":"pynamic-20","ranks":[512],"wrap":"wrapped"}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let report = serve_batch(batch, &store, &ProfileCache::new(), 1).unwrap();
+        let launch_ns = |q: &QueryOutcome| {
+            u64_field(&q.answers[0], "launch_ns").expect("answer carries launch_ns")
+        };
+        let slow = launch_ns(&report.queries[0]);
+        assert!(launch_ns(&report.queries[1]) < slow, "8 servers beat 1");
+        assert!(launch_ns(&report.queries[2]) < slow, "shrinkwrap beats plain");
+    }
+
+    #[test]
+    fn malformed_requests_answer_with_errors_and_mark_the_batch() {
+        let batch = concat!(
+            r#"{"id":"ok","base":"pynamic-20","ranks":[256]}"#,
+            "\n",
+            r#"{"id":"bad","base":"warp-drive"}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let report = serve_batch(batch, &store, &ProfileCache::new(), 1).unwrap();
+        assert!(report.had_errors());
+        assert_eq!(report.queries.len(), 2);
+        assert!(report.queries[1].answers[0].contains("unknown base workload"));
+        assert!(report.stats_json(&store).contains("\"parse_errors\":1"));
+    }
+}

@@ -1,0 +1,314 @@
+//! The persistent, content-addressed result store.
+//!
+//! A [`ResultStore`] is an in-memory index over [`CellRecord`]s, optionally
+//! backed by an append-only `store.jsonl` under a target directory:
+//!
+//! * **Load** reads the log line by line. Records that fail to decode
+//!   (torn final write, bit rot) are skipped and counted; records written
+//!   under a different [`ENGINE_EPOCH`](crate::key::ENGINE_EPOCH) are
+//!   evicted and counted; duplicate keys resolve last-write-wins (the log
+//!   is append-only, so the latest append is the latest truth). Loading
+//!   never panics on store contents.
+//! * **Append** writes one line per record and flushes — a crash tears at
+//!   most the final line, which the next load skips.
+//! * **Compact** rewrites the log from the live index (dropping duplicate,
+//!   corrupt, and wrong-epoch bytes) into a temporary file and atomically
+//!   renames it over the old log, sorted by (label, ranks) so compacted
+//!   stores diff cleanly.
+//!
+//! Invalidation is mostly implicit — the key hashes every semantic input,
+//! so an edited axis simply stops matching — but [`ResultStore::invalidate_where`]
+//! exists for explicit eviction ("drop everything touching this workload")
+//! without recomputing keys.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::codec::CellRecord;
+use crate::key::{ScenarioKey, ENGINE_EPOCH};
+
+/// What loading an on-disk log found — surfaced in store stats and the CI
+/// artifact so corruption is visible, not silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Live records in the index after the load.
+    pub loaded: usize,
+    /// Lines that failed to decode and were skipped.
+    pub corrupt_skipped: usize,
+    /// Records evicted because their epoch is not [`ENGINE_EPOCH`].
+    pub epoch_evicted: usize,
+    /// Re-appended keys resolved last-write-wins.
+    pub duplicates: usize,
+}
+
+struct Inner {
+    index: HashMap<ScenarioKey, CellRecord>,
+    /// Open append handle, lazily created on first write.
+    writer: Option<File>,
+}
+
+/// The content-addressed result store. Cheap to share by reference across
+/// executor threads — all state is behind one mutex, and the hot path
+/// (warm lookup) is a hash probe plus a record clone.
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    inner: Mutex<Inner>,
+    load_stats: LoadStats,
+}
+
+impl ResultStore {
+    /// A store with no disk backing — same semantics, process lifetime.
+    /// (The report CLI uses this when `--store` is absent so the warm/cold
+    /// machinery is one code path.)
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            path: None,
+            inner: Mutex::new(Inner { index: HashMap::new(), writer: None }),
+            load_stats: LoadStats::default(),
+        }
+    }
+
+    /// Open (creating if needed) the store under `dir`. The log lives at
+    /// `dir/store.jsonl`. Corrupt lines and wrong-epoch records are
+    /// counted in [`ResultStore::load_stats`], never fatal.
+    pub fn open(dir: &Path) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("store.jsonl");
+        let mut index = HashMap::new();
+        let mut stats = LoadStats::default();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match CellRecord::decode(&line) {
+                    Ok(rec) if rec.epoch == ENGINE_EPOCH => {
+                        if index.insert(rec.key, rec).is_some() {
+                            stats.duplicates += 1;
+                        }
+                    }
+                    Ok(_) => stats.epoch_evicted += 1,
+                    Err(_) => stats.corrupt_skipped += 1,
+                }
+            }
+        }
+        stats.loaded = index.len();
+        Ok(ResultStore {
+            path: Some(path),
+            inner: Mutex::new(Inner { index, writer: None }),
+            load_stats: stats,
+        })
+    }
+
+    /// What the on-disk load found (all zeros for in-memory stores).
+    pub fn load_stats(&self) -> LoadStats {
+        self.load_stats
+    }
+
+    /// Live record count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The record at `key`, if stored.
+    pub fn get(&self, key: ScenarioKey) -> Option<CellRecord> {
+        self.inner.lock().index.get(&key).cloned()
+    }
+
+    pub fn contains(&self, key: ScenarioKey) -> bool {
+        self.inner.lock().index.contains_key(&key)
+    }
+
+    /// Insert a record: index immediately, append to the log (when disk-
+    /// backed) and flush. A re-inserted key overwrites — last write wins in
+    /// memory exactly as it does on reload.
+    pub fn put(&self, rec: CellRecord) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(path) = &self.path {
+            if inner.writer.is_none() {
+                inner.writer = Some(OpenOptions::new().create(true).append(true).open(path)?);
+            }
+            let w = inner.writer.as_mut().expect("writer just ensured");
+            w.write_all(rec.encode().as_bytes())?;
+            w.write_all(b"\n")?;
+            w.flush()?;
+        }
+        inner.index.insert(rec.key, rec);
+        Ok(())
+    }
+
+    /// Drop every record matching `pred`; returns how many were evicted.
+    /// The disk log still holds the bytes until the next [`ResultStore::compact`],
+    /// but reloads go through the index semantics only after compaction —
+    /// call it when eviction must persist.
+    pub fn invalidate_where(&self, pred: impl Fn(&CellRecord) -> bool) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.index.len();
+        inner.index.retain(|_, rec| !pred(rec));
+        before - inner.index.len()
+    }
+
+    /// Rewrite the log from the live index (temp file + atomic rename),
+    /// shedding duplicate, corrupt, wrong-epoch, and invalidated bytes.
+    /// Returns the number of live records written. No-op in memory.
+    pub fn compact(&self) -> std::io::Result<usize> {
+        let mut inner = self.inner.lock();
+        let Some(path) = &self.path else {
+            return Ok(inner.index.len());
+        };
+        let mut records: Vec<&CellRecord> = inner.index.values().collect();
+        records.sort_by(|a, b| (&a.label, a.ranks).cmp(&(&b.label, b.ranks)));
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut w = std::io::BufWriter::new(File::create(&tmp)?);
+            for rec in &records {
+                w.write_all(rec.encode().as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+        }
+        let written = records.len();
+        // Drop the stale append handle before replacing the file it points
+        // at — later appends must reopen the compacted log.
+        inner.writer = None;
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::ProfileSummary;
+
+    fn rec(key: u128, label: &str, ranks: usize, stat_openat: usize) -> CellRecord {
+        CellRecord {
+            key: ScenarioKey(key),
+            epoch: ENGINE_EPOCH,
+            label: label.to_string(),
+            ranks,
+            profile: ProfileSummary { stat_openat, misses: 0, complete: true, unresolved: 0 },
+            error: None,
+            outcome: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("depchaos-serve-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_put_get() {
+        let store = ResultStore::in_memory();
+        assert!(store.is_empty());
+        store.put(rec(1, "a/b", 512, 10)).unwrap();
+        assert_eq!(store.get(ScenarioKey(1)).unwrap().profile.stat_openat, 10);
+        assert!(!store.contains(ScenarioKey(2)));
+        // Last write wins in memory too.
+        store.put(rec(1, "a/b", 512, 99)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(ScenarioKey(1)).unwrap().profile.stat_openat, 99);
+    }
+
+    #[test]
+    fn disk_round_trip_and_reload() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(7, "x/y", 512, 3)).unwrap();
+            store.put(rec(8, "x/y", 1024, 4)).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.load_stats(), LoadStats { loaded: 2, ..LoadStats::default() });
+        assert_eq!(store.get(ScenarioKey(8)).unwrap().ranks, 1024);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_last_write_wins_on_reload() {
+        let dir = temp_dir("dups");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(7, "x/y", 512, 3)).unwrap();
+            store.put(rec(7, "x/y", 512, 42)).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.load_stats().duplicates, 1);
+        assert_eq!(store.get(ScenarioKey(7)).unwrap().profile.stat_openat, 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_record_is_skipped_and_counted() {
+        let dir = temp_dir("trunc");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(1, "a", 512, 1)).unwrap();
+            store.put(rec(2, "b", 512, 2)).unwrap();
+        }
+        // Tear the tail of the log, as a mid-append crash would.
+        let path = dir.join("store.jsonl");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.load_stats().corrupt_skipped, 1);
+        assert!(store.contains(ScenarioKey(1)));
+        assert!(!store.contains(ScenarioKey(2)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_mismatch_evicts_on_load() {
+        let dir = temp_dir("epoch");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(1, "a", 512, 1)).unwrap();
+            store.put(CellRecord { epoch: ENGINE_EPOCH + 1, ..rec(2, "b", 512, 2) }).unwrap();
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.load_stats().epoch_evicted, 1);
+        assert!(!store.contains(ScenarioKey(2)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_bytes_and_appends_still_work() {
+        let dir = temp_dir("compact");
+        let path = dir.join("store.jsonl");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(1, "a", 512, 1)).unwrap();
+            store.put(rec(1, "a", 512, 2)).unwrap(); // duplicate
+            store.put(rec(3, "c", 512, 3)).unwrap();
+            assert_eq!(store.invalidate_where(|r| r.label == "c"), 1);
+            assert_eq!(store.compact().unwrap(), 1);
+            // Append after compaction reopens the new log.
+            store.put(rec(4, "d", 512, 4)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.load_stats().duplicates, 0);
+        assert_eq!(store.get(ScenarioKey(1)).unwrap().profile.stat_openat, 2);
+        assert!(store.contains(ScenarioKey(4)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property: two store cells share a [`ScenarioKey`] **iff** they share a
+//! semantic identity — the content-addressing contract the whole serve
+//! layer rests on. Equality of identities must give equal keys (or warm
+//! hits would randomly miss), and distinct identities must give distinct
+//! keys (or the store would serve the wrong cell's result).
+
+use depchaos_launch::{CachePolicy, LaunchConfig, ScenarioSpec, ServiceDistribution, WrapState};
+use depchaos_serve::{CellIdentity, ScenarioKey};
+use depchaos_vfs::StorageModel;
+use proptest::prelude::*;
+
+/// An owned cell identity, derived deterministically from one u64 so the
+/// strategy stays a plain integer range.
+#[derive(Debug, Clone)]
+struct Ident {
+    spec: ScenarioSpec,
+    ranks: usize,
+    replicates: usize,
+    base: LaunchConfig,
+}
+
+impl Ident {
+    fn from_seed(seed: u64) -> Ident {
+        // Small per-axis spaces on purpose: coincidentally equal draws
+        // exercise the "equal identities ⇒ equal keys" direction too.
+        let mut s = seed;
+        let mut pick = |n: u64| {
+            s = s.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678);
+            let z = (s ^ (s >> 31)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (z ^ (z >> 29)) % n
+        };
+        let spec = ScenarioSpec {
+            workload: ["pynamic-20", "axom-7", "emacs"][pick(3) as usize].to_string(),
+            backend: ["glibc", "musl", "hash-store"][pick(3) as usize].to_string(),
+            storage: [StorageModel::Nfs, StorageModel::Local][pick(2) as usize],
+            wrap: [WrapState::Plain, WrapState::Wrapped][pick(2) as usize],
+            cache: [CachePolicy::Cold, CachePolicy::Broadcast][pick(2) as usize],
+            dist: [
+                ServiceDistribution::Deterministic,
+                ServiceDistribution::UniformJitter { spread_milli: 250 },
+                ServiceDistribution::LogNormal { sigma_milli: 500 },
+                ServiceDistribution::LogNormal { sigma_milli: 501 },
+            ][pick(4) as usize],
+        };
+        let defaults = LaunchConfig::default();
+        let base = LaunchConfig {
+            seed: 1 + pick(2),
+            rtt_ns: defaults.rtt_ns + pick(2),
+            meta_service_ns: defaults.meta_service_ns + pick(2),
+            ..defaults
+        };
+        Ident {
+            spec,
+            ranks: [256, 512][pick(2) as usize],
+            replicates: [1, 2, 11][pick(3) as usize],
+            base,
+        }
+    }
+
+    fn key(&self) -> ScenarioKey {
+        CellIdentity {
+            spec: &self.spec,
+            ranks: self.ranks,
+            replicates: self.replicates,
+            base: &self.base,
+        }
+        .key()
+    }
+
+    /// The semantic identity the key must encode exactly: the spec, the
+    /// rank point, the *effective* replicate count (deterministic cells
+    /// run once regardless of the request), and the seed + calibration
+    /// fields of the base config.
+    #[allow(clippy::type_complexity)]
+    fn semantic(&self) -> (ScenarioSpec, usize, usize, u64, usize, u64, u64, u64, u64, u64) {
+        let eff = if self.spec.dist.is_deterministic() { 1 } else { self.replicates.max(1) };
+        (
+            self.spec.clone(),
+            self.ranks,
+            eff,
+            self.base.seed,
+            self.base.ranks_per_node,
+            self.base.rtt_ns,
+            self.base.meta_service_ns,
+            self.base.warm_ns,
+            self.base.base_overhead_ns,
+            self.base.per_rank_overhead_ns,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// key(a) == key(b)  ⟺  semantic(a) == semantic(b).
+    #[test]
+    fn key_equality_iff_identity_equality(a in 0u64..1 << 48, b in 0u64..1 << 48, copy in any::<bool>()) {
+        let ia = Ident::from_seed(a);
+        // Half the cases compare an identity against its own copy, so the
+        // "equal ⇒ equal" direction is exercised every run, not only on
+        // coincidental draws.
+        let ib = if copy { ia.clone() } else { Ident::from_seed(b) };
+        prop_assert_eq!(ia.semantic() == ib.semantic(), ia.key() == ib.key(),
+            "a={:?} b={:?}", ia, ib);
+    }
+
+    /// The hex spelling on disk is lossless for every key.
+    #[test]
+    fn key_hex_round_trips(a in 0u64..1 << 48) {
+        let k = Ident::from_seed(a).key();
+        prop_assert_eq!(ScenarioKey::from_hex(&k.hex()), Some(k));
+    }
+}

@@ -122,6 +122,12 @@ impl StorageModel {
         }
     }
 
+    /// Inverse of [`StorageModel::name`] — report and serve front ends
+    /// parse the storage axis by the exact names the sweeps print.
+    pub fn parse(s: &str) -> Option<StorageModel> {
+        StorageModel::all().into_iter().find(|m| m.name() == s)
+    }
+
     /// The calibrated [`Backend`] this model names.
     pub fn backend(&self) -> Backend {
         match self {

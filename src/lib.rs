@@ -25,7 +25,12 @@
 //!   ([`launch::ExperimentMatrix`]): workload × backend × storage × wrap
 //!   state × cache policy × service distribution (deterministic, jittered,
 //!   or heavy-tailed metadata server — seeded, replicated, reported as
-//!   p50/p99 bands), with memoized profiling and per-backend renderers.
+//!   p50/p99 bands), with memoized profiling and per-backend renderers;
+//! * [`serve`] — the persistent, incremental what-if service over that
+//!   matrix: a content-addressed result store (128-bit scenario keys,
+//!   JSONL log, corruption-tolerant load), a sharded executor that
+//!   simulates only store misses yet aggregates reports bit-identical to
+//!   cold runs, and a batched JSONL front door (`depchaos-serve`).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +70,7 @@ pub use depchaos_elf as elf;
 pub use depchaos_graph as graph;
 pub use depchaos_launch as launch;
 pub use depchaos_loader as loader;
+pub use depchaos_serve as serve;
 pub use depchaos_store as store;
 pub use depchaos_vfs as vfs;
 pub use depchaos_workloads as workloads;
@@ -84,6 +90,10 @@ pub mod prelude {
     pub use depchaos_loader::{
         analyze_tree, Environment, FutureLoader, GlibcLoader, HashStoreService, LdCache, Loader,
         MuslLoader, Provenance, Resolution, ServiceLoader,
+    };
+    pub use depchaos_serve::{
+        run_matrix_incremental, serve_batch, CellIdentity, ExecStats, ResultStore, ScenarioKey,
+        WhatIfRequest,
     };
     pub use depchaos_store::{
         build_view, gc, BinDef, BundleInstaller, FhsInstaller, LibDef, Module, ModuleSystem,
