@@ -16,8 +16,10 @@
 //! store (`depchaos-serve`'s content-addressed cache): cells already in
 //! the store are served warm, only misses simulate, fresh results are
 //! appended — rendered tables are bit-identical either way, and the
-//! warm/cold counters print to stderr. `--jobs N` fans cold scenario
-//! shards over N worker threads (default 1).
+//! warm/cold counters print to stderr. `--jobs N` fans cold-cell
+//! profiling over N worker threads (default 1; misses themselves simulate
+//! as one batched planner pass). `--jobs` rejects 0 and values above the
+//! shared cap with the exit-2 usage error.
 //!
 //! Exit codes (uniform across the depchaos CLIs):
 //!
@@ -135,10 +137,10 @@ fn main() {
         match a.as_str() {
             "--tsv" => opts.tsv = Some(value("--tsv")),
             "--store" => opts.store = Some(value("--store")),
-            "--jobs" => match value("--jobs").parse() {
+            "--jobs" => match depchaos_cli::parse_jobs(&value("--jobs")) {
                 Ok(n) => opts.jobs = n,
-                Err(_) => {
-                    eprintln!("--jobs needs an integer");
+                Err(e) => {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 }
             },

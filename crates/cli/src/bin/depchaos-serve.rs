@@ -9,8 +9,11 @@
 //! Reads one what-if request per JSONL line from `--requests` (`-` for
 //! stdin) — see `depchaos_serve::requests` for the format — answers warm
 //! queries straight from the store under `--store` (created on first
-//! use), simulates only the cold cells over `--jobs` worker threads
-//! (default: the machine's parallelism), and appends every fresh result
+//! use), profiles only the cold cells over `--jobs` worker threads
+//! (default: the machine's parallelism; explicit values are validated —
+//! `0` or anything past the shared cap is the exit-2 usage error),
+//! batch-simulates the misses in one planner pass, and appends every
+//! fresh result
 //! to the store. Answers (simulator-deterministic JSONL, byte-identical
 //! across replays) go to `--out` or stdout; the batch/per-query
 //! hit-miss-latency accounting and the store's load stats go to
@@ -59,10 +62,10 @@ fn main() {
             "--requests" => requests = Some(value("--requests")),
             "--out" => out = Some(value("--out")),
             "--stats" => stats_path = Some(value("--stats")),
-            "--jobs" => match value("--jobs").parse() {
+            "--jobs" => match depchaos_cli::parse_jobs(&value("--jobs")) {
                 Ok(n) => jobs = n,
-                Err(_) => {
-                    eprintln!("--jobs needs an integer");
+                Err(e) => {
+                    eprintln!("{e}");
                     usage()
                 }
             },

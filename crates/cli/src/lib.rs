@@ -15,6 +15,29 @@
 
 use depchaos_loader::LoadResult;
 
+/// Upper bound a `--jobs N` request may ask for. Worker threads beyond
+/// this are certainly a typo (`--jobs 100000`), and each one costs a
+/// stack: reject with the usage error instead of silently clamping.
+pub const MAX_JOBS: usize = 1024;
+
+/// Parse and validate a `--jobs N` flag value, shared by
+/// `depchaos-report` and `depchaos-serve`. Rejects non-integers, `0` (a
+/// pool of zero workers cannot make progress — the old behaviour
+/// silently clamped it to 1), and anything above [`MAX_JOBS`]. The `Err`
+/// is the message to print before exiting with the documented usage
+/// code 2.
+pub fn parse_jobs(raw: &str) -> Result<usize, String> {
+    let n: usize =
+        raw.parse().map_err(|_| format!("--jobs needs a positive integer, got {raw:?}"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    if n > MAX_JOBS {
+        return Err(format!("--jobs {n} exceeds the cap of {MAX_JOBS} worker threads"));
+    }
+    Ok(n)
+}
+
 /// Format a load result the way the report binaries print it.
 pub fn format_load(r: &LoadResult) -> String {
     let mut s = String::new();
@@ -38,6 +61,18 @@ mod tests {
     use depchaos_elf::ElfObject;
     use depchaos_loader::GlibcLoader;
     use depchaos_vfs::Vfs;
+
+    #[test]
+    fn parse_jobs_accepts_the_sane_range_only() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("64"), Ok(64));
+        assert_eq!(parse_jobs(&MAX_JOBS.to_string()), Ok(MAX_JOBS));
+        assert!(parse_jobs("0").is_err(), "zero workers is a usage error, not a clamp");
+        assert!(parse_jobs(&(MAX_JOBS + 1).to_string()).is_err());
+        assert!(parse_jobs("-3").is_err());
+        assert!(parse_jobs("two").is_err());
+        assert!(parse_jobs("").is_err());
+    }
 
     #[test]
     fn format_load_mentions_objects_and_counts() {

@@ -131,7 +131,8 @@ const MAX_SERVICE_NS: u64 = 1 << 40;
 /// Apply a drawn factor to a base service time. Rounds toward zero and
 /// clamps to `1..=MAX_SERVICE_NS`: a pathological tail draw can neither
 /// produce a zero-occupancy server op nor overflow the simulation clocks.
-fn scale_service_ns(base_ns: u64, factor: f64) -> u64 {
+/// Crate-visible so [`crate::batch`]'s stochastic rows draw identically.
+pub(crate) fn scale_service_ns(base_ns: u64, factor: f64) -> u64 {
     let scaled = base_ns as f64 * factor;
     if scaled >= MAX_SERVICE_NS as f64 {
         return MAX_SERVICE_NS;
@@ -252,6 +253,12 @@ impl ClassifiedStream {
     pub(crate) fn tail_local(&self) -> u64 {
         self.tail_local_ns
     }
+
+    /// Ops classified client-local on a cold node (the accounting column
+    /// [`crate::batch`] scatters per row).
+    pub(crate) fn n_local(&self) -> u64 {
+        self.n_local
+    }
 }
 
 /// Simulate launching `cfg.ranks` ranks whose per-rank startup op stream is
@@ -337,8 +344,9 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
 /// `draw(node, segment)` supplies the service time — the deterministic
 /// instantiation reads it straight off the segment, the stochastic one
 /// scales it by the node's next factor. Returns `(slowest cold finish,
-/// peak queue depth)`.
-fn heap_schedule(
+/// peak queue depth)`. Crate-visible: [`crate::batch`] runs it per kernel
+/// job for the heap-fallback and stochastic solver classes.
+pub(crate) fn heap_schedule(
     stream: &ClassifiedStream,
     cfg: &LaunchConfig,
     cold_nodes: usize,
@@ -473,20 +481,9 @@ fn all_cold_closed_form(
 ) -> Option<(u64, usize)> {
     let segs = &stream.segments;
     let half_rtt = cfg.rtt_ns / 2;
-    // Gap between finishing server op j and arriving for op j+1, exactly as
-    // the heap accumulates it (half_rtt twice, not rtt once: integer halving
-    // must round the same way).
-    let gap = |j: usize| 2 * half_rtt + segs[j].client_extra_ns + segs[j + 1].pre_local_ns;
 
-    if cold_nodes > 1 {
-        let mut prev_gap = 0u64;
-        for (j, seg) in segs[..segs.len() - 1].iter().enumerate() {
-            let g = gap(j);
-            if seg.service_ns + g <= prev_gap {
-                return None;
-            }
-            prev_gap = g;
-        }
+    if cold_nodes > 1 && !round_major(segs, half_rtt) {
+        return None;
     }
 
     // The envelope: D(i, round) = max over lines of (c + i·slope), for node
@@ -494,53 +491,113 @@ fn all_cold_closed_form(
     // pre_local₀ + rtt/2 and is served back to back. Two buffers swap roles
     // per round, so the whole recursion allocates twice, total.
     let last = (cold_nodes - 1) as u64;
-    let a0 = segs[0].pre_local_ns + half_rtt;
     let mut lines: Vec<(u64, u64)> = Vec::with_capacity(8);
     let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(8);
-    lines.push((a0 + segs[0].service_ns, segs[0].service_ns));
-    for (j, seg) in segs.iter().enumerate().skip(1) {
-        let s = seg.service_ns;
-        let g_prev = gap(j - 1);
-        // Server-paced chain seed: the previous round's last completion —
-        // the server cannot start round j before draining round j-1.
-        let mut chain = lines.iter().map(|&(c, m)| c + last * m).max().expect("nonempty");
-        scratch.clear();
-        for &(c, m) in &lines {
-            if m > s {
-                // Arrival-paced: these nodes arrive slower than the server
-                // serves, so they are served on arrival (+ their service).
-                scratch.push((c + g_prev + s, m));
-            } else {
-                // Arrivals at least as fast as service: the stragglers pile
-                // behind the server-paced chain.
-                chain = chain.max(c + g_prev);
-            }
-        }
-        // The chain line: D = chain + (i+1)·s.
-        scratch.push((chain + s, s));
-        // Prune lines dominated across the whole index range [0, last]: a
-        // line below another at both endpoints is below it everywhere.
-        scratch.sort_unstable();
-        scratch.dedup();
-        lines.clear();
-        for &(c, m) in &scratch {
-            let end = c + last * m;
-            let dominated = scratch.iter().any(|&(c2, m2)| {
-                (c2, m2) != (c, m) && c2 >= c && c2 + last * m2 >= end && (c2 > c || m2 > m)
-            });
-            if !dominated {
-                lines.push((c, m));
-            }
-        }
-        if lines.len() > MAX_ENVELOPE_LINES {
+    lines.push(envelope_seed(segs, half_rtt));
+    for j in 1..segs.len() {
+        if !envelope_round(
+            &mut lines,
+            &mut scratch,
+            segs[j].service_ns,
+            seg_gap(segs, half_rtt, j - 1),
+            last,
+        ) {
             return None;
         }
     }
 
+    Some((envelope_finish(&lines, stream, half_rtt, last), cold_nodes))
+}
+
+/// Gap between finishing server op `j` and arriving for op `j + 1`,
+/// exactly as the heap accumulates it (half_rtt twice, not rtt once:
+/// integer halving must round the same way).
+pub(crate) fn seg_gap(segs: &[ServerSeg], half_rtt: u64, j: usize) -> u64 {
+    2 * half_rtt + segs[j].client_extra_ns + segs[j + 1].pre_local_ns
+}
+
+/// The round-major guard of [`all_cold_closed_form`], node-count
+/// independent for any fleet of two or more cold nodes: every consecutive
+/// segment pair must satisfy `s_k + gap_k > gap_{k-1}`.
+pub(crate) fn round_major(segs: &[ServerSeg], half_rtt: u64) -> bool {
+    let mut prev_gap = 0u64;
+    for (j, seg) in segs[..segs.len() - 1].iter().enumerate() {
+        let g = seg_gap(segs, half_rtt, j);
+        if seg.service_ns + g <= prev_gap {
+            return false;
+        }
+        prev_gap = g;
+    }
+    true
+}
+
+/// Round 0 of the envelope: every node arrives at `a₀ = pre_local₀ +
+/// rtt/2` and is served back to back — the single line `a₀ + (i+1)·s₀`,
+/// i.e. `(a₀ + s₀)` at node 0 with slope `s₀`.
+pub(crate) fn envelope_seed(segs: &[ServerSeg], half_rtt: u64) -> (u64, u64) {
+    let a0 = segs[0].pre_local_ns + half_rtt;
+    (a0 + segs[0].service_ns, segs[0].service_ns)
+}
+
+/// One round of the max-plus envelope recursion: advance `lines` (the
+/// completion envelope of the previous round) across a segment of service
+/// time `s` reached over inter-op gap `g_prev`, for a fleet whose last
+/// node index is `last`. Returns `false` — envelope abandoned — when the
+/// line count exceeds [`MAX_ENVELOPE_LINES`]; the caller falls back to
+/// the heap. Shared verbatim by the per-call closed form and the batch
+/// lockstep in [`crate::batch`], which is what keeps the two bit-identical.
+pub(crate) fn envelope_round(
+    lines: &mut Vec<(u64, u64)>,
+    scratch: &mut Vec<(u64, u64)>,
+    s: u64,
+    g_prev: u64,
+    last: u64,
+) -> bool {
+    // Server-paced chain seed: the previous round's last completion —
+    // the server cannot start round j before draining round j-1.
+    let mut chain = lines.iter().map(|&(c, m)| c + last * m).max().expect("nonempty");
+    scratch.clear();
+    for &(c, m) in lines.iter() {
+        if m > s {
+            // Arrival-paced: these nodes arrive slower than the server
+            // serves, so they are served on arrival (+ their service).
+            scratch.push((c + g_prev + s, m));
+        } else {
+            // Arrivals at least as fast as service: the stragglers pile
+            // behind the server-paced chain.
+            chain = chain.max(c + g_prev);
+        }
+    }
+    // The chain line: D = chain + (i+1)·s.
+    scratch.push((chain + s, s));
+    // Prune lines dominated across the whole index range [0, last]: a
+    // line below another at both endpoints is below it everywhere.
+    scratch.sort_unstable();
+    scratch.dedup();
+    lines.clear();
+    for &(c, m) in scratch.iter() {
+        let end = c + last * m;
+        let dominated = scratch.iter().any(|&(c2, m2)| {
+            (c2, m2) != (c, m) && c2 >= c && c2 + last * m2 >= end && (c2 > c || m2 > m)
+        });
+        if !dominated {
+            lines.push((c, m));
+        }
+    }
+    lines.len() <= MAX_ENVELOPE_LINES
+}
+
+/// Close out the envelope: the slowest node's completion at index `last`
+/// plus the response trip and the stream's tail compute.
+pub(crate) fn envelope_finish(
+    lines: &[(u64, u64)],
+    stream: &ClassifiedStream,
+    half_rtt: u64,
+    last: u64,
+) -> u64 {
+    let segs = &stream.segments;
     let served_last = lines.iter().map(|&(c, m)| c + last * m).max().expect("nonempty");
-    let done_max =
-        served_last + half_rtt + segs[segs.len() - 1].client_extra_ns + stream.tail_local_ns;
-    Some((done_max, cold_nodes))
+    served_last + half_rtt + segs[segs.len() - 1].client_extra_ns + stream.tail_local_ns
 }
 
 pub mod reference {

@@ -30,6 +30,7 @@ use depchaos_loader::LdCache;
 use depchaos_vfs::{StraceLog, Vfs};
 use depchaos_workloads::{SplitMix, Workload};
 
+use crate::batch::BatchPlan;
 use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
 use crate::matrix::{
@@ -37,7 +38,7 @@ use crate::matrix::{
 };
 use crate::profile::profile_load_checked;
 use crate::queueing::{mg1_bounds, validate_against_mg1, QueueingCheck};
-use crate::sweep::{render_fig6, sweep_ranks_replicated, LaunchStats};
+use crate::sweep::{render_fig6, replicate_seed, sweep_ranks_replicated, LaunchStats};
 
 /// The RNG seed one scenario simulates under: a stable FNV-1a digest of the
 /// scenario label, taken through the [`SplitMix::WORKLOAD`] stream domain of
@@ -651,7 +652,10 @@ pub fn run_scenario(
 
 impl ExperimentMatrix {
     /// Run the matrix against a shared profile cache: profile each unique
-    /// cell once, then sweep every scenario's rank points in parallel.
+    /// cell once, then gather every scenario's (rank point × replicate)
+    /// grid into **one** columnar [`BatchPlan`] and simulate the whole
+    /// matrix in a single batched pass — bit-identical to running
+    /// [`run_scenario`] per scenario.
     pub fn run(&self, cache: &ProfileCache) -> SweepReport {
         let scenarios = self.expand();
         let rank_points = self.effective_rank_points();
@@ -675,11 +679,115 @@ impl ExperimentMatrix {
             })
             .sum();
 
-        // Phase 2: fan the DES sweeps out — independent simulations.
-        let results: Vec<ScenarioResult> = scenarios
-            .par_iter()
-            .map(|s| run_scenario(s, &self.base, self.replicates, &rank_points, cache))
+        // Phase 2: per-scenario prep — profile lookup (warm after phase 1),
+        // per-cell config and seed derivation, shared classification. The
+        // Arcs are held here so the plan can borrow every stream at once.
+        struct Prep {
+            spec: ScenarioSpec,
+            cfg: LaunchConfig,
+            outcome: Result<(Arc<CellProfile>, Arc<ClassifiedStream>), String>,
+        }
+        let preps: Vec<Prep> = scenarios
+            .iter()
+            .map(|s| {
+                let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
+                let spec = s.spec();
+                let mut cfg = s.cache.apply(self.base.clone());
+                cfg.service_dist = s.dist;
+                // Each cell draws from its own decorrelated stream, derived
+                // from (experiment seed, cell label) — deterministic across
+                // runs and across execution orders.
+                cfg.seed = scenario_seed(self.base.seed, &spec.label());
+                let outcome = match cell.outcome(s.wrap) {
+                    Ok(p) => {
+                        let stream = cache.classified(&cell.key, s.wrap, &p.log, &cfg);
+                        Ok((Arc::clone(&cell), stream))
+                    }
+                    Err(e) => Err(e.clone()),
+                };
+                Prep { spec, cfg, outcome }
+            })
             .collect();
+
+        // Phase 3: gather every pending (scenario, rank point, replicate)
+        // into the plan — the same row grid `sweep_ranks_replicated` would
+        // build per scenario — and execute it as one batch.
+        let mut plan = BatchPlan::new();
+        let mut row_counts: Vec<usize> = Vec::with_capacity(preps.len());
+        for prep in &preps {
+            let Ok((_, stream)) = &prep.outcome else {
+                row_counts.push(0);
+                continue;
+            };
+            let id = plan.stream(stream);
+            let k =
+                if prep.cfg.service_dist.is_deterministic() { 1 } else { self.replicates.max(1) };
+            for &ranks in &rank_points {
+                for r in 0..k {
+                    let cfg = prep
+                        .cfg
+                        .clone()
+                        .with_ranks(ranks)
+                        .with_seed(replicate_seed(prep.cfg.seed, r));
+                    plan.push(id, &cfg);
+                }
+            }
+            row_counts.push(rank_points.len() * k);
+        }
+        let rows = plan.execute();
+
+        // Phase 4: scatter the row results back into per-scenario reports,
+        // replicating `run_scenario`'s summarisation per rank point.
+        let mut cursor = 0usize;
+        let mut results: Vec<ScenarioResult> = Vec::with_capacity(preps.len());
+        for (prep, &n) in preps.iter().zip(&row_counts) {
+            let slice = &rows[cursor..cursor + n];
+            cursor += n;
+            results.push(match &prep.outcome {
+                Ok((cell, stream)) => {
+                    let p = cell
+                        .outcome(prep.spec.wrap)
+                        .as_ref()
+                        .expect("prep outcome mirrors the cell outcome");
+                    let k = n / rank_points.len();
+                    let mut series = Vec::with_capacity(rank_points.len());
+                    let mut stats = Vec::with_capacity(rank_points.len());
+                    let mut queueing = Vec::with_capacity(rank_points.len());
+                    for (pi, &ranks) in rank_points.iter().enumerate() {
+                        let reps = &slice[pi * k..(pi + 1) * k];
+                        let mut samples: Vec<u64> =
+                            reps.iter().map(|l| l.time_to_launch_ns).collect();
+                        let st = LaunchStats::from_samples(&mut samples);
+                        let b = mg1_bounds(stream, &prep.cfg.clone().with_ranks(ranks));
+                        series.push((ranks, reps[0]));
+                        queueing.push((ranks, validate_against_mg1(&b, &st)));
+                        stats.push((ranks, st));
+                    }
+                    ScenarioResult {
+                        spec: prep.spec.clone(),
+                        stat_openat: p.stat_openat,
+                        misses: p.misses,
+                        complete: p.complete,
+                        unresolved: p.unresolved,
+                        error: None,
+                        series,
+                        stats,
+                        queueing,
+                    }
+                }
+                Err(e) => ScenarioResult {
+                    spec: prep.spec.clone(),
+                    stat_openat: 0,
+                    misses: 0,
+                    complete: false,
+                    unresolved: 0,
+                    error: Some(e.clone()),
+                    series: Vec::new(),
+                    stats: Vec::new(),
+                    queueing: Vec::new(),
+                },
+            });
+        }
 
         SweepReport { rank_points, results, cells_profiled }
     }

@@ -34,13 +34,27 @@
 //!    while staying bit-identical to the retained [`des::reference`]
 //!    oracle (property-tested equivalence, deterministic *and*
 //!    stochastic).
-//! 3. [`sweep`] runs rank scalings in parallel (rayon) for one figure
-//!    series, all points sharing one [`ClassifiedStream`].
-//!    [`sweep_ranks_replicated`] adds the stochastic dimension: K seeded
-//!    replicates per rank point ([`replicate_seed`]), summarised as
-//!    [`LaunchStats`] p50/p95/p99 — K collapses to 1 when the distribution
-//!    is deterministic.
-//! 4. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
+//! 3. [`batch`] is the columnar execution layer over the DES: a
+//!    [`BatchPlan`] gathers every pending (cell, rank point, replicate)
+//!    into structure-of-arrays columns — segment schedules columnarised
+//!    once per stream (`service_ns`, precomputed gaps, shared
+//!    aggregates), rows as parallel parameter columns (cold-node count,
+//!    seed, distribution, overheads) — and partitions rows into four
+//!    solver classes: **coalesced** (no server segments — pure
+//!    arithmetic), **analytic** (deterministic round-major fleets —
+//!    advanced in lockstep over the shared schedule, deduplicated to
+//!    unique (schedule, fleet) kernels), **stochastic** (per-seed heap
+//!    replay), and **heap** (lone-cold-node or guard-violating
+//!    fallback, including mid-batch envelope-cap demotions). Outputs
+//!    are bit-identical to per-row [`simulate_classified`]; every sweep
+//!    layer below runs on it.
+//! 4. [`sweep`] runs rank scalings for one figure series, all points
+//!    sharing one [`ClassifiedStream`] and executing as a single
+//!    [`BatchPlan`]. [`sweep_ranks_replicated`] adds the stochastic
+//!    dimension: K seeded replicates per rank point
+//!    ([`replicate_seed`]), summarised as [`LaunchStats`] p50/p95/p99 —
+//!    K collapses to 1 when the distribution is deterministic.
+//! 5. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
 //!    of (workload × loader backend × storage model × wrap state × cache
 //!    policy × service distribution), and an [`ExperimentMatrix`] expands
 //!    the cross product. Workloads come from the
@@ -48,18 +62,19 @@
 //!    variant, emacs, the >200-package Axom stack, the ROCm module world);
 //!    storage models are [`depchaos_vfs::StorageModel`]; backends are
 //!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
-//! 5. [`queueing`] is the independent cross-check: M/G/1 service moments
+//! 6. [`queueing`] is the independent cross-check: M/G/1 service moments
 //!    (closed-form second moments per distribution), Pollaczek–Khinchine
 //!    mean waits, and hard capacity/work-conservation bounds on the mean
 //!    launch time — [`validate_against_mg1`] flags any cell whose
 //!    replicate mean escapes the envelope, so a modelling bug shared by
 //!    the DES and its oracle would still be caught by theory.
-//! 6. [`experiment`] executes a matrix: each unique (workload, backend,
+//! 7. [`experiment`] executes a matrix: each unique (workload, backend,
 //!    storage) cell is profiled **exactly once** into a shared, memoized
 //!    [`ProfileCache`] (plain and wrapped streams captured in one run) and
 //!    classified once per (cell, wrap state, latency calibration) — shared
 //!    across cache policies, rank points, *and* stochastic replicates —
-//!    then everything lands in a serde-serializable [`SweepReport`] with
+//!    then the whole matrix is simulated as **one** [`BatchPlan`] pass and
+//!    everything lands in a serde-serializable [`SweepReport`] with
 //!    per-backend Fig 6, per-distribution band, queueing-check, and TSV
 //!    renderers. Every stochastic cell draws from
 //!    [`scenario_seed`]`(base seed, cell label)`, so any single cell
@@ -98,6 +113,7 @@
 //! println!("{}", report.render_fig6_tables());
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod des;
 pub mod experiment;
@@ -106,6 +122,7 @@ pub mod profile;
 pub mod queueing;
 pub mod sweep;
 
+pub use batch::{BatchPlan, SolverClass, StreamId};
 pub use config::{LaunchConfig, LaunchResult, ServiceDistribution};
 pub use des::{
     analytic_all_cold, reference, simulate_classified, simulate_launch, ClassifiedStream,

@@ -1,4 +1,11 @@
 //! Capturing one rank's startup op stream.
+//!
+//! This is the expensive, per-unique-cell step of a sweep: the matrix
+//! engine and the serve layer profile each cell once (fanning the work
+//! over their worker pools), cache the classified stream, and batch the
+//! actual simulations in one [`crate::batch::BatchPlan`] pass — so a
+//! profile captured here is reused across every rank point, replicate,
+//! and repeat what-if that shares the cell.
 
 use depchaos_loader::{Environment, GlibcLoader, LoadError, LoadResult, Loader};
 use depchaos_vfs::{StraceLog, Vfs};

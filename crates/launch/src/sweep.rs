@@ -11,14 +11,13 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
-
 use depchaos_vfs::StraceLog;
 use depchaos_workloads::SplitMix;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::BatchPlan;
 use crate::config::{LaunchConfig, LaunchResult};
-use crate::des::{simulate_classified, ClassifiedStream};
+use crate::des::ClassifiedStream;
 
 /// Launch-time summary statistics over K seeded replicates of one rank
 /// point. All values are nanoseconds of `time_to_launch_ns`; percentiles
@@ -86,6 +85,10 @@ pub fn replicate_seed(base_seed: u64, replicate: usize) -> u64 {
 /// plain renderers draw) plus the [`LaunchStats`] over all replicates.
 /// `replicates` is clamped to 1 when the stream's distribution is
 /// deterministic — extra replicates could only repeat the same value.
+///
+/// The whole (rank point × replicate) grid executes as one [`BatchPlan`]:
+/// deterministic points collapse to shared analytic kernels, stochastic
+/// replicates batch into one heap pass per seed.
 pub fn sweep_ranks_replicated(
     stream: &ClassifiedStream,
     base: &LaunchConfig,
@@ -93,29 +96,27 @@ pub fn sweep_ranks_replicated(
     replicates: usize,
 ) -> Vec<(usize, LaunchResult, LaunchStats)> {
     let k = if stream.params().dist.is_deterministic() { 1 } else { replicates.max(1) };
+    let mut plan = BatchPlan::new();
+    let id = plan.stream(stream);
+    for &ranks in rank_points {
+        for r in 0..k {
+            plan.push(id, &base.clone().with_ranks(ranks).with_seed(replicate_seed(base.seed, r)));
+        }
+    }
+    let results = plan.execute();
     rank_points
-        .par_iter()
-        .map(|&ranks| {
-            let mut first = None;
-            let mut samples: Vec<u64> = (0..k)
-                .map(|r| {
-                    let cfg =
-                        base.clone().with_ranks(ranks).with_seed(replicate_seed(base.seed, r));
-                    let res = simulate_classified(stream, &cfg);
-                    if r == 0 {
-                        first = Some(res);
-                    }
-                    res.time_to_launch_ns
-                })
-                .collect();
+        .iter()
+        .enumerate()
+        .map(|(pi, &ranks)| {
+            let rows = &results[pi * k..(pi + 1) * k];
+            let mut samples: Vec<u64> = rows.iter().map(|l| l.time_to_launch_ns).collect();
             let stats = LaunchStats::from_samples(&mut samples);
-            (ranks, first.expect("k >= 1"), stats)
+            (ranks, rows[0], stats)
         })
         .collect()
 }
 
-/// Simulate the same workload at several scales, in parallel (the
-/// simulations are independent — rayon's bread and butter).
+/// Simulate the same workload at several scales in one batched pass.
 ///
 /// The stream is classified **once**; every rank point replays the shared
 /// [`ClassifiedStream`]. Callers that already hold one (the experiment
@@ -128,17 +129,20 @@ pub fn sweep_ranks(
     sweep_ranks_classified(&ClassifiedStream::classify(ops, base), base, rank_points)
 }
 
-/// [`sweep_ranks`] over a pre-classified stream: the rayon workers share
-/// `stream` by reference — zero per-point classification or cloning.
+/// [`sweep_ranks`] over a pre-classified stream: every point is a row of
+/// one [`BatchPlan`], so rank points that share a node count (or collapse
+/// warm) share one kernel — zero per-point classification or cloning.
 pub fn sweep_ranks_classified(
     stream: &ClassifiedStream,
     base: &LaunchConfig,
     rank_points: &[usize],
 ) -> Vec<(usize, LaunchResult)> {
-    rank_points
-        .par_iter()
-        .map(|&ranks| (ranks, simulate_classified(stream, &base.clone().with_ranks(ranks))))
-        .collect()
+    let mut plan = BatchPlan::new();
+    let id = plan.stream(stream);
+    for &ranks in rank_points {
+        plan.push(id, &base.clone().with_ranks(ranks));
+    }
+    rank_points.iter().copied().zip(plan.execute()).collect()
 }
 
 /// Render the Fig 6 series as an aligned table: one row per scale, normal
@@ -189,6 +193,7 @@ pub fn render_tsv(series: &[(usize, LaunchResult)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::des::simulate_classified;
     use depchaos_vfs::{Op, Outcome, Syscall};
 
     fn cold_stream(n: usize) -> StraceLog {

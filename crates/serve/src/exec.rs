@@ -1,4 +1,4 @@
-//! The incremental sharded executor: expand a matrix, serve every cell the
+//! The incremental batched executor: expand a matrix, serve every cell the
 //! store already holds, simulate only the misses, and aggregate a
 //! [`SweepReport`] bit-identical to a cold full run.
 //!
@@ -7,27 +7,33 @@
 //!
 //! * every `(scenario, rank point)` is simulated independently (per-point
 //!   config, per-point replicate seeds derived from the scenario label),
-//!   so [`run_scenario`] over a *subset* of rank points is bit-identical
-//!   to the matching slice of a full run;
+//!   so a *subset* of rank points is bit-identical to the matching slice
+//!   of a full run;
 //! * the store's [`ScenarioKey`](crate::key::ScenarioKey) hashes every
 //!   semantic input of a cell, so a hit can only be a result the cold
 //!   path would have recomputed verbatim;
 //! * floats round-trip the disk by bit pattern, so a record read back
 //!   compares `==` to the record that was written.
 //!
-//! Cold cells are grouped into **shards** (one per scenario with at least
-//! one miss — scenarios share profile/classification work across their
-//! rank points, so splitting finer would redo it) and fanned over a pool
-//! of worker threads pulling shards off a shared counter; `jobs <= 1`
-//! runs inline on the caller's thread with no spawns.
+//! The cold side runs in two stages. Profiling — the expensive part — is
+//! fanned over a pool of worker threads pulling unique cold *cells* off a
+//! shared counter (`jobs <= 1` runs inline on the caller's thread with no
+//! spawns). Simulation then feeds every cold `(scenario, rank point)` —
+//! the **miss** work unit, finer than the old whole-scenario shards, so a
+//! skewed what-if batch costs exactly its missing points — into one
+//! columnar [`BatchPlan`](depchaos_launch::BatchPlan) and executes the
+//! whole backlog in a single pass. Each scenario is classified once, and
+//! the `Arc<ClassifiedStream>` handed out by the shared
+//! [`ProfileCache`] is what every one of its miss rows borrows.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 use depchaos_launch::{
-    run_scenario, ExperimentMatrix, ProfileCache, Scenario, ScenarioResult, SweepReport,
+    mg1_bounds, replicate_seed, scenario_seed, validate_against_mg1, BatchPlan, CellProfile,
+    ClassifiedStream, ExperimentMatrix, LaunchConfig, LaunchStats, ProfileCache, Scenario,
+    ScenarioResult, ScenarioSpec, SweepReport,
 };
 
 use crate::codec::{CellOutcome, CellRecord, ProfileSummary};
@@ -47,9 +53,10 @@ pub struct ExecStats {
     pub warm_hits: usize,
     /// Cells simulated by this run.
     pub cold_cells: usize,
-    /// Scenario shards the worker pool executed (scenarios with ≥1 miss).
+    /// Rank-point work units fed to the batch planner (== `cold_cells`;
+    /// kept separate because it counts planner inputs, not store deltas).
     pub shards: usize,
-    /// Worker threads used.
+    /// Worker threads the profiling pool used.
     pub jobs: usize,
     /// Profiling runs this call triggered.
     pub cells_profiled: usize,
@@ -71,17 +78,30 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// One scenario's cold slice: which rank points miss, under which keys.
-struct Shard {
+/// One cold `(scenario, rank point)` cell: the work unit the batch
+/// planner consumes.
+struct Miss {
     scenario: usize,
-    misses: Vec<(usize, ScenarioKey)>,
+    ranks: usize,
+    key: ScenarioKey,
 }
 
-/// Run `matrix` against `store`: serve warm cells, simulate cold ones on
-/// `jobs` workers, persist every fresh record, and aggregate the report in
-/// matrix order. The report's `results` are bit-identical to
-/// `matrix.run(profiles)` regardless of how the warm/cold line falls
-/// (`cells_profiled` necessarily differs — a warm run profiles nothing).
+/// Per-scenario cold-side prep, shared by every miss of the scenario:
+/// the derived config and either the (profile, classification) pair —
+/// the classification an `Arc` straight out of the [`ProfileCache`] — or
+/// the profiling error.
+struct Prep {
+    spec: ScenarioSpec,
+    cfg: LaunchConfig,
+    outcome: Result<(Arc<CellProfile>, Arc<ClassifiedStream>), String>,
+}
+
+/// Run `matrix` against `store`: serve warm cells, profile cold cells on
+/// `jobs` workers, simulate every miss in one batched pass, persist every
+/// fresh record, and aggregate the report in matrix order. The report's
+/// `results` are bit-identical to `matrix.run(profiles)` regardless of
+/// how the warm/cold line falls (`cells_profiled` necessarily differs —
+/// a warm run profiles nothing).
 pub fn run_matrix_incremental(
     matrix: &ExperimentMatrix,
     store: &ResultStore,
@@ -94,14 +114,14 @@ pub fn run_matrix_incremental(
     let base = matrix.base();
     let profiled_before = profiles.computed();
 
-    // Phase 1: address every cell and split warm from cold.
+    // Phase 1: address every cell and split warm from cold. Misses are
+    // collected per rank point — the planner's row granularity.
     let mut warm: HashMap<ScenarioKey, CellRecord> = HashMap::new();
-    let mut shards: Vec<Shard> = Vec::new();
+    let mut misses: Vec<Miss> = Vec::new();
     let mut keys: Vec<Vec<(usize, ScenarioKey)>> = Vec::with_capacity(scenarios.len());
     for (i, s) in scenarios.iter().enumerate() {
         let spec = s.spec();
         let mut cell_keys = Vec::with_capacity(rank_points.len());
-        let mut misses = Vec::new();
         for &ranks in &rank_points {
             let key = CellIdentity { spec: &spec, ranks, replicates, base }.key();
             cell_keys.push((ranks, key));
@@ -109,33 +129,37 @@ pub fn run_matrix_incremental(
                 Some(rec) => {
                     warm.insert(key, rec);
                 }
-                None => misses.push((ranks, key)),
+                None => misses.push(Miss { scenario: i, ranks, key }),
             }
         }
         keys.push(cell_keys);
-        if !misses.is_empty() {
-            shards.push(Shard { scenario: i, misses });
-        }
     }
     let cells_total = scenarios.len() * rank_points.len();
     let warm_hits = warm.len();
     let cold_cells = cells_total - warm_hits;
 
-    // Phase 2: simulate the shards. Workers pull off a shared counter —
-    // dynamic load balancing, since shard costs vary by orders of
-    // magnitude across workloads.
-    let workers = jobs.max(1).min(shards.len().max(1));
-    let fresh: Vec<Mutex<Option<Vec<CellRecord>>>> =
-        shards.iter().map(|_| Mutex::new(None)).collect();
-    let run_shard = |shard: &Shard| -> Vec<CellRecord> {
-        let s = &scenarios[shard.scenario];
-        let pts: Vec<usize> = shard.misses.iter().map(|&(r, _)| r).collect();
-        let result = run_scenario(s, base, replicates, &pts, profiles);
-        records_of(&result, &shard.misses)
-    };
+    // Phase 2a: profile every unique cold cell. Workers pull cells off a
+    // shared counter — dynamic load balancing, since profiling costs vary
+    // by orders of magnitude across workloads.
+    let mut cold_scenarios: Vec<usize> = Vec::new();
+    for m in &misses {
+        if cold_scenarios.last() != Some(&m.scenario) {
+            cold_scenarios.push(m.scenario);
+        }
+    }
+    let mut cold_cell_scenarios: Vec<&Scenario> = Vec::new();
+    let mut seen_cells = std::collections::HashSet::new();
+    for &i in &cold_scenarios {
+        if seen_cells.insert(scenarios[i].cell_key()) {
+            cold_cell_scenarios.push(&scenarios[i]);
+        }
+    }
+    let workers = jobs.max(1).min(cold_cell_scenarios.len().max(1));
+    let profile_cell =
+        |s: &Scenario| profiles.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
     if workers <= 1 {
-        for (shard, slot) in shards.iter().zip(&fresh) {
-            *slot.lock() = Some(run_shard(shard));
+        for s in &cold_cell_scenarios {
+            profile_cell(s);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -143,20 +167,110 @@ pub fn run_matrix_incremental(
             for _ in 0..workers {
                 sc.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(shard) = shards.get(i) else { break };
-                    *fresh[i].lock() = Some(run_shard(shard));
+                    let Some(s) = cold_cell_scenarios.get(i) else { break };
+                    profile_cell(s);
                 });
             }
         });
     }
 
-    // Phase 3: persist the fresh records and fold them into the warm map.
-    for slot in &fresh {
-        let records = slot.lock().take().expect("every shard ran");
-        for rec in records {
-            store.put(rec.clone())?;
-            warm.insert(rec.key, rec);
+    // Phase 2b: derive each cold scenario's config (seeded from its
+    // label, exactly as a full run does) and classify it once — the
+    // shared `Arc<ClassifiedStream>` every one of its misses borrows.
+    let preps: HashMap<usize, Prep> = cold_scenarios
+        .iter()
+        .map(|&i| {
+            let s = &scenarios[i];
+            let cell = profile_cell(s);
+            let spec = s.spec();
+            let mut cfg = s.cache.apply(base.clone());
+            cfg.service_dist = s.dist;
+            cfg.seed = scenario_seed(base.seed, &spec.label());
+            let outcome = match cell.outcome(s.wrap) {
+                Ok(p) => {
+                    let stream = profiles.classified(&cell.key, s.wrap, &p.log, &cfg);
+                    Ok((Arc::clone(&cell), stream))
+                }
+                Err(e) => Err(e.clone()),
+            };
+            (i, Prep { spec, cfg, outcome })
+        })
+        .collect();
+
+    // Phase 2c: feed every miss into one columnar plan — K replicate rows
+    // per rank point, identical to the grid a full run gathers — and
+    // execute the whole cold backlog in a single batched pass.
+    let mut plan = BatchPlan::new();
+    let mut miss_rows: Vec<usize> = Vec::with_capacity(misses.len());
+    for m in &misses {
+        let prep = &preps[&m.scenario];
+        let Ok((_, stream)) = &prep.outcome else {
+            miss_rows.push(0);
+            continue;
+        };
+        let id = plan.stream(stream);
+        let k = if prep.cfg.service_dist.is_deterministic() { 1 } else { replicates.max(1) };
+        for r in 0..k {
+            let cfg =
+                prep.cfg.clone().with_ranks(m.ranks).with_seed(replicate_seed(prep.cfg.seed, r));
+            plan.push(id, &cfg);
         }
+        miss_rows.push(k);
+    }
+    let rows = plan.execute();
+
+    // Phase 3: scatter the rows into per-rank-point records, persist
+    // them, and fold them into the warm map.
+    let mut cursor = 0usize;
+    for (m, &n) in misses.iter().zip(&miss_rows) {
+        let reps = &rows[cursor..cursor + n];
+        cursor += n;
+        let prep = &preps[&m.scenario];
+        let rec = match &prep.outcome {
+            Ok((cell, stream)) => {
+                let p = cell
+                    .outcome(prep.spec.wrap)
+                    .as_ref()
+                    .expect("prep outcome mirrors the cell outcome");
+                let mut samples: Vec<u64> = reps.iter().map(|l| l.time_to_launch_ns).collect();
+                let stats = LaunchStats::from_samples(&mut samples);
+                let b = mg1_bounds(stream, &prep.cfg.clone().with_ranks(m.ranks));
+                CellRecord {
+                    key: m.key,
+                    epoch: ENGINE_EPOCH,
+                    label: prep.spec.label(),
+                    ranks: m.ranks,
+                    profile: ProfileSummary {
+                        stat_openat: p.stat_openat,
+                        misses: p.misses,
+                        complete: p.complete,
+                        unresolved: p.unresolved,
+                    },
+                    error: None,
+                    outcome: Some(CellOutcome {
+                        result: reps[0],
+                        stats,
+                        queueing: validate_against_mg1(&b, &stats),
+                    }),
+                }
+            }
+            Err(e) => CellRecord {
+                key: m.key,
+                epoch: ENGINE_EPOCH,
+                label: prep.spec.label(),
+                ranks: m.ranks,
+                profile: ProfileSummary {
+                    stat_openat: 0,
+                    misses: 0,
+                    complete: false,
+                    unresolved: 0,
+                },
+                error: Some(e.clone()),
+                outcome: None,
+            },
+        };
+        store.put(rec.clone())?;
+        warm.insert(rec.key, rec);
     }
 
     // Phase 4: aggregate in matrix order — the exact shape `run()` builds.
@@ -175,42 +289,12 @@ pub fn run_matrix_incremental(
         cells_total,
         warm_hits,
         cold_cells,
-        shards: shards.len(),
+        shards: misses.len(),
         jobs: workers,
         cells_profiled: profiles.computed() - profiled_before,
     };
     let report = SweepReport { rank_points, results, cells_profiled: stats.cells_profiled };
     Ok((report, stats))
-}
-
-/// Split one scenario result into per-rank-point store records.
-fn records_of(r: &ScenarioResult, cells: &[(usize, ScenarioKey)]) -> Vec<CellRecord> {
-    let label = r.spec.label();
-    cells
-        .iter()
-        .map(|&(ranks, key)| {
-            let outcome = match (r.result_at(ranks), r.stats_at(ranks), r.queueing_at(ranks)) {
-                (Some(res), Some(st), Some(q)) => {
-                    Some(CellOutcome { result: *res, stats: *st, queueing: *q })
-                }
-                _ => None,
-            };
-            CellRecord {
-                key,
-                epoch: ENGINE_EPOCH,
-                label: label.clone(),
-                ranks,
-                profile: ProfileSummary {
-                    stat_openat: r.stat_openat,
-                    misses: r.misses,
-                    complete: r.complete,
-                    unresolved: r.unresolved,
-                },
-                error: r.error.clone(),
-                outcome,
-            }
-        })
-        .collect()
 }
 
 /// Rebuild one [`ScenarioResult`] from its per-rank-point records (in rank

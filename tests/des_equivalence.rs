@@ -11,8 +11,9 @@
 use std::time::Instant;
 
 use depchaos::launch::{
-    reference::simulate_launch_reference, simulate_classified, simulate_launch, ClassifiedStream,
-    LaunchConfig, ServiceDistribution,
+    reference::simulate_launch_reference, replicate_seed, simulate_classified, simulate_launch,
+    sweep_ranks_replicated, BatchPlan, ClassifiedStream, LaunchConfig, LaunchStats,
+    ServiceDistribution,
 };
 use depchaos::vfs::{Op, Outcome, StraceLog, Syscall};
 use proptest::prelude::*;
@@ -139,6 +140,89 @@ proptest! {
             );
         }
     }
+
+    /// A columnar [`BatchPlan`] mixing every distribution, wrap-like
+    /// stream shape, and cache policy in one batch equals per-call
+    /// `simulate_classified` — and the reference oracle — row for row.
+    /// This is the gather/partition/dedup/scatter machinery under test:
+    /// rows land in all four solver classes and kernels collapse across
+    /// rows, yet the output must be indistinguishable from never having
+    /// batched at all.
+    #[test]
+    fn batch_plan_matches_per_call_and_reference(
+        spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..80),
+        rows in prop::collection::vec(
+            (1usize..5000, 0usize..4, any::<bool>(), 0u8..3, any::<u64>()),
+            1..8,
+        ),
+    ) {
+        let ops = stream_of(&spec);
+        // One classification per distribution (the distribution is part
+        // of the calibration key); the plan holds all three at once.
+        let streams: Vec<(ClassifiedStream, LaunchConfig)> = (0u8..3)
+            .map(|d| {
+                let cfg = LaunchConfig { service_dist: dist_of(d), ..LaunchConfig::default() };
+                (ClassifiedStream::classify(&ops, &cfg), cfg)
+            })
+            .collect();
+        let mut plan = BatchPlan::new();
+        let ids: Vec<_> = streams.iter().map(|(s, _)| plan.stream(s)).collect();
+        let mut cfgs = Vec::new();
+        for &(ranks, rpn_sel, broadcast, dist_sel, seed) in &rows {
+            let cfg = LaunchConfig {
+                ranks,
+                ranks_per_node: [1, 16, 128, 997][rpn_sel],
+                broadcast_cache: broadcast,
+                seed,
+                ..streams[dist_sel as usize].1.clone()
+            };
+            plan.push(ids[dist_sel as usize], &cfg);
+            cfgs.push((dist_sel as usize, cfg));
+        }
+        let got = plan.execute();
+        prop_assert_eq!(got.len(), cfgs.len());
+        for (row, (di, cfg)) in got.iter().zip(&cfgs) {
+            prop_assert_eq!(row, &simulate_classified(&streams[*di].0, cfg));
+            prop_assert_eq!(row, &simulate_launch_reference(&ops, cfg));
+        }
+    }
+
+    /// The batched `sweep_ranks_replicated` is byte-identical to the
+    /// per-call loop it replaced: per rank point, replicate `r` simulates
+    /// under `replicate_seed(base, r)`, replicate 0 is the series value,
+    /// and the stats summarise the replicate sample.
+    #[test]
+    fn batched_replicated_sweep_equals_per_call_loop(
+        spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 1..60),
+        points in prop::collection::vec(1usize..5000, 1..4),
+        dist_sel in 0u8..3,
+        replicates in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let ops = stream_of(&spec);
+        let base = LaunchConfig {
+            service_dist: dist_of(dist_sel),
+            seed,
+            ..LaunchConfig::default()
+        };
+        let stream = ClassifiedStream::classify(&ops, &base);
+        let batched = sweep_ranks_replicated(&stream, &base, &points, replicates);
+        let k = if base.service_dist.is_deterministic() { 1 } else { replicates };
+        prop_assert_eq!(batched.len(), points.len());
+        for (&(ranks, first, stats), &want_ranks) in batched.iter().zip(&points) {
+            prop_assert_eq!(ranks, want_ranks);
+            let mut samples: Vec<u64> = Vec::with_capacity(k);
+            for r in 0..k {
+                let cfg = base.clone().with_ranks(ranks).with_seed(replicate_seed(seed, r));
+                let res = simulate_classified(&stream, &cfg);
+                if r == 0 {
+                    prop_assert_eq!(&first, &res);
+                }
+                samples.push(res.time_to_launch_ns);
+            }
+            prop_assert_eq!(stats, LaunchStats::from_samples(&mut samples));
+        }
+    }
 }
 
 /// A 500-op cold metadata stream, the ISSUE's acceptance shape.
@@ -205,4 +289,72 @@ fn all_cold_contention_still_exact_at_scale() {
         ..LaunchConfig::default()
     };
     assert_eq!(simulate_launch(&ops, &cfg), simulate_launch_reference(&ops, &cfg));
+}
+
+/// Fixed-seed integration pin: a whole matrix — every wrap state, every
+/// cache policy, all three service distributions — runs through the
+/// batched `ExperimentMatrix::run`, and every series / stats / queueing
+/// entry equals a from-scratch per-call recomputation (fresh
+/// classification, per-replicate `simulate_classified`, the same M/G/1
+/// check). If any layer of the batch path — gathering, partitioning,
+/// kernel dedup, lockstep advance, scatter — drifted by one bit, some
+/// cell here would differ.
+#[test]
+fn batched_matrix_is_bit_identical_to_per_call_recomputation() {
+    use depchaos::launch::{
+        mg1_bounds, scenario_seed, validate_against_mg1, CachePolicy, ExperimentMatrix,
+        MatrixBackend, ProfileCache, WrapState,
+    };
+    use depchaos::vfs::StorageModel;
+    use depchaos::workloads::Pynamic;
+
+    let replicates = 3usize;
+    let rank_points = [256usize, 512];
+    let matrix = ExperimentMatrix::new()
+        .workload(Pynamic::new(20))
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies(CachePolicy::all())
+        .distributions(ServiceDistribution::all())
+        .replicates(replicates)
+        .rank_points(rank_points);
+    let cache = ProfileCache::new();
+    let report = matrix.run(&cache);
+    let scenarios = matrix.expand();
+    assert_eq!(report.results.len(), scenarios.len());
+
+    let base = matrix.base();
+    for (s, r) in scenarios.iter().zip(&report.results) {
+        let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
+        let mut cfg = s.cache.apply(base.clone());
+        cfg.service_dist = s.dist;
+        cfg.seed = scenario_seed(base.seed, &s.spec().label());
+        let p = match cell.outcome(s.wrap) {
+            Ok(p) => p,
+            Err(e) => {
+                assert_eq!(r.error.as_ref(), Some(e));
+                continue;
+            }
+        };
+        assert!(r.error.is_none());
+        // Classify from scratch — not through the cache the run used.
+        let stream = ClassifiedStream::classify(&p.log, &cfg);
+        let k = if s.dist.is_deterministic() { 1 } else { replicates };
+        for (pi, &ranks) in rank_points.iter().enumerate() {
+            let mut samples: Vec<u64> = Vec::with_capacity(k);
+            for rep in 0..k {
+                let c = cfg.clone().with_ranks(ranks).with_seed(replicate_seed(cfg.seed, rep));
+                let res = simulate_classified(&stream, &c);
+                if rep == 0 {
+                    assert_eq!(r.series[pi], (ranks, res));
+                }
+                samples.push(res.time_to_launch_ns);
+            }
+            let st = LaunchStats::from_samples(&mut samples);
+            assert_eq!(r.stats[pi], (ranks, st));
+            let b = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks));
+            assert_eq!(r.queueing[pi], (ranks, validate_against_mg1(&b, &st)));
+        }
+    }
 }
