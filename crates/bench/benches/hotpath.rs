@@ -19,6 +19,11 @@
 //!   (profiling and classification pre-warmed, exactly what a repeat
 //!   sweep pays), and raw per-row planner throughput over a
 //!   thousand-row single-schedule plan.
+//! * `faults/*` — the faulty heap engine on the contended 16Ki shape: a
+//!   server brownout (stall-window bookkeeping per event) and a 10% RPC
+//!   loss retry storm (a FAULT draw per served op plus the retried server
+//!   work) — healthy rows never enter this engine, so these rows are its
+//!   only perf gate.
 //!
 //! Besides the criterion `ns/iter` lines, this bench persists a
 //! `BENCH_des.json` summary at the repo root — the first entry in the
@@ -30,8 +35,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use depchaos_bench::banner;
 use depchaos_launch::{
-    simulate_classified, BatchPlan, CachePolicy, ClassifiedStream, ExperimentMatrix, LaunchConfig,
-    LaunchResult, MatrixBackend, ProfileCache, ServiceDistribution, WrapState,
+    simulate_classified, BatchPlan, CachePolicy, ClassifiedStream, ExperimentMatrix, FaultModel,
+    LaunchConfig, LaunchResult, MatrixBackend, ProfileCache, ServiceDistribution, WrapState,
 };
 use depchaos_serve::{run_matrix_incremental, ResultStore};
 use depchaos_vfs::{Op, Outcome, StorageModel, StraceLog, Syscall, Vfs};
@@ -283,6 +288,50 @@ fn bench(c: &mut Criterion) {
         iters,
     );
 
+    // The fault-injection rows: the contended 16Ki shape (1024 cold nodes
+    // queueing on one server) under the two expensive degraded modes. A
+    // brownout adds stall bookkeeping to every event; a 10% RPC loss adds
+    // the FAULT-domain draw per served op plus ~11% retried server work —
+    // both ride the faulty heap engine, which healthy rows never enter,
+    // so this is the only place its cost is measured (and gated).
+    let contended_cfg =
+        LaunchConfig { ranks: 16 * 1024, ranks_per_node: 16, ..LaunchConfig::default() };
+    let brownout_cfg = LaunchConfig {
+        fault: FaultModel::ServerStall { at_ns: 2_000_000_000, duration_ns: 10_000_000_000 },
+        ..contended_cfg.clone()
+    };
+    let storm_cfg = LaunchConfig {
+        fault: FaultModel::RpcLoss {
+            loss_milli: 100,
+            timeout_ns: 1_000_000_000,
+            backoff_base_ns: 250_000_000,
+            max_retries: 5,
+        },
+        ..contended_cfg.clone()
+    };
+    let brownout_stream = ClassifiedStream::classify(&ops, &brownout_cfg);
+    let storm_stream = ClassifiedStream::classify(&ops, &storm_cfg);
+    plain(
+        "faults/brownout_16Ki",
+        time_fn(
+            || {
+                std::hint::black_box(simulate_classified(&brownout_stream, &brownout_cfg));
+            },
+            iters,
+        ),
+        iters,
+    );
+    plain(
+        "faults/retry_storm",
+        time_fn(
+            || {
+                std::hint::black_box(simulate_classified(&storm_stream, &storm_cfg));
+            },
+            iters,
+        ),
+        iters,
+    );
+
     // The serve-layer rows the bench-diff gate watches. One deterministic
     // cell (effective replicates clamp to 1) keeps the cold row about the
     // executor's own overhead plus one DES pass, not a whole sweep; the
@@ -406,6 +455,16 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify");
     group.sample_size(if quick { 3 } else { 10 });
     group.bench_function("cold500", |b| b.iter(|| ClassifiedStream::classify(&ops, &cfg)));
+    group.finish();
+
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.bench_function("brownout_16Ki", |b| {
+        b.iter(|| simulate_classified(&brownout_stream, &brownout_cfg))
+    });
+    group.bench_function("retry_storm", |b| {
+        b.iter(|| simulate_classified(&storm_stream, &storm_cfg))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("serve");

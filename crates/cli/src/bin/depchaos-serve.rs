@@ -25,7 +25,7 @@
 //! | code | meaning |
 //! |------|---------|
 //! | 0 | every request parsed and was answered (error *cells* are answers) |
-//! | 1 | check violation — at least one request failed to parse |
+//! | 1 | partial failure — a request failed to parse, or a cell's profiling panicked (the panic is isolated: every other cell still answers, the poisoned cell answers with an error line and is never persisted) |
 //! | 2 | usage or I/O error — bad flags, unreadable input, store failure |
 
 use std::io::Read;

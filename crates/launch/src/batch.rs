@@ -24,12 +24,13 @@
 //!    selection inside [`simulate_classified`] exactly.
 //!
 //! 3. **Advance in lockstep.** [`BatchPlan::execute`] first collapses
-//!    rows to unique *kernel jobs* — `(schedule, cold-node count, seed)`
-//!    triples, with the seed normalised away for deterministic rows,
-//!    since the cold-fleet completion time is a pure function of that
-//!    triple. Replicate 0 of every rank point, every deterministic
-//!    replicate, and every cell that only differs in overheads or warm
-//!    fleet size all collapse onto the same kernel. Analytic kernels
+//!    rows to unique *kernel jobs* — `(schedule, cold-node count, seed,
+//!    fault)` tuples, with the seed normalised away for draw-free rows
+//!    (deterministic service, no draw-taking fault), since the
+//!    cold-fleet completion time is a pure function of that tuple.
+//!    Replicate 0 of every rank point, every deterministic replicate,
+//!    and every cell that only differs in overheads or warm fleet size
+//!    all collapse onto the same kernel. Analytic kernels
 //!    then advance **in lockstep over the shared segment schedule**: one
 //!    outer loop per segment, one envelope update per live kernel, so
 //!    the schedule's columns are streamed once per batch instead of once
@@ -48,7 +49,7 @@
 //! | [`SolverClass::Coalesced`] | no server segments (fully warm / serverless) | O(1) scatter arithmetic |
 //! | [`SolverClass::Analytic`] | deterministic, ≥ 2 cold nodes, round-major schedule | amortised: one envelope update per (segment, kernel) |
 //! | [`SolverClass::Stochastic`] | jittered service distribution | one heap replay per kernel (seeds never collapse) |
-//! | [`SolverClass::Heap`] | deterministic but lone-cold-node or guard-violating | one heap replay per kernel |
+//! | [`SolverClass::Heap`] | deterministic but lone-cold-node or guard-violating, or any fault-injected row | one (faulty) heap replay per kernel |
 //!
 //! A row pushed as `Analytic` can still *demote* to the heap mid-batch:
 //! the envelope cap ([`MAX_ENVELOPE_LINES`] in [`crate::des`]) is only
@@ -71,6 +72,7 @@ use depchaos_workloads::SplitMix;
 
 use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::des::{self, ClassifiedStream, ClassifyParams};
+use crate::fault::{FaultCounts, FaultModel};
 
 /// Handle to a segment schedule registered with [`BatchPlan::stream`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,8 +97,11 @@ pub enum SolverClass {
     /// Jittered service distribution: per-kernel heap replay with the
     /// per-(node, segment) draw streams. Distinct seeds never collapse.
     Stochastic,
-    /// Deterministic fallback: a lone cold node (heap is cheaper than
-    /// the envelope) or a schedule that violates the round-major guard.
+    /// Event-heap fallback: a lone cold node (heap is cheaper than the
+    /// envelope), a schedule that violates the round-major guard, or any
+    /// fault-injected row — stalls and retries break the analytic
+    /// symmetry, so every [`FaultModel`] other than `None` demotes here
+    /// (through the faulty engine) whatever the distribution.
     Heap,
 }
 
@@ -126,9 +131,11 @@ struct Schedule<'a> {
 struct Kernel {
     schedule: usize,
     cold_nodes: usize,
-    /// Normalised to 0 for deterministic schedules: no draws happen, so
-    /// rows differing only in seed share the kernel.
+    /// Normalised to 0 when the row takes no draws (deterministic service
+    /// *and* a draw-free fault model), so such rows differing only in seed
+    /// share the kernel.
     seed: u64,
+    fault: FaultModel,
     class: SolverClass,
 }
 
@@ -154,6 +161,7 @@ pub struct BatchPlan<'a> {
     row_cold_nodes: Vec<usize>,
     row_seed: Vec<u64>,
     row_dist: Vec<ServiceDistribution>,
+    row_fault: Vec<FaultModel>,
     row_base_overhead_ns: Vec<u64>,
     row_per_rank_overhead_ns: Vec<u64>,
     row_class: Vec<SolverClass>,
@@ -170,6 +178,7 @@ impl<'a> BatchPlan<'a> {
             row_cold_nodes: Vec::new(),
             row_seed: Vec::new(),
             row_dist: Vec::new(),
+            row_fault: Vec::new(),
             row_base_overhead_ns: Vec::new(),
             row_per_rank_overhead_ns: Vec::new(),
             row_class: Vec::new(),
@@ -223,7 +232,12 @@ impl<'a> BatchPlan<'a> {
         let nodes = cfg.nodes();
         let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
         let class = if sched.server_ops == 0 {
+            // No server segments: no stall, loss, or straggler can
+            // manifest either (`simulate_classified` skips the fault
+            // engine on an empty schedule), so faults stay coalesced.
             SolverClass::Coalesced
+        } else if !cfg.fault.is_none() {
+            SolverClass::Heap
         } else if !cfg.service_dist.is_deterministic() {
             SolverClass::Stochastic
         } else if cold_nodes > 1 && sched.round_major {
@@ -238,6 +252,7 @@ impl<'a> BatchPlan<'a> {
         self.row_cold_nodes.push(cold_nodes);
         self.row_seed.push(cfg.seed);
         self.row_dist.push(cfg.service_dist);
+        self.row_fault.push(cfg.fault);
         self.row_base_overhead_ns.push(cfg.base_overhead_ns);
         self.row_per_rank_overhead_ns.push(cfg.per_rank_overhead_ns);
         self.row_class.push(class);
@@ -277,7 +292,8 @@ impl<'a> BatchPlan<'a> {
     /// row's (stream, cfg).
     pub fn execute(&self) -> Vec<LaunchResult> {
         let (kernels, row_kernel) = self.gather_kernels();
-        let mut kernel_done: Vec<(u64, usize)> = vec![(0, 0); kernels.len()];
+        let mut kernel_done: Vec<(u64, usize, FaultCounts)> =
+            vec![(0, 0, FaultCounts::default()); kernels.len()];
 
         // Analytic kernels advance in lockstep, grouped by schedule.
         let mut by_schedule: Vec<Vec<usize>> = vec![Vec::new(); self.schedules.len()];
@@ -311,8 +327,8 @@ impl<'a> BatchPlan<'a> {
                 let warm_done_ns = if warm_nodes > 0 { sched.warm_replay_ns } else { 0 };
                 let local_ops = warm_nodes as u64 * sched.n_ops + cold_nodes as u64 * sched.n_local;
                 let server_ops = cold_nodes as u64 * sched.server_ops;
-                let (cold_done_ns, peak_queue_depth) = match row_kernel[r] {
-                    NO_KERNEL => (sched.local_total_ns, 0),
+                let (cold_done_ns, peak_queue_depth, fc) = match row_kernel[r] {
+                    NO_KERNEL => (sched.local_total_ns, 0, FaultCounts::default()),
                     ki => kernel_done[ki],
                 };
                 let spawn_ns = self.row_per_rank_overhead_ns[r]
@@ -325,33 +341,38 @@ impl<'a> BatchPlan<'a> {
                     server_ops,
                     local_ops,
                     peak_queue_depth,
+                    retries_issued: fc.retries,
+                    timeouts_hit: fc.timeouts,
+                    max_backoff_ns: fc.max_backoff_ns,
+                    slowed_nodes: fc.slowed_nodes,
                 }
             })
             .collect()
     }
 
-    /// Collapse rows to unique kernel jobs. Deterministic rows normalise
-    /// the seed to 0 (no draws happen); coalesced rows map to
+    /// Collapse rows to unique kernel jobs. Draw-free rows (deterministic
+    /// service and a draw-free fault model) normalise the seed to 0, so
+    /// rows differing only in seed share a kernel; coalesced rows map to
     /// [`NO_KERNEL`].
     fn gather_kernels(&self) -> (Vec<Kernel>, Vec<usize>) {
         use std::collections::HashMap;
         let mut kernels: Vec<Kernel> = Vec::new();
-        let mut index: HashMap<(u32, usize, u64), usize> = HashMap::new();
+        let mut index: HashMap<(u32, usize, u64, FaultModel), usize> = HashMap::new();
         let row_kernel = (0..self.len())
             .map(|r| {
                 if self.row_class[r] == SolverClass::Coalesced {
                     return NO_KERNEL;
                 }
-                let seed = match self.row_class[r] {
-                    SolverClass::Stochastic => self.row_seed[r],
-                    _ => 0,
-                };
-                let key = (self.row_schedule[r], self.row_cold_nodes[r], seed);
+                let takes_draws =
+                    !self.row_dist[r].is_deterministic() || self.row_fault[r].takes_draws();
+                let seed = if takes_draws { self.row_seed[r] } else { 0 };
+                let key = (self.row_schedule[r], self.row_cold_nodes[r], seed, self.row_fault[r]);
                 *index.entry(key).or_insert_with(|| {
                     kernels.push(Kernel {
                         schedule: self.row_schedule[r] as usize,
                         cold_nodes: self.row_cold_nodes[r],
                         seed,
+                        fault: self.row_fault[r],
                         class: self.row_class[r],
                     });
                     kernels.len() - 1
@@ -371,7 +392,7 @@ impl<'a> BatchPlan<'a> {
         si: usize,
         job_ids: &[usize],
         kernels: &[Kernel],
-        kernel_done: &mut [(u64, usize)],
+        kernel_done: &mut [(u64, usize, FaultCounts)],
         heap_jobs: &mut Vec<usize>,
     ) {
         let sched = &self.schedules[si];
@@ -408,35 +429,42 @@ impl<'a> BatchPlan<'a> {
         }
         for st in &live {
             let done = des::envelope_finish(&st.lines, sched.stream, sched.half_rtt, st.last);
-            kernel_done[st.kernel] = (done, kernels[st.kernel].cold_nodes);
+            kernel_done[st.kernel] = (done, kernels[st.kernel].cold_nodes, FaultCounts::default());
         }
     }
 
     /// Replay one heap or stochastic kernel through the per-row event
-    /// heap, reconstructing `simulate_classified`'s draw streams.
-    fn heap_kernel(&self, k: &Kernel) -> (u64, usize) {
+    /// heap, reconstructing `simulate_classified`'s draw streams — the
+    /// faulty engine when the kernel carries a non-`None` fault model.
+    fn heap_kernel(&self, k: &Kernel) -> (u64, usize, FaultCounts) {
         let sched = &self.schedules[k.schedule];
         let params = sched.stream.params();
-        // `heap_schedule` only reads `rtt_ns` off the config; rebuild one
-        // from the classification params.
+        // The engines only read the calibration, seed, and fault off the
+        // config; rebuild one from the classification params.
         let cfg = LaunchConfig {
             rtt_ns: params.rtt_ns,
             meta_service_ns: params.meta_service_ns,
             warm_ns: params.warm_ns,
             service_dist: params.dist,
             seed: k.seed,
+            fault: k.fault,
             ..LaunchConfig::default()
         };
-        if params.dist.is_deterministic() {
-            des::heap_schedule(sched.stream, &cfg, k.cold_nodes, |_, seg| seg.service_ns)
+        if !k.fault.is_none() {
+            des::heap_schedule_faulty(sched.stream, &cfg, k.cold_nodes)
+        } else if params.dist.is_deterministic() {
+            let (done, peak) =
+                des::heap_schedule(sched.stream, &cfg, k.cold_nodes, |_, seg| seg.service_ns);
+            (done, peak, FaultCounts::default())
         } else {
             let dist = params.dist;
             let mut rngs: Vec<SplitMix> = (0..k.cold_nodes)
                 .map(|i| SplitMix::split(k.seed, SplitMix::NODE, i as u64))
                 .collect();
-            des::heap_schedule(sched.stream, &cfg, k.cold_nodes, |i, seg| {
+            let (done, peak) = des::heap_schedule(sched.stream, &cfg, k.cold_nodes, |i, seg| {
                 des::scale_service_ns(seg.service_ns, dist.sample(&mut rngs[i]))
-            })
+            });
+            (done, peak, FaultCounts::default())
         }
     }
 }
@@ -544,6 +572,42 @@ mod tests {
         let mut other = cfg;
         other.rtt_ns += 1;
         plan.push(id, &other);
+    }
+
+    /// Fault-injected rows demote to the heap class, replay through the
+    /// faulty engine, and still match per-call `simulate_classified` row
+    /// for row — seeds collapsing only for draw-free models.
+    #[test]
+    fn faulted_rows_match_per_call_path() {
+        use crate::fault::FaultModel;
+        let base = LaunchConfig::default();
+        let ops = log_of(&[(Op::Stat, base.rtt_ns), (Op::Openat, base.rtt_ns * 2)]);
+        let faults = [
+            FaultModel::None,
+            FaultModel::ServerStall { at_ns: 1_000_000, duration_ns: 400_000_000 },
+            FaultModel::RpcLoss {
+                loss_milli: 200,
+                timeout_ns: 2_000_000,
+                backoff_base_ns: 500_000,
+                max_retries: 4,
+            },
+            FaultModel::Stragglers { frac_milli: 300, slow_milli: 3000 },
+        ];
+        for dist in ServiceDistribution::all() {
+            let cfg = cfg_with(dist, 1024, false);
+            let stream = ClassifiedStream::classify(&ops, &cfg);
+            let mut plan = BatchPlan::new();
+            let id = plan.stream(&stream);
+            let mut expected = Vec::new();
+            for fault in faults {
+                for seed in [1u64, 99] {
+                    let c = cfg.clone().with_seed(seed).with_fault(fault);
+                    plan.push(id, &c);
+                    expected.push(simulate_classified(&stream, &c));
+                }
+            }
+            assert_eq!(plan.execute(), expected, "dist={}", dist.name());
+        }
     }
 
     /// Kernel dedup: rows differing only in overheads, warm fleet, or

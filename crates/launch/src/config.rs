@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use depchaos_workloads::SplitMix;
 
+use crate::fault::FaultModel;
+
 /// The metadata server's per-op service-time distribution.
 ///
 /// The paper's Fig 6 model is [`Deterministic`](ServiceDistribution): every
@@ -140,8 +142,15 @@ pub struct LaunchConfig {
     /// from [`SplitMix::split`]`(seed, SplitMix::NODE, node)`.
     pub service_dist: ServiceDistribution,
     /// Base RNG seed for stochastic service draws. Ignored (no draws occur)
-    /// under [`ServiceDistribution::Deterministic`].
+    /// under [`ServiceDistribution::Deterministic`] with a draw-free
+    /// [`FaultModel`].
     pub seed: u64,
+    /// Fault-injection model (server brownouts, RPC loss/retry, stragglers).
+    /// [`FaultModel::None`] reproduces the healthy-server engine bit for
+    /// bit; the draw-taking variants pull from the dedicated
+    /// [`SplitMix::FAULT`] stream domain so they never perturb service
+    /// draws (common random numbers across fault/no-fault pairs).
+    pub fault: FaultModel,
 }
 
 impl Default for LaunchConfig {
@@ -157,6 +166,7 @@ impl Default for LaunchConfig {
             broadcast_cache: false,
             service_dist: ServiceDistribution::Deterministic,
             seed: 0xD15_7A5ED, // "dist-based" — any fixed value works
+            fault: FaultModel::None,
         }
     }
 }
@@ -177,6 +187,11 @@ impl LaunchConfig {
         self
     }
 
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Number of nodes (ceil division).
     pub fn nodes(&self) -> usize {
         self.ranks.div_ceil(self.ranks_per_node).max(1)
@@ -184,7 +199,7 @@ impl LaunchConfig {
 }
 
 /// Outcome of one simulated launch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LaunchResult {
     /// Wall time until every rank finished loading.
     pub time_to_launch_ns: u64,
@@ -195,6 +210,19 @@ pub struct LaunchResult {
     pub local_ops: u64,
     /// Peak simulated server queue depth (contention indicator).
     pub peak_queue_depth: usize,
+    /// RPC attempts re-issued after a lost response
+    /// ([`FaultModel::RpcLoss`]); zero otherwise.
+    #[serde(default)]
+    pub retries_issued: u64,
+    /// Client timeouts that fired waiting on a lost response.
+    #[serde(default)]
+    pub timeouts_hit: u64,
+    /// Longest single exponential-backoff wait any client slept.
+    #[serde(default)]
+    pub max_backoff_ns: u64,
+    /// Cold nodes the straggler draw slowed ([`FaultModel::Stragglers`]).
+    #[serde(default)]
+    pub slowed_nodes: usize,
 }
 
 impl LaunchResult {

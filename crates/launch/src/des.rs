@@ -71,6 +71,7 @@
 //! | [`SplitMix::NODE`] | cold node index | per-(node, segment) service factors, here |
 //! | [`SplitMix::REPLICATE`] | replicate `r ≥ 1` | one `u64`: replicate `r`'s config seed ([`crate::replicate_seed`]) |
 //! | [`SplitMix::WORKLOAD`] | scenario-label digest | one `u64`: the cell's base seed ([`crate::scenario_seed`]) |
+//! | [`SplitMix::FAULT`] | cold node index | RPC-loss verdicts and straggler membership ([`FaultModel`]) |
 //!
 //! The flow is `experiment seed → WORKLOAD → cell seed → REPLICATE →
 //! replicate seed → NODE → service factors`; each arrow is a domain hop,
@@ -83,6 +84,22 @@
 //! The client-side payload time of a read (`client_extra_ns`) is fixed at
 //! classification: jitter models server occupancy variance, not the
 //! transfer the client has to absorb either way.
+//!
+//! # Fault injection
+//!
+//! `cfg.fault` (a [`FaultModel`]) selects a degraded-mode engine,
+//! [`heap_schedule_faulty`]: server brownout stalls postpone service
+//! starts, lost RPC responses are re-issued after client timeout plus
+//! exponential backoff (each retry is real extra server work), and a
+//! seeded fraction of cold nodes runs slow. Every fault draw comes from
+//! the FAULT domain, per cold node in that node's own event order —
+//! decorrelated from the NODE-domain service draws, so a faulted and a
+//! healthy cell of the same seed share service times (common random
+//! numbers). [`FaultModel::None`] never enters the faulty engine; its
+//! results are bit-identical to the pre-fault DES. [`reference`] carries
+//! the same fault semantics as the oracle, and `LaunchResult.server_ops`
+//! keeps counting *distinct* ops — retried attempts are accounted
+//! separately in `retries_issued`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -91,6 +108,7 @@ use depchaos_vfs::{Op, StraceLog};
 use depchaos_workloads::SplitMix;
 
 use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
+use crate::fault::{backoff_ns, FaultCounts, FaultModel};
 
 /// The [`LaunchConfig`] fields classification depends on. Two configs with
 /// equal `ClassifyParams` can share one [`ClassifiedStream`] — rank count,
@@ -300,10 +318,18 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
     local_ops += cold_nodes as u64 * stream.n_local;
     let server_ops = cold_nodes as u64 * stream.server_ops();
 
-    let (cold_done_ns, peak_queue_depth) = if stream.segments.is_empty() {
+    let (cold_done_ns, peak_queue_depth, fc) = if stream.segments.is_empty() {
         // No server traffic: cold nodes take no draws under any
-        // distribution, so they are symmetric too — coalesce.
-        (stream.local_total_ns(), 0)
+        // distribution, so they are symmetric too — coalesce. No fault can
+        // manifest either (stalls, losses, and straggler slowdowns all act
+        // on server ops), so the fault engine is skipped and the counts
+        // stay zero.
+        (stream.local_total_ns(), 0, FaultCounts::default())
+    } else if !cfg.fault.is_none() {
+        // Degraded mode: the faulty event heap is the only engine —
+        // retries break the closed form's round-major symmetry and stalls
+        // its service pacing, so faulted rows never coalesce analytically.
+        heap_schedule_faulty(stream, cfg, cold_nodes)
     } else if cfg.service_dist.is_deterministic() {
         // The exact fast path: no RNG is even constructed, and when the
         // fleet is symmetric with a round-major segment schedule (see
@@ -311,10 +337,11 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
         // collapses to a line-envelope recursion over the segments. A lone
         // cold node keeps the heap: its O(server_ops) walk is cheaper than
         // maintaining the envelope.
-        (cold_nodes > 1)
+        let (done, peak) = (cold_nodes > 1)
             .then(|| all_cold_closed_form(stream, cfg, cold_nodes))
             .flatten()
-            .unwrap_or_else(|| heap_schedule(stream, cfg, cold_nodes, |_, seg| seg.service_ns))
+            .unwrap_or_else(|| heap_schedule(stream, cfg, cold_nodes, |_, seg| seg.service_ns));
+        (done, peak, FaultCounts::default())
     } else {
         // Stochastic: one independent draw stream per cold node, consumed
         // in segment order (each node's events are pushed sequentially), so
@@ -322,9 +349,10 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
         let dist = cfg.service_dist;
         let mut rngs: Vec<SplitMix> =
             (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::NODE, i as u64)).collect();
-        heap_schedule(stream, cfg, cold_nodes, |i, seg| {
+        let (done, peak) = heap_schedule(stream, cfg, cold_nodes, |i, seg| {
             scale_service_ns(seg.service_ns, dist.sample(&mut rngs[i]))
-        })
+        });
+        (done, peak, FaultCounts::default())
     };
 
     // Per-node completion plus serialized per-rank spawn overhead.
@@ -336,6 +364,10 @@ pub fn simulate_classified(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Lau
         server_ops,
         local_ops,
         peak_queue_depth,
+        retries_issued: fc.retries,
+        timeouts_hit: fc.timeouts,
+        max_backoff_ns: fc.max_backoff_ns,
+        slowed_nodes: fc.slowed_nodes,
     }
 }
 
@@ -410,6 +442,146 @@ pub(crate) fn heap_schedule(
     (done_max_ns, peak_queue_depth)
 }
 
+/// The degraded-mode event loop: [`heap_schedule`]'s walk with `cfg.fault`
+/// executed event-accurately. Kept separate from the healthy engine — the
+/// million-rank bench gates that loop, and [`FaultModel::None`] rows never
+/// enter this one. The semantics, identical in [`reference`]:
+///
+/// * **ServerStall** — an op whose service would *start* inside
+///   `[at_ns, at_ns + duration_ns)` waits until the window closes;
+///   in-flight service completes. Draw-free.
+/// * **RpcLoss** — after the server finishes an op (the work is done and
+///   the server-busy clock stands), the response is lost with probability
+///   `loss_milli / 1000` unless this was the node's attempt `max_retries`
+///   (forced success, no draw taken). A lost op is re-issued at
+///   `t_send + timeout_ns + backoff_base_ns · 2^attempt` with the *same*
+///   drawn service time — the retry is the same request, so no new NODE
+///   draw — and the node's segment cursor does not advance.
+/// * **Stragglers** — before any event, cold node `i` draws membership
+///   (`below(1000) < frac_milli`); members scale every (possibly
+///   dist-scaled) service time by `slow_milli / 1000` through the same
+///   clamp as the distribution factor.
+///
+/// Fault draws come from `SplitMix::split(cfg.seed, FAULT, node)`, consumed
+/// in the node's own event order — a node has exactly one outstanding
+/// request, so its verdict sequence is heap-schedule-independent, which is
+/// what keeps this engine and the reference oracle bit-identical.
+pub(crate) fn heap_schedule_faulty(
+    stream: &ClassifiedStream,
+    cfg: &LaunchConfig,
+    cold_nodes: usize,
+) -> (u64, usize, FaultCounts) {
+    let fault = cfg.fault;
+    let dist = cfg.service_dist;
+    let half_rtt = cfg.rtt_ns / 2;
+    let mut counts = FaultCounts::default();
+
+    let mut dist_rngs: Vec<SplitMix> = if dist.is_deterministic() {
+        Vec::new()
+    } else {
+        (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::NODE, i as u64)).collect()
+    };
+    let mut fault_rngs: Vec<SplitMix> = if fault.takes_draws() {
+        (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::FAULT, i as u64)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Straggler membership: one FAULT draw per cold node, in node order,
+    // before any event executes.
+    let (slow, slow_factor) = match fault {
+        FaultModel::Stragglers { frac_milli, slow_milli } => (
+            (0..cold_nodes)
+                .map(|i| fault_rngs[i].below(1000) < frac_milli as u64)
+                .collect::<Vec<bool>>(),
+            slow_milli as f64 / 1000.0,
+        ),
+        _ => (Vec::new(), 1.0),
+    };
+    counts.slowed_nodes = slow.iter().filter(|&&s| s).count();
+
+    let mut svc_for = |i: usize, seg: &ServerSeg| -> u64 {
+        let mut svc = if dist.is_deterministic() {
+            seg.service_ns
+        } else {
+            scale_service_ns(seg.service_ns, dist.sample(&mut dist_rngs[i]))
+        };
+        if slow.get(i).copied().unwrap_or(false) {
+            svc = scale_service_ns(svc, slow_factor);
+        }
+        svc
+    };
+
+    struct Node {
+        next_seg: usize,
+        clock_ns: u64,
+        /// Retry attempt of the node's outstanding request (RpcLoss).
+        attempt: u32,
+    }
+    let mut node_state: Vec<Node> =
+        (0..cold_nodes).map(|_| Node { next_seg: 0, clock_ns: 0, attempt: 0 }).collect();
+
+    let mut heap: BinaryHeap<Reverse<(u64, usize, u64, u64)>> =
+        BinaryHeap::with_capacity(cold_nodes);
+    let first = stream.segments[0];
+    for (i, n) in node_state.iter_mut().enumerate() {
+        n.clock_ns = first.pre_local_ns;
+        heap.push(Reverse((n.clock_ns + half_rtt, i, svc_for(i, &first), first.client_extra_ns)));
+    }
+
+    let mut peak_queue_depth = 0usize;
+    let mut server_busy_ns = 0u64;
+    let mut done_max_ns = 0u64;
+    while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
+        peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
+        let mut start = server_busy_ns.max(arrival);
+        if let FaultModel::ServerStall { at_ns, duration_ns } = fault {
+            let end = at_ns.saturating_add(duration_ns);
+            if start >= at_ns && start < end {
+                start = end;
+            }
+        }
+        let done = start + svc;
+        server_busy_ns = done;
+        let n = &mut node_state[i];
+        if let FaultModel::RpcLoss { loss_milli, timeout_ns, backoff_base_ns, max_retries } = fault
+        {
+            if n.attempt < max_retries && fault_rngs[i].below(1000) < loss_milli as u64 {
+                // Response lost: the server did the work (the busy clock
+                // above stands) but the client never hears back. It times
+                // out relative to its own send instant, sleeps its
+                // exponential backoff, and re-issues the same request.
+                let t_send = arrival - half_rtt;
+                let backoff = backoff_ns(backoff_base_ns, n.attempt);
+                counts.note_retry(backoff);
+                n.attempt += 1;
+                let resend = t_send.saturating_add(timeout_ns).saturating_add(backoff);
+                heap.push(Reverse((resend.saturating_add(half_rtt), i, svc, extra)));
+                continue;
+            }
+            n.attempt = 0;
+        }
+        n.clock_ns = done + half_rtt + extra;
+        n.next_seg += 1;
+        match stream.segments.get(n.next_seg) {
+            Some(seg) => {
+                n.clock_ns += seg.pre_local_ns;
+                heap.push(Reverse((
+                    n.clock_ns + half_rtt,
+                    i,
+                    svc_for(i, seg),
+                    seg.client_extra_ns,
+                )));
+            }
+            None => {
+                n.clock_ns += stream.tail_local_ns;
+                done_max_ns = done_max_ns.max(n.clock_ns);
+            }
+        }
+    }
+    (done_max_ns, peak_queue_depth, counts)
+}
+
 /// The analytic all-cold fast path: `simulate_classified`'s deterministic
 /// no-broadcast regime without the event heap. Returns the full
 /// [`LaunchResult`] when the closed form applies (see
@@ -418,7 +590,11 @@ pub(crate) fn heap_schedule(
 /// *whether* the analytic regime engaged, and the result is bit-identical
 /// to [`simulate_classified`] whenever it does.
 pub fn analytic_all_cold(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Option<LaunchResult> {
-    if !cfg.service_dist.is_deterministic() || cfg.broadcast_cache || stream.segments.is_empty() {
+    if !cfg.service_dist.is_deterministic()
+        || !cfg.fault.is_none()
+        || cfg.broadcast_cache
+        || stream.segments.is_empty()
+    {
         return None;
     }
     let nodes = cfg.nodes();
@@ -430,6 +606,7 @@ pub fn analytic_all_cold(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Optio
         server_ops: nodes as u64 * stream.server_ops(),
         local_ops: nodes as u64 * stream.n_local,
         peak_queue_depth,
+        ..Default::default()
     })
 }
 
@@ -606,11 +783,15 @@ pub mod reference {
     //! nodes)`. Kept as the equivalence oracle for
     //! [`super::simulate_classified`] (`tests/des_equivalence.rs` asserts
     //! bit-identical [`LaunchResult`]s) — do not optimise this module. The
-    //! only post-freeze extension is the stochastic service draw, which
+    //! post-freeze extensions are the stochastic service draw, which
     //! mirrors the fast path's per-(node, segment) [`SplitMix`] streams so
-    //! the oracle covers the jittered regimes too; under
-    //! [`ServiceDistribution::Deterministic`] no generator is constructed
-    //! and the walk is the original, verbatim.
+    //! the oracle covers the jittered regimes too, and the fault engine,
+    //! which mirrors [`super::heap_schedule_faulty`] semantics (stall
+    //! windows, loss/retry with the same drawn service and an unadvanced
+    //! cursor, straggler membership) from the same FAULT-domain streams;
+    //! under [`ServiceDistribution::Deterministic`] with
+    //! [`FaultModel::None`] no generator is constructed and the walk is
+    //! the original, verbatim.
 
     use super::*;
 
@@ -648,6 +829,14 @@ pub mod reference {
         let nodes = cfg.nodes();
         let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
 
+        // With no server-class op in the stream no fault can manifest (the
+        // fast path skips its fault engine on an empty segment schedule and
+        // takes no FAULT draws); degrade to the healthy walk.
+        let has_server = classes.iter().any(|c| matches!(c, OpClass::Server { .. }));
+        let fault = if has_server { cfg.fault } else { FaultModel::None };
+        let half_rtt = cfg.rtt_ns / 2;
+        let mut counts = FaultCounts::default();
+
         // Stochastic service draws: node i's stream is SplitMix::split(seed,
         // NODE, i), consumed once per server op it reaches, in op order —
         // the same (node, draw-index) → factor mapping as the fast path.
@@ -657,12 +846,36 @@ pub mod reference {
         } else {
             (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::NODE, i as u64)).collect()
         };
+        // Fault draws: node i's FAULT-domain stream, consumed in the node's
+        // own event order (membership first under Stragglers, per served op
+        // under RpcLoss) — exactly heap_schedule_faulty's discipline.
+        let mut fault_rngs: Vec<SplitMix> = if fault.takes_draws() {
+            (0..cold_nodes).map(|i| SplitMix::split(cfg.seed, SplitMix::FAULT, i as u64)).collect()
+        } else {
+            Vec::new()
+        };
+        let (slow, slow_factor) = match fault {
+            FaultModel::Stragglers { frac_milli, slow_milli } => (
+                (0..cold_nodes)
+                    .map(|i| fault_rngs[i].below(1000) < frac_milli as u64)
+                    .collect::<Vec<bool>>(),
+                slow_milli as f64 / 1000.0,
+            ),
+            _ => (Vec::new(), 1.0),
+        };
+        counts.slowed_nodes = slow.iter().filter(|&&s| s).count();
+        let mut attempts: Vec<u32> = vec![0; cold_nodes];
+
         let mut svc_draw = |i: usize, base_ns: u64| -> u64 {
-            if dist.is_deterministic() {
+            let mut svc = if dist.is_deterministic() {
                 base_ns
             } else {
                 scale_service_ns(base_ns, dist.sample(&mut rngs[i]))
+            };
+            if slow.get(i).copied().unwrap_or(false) {
+                svc = scale_service_ns(svc, slow_factor);
             }
+            svc
         };
 
         let mut server_ops = 0u64;
@@ -719,9 +932,33 @@ pub mod reference {
         let mut peak_queue_depth = 0usize;
         while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
             peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-            let start = server_busy_ns.max(arrival);
+            let mut start = server_busy_ns.max(arrival);
+            if let FaultModel::ServerStall { at_ns, duration_ns } = fault {
+                let end = at_ns.saturating_add(duration_ns);
+                if start >= at_ns && start < end {
+                    start = end;
+                }
+            }
             let done = start + svc;
             server_busy_ns = done;
+            if let FaultModel::RpcLoss { loss_milli, timeout_ns, backoff_base_ns, max_retries } =
+                fault
+            {
+                if attempts[i] < max_retries && fault_rngs[i].below(1000) < loss_milli as u64 {
+                    // Lost response: re-issue the same request (same drawn
+                    // service, cursor unadvanced) after timeout + backoff.
+                    let t_send = arrival - half_rtt;
+                    let backoff = backoff_ns(backoff_base_ns, attempts[i]);
+                    counts.note_retry(backoff);
+                    attempts[i] += 1;
+                    let resend = t_send.saturating_add(timeout_ns).saturating_add(backoff);
+                    heap.push(Reverse((resend.saturating_add(half_rtt), i, svc, extra)));
+                    continue;
+                }
+                attempts[i] = 0;
+            }
+            // server_ops counts *distinct* ops the stream issued; retried
+            // attempts are accounted in `counts.retries`.
             server_ops += 1;
             let n = &mut node_state[i];
             n.clock_ns = done + cfg.rtt_ns / 2 + extra;
@@ -739,6 +976,10 @@ pub mod reference {
             server_ops,
             local_ops,
             peak_queue_depth,
+            retries_issued: counts.retries,
+            timeouts_hit: counts.timeouts,
+            max_backoff_ns: counts.max_backoff_ns,
+            slowed_nodes: counts.slowed_nodes,
         }
     }
 }
@@ -1000,6 +1241,172 @@ mod tests {
         let classified = ClassifiedStream::classify(&ops, &fast_cfg());
         let jittered = fast_cfg().with_service_dist(ServiceDistribution::uniform_jitter(0.1));
         simulate_classified(&classified, &jittered);
+    }
+
+    fn fault_models() -> [FaultModel; 4] {
+        [
+            FaultModel::None,
+            // Stall window inside the contention phase of the fast streams.
+            FaultModel::ServerStall { at_ns: 2_000_000, duration_ns: 300_000_000 },
+            FaultModel::RpcLoss {
+                loss_milli: 150,
+                timeout_ns: 1_000_000,
+                backoff_base_ns: 250_000,
+                max_retries: 5,
+            },
+            FaultModel::Stragglers { frac_milli: 250, slow_milli: 4000 },
+        ]
+    }
+
+    #[test]
+    fn faulty_fast_path_matches_the_reference_oracle() {
+        let streams = [stream(0, 0), stream(60, 0), stream(0, 60), stream(17, 43)];
+        for fault in fault_models() {
+            for dist in ServiceDistribution::all() {
+                for ops in &streams {
+                    for ranks in [1usize, 300, 2048] {
+                        for broadcast in [false, true] {
+                            let mut cfg = fast_cfg()
+                                .with_ranks(ranks)
+                                .with_service_dist(dist)
+                                .with_fault(fault)
+                                .with_seed(99);
+                            cfg.broadcast_cache = broadcast;
+                            assert_eq!(
+                                simulate_launch(ops, &cfg),
+                                simulate_launch_reference(ops, &cfg),
+                                "fault={} dist={} ranks={ranks} broadcast={broadcast} ops={}",
+                                fault.name(),
+                                dist.name(),
+                                ops.len()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_impact_faults_reproduce_healthy_results() {
+        // The faulty engine with a model that cannot fire must agree with
+        // the healthy engine bit for bit — including under jitter, which
+        // pins the common-random-numbers discipline: FAULT-domain draws
+        // never perturb the NODE-domain service draws.
+        let ops = stream(120, 30);
+        let noops = [
+            FaultModel::ServerStall { at_ns: 0, duration_ns: 0 },
+            FaultModel::RpcLoss {
+                loss_milli: 0,
+                timeout_ns: 1_000_000,
+                backoff_base_ns: 1_000,
+                max_retries: 5,
+            },
+            FaultModel::Stragglers { frac_milli: 0, slow_milli: 4000 },
+        ];
+        for dist in ServiceDistribution::all() {
+            for ranks in [128usize, 1024] {
+                let healthy =
+                    simulate_launch(&ops, &fast_cfg().with_ranks(ranks).with_service_dist(dist));
+                for fault in noops {
+                    let faulted = simulate_launch(
+                        &ops,
+                        &fast_cfg().with_ranks(ranks).with_service_dist(dist).with_fault(fault),
+                    );
+                    assert_eq!(
+                        faulted.time_to_launch_ns,
+                        healthy.time_to_launch_ns,
+                        "fault={} dist={} ranks={ranks}",
+                        fault.name(),
+                        dist.name()
+                    );
+                    assert_eq!(faulted.retries_issued, 0);
+                    assert_eq!(faulted.slowed_nodes, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_stall_delays_only_when_it_overlaps_the_launch() {
+        let ops = stream(200, 0);
+        let cfg = fast_cfg().with_ranks(2048);
+        let healthy = simulate_launch(&ops, &cfg);
+        let brown = simulate_launch(
+            &ops,
+            &cfg.clone().with_fault(FaultModel::ServerStall {
+                at_ns: 1_000_000,
+                duration_ns: 10_000_000_000,
+            }),
+        );
+        assert!(
+            brown.time_to_launch_ns >= healthy.time_to_launch_ns + 10_000_000_000,
+            "a mid-launch 10 s brownout costs at least the window: {} vs {}",
+            healthy.time_to_launch_ns,
+            brown.time_to_launch_ns
+        );
+        // A stall scheduled long after the last op never fires.
+        let late = simulate_launch(
+            &ops,
+            &cfg.clone().with_fault(FaultModel::ServerStall {
+                at_ns: healthy.time_to_launch_ns * 1000,
+                duration_ns: 10_000_000_000,
+            }),
+        );
+        assert_eq!(late, healthy, "a stall after the last service start is a no-op");
+        assert_eq!(brown.server_ops, healthy.server_ops, "stalls add wait, not work");
+    }
+
+    #[test]
+    fn rpc_loss_retries_are_real_extra_work_and_accounted() {
+        let ops = stream(200, 0);
+        let cfg = fast_cfg().with_ranks(2048);
+        let healthy = simulate_launch(&ops, &cfg);
+        let lossy = simulate_launch(
+            &ops,
+            &cfg.clone().with_fault(FaultModel::RpcLoss {
+                loss_milli: 200,
+                timeout_ns: 2_000_000,
+                backoff_base_ns: 500_000,
+                max_retries: 5,
+            }),
+        );
+        assert!(lossy.retries_issued > 0, "20% loss over 3200 ops must lose some");
+        assert_eq!(lossy.timeouts_hit, lossy.retries_issued);
+        assert!(lossy.max_backoff_ns >= 500_000);
+        assert_eq!(lossy.server_ops, healthy.server_ops, "distinct ops unchanged");
+        assert!(lossy.time_to_launch_ns > healthy.time_to_launch_ns);
+        // ~1/0.8 load amplification: retries land within a factor of the
+        // expectation (binomial over 16 × 200 attempt chains).
+        let attempts = lossy.server_ops + lossy.retries_issued;
+        assert!(
+            attempts as f64 > lossy.server_ops as f64 * 1.15
+                && (attempts as f64) < lossy.server_ops as f64 * 1.40,
+            "retry volume tracks the loss rate: {attempts} vs {}",
+            lossy.server_ops
+        );
+    }
+
+    #[test]
+    fn stragglers_are_seeded_counted_and_slow_the_launch() {
+        let ops = stream(200, 0);
+        let fault = FaultModel::Stragglers { frac_milli: 250, slow_milli: 4000 };
+        let cfg = fast_cfg().with_ranks(2048).with_fault(fault);
+        let healthy = simulate_launch(&ops, &fast_cfg().with_ranks(2048));
+        let r = simulate_launch(&ops, &cfg);
+        assert!(
+            r.slowed_nodes > 0 && r.slowed_nodes < 16,
+            "~4 of 16 nodes slow: {}",
+            r.slowed_nodes
+        );
+        assert!(r.time_to_launch_ns > healthy.time_to_launch_ns);
+        assert_eq!(simulate_launch(&ops, &cfg), r, "reproduces per seed");
+        let other = simulate_launch(&ops, &cfg.clone().with_seed(1234));
+        assert_ne!(
+            (r.slowed_nodes, r.time_to_launch_ns),
+            (other.slowed_nodes, other.time_to_launch_ns),
+            "membership is drawn from the seed"
+        );
     }
 
     /// Random op streams for the analytic-vs-heap comparison: kinds and

@@ -33,6 +33,7 @@ use depchaos_workloads::{SplitMix, Workload};
 use crate::batch::BatchPlan;
 use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
+use crate::fault::FaultModel;
 use crate::matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
 };
@@ -382,7 +383,7 @@ impl SweepReport {
     /// deterministic (replicates = 1).
     pub fn render_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tdist\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\n",
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\tretries\n",
         );
         for r in &self.results {
             for (ranks, l) in &r.series {
@@ -394,20 +395,22 @@ impl SweepReport {
                     p99_ns: l.time_to_launch_ns,
                 });
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
                     r.spec.wrap.name(),
                     r.spec.cache.name(),
                     r.spec.dist.name(),
+                    r.spec.fault.name(),
                     l.seconds(),
                     st.p50_s(),
                     st.p95_s(),
                     st.p99_s(),
                     st.replicates,
                     l.server_ops,
-                    l.peak_queue_depth
+                    l.peak_queue_depth,
+                    l.retries_issued
                 ));
             }
         }
@@ -483,6 +486,85 @@ impl SweepReport {
         out
     }
 
+    /// Per-fault degraded-mode tables — the `fig6-faults` section. For
+    /// every (workload, backend, storage, wrap, cache, dist) slice swept
+    /// across the fault axis, one table with a row per fault model: the
+    /// launch seconds at each rank point, the slowdown over the healthy
+    /// row at the largest point, and the fault accounting (retries,
+    /// timeouts, straggler membership) from replicate 0 at that point.
+    pub fn render_fault_tables(&self) -> String {
+        let mut out = String::new();
+        let mut seen: HashSet<ScenarioSpec> = HashSet::new();
+        let last = self.rank_points.last().copied();
+        for r in &self.results {
+            let slice = ScenarioSpec { fault: FaultModel::None, ..r.spec.clone() };
+            if !seen.insert(slice.clone()) {
+                continue;
+            }
+            // All fault models of this slice, healthy first, then in
+            // result order (which follows the matrix's fault axis).
+            let mut members: Vec<&ScenarioResult> = self
+                .results
+                .iter()
+                .filter(|x| ScenarioSpec { fault: FaultModel::None, ..x.spec.clone() } == slice)
+                .collect();
+            members.sort_by_key(|x| !x.spec.fault.is_none());
+            out.push_str(&format!(
+                "--- {} × {} ({}, {} cache, {}, {}) ---\n",
+                slice.workload,
+                slice.backend,
+                slice.storage.name(),
+                slice.cache.name(),
+                slice.wrap.name(),
+                slice.dist.name()
+            ));
+            if let Some(e) = members.iter().find_map(|m| m.error.as_deref()) {
+                out.push_str(&format!("no series — {e}\n\n"));
+                continue;
+            }
+            let healthy_at = |p: usize| {
+                members.iter().find(|m| m.spec.fault.is_none()).and_then(|m| m.seconds_at(p))
+            };
+            let mut header = format!("{:<42}", "fault");
+            for &p in &self.rank_points {
+                header.push_str(&format!("  {:>10}", format!("{p}(s)")));
+            }
+            header.push_str(&format!(
+                "  {:>9}  {:>9} {:>9} {:>7}\n",
+                "slowdown", "retries", "timeouts", "slowed"
+            ));
+            out.push_str(&header);
+            for m in &members {
+                let name = if m.spec.fault.is_none() {
+                    "healthy".to_string()
+                } else {
+                    m.spec.fault.name()
+                };
+                let mut row = format!("{name:<42}");
+                for &p in &self.rank_points {
+                    match m.seconds_at(p) {
+                        Some(secs) => row.push_str(&format!("  {secs:>10.1}")),
+                        None => row.push_str(&format!("  {:>10}", "-")),
+                    }
+                }
+                let slowdown = last
+                    .and_then(|p| Some(m.seconds_at(p)? / healthy_at(p)?))
+                    .map(|x| format!("{x:>8.2}x"))
+                    .unwrap_or_else(|| format!("{:>9}", "-"));
+                let acct = last.and_then(|p| m.result_at(p));
+                row.push_str(&format!(
+                    "  {slowdown}  {:>9} {:>9} {:>7}\n",
+                    acct.map(|l| l.retries_issued).unwrap_or(0),
+                    acct.map(|l| l.timeouts_hit).unwrap_or(0),
+                    acct.map(|l| l.slowed_nodes).unwrap_or(0)
+                ));
+                out.push_str(&row);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Every `(scenario label, ranks)` whose replicate mean escaped the
     /// M/G/1 envelope — empty means the whole sweep is consistent with
     /// queueing theory.
@@ -520,11 +602,16 @@ impl SweepReport {
                 } else {
                     format!("{:>12}", "saturated")
                 };
+                // Faulted cells forfeit the upper bound entirely.
+                let upper = if q.bounds.upper_ns == u64::MAX {
+                    format!("{:>10}", "-")
+                } else {
+                    format!("{:>10.2}", q.bounds.upper_ns as f64 / 1e9)
+                };
                 out.push_str(&format!(
-                    "{ranks:>7} {:>10.2} {:>10.2} {:>10.2} {:>7.2} {wait}  {}\n",
+                    "{ranks:>7} {:>10.2} {:>10.2} {upper} {:>7.2} {wait}  {}\n",
                     q.observed_mean_ns as f64 / 1e9,
                     q.bounds.lower_ns as f64 / 1e9,
-                    q.bounds.upper_ns as f64 / 1e9,
                     q.bounds.utilisation,
                     if !q.bounds.applicable {
                         "n/a"
@@ -549,7 +636,7 @@ impl SweepReport {
     /// than printing a non-numeric `inf` into a numeric column.
     pub fn render_queueing_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tdist\tranks\tmean_s\tlower_s\tupper_s\
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tmean_s\tlower_s\tupper_s\
              \tutilisation\tmg1_wait_ms\treplicates\twithin\n",
         );
         for r in &self.results {
@@ -560,17 +647,23 @@ impl SweepReport {
                 } else {
                     String::new()
                 };
+                // Missing-datum convention for the forfeited upper bound.
+                let upper_s = if q.bounds.upper_ns == u64::MAX {
+                    String::new()
+                } else {
+                    format!("{:.3}", q.bounds.upper_ns as f64 / 1e9)
+                };
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{wait_ms}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{upper_s}\t{:.3}\t{wait_ms}\t{}\t{}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
                     r.spec.wrap.name(),
                     r.spec.cache.name(),
                     r.spec.dist.name(),
+                    r.spec.fault.name(),
                     q.observed_mean_ns as f64 / 1e9,
                     q.bounds.lower_ns as f64 / 1e9,
-                    q.bounds.upper_ns as f64 / 1e9,
                     q.bounds.utilisation,
                     st,
                     if !q.bounds.applicable {
@@ -606,6 +699,7 @@ pub fn run_scenario(
     let spec = s.spec();
     let mut cfg = s.cache.apply(base.clone());
     cfg.service_dist = s.dist;
+    cfg.fault = s.fault;
     // Each cell draws from its own decorrelated stream, derived
     // from (experiment seed, cell label) — deterministic across
     // runs and across rayon schedules.
@@ -694,6 +788,7 @@ impl ExperimentMatrix {
                 let spec = s.spec();
                 let mut cfg = s.cache.apply(self.base.clone());
                 cfg.service_dist = s.dist;
+                cfg.fault = s.fault;
                 // Each cell draws from its own decorrelated stream, derived
                 // from (experiment seed, cell label) — deterministic across
                 // runs and across execution orders.
@@ -720,8 +815,11 @@ impl ExperimentMatrix {
                 continue;
             };
             let id = plan.stream(stream);
-            let k =
-                if prep.cfg.service_dist.is_deterministic() { 1 } else { self.replicates.max(1) };
+            let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws() {
+                1
+            } else {
+                self.replicates.max(1)
+            };
             for &ranks in &rank_points {
                 for r in 0..k {
                     let cfg = prep
@@ -970,6 +1068,89 @@ mod tests {
         assert!(tsv.starts_with("workload\t"));
         // 6 scenarios × 2 rank points + header.
         assert_eq!(tsv.lines().count(), 13);
+    }
+
+    #[test]
+    fn fault_axis_degrades_cells_without_touching_healthy_ones() {
+        let faults = [
+            FaultModel::None,
+            FaultModel::ServerStall { at_ns: 0, duration_ns: 30_000_000_000 },
+            FaultModel::RpcLoss {
+                loss_milli: 100,
+                timeout_ns: 1_000_000_000,
+                backoff_base_ns: 250_000_000,
+                max_retries: 5,
+            },
+            FaultModel::Stragglers { frac_milli: 200, slow_milli: 4000 },
+        ];
+        let base = LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        };
+        let cache = ProfileCache::new();
+        let degraded = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states([WrapState::Plain])
+            .faults(faults)
+            .base_config(base.clone())
+            .rank_points([256usize, 512])
+            .run(&cache);
+        // 1 wrap × 4 fault models; faults change simulation, not profiling.
+        assert_eq!(degraded.results.len(), 4);
+        assert_eq!(cache.computed(), 1);
+
+        // Healthy cells are byte-identical to a matrix with no fault axis —
+        // the label (and so the cell seed) never saw the new axis.
+        let healthy = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states([WrapState::Plain])
+            .base_config(base)
+            .rank_points([256usize, 512])
+            .run(&cache);
+        assert_eq!(degraded.get(&healthy.results[0].spec), Some(&healthy.results[0]));
+
+        // Every fault slows the launch, and the accounting says why.
+        let healthy_s = healthy.results[0].seconds_at(512).unwrap();
+        for r in &degraded.results {
+            if r.spec.fault.is_none() {
+                continue;
+            }
+            assert!(
+                r.seconds_at(512).unwrap() > healthy_s,
+                "{}: fault should cost time",
+                r.spec.label()
+            );
+            let l = r.result_at(512).unwrap();
+            match r.spec.fault {
+                FaultModel::RpcLoss { .. } => {
+                    assert!(l.retries_issued > 0 && l.timeouts_hit > 0)
+                }
+                FaultModel::Stragglers { .. } => assert!(l.slowed_nodes > 0),
+                _ => {}
+            }
+            // The surviving lower bound still holds for every faulted cell.
+            for (ranks, q) in &r.queueing {
+                assert!(q.within, "{} at {ranks}: {q:?}", r.spec.label());
+                assert_eq!(q.bounds.upper_ns, u64::MAX);
+            }
+        }
+
+        let tables = degraded.render_fault_tables();
+        assert!(tables.contains("healthy"));
+        assert!(tables.contains("stall-0-30000000000"));
+        assert!(tables.contains("slowdown"));
+        let tsv = degraded.render_tsv();
+        assert!(tsv.starts_with("workload\tbackend\tstorage\twrap\tcache\tdist\tfault\t"));
+        // 4 scenarios × 2 rank points + header.
+        assert_eq!(tsv.lines().count(), 9);
+        let qtsv = degraded.render_queueing_tsv();
+        // Faulted rows leave the forfeited upper bound empty.
+        assert!(qtsv.lines().skip(1).any(|l| l.split('\t').nth(10) == Some("")));
     }
 
     #[test]

@@ -22,7 +22,14 @@
 //!    deterministic model, bounded uniform jitter, or a heavy-tailed
 //!    log-normal, the stochastic variants drawing one seeded factor per
 //!    (cold node, server op) from a dedicated RNG stream domain (see the
-//!    [`des`] module's stream-domain map). Simulation is two-phase:
+//!    [`des`] module's stream-domain map). [`fault`] layers degraded-mode
+//!    operation on top: a [`FaultModel`] on the config injects server
+//!    brownout stalls, RPC loss with timeout/retry/exponential backoff
+//!    (retries are real extra server work), or seeded straggler nodes —
+//!    all draws from their own FAULT stream domain so faulted and healthy
+//!    cells share service draws (common random numbers), and
+//!    [`FaultModel::None`] stays bit-identical to the healthy engine.
+//!    Simulation is two-phase:
 //!    [`ClassifiedStream::classify`] compacts the op stream into a
 //!    per-server-op schedule exactly once, and [`simulate_classified`]
 //!    replays it through the cheapest exact regime — the
@@ -117,6 +124,7 @@ pub mod batch;
 pub mod config;
 pub mod des;
 pub mod experiment;
+pub mod fault;
 pub mod matrix;
 pub mod profile;
 pub mod queueing;
@@ -132,6 +140,7 @@ pub use experiment::{
     run_scenario, scenario_seed, CellProfile, ProfileCache, ProfileOutcome, ScenarioResult,
     SweepReport,
 };
+pub use fault::{FaultCounts, FaultModel};
 pub use matrix::{
     CachePolicy, CellKey, ExperimentMatrix, MatrixBackend, Scenario, ScenarioSpec, WrapState,
     DEFAULT_REPLICATES,

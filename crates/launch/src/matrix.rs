@@ -1,7 +1,8 @@
 //! The experiment design space: scenario axes and their cross product.
 //!
 //! A [`Scenario`] is one point in (workload × loader backend × storage
-//! model × wrap state × cache policy × service distribution); an
+//! model × wrap state × cache policy × service distribution × fault
+//! model); an
 //! [`ExperimentMatrix`] holds the axis values and expands the full cross
 //! product. Execution lives in [`crate::experiment`], which gathers the
 //! expanded grid into one columnar [`crate::batch::BatchPlan`] pass —
@@ -20,6 +21,7 @@ use depchaos_vfs::{StorageModel, Vfs};
 use depchaos_workloads::{InstalledWorkload, Workload};
 
 use crate::config::{LaunchConfig, ServiceDistribution};
+use crate::fault::FaultModel;
 
 /// The wrap-state axis: is the binary launched as built, or after
 /// Shrinkwrap froze its closure?
@@ -173,6 +175,7 @@ pub struct Scenario {
     pub wrap: WrapState,
     pub cache: CachePolicy,
     pub dist: ServiceDistribution,
+    pub fault: FaultModel,
 }
 
 impl Scenario {
@@ -194,6 +197,7 @@ impl Scenario {
             wrap: self.wrap,
             cache: self.cache,
             dist: self.dist,
+            fault: self.fault,
         }
     }
 }
@@ -222,14 +226,21 @@ pub struct ScenarioSpec {
     pub wrap: WrapState,
     pub cache: CachePolicy,
     pub dist: ServiceDistribution,
+    /// Degraded-mode axis; [`FaultModel::None`] for healthy cells. Serde
+    /// defaults keep reports written before the axis existed loadable.
+    #[serde(default)]
+    pub fault: FaultModel,
 }
 
 impl ScenarioSpec {
     /// One-line label, stable across renderers and TSV. Also the input of
     /// the per-cell seed derivation ([`crate::experiment::scenario_seed`]),
     /// which is what makes "reproducible from (seed, cell key)" literal.
+    /// The fault segment is appended only for faulted cells, so every
+    /// healthy label — and therefore every healthy cell seed — is
+    /// byte-identical to what it was before the fault axis existed.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{}/{}/{}/{}",
             self.workload,
             self.backend,
@@ -237,7 +248,12 @@ impl ScenarioSpec {
             self.wrap.name(),
             self.cache.name(),
             self.dist.name()
-        )
+        );
+        if !self.fault.is_none() {
+            label.push('/');
+            label.push_str(&self.fault.name());
+        }
+        label
     }
 }
 
@@ -257,6 +273,7 @@ pub struct ExperimentMatrix {
     pub(crate) wrap_states: Vec<WrapState>,
     pub(crate) cache_policies: Vec<CachePolicy>,
     pub(crate) distributions: Vec<ServiceDistribution>,
+    pub(crate) faults: Vec<FaultModel>,
     pub(crate) rank_points: Vec<usize>,
     pub(crate) replicates: usize,
     pub(crate) base: LaunchConfig,
@@ -275,6 +292,7 @@ impl ExperimentMatrix {
             wrap_states: Vec::new(),
             cache_policies: Vec::new(),
             distributions: Vec::new(),
+            faults: Vec::new(),
             rank_points: Vec::new(),
             replicates: DEFAULT_REPLICATES,
             base: LaunchConfig::default(),
@@ -326,6 +344,18 @@ impl ExperimentMatrix {
         self
     }
 
+    pub fn fault(mut self, f: FaultModel) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// The degraded-mode axis; an empty axis defaults to healthy
+    /// ([`FaultModel::None`]) at `expand()` time.
+    pub fn faults(mut self, fs: impl IntoIterator<Item = FaultModel>) -> Self {
+        self.faults.extend(fs);
+        self
+    }
+
     /// Replicates per (stochastic scenario, rank point); deterministic
     /// scenarios always run exactly once. Default
     /// [`DEFAULT_REPLICATES`].
@@ -370,8 +400,9 @@ impl ExperimentMatrix {
     }
 
     /// Expand the full cross product. Empty axes default to: glibc, NFS,
-    /// both wrap states, cold cache, deterministic service. (Workloads
-    /// have no default — an empty workload axis expands to no scenarios.)
+    /// both wrap states, cold cache, deterministic service, no faults.
+    /// (Workloads have no default — an empty workload axis expands to no
+    /// scenarios.)
     pub fn expand(&self) -> Vec<Scenario> {
         let backends = if self.backends.is_empty() {
             vec![MatrixBackend::glibc()]
@@ -395,6 +426,8 @@ impl ExperimentMatrix {
         } else {
             self.distributions.clone()
         };
+        let faults =
+            if self.faults.is_empty() { vec![FaultModel::None] } else { self.faults.clone() };
 
         let mut out = Vec::new();
         for w in &self.workloads {
@@ -403,14 +436,17 @@ impl ExperimentMatrix {
                     for wr in &wraps {
                         for c in &caches {
                             for d in &dists {
-                                out.push(Scenario {
-                                    workload: Arc::clone(w),
-                                    backend: b.clone(),
-                                    storage: *s,
-                                    wrap: *wr,
-                                    cache: *c,
-                                    dist: *d,
-                                });
+                                for f in &faults {
+                                    out.push(Scenario {
+                                        workload: Arc::clone(w),
+                                        backend: b.clone(),
+                                        storage: *s,
+                                        wrap: *wr,
+                                        cache: *c,
+                                        dist: *d,
+                                        fault: *f,
+                                    });
+                                }
                             }
                         }
                     }
@@ -482,6 +518,29 @@ mod tests {
         let labels: std::collections::HashSet<String> =
             scenarios.iter().map(|s| s.spec().label()).collect();
         assert_eq!(labels.len(), 6, "every scenario is addressable by label");
+    }
+
+    #[test]
+    fn fault_axis_multiplies_scenarios_and_extends_labels_only_when_faulted() {
+        let m = ExperimentMatrix::new().workload(Pynamic::new(10)).faults([
+            FaultModel::None,
+            FaultModel::ServerStall { at_ns: 2_000_000_000, duration_ns: 10_000_000_000 },
+        ]);
+        let scenarios = m.expand();
+        assert_eq!(scenarios.len(), 2 * 2, "(plain, wrapped) × (healthy, stalled)");
+        // Faults change simulation, not profiling: still one cell.
+        let cells: std::collections::HashSet<CellKey> =
+            scenarios.iter().map(|s| s.cell_key()).collect();
+        assert_eq!(cells.len(), 1);
+        // Healthy labels stay byte-identical to the pre-fault-axis format,
+        // so healthy per-cell seeds are unchanged; faulted labels grow a
+        // seventh segment that round-trips through FaultModel::parse.
+        let labels: std::collections::HashSet<String> =
+            scenarios.iter().map(|s| s.spec().label()).collect();
+        assert!(labels.contains("pynamic-10/glibc/nfs/plain/cold/deterministic"));
+        assert!(labels.contains(
+            "pynamic-10/glibc/nfs/plain/cold/deterministic/stall-2000000000-10000000000"
+        ));
     }
 
     #[test]

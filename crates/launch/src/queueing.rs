@@ -36,11 +36,27 @@
 //!   replicate set. A distribution whose tail reaches the service clamp
 //!   (log-normal `σ > 2`) truncates its own mean unboundedly; such cells
 //!   are marked inapplicable instead of mis-flagged.
+//!
+//! # Fault injection
+//!
+//! Under a [`FaultModel`](crate::FaultModel) the envelope degrades
+//! asymmetrically. The *capacity lower bound stays rigorous* — stalls and
+//! backoffs only add wait, retries only add server work, and a straggler
+//! slowdown (`slow ≥ 1×`) only lengthens services, so no faulted schedule
+//! can beat the healthy serial-capacity floor. The *upper bound is
+//! forfeited* (`upper_ns = u64::MAX`): stall windows and retry backoff
+//! waits are not work the work-conservation argument covers. The offered
+//! load descriptors are retry-aware — `RpcLoss` multiplies the
+//! utilisation and P-K arrival rate by `1/(1 − loss)`, every attempt
+//! being independent server work. A straggler model with `slow < 1×`
+//! (nodes sped *up*) would undercut the healthy floor, so such cells are
+//! marked inapplicable.
 
 use serde::{Deserialize, Serialize};
 
 use crate::config::{LaunchConfig, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
+use crate::fault::FaultModel;
 use crate::sweep::LaunchStats;
 
 /// `E[F²]` of the mean-one service factor, closed-form per distribution.
@@ -92,15 +108,20 @@ pub struct Mg1Bounds {
     pub cold_nodes: usize,
     /// Server round trips per cold replay (the stream's `K`).
     pub server_ops_per_node: u64,
-    /// Offered utilisation `ρ = N·ΣS / free-replay`; values ≥ 1 mean the
-    /// cold fleet saturates the server (the contended regime).
+    /// Offered utilisation `ρ = N·ΣS / free-replay`, multiplied by the
+    /// retry amplification `1/(1 − loss)` under
+    /// [`FaultModel::RpcLoss`]; values ≥ 1 mean the cold fleet saturates
+    /// the server (the contended regime).
     pub utilisation: f64,
     /// Pollaczek–Khinchine mean wait per op at the offered load;
     /// `f64::INFINITY` once saturated.
     pub mean_wait_ns: f64,
-    /// Hard lower bound on the mean launch time.
+    /// Hard lower bound on the mean launch time — still rigorous under
+    /// every fault model (faults add wait and work, never remove any).
     pub lower_ns: u64,
-    /// Hard upper bound on the mean launch time.
+    /// Hard upper bound on the mean launch time; `u64::MAX` under a
+    /// non-`None` fault model (stall and backoff waits escape the
+    /// work-conservation argument).
     pub upper_ns: u64,
     /// Squared coefficient of variation of the service factor
     /// (`E[F²] − 1`).
@@ -135,8 +156,14 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
     let applicable = match dist {
         ServiceDistribution::LogNormal { sigma_milli } => sigma_milli <= 2000,
         _ => true,
+    } && match cfg.fault {
+        // A straggler *speed-up* would undercut the healthy capacity
+        // floor; genuine slowdowns keep every bound argument intact.
+        FaultModel::Stragglers { slow_milli, .. } => slow_milli >= 1000,
+        _ => true,
     };
     let cv2 = factor_second_moment(dist) - 1.0;
+    let amp = cfg.fault.load_amplification();
 
     let segs = stream.server_segments();
     let k = segs.len() as u64;
@@ -187,18 +214,33 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
     let lower = overhead + lower_cold.max(warm_done);
     let upper = overhead + upper_cold.max(warm_done);
 
-    // Descriptors: each cold node offers one op per free/K nanoseconds. A
-    // degenerate all-zero-cost calibration (free = 0) is instantaneous
-    // arrivals of zero-length ops: report it as saturated rather than NaN.
-    let utilisation =
-        if free > 0 { cold as f64 * service_total as f64 / free as f64 } else { f64::INFINITY };
+    // Descriptors: each cold node offers one op per free/K nanoseconds —
+    // times the retry amplification, every lost attempt being independent
+    // server work. A degenerate all-zero-cost calibration (free = 0) is
+    // instantaneous arrivals of zero-length ops: report it as saturated
+    // rather than NaN (total RPC loss likewise amplifies to saturation).
+    let utilisation = if free > 0 {
+        let rho = cold as f64 * service_total as f64 / free as f64 * amp;
+        if rho.is_nan() {
+            f64::INFINITY
+        } else {
+            rho
+        }
+    } else {
+        f64::INFINITY
+    };
     let moments = ServiceMoments::of(stream, dist).expect("k > 0");
     let mean_wait_ns = if utilisation < 1.0 {
-        let lambda = cold as f64 * k as f64 / free as f64;
+        let lambda = cold as f64 * k as f64 / free as f64 * amp;
         lambda * moments.second_moment_ns2 / (2.0 * (1.0 - utilisation))
     } else {
         f64::INFINITY
     };
+
+    // Any fault forfeits the work-conservation upper bound: stall windows
+    // and retry backoffs are waits no foreign-op accounting covers. The
+    // capacity lower bound stands.
+    let upper = if cfg.fault.is_none() { upper.min(u64::MAX as u128) as u64 } else { u64::MAX };
 
     let service_sq_total: f64 = segs.iter().map(|s| (s.service_ns as f64).powi(2)).sum();
     Mg1Bounds {
@@ -208,7 +250,7 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
         utilisation,
         mean_wait_ns,
         lower_ns: lower.min(u64::MAX as u128) as u64,
-        upper_ns: upper.min(u64::MAX as u128) as u64,
+        upper_ns: upper,
         factor_cv2: cv2,
         work_sd_ns: (cv2 * cold as f64 * service_sq_total).sqrt(),
         applicable,
@@ -398,6 +440,93 @@ mod tests {
         assert_eq!(b.lower_ns, b.upper_ns);
         assert_eq!(b.lower_ns, simulate_classified(&stream, &at).time_to_launch_ns);
         assert_eq!(b.utilisation, 0.0);
+    }
+
+    #[test]
+    fn rpc_loss_amplifies_offered_load_and_forfeits_the_upper_bound() {
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+        let healthy = mg1_bounds(&stream, &cfg.clone().with_ranks(2048));
+        let lossy = cfg.clone().with_ranks(2048).with_fault(FaultModel::RpcLoss {
+            loss_milli: 200,
+            timeout_ns: 1_000_000_000,
+            backoff_base_ns: 250_000_000,
+            max_retries: 5,
+        });
+        let b = mg1_bounds(&stream, &lossy);
+        // 200‰ loss: every op costs 1/(1 − 0.2) = 1.25 attempts in
+        // expectation, and the offered-load descriptors say so.
+        assert!((b.utilisation / healthy.utilisation - 1.25).abs() < 1e-12);
+        assert_eq!(b.upper_ns, u64::MAX, "faulted cells keep no upper bound");
+        assert_eq!(b.lower_ns, healthy.lower_ns, "the capacity floor is unchanged");
+        assert!(b.applicable);
+        // Total loss saturates rather than NaN-ing.
+        let total = cfg.clone().with_ranks(2048).with_fault(FaultModel::RpcLoss {
+            loss_milli: 1000,
+            timeout_ns: 1_000_000_000,
+            backoff_base_ns: 250_000_000,
+            max_retries: 5,
+        });
+        assert!(mg1_bounds(&stream, &total).utilisation.is_infinite());
+    }
+
+    #[test]
+    fn faulted_results_respect_the_surviving_lower_bound() {
+        let faults = [
+            FaultModel::ServerStall { at_ns: 2_000_000_000, duration_ns: 10_000_000_000 },
+            FaultModel::RpcLoss {
+                loss_milli: 100,
+                timeout_ns: 1_000_000_000,
+                backoff_base_ns: 250_000_000,
+                max_retries: 5,
+            },
+            FaultModel::Stragglers { frac_milli: 100, slow_milli: 4000 },
+        ];
+        for fault in faults {
+            // Deterministic service: one faulted run is the mean, and it
+            // may never beat the healthy capacity floor.
+            let cfg = fast_cfg().with_fault(fault);
+            let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+            let at = cfg.clone().with_ranks(2048);
+            let b = mg1_bounds(&stream, &at);
+            assert!(b.applicable, "{fault:?} should stay applicable");
+            let r = simulate_classified(&stream, &at);
+            assert!(
+                r.time_to_launch_ns >= b.lower_ns,
+                "{fault:?}: {} beat the capacity floor {}",
+                r.time_to_launch_ns,
+                b.lower_ns
+            );
+            // Stochastic services: the bound constrains the true mean, so
+            // check replicate means through the sampling-slack validator
+            // (the forfeited upper bound makes this a lower-bound check).
+            for dist in ServiceDistribution::all() {
+                let cfg = fast_cfg().with_service_dist(dist).with_fault(fault);
+                let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+                let rows = sweep_ranks_replicated(&stream, &cfg, &[512, 2048], 7);
+                for (ranks, _, stats) in rows {
+                    let b = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks));
+                    let check = validate_against_mg1(&b, &stats);
+                    assert!(
+                        check.within,
+                        "{fault:?} {} ranks={ranks}: mean {} under floor {} (slack {})",
+                        dist.name(),
+                        check.observed_mean_ns,
+                        b.lower_ns,
+                        check.slack_ns
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_speedups_are_marked_inapplicable() {
+        let cfg =
+            fast_cfg().with_fault(FaultModel::Stragglers { frac_milli: 500, slow_milli: 500 });
+        let stream = ClassifiedStream::classify(&cold_stream(50), &cfg);
+        let b = mg1_bounds(&stream, &cfg.clone().with_ranks(2048));
+        assert!(!b.applicable, "sped-up nodes can beat the healthy capacity floor");
     }
 
     #[test]

@@ -83,8 +83,9 @@ pub fn replicate_seed(base_seed: u64, replicate: usize) -> u64 {
 /// [`sweep_ranks_classified`] over K seeded replicates per rank point:
 /// returns, per point, replicate 0's full [`LaunchResult`] (the series the
 /// plain renderers draw) plus the [`LaunchStats`] over all replicates.
-/// `replicates` is clamped to 1 when the stream's distribution is
-/// deterministic — extra replicates could only repeat the same value.
+/// `replicates` is clamped to 1 when the run takes no draws at all — a
+/// deterministic distribution under a draw-free fault model — since extra
+/// replicates could only repeat the same value.
 ///
 /// The whole (rank point × replicate) grid executes as one [`BatchPlan`]:
 /// deterministic points collapse to shared analytic kernels, stochastic
@@ -95,7 +96,11 @@ pub fn sweep_ranks_replicated(
     rank_points: &[usize],
     replicates: usize,
 ) -> Vec<(usize, LaunchResult, LaunchStats)> {
-    let k = if stream.params().dist.is_deterministic() { 1 } else { replicates.max(1) };
+    let k = if stream.params().dist.is_deterministic() && !base.fault.takes_draws() {
+        1
+    } else {
+        replicates.max(1)
+    };
     let mut plan = BatchPlan::new();
     let id = plan.stream(stream);
     for &ranks in rank_points {
@@ -313,13 +318,7 @@ mod tests {
 
     #[test]
     fn render_guards_degenerate_speedups() {
-        let zero = LaunchResult {
-            time_to_launch_ns: 0,
-            nodes: 1,
-            server_ops: 0,
-            local_ops: 0,
-            peak_queue_depth: 0,
-        };
+        let zero = LaunchResult { nodes: 1, ..Default::default() };
         let cfg = LaunchConfig::default();
         let pts = [512usize, 1024];
         let normal = sweep_ranks(&cold_stream(10), &cfg, &pts);

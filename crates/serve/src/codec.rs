@@ -175,7 +175,8 @@ impl CellRecord {
             let (r, st, q, b) = (&o.result, &o.stats, &o.queueing, &o.queueing.bounds);
             s.push_str(&format!(
                 ",\"launch_ns\":{},\"nodes\":{},\"server_ops\":{},\"local_ops\":{},\
-                 \"peak_queue\":{},\"reps\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
+                 \"peak_queue\":{},\"retries\":{},\"timeouts\":{},\"max_backoff_ns\":{},\
+                 \"slowed_nodes\":{},\"reps\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
                  \"p99_ns\":{},\"q_ranks\":{},\"q_cold_nodes\":{},\"q_ops_per_node\":{},\
                  \"q_util_bits\":{},\"q_wait_bits\":{},\"q_lower_ns\":{},\"q_upper_ns\":{},\
                  \"q_cv2_bits\":{},\"q_sd_bits\":{},\"q_applicable\":{},\"q_observed_ns\":{},\
@@ -185,6 +186,10 @@ impl CellRecord {
                 r.server_ops,
                 r.local_ops,
                 r.peak_queue_depth,
+                r.retries_issued,
+                r.timeouts_hit,
+                r.max_backoff_ns,
+                r.slowed_nodes,
                 st.replicates,
                 st.mean_ns,
                 st.p50_ns,
@@ -241,6 +246,10 @@ impl CellRecord {
                     server_ops: need_u64("server_ops")?,
                     local_ops: need_u64("local_ops")?,
                     peak_queue_depth: need_u64("peak_queue")? as usize,
+                    retries_issued: need_u64("retries")?,
+                    timeouts_hit: need_u64("timeouts")?,
+                    max_backoff_ns: need_u64("max_backoff_ns")?,
+                    slowed_nodes: need_u64("slowed_nodes")? as usize,
                 },
                 stats: LaunchStats {
                     replicates: need_u64("reps")? as usize,
@@ -287,6 +296,10 @@ mod tests {
                 server_ops: 500,
                 local_ops: 1200,
                 peak_queue_depth: 3,
+                retries_issued: 42,
+                timeouts_hit: 42,
+                max_backoff_ns: 4_000_000_000,
+                slowed_nodes: 2,
             },
             stats: LaunchStats {
                 replicates: 11,

@@ -27,6 +27,7 @@
 //! [`ProfileCache`] is what every one of its miss rows borrows.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -60,6 +61,10 @@ pub struct ExecStats {
     pub jobs: usize,
     /// Profiling runs this call triggered.
     pub cells_profiled: usize,
+    /// Cold cells whose profiling run panicked. Each is isolated by a
+    /// per-cell `catch_unwind`, reported as a failed cell, and *not*
+    /// persisted — the rest of the batch completes normally.
+    pub panics: usize,
 }
 
 impl ExecStats {
@@ -94,6 +99,21 @@ struct Prep {
     spec: ScenarioSpec,
     cfg: LaunchConfig,
     outcome: Result<(Arc<CellProfile>, Arc<ClassifiedStream>), String>,
+    /// The error in `outcome` is a caught profiling panic. Panicked cells
+    /// are reported but never persisted — a crash is not a result.
+    panicked: bool,
+}
+
+/// Render a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces; anything else is named as such).
+fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Run `matrix` against `store`: serve warm cells, profile cold cells on
@@ -155,11 +175,19 @@ pub fn run_matrix_incremental(
         }
     }
     let workers = jobs.max(1).min(cold_cell_scenarios.len().max(1));
-    let profile_cell =
-        |s: &Scenario| profiles.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
+    // Each profiling run is isolated behind its own `catch_unwind`: a
+    // workload that panics mid-install poisons only its own cell (the
+    // cache entry is simply never filled — `parking_lot` mutexes don't
+    // poison), and every other cell of the batch completes. Workers
+    // discard the verdict; phase 2b re-calls and keeps it.
+    let profile_cell = |s: &Scenario| {
+        catch_unwind(AssertUnwindSafe(|| {
+            profiles.get_or_profile(s.workload.as_ref(), &s.backend, s.storage)
+        }))
+    };
     if workers <= 1 {
         for s in &cold_cell_scenarios {
-            profile_cell(s);
+            let _ = profile_cell(s);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -168,7 +196,7 @@ pub fn run_matrix_incremental(
                 sc.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(s) = cold_cell_scenarios.get(i) else { break };
-                    profile_cell(s);
+                    let _ = profile_cell(s);
                 });
             }
         });
@@ -181,19 +209,28 @@ pub fn run_matrix_incremental(
         .iter()
         .map(|&i| {
             let s = &scenarios[i];
-            let cell = profile_cell(s);
             let spec = s.spec();
             let mut cfg = s.cache.apply(base.clone());
             cfg.service_dist = s.dist;
+            cfg.fault = s.fault;
             cfg.seed = scenario_seed(base.seed, &spec.label());
-            let outcome = match cell.outcome(s.wrap) {
-                Ok(p) => {
-                    let stream = profiles.classified(&cell.key, s.wrap, &p.log, &cfg);
-                    Ok((Arc::clone(&cell), stream))
-                }
-                Err(e) => Err(e.clone()),
+            // Phase 2a warmed the cache, so this re-call is a lookup —
+            // unless the cell's profiling panicked, in which case it
+            // panics again here, caught again, and becomes the outcome.
+            let (outcome, panicked) = match profile_cell(s) {
+                Ok(cell) => (
+                    match cell.outcome(s.wrap) {
+                        Ok(p) => {
+                            let stream = profiles.classified(&cell.key, s.wrap, &p.log, &cfg);
+                            Ok((Arc::clone(&cell), stream))
+                        }
+                        Err(e) => Err(e.clone()),
+                    },
+                    false,
+                ),
+                Err(e) => (Err(format!("panic in profiling: {}", panic_msg(e))), true),
             };
-            (i, Prep { spec, cfg, outcome })
+            (i, Prep { spec, cfg, outcome, panicked })
         })
         .collect();
 
@@ -209,7 +246,11 @@ pub fn run_matrix_incremental(
             continue;
         };
         let id = plan.stream(stream);
-        let k = if prep.cfg.service_dist.is_deterministic() { 1 } else { replicates.max(1) };
+        let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws() {
+            1
+        } else {
+            replicates.max(1)
+        };
         for r in 0..k {
             let cfg =
                 prep.cfg.clone().with_ranks(m.ranks).with_seed(replicate_seed(prep.cfg.seed, r));
@@ -220,7 +261,10 @@ pub fn run_matrix_incremental(
     let rows = plan.execute();
 
     // Phase 3: scatter the rows into per-rank-point records, persist
-    // them, and fold them into the warm map.
+    // them, and fold them into the warm map. Panicked cells are folded
+    // into the report but NOT persisted: a crash is transient evidence of
+    // a bug, not a reproducible result the store should keep serving.
+    let mut panics = 0usize;
     let mut cursor = 0usize;
     for (m, &n) in misses.iter().zip(&miss_rows) {
         let reps = &rows[cursor..cursor + n];
@@ -269,7 +313,11 @@ pub fn run_matrix_incremental(
                 outcome: None,
             },
         };
-        store.put(rec.clone())?;
+        if prep.panicked {
+            panics += 1;
+        } else {
+            store.put(rec.clone())?;
+        }
         warm.insert(rec.key, rec);
     }
 
@@ -292,6 +340,7 @@ pub fn run_matrix_incremental(
         shards: misses.len(),
         jobs: workers,
         cells_profiled: profiles.computed() - profiled_before,
+        panics,
     };
     let report = SweepReport { rank_points, results, cells_profiled: stats.cells_profiled };
     Ok((report, stats))
@@ -425,6 +474,43 @@ mod tests {
         let (_, stats) = run_matrix_incremental(&edited, &store, &ProfileCache::new(), 1).unwrap();
         assert_eq!(stats.warm_hits, 8, "deterministic cells untouched");
         assert_eq!(stats.cold_cells, 8, "exactly the lognormal cells re-ran");
+    }
+
+    #[test]
+    fn a_panicking_cell_is_isolated_reported_and_not_persisted() {
+        use depchaos_workloads::Poison;
+        // One poisoned workload next to a healthy one; both wrap states.
+        let m = || {
+            ExperimentMatrix::new()
+                .workload(Poison)
+                .workload(Pynamic::new(10))
+                .rank_points([256usize])
+        };
+        let store = ResultStore::in_memory();
+        let (report, stats) =
+            run_matrix_incremental(&m(), &store, &ProfileCache::new(), 4).unwrap();
+
+        // The poisoned cells are failures, counted and carried as errors…
+        assert_eq!(stats.panics, 2, "poison × (plain, wrapped) × 1 rank point");
+        let poisoned = report.find(|s| s.workload == "poison");
+        assert_eq!(poisoned.len(), 2);
+        for r in &poisoned {
+            let e = r.error.as_deref().unwrap();
+            assert!(e.contains("panic in profiling"), "{e}");
+            assert!(e.contains("deliberate install panic"), "{e}");
+        }
+        // …while the rest of the batch completed normally and persisted.
+        for r in report.find(|s| s.workload == "pynamic-10") {
+            assert!(r.error.is_none());
+            assert_eq!(r.series.len(), 1);
+        }
+        assert_eq!(store.len(), 2, "only the healthy cells are stored");
+
+        // A replay still treats the poisoned cells as cold (crashes are
+        // not results) and serves the healthy cells warm.
+        let (_, again) = run_matrix_incremental(&m(), &store, &ProfileCache::new(), 1).unwrap();
+        assert_eq!(again.warm_hits, 2);
+        assert_eq!(again.panics, 2);
     }
 
     #[test]

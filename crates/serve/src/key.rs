@@ -19,10 +19,14 @@
 //!    that install different worlds must carry different names);
 //! 3. backend name, storage model, wrap state, cache policy;
 //! 4. the [`ServiceDistribution`] (variant tag + integer milli parameter,
-//!    not the display string, so renaming never aliases two distributions);
-//! 5. the rank point and the **effective** replicate count (deterministic
-//!    cells clamp to 1 exactly as [`depchaos_launch::sweep_ranks_replicated`]
-//!    does, so asking for 5 or 50 replicates of an exact cell is one key);
+//!    not the display string, so renaming never aliases two distributions)
+//!    and the [`FaultModel`] (variant tag + every integer parameter,
+//!    encoded the same way);
+//! 5. the rank point and the **effective** replicate count (cells whose
+//!    distribution is deterministic *and* whose fault model takes no
+//!    draws clamp to 1 exactly as
+//!    [`depchaos_launch::sweep_ranks_replicated`] does, so asking for 5
+//!    or 50 replicates of an exact cell is one key);
 //! 6. the seed domain (the experiment's base seed — per-cell seeds derive
 //!    from it and the label, which items 2–4 already pin) and every
 //!    calibration field of the base [`LaunchConfig`].
@@ -34,12 +38,16 @@
 //! will ever expand, and pinned by golden-vector tests so accidental
 //! drift in the input encoding cannot silently poison a store.
 
-use depchaos_launch::{LaunchConfig, ScenarioSpec, ServiceDistribution};
+use depchaos_launch::{FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution};
 
 /// Engine-semantics epoch. Bump when the DES, the seed derivation, the
 /// classification, or the profile capture changes meaning — every record
 /// written under an older epoch is evicted at store load.
-pub const ENGINE_EPOCH: u32 = 1;
+///
+/// Epoch 2: the fault-model axis joined the key schema (and
+/// [`depchaos_launch::LaunchResult`] grew fault accounting the codec now
+/// stores), so epoch-1 records no longer decode.
+pub const ENGINE_EPOCH: u32 = 2;
 
 /// One SipHash-2-4 run over `data` with the given 128-bit key.
 ///
@@ -168,7 +176,7 @@ impl CellIdentity<'_> {
     /// cells collapse to one replicate no matter what was requested, so
     /// hashing the request verbatim would split one result across keys.
     pub fn effective_replicates(&self) -> usize {
-        if self.spec.dist.is_deterministic() {
+        if self.spec.dist.is_deterministic() && !self.spec.fault.takes_draws() {
             1
         } else {
             self.replicates.max(1)
@@ -193,6 +201,26 @@ impl CellIdentity<'_> {
             ServiceDistribution::LogNormal { sigma_milli } => {
                 buf.u8(2);
                 buf.u32(sigma_milli);
+            }
+        }
+        match self.spec.fault {
+            FaultModel::None => buf.u8(0),
+            FaultModel::ServerStall { at_ns, duration_ns } => {
+                buf.u8(1);
+                buf.u64(at_ns);
+                buf.u64(duration_ns);
+            }
+            FaultModel::RpcLoss { loss_milli, timeout_ns, backoff_base_ns, max_retries } => {
+                buf.u8(2);
+                buf.u32(loss_milli);
+                buf.u64(timeout_ns);
+                buf.u64(backoff_base_ns);
+                buf.u32(max_retries);
+            }
+            FaultModel::Stragglers { frac_milli, slow_milli } => {
+                buf.u8(3);
+                buf.u32(frac_milli);
+                buf.u32(slow_milli);
             }
         }
         buf.u64(self.ranks as u64);
@@ -246,6 +274,7 @@ mod tests {
             wrap: WrapState::Plain,
             cache: CachePolicy::Cold,
             dist,
+            fault: FaultModel::None,
         }
     }
 
@@ -264,11 +293,11 @@ mod tests {
         let log = spec(ServiceDistribution::log_normal(0.5));
         let jit = spec(ServiceDistribution::uniform_jitter(0.25));
         let wrapped = ScenarioSpec { wrap: WrapState::Wrapped, ..det.clone() };
-        assert_eq!(key_of(&det, 512, 11, &base), 0xf15a_a696_63c2_a929_c674_b7e4_0b2d_54c7);
-        assert_eq!(key_of(&det, 2048, 11, &base), 0x2359_3b43_5636_57a6_23db_be81_eca4_f467);
-        assert_eq!(key_of(&log, 512, 11, &base), 0x385b_d760_45c4_124e_dd51_e728_043d_8f34);
-        assert_eq!(key_of(&jit, 512, 11, &base), 0xc264_9be8_b524_5a67_36ff_7a99_8799_a493);
-        assert_eq!(key_of(&wrapped, 512, 11, &base), 0xa849_2fcc_3adc_0e2f_2a8d_89a1_d6b3_7ab3);
+        assert_eq!(key_of(&det, 512, 11, &base), 0x7597_8fb6_3e90_5594_bab2_ad94_abee_d5b7);
+        assert_eq!(key_of(&det, 2048, 11, &base), 0xfd5a_92d4_7e0a_5c64_429b_bece_16b3_8226);
+        assert_eq!(key_of(&log, 512, 11, &base), 0xd998_6587_fe16_2817_597b_1252_4200_fc77);
+        assert_eq!(key_of(&jit, 512, 11, &base), 0x4058_8700_c7fb_31e8_8f49_e24e_d01a_b56c);
+        assert_eq!(key_of(&wrapped, 512, 11, &base), 0x3463_c0b9_2fc9_c181_7b54_d88e_a3bd_d314);
     }
 
     #[test]
@@ -283,6 +312,14 @@ mod tests {
             ScenarioSpec { wrap: WrapState::Wrapped, ..s.clone() },
             ScenarioSpec { cache: CachePolicy::Broadcast, ..s.clone() },
             ScenarioSpec { dist: ServiceDistribution::log_normal(0.501), ..s.clone() },
+            ScenarioSpec {
+                fault: FaultModel::ServerStall { at_ns: 0, duration_ns: 1 },
+                ..s.clone()
+            },
+            ScenarioSpec {
+                fault: FaultModel::Stragglers { frac_milli: 1, slow_milli: 2000 },
+                ..s.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(key_of(v, 512, 11, &base), k, "{v:?}");
@@ -313,6 +350,22 @@ mod tests {
         assert_ne!(key_of(&log, 512, 1, &base), key_of(&log, 512, 50, &base));
         // And the zero-replicate request clamps to 1, like the sweep.
         assert_eq!(key_of(&log, 512, 0, &base), key_of(&log, 512, 1, &base));
+        // A draw-taking fault re-opens the replicate axis even under a
+        // deterministic distribution (the sweep replicates those cells)…
+        let lossy = ScenarioSpec {
+            fault: FaultModel::RpcLoss {
+                loss_milli: 100,
+                timeout_ns: 1_000_000_000,
+                backoff_base_ns: 250_000_000,
+                max_retries: 5,
+            },
+            ..det.clone()
+        };
+        assert_ne!(key_of(&lossy, 512, 1, &base), key_of(&lossy, 512, 50, &base));
+        // …while a draw-free fault (stall) keeps the cell exact.
+        let stalled =
+            ScenarioSpec { fault: FaultModel::ServerStall { at_ns: 0, duration_ns: 1 }, ..det };
+        assert_eq!(key_of(&stalled, 512, 1, &base), key_of(&stalled, 512, 50, &base));
     }
 
     #[test]

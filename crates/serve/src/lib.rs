@@ -22,8 +22,9 @@
 //! | 2 | workload name | the `Workload` trait makes the name the world identity |
 //! | 3 | backend, storage, wrap, cache names | the discrete axes |
 //! | 4 | distribution tag + integer milli parameter | never aliases on display names |
-//! | 5 | rank point, **effective** replicate count | deterministic cells clamp to 1, like the sweep |
-//! | 6 | experiment seed + every calibration field of the base config | the seed domain and the cluster model |
+//! | 5 | fault-model tag + integer parameters | a brownout cell must never answer for a healthy one |
+//! | 6 | rank point, **effective** replicate count | deterministic *and fault-draw-free* cells clamp to 1, like the sweep |
+//! | 7 | experiment seed + every calibration field of the base config | the seed domain and the cluster model |
 //!
 //! The hash is two independently keyed SipHash-2-4 lanes over a
 //! length-prefixed field encoding; golden-vector tests pin the exact keys
@@ -67,11 +68,16 @@
 //! One JSONL request per line: mandatory `id` and `base` (a named base
 //! workload: `pynamic-N`, `pynamic-rpath-N`, `axom-SEED`, `rocm-4.5`,
 //! `rocm-mixed`, `emacs`), plus axis deltas `wrap`, `cache`, `backend`,
-//! `storage`, `dist` (report spellings), `ranks` (list), `replicates`,
-//! `seed`, and `servers` (N-way perfectly-scaled metadata service:
+//! `storage`, `dist`, `fault` (report spellings — `fault` takes
+//! `stall-AT-DUR`, `loss-MILLI-TIMEOUT-BACKOFF-RETRIES`,
+//! `stragglers-FRAC-SLOW`), `ranks` (list), `replicates`, `seed`, and
+//! `servers` (N-way perfectly-scaled metadata service:
 //! `meta_service_ns / N`). Answers are one JSONL line per (query, rank
 //! point) carrying only simulator-deterministic integers; batch and
 //! per-query hit/miss/latency counters go to a separate stats document.
+//! A cell whose profiling *panics* is isolated (`catch_unwind` per cell):
+//! the rest of the batch completes, the cell answers with an error line,
+//! it is never persisted, and the batch exits nonzero.
 //! An example session:
 //!
 //! ```text

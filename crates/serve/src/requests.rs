@@ -6,18 +6,23 @@
 //! {"id":"q1","base":"pynamic-200"}
 //! {"id":"q2","base":"pynamic-200","wrap":"wrapped","cache":"broadcast"}
 //! {"id":"q3","base":"axom-7","dist":"lognormal-500","ranks":[512,4096],"servers":4}
+//! {"id":"q4","base":"pynamic-200","fault":"stall-2000000000-10000000000"}
 //! ```
 //!
 //! `id` and `base` are mandatory; everything else is a **delta** against
 //! the named base scenario, which defaults to the paper cell: glibc
 //! backend, NFS storage, plain binary, cold caches, deterministic server,
-//! ranks 512/1024/2048, [`DEFAULT_REPLICATES`] replicates. Recognised base
-//! workloads: `pynamic-N`, `pynamic-rpath-N`, `axom-SEED`, `rocm-4.5`,
-//! `rocm-mixed`, `emacs`. Axis deltas take the exact names the reports
-//! print (`wrap`, `cache`, `backend`, `storage`, `dist`); `ranks` replaces
-//! the rank-point list; `replicates` and `seed` override the sweep
-//! parameters; `servers: N` models a metadata service scaled to N backend
-//! servers as a perfect division of the per-op service time
+//! healthy (no fault), ranks 512/1024/2048, [`DEFAULT_REPLICATES`]
+//! replicates. Recognised base workloads: `pynamic-N`, `pynamic-rpath-N`,
+//! `axom-SEED`, `rocm-4.5`, `rocm-mixed`, `emacs` (plus `poison`, the
+//! deliberately-panicking panic-isolation fixture — never useful outside
+//! tests). Axis deltas take the exact names the reports print (`wrap`,
+//! `cache`, `backend`, `storage`, `dist`, `fault` — fault spellings are
+//! [`FaultModel::parse`]'s: `none`, `stall-AT-DUR`,
+//! `loss-MILLI-TIMEOUT-BACKOFF-RETRIES`, `stragglers-FRAC-SLOW`); `ranks`
+//! replaces the rank-point list; `replicates` and `seed` override the
+//! sweep parameters; `servers: N` models a metadata service scaled to N
+//! backend servers as a perfect division of the per-op service time
 //! (`meta_service_ns / N` — an optimistic lower bound, no coordination
 //! cost).
 //!
@@ -32,11 +37,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use depchaos_launch::{
-    CachePolicy, ExperimentMatrix, LaunchConfig, MatrixBackend, ProfileCache, ServiceDistribution,
-    WrapState, DEFAULT_REPLICATES,
+    CachePolicy, ExperimentMatrix, FaultModel, LaunchConfig, MatrixBackend, ProfileCache,
+    ServiceDistribution, WrapState, DEFAULT_REPLICATES,
 };
 use depchaos_vfs::StorageModel;
-use depchaos_workloads::{Axom, Emacs, Pynamic, PynamicRpath, Rocm, Workload};
+use depchaos_workloads::{Axom, Emacs, Poison, Pynamic, PynamicRpath, Rocm, Workload};
 
 use crate::codec::{esc, str_field, u64_field};
 use crate::exec::{run_matrix_incremental, ExecStats};
@@ -53,6 +58,7 @@ pub struct WhatIfRequest {
     pub wrap: WrapState,
     pub cache: CachePolicy,
     pub dist: ServiceDistribution,
+    pub fault: FaultModel,
     pub ranks: Vec<usize>,
     /// Metadata servers backing the service (perfect-scaling model).
     pub servers: u64,
@@ -95,6 +101,10 @@ fn resolve_workload(name: &str) -> Result<Arc<dyn Workload>, String> {
         "emacs" => Ok(Arc::new(Emacs)),
         "rocm-4.5" => Ok(Arc::new(Rocm::matched())),
         "rocm-mixed" => Ok(Arc::new(Rocm::mixed())),
+        // The panic-isolation fixture: installs by panicking. Accepted so
+        // integration tests (and the curious) can poison one cell of a
+        // batch; deliberately absent from the unknown-workload hint below.
+        "poison" => Ok(Arc::new(Poison)),
         _ => Err(format!(
             "unknown base workload {name:?} \
              (try pynamic-N, pynamic-rpath-N, axom-SEED, rocm-4.5, rocm-mixed, emacs)"
@@ -141,6 +151,10 @@ impl WhatIfRequest {
             }
             None => ServiceDistribution::Deterministic,
         };
+        let fault = match axis("fault")? {
+            Some(s) => FaultModel::parse(&s).ok_or(format!("unknown fault model {s:?}"))?,
+            None => FaultModel::None,
+        };
         let ranks = if has("ranks") {
             usize_list_field(line, "ranks").ok_or("malformed field \"ranks\"")?
         } else {
@@ -172,6 +186,7 @@ impl WhatIfRequest {
             wrap,
             cache,
             dist,
+            fault,
             ranks,
             servers,
             replicates,
@@ -196,6 +211,7 @@ impl WhatIfRequest {
             .wrap_states([self.wrap])
             .cache_policies([self.cache])
             .distribution(self.dist)
+            .fault(self.fault)
             .rank_points(self.ranks.iter().copied())
             .replicates(self.replicates)
             .base_config(base))
@@ -234,10 +250,12 @@ impl BatchReport {
         out
     }
 
-    /// Did any request fail to parse? (Simulated error *cells* are data,
-    /// not failures.)
+    /// Did anything go wrong serving this batch: a request that failed to
+    /// parse, or a cell whose profiling **panicked** (isolated, reported,
+    /// never persisted). Simulated error *cells* — loads the engine
+    /// resolves to a failure — are data, not failures.
     pub fn had_errors(&self) -> bool {
-        self.queries.iter().any(|q| q.parse_error.is_some())
+        self.queries.iter().any(|q| q.parse_error.is_some() || q.stats.panics > 0)
     }
 
     /// The batch accounting as one JSON document: totals (including the
@@ -248,12 +266,14 @@ impl BatchReport {
         let warm: usize = self.queries.iter().map(|q| q.stats.warm_hits).sum();
         let cold: usize = self.queries.iter().map(|q| q.stats.cold_cells).sum();
         let parse_errors = self.queries.iter().filter(|q| q.parse_error.is_some()).count();
+        let panics: usize = self.queries.iter().map(|q| q.stats.panics).sum();
         let elapsed: u128 = self.queries.iter().map(|q| q.elapsed_us).sum();
         let hit_rate = if cells == 0 { 1.0 } else { warm as f64 / cells as f64 };
         let mut s = format!(
             "{{\"queries\":{},\"cells\":{cells},\"total_warm_hits\":{warm},\
              \"total_cold_cells\":{cold},\"hit_rate\":{hit_rate:.3},\
-             \"parse_errors\":{parse_errors},\"elapsed_us\":{elapsed},\n \"per_query\":[",
+             \"parse_errors\":{parse_errors},\"panics\":{panics},\"elapsed_us\":{elapsed},\n \
+             \"per_query\":[",
             self.queries.len(),
         );
         for (i, q) in self.queries.iter().enumerate() {
@@ -378,12 +398,14 @@ mod tests {
         assert_eq!(q.id, "q1");
         assert_eq!(q.ranks, vec![512, 1024, 2048]);
         assert_eq!(q.wrap, WrapState::Plain);
+        assert_eq!(q.fault, FaultModel::None);
         assert_eq!(q.servers, 1);
         assert_eq!(q.replicates, DEFAULT_REPLICATES);
 
         let q = WhatIfRequest::parse(
             r#"{"id":"q2","base":"pynamic-20","wrap":"wrapped","cache":"broadcast",
                "dist":"lognormal-500","backend":"musl","storage":"local",
+               "fault":"stall-2000000000-10000000000",
                "ranks":[256, 512],"servers":4,"replicates":3,"seed":9}"#
                 .replace('\n', " ")
                 .as_str(),
@@ -394,6 +416,10 @@ mod tests {
         assert_eq!(q.dist, ServiceDistribution::log_normal(0.5));
         assert_eq!(q.backend.name(), "musl");
         assert_eq!(q.storage, StorageModel::Local);
+        assert_eq!(
+            q.fault,
+            FaultModel::ServerStall { at_ns: 2_000_000_000, duration_ns: 10_000_000_000 }
+        );
         assert_eq!(q.ranks, vec![256, 512]);
         assert_eq!(q.servers, 4);
         assert_eq!(q.replicates, 3);
@@ -409,6 +435,7 @@ mod tests {
             (r#"{"id":"q","base":"pynamic-0"}"#, "out of range"),
             (r#"{"id":"q","base":"pynamic-20","wrap":"sideways"}"#, "unknown wrap state"),
             (r#"{"id":"q","base":"pynamic-20","dist":"cauchy"}"#, "unknown distribution"),
+            (r#"{"id":"q","base":"pynamic-20","fault":"gremlins"}"#, "unknown fault model"),
             (r#"{"id":"q","base":"pynamic-20","servers":0}"#, "\"servers\""),
             (r#"{"id":"q","base":"pynamic-20","ranks":[a]}"#, "\"ranks\""),
             ("not json", "not a JSON object"),
@@ -462,6 +489,47 @@ mod tests {
         let slow = launch_ns(&report.queries[0]);
         assert!(launch_ns(&report.queries[1]) < slow, "8 servers beat 1");
         assert!(launch_ns(&report.queries[2]) < slow, "shrinkwrap beats plain");
+    }
+
+    #[test]
+    fn fault_deltas_degrade_the_answer_and_key_separately() {
+        let batch = concat!(
+            r#"{"id":"healthy","base":"pynamic-20","ranks":[512]}"#,
+            "\n",
+            r#"{"id":"brownout","base":"pynamic-20","ranks":[512],"fault":"stall-0-10000000000"}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let report = serve_batch(batch, &store, &ProfileCache::new(), 1).unwrap();
+        assert!(!report.had_errors());
+        let launch_ns = |q: &QueryOutcome| u64_field(&q.answers[0], "launch_ns").unwrap();
+        let (healthy, faulted) = (launch_ns(&report.queries[0]), launch_ns(&report.queries[1]));
+        assert!(
+            faulted > healthy && faulted >= 10_000_000_000,
+            "a from-boot 10s brownout gates the whole launch behind it \
+             (healthy {healthy}, faulted {faulted})"
+        );
+        // Distinct fault models are distinct cells: both went cold.
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn a_poisoned_query_marks_the_batch_but_spares_its_neighbours() {
+        let batch = concat!(
+            r#"{"id":"ok","base":"pynamic-20","ranks":[256]}"#,
+            "\n",
+            r#"{"id":"boom","base":"poison","ranks":[256]}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let report = serve_batch(batch, &store, &ProfileCache::new(), 2).unwrap();
+        assert!(report.had_errors(), "a panicked cell must mark the batch");
+        assert_eq!(report.queries.len(), 2, "the batch still completed");
+        assert!(report.queries[0].answers[0].contains("launch_ns"));
+        assert!(report.queries[1].answers[0].contains("panic in profiling"));
+        assert_eq!(report.queries[1].stats.panics, 1);
+        assert!(report.stats_json(&store).contains("\"panics\":1"));
+        assert_eq!(store.len(), 1, "the poisoned cell is never persisted");
     }
 
     #[test]

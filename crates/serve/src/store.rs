@@ -12,9 +12,11 @@
 //! * **Append** writes one line per record and flushes — a crash tears at
 //!   most the final line, which the next load skips.
 //! * **Compact** rewrites the log from the live index (dropping duplicate,
-//!   corrupt, and wrong-epoch bytes) into a temporary file and atomically
-//!   renames it over the old log, sorted by (label, ranks) so compacted
-//!   stores diff cleanly.
+//!   corrupt, and wrong-epoch bytes) into a temporary file, fsyncs it, and
+//!   atomically renames it over the old log, sorted by (label, ranks) so
+//!   compacted stores diff cleanly. A crash at any instant leaves either
+//!   the old log or the new one — never a mix, and a stale `.tmp` from a
+//!   killed compaction is simply ignored (and overwritten) next time.
 //!
 //! Invalidation is mostly implicit — the key hashes every semantic input,
 //! so an edited axis simply stops matching — but [`ResultStore::invalidate_where`]
@@ -176,6 +178,11 @@ impl ResultStore {
                 w.write_all(b"\n")?;
             }
             w.flush()?;
+            // Durability before visibility: the rename below must never
+            // publish a temp file whose bytes are still in the page cache —
+            // a crash after rename but before writeback would replace a
+            // good log with a torn one.
+            w.get_ref().sync_all()?;
         }
         let written = records.len();
         // Drop the stale append handle before replacing the file it points
@@ -309,6 +316,31 @@ mod tests {
         assert_eq!(store.load_stats().duplicates, 0);
         assert_eq!(store.get(ScenarioKey(1)).unwrap().profile.stat_openat, 2);
         assert!(store.contains(ScenarioKey(4)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_compaction_killed_mid_write_loses_nothing() {
+        let dir = temp_dir("killed-compact");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(rec(1, "a", 512, 1)).unwrap();
+            store.put(rec(2, "b", 512, 2)).unwrap();
+        }
+        // A process killed mid-compaction leaves a partial temp file next
+        // to an intact log: the rename never happened, so the log is whole.
+        let tmp = dir.join("store.jsonl.tmp");
+        std::fs::write(&tmp, b"{\"key\":\"torn mid-wri").unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "the intact log is the truth; the temp file is noise");
+        assert_eq!(store.load_stats(), LoadStats { loaded: 2, ..LoadStats::default() });
+        // The next compaction overwrites the stale temp file and completes.
+        assert_eq!(store.compact().unwrap(), 2);
+        assert!(!tmp.exists(), "rename consumed the temp file");
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(ScenarioKey(1)));
+        assert!(store.contains(ScenarioKey(2)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

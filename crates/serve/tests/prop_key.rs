@@ -4,7 +4,9 @@
 //! hits would randomly miss), and distinct identities must give distinct
 //! keys (or the store would serve the wrong cell's result).
 
-use depchaos_launch::{CachePolicy, LaunchConfig, ScenarioSpec, ServiceDistribution, WrapState};
+use depchaos_launch::{
+    CachePolicy, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution, WrapState,
+};
 use depchaos_serve::{CellIdentity, ScenarioKey};
 use depchaos_vfs::StorageModel;
 use proptest::prelude::*;
@@ -41,6 +43,17 @@ impl Ident {
                 ServiceDistribution::LogNormal { sigma_milli: 500 },
                 ServiceDistribution::LogNormal { sigma_milli: 501 },
             ][pick(4) as usize],
+            fault: [
+                FaultModel::None,
+                FaultModel::ServerStall { at_ns: 2_000_000_000, duration_ns: 10_000_000_000 },
+                FaultModel::RpcLoss {
+                    loss_milli: 100,
+                    timeout_ns: 1_000_000_000,
+                    backoff_base_ns: 250_000_000,
+                    max_retries: 5,
+                },
+                FaultModel::Stragglers { frac_milli: 100, slow_milli: 4000 },
+            ][pick(4) as usize],
         };
         let defaults = LaunchConfig::default();
         let base = LaunchConfig {
@@ -73,7 +86,11 @@ impl Ident {
     /// fields of the base config.
     #[allow(clippy::type_complexity)]
     fn semantic(&self) -> (ScenarioSpec, usize, usize, u64, usize, u64, u64, u64, u64, u64) {
-        let eff = if self.spec.dist.is_deterministic() { 1 } else { self.replicates.max(1) };
+        let eff = if self.spec.dist.is_deterministic() && !self.spec.fault.takes_draws() {
+            1
+        } else {
+            self.replicates.max(1)
+        };
         (
             self.spec.clone(),
             self.ranks,

@@ -37,4 +37,4 @@ pub mod workload;
 mod rng;
 
 pub use rng::SplitMix;
-pub use workload::{Axom, Emacs, InstalledWorkload, Pynamic, PynamicRpath, Rocm, Workload};
+pub use workload::{Axom, Emacs, InstalledWorkload, Poison, Pynamic, PynamicRpath, Rocm, Workload};

@@ -23,6 +23,12 @@ impl SplitMix {
     /// experiment engine folds a label digest through
     /// `split(seed, WORKLOAD, digest)`.
     pub const WORKLOAD: u64 = 0x574F_524B_0000_0003;
+    /// Stream domain for DES fault-injection draws (`depchaos-launch`):
+    /// cold node `i` of a simulation seed draws its RPC-loss verdicts and
+    /// straggler membership from `split(seed, FAULT, i)` — decorrelated
+    /// from the same node's NODE-domain service factors so a faulted and a
+    /// fault-free cell share service draws (common random numbers).
+    pub const FAULT: u64 = 0x4641_554C_0000_0004;
 
     pub fn new(seed: u64) -> Self {
         SplitMix { state: seed }
@@ -138,7 +144,7 @@ mod tests {
         // domain's stream k must collide with neither the first draw nor
         // the raw state of another domain's stream k — across domains,
         // streams, and a spread of seeds.
-        let domains = [SplitMix::NODE, SplitMix::REPLICATE, SplitMix::WORKLOAD];
+        let domains = [SplitMix::NODE, SplitMix::REPLICATE, SplitMix::WORKLOAD, SplitMix::FAULT];
         for seed in [0u64, 1, 42, u64::MAX, 0xD15_7A5ED] {
             let mut seen = std::collections::HashSet::new();
             for &d in &domains {

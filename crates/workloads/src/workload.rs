@@ -219,6 +219,23 @@ impl Workload for Rocm {
     }
 }
 
+/// A workload whose install **panics** (not an `Err`) — the fault-injection
+/// fixture for the serve layer's panic isolation: one poisoned cell in a
+/// batch must not take the rest of the batch (or the process) down. Never
+/// enumerated by default; callers opt in by name.
+#[derive(Debug, Clone, Default)]
+pub struct Poison;
+
+impl Workload for Poison {
+    fn name(&self) -> &str {
+        "poison"
+    }
+
+    fn install(&self, _fs: &Vfs) -> Result<InstalledWorkload, VfsError> {
+        panic!("poison workload: deliberate install panic");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use depchaos::launch::{
     reference::simulate_launch_reference, replicate_seed, simulate_classified, simulate_launch,
-    sweep_ranks_replicated, BatchPlan, ClassifiedStream, LaunchConfig, LaunchStats,
+    sweep_ranks_replicated, BatchPlan, ClassifiedStream, FaultModel, LaunchConfig, LaunchStats,
     ServiceDistribution,
 };
 use depchaos::vfs::{Op, Outcome, StraceLog, Syscall};
@@ -21,6 +21,23 @@ use proptest::prelude::*;
 /// The distribution axis a selector index names in the properties below.
 fn dist_of(sel: u8) -> ServiceDistribution {
     ServiceDistribution::all()[sel as usize % 3]
+}
+
+/// The fault axis a selector index names: healthy, a brownout inside the
+/// fast streams' contention window, lossy RPC with retry/backoff, and a
+/// straggler cohort — one of each [`FaultModel`] shape.
+fn fault_of(sel: u8) -> FaultModel {
+    [
+        FaultModel::None,
+        FaultModel::ServerStall { at_ns: 2_000_000, duration_ns: 300_000_000 },
+        FaultModel::RpcLoss {
+            loss_milli: 150,
+            timeout_ns: 1_000_000,
+            backoff_base_ns: 250_000,
+            max_retries: 5,
+        },
+        FaultModel::Stragglers { frac_milli: 250, slow_milli: 4000 },
+    ][sel as usize % 4]
 }
 
 /// Build a stream from `(kind, cost)` pairs. Kind picks the op; cost is
@@ -46,7 +63,9 @@ proptest! {
     /// Coalesced == reference, bit for bit, over the whole input space the
     /// sweep engine exercises — including the stochastic service
     /// distributions, whose per-(node, segment) draws the two
-    /// implementations must take identically.
+    /// implementations must take identically, and every fault model,
+    /// whose FAULT-domain draws and stall/retry arithmetic must land
+    /// event-for-event in both engines.
     #[test]
     fn coalesced_des_matches_reference(
         spec in prop::collection::vec((0u8..4, 0u64..2_000_000), 0..120),
@@ -54,6 +73,7 @@ proptest! {
         rpn_sel in 0usize..4,
         knobs in 0u8..8,
         dist_sel in 0u8..3,
+        fault_sel in 0u8..4,
         seed in any::<u64>(),
     ) {
         let ops = stream_of(&spec);
@@ -64,6 +84,7 @@ proptest! {
             base_overhead_ns: if knobs & 2 != 0 { 25_000_000_000 } else { 0 },
             per_rank_overhead_ns: if knobs & 4 != 0 { 10_000_000 } else { 0 },
             service_dist: dist_of(dist_sel),
+            fault: fault_of(fault_sel),
             seed,
             ..LaunchConfig::default()
         };
@@ -141,18 +162,18 @@ proptest! {
         }
     }
 
-    /// A columnar [`BatchPlan`] mixing every distribution, wrap-like
-    /// stream shape, and cache policy in one batch equals per-call
-    /// `simulate_classified` — and the reference oracle — row for row.
-    /// This is the gather/partition/dedup/scatter machinery under test:
-    /// rows land in all four solver classes and kernels collapse across
-    /// rows, yet the output must be indistinguishable from never having
-    /// batched at all.
+    /// A columnar [`BatchPlan`] mixing every distribution, fault model,
+    /// wrap-like stream shape, and cache policy in one batch equals
+    /// per-call `simulate_classified` — and the reference oracle — row for
+    /// row. This is the gather/partition/dedup/scatter machinery under
+    /// test: rows land in all four solver classes (faulted rows demote to
+    /// the heap class) and kernels collapse across rows, yet the output
+    /// must be indistinguishable from never having batched at all.
     #[test]
     fn batch_plan_matches_per_call_and_reference(
         spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..80),
         rows in prop::collection::vec(
-            (1usize..5000, 0usize..4, any::<bool>(), 0u8..3, any::<u64>()),
+            (1usize..5000, 0usize..4, any::<bool>(), 0u8..3, 0u8..4, any::<u64>()),
             1..8,
         ),
     ) {
@@ -168,11 +189,12 @@ proptest! {
         let mut plan = BatchPlan::new();
         let ids: Vec<_> = streams.iter().map(|(s, _)| plan.stream(s)).collect();
         let mut cfgs = Vec::new();
-        for &(ranks, rpn_sel, broadcast, dist_sel, seed) in &rows {
+        for &(ranks, rpn_sel, broadcast, dist_sel, fault_sel, seed) in &rows {
             let cfg = LaunchConfig {
                 ranks,
                 ranks_per_node: [1, 16, 128, 997][rpn_sel],
                 broadcast_cache: broadcast,
+                fault: fault_of(fault_sel),
                 seed,
                 ..streams[dist_sel as usize].1.clone()
             };
@@ -196,18 +218,26 @@ proptest! {
         spec in prop::collection::vec((0u8..4, 0u64..1_000_000), 1..60),
         points in prop::collection::vec(1usize..5000, 1..4),
         dist_sel in 0u8..3,
+        fault_sel in 0u8..4,
         replicates in 1usize..6,
         seed in any::<u64>(),
     ) {
         let ops = stream_of(&spec);
         let base = LaunchConfig {
             service_dist: dist_of(dist_sel),
+            fault: fault_of(fault_sel),
             seed,
             ..LaunchConfig::default()
         };
         let stream = ClassifiedStream::classify(&ops, &base);
         let batched = sweep_ranks_replicated(&stream, &base, &points, replicates);
-        let k = if base.service_dist.is_deterministic() { 1 } else { replicates };
+        // The sweep clamps to one replicate only when *no* draws occur:
+        // deterministic service and a draw-free fault model.
+        let k = if base.service_dist.is_deterministic() && !base.fault.takes_draws() {
+            1
+        } else {
+            replicates
+        };
         prop_assert_eq!(batched.len(), points.len());
         for (&(ranks, first, stats), &want_ranks) in batched.iter().zip(&points) {
             prop_assert_eq!(ranks, want_ranks);
@@ -317,6 +347,16 @@ fn batched_matrix_is_bit_identical_to_per_call_recomputation() {
         .wrap_states(WrapState::all())
         .cache_policies(CachePolicy::all())
         .distributions(ServiceDistribution::all())
+        .faults([
+            FaultModel::None,
+            FaultModel::ServerStall { at_ns: 2_000_000, duration_ns: 300_000_000 },
+            FaultModel::RpcLoss {
+                loss_milli: 150,
+                timeout_ns: 1_000_000,
+                backoff_base_ns: 250_000,
+                max_retries: 5,
+            },
+        ])
         .replicates(replicates)
         .rank_points(rank_points);
     let cache = ProfileCache::new();
@@ -329,6 +369,7 @@ fn batched_matrix_is_bit_identical_to_per_call_recomputation() {
         let cell = cache.get_or_profile(s.workload.as_ref(), &s.backend, s.storage);
         let mut cfg = s.cache.apply(base.clone());
         cfg.service_dist = s.dist;
+        cfg.fault = s.fault;
         cfg.seed = scenario_seed(base.seed, &s.spec().label());
         let p = match cell.outcome(s.wrap) {
             Ok(p) => p,
@@ -340,7 +381,7 @@ fn batched_matrix_is_bit_identical_to_per_call_recomputation() {
         assert!(r.error.is_none());
         // Classify from scratch — not through the cache the run used.
         let stream = ClassifiedStream::classify(&p.log, &cfg);
-        let k = if s.dist.is_deterministic() { 1 } else { replicates };
+        let k = if s.dist.is_deterministic() && !s.fault.takes_draws() { 1 } else { replicates };
         for (pi, &ranks) in rank_points.iter().enumerate() {
             let mut samples: Vec<u64> = Vec::with_capacity(k);
             for rep in 0..k {
