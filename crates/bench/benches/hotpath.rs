@@ -24,6 +24,12 @@
 //!   loss retry storm (a FAULT draw per served op plus the retried server
 //!   work) — healthy rows never enter this engine, so these rows are its
 //!   only perf gate.
+//! * `adaptive/*` — adaptive replicate control on the fig6-dist acceptance
+//!   matrix: `full_matrix` times the multi-round stopping-rule driver
+//!   end-to-end (profiling pre-warmed), and `savings_ratio` records the
+//!   fixed-K-sims over adaptive-sims ratio as an integer milli-x — a
+//!   deterministic constant per engine, so its bench-diff delta is zero
+//!   unless the stopping rule's meaning changes.
 //!
 //! Besides the criterion `ns/iter` lines, this bench persists a
 //! `BENCH_des.json` summary at the repo root — the first entry in the
@@ -35,12 +41,13 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use depchaos_bench::banner;
 use depchaos_launch::{
-    simulate_classified, BatchPlan, CachePolicy, ClassifiedStream, ExperimentMatrix, FaultModel,
-    LaunchConfig, LaunchResult, MatrixBackend, ProfileCache, ServiceDistribution, WrapState,
+    simulate_classified, AdaptiveControl, BatchPlan, CachePolicy, ClassifiedStream,
+    ExperimentMatrix, FaultModel, LaunchConfig, LaunchResult, MatrixBackend, ProfileCache,
+    ServiceDistribution, WrapState,
 };
 use depchaos_serve::{run_matrix_incremental, ResultStore};
 use depchaos_vfs::{Op, Outcome, StorageModel, StraceLog, Syscall, Vfs};
-use depchaos_workloads::Pynamic;
+use depchaos_workloads::{Axom, Pynamic, Rocm};
 
 fn cold_stream(n: usize) -> StraceLog {
     let mut log = StraceLog::new();
@@ -430,6 +437,64 @@ fn bench(c: &mut Criterion) {
             iters,
         ) / PLAN_ROWS as u128,
         iters,
+    );
+
+    // The adaptive-control rows. `adaptive/full_matrix` times the
+    // fig6-dist acceptance matrix (three real dependency worlds × both
+    // wrap states × the full distribution axis) under adaptive replicate
+    // control — profiling and classification pre-warmed, so the row
+    // prices the multi-round driver plus the replicates the stopping
+    // rule actually spends. `adaptive/savings_ratio` records what it
+    // saved: replicate sims a fixed-K run would spend over sims the rule
+    // spent, as an integer milli-ratio (2560 = 2.56x). The adaptive run
+    // is bit-reproducible, so this row is a constant for a given engine
+    // — the bench-diff gate's delta on it is zero unless the stopping
+    // rule itself changes meaning, which is exactly when it should trip.
+    let ctl = AdaptiveControl {
+        target_rel_milli: 50,
+        min_k: 3,
+        max_k: depchaos_launch::DEFAULT_REPLICATES,
+        batch: 4,
+    };
+    let adaptive_matrix = ExperimentMatrix::new()
+        .workload(Pynamic::new(200))
+        .workload(Axom::paper())
+        .workload(Rocm::matched())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .distributions(ServiceDistribution::all())
+        .adaptive(ctl);
+    let adaptive_profiles = ProfileCache::new();
+    let adaptive_report = adaptive_matrix.run(&adaptive_profiles);
+    plain(
+        "adaptive/full_matrix",
+        time_fn(
+            || {
+                std::hint::black_box(adaptive_matrix.run(&adaptive_profiles));
+            },
+            fm_iters,
+        ),
+        fm_iters,
+    );
+    let spent: usize =
+        adaptive_report.results.iter().flat_map(|r| &r.stats).map(|(_, st)| st.replicates).sum();
+    let fixed_budget: usize = adaptive_report
+        .results
+        .iter()
+        .map(|r| {
+            let per = if r.spec.dist.is_deterministic() && !r.spec.fault.takes_draws() {
+                1
+            } else {
+                depchaos_launch::DEFAULT_REPLICATES
+            };
+            per * r.stats.len()
+        })
+        .sum();
+    plain("adaptive/savings_ratio", (fixed_budget as u128 * 1000) / spent.max(1) as u128, fm_iters);
+    println!(
+        "  (adaptive stopping: {spent} replicate sims vs {fixed_budget} fixed — the ratio \
+         row above is milli-x, not nanoseconds)"
     );
 
     let json = write_summary(&rows, iters);

@@ -24,19 +24,31 @@
 //! as one batched planner pass). `--jobs` rejects 0 and values above the
 //! shared cap with the exit-2 usage error.
 //!
+//! `--adaptive TARGET` switches `fig6-dist` from fixed-K replication to
+//! adaptive replicate control: `TARGET` is the relative precision goal as
+//! a fraction in `[0.001, 1)` (e.g. `0.05` = stop a stochastic cell once
+//! the 95% half-width of its mean launch time falls under 5% of the
+//! mean), with K between 3 and the default fixed budget per cell. The
+//! sweep stays bit-reproducible — replicate `r`'s draws are a pure
+//! function of the cell seed and `r` — and the `--tsv` artifact's
+//! `stopping` column records the plan and the K every cell actually used
+//! (`fixed@K` / `adaptive-TARGETm@K`). Other sections ignore the flag.
+//! An out-of-range or unparsable `TARGET` is the exit-2 usage error, like
+//! every other bad flag below.
+//!
 //! Exit codes (uniform across the depchaos CLIs):
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0 | the requested sections rendered |
 //! | 1 | check violation — a queueing cell escaped its M/G/1 envelope |
-//! | 2 | usage or I/O error — bad section/flags, unwritable TSV, store failure |
+//! | 2 | usage or I/O error — bad section/flags (`--adaptive` outside `[0.001, 1)` included), unwritable TSV, store failure |
 
 use depchaos_core::{wrap, ShrinkwrapOptions};
 use depchaos_graph::reuse_counts;
 use depchaos_launch::{
-    CachePolicy, ExperimentMatrix, FaultModel, MatrixBackend, ProfileCache, ServiceDistribution,
-    SweepReport, WrapState,
+    render_fig6_paired, sweep_paired, AdaptiveControl, CachePolicy, ExperimentMatrix, FaultModel,
+    LaunchConfig, MatrixBackend, ProfileCache, ServiceDistribution, SweepReport, WrapState,
 };
 use depchaos_loader::{Environment, GlibcLoader};
 use depchaos_serve::{run_matrix_incremental, ResultStore};
@@ -50,6 +62,10 @@ struct ReportOpts {
     tsv: Option<String>,
     store: Option<String>,
     jobs: usize,
+    /// `--adaptive TARGET` as integer milli (e.g. `0.05` → 50): the
+    /// relative precision goal adaptive replicate control stops at.
+    /// `fig6-dist` consumes it; other sections ignore it.
+    adaptive: Option<u32>,
 }
 
 impl ReportOpts {
@@ -129,7 +145,7 @@ const SECTIONS: &[(&str, bool, SectionFn)] = &[
 
 fn main() {
     let mut section_arg: Option<String> = None;
-    let mut opts = ReportOpts { tsv: None, store: None, jobs: 1 };
+    let mut opts = ReportOpts { tsv: None, store: None, jobs: 1, adaptive: None };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -148,6 +164,24 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--adaptive" => {
+                let v = value("--adaptive");
+                match v.parse::<f64>() {
+                    // The floor keeps the milli encoding nonzero: 0 is the
+                    // rule's "disabled" sentinel, which would silently run
+                    // the full fixed budget.
+                    Ok(f) if (0.001..1.0).contains(&f) => {
+                        opts.adaptive = Some((f * 1000.0).round() as u32);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--adaptive needs a relative precision target in [0.001, 1), \
+                             e.g. 0.05 for a 5% half-width: got {v:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => section_arg = Some(a),
         }
     }
@@ -446,28 +480,101 @@ fn fig6_backends(opts: &ReportOpts) {
 /// and reported as p50/p99 bands next to the deterministic curve.
 fn fig6_dist(opts: &ReportOpts) {
     banner("Fig 6 dist: time-to-launch under stochastic server latency");
-    let report = opts.run(
-        &ExperimentMatrix::new()
-            .workload(Pynamic::new(200))
-            .workload(Axom::paper())
-            .workload(Rocm::matched())
-            .backend(MatrixBackend::glibc())
-            .storage(StorageModel::Nfs)
-            .wrap_states(WrapState::all())
-            .cache_policies([CachePolicy::Cold])
-            .distributions(ServiceDistribution::all()),
-    );
-    println!(
-        "(cold NFS, glibc; {} cells profiled once, stochastic cells over {} seeded replicates)",
-        report.cells_profiled,
-        depchaos_launch::DEFAULT_REPLICATES
-    );
+    let mut matrix = ExperimentMatrix::new()
+        .workload(Pynamic::new(200))
+        .workload(Axom::paper())
+        .workload(Rocm::matched())
+        .backend(MatrixBackend::glibc())
+        .storage(StorageModel::Nfs)
+        .wrap_states(WrapState::all())
+        .cache_policies([CachePolicy::Cold])
+        .distributions(ServiceDistribution::all());
+    if let Some(target_rel_milli) = opts.adaptive {
+        matrix = matrix.adaptive(AdaptiveControl {
+            target_rel_milli,
+            min_k: 3,
+            max_k: depchaos_launch::DEFAULT_REPLICATES,
+            batch: 4,
+        });
+    }
+    let report = opts.run(&matrix);
+    match report.adaptive {
+        Some(ctl) => println!(
+            "(cold NFS, glibc; {} cells profiled once; adaptive replicate control: stop at \
+             a ±{:.1}% relative 95% half-width, K in [{}..{}] per stochastic cell)",
+            report.cells_profiled,
+            ctl.target_rel_milli as f64 / 10.0,
+            ctl.min_k,
+            ctl.max_k
+        ),
+        None => println!(
+            "(cold NFS, glibc; {} cells profiled once, stochastic cells over {} seeded \
+             replicates)",
+            report.cells_profiled,
+            depchaos_launch::DEFAULT_REPLICATES
+        ),
+    }
     print!("{}", report.render_fig6_dist_tables());
+    if report.adaptive.is_some() {
+        // The stopping summary: what the rule actually spent against the
+        // fixed budget it replaced. Per-cell Ks are in the TSV's
+        // `stopping` column.
+        let spent: usize =
+            report.results.iter().flat_map(|r| &r.stats).map(|(_, st)| st.replicates).sum();
+        let fixed: usize = report
+            .results
+            .iter()
+            .map(|r| {
+                let per = if r.spec.dist.is_deterministic() && !r.spec.fault.takes_draws() {
+                    1
+                } else {
+                    depchaos_launch::DEFAULT_REPLICATES
+                };
+                per * r.stats.len()
+            })
+            .sum();
+        println!(
+            "(adaptive stopping spent {spent} replicate simulations where fixed K would \
+             spend {fixed} — {:.2}x fewer, bit-reproducibly)",
+            fixed as f64 / spent as f64
+        );
+    }
     println!(
         "(jitter barely moves p50 — queueing averages it out — while the log-normal tail \
          stretches p99 on the search-heavy plain streams; wrapped streams barely feel \
          either, having almost no server ops left to jitter)"
     );
+
+    // The common-random-numbers companion: the pynamic cell's plain and
+    // wrapped arms swept under *shared* replicate seeds (unlike the matrix,
+    // whose per-cell label-derived seeds decorrelate the arms by design),
+    // so the paired estimator can cancel whatever noise the arms share.
+    let cache = ProfileCache::new();
+    let cfg = LaunchConfig {
+        service_dist: ServiceDistribution::log_normal(0.5),
+        ..LaunchConfig::default()
+    };
+    let cell = cache.get_or_profile(&Pynamic::new(200), &MatrixBackend::glibc(), StorageModel::Nfs);
+    if let (Ok(p), Ok(w)) = (cell.outcome(WrapState::Plain), cell.outcome(WrapState::Wrapped)) {
+        let plain = cache.classified(&cell.key, WrapState::Plain, &p.log, &cfg);
+        let wrapped = cache.classified(&cell.key, WrapState::Wrapped, &w.log, &cfg);
+        let pts = sweep_paired(
+            &plain,
+            &wrapped,
+            &cfg,
+            &[512, 1024, 2048],
+            depchaos_launch::DEFAULT_REPLICATES,
+        );
+        println!(
+            "\npynamic-200 wrapped-vs-plain speedup under the heavy-tailed server, CRN-paired:"
+        );
+        print!("{}", render_fig6_paired(&pts));
+        println!(
+            "(each replicate seeds both arms identically; the paired interval on the \
+             difference is the one to trust — it narrows toward the unpaired interval as \
+             the arms' draw overlap shrinks, and the wrap removes most of it here)"
+        );
+    }
     opts.persist_tsv(&report);
 }
 

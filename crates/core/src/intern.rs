@@ -1,4 +1,4 @@
-//! The workspace path interner — see [`depchaos_vfs::intern`] for the
+//! The workspace path interner — see [`depchaos_vfs::intern`](mod@depchaos_vfs::intern) for the
 //! implementation.
 //!
 //! This is the canonical workspace-facing home of [`PathId`]/[`intern`]:

@@ -3,7 +3,7 @@
 //!
 //! The sweep layers above this module — [`crate::sweep`],
 //! [`crate::experiment`], and the incremental executor in `crates/serve` —
-//! used to issue one [`simulate_classified`] call per pending simulation.
+//! used to issue one [`simulate_classified`](crate::simulate_classified) call per pending simulation.
 //! A full fig6-backends × dist × replicate matrix is thousands of such
 //! calls, each re-deriving the same facts about the same handful of
 //! segment schedules. [`BatchPlan`] turns that inside out:
@@ -21,7 +21,7 @@
 //!
 //! 2. **Partition.** At push time every row is classified into one of
 //!    four solver classes (see [`SolverClass`]), mirroring the regime
-//!    selection inside [`simulate_classified`] exactly.
+//!    selection inside [`simulate_classified`](crate::simulate_classified) exactly.
 //!
 //! 3. **Advance in lockstep.** [`BatchPlan::execute`] first collapses
 //!    rows to unique *kernel jobs* — `(schedule, cold-node count, seed,
@@ -35,12 +35,12 @@
 //!    outer loop per segment, one envelope update per live kernel, so
 //!    the schedule's columns are streamed once per batch instead of once
 //!    per simulation. Heap and stochastic kernels replay the schedule
-//!    through the retained per-row event heap ([`des::heap_schedule`]).
+//!    through the retained per-row event heap (`des::heap_schedule`).
 //!
 //! 4. **Scatter.** Each row combines its kernel's `(cold finish, peak
 //!    queue)` with the per-row arithmetic — warm-fleet replay, op
 //!    accounting, spawn and base overheads — reproducing
-//!    [`simulate_classified`]'s output bit for bit.
+//!    [`simulate_classified`](crate::simulate_classified)'s output bit for bit.
 //!
 //! # The four solver classes
 //!
@@ -52,7 +52,7 @@
 //! | [`SolverClass::Heap`] | deterministic but lone-cold-node or guard-violating, or any fault-injected row | one (faulty) heap replay per kernel |
 //!
 //! A row pushed as `Analytic` can still *demote* to the heap mid-batch:
-//! the envelope cap ([`MAX_ENVELOPE_LINES`] in [`crate::des`]) is only
+//! the envelope cap (`MAX_ENVELOPE_LINES` in [`crate::des`]) is only
 //! discoverable during the recursion, and `simulate_classified` falls
 //! back to the heap when it trips. The lockstep does the same per
 //! kernel, so the fallback criterion — not just the happy path — is
@@ -61,11 +61,11 @@
 //! # Exactness
 //!
 //! Every numeric path here is the per-call one, re-plumbed: the envelope
-//! recursion is [`des::envelope_round`] (the same function
-//! `analytic_all_cold` runs), heap rows call [`des::heap_schedule`], and
+//! recursion is `des::envelope_round` (the same function
+//! `analytic_all_cold` runs), heap rows call `des::heap_schedule`, and
 //! stochastic draws reconstruct the per-(node, segment) [`SplitMix`]
 //! streams verbatim. `tests/des_equivalence.rs` pins the whole plan
-//! against per-call [`simulate_classified`] and the `des::reference`
+//! against per-call [`simulate_classified`](crate::simulate_classified) and the `des::reference`
 //! oracle property-by-property.
 
 use depchaos_workloads::SplitMix;
@@ -80,11 +80,11 @@ pub struct StreamId(usize);
 
 /// The solver class a row was partitioned into at push time.
 ///
-/// Mirrors the regime selection inside [`simulate_classified`]: which of
+/// Mirrors the regime selection inside [`simulate_classified`](crate::simulate_classified): which of
 /// the bit-identical implementations is cheapest for this row's
 /// (schedule, distribution, cold-fleet) combination.
 ///
-/// [`simulate_classified`]: crate::des::simulate_classified
+/// [`simulate_classified`](crate::simulate_classified): crate::des::simulate_classified
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolverClass {
     /// No server segments: warm or serverless rows coalesce to pure
@@ -145,12 +145,12 @@ const NO_KERNEL: usize = usize::MAX;
 /// A columnar batch of pending simulations over shared segment
 /// schedules. See the module docs for the execution model; see
 /// [`crate::sweep::sweep_ranks_replicated`] and
-/// [`crate::experiment::ExperimentMatrix::run`] for the two in-crate
+/// [`ExperimentMatrix::run`](crate::ExperimentMatrix::run) for the two in-crate
 /// callers, and `crates/serve`'s incremental executor for the third.
 ///
 /// Row results come back from [`BatchPlan::execute`] in push order and
 /// are bit-identical to calling
-/// [`simulate_classified`](crate::des::simulate_classified) per row.
+/// [`simulate_classified`](crate::simulate_classified)(crate::des::simulate_classified) per row.
 pub struct BatchPlan<'a> {
     schedules: Vec<Schedule<'a>>,
     // Row columns (structure-of-arrays, one entry per pushed row).
@@ -217,11 +217,11 @@ impl<'a> BatchPlan<'a> {
     /// it into its solver class. Returns the row index ([`execute`]
     /// returns results in push order).
     ///
-    /// Panics like [`simulate_classified`] if `cfg`'s latency
+    /// Panics like [`simulate_classified`](crate::simulate_classified) if `cfg`'s latency
     /// calibration differs from the stream's classification.
     ///
     /// [`execute`]: BatchPlan::execute
-    /// [`simulate_classified`]: crate::des::simulate_classified
+    /// [`simulate_classified`](crate::simulate_classified): crate::des::simulate_classified
     pub fn push(&mut self, stream: StreamId, cfg: &LaunchConfig) -> usize {
         let sched = &self.schedules[stream.0];
         assert_eq!(
@@ -288,7 +288,7 @@ impl<'a> BatchPlan<'a> {
     /// Solve every row: dedup to kernel jobs, advance the analytic class
     /// in lockstep per schedule, replay heap/stochastic kernels, scatter
     /// per-row results. Results are in push order, each bit-identical to
-    /// [`simulate_classified`](crate::des::simulate_classified) on the
+    /// [`simulate_classified`](crate::simulate_classified)(crate::des::simulate_classified) on the
     /// row's (stream, cfg).
     pub fn execute(&self) -> Vec<LaunchResult> {
         let (kernels, row_kernel) = self.gather_kernels();

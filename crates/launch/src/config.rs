@@ -8,7 +8,7 @@ use crate::fault::FaultModel;
 
 /// The metadata server's per-op service-time distribution.
 ///
-/// The paper's Fig 6 model is [`Deterministic`](ServiceDistribution): every
+/// The paper's Fig 6 model is [`Deterministic`](ServiceDistribution::Deterministic)(ServiceDistribution): every
 /// op occupies the server for exactly `meta_service_ns`. Real NFS/metadata
 /// servers jitter and show heavy tails, so the DES also offers two
 /// stochastic models. Both are *mean-preserving* multiplicative factors on
@@ -92,7 +92,7 @@ impl ServiceDistribution {
         None
     }
 
-    /// One multiplicative service-time factor. [`Deterministic`]
+    /// One multiplicative service-time factor. [`Deterministic`](ServiceDistribution::Deterministic)
     /// (ServiceDistribution) returns 1.0 without touching `rng` — callers
     /// on the exact path must not even construct a generator.
     pub fn sample(&self, rng: &mut SplitMix) -> f64 {
@@ -136,7 +136,7 @@ pub struct LaunchConfig {
     /// the rest replay warm (ablation of the paper's "combining Shrinkwrap
     /// with an approach like Spindle" remark).
     pub broadcast_cache: bool,
-    /// Per-op server service-time distribution. [`Deterministic`]
+    /// Per-op server service-time distribution. [`Deterministic`](ServiceDistribution::Deterministic)
     /// (ServiceDistribution) reproduces the paper's FIFO model bit for bit;
     /// the stochastic variants draw one factor per (cold node, server op)
     /// from [`SplitMix::split`]`(seed, SplitMix::NODE, node)`.

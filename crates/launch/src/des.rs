@@ -34,7 +34,7 @@
 //!      server_ops · log cold_nodes)`. The fallback whenever the closed
 //!      form's guard declines (payload-heavy gaps can break round-major
 //!      ordering) and the stochastic path's engine.
-//!    * **Reference** ([`reference`]) — the retained oracle: every node
+//!    * **Reference** ([`reference`](mod@reference)) — the retained oracle: every node
 //!      walks every op, `O(nodes × ops · log nodes)`. Never used by the
 //!      sweeps; exists so the other two have an independent ground truth
 //!      (`tests/des_equivalence.rs` and the in-crate suite pin all three
@@ -55,7 +55,7 @@
 //!   scheduling;
 //! * warm and serverless nodes take no draws and stay coalesced (they never
 //!   occupy the server, so they remain symmetric even under jitter);
-//! * the [`reference`] oracle draws the *same* per-(node, segment) factors,
+//! * the [`reference`](mod@reference) oracle draws the *same* per-(node, segment) factors,
 //!   keeping the fast path property-testable bit-identical in the
 //!   stochastic regimes too.
 //!
@@ -88,7 +88,7 @@
 //! # Fault injection
 //!
 //! `cfg.fault` (a [`FaultModel`]) selects a degraded-mode engine,
-//! [`heap_schedule_faulty`]: server brownout stalls postpone service
+//! `heap_schedule_faulty`: server brownout stalls postpone service
 //! starts, lost RPC responses are re-issued after client timeout plus
 //! exponential backoff (each retry is real extra server work), and a
 //! seeded fraction of cold nodes runs slow. Every fault draw comes from
@@ -96,7 +96,7 @@
 //! decorrelated from the NODE-domain service draws, so a faulted and a
 //! healthy cell of the same seed share service times (common random
 //! numbers). [`FaultModel::None`] never enters the faulty engine; its
-//! results are bit-identical to the pre-fault DES. [`reference`] carries
+//! results are bit-identical to the pre-fault DES. [`reference`](mod@reference) carries
 //! the same fault semantics as the oracle, and `LaunchResult.server_ops`
 //! keeps counting *distinct* ops — retried attempts are accounted
 //! separately in `retries_issued`.
@@ -445,7 +445,7 @@ pub(crate) fn heap_schedule(
 /// The degraded-mode event loop: [`heap_schedule`]'s walk with `cfg.fault`
 /// executed event-accurately. Kept separate from the healthy engine — the
 /// million-rank bench gates that loop, and [`FaultModel::None`] rows never
-/// enter this one. The semantics, identical in [`reference`]:
+/// enter this one. The semantics, identical in [`reference`](mod@reference):
 ///
 /// * **ServerStall** — an op whose service would *start* inside
 ///   `[at_ns, at_ns + duration_ns)` waits until the window closes;
@@ -585,7 +585,7 @@ pub(crate) fn heap_schedule_faulty(
 /// The analytic all-cold fast path: `simulate_classified`'s deterministic
 /// no-broadcast regime without the event heap. Returns the full
 /// [`LaunchResult`] when the closed form applies (see
-/// [`all_cold_closed_form`] for the exactness guard), `None` when the
+/// `all_cold_closed_form` for the exactness guard), `None` when the
 /// segment schedule forces a heap replay — callers and tests can tell
 /// *whether* the analytic regime engaged, and the result is bit-identical
 /// to [`simulate_classified`] whenever it does.
@@ -693,7 +693,7 @@ pub(crate) fn seg_gap(segs: &[ServerSeg], half_rtt: u64, j: usize) -> u64 {
     2 * half_rtt + segs[j].client_extra_ns + segs[j + 1].pre_local_ns
 }
 
-/// The round-major guard of [`all_cold_closed_form`], node-count
+/// The round-major guard of `all_cold_closed_form`, node-count
 /// independent for any fleet of two or more cold nodes: every consecutive
 /// segment pair must satisfy `s_k + gap_k > gap_{k-1}`.
 pub(crate) fn round_major(segs: &[ServerSeg], half_rtt: u64) -> bool {
@@ -786,7 +786,7 @@ pub mod reference {
     //! post-freeze extensions are the stochastic service draw, which
     //! mirrors the fast path's per-(node, segment) [`SplitMix`] streams so
     //! the oracle covers the jittered regimes too, and the fault engine,
-    //! which mirrors [`super::heap_schedule_faulty`] semantics (stall
+    //! which mirrors `super::heap_schedule_faulty` semantics (stall
     //! windows, loss/retry with the same drawn service and an unadvanced
     //! cursor, straggler membership) from the same FAULT-domain streams;
     //! under [`ServiceDistribution::Deterministic`] with

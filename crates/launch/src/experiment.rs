@@ -30,6 +30,7 @@ use depchaos_loader::LdCache;
 use depchaos_vfs::{StraceLog, Vfs};
 use depchaos_workloads::{SplitMix, Workload};
 
+use crate::adaptive::{run_adaptive_units, AdaptiveControl, AdaptiveUnit};
 use crate::batch::BatchPlan;
 use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
@@ -301,6 +302,12 @@ pub struct SweepReport {
     /// Profiling runs this matrix triggered (cache misses); always ≤ the
     /// number of unique cells across its scenarios.
     pub cells_profiled: usize,
+    /// The sequential stopping rule the sweep ran under, when adaptive
+    /// replicate control was requested — `None` for fixed-K sweeps. Each
+    /// cell's stopped-at K is in its [`LaunchStats::replicates`]. Serde
+    /// default keeps reports written before the rule existed loadable.
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveControl>,
 }
 
 impl SweepReport {
@@ -380,10 +387,13 @@ impl SweepReport {
     /// The whole sweep as TSV — one row per (scenario, rank point), the raw
     /// data behind every per-backend and per-distribution figure. The
     /// percentile columns repeat the point estimate when the scenario is
-    /// deterministic (replicates = 1).
+    /// deterministic (replicates = 1). The trailing `stopping` column is
+    /// the stopping summary: `fixed@K` for fixed-K sweeps, or
+    /// `adaptive-<target>m@K` with the K the sequential rule actually used
+    /// for that cell (the same K the `replicates` column counts).
     pub fn render_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\tretries\n",
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\tretries\tstopping\n",
         );
         for r in &self.results {
             for (ranks, l) in &r.series {
@@ -394,8 +404,12 @@ impl SweepReport {
                     p95_ns: l.time_to_launch_ns,
                     p99_ns: l.time_to_launch_ns,
                 });
+                let stopping = match &self.adaptive {
+                    None => format!("fixed@{}", st.replicates),
+                    Some(c) => format!("adaptive-{}m@{}", c.target_rel_milli, st.replicates),
+                };
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{stopping}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
@@ -804,55 +818,91 @@ impl ExperimentMatrix {
             })
             .collect();
 
-        // Phase 3: gather every pending (scenario, rank point, replicate)
-        // into the plan — the same row grid `sweep_ranks_replicated` would
-        // build per scenario — and execute it as one batch.
-        let mut plan = BatchPlan::new();
-        let mut row_counts: Vec<usize> = Vec::with_capacity(preps.len());
-        for prep in &preps {
-            let Ok((_, stream)) = &prep.outcome else {
-                row_counts.push(0);
-                continue;
-            };
-            let id = plan.stream(stream);
-            let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws() {
-                1
-            } else {
-                self.replicates.max(1)
-            };
-            for &ranks in &rank_points {
-                for r in 0..k {
-                    let cfg = prep
-                        .cfg
-                        .clone()
-                        .with_ranks(ranks)
-                        .with_seed(replicate_seed(prep.cfg.seed, r));
-                    plan.push(id, &cfg);
+        // Phase 3: simulate every pending (scenario, rank point,
+        // replicate). Fixed-K gathers the whole grid into one plan — the
+        // same row grid `sweep_ranks_replicated` would build per scenario.
+        // Under adaptive control the grid is built round by round instead:
+        // each round plans one replicate batch for every still-active cell
+        // (kernel dedup across cells preserved), tests each cell's
+        // stopping rule, and plans the next batch. Either way
+        // `per_point[i][pi]` holds scenario i's replicate-ordered results
+        // at rank point pi.
+        let per_point: Vec<Vec<Vec<LaunchResult>>> = if let Some(ctl) = self.adaptive {
+            let mut units: Vec<AdaptiveUnit<'_>> = Vec::new();
+            for prep in &preps {
+                if let Ok((_, stream)) = &prep.outcome {
+                    for &ranks in &rank_points {
+                        units
+                            .push(AdaptiveUnit { stream, cfg: prep.cfg.clone().with_ranks(ranks) });
+                    }
                 }
             }
-            row_counts.push(rank_points.len() * k);
-        }
-        let rows = plan.execute();
+            let mut outs = run_adaptive_units(&units, ctl).into_iter();
+            preps
+                .iter()
+                .map(|prep| match &prep.outcome {
+                    Ok(_) => rank_points.iter().map(|_| outs.next().unwrap()).collect(),
+                    Err(_) => Vec::new(),
+                })
+                .collect()
+        } else {
+            let mut plan = BatchPlan::new();
+            let mut row_counts: Vec<usize> = Vec::with_capacity(preps.len());
+            for prep in &preps {
+                let Ok((_, stream)) = &prep.outcome else {
+                    row_counts.push(0);
+                    continue;
+                };
+                let id = plan.stream(stream);
+                let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws()
+                {
+                    1
+                } else {
+                    self.replicates.max(1)
+                };
+                for &ranks in &rank_points {
+                    for r in 0..k {
+                        let cfg = prep
+                            .cfg
+                            .clone()
+                            .with_ranks(ranks)
+                            .with_seed(replicate_seed(prep.cfg.seed, r));
+                        plan.push(id, &cfg);
+                    }
+                }
+                row_counts.push(rank_points.len() * k);
+            }
+            let rows = plan.execute();
+            let mut cursor = 0usize;
+            preps
+                .iter()
+                .zip(&row_counts)
+                .map(|(_, &n)| {
+                    let slice = &rows[cursor..cursor + n];
+                    cursor += n;
+                    if n == 0 {
+                        return Vec::new();
+                    }
+                    let k = n / rank_points.len();
+                    (0..rank_points.len()).map(|pi| slice[pi * k..(pi + 1) * k].to_vec()).collect()
+                })
+                .collect()
+        };
 
-        // Phase 4: scatter the row results back into per-scenario reports,
-        // replicating `run_scenario`'s summarisation per rank point.
-        let mut cursor = 0usize;
+        // Phase 4: summarise per scenario and rank point, replicating
+        // `run_scenario`'s assembly.
         let mut results: Vec<ScenarioResult> = Vec::with_capacity(preps.len());
-        for (prep, &n) in preps.iter().zip(&row_counts) {
-            let slice = &rows[cursor..cursor + n];
-            cursor += n;
+        for (prep, points) in preps.iter().zip(&per_point) {
             results.push(match &prep.outcome {
                 Ok((cell, stream)) => {
                     let p = cell
                         .outcome(prep.spec.wrap)
                         .as_ref()
                         .expect("prep outcome mirrors the cell outcome");
-                    let k = n / rank_points.len();
                     let mut series = Vec::with_capacity(rank_points.len());
                     let mut stats = Vec::with_capacity(rank_points.len());
                     let mut queueing = Vec::with_capacity(rank_points.len());
-                    for (pi, &ranks) in rank_points.iter().enumerate() {
-                        let reps = &slice[pi * k..(pi + 1) * k];
+                    for (reps, &ranks) in points.iter().zip(&rank_points) {
                         let mut samples: Vec<u64> =
                             reps.iter().map(|l| l.time_to_launch_ns).collect();
                         let st = LaunchStats::from_samples(&mut samples);
@@ -887,7 +937,7 @@ impl ExperimentMatrix {
             });
         }
 
-        SweepReport { rank_points, results, cells_profiled }
+        SweepReport { rank_points, results, cells_profiled, adaptive: self.adaptive }
     }
 }
 
@@ -1151,6 +1201,66 @@ mod tests {
         let qtsv = degraded.render_queueing_tsv();
         // Faulted rows leave the forfeited upper bound empty.
         assert!(qtsv.lines().skip(1).any(|l| l.split('\t').nth(10) == Some("")));
+    }
+
+    #[test]
+    fn adaptive_matrix_with_disabled_target_is_the_fixed_matrix() {
+        let cache = ProfileCache::new();
+        let m = || {
+            ExperimentMatrix::new()
+                .workload(Pynamic::new(30))
+                .backend(MatrixBackend::glibc())
+                .storage(StorageModel::Nfs)
+                .wrap_states(WrapState::all())
+                .distributions(ServiceDistribution::all())
+                .replicates(5)
+                .rank_points([256usize, 512])
+        };
+        let fixed = m().run(&cache);
+        let ctl = AdaptiveControl { target_rel_milli: 0, min_k: 1, max_k: 5, batch: 2 };
+        let adaptive = m().adaptive(ctl).run(&cache);
+        assert_eq!(adaptive.results, fixed.results, "disabled target ⇒ fixed-K run");
+        assert_eq!(adaptive.adaptive, Some(ctl));
+        assert_eq!(fixed.adaptive, None);
+        // The stopping column tells the two reports apart.
+        assert!(fixed.render_tsv().contains("\tfixed@5\n"));
+        assert!(adaptive.render_tsv().contains("\tadaptive-0m@5\n"));
+    }
+
+    #[test]
+    fn adaptive_matrix_stops_early_and_keeps_the_deterministic_clamp() {
+        let cache = ProfileCache::new();
+        let report = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states([WrapState::Plain])
+            .distributions(ServiceDistribution::all())
+            .replicates(25)
+            .adaptive(AdaptiveControl { target_rel_milli: 500, min_k: 2, max_k: 25, batch: 2 })
+            .rank_points([256usize, 512])
+            .run(&cache);
+        let mut stopped_early = 0usize;
+        for r in &report.results {
+            for (ranks, st) in &r.stats {
+                if r.spec.dist.is_deterministic() {
+                    assert_eq!(st.replicates, 1, "clamp survives adaptive control");
+                } else {
+                    assert!(st.replicates >= 2, "{} at {ranks}", r.spec.label());
+                    if st.replicates < 25 {
+                        stopped_early += 1;
+                    }
+                    // The half-width the rule certified: within 50% of the
+                    // mean at stop (loose target, loose check).
+                    assert!(st.p50_ns > 0);
+                }
+                // Replicate 0 is still the series entry.
+                assert!(r.result_at(*ranks).is_some());
+            }
+        }
+        assert!(stopped_early > 0, "a 50% target must stop some cells early");
+        // Queueing envelopes (widened by the smaller K) still hold.
+        assert!(report.queueing_violations().is_empty());
     }
 
     #[test]

@@ -60,7 +60,17 @@
 //!    [`BatchPlan`]. [`sweep_ranks_replicated`] adds the stochastic
 //!    dimension: K seeded replicates per rank point
 //!    ([`replicate_seed`]), summarised as [`LaunchStats`] p50/p95/p99 —
-//!    K collapses to 1 when the distribution is deterministic.
+//!    K collapses to 1 when the distribution is deterministic. [`adaptive`]
+//!    replaces the fixed K with a sequential stopping rule
+//!    ([`AdaptiveControl`]): replicates run in seeded batches and each
+//!    cell stops as soon as the t-based 95% half-width of its mean
+//!    launch time meets a relative target — bit-reproducibly, because
+//!    replicate `r`'s draws are a pure function of `(base seed, r)`
+//!    (the batch-prefix property; see `docs/determinism.md`).
+//!    [`sweep_paired`] is the common-random-numbers companion: both arms
+//!    of a comparison run under shared replicate seeds and
+//!    [`PairedDiff`] reports the CRN-tightened interval on their
+//!    difference ([`render_fig6_paired`]).
 //! 5. [`matrix`] describes a whole experiment: a [`Scenario`] is one point
 //!    of (workload × loader backend × storage model × wrap state × cache
 //!    policy × service distribution), and an [`ExperimentMatrix`] expands
@@ -120,6 +130,7 @@
 //! println!("{}", report.render_fig6_tables());
 //! ```
 
+pub mod adaptive;
 pub mod batch;
 pub mod config;
 pub mod des;
@@ -130,6 +141,9 @@ pub mod profile;
 pub mod queueing;
 pub mod sweep;
 
+pub use adaptive::{
+    run_adaptive_units, stop_k, t_critical_95, AdaptiveControl, AdaptiveUnit, PairedDiff, Welford,
+};
 pub use batch::{BatchPlan, SolverClass, StreamId};
 pub use config::{LaunchConfig, LaunchResult, ServiceDistribution};
 pub use des::{
@@ -151,6 +165,6 @@ pub use queueing::{
     ServiceMoments,
 };
 pub use sweep::{
-    render_fig6, render_tsv, replicate_seed, sweep_ranks, sweep_ranks_classified,
-    sweep_ranks_replicated, LaunchStats,
+    render_fig6, render_fig6_paired, render_tsv, replicate_seed, sweep_paired, sweep_ranks,
+    sweep_ranks_adaptive, sweep_ranks_classified, sweep_ranks_replicated, LaunchStats, PairedPoint,
 };

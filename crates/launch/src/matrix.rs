@@ -20,6 +20,7 @@ use depchaos_loader::HashStoreService;
 use depchaos_vfs::{StorageModel, Vfs};
 use depchaos_workloads::{InstalledWorkload, Workload};
 
+use crate::adaptive::AdaptiveControl;
 use crate::config::{LaunchConfig, ServiceDistribution};
 use crate::fault::FaultModel;
 
@@ -276,6 +277,7 @@ pub struct ExperimentMatrix {
     pub(crate) faults: Vec<FaultModel>,
     pub(crate) rank_points: Vec<usize>,
     pub(crate) replicates: usize,
+    pub(crate) adaptive: Option<AdaptiveControl>,
     pub(crate) base: LaunchConfig,
 }
 
@@ -295,6 +297,7 @@ impl ExperimentMatrix {
             faults: Vec::new(),
             rank_points: Vec::new(),
             replicates: DEFAULT_REPLICATES,
+            adaptive: None,
             base: LaunchConfig::default(),
         }
     }
@@ -386,6 +389,26 @@ impl ExperimentMatrix {
         } else {
             self.rank_points.clone()
         }
+    }
+
+    /// Run stochastic cells under the sequential stopping rule instead of
+    /// a fixed replicate count: each `(scenario, rank point)` simulates
+    /// seeded replicate batches until `ctl`'s precision target is met (or
+    /// its `max_k` budget is exhausted). Deterministic, draw-free cells
+    /// still clamp to one replicate. With the precision rule disabled
+    /// (`target_rel_milli == 0`) and `max_k == replicates`, the run is
+    /// byte-identical to the fixed-K matrix.
+    pub fn adaptive(mut self, ctl: AdaptiveControl) -> Self {
+        self.adaptive = Some(ctl.normalized());
+        self
+    }
+
+    /// The stopping rule `run()` will apply, when one was requested via
+    /// [`ExperimentMatrix::adaptive`]. Public because the serve layer must
+    /// hash it into every stochastic cell's `ScenarioKey` — see
+    /// `crates/serve`.
+    pub fn adaptive_control(&self) -> Option<AdaptiveControl> {
+        self.adaptive
     }
 
     /// The replicate count `run()` will request per stochastic rank point.

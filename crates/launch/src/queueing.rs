@@ -39,7 +39,7 @@
 //!
 //! # Fault injection
 //!
-//! Under a [`FaultModel`](crate::FaultModel) the envelope degrades
+//! Under a [`FaultModel`] the envelope degrades
 //! asymmetrically. The *capacity lower bound stays rigorous* — stalls and
 //! backoffs only add wait, retries only add server work, and a straggler
 //! slowdown (`slow ≥ 1×`) only lengthens services, so no faulted schedule

@@ -15,6 +15,7 @@ use depchaos_vfs::StraceLog;
 use depchaos_workloads::SplitMix;
 use serde::{Deserialize, Serialize};
 
+use crate::adaptive::{run_adaptive_units, AdaptiveControl, AdaptiveUnit, PairedDiff};
 use crate::batch::BatchPlan;
 use crate::config::{LaunchConfig, LaunchResult};
 use crate::des::ClassifiedStream;
@@ -119,6 +120,129 @@ pub fn sweep_ranks_replicated(
             (ranks, rows[0], stats)
         })
         .collect()
+}
+
+/// [`sweep_ranks_replicated`] under adaptive replicate control: each rank
+/// point runs replicates in seeded batches and stops as soon as the
+/// sequential rule ([`AdaptiveControl`]) is satisfied, instead of always
+/// spending `max_k`. The returned [`LaunchStats::replicates`] records the
+/// K each point stopped at.
+///
+/// Bit-reproducibility: replicate `r`'s draws are identical whether `r` is
+/// reached adaptively or under fixed K ([`replicate_seed`] is a pure
+/// function of `(base seed, r)`), so the adaptive sample is exactly a
+/// prefix of the fixed-`max_k` sample — and with the precision rule
+/// disabled (`target_rel_milli == 0`) this function is byte-identical to
+/// `sweep_ranks_replicated(stream, base, rank_points, max_k)`.
+pub fn sweep_ranks_adaptive(
+    stream: &ClassifiedStream,
+    base: &LaunchConfig,
+    rank_points: &[usize],
+    ctl: AdaptiveControl,
+) -> Vec<(usize, LaunchResult, LaunchStats)> {
+    let units: Vec<AdaptiveUnit<'_>> = rank_points
+        .iter()
+        .map(|&ranks| AdaptiveUnit { stream, cfg: base.clone().with_ranks(ranks) })
+        .collect();
+    let per_point = run_adaptive_units(&units, ctl);
+    rank_points
+        .iter()
+        .zip(per_point)
+        .map(|(&ranks, rows)| {
+            let mut samples: Vec<u64> = rows.iter().map(|l| l.time_to_launch_ns).collect();
+            let stats = LaunchStats::from_samples(&mut samples);
+            (ranks, rows[0], stats)
+        })
+        .collect()
+}
+
+/// One rank point of a common-random-numbers comparison: both arms'
+/// replicate statistics plus the paired-difference estimator over their
+/// shared-seed deltas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedPoint {
+    pub ranks: usize,
+    pub baseline: LaunchStats,
+    pub variant: LaunchStats,
+    pub diff: PairedDiff,
+}
+
+/// Sweep two arms of one experiment — e.g. the plain and wrapped streams
+/// of a cell — under **shared replicate seeds**, the common-random-numbers
+/// design. Replicate `r` of both arms runs under
+/// `replicate_seed(base.seed, r)`, so their NODE-domain service factors
+/// coincide and the per-replicate deltas cancel the common noise; the
+/// returned [`PairedDiff`] carries the CRN-tightened confidence interval
+/// on the arm difference.
+///
+/// This deliberately does **not** use the matrix's per-cell seed
+/// derivation ([`crate::experiment::scenario_seed`] hashes the wrap state
+/// into the label, decorrelating the arms by design) — pairing is a
+/// different experiment design, chosen here on purpose.
+pub fn sweep_paired(
+    baseline: &ClassifiedStream,
+    variant: &ClassifiedStream,
+    base: &LaunchConfig,
+    rank_points: &[usize],
+    replicates: usize,
+) -> Vec<PairedPoint> {
+    let k = replicates.max(1);
+    let mut plan = BatchPlan::new();
+    let ids = [plan.stream(baseline), plan.stream(variant)];
+    for &ranks in rank_points {
+        for &id in &ids {
+            // Both arms share replicate r's seed — that sharing IS the
+            // common-random-numbers design.
+            for r in 0..k {
+                plan.push(
+                    id,
+                    &base.clone().with_ranks(ranks).with_seed(replicate_seed(base.seed, r)),
+                );
+            }
+        }
+    }
+    let rows = plan.execute();
+    rank_points
+        .iter()
+        .enumerate()
+        .map(|(pi, &ranks)| {
+            let b = &rows[pi * 2 * k..pi * 2 * k + k];
+            let v = &rows[pi * 2 * k + k..(pi + 1) * 2 * k];
+            let bs: Vec<u64> = b.iter().map(|l| l.time_to_launch_ns).collect();
+            let vs: Vec<u64> = v.iter().map(|l| l.time_to_launch_ns).collect();
+            PairedPoint {
+                ranks,
+                baseline: LaunchStats::from_samples(&mut bs.clone()),
+                variant: LaunchStats::from_samples(&mut vs.clone()),
+                diff: PairedDiff::from_samples(&bs, &vs),
+            }
+        })
+        .collect()
+}
+
+/// Render a [`sweep_paired`] comparison as the CRN Fig 6 table: per rank
+/// point, both arm means, the speedup, and the 95% half-width of the mean
+/// difference under the paired (CRN) and unpaired estimators — the last
+/// two columns are the point of the exercise.
+pub fn render_fig6_paired(points: &[PairedPoint]) -> String {
+    let mut s = String::from(
+        "ranks  plain(s)  wrapped(s)  speedup  ±delta paired(s)  ±delta unpaired(s)\n",
+    );
+    for p in points {
+        let speedup = match p.diff.speedup() {
+            Some(x) => format!("{x:>6.1}x"),
+            None => format!("{:>7}", "-"),
+        };
+        s.push_str(&format!(
+            "{:>5}  {:>8.1}  {:>10.1}  {speedup}  {:>17.3}  {:>19.3}\n",
+            p.ranks,
+            p.diff.mean_baseline_ns / 1e9,
+            p.diff.mean_variant_ns / 1e9,
+            p.diff.half_width_ns / 1e9,
+            p.diff.unpaired_half_width_ns / 1e9,
+        ));
+    }
+    s
 }
 
 /// Simulate the same workload at several scales in one batched pass.
@@ -314,6 +438,86 @@ mod tests {
         // Fraction below one half still truncates down.
         let mut low = vec![10u64, 10, 11];
         assert_eq!(LaunchStats::from_samples(&mut low).mean_ns, 10);
+    }
+
+    #[test]
+    fn adaptive_sweep_with_disabled_target_is_the_fixed_sweep() {
+        use crate::adaptive::AdaptiveControl;
+        use crate::config::ServiceDistribution;
+        let cfg = LaunchConfig {
+            service_dist: ServiceDistribution::uniform_jitter(0.25),
+            seed: 7,
+            ..LaunchConfig::default()
+        };
+        let stream = ClassifiedStream::classify(&cold_stream(150), &cfg);
+        let fixed = sweep_ranks_replicated(&stream, &cfg, &[512, 2048], 9);
+        let ctl = AdaptiveControl { target_rel_milli: 0, min_k: 1, max_k: 9, batch: 4 };
+        assert_eq!(sweep_ranks_adaptive(&stream, &cfg, &[512, 2048], ctl), fixed);
+    }
+
+    #[test]
+    fn adaptive_sweep_stops_early_and_reports_the_k_used() {
+        use crate::adaptive::AdaptiveControl;
+        use crate::config::ServiceDistribution;
+        let cfg = LaunchConfig {
+            service_dist: ServiceDistribution::log_normal(0.5),
+            seed: 11,
+            ..LaunchConfig::default()
+        };
+        let stream = ClassifiedStream::classify(&cold_stream(150), &cfg);
+        let ctl = AdaptiveControl { target_rel_milli: 500, min_k: 2, max_k: 25, batch: 2 };
+        let rows = sweep_ranks_adaptive(&stream, &cfg, &[2048], ctl);
+        let (_, first, stats) = &rows[0];
+        assert!(stats.replicates < 25, "a 50% target stops well short of the budget");
+        assert!(stats.replicates >= 2);
+        // Replicate 0 is still the series entry, identical to the fixed
+        // sweep's.
+        let fixed = sweep_ranks_replicated(&stream, &cfg, &[2048], 25);
+        assert_eq!(*first, fixed[0].1);
+        // Re-run: pure data.
+        assert_eq!(rows, sweep_ranks_adaptive(&stream, &cfg, &[2048], ctl));
+    }
+
+    #[test]
+    fn paired_sweep_tightens_the_difference_interval() {
+        use crate::config::ServiceDistribution;
+        let cfg = LaunchConfig {
+            service_dist: ServiceDistribution::log_normal(0.5),
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            seed: 3,
+            ..LaunchConfig::default()
+        };
+        // The variant elides the tail 10% of the stream (a partial wrap).
+        // High draw overlap is what CRN pays for: both arms consume the
+        // same NODE-stream prefix per node, so their per-replicate noise
+        // is almost entirely shared and the deltas cancel it. (Arms with
+        // wildly different op counts — a full Shrinkwrap wrap — share too
+        // little variance for pairing to bite; the estimator still
+        // reports both intervals honestly there.)
+        let plain = ClassifiedStream::classify(&cold_stream(400), &cfg);
+        let wrapped = ClassifiedStream::classify(&cold_stream(360), &cfg);
+        let pts = sweep_paired(&plain, &wrapped, &cfg, &[512, 2048], 9);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.diff.pairs, 9);
+            assert_eq!(p.baseline.replicates, 9);
+            assert!(p.diff.mean_delta_ns > 0.0, "plain is slower");
+            assert!(p.diff.speedup().unwrap() > 1.0);
+            // Shared seeds correlate the arms, so pairing must not widen
+            // the interval; on this workload it tightens it outright.
+            assert!(
+                p.diff.half_width_ns < p.diff.unpaired_half_width_ns,
+                "paired {} vs unpaired {} at {}",
+                p.diff.half_width_ns,
+                p.diff.unpaired_half_width_ns,
+                p.ranks
+            );
+        }
+        let table = render_fig6_paired(&pts);
+        assert!(table.contains("±delta paired"));
+        assert!(table.contains("512"));
+        assert!(!table.contains("inf"));
     }
 
     #[test]

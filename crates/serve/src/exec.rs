@@ -9,7 +9,7 @@
 //!   config, per-point replicate seeds derived from the scenario label),
 //!   so a *subset* of rank points is bit-identical to the matching slice
 //!   of a full run;
-//! * the store's [`ScenarioKey`](crate::key::ScenarioKey) hashes every
+//! * the store's [`ScenarioKey`] hashes every
 //!   semantic input of a cell, so a hit can only be a result the cold
 //!   path would have recomputed verbatim;
 //! * floats round-trip the disk by bit pattern, so a record read back
@@ -21,7 +21,7 @@
 //! spawns). Simulation then feeds every cold `(scenario, rank point)` —
 //! the **miss** work unit, finer than the old whole-scenario shards, so a
 //! skewed what-if batch costs exactly its missing points — into one
-//! columnar [`BatchPlan`](depchaos_launch::BatchPlan) and executes the
+//! columnar [`BatchPlan`] and executes the
 //! whole backlog in a single pass. Each scenario is classified once, and
 //! the `Arc<ClassifiedStream>` handed out by the shared
 //! [`ProfileCache`] is what every one of its miss rows borrows.
@@ -32,9 +32,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use depchaos_launch::{
-    mg1_bounds, replicate_seed, scenario_seed, validate_against_mg1, BatchPlan, CellProfile,
-    ClassifiedStream, ExperimentMatrix, LaunchConfig, LaunchStats, ProfileCache, Scenario,
-    ScenarioResult, ScenarioSpec, SweepReport,
+    mg1_bounds, replicate_seed, run_adaptive_units, scenario_seed, validate_against_mg1,
+    AdaptiveUnit, BatchPlan, CellProfile, ClassifiedStream, ExperimentMatrix, LaunchConfig,
+    LaunchStats, ProfileCache, Scenario, ScenarioResult, ScenarioSpec, SweepReport,
 };
 
 use crate::codec::{CellOutcome, CellRecord, ProfileSummary};
@@ -143,7 +143,14 @@ pub fn run_matrix_incremental(
         let spec = s.spec();
         let mut cell_keys = Vec::with_capacity(rank_points.len());
         for &ranks in &rank_points {
-            let key = CellIdentity { spec: &spec, ranks, replicates, base }.key();
+            let key = CellIdentity {
+                spec: &spec,
+                ranks,
+                replicates,
+                adaptive: matrix.adaptive_control(),
+                base,
+            }
+            .key();
             cell_keys.push((ranks, key));
             match store.get(key) {
                 Some(rec) => {
@@ -234,41 +241,83 @@ pub fn run_matrix_incremental(
         })
         .collect();
 
-    // Phase 2c: feed every miss into one columnar plan — K replicate rows
-    // per rank point, identical to the grid a full run gathers — and
-    // execute the whole cold backlog in a single batched pass.
-    let mut plan = BatchPlan::new();
-    let mut miss_rows: Vec<usize> = Vec::with_capacity(misses.len());
-    for m in &misses {
-        let prep = &preps[&m.scenario];
-        let Ok((_, stream)) = &prep.outcome else {
-            miss_rows.push(0);
-            continue;
-        };
-        let id = plan.stream(stream);
-        let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws() {
-            1
-        } else {
-            replicates.max(1)
-        };
-        for r in 0..k {
-            let cfg =
-                prep.cfg.clone().with_ranks(m.ranks).with_seed(replicate_seed(prep.cfg.seed, r));
-            plan.push(id, &cfg);
+    // Phase 2c: simulate the cold backlog. Under fixed K every miss is K
+    // replicate rows of one columnar plan, identical to the grid a full
+    // run gathers. Under adaptive control each miss becomes one
+    // [`AdaptiveUnit`] of the shared multi-round driver — the stopping
+    // decision is a pure function of the unit alone, so a miss stops at
+    // the same K it would in a cold full run no matter how the warm/cold
+    // line falls (and the per-round plans still deduplicate kernels
+    // across the backlog).
+    let miss_reps: Vec<Vec<depchaos_launch::LaunchResult>> = match matrix.adaptive_control() {
+        Some(ctl) => {
+            let mut units: Vec<AdaptiveUnit<'_>> = Vec::new();
+            let mut unit_of: Vec<Option<usize>> = Vec::with_capacity(misses.len());
+            for m in &misses {
+                let prep = &preps[&m.scenario];
+                match &prep.outcome {
+                    Ok((_, stream)) => {
+                        unit_of.push(Some(units.len()));
+                        units.push(AdaptiveUnit {
+                            stream,
+                            cfg: prep.cfg.clone().with_ranks(m.ranks),
+                        });
+                    }
+                    Err(_) => unit_of.push(None),
+                }
+            }
+            let mut per_unit = run_adaptive_units(&units, ctl);
+            unit_of
+                .iter()
+                .map(|u| u.map(|i| std::mem::take(&mut per_unit[i])).unwrap_or_default())
+                .collect()
         }
-        miss_rows.push(k);
-    }
-    let rows = plan.execute();
+        None => {
+            let mut plan = BatchPlan::new();
+            let mut miss_rows: Vec<usize> = Vec::with_capacity(misses.len());
+            for m in &misses {
+                let prep = &preps[&m.scenario];
+                let Ok((_, stream)) = &prep.outcome else {
+                    miss_rows.push(0);
+                    continue;
+                };
+                let id = plan.stream(stream);
+                let k = if prep.cfg.service_dist.is_deterministic() && !prep.cfg.fault.takes_draws()
+                {
+                    1
+                } else {
+                    replicates.max(1)
+                };
+                for r in 0..k {
+                    let cfg = prep
+                        .cfg
+                        .clone()
+                        .with_ranks(m.ranks)
+                        .with_seed(replicate_seed(prep.cfg.seed, r));
+                    plan.push(id, &cfg);
+                }
+                miss_rows.push(k);
+            }
+            let rows = plan.execute();
+            let mut cursor = 0usize;
+            miss_rows
+                .iter()
+                .map(|&n| {
+                    let reps = rows[cursor..cursor + n].to_vec();
+                    cursor += n;
+                    reps
+                })
+                .collect()
+        }
+    };
 
-    // Phase 3: scatter the rows into per-rank-point records, persist
-    // them, and fold them into the warm map. Panicked cells are folded
-    // into the report but NOT persisted: a crash is transient evidence of
-    // a bug, not a reproducible result the store should keep serving.
+    // Phase 3: scatter the replicate vectors into per-rank-point records,
+    // persist them, and fold them into the warm map. Panicked cells are
+    // folded into the report but NOT persisted: a crash is transient
+    // evidence of a bug, not a reproducible result the store should keep
+    // serving.
     let mut panics = 0usize;
-    let mut cursor = 0usize;
-    for (m, &n) in misses.iter().zip(&miss_rows) {
-        let reps = &rows[cursor..cursor + n];
-        cursor += n;
+    for (m, reps) in misses.iter().zip(&miss_reps) {
         let prep = &preps[&m.scenario];
         let rec = match &prep.outcome {
             Ok((cell, stream)) => {
@@ -342,7 +391,12 @@ pub fn run_matrix_incremental(
         cells_profiled: profiles.computed() - profiled_before,
         panics,
     };
-    let report = SweepReport { rank_points, results, cells_profiled: stats.cells_profiled };
+    let report = SweepReport {
+        rank_points,
+        results,
+        cells_profiled: stats.cells_profiled,
+        adaptive: matrix.adaptive_control(),
+    };
     Ok((report, stats))
 }
 
@@ -474,6 +528,65 @@ mod tests {
         let (_, stats) = run_matrix_incremental(&edited, &store, &ProfileCache::new(), 1).unwrap();
         assert_eq!(stats.warm_hits, 8, "deterministic cells untouched");
         assert_eq!(stats.cold_cells, 8, "exactly the lognormal cells re-ran");
+    }
+
+    #[test]
+    fn adaptive_matrix_serves_warm_and_matches_the_direct_run() {
+        use depchaos_launch::AdaptiveControl;
+        let ctl = AdaptiveControl { target_rel_milli: 500, min_k: 2, max_k: 11, batch: 2 };
+        let m = || matrix().replicates(11).adaptive(ctl);
+
+        // Cold incremental == direct adaptive run, bit for bit — same
+        // stopping Ks, same samples — even though the incremental path
+        // batches only its misses.
+        let direct = m().run(&ProfileCache::new());
+        assert_eq!(direct.adaptive, Some(ctl));
+        let store = ResultStore::in_memory();
+        let (cold, cs) = run_matrix_incremental(&m(), &store, &ProfileCache::new(), 2).unwrap();
+        assert_eq!(cold.results, direct.results);
+        assert_eq!(cold.adaptive, Some(ctl));
+        assert_eq!(cs.cold_cells, cs.cells_total);
+
+        // Warm replay: the stored stopped-at K replays bit-identically
+        // with zero simulation.
+        let warm_profiles = ProfileCache::new();
+        let (warm, ws) = run_matrix_incremental(&m(), &store, &warm_profiles, 2).unwrap();
+        assert_eq!(warm.results, direct.results);
+        assert_eq!(ws.cold_cells, 0);
+        assert_eq!(warm_profiles.computed(), 0);
+
+        // Stochastic cells actually stopped early somewhere (the loose
+        // 50% target converges fast), and the stored stats record the K.
+        let stochastic: Vec<_> = warm.find(|s| !s.dist.is_deterministic());
+        assert!(!stochastic.is_empty());
+        assert!(
+            stochastic.iter().flat_map(|r| &r.stats).any(|(_, st)| st.replicates < 11),
+            "no cell stopped early under a 50% target"
+        );
+        for r in warm.find(|s| s.dist.is_deterministic()) {
+            for (_, st) in &r.stats {
+                assert_eq!(st.replicates, 1, "exact cells keep the clamp under adaptive control");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_and_fixed_plans_occupy_disjoint_store_cells() {
+        use depchaos_launch::AdaptiveControl;
+        let ctl = AdaptiveControl { target_rel_milli: 500, min_k: 2, max_k: 3, batch: 2 };
+        let store = ResultStore::in_memory();
+        run_matrix_incremental(&matrix(), &store, &ProfileCache::new(), 1).unwrap();
+        let fixed_cells = store.len();
+
+        // The adaptive run re-keys exactly the stochastic half: the
+        // deterministic cells (adaptive degenerates to the clamp) stay
+        // warm, everything else is a distinct plan and a distinct cell.
+        let (_, stats) =
+            run_matrix_incremental(&matrix().adaptive(ctl), &store, &ProfileCache::new(), 1)
+                .unwrap();
+        assert_eq!(stats.warm_hits, 8, "deterministic cells shared between plans");
+        assert_eq!(stats.cold_cells, 8, "stochastic cells re-keyed by the stopping rule");
+        assert_eq!(store.len(), fixed_cells + 8);
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //!    not the display string, so renaming never aliases two distributions)
 //!    and the [`FaultModel`] (variant tag + every integer parameter,
 //!    encoded the same way);
-//! 5. the rank point and the **effective** replicate count (cells whose
-//!    distribution is deterministic *and* whose fault model takes no
-//!    draws clamp to 1 exactly as
-//!    [`depchaos_launch::sweep_ranks_replicated`] does, so asking for 5
-//!    or 50 replicates of an exact cell is one key);
+//! 5. the rank point, then the replicate-control plan behind a tag byte:
+//!    under **adaptive** control ([`AdaptiveControl`]) a draw-taking cell
+//!    hashes the stopping-rule *parameters* (target, `min_k`, `max_k`,
+//!    batch) — never the K a run happened to stop at, which is a pure
+//!    function of those parameters and so would be redundant — while a
+//!    **fixed**-K cell (or any cell whose distribution is deterministic
+//!    *and* whose fault model takes no draws, which clamps to one
+//!    replicate exactly as [`depchaos_launch::sweep_ranks_replicated`]
+//!    does) hashes the effective replicate count, so asking for 5 or 50
+//!    replicates of an exact cell is one key and an adaptive request on
+//!    an exact cell is the *same* key as the fixed request it degenerates
+//!    to;
 //! 6. the seed domain (the experiment's base seed — per-cell seeds derive
 //!    from it and the label, which items 2–4 already pin) and every
 //!    calibration field of the base [`LaunchConfig`].
@@ -38,7 +45,9 @@
 //! will ever expand, and pinned by golden-vector tests so accidental
 //! drift in the input encoding cannot silently poison a store.
 
-use depchaos_launch::{FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution};
+use depchaos_launch::{
+    AdaptiveControl, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution,
+};
 
 /// Engine-semantics epoch. Bump when the DES, the seed derivation, the
 /// classification, or the profile capture changes meaning — every record
@@ -47,7 +56,12 @@ use depchaos_launch::{FaultModel, LaunchConfig, ScenarioSpec, ServiceDistributio
 /// Epoch 2: the fault-model axis joined the key schema (and
 /// [`depchaos_launch::LaunchResult`] grew fault accounting the codec now
 /// stores), so epoch-1 records no longer decode.
-pub const ENGINE_EPOCH: u32 = 2;
+///
+/// Epoch 3: the replicate field became a tagged union — fixed effective-K
+/// versus the adaptive stopping-rule parameters ([`AdaptiveControl`]) —
+/// which re-encodes *every* cell (a tag byte precedes the old bare count),
+/// so epoch-2 keys never alias the new schema.
+pub const ENGINE_EPOCH: u32 = 3;
 
 /// One SipHash-2-4 run over `data` with the given 128-bit key.
 ///
@@ -164,6 +178,12 @@ pub struct CellIdentity<'a> {
     /// The **requested** replicate count; the key hashes the effective
     /// count (1 for deterministic cells), mirroring the sweep's clamp.
     pub replicates: usize,
+    /// Adaptive replicate control, if the matrix ran under it. For a
+    /// draw-taking cell the key hashes these stopping-rule parameters in
+    /// place of the fixed count; for an exact cell (which clamps to one
+    /// replicate either way) the field is ignored so the adaptive and
+    /// fixed requests share one key, mirroring execution.
+    pub adaptive: Option<AdaptiveControl>,
     /// The base configuration: experiment seed + cluster calibration.
     /// `ranks`, `broadcast_cache`, `service_dist`, and the per-cell seed
     /// are axis-derived and already covered above, so only the true
@@ -176,11 +196,18 @@ impl CellIdentity<'_> {
     /// cells collapse to one replicate no matter what was requested, so
     /// hashing the request verbatim would split one result across keys.
     pub fn effective_replicates(&self) -> usize {
-        if self.spec.dist.is_deterministic() && !self.spec.fault.takes_draws() {
-            1
-        } else {
+        if self.cell_takes_draws() {
             self.replicates.max(1)
+        } else {
+            1
         }
+    }
+
+    /// Whether this cell's replicate axis is live: a stochastic service
+    /// distribution or a draw-taking fault model. Exact cells clamp to one
+    /// replicate and ignore replicate control entirely.
+    fn cell_takes_draws(&self) -> bool {
+        !self.spec.dist.is_deterministic() || self.spec.fault.takes_draws()
     }
 
     /// Derive the cell's content address.
@@ -224,7 +251,24 @@ impl CellIdentity<'_> {
             }
         }
         buf.u64(self.ranks as u64);
-        buf.u64(self.effective_replicates() as u64);
+        // Replicate control, tagged. The adaptive arm hashes the rule's
+        // parameters, not the stopped-at K — K is a pure function of the
+        // parameters and the cell's draws, so hashing it would only split
+        // one semantic cell across keys. Exact cells take the fixed arm
+        // regardless of `adaptive`, matching the execution clamp.
+        match self.adaptive {
+            Some(ctl) if self.cell_takes_draws() => {
+                buf.u8(1);
+                buf.u32(ctl.target_rel_milli);
+                buf.u64(ctl.min_k as u64);
+                buf.u64(ctl.max_k as u64);
+                buf.u64(ctl.batch as u64);
+            }
+            _ => {
+                buf.u8(0);
+                buf.u64(self.effective_replicates() as u64);
+            }
+        }
         buf.u64(self.base.seed);
         buf.u64(self.base.ranks_per_node as u64);
         buf.u64(self.base.rtt_ns);
@@ -279,7 +323,17 @@ mod tests {
     }
 
     fn key_of(spec: &ScenarioSpec, ranks: usize, replicates: usize, base: &LaunchConfig) -> u128 {
-        CellIdentity { spec, ranks, replicates, base }.key().0
+        CellIdentity { spec, ranks, replicates, adaptive: None, base }.key().0
+    }
+
+    fn adaptive_key_of(
+        spec: &ScenarioSpec,
+        ranks: usize,
+        replicates: usize,
+        ctl: AdaptiveControl,
+        base: &LaunchConfig,
+    ) -> u128 {
+        CellIdentity { spec, ranks, replicates, adaptive: Some(ctl), base }.key().0
     }
 
     /// Golden vectors: these exact keys are the on-disk format. If this
@@ -293,11 +347,16 @@ mod tests {
         let log = spec(ServiceDistribution::log_normal(0.5));
         let jit = spec(ServiceDistribution::uniform_jitter(0.25));
         let wrapped = ScenarioSpec { wrap: WrapState::Wrapped, ..det.clone() };
-        assert_eq!(key_of(&det, 512, 11, &base), 0x7597_8fb6_3e90_5594_bab2_ad94_abee_d5b7);
-        assert_eq!(key_of(&det, 2048, 11, &base), 0xfd5a_92d4_7e0a_5c64_429b_bece_16b3_8226);
-        assert_eq!(key_of(&log, 512, 11, &base), 0xd998_6587_fe16_2817_597b_1252_4200_fc77);
-        assert_eq!(key_of(&jit, 512, 11, &base), 0x4058_8700_c7fb_31e8_8f49_e24e_d01a_b56c);
-        assert_eq!(key_of(&wrapped, 512, 11, &base), 0x3463_c0b9_2fc9_c181_7b54_d88e_a3bd_d314);
+        let ctl = AdaptiveControl { target_rel_milli: 50, min_k: 4, max_k: 11, batch: 4 };
+        assert_eq!(key_of(&det, 512, 11, &base), 0x23be_fd9f_2950_2167_8fd6_2256_5d6f_302b);
+        assert_eq!(key_of(&det, 2048, 11, &base), 0x79f3_bc30_c286_7c42_8c0e_916f_b727_7647);
+        assert_eq!(key_of(&log, 512, 11, &base), 0x52df_e13f_63c3_51f6_e9dc_6e52_cce8_5fae);
+        assert_eq!(key_of(&jit, 512, 11, &base), 0xa4f4_2992_0555_5895_008c_73c4_8e55_820c);
+        assert_eq!(key_of(&wrapped, 512, 11, &base), 0xb6eb_d956_e926_40bd_f6f3_998c_a779_b88f);
+        assert_eq!(
+            adaptive_key_of(&log, 512, 11, ctl, &base),
+            0xe6b8_b0e2_f281_aa4e_bb00_a00f_c7b1_189e
+        );
     }
 
     #[test]
@@ -369,12 +428,51 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_control_rekeys_stochastic_cells_only() {
+        let base = LaunchConfig::default();
+        let ctl = AdaptiveControl { target_rel_milli: 50, min_k: 4, max_k: 11, batch: 4 };
+        // A draw-taking cell: the stopping rule is part of its identity,
+        // and so is every parameter of the rule.
+        let log = spec(ServiceDistribution::log_normal(0.5));
+        let fixed = key_of(&log, 512, 11, &base);
+        let adaptive = adaptive_key_of(&log, 512, 11, ctl, &base);
+        assert_ne!(adaptive, fixed, "adaptive and fixed plans simulate different sample sizes");
+        for (name, v) in [
+            ("target", AdaptiveControl { target_rel_milli: 51, ..ctl }),
+            ("min_k", AdaptiveControl { min_k: 5, ..ctl }),
+            ("max_k", AdaptiveControl { max_k: 12, ..ctl }),
+            ("batch", AdaptiveControl { batch: 5, ..ctl }),
+        ] {
+            assert_ne!(adaptive_key_of(&log, 512, 11, v, &base), adaptive, "{name}");
+        }
+        // Under adaptive control the requested fixed count is dead — max_k
+        // governs — so it must not move the key.
+        assert_eq!(adaptive_key_of(&log, 512, 50, ctl, &base), adaptive);
+        // An exact cell clamps to one replicate whether or not adaptive
+        // control was requested: one semantic result, one key.
+        let det = spec(ServiceDistribution::Deterministic);
+        assert_eq!(adaptive_key_of(&det, 512, 11, ctl, &base), key_of(&det, 512, 11, &base));
+        // A draw-taking fault re-opens the axis, adaptive params included.
+        let lossy = ScenarioSpec {
+            fault: FaultModel::RpcLoss {
+                loss_milli: 100,
+                timeout_ns: 1_000_000_000,
+                backoff_base_ns: 250_000_000,
+                max_retries: 5,
+            },
+            ..det
+        };
+        assert_ne!(adaptive_key_of(&lossy, 512, 11, ctl, &base), key_of(&lossy, 512, 11, &base));
+    }
+
+    #[test]
     fn hex_round_trips() {
         let base = LaunchConfig::default();
         let k = CellIdentity {
             spec: &spec(ServiceDistribution::Deterministic),
             ranks: 512,
             replicates: 11,
+            adaptive: None,
             base: &base,
         }
         .key();

@@ -23,13 +23,16 @@
 //! | 3 | backend, storage, wrap, cache names | the discrete axes |
 //! | 4 | distribution tag + integer milli parameter | never aliases on display names |
 //! | 5 | fault-model tag + integer parameters | a brownout cell must never answer for a healthy one |
-//! | 6 | rank point, **effective** replicate count | deterministic *and fault-draw-free* cells clamp to 1, like the sweep |
+//! | 6 | rank point, replicate **plan** (tagged: fixed effective count, or the adaptive stopping-rule parameters) | deterministic *and fault-draw-free* cells clamp to 1 under either plan, like the sweep; a draw-taking cell under [`AdaptiveControl`](depchaos_launch::AdaptiveControl) hashes the rule, never the K it stopped at |
 //! | 7 | experiment seed + every calibration field of the base config | the seed domain and the cluster model |
 //!
 //! The hash is two independently keyed SipHash-2-4 lanes over a
 //! length-prefixed field encoding; golden-vector tests pin the exact keys
 //! (the on-disk format) and a property test pins the semantics: **two
 //! cells share a key if and only if they would simulate identically.**
+//! The full determinism story — what makes a warm hit safe to serve, and
+//! why adaptive replicate control keeps cells bit-reproducible — is in
+//! `docs/determinism.md` at the repository root.
 //!
 //! ## Invalidation rules
 //!

@@ -5,7 +5,7 @@
 //!
 //! * **Load** reads the log line by line. Records that fail to decode
 //!   (torn final write, bit rot) are skipped and counted; records written
-//!   under a different [`ENGINE_EPOCH`](crate::key::ENGINE_EPOCH) are
+//!   under a different [`ENGINE_EPOCH`] are
 //!   evicted and counted; duplicate keys resolve last-write-wins (the log
 //!   is append-only, so the latest append is the latest truth). Loading
 //!   never panics on store contents.

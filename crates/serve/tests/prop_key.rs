@@ -5,7 +5,8 @@
 //! keys (or the store would serve the wrong cell's result).
 
 use depchaos_launch::{
-    CachePolicy, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution, WrapState,
+    AdaptiveControl, CachePolicy, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution,
+    WrapState,
 };
 use depchaos_serve::{CellIdentity, ScenarioKey};
 use depchaos_vfs::StorageModel;
@@ -18,7 +19,16 @@ struct Ident {
     spec: ScenarioSpec,
     ranks: usize,
     replicates: usize,
+    adaptive: Option<AdaptiveControl>,
     base: LaunchConfig,
+}
+
+/// The replicate-control half of a cell's semantic identity: which plan
+/// the sweep will actually execute for this cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Plan {
+    Fixed(usize),
+    Adaptive(AdaptiveControl),
 }
 
 impl Ident {
@@ -66,6 +76,11 @@ impl Ident {
             spec,
             ranks: [256, 512][pick(2) as usize],
             replicates: [1, 2, 11][pick(3) as usize],
+            adaptive: [
+                None,
+                Some(AdaptiveControl { target_rel_milli: 50, min_k: 4, max_k: 11, batch: 4 }),
+                Some(AdaptiveControl { target_rel_milli: 100, min_k: 3, max_k: 25, batch: 2 }),
+            ][pick(3) as usize],
             base,
         }
     }
@@ -75,26 +90,31 @@ impl Ident {
             spec: &self.spec,
             ranks: self.ranks,
             replicates: self.replicates,
+            adaptive: self.adaptive,
             base: &self.base,
         }
         .key()
     }
 
     /// The semantic identity the key must encode exactly: the spec, the
-    /// rank point, the *effective* replicate count (deterministic cells
-    /// run once regardless of the request), and the seed + calibration
-    /// fields of the base config.
+    /// rank point, the replicate plan the sweep will actually execute
+    /// (deterministic draw-free cells run once regardless of the request
+    /// — adaptive or fixed — while draw-taking cells under adaptive
+    /// control are governed by the stopping-rule parameters, not the
+    /// requested count), and the seed + calibration fields of the base
+    /// config.
     #[allow(clippy::type_complexity)]
-    fn semantic(&self) -> (ScenarioSpec, usize, usize, u64, usize, u64, u64, u64, u64, u64) {
-        let eff = if self.spec.dist.is_deterministic() && !self.spec.fault.takes_draws() {
-            1
-        } else {
-            self.replicates.max(1)
+    fn semantic(&self) -> (ScenarioSpec, usize, Plan, u64, usize, u64, u64, u64, u64, u64) {
+        let takes_draws = !self.spec.dist.is_deterministic() || self.spec.fault.takes_draws();
+        let plan = match self.adaptive {
+            Some(ctl) if takes_draws => Plan::Adaptive(ctl),
+            _ if takes_draws => Plan::Fixed(self.replicates.max(1)),
+            _ => Plan::Fixed(1),
         };
         (
             self.spec.clone(),
             self.ranks,
-            eff,
+            plan,
             self.base.seed,
             self.base.ranks_per_node,
             self.base.rtt_ns,
