@@ -24,6 +24,12 @@
 //!   loss retry storm (a FAULT draw per served op plus the retried server
 //!   work) — healthy rows never enter this engine, so these rows are its
 //!   only perf gate.
+//! * `servers/*` — the multi-server topology axis on the same contended
+//!   shape: `flatten_sweep` runs the fig6-servers fleet ladder
+//!   (S ∈ {1, 2, 4, 8, 16}, hash-routed) at 16Ki ranks back to back, and
+//!   `s8_contended` isolates one S = 8 fleet pass — the S-lane heap's
+//!   per-event cost next to the single-lane `contended_16Ki_cold500`
+//!   baseline.
 //! * `adaptive/*` — adaptive replicate control on the fig6-dist acceptance
 //!   matrix: `full_matrix` times the multi-round stopping-rule driver
 //!   end-to-end (profiling pre-warmed), and `savings_ratio` records the
@@ -43,7 +49,7 @@ use depchaos_bench::banner;
 use depchaos_launch::{
     simulate_classified, AdaptiveControl, BatchPlan, CachePolicy, ClassifiedStream,
     ExperimentMatrix, FaultModel, LaunchConfig, LaunchResult, MatrixBackend, ProfileCache,
-    ServiceDistribution, WrapState,
+    ServerTopology, ServiceDistribution, WrapState,
 };
 use depchaos_serve::{run_matrix_incremental, ResultStore};
 use depchaos_vfs::{Op, Outcome, StorageModel, StraceLog, Syscall, Vfs};
@@ -339,6 +345,41 @@ fn bench(c: &mut Criterion) {
         iters,
     );
 
+    // The topology rows: the contended 16Ki shape (1024 cold nodes) routed
+    // across metadata fleets. `flatten_sweep` prices the whole fig6-servers
+    // ladder — five fleet sizes, the S-lane engines picking the analytic
+    // closed form where the round-major guard admits it — and
+    // `s8_contended` pins the S = 8 heap pass alone, the direct multi-lane
+    // counterpart of `contended_16Ki_cold500`.
+    let fleet_cfgs: Vec<LaunchConfig> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&s| LaunchConfig { topology: ServerTopology::hash(s), ..contended_cfg.clone() })
+        .collect();
+    let fleet_stream = ClassifiedStream::classify(&ops, &fleet_cfgs[0]);
+    plain(
+        "servers/flatten_sweep",
+        time_fn(
+            || {
+                for cfg in &fleet_cfgs {
+                    std::hint::black_box(simulate_classified(&fleet_stream, cfg));
+                }
+            },
+            iters,
+        ),
+        iters,
+    );
+    let s8_cfg = &fleet_cfgs[3];
+    plain(
+        "servers/s8_contended",
+        time_fn(
+            || {
+                std::hint::black_box(simulate_classified(&fleet_stream, s8_cfg));
+            },
+            iters,
+        ),
+        iters,
+    );
+
     // The serve-layer rows the bench-diff gate watches. One deterministic
     // cell (effective replicates clamp to 1) keeps the cold row about the
     // executor's own overhead plus one DES pass, not a whole sweep; the
@@ -530,6 +571,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("retry_storm", |b| {
         b.iter(|| simulate_classified(&storm_stream, &storm_cfg))
     });
+    group.finish();
+
+    let mut group = c.benchmark_group("servers");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.bench_function("s8_contended", |b| b.iter(|| simulate_classified(&fleet_stream, s8_cfg)));
     group.finish();
 
     let mut group = c.benchmark_group("serve");

@@ -6,11 +6,15 @@
 //! per-backend scenario-matrix sweep (glibc, musl, future, hash-store side
 //! by side), `fig6-dist` for the service-distribution sweep (deterministic
 //! vs jittered vs heavy-tailed metadata server, p50/p99 bands, pynamic +
-//! axom + rocm), `fig6-queueing` for the M/G/1 cross-check (exits 1
+//! axom + rocm), `fig6-queueing` for the M/G/k cross-check (single-server
+//! and multi-server topologies against their Erlang-C envelopes; exits 1
 //! when any cell's replicate mean escapes its queueing-theory envelope),
-//! or `fig6-faults` for the degraded-mode sweep (server brownouts, lossy
+//! `fig6-faults` for the degraded-mode sweep (server brownouts, lossy
 //! RPC with timeout/retry/backoff, straggler cohorts — plain vs
-//! shrinkwrapped).
+//! shrinkwrapped), or `fig6-servers` for the metadata-fleet sweep
+//! (S ∈ {1, 2, 4, 8, 16} hash-routed servers × plain vs shrinkwrapped,
+//! with the per-rank-point speedup over the single server and the
+//! flattening point where more servers stop paying).
 //! `--tsv FILE` additionally writes the section's raw `SweepReport` rows
 //! as TSV — the artifact CI persists; sections that run no sweep ignore
 //! it.
@@ -41,14 +45,15 @@
 //! | code | meaning |
 //! |------|---------|
 //! | 0 | the requested sections rendered |
-//! | 1 | check violation — a queueing cell escaped its M/G/1 envelope |
+//! | 1 | check violation — a queueing cell (single- or multi-server) escaped its M/G/k envelope |
 //! | 2 | usage or I/O error — bad section/flags (`--adaptive` outside `[0.001, 1)` included), unwritable TSV, store failure |
 
 use depchaos_core::{wrap, ShrinkwrapOptions};
 use depchaos_graph::reuse_counts;
 use depchaos_launch::{
     render_fig6_paired, sweep_paired, AdaptiveControl, CachePolicy, ExperimentMatrix, FaultModel,
-    LaunchConfig, MatrixBackend, ProfileCache, ServiceDistribution, SweepReport, WrapState,
+    LaunchConfig, MatrixBackend, ProfileCache, ServerTopology, ServiceDistribution, SweepReport,
+    WrapState,
 };
 use depchaos_loader::{Environment, GlibcLoader};
 use depchaos_serve::{run_matrix_incremental, ResultStore};
@@ -138,6 +143,7 @@ const SECTIONS: &[(&str, bool, SectionFn)] = &[
     ("fig6-dist", true, fig6_dist),
     ("fig6-queueing", true, fig6_queueing),
     ("fig6-faults", true, fig6_faults),
+    ("fig6-servers", true, fig6_servers),
     ("listing1", true, listing1),
     ("usecases", true, usecases),
     ("backends", true, backends),
@@ -192,7 +198,7 @@ fn main() {
         if opts.tsv.is_some() {
             eprintln!(
                 "--tsv needs a single sweep section (fig6, fig6-backends, fig6-dist, \
-                 fig6-queueing, fig6-faults), not all"
+                 fig6-queueing, fig6-faults, fig6-servers), not all"
             );
             std::process::exit(2);
         }
@@ -579,13 +585,16 @@ fn fig6_dist(opts: &ReportOpts) {
 }
 
 /// The queueing-theory cross-check: every stochastic cell's replicate mean
-/// against its M/G/1 envelope (hard capacity/work-conservation bounds plus
-/// the Pollaczek–Khinchine descriptors). A violation means the DES and
-/// queueing theory disagree about the same model — that is a bug by
-/// definition, so this section exits 1 and fails CI rather than printing a
-/// table nobody reads.
+/// against its M/G/k envelope (hard capacity/work-conservation bounds plus
+/// the Erlang-C / Lee–Longton descriptors; k = 1 is the classic M/G/1
+/// Pollaczek–Khinchine case). The topology axis puts genuine multi-server
+/// cells in the sweep, so the fleet model is cross-checked too — hash
+/// routing as k independent lanes, least-loaded against the pooled
+/// work-conservation floor. A violation means the DES and queueing theory
+/// disagree about the same model — that is a bug by definition, so this
+/// section exits 1 and fails CI rather than printing a table nobody reads.
 fn fig6_queueing(opts: &ReportOpts) {
-    banner("Fig 6 queueing: DES replicate means vs M/G/1 envelope");
+    banner("Fig 6 queueing: DES replicate means vs M/G/k envelope");
     let report = opts.run(
         &ExperimentMatrix::new()
             .workload(Pynamic::new(150))
@@ -594,18 +603,24 @@ fn fig6_queueing(opts: &ReportOpts) {
             .wrap_states(WrapState::all())
             .cache_policies([CachePolicy::Cold])
             .distributions(ServiceDistribution::all())
+            .topologies([
+                ServerTopology::single(),
+                ServerTopology::hash(4),
+                ServerTopology::least_loaded(4),
+            ])
             .rank_points([512usize, 2048, 16 * 1024]),
     );
     println!(
-        "(cold NFS, glibc; every swept cell checked over {} seeded replicates; \
-         rho ≥ 1 marks the contended regime where the capacity bound binds)",
+        "(cold NFS, glibc; every swept cell checked over {} seeded replicates, single \
+         server and 4-server fleets alike; rho ≥ 1 marks the contended regime where \
+         the capacity bound binds)",
         depchaos_launch::DEFAULT_REPLICATES
     );
     print!("{}", report.render_queueing_tables());
     opts.persist_raw(&report.render_queueing_tsv());
     let violations = report.queueing_violations();
     if violations.is_empty() {
-        println!("every cell within bounds — the stochastic DES is consistent with M/G/1");
+        println!("every cell within bounds — the stochastic DES is consistent with M/G/k");
     } else {
         for (label, ranks) in &violations {
             eprintln!("QUEUEING VIOLATION: {label} at {ranks} ranks");
@@ -654,6 +669,37 @@ fn fig6_faults(opts: &ReportOpts) {
          brownout stalls thousands of queued lookups, loss amplifies offered load by \
          1/(1-p) in real retried server work — while the wrapped rows degrade only by \
          the fault's floor)"
+    );
+    opts.persist_tsv(&report);
+}
+
+/// The metadata-fleet sweep: the Fig 6 cell behind S hash-routed servers,
+/// S ∈ {1, 2, 4, 8, 16}, plain vs shrinkwrapped. The quantitative question
+/// is where the curve flattens — how many servers the storm is worth — and
+/// the punchline is the contrast: the plain launch keeps paying for
+/// servers long after the wrapped one has nothing left to parallelise.
+fn fig6_servers(opts: &ReportOpts) {
+    banner("Fig 6 servers: time-to-launch vs metadata-fleet size");
+    let report = opts.run(
+        &ExperimentMatrix::new()
+            .workload(Pynamic::new(150))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states(WrapState::all())
+            .cache_policies([CachePolicy::Cold])
+            .topologies([1usize, 2, 4, 8, 16].map(ServerTopology::hash)),
+    );
+    println!(
+        "({} unique cells profiled once; hash-by-node routing, so every fleet \
+         size replays the same classified op streams)",
+        report.cells_profiled
+    );
+    print!("{}", report.render_servers_tables());
+    println!(
+        "(speedup is each fleet's launch time against the single server at the \
+         largest rank point; the flattening line marks the first fleet within 5% \
+         of the best — past it, extra metadata servers buy nothing the wrap \
+         would not buy cheaper)"
     );
     opts.persist_tsv(&report);
 }

@@ -7,9 +7,12 @@
 //! ```
 //!
 //! Reads one what-if request per JSONL line from `--requests` (`-` for
-//! stdin) — see `depchaos_serve::requests` for the format — answers warm
-//! queries straight from the store under `--store` (created on first
-//! use), profiles only the cold cells over `--jobs` worker threads
+//! stdin) — see `depchaos_serve::requests` for the format: `servers: N`
+//! models the N-server metadata fleet (the DES topology axis, with
+//! `assign` choosing `hash` or `least` routing), while `servers_ideal: N`
+//! keeps the old coordination-free division of the per-op service time —
+//! answers warm queries straight from the store under `--store` (created
+//! on first use), profiles only the cold cells over `--jobs` worker threads
 //! (default: the machine's parallelism; explicit values are validated —
 //! `0` or anything past the shared cap is the exit-2 usage error),
 //! batch-simulates the misses in one planner pass, and appends every

@@ -25,7 +25,7 @@
 //!
 //! 3. **Advance in lockstep.** [`BatchPlan::execute`] first collapses
 //!    rows to unique *kernel jobs* — `(schedule, cold-node count, seed,
-//!    fault)` tuples, with the seed normalised away for draw-free rows
+//!    fault, server topology)` tuples, with the seed normalised away for draw-free rows
 //!    (deterministic service, no draw-taking fault), since the
 //!    cold-fleet completion time is a pure function of that tuple.
 //!    Replicate 0 of every rank point, every deterministic replicate,
@@ -70,7 +70,9 @@
 
 use depchaos_workloads::SplitMix;
 
-use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
+use crate::config::{
+    AssignPolicy, LaunchConfig, LaunchResult, ServerTopology, ServiceDistribution,
+};
 use crate::des::{self, ClassifiedStream, ClassifyParams};
 use crate::fault::{FaultCounts, FaultModel};
 
@@ -90,9 +92,12 @@ pub enum SolverClass {
     /// No server segments: warm or serverless rows coalesce to pure
     /// segment arithmetic — no kernel job at all.
     Coalesced,
-    /// Deterministic service, ≥ 2 cold nodes, round-major schedule: the
-    /// max-plus line-envelope recursion, advanced in lockstep across
-    /// every kernel sharing the schedule.
+    /// Deterministic service, ≥ 2 cold nodes, round-major schedule, and
+    /// a hash-routed (or single-server) fleet: the max-plus line-envelope
+    /// recursion over the busiest lane, advanced in lockstep across
+    /// every kernel sharing the schedule. `LeastLoaded` multi-server
+    /// rows demote to [`SolverClass::Heap`] — their routing depends on
+    /// the event schedule.
     Analytic,
     /// Jittered service distribution: per-kernel heap replay with the
     /// per-(node, segment) draw streams. Distinct seeds never collapse.
@@ -127,7 +132,8 @@ struct Schedule<'a> {
 
 /// One deduplicated unit of cold-fleet work: the completion time and
 /// peak queue depth of `cold_nodes` identical nodes replaying
-/// `schedule`, seeded with `seed` when stochastic.
+/// `schedule` against a `topology` fleet, seeded with `seed` when
+/// stochastic.
 struct Kernel {
     schedule: usize,
     cold_nodes: usize,
@@ -136,6 +142,9 @@ struct Kernel {
     /// share the kernel.
     seed: u64,
     fault: FaultModel,
+    /// Server fleet shape — part of the dedup key: the same schedule and
+    /// fleet over a different server count is different work.
+    topology: ServerTopology,
     class: SolverClass,
 }
 
@@ -162,6 +171,7 @@ pub struct BatchPlan<'a> {
     row_seed: Vec<u64>,
     row_dist: Vec<ServiceDistribution>,
     row_fault: Vec<FaultModel>,
+    row_topology: Vec<ServerTopology>,
     row_base_overhead_ns: Vec<u64>,
     row_per_rank_overhead_ns: Vec<u64>,
     row_class: Vec<SolverClass>,
@@ -179,6 +189,7 @@ impl<'a> BatchPlan<'a> {
             row_seed: Vec::new(),
             row_dist: Vec::new(),
             row_fault: Vec::new(),
+            row_topology: Vec::new(),
             row_base_overhead_ns: Vec::new(),
             row_per_rank_overhead_ns: Vec::new(),
             row_class: Vec::new(),
@@ -231,6 +242,13 @@ impl<'a> BatchPlan<'a> {
         );
         let nodes = cfg.nodes();
         let cold_nodes = if cfg.broadcast_cache { 1 } else { nodes };
+        // Mirrors `all_cold_closed_form`'s topology guard: hash-routed
+        // lanes are independent single-server systems, so the envelope
+        // runs over the busiest lane; schedule-dependent `LeastLoaded`
+        // routing never qualifies. A one-node lane needs no guard.
+        let servers = cfg.topology.servers.max(1);
+        let analytic_topology = servers == 1 || cfg.topology.assign == AssignPolicy::HashByNode;
+        let lane_nodes = cold_nodes.div_ceil(servers);
         let class = if sched.server_ops == 0 {
             // No server segments: no stall, loss, or straggler can
             // manifest either (`simulate_classified` skips the fault
@@ -240,7 +258,7 @@ impl<'a> BatchPlan<'a> {
             SolverClass::Heap
         } else if !cfg.service_dist.is_deterministic() {
             SolverClass::Stochastic
-        } else if cold_nodes > 1 && sched.round_major {
+        } else if cold_nodes > 1 && analytic_topology && (lane_nodes == 1 || sched.round_major) {
             SolverClass::Analytic
         } else {
             SolverClass::Heap
@@ -253,6 +271,7 @@ impl<'a> BatchPlan<'a> {
         self.row_seed.push(cfg.seed);
         self.row_dist.push(cfg.service_dist);
         self.row_fault.push(cfg.fault);
+        self.row_topology.push(cfg.topology);
         self.row_base_overhead_ns.push(cfg.base_overhead_ns);
         self.row_per_rank_overhead_ns.push(cfg.per_rank_overhead_ns);
         self.row_class.push(class);
@@ -357,7 +376,8 @@ impl<'a> BatchPlan<'a> {
     fn gather_kernels(&self) -> (Vec<Kernel>, Vec<usize>) {
         use std::collections::HashMap;
         let mut kernels: Vec<Kernel> = Vec::new();
-        let mut index: HashMap<(u32, usize, u64, FaultModel), usize> = HashMap::new();
+        let mut index: HashMap<(u32, usize, u64, FaultModel, ServerTopology), usize> =
+            HashMap::new();
         let row_kernel = (0..self.len())
             .map(|r| {
                 if self.row_class[r] == SolverClass::Coalesced {
@@ -366,13 +386,20 @@ impl<'a> BatchPlan<'a> {
                 let takes_draws =
                     !self.row_dist[r].is_deterministic() || self.row_fault[r].takes_draws();
                 let seed = if takes_draws { self.row_seed[r] } else { 0 };
-                let key = (self.row_schedule[r], self.row_cold_nodes[r], seed, self.row_fault[r]);
+                let key = (
+                    self.row_schedule[r],
+                    self.row_cold_nodes[r],
+                    seed,
+                    self.row_fault[r],
+                    self.row_topology[r],
+                );
                 *index.entry(key).or_insert_with(|| {
                     kernels.push(Kernel {
                         schedule: self.row_schedule[r] as usize,
                         cold_nodes: self.row_cold_nodes[r],
                         seed,
                         fault: self.row_fault[r],
+                        topology: self.row_topology[r],
                         class: self.row_class[r],
                     });
                     kernels.len() - 1
@@ -405,10 +432,13 @@ impl<'a> BatchPlan<'a> {
         }
         let mut live: Vec<Live> = job_ids
             .iter()
-            .map(|&ki| Live {
-                kernel: ki,
-                last: (kernels[ki].cold_nodes - 1) as u64,
-                lines: vec![seed_line],
+            .map(|&ki| {
+                // Hash-routed lanes: the envelope runs over the busiest
+                // lane (`ceil(cold / S)` nodes) — `all_cold_closed_form`'s
+                // `last`, verbatim. S = 1 reduces to the full cold fleet.
+                let k = &kernels[ki];
+                let lane_nodes = k.cold_nodes.div_ceil(k.topology.servers.max(1));
+                Live { kernel: ki, last: (lane_nodes - 1) as u64, lines: vec![seed_line] }
             })
             .collect();
         let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(8);
@@ -439,8 +469,9 @@ impl<'a> BatchPlan<'a> {
     fn heap_kernel(&self, k: &Kernel) -> (u64, usize, FaultCounts) {
         let sched = &self.schedules[k.schedule];
         let params = sched.stream.params();
-        // The engines only read the calibration, seed, and fault off the
-        // config; rebuild one from the classification params.
+        // The engines only read the calibration, seed, fault, and
+        // topology off the config; rebuild one from the classification
+        // params.
         let cfg = LaunchConfig {
             rtt_ns: params.rtt_ns,
             meta_service_ns: params.meta_service_ns,
@@ -448,6 +479,7 @@ impl<'a> BatchPlan<'a> {
             service_dist: params.dist,
             seed: k.seed,
             fault: k.fault,
+            topology: k.topology,
             ..LaunchConfig::default()
         };
         if !k.fault.is_none() {
@@ -633,5 +665,41 @@ mod tests {
         assert_eq!(got[0], simulate_classified(&stream, &cfgs[0]));
         assert_eq!(got[1], simulate_classified(&stream, &cfgs[1]));
         assert_ne!(got[0].time_to_launch_ns, got[1].time_to_launch_ns);
+    }
+
+    /// Topology joins the kernel key: rows over every fleet shape (and
+    /// both routing policies) plan and scatter bit-identically to the
+    /// per-call path, with `LeastLoaded` multi-server rows demoted to
+    /// the heap class.
+    #[test]
+    fn topology_rows_match_per_call_path() {
+        let base = LaunchConfig::default();
+        let ops = log_of(&[(Op::Stat, base.rtt_ns), (Op::Openat, base.rtt_ns * 2)]);
+        let tops = [
+            ServerTopology::single(),
+            ServerTopology::hash(2),
+            ServerTopology::hash(8),
+            ServerTopology::least_loaded(3),
+        ];
+        for dist in ServiceDistribution::all() {
+            let cfg = cfg_with(dist, 2048, false);
+            let stream = ClassifiedStream::classify(&ops, &cfg);
+            let mut plan = BatchPlan::new();
+            let id = plan.stream(&stream);
+            let mut expected = Vec::new();
+            for top in tops {
+                for ranks in [64usize, 2048] {
+                    let c = cfg.clone().with_ranks(ranks).with_topology(top).with_seed(7);
+                    plan.push(id, &c);
+                    expected.push(simulate_classified(&stream, &c));
+                }
+            }
+            if dist.is_deterministic() {
+                let counts = plan.class_counts();
+                assert!(counts[1] > 0, "hash fleets stay analytic: {counts:?}");
+                assert!(counts[3] > 0, "least-loaded fleets demote to the heap: {counts:?}");
+            }
+            assert_eq!(plan.execute(), expected, "dist={}", dist.name());
+        }
     }
 }

@@ -114,6 +114,108 @@ impl ServiceDistribution {
     }
 }
 
+/// How cold-node requests are assigned to the metadata servers of a
+/// [`ServerTopology`].
+///
+/// Both policies are deterministic given the event schedule; neither takes
+/// RNG draws, so the topology axis never perturbs the NODE/FAULT stream
+/// disciplines (common random numbers hold across topologies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignPolicy {
+    /// Node `i` always talks to server `i % servers` — seed-free and
+    /// schedule-independent (permuting the event order never changes any
+    /// node's assignment), which is what admits the analytic all-cold
+    /// closed form per lane.
+    #[default]
+    HashByNode,
+    /// Each request goes to the server with the earliest busy-until clock
+    /// at the moment the event is served, ties broken by server index.
+    /// Depends on the event schedule, so it is never analytic-eligible.
+    LeastLoaded,
+}
+
+impl AssignPolicy {
+    /// Stable display/report/TSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssignPolicy::HashByNode => "hash",
+            AssignPolicy::LeastLoaded => "least",
+        }
+    }
+
+    /// Inverse of [`AssignPolicy::name`].
+    pub fn parse(s: &str) -> Option<AssignPolicy> {
+        match s {
+            "hash" => Some(AssignPolicy::HashByNode),
+            "least" => Some(AssignPolicy::LeastLoaded),
+            _ => None,
+        }
+    }
+}
+
+/// The metadata-service fleet: how many servers, and how requests pick one.
+///
+/// The paper's Fig 6 setup (and this repo through PR 9) hard-coded exactly
+/// one FIFO metadata server; `ServerTopology` makes the count a modeled
+/// axis. Each server keeps its own busy-until clock ("lane"); requests are
+/// routed by [`AssignPolicy`]. `S = 1` is bit-identical to the pre-axis
+/// engine for either policy — there is only one lane to pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServerTopology {
+    /// Number of independent metadata servers (`≥ 1`).
+    pub servers: usize,
+    /// Request-to-server assignment policy.
+    pub assign: AssignPolicy,
+}
+
+impl Default for ServerTopology {
+    fn default() -> Self {
+        ServerTopology::single()
+    }
+}
+
+impl ServerTopology {
+    /// The classic single-server fleet — the paper's model and the default.
+    pub fn single() -> Self {
+        ServerTopology { servers: 1, assign: AssignPolicy::HashByNode }
+    }
+
+    /// `servers`-way fleet with [`AssignPolicy::HashByNode`] routing.
+    pub fn hash(servers: usize) -> Self {
+        assert!(servers >= 1, "a topology needs at least one server");
+        ServerTopology { servers, assign: AssignPolicy::HashByNode }
+    }
+
+    /// `servers`-way fleet with [`AssignPolicy::LeastLoaded`] routing.
+    pub fn least_loaded(servers: usize) -> Self {
+        assert!(servers >= 1, "a topology needs at least one server");
+        ServerTopology { servers, assign: AssignPolicy::LeastLoaded }
+    }
+
+    /// True for the default one-server fleet (any policy — with a single
+    /// lane the assignment policy cannot matter).
+    pub fn is_single(&self) -> bool {
+        self.servers <= 1
+    }
+
+    /// Stable display/report/TSV name: `servers-S-POLICY`.
+    pub fn name(&self) -> String {
+        format!("servers-{}-{}", self.servers, self.assign.name())
+    }
+
+    /// Inverse of [`ServerTopology::name`]: `servers-S-hash` or
+    /// `servers-S-least` with `S ≥ 1`.
+    pub fn parse(s: &str) -> Option<ServerTopology> {
+        let rest = s.strip_prefix("servers-")?;
+        let (count, policy) = rest.split_once('-')?;
+        let servers: usize = count.parse().ok()?;
+        if servers < 1 {
+            return None;
+        }
+        Some(ServerTopology { servers, assign: AssignPolicy::parse(policy)? })
+    }
+}
+
 /// Cluster and filesystem parameters for one launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaunchConfig {
@@ -151,6 +253,11 @@ pub struct LaunchConfig {
     /// [`SplitMix::FAULT`] stream domain so they never perturb service
     /// draws (common random numbers across fault/no-fault pairs).
     pub fault: FaultModel,
+    /// Metadata-server fleet shape. The default single-server topology
+    /// reproduces the pre-axis engine bit for bit; `S > 1` gives each
+    /// server its own busy-until lane in every engine regime.
+    #[serde(default)]
+    pub topology: ServerTopology,
 }
 
 impl Default for LaunchConfig {
@@ -167,6 +274,7 @@ impl Default for LaunchConfig {
             service_dist: ServiceDistribution::Deterministic,
             seed: 0xD15_7A5ED, // "dist-based" — any fixed value works
             fault: FaultModel::None,
+            topology: ServerTopology::single(),
         }
     }
 }
@@ -189,6 +297,11 @@ impl LaunchConfig {
 
     pub fn with_fault(mut self, fault: FaultModel) -> Self {
         self.fault = fault;
+        self
+    }
+
+    pub fn with_topology(mut self, topology: ServerTopology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -249,6 +362,7 @@ mod tests {
         assert_eq!(c.nodes(), 4);
         assert!(!c.broadcast_cache);
         assert!(c.service_dist.is_deterministic(), "the paper's model is the default");
+        assert!(c.topology.is_single(), "one metadata server is the paper's model");
     }
 
     #[test]
@@ -289,6 +403,23 @@ mod tests {
         assert_eq!(ServiceDistribution::Deterministic.name(), "deterministic");
         assert_eq!(ServiceDistribution::uniform_jitter(0.25).name(), "jitter-250");
         assert_eq!(ServiceDistribution::log_normal(0.5).name(), "lognormal-500");
+    }
+
+    #[test]
+    fn topology_names_round_trip_and_default_is_single() {
+        let def = ServerTopology::default();
+        assert!(def.is_single());
+        assert_eq!(def, ServerTopology::single());
+        for top in
+            [ServerTopology::single(), ServerTopology::hash(4), ServerTopology::least_loaded(16)]
+        {
+            assert_eq!(ServerTopology::parse(&top.name()), Some(top), "{}", top.name());
+        }
+        assert_eq!(ServerTopology::hash(4).name(), "servers-4-hash");
+        assert_eq!(ServerTopology::least_loaded(8).name(), "servers-8-least");
+        assert_eq!(ServerTopology::parse("servers-0-hash"), None);
+        assert_eq!(ServerTopology::parse("servers-4-random"), None);
+        assert_eq!(ServerTopology::parse("4-hash"), None);
     }
 
     #[test]

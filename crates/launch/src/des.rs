@@ -1,10 +1,16 @@
 //! The discrete-event launch simulation.
 //!
-//! One shared metadata server (FIFO, deterministic service time), N node
-//! clients each replaying the captured op stream *sequentially* — the
+//! A fleet of `S` shared metadata servers (FIFO, deterministic service
+//! time; `cfg.topology` — the default is the paper's single server), N
+//! node clients each replaying the captured op stream *sequentially* — the
 //! dynamic loader issues one syscall at a time, so a node cannot pipeline
 //! its own lookups. Contention emerges naturally: every node's cold op
-//! must pass through the single server queue.
+//! must pass through its server's queue. Each server keeps its own
+//! busy-until lane; requests route by the topology's
+//! [`AssignPolicy`] — `HashByNode` pins node `i` to lane `i % S`
+//! (seed-free, schedule-independent), `LeastLoaded` picks the earliest
+//! lane at service time with index tie-breaks. `S = 1` reduces every
+//! engine below to the pre-topology arithmetic bit for bit.
 //!
 //! # The hot path: classify once, then the cheapest exact regime
 //!
@@ -107,8 +113,53 @@ use std::collections::BinaryHeap;
 use depchaos_vfs::{Op, StraceLog};
 use depchaos_workloads::SplitMix;
 
-use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
+use crate::config::{AssignPolicy, LaunchConfig, LaunchResult, ServiceDistribution};
 use crate::fault::{backoff_ns, FaultCounts, FaultModel};
+
+/// The per-server busy-until clocks of a [`crate::ServerTopology`] fleet,
+/// plus the routing policy. `S = 1` degenerates to the pre-topology single
+/// `server_busy_ns` cell exactly: one lane, always picked, same max/add
+/// sequence. Shared by the healthy heap, the faulty heap, and the
+/// [`reference`](mod@reference) oracle so all three route identically.
+pub(crate) struct ServerLanes {
+    /// Busy-until clock per server, indexed by lane.
+    pub(crate) busy_ns: Vec<u64>,
+    assign: AssignPolicy,
+}
+
+impl ServerLanes {
+    pub(crate) fn new(cfg: &LaunchConfig) -> Self {
+        ServerLanes { busy_ns: vec![0; cfg.topology.servers.max(1)], assign: cfg.topology.assign }
+    }
+
+    /// The lane serving `node`'s request popped at this instant. Both
+    /// policies are draw-free: `HashByNode` is a pure function of the node
+    /// index, `LeastLoaded` of the current busy clocks (ties to the lowest
+    /// lane index).
+    pub(crate) fn pick(&self, node: usize) -> usize {
+        match self.assign {
+            AssignPolicy::HashByNode => node % self.busy_ns.len(),
+            AssignPolicy::LeastLoaded => {
+                let mut best = 0usize;
+                for l in 1..self.busy_ns.len() {
+                    if self.busy_ns[l] < self.busy_ns[best] {
+                        best = l;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Serve one request on `lane`: FIFO after the lane's previous work,
+    /// never before `arrival`. Returns the completion instant.
+    pub(crate) fn serve(&mut self, lane: usize, arrival: u64, service_ns: u64) -> u64 {
+        let start = self.busy_ns[lane].max(arrival);
+        let done = start + service_ns;
+        self.busy_ns[lane] = done;
+        done
+    }
+}
 
 /// The [`LaunchConfig`] fields classification depends on. Two configs with
 /// equal `ClassifyParams` can share one [`ClassifiedStream`] — rank count,
@@ -410,13 +461,11 @@ pub(crate) fn heap_schedule(
     }
 
     let mut peak_queue_depth = 0usize;
-    let mut server_busy_ns = 0u64;
+    let mut lanes = ServerLanes::new(cfg);
     let mut done_max_ns = 0u64;
     while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
         peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-        let start = server_busy_ns.max(arrival);
-        let done = start + svc;
-        server_busy_ns = done;
+        let done = lanes.serve(lanes.pick(i), arrival, svc);
         // Client resumes after the response returns and it has consumed
         // the payload (reads stream for `extra` after the server moves
         // on), then computes locally until its next request.
@@ -530,19 +579,22 @@ pub(crate) fn heap_schedule_faulty(
     }
 
     let mut peak_queue_depth = 0usize;
-    let mut server_busy_ns = 0u64;
+    let mut lanes = ServerLanes::new(cfg);
     let mut done_max_ns = 0u64;
     while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
         peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-        let mut start = server_busy_ns.max(arrival);
+        let lane = lanes.pick(i);
+        let mut start = lanes.busy_ns[lane].max(arrival);
         if let FaultModel::ServerStall { at_ns, duration_ns } = fault {
+            // A brownout stalls the whole fleet: every lane's start inside
+            // the window waits for it to close.
             let end = at_ns.saturating_add(duration_ns);
             if start >= at_ns && start < end {
                 start = end;
             }
         }
         let done = start + svc;
-        server_busy_ns = done;
+        lanes.busy_ns[lane] = done;
         let n = &mut node_state[i];
         if let FaultModel::RpcLoss { loss_milli, timeout_ns, backoff_base_ns, max_retries } = fault
         {
@@ -659,15 +711,28 @@ fn all_cold_closed_form(
     let segs = &stream.segments;
     let half_rtt = cfg.rtt_ns / 2;
 
-    if cold_nodes > 1 && !round_major(segs, half_rtt) {
+    // Under an S-lane `HashByNode` fleet the lanes are fully independent
+    // single-server systems over the same schedule (node `i` only ever
+    // talks to lane `i % S`), so the closed form runs per lane; the
+    // busiest lane — `ceil(cold / S)` nodes — finishes last (adding a
+    // node to a FIFO lane never speeds it up). `LeastLoaded` routing
+    // depends on the event schedule, so it is never analytic-eligible.
+    let servers = cfg.topology.servers.max(1);
+    if servers > 1 && cfg.topology.assign != AssignPolicy::HashByNode {
+        return None;
+    }
+    let lane_nodes = cold_nodes.div_ceil(servers);
+
+    if lane_nodes > 1 && !round_major(segs, half_rtt) {
         return None;
     }
 
-    // The envelope: D(i, round) = max over lines of (c + i·slope), for node
-    // index i in [0, cold_nodes). Round 0: every node arrives at a₀ =
-    // pre_local₀ + rtt/2 and is served back to back. Two buffers swap roles
-    // per round, so the whole recursion allocates twice, total.
-    let last = (cold_nodes - 1) as u64;
+    // The envelope: D(i, round) = max over lines of (c + i·slope), for
+    // lane-local node index i in [0, lane_nodes). Round 0: every node
+    // arrives at a₀ = pre_local₀ + rtt/2 and is served back to back. Two
+    // buffers swap roles per round, so the whole recursion allocates
+    // twice, total.
+    let last = (lane_nodes - 1) as u64;
     let mut lines: Vec<(u64, u64)> = Vec::with_capacity(8);
     let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(8);
     lines.push(envelope_seed(segs, half_rtt));
@@ -791,7 +856,9 @@ pub mod reference {
     //! cursor, straggler membership) from the same FAULT-domain streams;
     //! under [`ServiceDistribution::Deterministic`] with
     //! [`FaultModel::None`] no generator is constructed and the walk is
-    //! the original, verbatim.
+    //! the original, verbatim. The server fleet is the shared
+    //! `ServerLanes`: the same per-lane busy clocks and routing picker
+    //! as the fast path, degenerating to the single busy cell at `S = 1`.
 
     use super::*;
 
@@ -928,11 +995,12 @@ pub mod reference {
             }
         }
 
-        let mut server_busy_ns = 0u64;
+        let mut lanes = ServerLanes::new(cfg);
         let mut peak_queue_depth = 0usize;
         while let Some(Reverse((arrival, i, svc, extra))) = heap.pop() {
             peak_queue_depth = peak_queue_depth.max(heap.len() + 1);
-            let mut start = server_busy_ns.max(arrival);
+            let lane = lanes.pick(i);
+            let mut start = lanes.busy_ns[lane].max(arrival);
             if let FaultModel::ServerStall { at_ns, duration_ns } = fault {
                 let end = at_ns.saturating_add(duration_ns);
                 if start >= at_ns && start < end {
@@ -940,7 +1008,7 @@ pub mod reference {
                 }
             }
             let done = start + svc;
-            server_busy_ns = done;
+            lanes.busy_ns[lane] = done;
             if let FaultModel::RpcLoss { loss_milli, timeout_ns, backoff_base_ns, max_retries } =
                 fault
             {
@@ -988,6 +1056,7 @@ pub mod reference {
 mod tests {
     use super::reference::simulate_launch_reference;
     use super::*;
+    use crate::config::ServerTopology;
     use depchaos_vfs::{Outcome, Syscall};
 
     fn stream(n_cold: usize, n_warm: usize) -> StraceLog {
@@ -1547,5 +1616,150 @@ mod tests {
         assert_eq!(r.nodes, 262_144);
         assert_eq!(r.server_ops, 500);
         assert_eq!(r.local_ops, 262_143 * 500);
+    }
+
+    fn topologies() -> [ServerTopology; 5] {
+        [
+            ServerTopology::single(),
+            ServerTopology::hash(2),
+            ServerTopology::hash(8),
+            ServerTopology::least_loaded(3),
+            ServerTopology::least_loaded(8),
+        ]
+    }
+
+    #[test]
+    fn single_server_is_bit_identical_whatever_the_policy() {
+        // One lane leaves nothing for the policy to pick: both S=1
+        // topologies must reproduce the default-config result exactly,
+        // across every (dist × fault) engine.
+        let ops = stream(60, 20);
+        for dist in ServiceDistribution::all() {
+            for fault in fault_models() {
+                for ranks in [1usize, 512, 2048] {
+                    let base =
+                        fast_cfg().with_ranks(ranks).with_service_dist(dist).with_fault(fault);
+                    let want = simulate_launch(&ops, &base);
+                    for assign in [AssignPolicy::HashByNode, AssignPolicy::LeastLoaded] {
+                        let cfg = base.clone().with_topology(ServerTopology { servers: 1, assign });
+                        assert_eq!(simulate_launch(&ops, &cfg), want, "assign={}", assign.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_server_matches_the_reference_oracle() {
+        let streams = [stream(40, 0), stream(17, 43), stream(0, 60)];
+        for top in topologies() {
+            for dist in ServiceDistribution::all() {
+                for fault in fault_models() {
+                    for ops in &streams {
+                        for ranks in [1usize, 300, 2048] {
+                            let cfg = fast_cfg()
+                                .with_ranks(ranks)
+                                .with_service_dist(dist)
+                                .with_fault(fault)
+                                .with_seed(99)
+                                .with_topology(top);
+                            assert_eq!(
+                                simulate_launch(ops, &cfg),
+                                simulate_launch_reference(ops, &cfg),
+                                "top={} dist={} fault={} ranks={ranks} ops={}",
+                                top.name(),
+                                dist.name(),
+                                fault.name(),
+                                ops.len()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_server_closed_form_matches_the_heap_bit_for_bit() {
+        // The S-lane analytic envelope (per-lane recursion, busiest lane
+        // finishes last) against the S-lane heap, wherever the guard
+        // admits — including lanes of unequal size (cold % S ≠ 0).
+        let mut engaged = 0;
+        for seed in 0..20u64 {
+            let ops = random_stream(seed, (seed % 40) as usize + 1);
+            for servers in [2usize, 3, 8, 16] {
+                for ranks in [128usize, 2048, 8192] {
+                    let cfg =
+                        fast_cfg().with_ranks(ranks).with_topology(ServerTopology::hash(servers));
+                    let classified = ClassifiedStream::classify(&ops, &cfg);
+                    if classified.segments.is_empty() {
+                        continue;
+                    }
+                    let cold = cfg.nodes();
+                    if let Some(analytic) = all_cold_closed_form(&classified, &cfg, cold) {
+                        engaged += 1;
+                        let heap = heap_schedule(&classified, &cfg, cold, |_, seg| seg.service_ns);
+                        assert_eq!(analytic, heap, "seed={seed} servers={servers} ranks={ranks}");
+                    }
+                }
+            }
+        }
+        assert!(engaged > 40, "the guard admitted only {engaged} cases — generator too hostile");
+    }
+
+    #[test]
+    fn least_loaded_is_never_analytic_and_stays_exact() {
+        let ops = stream(120, 0);
+        let cfg = fast_cfg().with_ranks(2048).with_topology(ServerTopology::least_loaded(4));
+        let classified = ClassifiedStream::classify(&ops, &cfg);
+        assert!(
+            analytic_all_cold(&classified, &cfg).is_none(),
+            "schedule-dependent routing must decline the closed form"
+        );
+        assert_eq!(simulate_classified(&classified, &cfg), simulate_launch_reference(&ops, &cfg));
+    }
+
+    #[test]
+    fn more_servers_flatten_the_launch_monotonically() {
+        let ops = stream(300, 0);
+        let mut prev = u64::MAX;
+        for servers in [1usize, 2, 4, 8, 16] {
+            let cfg = fast_cfg().with_ranks(2048).with_topology(ServerTopology::hash(servers));
+            let t = simulate_launch(&ops, &cfg).time_to_launch_ns;
+            assert!(t <= prev, "S={servers} slowed the launch: {t} > {prev}");
+            prev = t;
+        }
+        // 16 servers over 16 cold nodes: every node has a private server,
+        // so the launch is contention-free — far faster than S=1.
+        let solo = simulate_launch(
+            &ops,
+            &fast_cfg().with_ranks(2048).with_topology(ServerTopology::hash(16)),
+        );
+        let jammed = simulate_launch(&ops, &fast_cfg().with_ranks(2048));
+        // (Not 16×: with private servers each node is RTT-bound, and the
+        // round trips don't shrink with S.)
+        assert!(solo.time_to_launch_ns * 2 < jammed.time_to_launch_ns);
+        assert_eq!(solo.server_ops, jammed.server_ops, "topology moves time, not work");
+    }
+
+    #[test]
+    fn million_node_multi_server_still_simulates_instantly() {
+        // The analytic fast path must survive the topology axis: 262,144
+        // cold nodes over 8 hash lanes is still O(server_ops) work.
+        let ops = stream(500, 0);
+        let mut cfg = fast_cfg().with_topology(ServerTopology::hash(8));
+        cfg.ranks = 4 * 1024 * 1024;
+        cfg.ranks_per_node = 16;
+        let t0 = std::time::Instant::now();
+        let classified = ClassifiedStream::classify(&ops, &cfg);
+        let r = simulate_classified(&classified, &cfg);
+        assert!(t0.elapsed().as_secs_f64() < 1.0, "took {:?}", t0.elapsed());
+        assert_eq!(r, analytic_all_cold(&classified, &cfg).expect("uniform stream engages"));
+        assert_eq!(r.peak_queue_depth, 262_144, "the whole fleet still queues at once");
+        // Each lane serializes its own 32,768 nodes' ops...
+        assert!(r.time_to_launch_ns >= (262_144 / 8) * 500 * cfg.meta_service_ns);
+        // ...and 8 lanes beat one by nearly the lane count.
+        let one = simulate_launch(&ops, &cfg.clone().with_topology(ServerTopology::single()));
+        assert!(r.time_to_launch_ns < one.time_to_launch_ns / 6);
     }
 }

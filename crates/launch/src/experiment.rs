@@ -32,7 +32,7 @@ use depchaos_workloads::{SplitMix, Workload};
 
 use crate::adaptive::{run_adaptive_units, AdaptiveControl, AdaptiveUnit};
 use crate::batch::BatchPlan;
-use crate::config::{LaunchConfig, LaunchResult, ServiceDistribution};
+use crate::config::{LaunchConfig, LaunchResult, ServerTopology, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
 use crate::fault::FaultModel;
 use crate::matrix::{
@@ -393,7 +393,7 @@ impl SweepReport {
     /// for that cell (the same K the `replicates` column counts).
     pub fn render_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\tretries\tstopping\n",
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\ttopology\tranks\tseconds\tp50_s\tp95_s\tp99_s\treplicates\tserver_ops\tpeak_queue\tretries\tstopping\n",
         );
         for r in &self.results {
             for (ranks, l) in &r.series {
@@ -409,7 +409,7 @@ impl SweepReport {
                     Some(c) => format!("adaptive-{}m@{}", c.target_rel_milli, st.replicates),
                 };
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{stopping}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{stopping}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
@@ -417,6 +417,7 @@ impl SweepReport {
                     r.spec.cache.name(),
                     r.spec.dist.name(),
                     r.spec.fault.name(),
+                    r.spec.topology.name(),
                     l.seconds(),
                     st.p50_s(),
                     st.p95_s(),
@@ -579,6 +580,96 @@ impl SweepReport {
         out
     }
 
+    /// Per-topology fleet tables — the `fig6-servers` section. For every
+    /// (workload, backend, storage, wrap, cache, dist, fault) slice swept
+    /// across the server-topology axis, one table with a row per fleet:
+    /// the launch seconds at each rank point and the speedup over the
+    /// single-server row at the largest point — plus the *flattening
+    /// point*, the smallest fleet within 5% of the best launch at the
+    /// largest rank point (past it, more metadata servers buy nothing,
+    /// because the launch has gone RTT- or client-bound).
+    pub fn render_servers_tables(&self) -> String {
+        let display = |t: &ServerTopology| {
+            if t.is_single() {
+                "1-server".to_string()
+            } else {
+                t.name()
+            }
+        };
+        let mut out = String::new();
+        let mut seen: HashSet<ScenarioSpec> = HashSet::new();
+        let last = self.rank_points.last().copied();
+        for r in &self.results {
+            let slice = ScenarioSpec { topology: ServerTopology::single(), ..r.spec.clone() };
+            if !seen.insert(slice.clone()) {
+                continue;
+            }
+            // All fleets of this slice, smallest first, hash before
+            // least-loaded at equal size.
+            let mut members: Vec<&ScenarioResult> = self
+                .results
+                .iter()
+                .filter(|x| {
+                    ScenarioSpec { topology: ServerTopology::single(), ..x.spec.clone() } == slice
+                })
+                .collect();
+            members.sort_by_key(|x| (x.spec.topology.servers, x.spec.topology.assign.name()));
+            out.push_str(&format!(
+                "--- {} × {} ({}, {} cache, {}, {}) ---\n",
+                slice.workload,
+                slice.backend,
+                slice.storage.name(),
+                slice.cache.name(),
+                slice.wrap.name(),
+                slice.dist.name()
+            ));
+            if let Some(e) = members.iter().find_map(|m| m.error.as_deref()) {
+                out.push_str(&format!("no series — {e}\n\n"));
+                continue;
+            }
+            let single_at = |p: usize| {
+                members.iter().find(|m| m.spec.topology.is_single()).and_then(|m| m.seconds_at(p))
+            };
+            let mut header = format!("{:<18}", "topology");
+            for &p in &self.rank_points {
+                header.push_str(&format!("  {:>10}", format!("{p}(s)")));
+            }
+            header.push_str(&format!("  {:>9}\n", "speedup"));
+            out.push_str(&header);
+            for m in &members {
+                let mut row = format!("{:<18}", display(&m.spec.topology));
+                for &p in &self.rank_points {
+                    match m.seconds_at(p) {
+                        Some(secs) => row.push_str(&format!("  {secs:>10.1}")),
+                        None => row.push_str(&format!("  {:>10}", "-")),
+                    }
+                }
+                let speedup = last
+                    .and_then(|p| Some(single_at(p)? / m.seconds_at(p)?))
+                    .map(|x| format!("{x:>8.2}x"))
+                    .unwrap_or_else(|| format!("{:>9}", "-"));
+                row.push_str(&format!("  {speedup}\n"));
+                out.push_str(&row);
+            }
+            if let Some(p) = last {
+                let best =
+                    members.iter().filter_map(|m| m.seconds_at(p)).fold(f64::INFINITY, f64::min);
+                if best.is_finite() {
+                    if let Some(flat) =
+                        members.iter().find(|m| m.seconds_at(p).is_some_and(|s| s <= best * 1.05))
+                    {
+                        out.push_str(&format!(
+                            "flattens at {} ({p} ranks, within 5% of best)\n",
+                            display(&flat.spec.topology)
+                        ));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Every `(scenario label, ranks)` whose replicate mean escaped the
     /// M/G/1 envelope — empty means the whole sweep is consistent with
     /// queueing theory.
@@ -650,7 +741,7 @@ impl SweepReport {
     /// than printing a non-numeric `inf` into a numeric column.
     pub fn render_queueing_tsv(&self) -> String {
         let mut s = String::from(
-            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\tranks\tmean_s\tlower_s\tupper_s\
+            "workload\tbackend\tstorage\twrap\tcache\tdist\tfault\ttopology\tranks\tmean_s\tlower_s\tupper_s\
              \tutilisation\tmg1_wait_ms\treplicates\twithin\n",
         );
         for r in &self.results {
@@ -668,7 +759,7 @@ impl SweepReport {
                     format!("{:.3}", q.bounds.upper_ns as f64 / 1e9)
                 };
                 s.push_str(&format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{upper_s}\t{:.3}\t{wait_ms}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{ranks}\t{:.3}\t{:.3}\t{upper_s}\t{:.3}\t{wait_ms}\t{}\t{}\n",
                     r.spec.workload,
                     r.spec.backend,
                     r.spec.storage.name(),
@@ -676,6 +767,7 @@ impl SweepReport {
                     r.spec.cache.name(),
                     r.spec.dist.name(),
                     r.spec.fault.name(),
+                    r.spec.topology.name(),
                     q.observed_mean_ns as f64 / 1e9,
                     q.bounds.lower_ns as f64 / 1e9,
                     q.bounds.utilisation,
@@ -714,6 +806,7 @@ pub fn run_scenario(
     let mut cfg = s.cache.apply(base.clone());
     cfg.service_dist = s.dist;
     cfg.fault = s.fault;
+    cfg.topology = s.topology;
     // Each cell draws from its own decorrelated stream, derived
     // from (experiment seed, cell label) — deterministic across
     // runs and across rayon schedules.
@@ -803,6 +896,7 @@ impl ExperimentMatrix {
                 let mut cfg = s.cache.apply(self.base.clone());
                 cfg.service_dist = s.dist;
                 cfg.fault = s.fault;
+                cfg.topology = s.topology;
                 // Each cell draws from its own decorrelated stream, derived
                 // from (experiment seed, cell label) — deterministic across
                 // runs and across execution orders.
@@ -1200,7 +1294,74 @@ mod tests {
         assert_eq!(tsv.lines().count(), 9);
         let qtsv = degraded.render_queueing_tsv();
         // Faulted rows leave the forfeited upper bound empty.
-        assert!(qtsv.lines().skip(1).any(|l| l.split('\t').nth(10) == Some("")));
+        assert!(qtsv.lines().skip(1).any(|l| l.split('\t').nth(11) == Some("")));
+    }
+
+    #[test]
+    fn topology_axis_flattens_cells_without_touching_single_server_ones() {
+        let base = LaunchConfig {
+            base_overhead_ns: 0,
+            per_rank_overhead_ns: 0,
+            ..LaunchConfig::default()
+        };
+        let cache = ProfileCache::new();
+        let topologies = [
+            ServerTopology::single(),
+            ServerTopology::hash(2),
+            ServerTopology::hash(8),
+            ServerTopology::least_loaded(4),
+        ];
+        let fleet = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states([WrapState::Plain])
+            .topologies(topologies)
+            .base_config(base.clone())
+            .rank_points([256usize, 512])
+            .run(&cache);
+        // 1 wrap × 4 fleets; topology changes simulation, not profiling.
+        assert_eq!(fleet.results.len(), 4);
+        assert_eq!(cache.computed(), 1);
+
+        // Single-server cells are byte-identical to a matrix with no
+        // topology axis — the label (and so the cell seed) never saw it.
+        let single = ExperimentMatrix::new()
+            .workload(Pynamic::new(30))
+            .backend(MatrixBackend::glibc())
+            .storage(StorageModel::Nfs)
+            .wrap_states([WrapState::Plain])
+            .base_config(base)
+            .rank_points([256usize, 512])
+            .run(&cache);
+        assert_eq!(fleet.get(&single.results[0].spec), Some(&single.results[0]));
+
+        // Every fleet is at least as fast as the paper's one server, and
+        // each multi-server cell carries a passing M/G/k check.
+        let single_s = single.results[0].seconds_at(512).unwrap();
+        for r in &fleet.results {
+            assert!(
+                r.seconds_at(512).unwrap() <= single_s,
+                "{}: more servers must not slow the launch",
+                r.spec.label()
+            );
+            for (ranks, q) in &r.queueing {
+                assert_eq!(q.bounds.servers, r.spec.topology.servers);
+                assert!(q.within, "{} at {ranks}: {q:?}", r.spec.label());
+            }
+        }
+        assert!(fleet.queueing_violations().is_empty());
+
+        let tables = fleet.render_servers_tables();
+        assert!(tables.contains("1-server"));
+        assert!(tables.contains("servers-8-hash"));
+        assert!(tables.contains("speedup"));
+        assert!(tables.contains("flattens at"));
+        let tsv = fleet.render_tsv();
+        assert!(tsv.starts_with("workload\tbackend\tstorage\twrap\tcache\tdist\tfault\ttopology\t"));
+        assert!(tsv.contains("\tservers-4-least\t"));
+        // 4 scenarios × 2 rank points + header.
+        assert_eq!(tsv.lines().count(), 9);
     }
 
     #[test]

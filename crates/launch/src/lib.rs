@@ -13,8 +13,12 @@
 //! 1. [`profile`] replays a loader backend (any [`depchaos_loader::Loader`])
 //!    against a cold [`depchaos_vfs::Vfs`] and captures the strace-style op
 //!    stream one rank issues at startup.
-//! 2. [`des`] is a discrete-event simulation: one metadata server with a
-//!    FIFO queue; each *node* replays the op stream sequentially (the
+//! 2. [`des`] is a discrete-event simulation: a fleet of `S` FIFO metadata
+//!    servers (a [`ServerTopology`] on the config — the default `S = 1` is
+//!    the paper's model, bit for bit), each with its own busy-until lane,
+//!    requests routed by an [`AssignPolicy`] (seed-free hash-by-node, or
+//!    least-loaded with index tie-breaks); each *node* replays the op
+//!    stream sequentially (the
 //!    loader is serial), round-tripping every cold op. Ranks beyond the
 //!    first on a node hit the node's page cache — which is why the unit of
 //!    NFS load is the node, not the rank. The server's per-op service time
@@ -79,9 +83,10 @@
 //!    variant, emacs, the >200-package Axom stack, the ROCm module world);
 //!    storage models are [`depchaos_vfs::StorageModel`]; backends are
 //!    [`depchaos_core::LoaderBackend`]s plus the hash-store loader service.
-//! 6. [`queueing`] is the independent cross-check: M/G/1 service moments
+//! 6. [`queueing`] is the independent cross-check: M/G/k service moments
 //!    (closed-form second moments per distribution), Pollaczek–Khinchine
-//!    mean waits, and hard capacity/work-conservation bounds on the mean
+//!    mean waits (Lee–Longton-scaled for `k > 1` fleets at utilisation
+//!    `λE[S]/k`), and hard capacity/work-conservation bounds on the mean
 //!    launch time — [`validate_against_mg1`] flags any cell whose
 //!    replicate mean escapes the envelope, so a modelling bug shared by
 //!    the DES and its oracle would still be caught by theory.
@@ -145,7 +150,7 @@ pub use adaptive::{
     run_adaptive_units, stop_k, t_critical_95, AdaptiveControl, AdaptiveUnit, PairedDiff, Welford,
 };
 pub use batch::{BatchPlan, SolverClass, StreamId};
-pub use config::{LaunchConfig, LaunchResult, ServiceDistribution};
+pub use config::{AssignPolicy, LaunchConfig, LaunchResult, ServerTopology, ServiceDistribution};
 pub use des::{
     analytic_all_cold, reference, simulate_classified, simulate_launch, ClassifiedStream,
     ClassifyParams,
@@ -161,7 +166,7 @@ pub use matrix::{
 };
 pub use profile::{profile_load, profile_load_checked, profile_load_with};
 pub use queueing::{
-    factor_second_moment, mg1_bounds, validate_against_mg1, Mg1Bounds, QueueingCheck,
+    erlang_c, factor_second_moment, mg1_bounds, validate_against_mg1, Mg1Bounds, QueueingCheck,
     ServiceMoments,
 };
 pub use sweep::{

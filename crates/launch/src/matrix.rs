@@ -2,7 +2,7 @@
 //!
 //! A [`Scenario`] is one point in (workload × loader backend × storage
 //! model × wrap state × cache policy × service distribution × fault
-//! model); an
+//! model × server topology); an
 //! [`ExperimentMatrix`] holds the axis values and expands the full cross
 //! product. Execution lives in [`crate::experiment`], which gathers the
 //! expanded grid into one columnar [`crate::batch::BatchPlan`] pass —
@@ -21,7 +21,7 @@ use depchaos_vfs::{StorageModel, Vfs};
 use depchaos_workloads::{InstalledWorkload, Workload};
 
 use crate::adaptive::AdaptiveControl;
-use crate::config::{LaunchConfig, ServiceDistribution};
+use crate::config::{LaunchConfig, ServerTopology, ServiceDistribution};
 use crate::fault::FaultModel;
 
 /// The wrap-state axis: is the binary launched as built, or after
@@ -177,6 +177,7 @@ pub struct Scenario {
     pub cache: CachePolicy,
     pub dist: ServiceDistribution,
     pub fault: FaultModel,
+    pub topology: ServerTopology,
 }
 
 impl Scenario {
@@ -199,6 +200,7 @@ impl Scenario {
             cache: self.cache,
             dist: self.dist,
             fault: self.fault,
+            topology: self.topology,
         }
     }
 }
@@ -231,15 +233,20 @@ pub struct ScenarioSpec {
     /// defaults keep reports written before the axis existed loadable.
     #[serde(default)]
     pub fault: FaultModel,
+    /// Metadata-fleet axis; [`ServerTopology::single`] for the paper's one
+    /// server. Serde defaults keep pre-axis reports loadable.
+    #[serde(default)]
+    pub topology: ServerTopology,
 }
 
 impl ScenarioSpec {
     /// One-line label, stable across renderers and TSV. Also the input of
     /// the per-cell seed derivation ([`crate::experiment::scenario_seed`]),
     /// which is what makes "reproducible from (seed, cell key)" literal.
-    /// The fault segment is appended only for faulted cells, so every
-    /// healthy label — and therefore every healthy cell seed — is
-    /// byte-identical to what it was before the fault axis existed.
+    /// The fault segment is appended only for faulted cells, and the
+    /// topology segment only for multi-server fleets, so every healthy
+    /// single-server label — and therefore every such cell seed — is
+    /// byte-identical to what it was before those axes existed.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}/{}/{}/{}/{}/{}",
@@ -253,6 +260,10 @@ impl ScenarioSpec {
         if !self.fault.is_none() {
             label.push('/');
             label.push_str(&self.fault.name());
+        }
+        if !self.topology.is_single() {
+            label.push('/');
+            label.push_str(&self.topology.name());
         }
         label
     }
@@ -275,6 +286,7 @@ pub struct ExperimentMatrix {
     pub(crate) cache_policies: Vec<CachePolicy>,
     pub(crate) distributions: Vec<ServiceDistribution>,
     pub(crate) faults: Vec<FaultModel>,
+    pub(crate) topologies: Vec<ServerTopology>,
     pub(crate) rank_points: Vec<usize>,
     pub(crate) replicates: usize,
     pub(crate) adaptive: Option<AdaptiveControl>,
@@ -295,6 +307,7 @@ impl ExperimentMatrix {
             cache_policies: Vec::new(),
             distributions: Vec::new(),
             faults: Vec::new(),
+            topologies: Vec::new(),
             rank_points: Vec::new(),
             replicates: DEFAULT_REPLICATES,
             adaptive: None,
@@ -356,6 +369,18 @@ impl ExperimentMatrix {
     /// ([`FaultModel::None`]) at `expand()` time.
     pub fn faults(mut self, fs: impl IntoIterator<Item = FaultModel>) -> Self {
         self.faults.extend(fs);
+        self
+    }
+
+    pub fn topology(mut self, t: ServerTopology) -> Self {
+        self.topologies.push(t);
+        self
+    }
+
+    /// The metadata-fleet axis; an empty axis defaults to the paper's
+    /// single server ([`ServerTopology::single`]) at `expand()` time.
+    pub fn topologies(mut self, ts: impl IntoIterator<Item = ServerTopology>) -> Self {
+        self.topologies.extend(ts);
         self
     }
 
@@ -423,7 +448,8 @@ impl ExperimentMatrix {
     }
 
     /// Expand the full cross product. Empty axes default to: glibc, NFS,
-    /// both wrap states, cold cache, deterministic service, no faults.
+    /// both wrap states, cold cache, deterministic service, no faults,
+    /// one metadata server.
     /// (Workloads have no default — an empty workload axis expands to no
     /// scenarios.)
     pub fn expand(&self) -> Vec<Scenario> {
@@ -451,6 +477,11 @@ impl ExperimentMatrix {
         };
         let faults =
             if self.faults.is_empty() { vec![FaultModel::None] } else { self.faults.clone() };
+        let topologies = if self.topologies.is_empty() {
+            vec![ServerTopology::single()]
+        } else {
+            self.topologies.clone()
+        };
 
         let mut out = Vec::new();
         for w in &self.workloads {
@@ -460,15 +491,18 @@ impl ExperimentMatrix {
                         for c in &caches {
                             for d in &dists {
                                 for f in &faults {
-                                    out.push(Scenario {
-                                        workload: Arc::clone(w),
-                                        backend: b.clone(),
-                                        storage: *s,
-                                        wrap: *wr,
-                                        cache: *c,
-                                        dist: *d,
-                                        fault: *f,
-                                    });
+                                    for t in &topologies {
+                                        out.push(Scenario {
+                                            workload: Arc::clone(w),
+                                            backend: b.clone(),
+                                            storage: *s,
+                                            wrap: *wr,
+                                            cache: *c,
+                                            dist: *d,
+                                            fault: *f,
+                                            topology: *t,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -564,6 +598,27 @@ mod tests {
         assert!(labels.contains(
             "pynamic-10/glibc/nfs/plain/cold/deterministic/stall-2000000000-10000000000"
         ));
+    }
+
+    #[test]
+    fn topology_axis_multiplies_scenarios_and_extends_labels_only_for_fleets() {
+        let m = ExperimentMatrix::new()
+            .workload(Pynamic::new(10))
+            .topologies([ServerTopology::single(), ServerTopology::hash(4)]);
+        let scenarios = m.expand();
+        assert_eq!(scenarios.len(), 2 * 2, "(plain, wrapped) × (1 server, 4 servers)");
+        // Topology changes simulation, not profiling: still one cell.
+        let cells: std::collections::HashSet<CellKey> =
+            scenarios.iter().map(|s| s.cell_key()).collect();
+        assert_eq!(cells.len(), 1);
+        // Single-server labels stay byte-identical to the pre-axis format,
+        // so their per-cell seeds are unchanged; fleet labels grow a
+        // segment that round-trips through ServerTopology::parse.
+        let labels: std::collections::HashSet<String> =
+            scenarios.iter().map(|s| s.spec().label()).collect();
+        assert!(labels.contains("pynamic-10/glibc/nfs/plain/cold/deterministic"));
+        assert!(labels.contains("pynamic-10/glibc/nfs/plain/cold/deterministic/servers-4-hash"));
+        assert_eq!(ServerTopology::parse("servers-4-hash"), Some(ServerTopology::hash(4)));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! M/G/1 queueing-theory cross-checks for the stochastic DES.
+//! M/G/k queueing-theory cross-checks for the stochastic DES.
 //!
 //! The DES is trusted because it is bit-identical to a slow reference
 //! implementation — but both could share a modelling bug. This module
@@ -13,21 +13,37 @@
 //!   mean(sₖ)` and `E[S²] = mean(sₖ²)·E[F²]`, with `E[F²]` closed-form per
 //!   distribution — `1` (deterministic), `1 + spread²/3` (uniform jitter on
 //!   `[1−spread, 1+spread]`), `exp(σ²)` (mean-one log-normal).
-//! * **M/G/1 descriptors**: treating each cold node's replay as the arrival
-//!   process (one op per `free-replay/K` nanoseconds, `N` nodes), the
-//!   offered utilisation is `ρ = N·ΣS / free-replay` and the
-//!   Pollaczek–Khinchine mean wait `W = λ·E[S²] / 2(1−ρ)` — infinite once
-//!   the offered load saturates the server (`ρ ≥ 1`), which is exactly the
+//! * **M/G/k descriptors**: treating each cold node's replay as the arrival
+//!   process (one op per `free-replay/K` nanoseconds, `N` nodes) offered to
+//!   the `S`-server fleet of [`ServerTopology`](crate::ServerTopology),
+//!   the utilisation is
+//!   `ρ = λ·E[S]/S = N·ΣS / (S · free-replay)` and the mean wait is
+//!   Pollaczek–Khinchine `W = λ·E[S²] / 2(1−ρ)` for `S = 1`, and the
+//!   Lee–Longton M/G/k approximation `W ≈ (1 + c²)/2 · W_{M/M/k}` for
+//!   `S > 1` — the M/M/k wait built from the [`erlang_c`] delay
+//!   probability, scaled by the service-time variability `c² =
+//!   E[S²]/E[S]² − 1` (for `k = 1` the two expressions coincide exactly,
+//!   so the single-server descriptor is unchanged). Both are infinite once
+//!   the offered load saturates the fleet (`ρ ≥ 1`), which is exactly the
 //!   contended regime the paper's Fig 6 lives in.
 //! * **Bounds** ([`Mg1Bounds::lower_ns`] / [`Mg1Bounds::upper_ns`]): hard
 //!   envelope on the *mean* launch time, rigorous for the DES's work
-//!   conserving FIFO server rather than asymptotic:
-//!   - lower: the slower of a node's own unimpeded replay and the server's
-//!     serial capacity (`first arrival + N·K ops of work`, plus the last
-//!     response's return path) — no schedule can beat either;
-//!   - upper: a node's own replay plus **all** other nodes' server work —
-//!     in a work-conserving FIFO system each foreign op can delay a node at
-//!     most once.
+//!   conserving FIFO servers rather than asymptotic:
+//!   - lower: the slower of a node's own unimpeded replay and the fleet's
+//!     capacity (plus the last response's return path) — no schedule can
+//!     beat either. Under [`AssignPolicy::HashByNode`] the lanes are
+//!     independent single-server systems, so the floor is the busiest
+//!     lane's serial work `⌈N/S⌉·K` ops; under
+//!     [`AssignPolicy::LeastLoaded`] the fleet pools, so the floor is the
+//!     work-conservation bound `N·K/S` ops (all `N·K` services must fit
+//!     into `S` lanes between the first arrival and the last completion);
+//!   - upper: a node's own replay plus the other nodes' server work that
+//!     can stand in front of it — in a work-conserving FIFO lane each
+//!     foreign op delays a node at most once, and under `HashByNode` only
+//!     the node's own lane (`⌈N/S⌉ − 1` foreign replays) can hold its
+//!     requests. A `LeastLoaded` fleet with `S > 1` routes each request by
+//!     global state, so no per-lane accounting applies and the upper bound
+//!     is forfeited (`u64::MAX`), exactly as under a fault model.
 //!
 //!   Under a stochastic distribution the drawn service `clamp(⌊sₖ·F⌋)`
 //!   rounds toward zero and clamps to at least 1 ns, so the bounds carry a
@@ -54,7 +70,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::{LaunchConfig, ServiceDistribution};
+use crate::config::{AssignPolicy, LaunchConfig, ServiceDistribution};
 use crate::des::{ClassifiedStream, ClassifyParams};
 use crate::fault::FaultModel;
 use crate::sweep::LaunchStats;
@@ -72,6 +88,29 @@ pub fn factor_second_moment(dist: ServiceDistribution) -> f64 {
             (sigma * sigma).exp()
         }
     }
+}
+
+/// Erlang-C: the probability that an arriving request must wait in an
+/// M/M/k system with `servers` servers at offered load `a = λ·E[S]`
+/// erlangs (requires `a < servers`; `servers ≥ 1`).
+///
+/// `C(k, a) = (aᵏ/k!) / ((1 − a/k)·Σₙ₌₀^{k−1} aⁿ/n! + aᵏ/k!)`, computed
+/// with the usual running-term recurrence. For `k = 1` this is exactly
+/// `a` (= ρ), which is what makes the Lee–Longton M/G/k wait collapse to
+/// Pollaczek–Khinchine at a single server.
+pub fn erlang_c(servers: usize, offered_load: f64) -> f64 {
+    debug_assert!(servers >= 1);
+    debug_assert!(offered_load < servers as f64);
+    let mut term = 1.0; // aⁿ/n!, starting at n = 0
+    let mut below = 0.0; // Σₙ₌₀^{k−1} aⁿ/n!
+    for n in 0..servers {
+        below += term;
+        term *= offered_load / (n as f64 + 1.0);
+    }
+    // term is now aᵏ/k!.
+    let rho = offered_load / servers as f64;
+    let waiting = term / (1.0 - rho);
+    waiting / (below + waiting)
 }
 
 /// First and second moments of one server op's service time under a
@@ -101,27 +140,38 @@ impl ServiceMoments {
 }
 
 /// The queueing-theory envelope for one (stream, config) cell at one rank
-/// point: M/G/1 descriptors plus hard mean-launch bounds.
+/// point: M/G/k descriptors plus hard mean-launch bounds. (The name keeps
+/// the historical `Mg1` prefix from when the model was single-server; the
+/// `servers` field says which fleet the bounds were computed for.)
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Mg1Bounds {
     pub ranks: usize,
     pub cold_nodes: usize,
     /// Server round trips per cold replay (the stream's `K`).
     pub server_ops_per_node: u64,
-    /// Offered utilisation `ρ = N·ΣS / free-replay`, multiplied by the
-    /// retry amplification `1/(1 − loss)` under
+    /// The metadata-fleet size `S` from [`crate::ServerTopology`] the
+    /// envelope was derived for (1 = the paper's single server).
+    pub servers: usize,
+    /// Offered utilisation `ρ = λ·E[S]/S = N·ΣS / (S · free-replay)`,
+    /// multiplied by the retry amplification `1/(1 − loss)` under
     /// [`FaultModel::RpcLoss`]; values ≥ 1 mean the cold fleet saturates
-    /// the server (the contended regime).
+    /// the fleet (the contended regime).
     pub utilisation: f64,
-    /// Pollaczek–Khinchine mean wait per op at the offered load;
+    /// Mean wait per op at the offered load — Pollaczek–Khinchine for
+    /// `S = 1`, the Lee–Longton M/G/k approximation (Erlang-C delay
+    /// probability scaled by the service variability) for `S > 1`;
     /// `f64::INFINITY` once saturated.
     pub mean_wait_ns: f64,
     /// Hard lower bound on the mean launch time — still rigorous under
-    /// every fault model (faults add wait and work, never remove any).
+    /// every fault model (faults add wait and work, never remove any) and
+    /// every topology (busiest hash lane, or the fleet-wide
+    /// work-conservation floor under least-loaded routing).
     pub lower_ns: u64,
     /// Hard upper bound on the mean launch time; `u64::MAX` under a
     /// non-`None` fault model (stall and backoff waits escape the
-    /// work-conservation argument).
+    /// work-conservation argument) or a multi-server
+    /// [`AssignPolicy::LeastLoaded`] fleet (globally routed requests
+    /// escape the per-lane accounting).
     pub upper_ns: u64,
     /// Squared coefficient of variation of the service factor
     /// (`E[F²] − 1`).
@@ -164,6 +214,7 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
     };
     let cv2 = factor_second_moment(dist) - 1.0;
     let amp = cfg.fault.load_amplification();
+    let servers = cfg.topology.servers.max(1);
 
     let segs = stream.server_segments();
     let k = segs.len() as u64;
@@ -175,6 +226,7 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
             ranks: cfg.ranks,
             cold_nodes: cold as usize,
             server_ops_per_node: 0,
+            servers,
             utilisation: 0.0,
             mean_wait_ns: 0.0,
             lower_ns: exact,
@@ -204,23 +256,41 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
     // allowance) and clamps it up to at least 1 ns (upper allowance). No
     // draws occur under the deterministic model.
     let draw_slack = |per: u128| if dist.is_deterministic() { 0 } else { per };
+    // Capacity floor per routing policy. Hash-routed lanes are independent
+    // single-server systems (node `i` only ever talks to lane `i mod S`),
+    // so the busiest lane — ⌈N/S⌉ cold replays — must serve all its work
+    // serially. A least-loaded fleet pools: all N·K services still have to
+    // fit into S lanes between the first arrival and the last completion,
+    // so the floor is the total work divided by S (rounded down — safe for
+    // a lower bound).
+    let lane_cold = (cold as u128).div_ceil(servers as u128);
+    let capacity_work = match cfg.topology.assign {
+        AssignPolicy::HashByNode => lane_cold * service_total,
+        AssignPolicy::LeastLoaded => cold as u128 * service_total / servers as u128,
+    };
     let lower_free = free.saturating_sub(draw_slack(k as u128));
-    let lower_capacity = (first_arrival + cold as u128 * service_total + return_path)
+    let lower_capacity = (first_arrival + capacity_work + return_path)
         .saturating_sub(draw_slack(cold as u128 * k as u128));
     let lower_cold = lower_free.max(lower_capacity);
-    let upper_cold =
-        free + (cold as u128 - 1) * service_total + draw_slack(cold as u128 * k as u128);
+    // Per-lane work conservation: under hash routing only the ⌈N/S⌉ − 1
+    // other replays sharing the node's lane can ever stand in front of it
+    // (for S = 1 that is all N − 1, the classic single-server bound). A
+    // multi-server least-loaded fleet routes by global state, so no
+    // per-lane accounting holds and the upper bound is forfeited below.
+    let upper_forfeit = servers > 1 && cfg.topology.assign == AssignPolicy::LeastLoaded;
+    let upper_cold = free + (lane_cold - 1) * service_total + draw_slack(cold as u128 * k as u128);
 
     let lower = overhead + lower_cold.max(warm_done);
     let upper = overhead + upper_cold.max(warm_done);
 
     // Descriptors: each cold node offers one op per free/K nanoseconds —
     // times the retry amplification, every lost attempt being independent
-    // server work. A degenerate all-zero-cost calibration (free = 0) is
-    // instantaneous arrivals of zero-length ops: report it as saturated
-    // rather than NaN (total RPC loss likewise amplifies to saturation).
+    // server work — to a fleet of S servers, so ρ = λ·E[S]/S. A degenerate
+    // all-zero-cost calibration (free = 0) is instantaneous arrivals of
+    // zero-length ops: report it as saturated rather than NaN (total RPC
+    // loss likewise amplifies to saturation).
     let utilisation = if free > 0 {
-        let rho = cold as f64 * service_total as f64 / free as f64 * amp;
+        let rho = cold as f64 * service_total as f64 / (servers as f64 * free as f64) * amp;
         if rho.is_nan() {
             f64::INFINITY
         } else {
@@ -232,21 +302,41 @@ pub fn mg1_bounds(stream: &ClassifiedStream, cfg: &LaunchConfig) -> Mg1Bounds {
     let moments = ServiceMoments::of(stream, dist).expect("k > 0");
     let mean_wait_ns = if utilisation < 1.0 {
         let lambda = cold as f64 * k as f64 / free as f64 * amp;
-        lambda * moments.second_moment_ns2 / (2.0 * (1.0 - utilisation))
+        if servers == 1 {
+            // Pollaczek–Khinchine, exact-form M/G/1.
+            lambda * moments.second_moment_ns2 / (2.0 * (1.0 - utilisation))
+        } else {
+            // Lee–Longton M/G/k: the M/M/k wait (Erlang-C delay
+            // probability over the spare capacity) scaled by the
+            // service-time variability (1 + c²)/2. Collapses to the
+            // branch above at k = 1, kept separate so single-server
+            // descriptors stay bit-identical to the pre-topology code.
+            let mean = moments.mean_ns;
+            let offered = lambda * mean; // erlangs; < servers since ρ < 1
+            let service_cv2 = moments.second_moment_ns2 / (mean * mean) - 1.0;
+            let w_mmk = erlang_c(servers, offered) * mean / (servers as f64 - offered);
+            (1.0 + service_cv2) / 2.0 * w_mmk
+        }
     } else {
         f64::INFINITY
     };
 
     // Any fault forfeits the work-conservation upper bound: stall windows
-    // and retry backoffs are waits no foreign-op accounting covers. The
-    // capacity lower bound stands.
-    let upper = if cfg.fault.is_none() { upper.min(u64::MAX as u128) as u64 } else { u64::MAX };
+    // and retry backoffs are waits no foreign-op accounting covers. So
+    // does least-loaded multi-server routing. The capacity lower bound
+    // stands in every case.
+    let upper = if cfg.fault.is_none() && !upper_forfeit {
+        upper.min(u64::MAX as u128) as u64
+    } else {
+        u64::MAX
+    };
 
     let service_sq_total: f64 = segs.iter().map(|s| (s.service_ns as f64).powi(2)).sum();
     Mg1Bounds {
         ranks: cfg.ranks,
         cold_nodes: cold as usize,
         server_ops_per_node: k,
+        servers,
         utilisation,
         mean_wait_ns,
         lower_ns: lower.min(u64::MAX as u128) as u64,
@@ -527,6 +617,148 @@ mod tests {
         let stream = ClassifiedStream::classify(&cold_stream(50), &cfg);
         let b = mg1_bounds(&stream, &cfg.clone().with_ranks(2048));
         assert!(!b.applicable, "sped-up nodes can beat the healthy capacity floor");
+    }
+
+    #[test]
+    fn erlang_c_matches_the_closed_forms() {
+        // k = 1 collapses to ρ itself — the M/M/1 delay probability.
+        assert!((erlang_c(1, 0.6) - 0.6).abs() < 1e-12);
+        // M/M/2 at ρ = 0.5: C = 1/3 (textbook value).
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        // Pooling helps: at equal per-server utilisation, a bigger fleet
+        // makes arrivals less likely to wait.
+        assert!(erlang_c(4, 2.4) < erlang_c(2, 1.2));
+        assert!(erlang_c(16, 9.6) < erlang_c(4, 2.4));
+    }
+
+    #[test]
+    fn single_server_bounds_are_unchanged_by_the_topology_axis() {
+        use crate::config::ServerTopology;
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        for ranks in [512usize, 16 * 1024] {
+            let base = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks));
+            assert_eq!(base.servers, 1);
+            for topo in [ServerTopology::single(), ServerTopology::least_loaded(1)] {
+                let again = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks).with_topology(topo));
+                assert_eq!(base, again, "S = 1 envelope must not depend on the policy");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_server_results_sit_inside_the_mgk_envelope() {
+        use crate::config::ServerTopology;
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        for topo in [
+            ServerTopology::hash(2),
+            ServerTopology::hash(8),
+            ServerTopology::least_loaded(3),
+            ServerTopology::least_loaded(8),
+        ] {
+            for ranks in [512usize, 2048, 16 * 1024] {
+                let at = cfg.clone().with_ranks(ranks).with_topology(topo);
+                let b = mg1_bounds(&stream, &at);
+                assert_eq!(b.servers, topo.servers);
+                let r = simulate_classified(&stream, &at);
+                assert!(
+                    (b.lower_ns..=b.upper_ns).contains(&r.time_to_launch_ns),
+                    "{} ranks={ranks}: {} outside [{}, {}]",
+                    topo.name(),
+                    r.time_to_launch_ns,
+                    b.lower_ns,
+                    b.upper_ns
+                );
+                if topo.assign == AssignPolicy::LeastLoaded {
+                    assert_eq!(b.upper_ns, u64::MAX, "least-loaded keeps no per-lane upper bound");
+                } else {
+                    assert_ne!(b.upper_ns, u64::MAX, "hash lanes keep a real upper bound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_floor_and_utilisation_scale_down_with_the_fleet() {
+        use crate::config::ServerTopology;
+        let cfg = fast_cfg();
+        let stream = ClassifiedStream::classify(&cold_stream(300), &cfg);
+        // Deep contention at one server (128 cold nodes).
+        let at = |s: usize| {
+            let topo = if s == 1 { ServerTopology::single() } else { ServerTopology::hash(s) };
+            mg1_bounds(&stream, &cfg.clone().with_ranks(16 * 1024).with_topology(topo))
+        };
+        let one = at(1);
+        let eight = at(8);
+        assert!(eight.lower_ns < one.lower_ns, "8 lanes shrink the capacity floor");
+        assert!(eight.upper_ns < one.upper_ns, "and the per-lane work-conservation roof");
+        assert!(
+            (eight.utilisation - one.utilisation / 8.0).abs() < 1e-12,
+            "ρ = λ·E[S]/S: {} vs {}",
+            eight.utilisation,
+            one.utilisation / 8.0
+        );
+        // A fleet big enough to desaturate the cold burst reports a finite
+        // M/G/k wait where the single server reported an infinite one.
+        assert!(one.mean_wait_ns.is_infinite());
+        let big = mg1_bounds(
+            &stream,
+            &cfg.clone().with_ranks(16 * 1024).with_topology(ServerTopology::hash(512)),
+        );
+        assert!(big.utilisation < 1.0);
+        assert!(big.mean_wait_ns.is_finite());
+    }
+
+    #[test]
+    fn stochastic_multi_server_means_validate() {
+        use crate::config::ServerTopology;
+        for topo in [ServerTopology::hash(4), ServerTopology::least_loaded(4)] {
+            for dist in ServiceDistribution::all() {
+                let cfg = fast_cfg().with_service_dist(dist).with_topology(topo);
+                let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+                let rows = sweep_ranks_replicated(&stream, &cfg, &[512, 8192], 7);
+                for (ranks, _, stats) in rows {
+                    let b = mg1_bounds(&stream, &cfg.clone().with_ranks(ranks));
+                    let check = validate_against_mg1(&b, &stats);
+                    assert!(
+                        check.within,
+                        "{} {} ranks={ranks}: mean {} outside [{}, {}] (slack {})",
+                        topo.name(),
+                        dist.name(),
+                        check.observed_mean_ns,
+                        b.lower_ns,
+                        b.upper_ns,
+                        check.slack_ns
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_compose_with_the_fleet() {
+        use crate::config::ServerTopology;
+        // RpcLoss amplification applies per-lane: the amplified ρ is still
+        // divided by S, the capacity floor still stands, and the upper
+        // bound is forfeited for the fault (not the topology).
+        let topo = ServerTopology::hash(4);
+        let cfg = fast_cfg().with_topology(topo);
+        let stream = ClassifiedStream::classify(&cold_stream(200), &cfg);
+        let healthy = mg1_bounds(&stream, &cfg.clone().with_ranks(2048));
+        let lossy = cfg.clone().with_ranks(2048).with_fault(FaultModel::RpcLoss {
+            loss_milli: 200,
+            timeout_ns: 1_000_000_000,
+            backoff_base_ns: 250_000_000,
+            max_retries: 5,
+        });
+        let b = mg1_bounds(&stream, &lossy);
+        assert!((b.utilisation / healthy.utilisation - 1.25).abs() < 1e-12);
+        assert_eq!(b.upper_ns, u64::MAX);
+        assert_eq!(b.lower_ns, healthy.lower_ns);
+        // And the faulted multi-server runs respect the surviving floor.
+        let r = simulate_classified(&stream, &lossy);
+        assert!(r.time_to_launch_ns >= b.lower_ns);
     }
 
     #[test]

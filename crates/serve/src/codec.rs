@@ -178,6 +178,7 @@ impl CellRecord {
                  \"peak_queue\":{},\"retries\":{},\"timeouts\":{},\"max_backoff_ns\":{},\
                  \"slowed_nodes\":{},\"reps\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
                  \"p99_ns\":{},\"q_ranks\":{},\"q_cold_nodes\":{},\"q_ops_per_node\":{},\
+                 \"q_servers\":{},\
                  \"q_util_bits\":{},\"q_wait_bits\":{},\"q_lower_ns\":{},\"q_upper_ns\":{},\
                  \"q_cv2_bits\":{},\"q_sd_bits\":{},\"q_applicable\":{},\"q_observed_ns\":{},\
                  \"q_slack_bits\":{},\"q_within\":{}",
@@ -198,6 +199,7 @@ impl CellRecord {
                 b.ranks,
                 b.cold_nodes,
                 b.server_ops_per_node,
+                b.servers,
                 b.utilisation.to_bits(),
                 b.mean_wait_ns.to_bits(),
                 b.lower_ns,
@@ -263,6 +265,7 @@ impl CellRecord {
                         ranks: need_u64("q_ranks")? as usize,
                         cold_nodes: need_u64("q_cold_nodes")? as usize,
                         server_ops_per_node: need_u64("q_ops_per_node")?,
+                        servers: need_u64("q_servers")? as usize,
                         utilisation: f64::from_bits(need_u64("q_util_bits")?),
                         mean_wait_ns: f64::from_bits(need_u64("q_wait_bits")?),
                         lower_ns: need_u64("q_lower_ns")?,
@@ -313,6 +316,7 @@ mod tests {
                     ranks: 512,
                     cold_nodes: 4,
                     server_ops_per_node: 500,
+                    servers: 4,
                     utilisation: 0.37,
                     mean_wait_ns: f64::INFINITY,
                     lower_ns: 25_000_000_000,

@@ -220,6 +220,7 @@ pub fn run_matrix_incremental(
             let mut cfg = s.cache.apply(base.clone());
             cfg.service_dist = s.dist;
             cfg.fault = s.fault;
+            cfg.topology = s.topology;
             cfg.seed = scenario_seed(base.seed, &spec.label());
             // Phase 2a warmed the cache, so this re-call is a lookup —
             // unless the cell's profiling panicked, in which case it

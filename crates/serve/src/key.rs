@@ -19,9 +19,12 @@
 //!    that install different worlds must carry different names);
 //! 3. backend name, storage model, wrap state, cache policy;
 //! 4. the [`ServiceDistribution`] (variant tag + integer milli parameter,
-//!    not the display string, so renaming never aliases two distributions)
-//!    and the [`FaultModel`] (variant tag + every integer parameter,
-//!    encoded the same way);
+//!    not the display string, so renaming never aliases two distributions),
+//!    the [`FaultModel`] (variant tag + every integer parameter, encoded
+//!    the same way), and the
+//!    [`ServerTopology`](depchaos_launch::ServerTopology) (server count + assignment
+//!    policy tag — a single-server cell hashes `(1, hash)` explicitly, so
+//!    the axis can never alias another field);
 //! 5. the rank point, then the replicate-control plan behind a tag byte:
 //!    under **adaptive** control ([`AdaptiveControl`]) a draw-taking cell
 //!    hashes the stopping-rule *parameters* (target, `min_k`, `max_k`,
@@ -46,7 +49,7 @@
 //! drift in the input encoding cannot silently poison a store.
 
 use depchaos_launch::{
-    AdaptiveControl, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution,
+    AdaptiveControl, AssignPolicy, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution,
 };
 
 /// Engine-semantics epoch. Bump when the DES, the seed derivation, the
@@ -61,7 +64,12 @@ use depchaos_launch::{
 /// versus the adaptive stopping-rule parameters ([`AdaptiveControl`]) —
 /// which re-encodes *every* cell (a tag byte precedes the old bare count),
 /// so epoch-2 keys never alias the new schema.
-pub const ENGINE_EPOCH: u32 = 3;
+///
+/// Epoch 4: the server-topology axis ([`depchaos_launch::ServerTopology`])
+/// joined the key schema — server count and assignment-policy tag, hashed
+/// after the fault model — and the codec grew the `servers` field of the
+/// queueing envelope, so epoch-3 records no longer decode.
+pub const ENGINE_EPOCH: u32 = 4;
 
 /// One SipHash-2-4 run over `data` with the given 128-bit key.
 ///
@@ -250,6 +258,11 @@ impl CellIdentity<'_> {
                 buf.u32(slow_milli);
             }
         }
+        buf.u64(self.spec.topology.servers as u64);
+        buf.u8(match self.spec.topology.assign {
+            AssignPolicy::HashByNode => 0,
+            AssignPolicy::LeastLoaded => 1,
+        });
         buf.u64(self.ranks as u64);
         // Replicate control, tagged. The adaptive arm hashes the rule's
         // parameters, not the stopped-at K — K is a pure function of the
@@ -319,6 +332,7 @@ mod tests {
             cache: CachePolicy::Cold,
             dist,
             fault: FaultModel::None,
+            topology: depchaos_launch::ServerTopology::single(),
         }
     }
 
@@ -348,14 +362,14 @@ mod tests {
         let jit = spec(ServiceDistribution::uniform_jitter(0.25));
         let wrapped = ScenarioSpec { wrap: WrapState::Wrapped, ..det.clone() };
         let ctl = AdaptiveControl { target_rel_milli: 50, min_k: 4, max_k: 11, batch: 4 };
-        assert_eq!(key_of(&det, 512, 11, &base), 0x23be_fd9f_2950_2167_8fd6_2256_5d6f_302b);
-        assert_eq!(key_of(&det, 2048, 11, &base), 0x79f3_bc30_c286_7c42_8c0e_916f_b727_7647);
-        assert_eq!(key_of(&log, 512, 11, &base), 0x52df_e13f_63c3_51f6_e9dc_6e52_cce8_5fae);
-        assert_eq!(key_of(&jit, 512, 11, &base), 0xa4f4_2992_0555_5895_008c_73c4_8e55_820c);
-        assert_eq!(key_of(&wrapped, 512, 11, &base), 0xb6eb_d956_e926_40bd_f6f3_998c_a779_b88f);
+        assert_eq!(key_of(&det, 512, 11, &base), 0x0bcc_aaec_0235_8c12_b2d7_1726_7ef3_5f12);
+        assert_eq!(key_of(&det, 2048, 11, &base), 0xec0d_14e6_5086_0167_0abb_b8fc_e2e1_0a07);
+        assert_eq!(key_of(&log, 512, 11, &base), 0x5231_a73f_b512_50bf_eb1d_4b57_ce59_2d73);
+        assert_eq!(key_of(&jit, 512, 11, &base), 0x29b7_3e4d_a63e_e074_133b_48cf_3249_2be3);
+        assert_eq!(key_of(&wrapped, 512, 11, &base), 0x25bb_3a4c_5e34_259e_002d_4d40_6ee9_b2e5);
         assert_eq!(
             adaptive_key_of(&log, 512, 11, ctl, &base),
-            0xe6b8_b0e2_f281_aa4e_bb00_a00f_c7b1_189e
+            0xa18f_5b49_d83e_4c16_97cd_9d0a_7628_a5b0
         );
     }
 
@@ -379,10 +393,22 @@ mod tests {
                 fault: FaultModel::Stragglers { frac_milli: 1, slow_milli: 2000 },
                 ..s.clone()
             },
+            ScenarioSpec { topology: depchaos_launch::ServerTopology::hash(2), ..s.clone() },
+            ScenarioSpec {
+                topology: depchaos_launch::ServerTopology::least_loaded(2),
+                ..s.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(key_of(v, 512, 11, &base), k, "{v:?}");
         }
+        // The assignment policy moves the key at equal fleet size.
+        let h2 = ScenarioSpec { topology: depchaos_launch::ServerTopology::hash(2), ..s.clone() };
+        let l2 = ScenarioSpec {
+            topology: depchaos_launch::ServerTopology::least_loaded(2),
+            ..s.clone()
+        };
+        assert_ne!(key_of(&h2, 512, 11, &base), key_of(&l2, 512, 11, &base));
         assert_ne!(key_of(&s, 1024, 11, &base), k, "rank point");
         assert_ne!(key_of(&s, 512, 12, &base), k, "replicates (stochastic)");
         for field in 0..7 {

@@ -23,8 +23,9 @@
 //! | 3 | backend, storage, wrap, cache names | the discrete axes |
 //! | 4 | distribution tag + integer milli parameter | never aliases on display names |
 //! | 5 | fault-model tag + integer parameters | a brownout cell must never answer for a healthy one |
-//! | 6 | rank point, replicate **plan** (tagged: fixed effective count, or the adaptive stopping-rule parameters) | deterministic *and fault-draw-free* cells clamp to 1 under either plan, like the sweep; a draw-taking cell under [`AdaptiveControl`](depchaos_launch::AdaptiveControl) hashes the rule, never the K it stopped at |
-//! | 7 | experiment seed + every calibration field of the base config | the seed domain and the cluster model |
+//! | 6 | server count + assignment-policy tag | an 8-server fleet must never answer for a single server; the policy tag keeps hash and least-loaded fleets apart |
+//! | 7 | rank point, replicate **plan** (tagged: fixed effective count, or the adaptive stopping-rule parameters) | deterministic *and fault-draw-free* cells clamp to 1 under either plan, like the sweep; a draw-taking cell under [`AdaptiveControl`](depchaos_launch::AdaptiveControl) hashes the rule, never the K it stopped at |
+//! | 8 | experiment seed + every calibration field of the base config | the seed domain and the cluster model |
 //!
 //! The hash is two independently keyed SipHash-2-4 lanes over a
 //! length-prefixed field encoding; golden-vector tests pin the exact keys
@@ -73,8 +74,10 @@
 //! `rocm-mixed`, `emacs`), plus axis deltas `wrap`, `cache`, `backend`,
 //! `storage`, `dist`, `fault` (report spellings — `fault` takes
 //! `stall-AT-DUR`, `loss-MILLI-TIMEOUT-BACKOFF-RETRIES`,
-//! `stragglers-FRAC-SLOW`), `ranks` (list), `replicates`, `seed`, and
-//! `servers` (N-way perfectly-scaled metadata service:
+//! `stragglers-FRAC-SLOW`), `ranks` (list), `replicates`, `seed`,
+//! `servers` (the modeled N-server metadata fleet — the DES topology
+//! axis, with `assign` picking `hash` or `least` routing), and
+//! `servers_ideal` (the coordination-free approximation:
 //! `meta_service_ns / N`). Answers are one JSONL line per (query, rank
 //! point) carrying only simulator-deterministic integers; batch and
 //! per-query hit/miss/latency counters go to a separate stats document.

@@ -21,10 +21,12 @@
 //! [`FaultModel::parse`]'s: `none`, `stall-AT-DUR`,
 //! `loss-MILLI-TIMEOUT-BACKOFF-RETRIES`, `stragglers-FRAC-SLOW`); `ranks`
 //! replaces the rank-point list; `replicates` and `seed` override the
-//! sweep parameters; `servers: N` models a metadata service scaled to N
-//! backend servers as a perfect division of the per-op service time
-//! (`meta_service_ns / N` — an optimistic lower bound, no coordination
-//! cost).
+//! sweep parameters. `servers: N` runs the **modeled** N-server fleet —
+//! the real [`ServerTopology`] axis of the DES, with `assign` picking the
+//! request-routing policy (`hash`, the default, or `least`) — while
+//! `servers_ideal: N` keeps the old perfect-scaling approximation (per-op
+//! service time divided by N, coordination-free: an optimistic lower
+//! bound the modeled fleet can approach but, contended, never beat).
 //!
 //! Each answer is one JSONL line per `(query, rank point)` carrying only
 //! simulator-deterministic integers (or the cell's error string), so a
@@ -37,8 +39,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use depchaos_launch::{
-    CachePolicy, ExperimentMatrix, FaultModel, LaunchConfig, MatrixBackend, ProfileCache,
-    ServiceDistribution, WrapState, DEFAULT_REPLICATES,
+    AssignPolicy, CachePolicy, ExperimentMatrix, FaultModel, LaunchConfig, MatrixBackend,
+    ProfileCache, ServerTopology, ServiceDistribution, WrapState, DEFAULT_REPLICATES,
 };
 use depchaos_vfs::StorageModel;
 use depchaos_workloads::{Axom, Emacs, Poison, Pynamic, PynamicRpath, Rocm, Workload};
@@ -60,8 +62,14 @@ pub struct WhatIfRequest {
     pub dist: ServiceDistribution,
     pub fault: FaultModel,
     pub ranks: Vec<usize>,
-    /// Metadata servers backing the service (perfect-scaling model).
+    /// Metadata servers backing the service — the modeled
+    /// [`ServerTopology`] axis.
     pub servers: u64,
+    /// Request-routing policy for the modeled fleet (`hash` by default).
+    pub assign: AssignPolicy,
+    /// Perfect-scaling approximation: divide the per-op service time by
+    /// this count instead of modeling the fleet. 1 = off.
+    pub servers_ideal: u64,
     pub replicates: usize,
     /// Experiment seed override, when given.
     pub seed: Option<u64>,
@@ -168,6 +176,18 @@ impl WhatIfRequest {
         } else {
             1
         };
+        let assign = match axis("assign")? {
+            Some(s) => AssignPolicy::parse(&s).ok_or(format!("unknown assign policy {s:?}"))?,
+            None => AssignPolicy::HashByNode,
+        };
+        let servers_ideal = if has("servers_ideal") {
+            match u64_field(line, "servers_ideal") {
+                Some(n) if n >= 1 => n,
+                _ => return Err("field \"servers_ideal\" must be an integer ≥ 1".to_string()),
+            }
+        } else {
+            1
+        };
         let replicates = if has("replicates") {
             u64_field(line, "replicates").ok_or("malformed field \"replicates\"")? as usize
         } else {
@@ -189,6 +209,8 @@ impl WhatIfRequest {
             fault,
             ranks,
             servers,
+            assign,
+            servers_ideal,
             replicates,
             seed,
         })
@@ -201,9 +223,10 @@ impl WhatIfRequest {
         if let Some(seed) = self.seed {
             base.seed = seed;
         }
-        // Perfect scaling across metadata servers: N servers divide the
-        // per-op service time, coordination-free. An optimistic what-if.
-        base.meta_service_ns = (base.meta_service_ns / self.servers).max(1);
+        // The ideal-scaling what-if divides the per-op service time,
+        // coordination-free; the `servers` axis below models the fleet.
+        base.meta_service_ns = (base.meta_service_ns / self.servers_ideal).max(1);
+        let topology = ServerTopology { servers: self.servers as usize, assign: self.assign };
         Ok(ExperimentMatrix::new()
             .workload_arc(workload)
             .backend(self.backend.clone())
@@ -212,6 +235,7 @@ impl WhatIfRequest {
             .cache_policies([self.cache])
             .distribution(self.dist)
             .fault(self.fault)
+            .topologies([topology])
             .rank_points(self.ranks.iter().copied())
             .replicates(self.replicates)
             .base_config(base))
@@ -400,13 +424,15 @@ mod tests {
         assert_eq!(q.wrap, WrapState::Plain);
         assert_eq!(q.fault, FaultModel::None);
         assert_eq!(q.servers, 1);
+        assert_eq!(q.assign, AssignPolicy::HashByNode);
+        assert_eq!(q.servers_ideal, 1);
         assert_eq!(q.replicates, DEFAULT_REPLICATES);
 
         let q = WhatIfRequest::parse(
             r#"{"id":"q2","base":"pynamic-20","wrap":"wrapped","cache":"broadcast",
                "dist":"lognormal-500","backend":"musl","storage":"local",
-               "fault":"stall-2000000000-10000000000",
-               "ranks":[256, 512],"servers":4,"replicates":3,"seed":9}"#
+               "fault":"stall-2000000000-10000000000","assign":"least",
+               "ranks":[256, 512],"servers":4,"servers_ideal":2,"replicates":3,"seed":9}"#
                 .replace('\n', " ")
                 .as_str(),
         )
@@ -422,6 +448,8 @@ mod tests {
         );
         assert_eq!(q.ranks, vec![256, 512]);
         assert_eq!(q.servers, 4);
+        assert_eq!(q.assign, AssignPolicy::LeastLoaded);
+        assert_eq!(q.servers_ideal, 2);
         assert_eq!(q.replicates, 3);
         assert_eq!(q.seed, Some(9));
     }
@@ -437,6 +465,8 @@ mod tests {
             (r#"{"id":"q","base":"pynamic-20","dist":"cauchy"}"#, "unknown distribution"),
             (r#"{"id":"q","base":"pynamic-20","fault":"gremlins"}"#, "unknown fault model"),
             (r#"{"id":"q","base":"pynamic-20","servers":0}"#, "\"servers\""),
+            (r#"{"id":"q","base":"pynamic-20","servers_ideal":0}"#, "\"servers_ideal\""),
+            (r#"{"id":"q","base":"pynamic-20","assign":"roulette"}"#, "unknown assign policy"),
             (r#"{"id":"q","base":"pynamic-20","ranks":[a]}"#, "\"ranks\""),
             ("not json", "not a JSON object"),
         ] {
@@ -489,6 +519,36 @@ mod tests {
         let slow = launch_ns(&report.queries[0]);
         assert!(launch_ns(&report.queries[1]) < slow, "8 servers beat 1");
         assert!(launch_ns(&report.queries[2]) < slow, "shrinkwrap beats plain");
+    }
+
+    #[test]
+    fn ideal_scaling_lower_bounds_the_modeled_fleet() {
+        // `servers_ideal` is the coordination-free fantasy: dividing the
+        // per-op service time should not lose to actually routing requests
+        // across the same number of servers. Strictly true only where the
+        // metadata floor dominates per-op service — the division lowers the
+        // `meta_service_ns` floor but not the size-proportional read cost
+        // (`cost_ns / 8`), which the modeled fleet *does* parallelise — so
+        // the pin allows the read-cost share as slack.
+        let batch = concat!(
+            r#"{"id":"modeled","base":"pynamic-20","ranks":[512],"servers":8}"#,
+            "\n",
+            r#"{"id":"ideal","base":"pynamic-20","ranks":[512],"servers_ideal":8}"#,
+            "\n",
+        );
+        let store = ResultStore::in_memory();
+        let report = serve_batch(batch, &store, &ProfileCache::new(), 1).unwrap();
+        assert!(!report.had_errors());
+        let launch_ns = |q: &QueryOutcome| u64_field(&q.answers[0], "launch_ns").unwrap();
+        let (modeled, ideal) = (launch_ns(&report.queries[0]), launch_ns(&report.queries[1]));
+        assert!(
+            ideal <= modeled + modeled / 20,
+            "ideal 8-way division ({ideal}) must floor the modeled 8-server \
+             fleet ({modeled}) up to the non-divided read-cost share"
+        );
+        // Distinct axes, distinct cells: the modeled fleet lives under a
+        // topology label, the ideal one under a different base config.
+        assert_eq!(store.len(), 2);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! keys (or the store would serve the wrong cell's result).
 
 use depchaos_launch::{
-    AdaptiveControl, CachePolicy, FaultModel, LaunchConfig, ScenarioSpec, ServiceDistribution,
-    WrapState,
+    AdaptiveControl, CachePolicy, FaultModel, LaunchConfig, ScenarioSpec, ServerTopology,
+    ServiceDistribution, WrapState,
 };
 use depchaos_serve::{CellIdentity, ScenarioKey};
 use depchaos_vfs::StorageModel;
@@ -63,6 +63,12 @@ impl Ident {
                     max_retries: 5,
                 },
                 FaultModel::Stragglers { frac_milli: 100, slow_milli: 4000 },
+            ][pick(4) as usize],
+            topology: [
+                ServerTopology::single(),
+                ServerTopology::hash(2),
+                ServerTopology::hash(8),
+                ServerTopology::least_loaded(2),
             ][pick(4) as usize],
         };
         let defaults = LaunchConfig::default();
